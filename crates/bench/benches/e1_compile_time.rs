@@ -1,0 +1,62 @@
+//! Experiment E1 — compile time of normalised vs non-normalised programs.
+//!
+//! Paper claim (Section 6): "a non-normalized transformation program with
+//! constraints taking approximately six times longer to compile than a
+//! normalized program". The workload is the wide-record family W(n, k): the
+//! same transformation written as one already-normal-form clause versus k
+//! partial clauses plus the key constraint, compiled through the full Morphase
+//! pipeline (metadata → snf → normalise → CPL).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morphase::Morphase;
+use workloads::wide;
+
+fn bench_compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_compile_time");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    for &(attrs, partials) in &[(16usize, 4usize), (32, 8), (48, 12)] {
+        let normal_program = wide::normal_form_program(attrs);
+        let partial_program = wide::partial_program(attrs, partials, true);
+        group.bench_with_input(
+            BenchmarkId::new("already_normal_form", format!("n{attrs}")),
+            &normal_program,
+            |b, program| b.iter(|| Morphase::new().compile(program).expect("compiles")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("partial_with_constraints", format!("n{attrs}_k{partials}")),
+            &partial_program,
+            |b, program| b.iter(|| Morphase::new().compile(program).expect("compiles")),
+        );
+    }
+    group.finish();
+
+    // Print the paper-style summary row (ratio of compile times).
+    for &(attrs, partials) in &[(32usize, 8usize)] {
+        let normal_program = wide::normal_form_program(attrs);
+        let partial_program = wide::partial_program(attrs, partials, true);
+        let t0 = std::time::Instant::now();
+        for _ in 0..20 {
+            Morphase::new().compile(&normal_program).unwrap();
+        }
+        let normal_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        for _ in 0..20 {
+            Morphase::new().compile(&partial_program).unwrap();
+        }
+        let partial_time = t1.elapsed();
+        eprintln!(
+            "[E1] n={attrs} k={partials}: normal-form compile {normal_time:?}, \
+             partial+constraints compile {partial_time:?}, ratio {:.2}x (paper reports ~6x)",
+            partial_time.as_secs_f64() / normal_time.as_secs_f64().max(1e-9)
+        );
+    }
+}
+
+criterion_group!(benches, bench_compile_time);
+criterion_main!(benches);

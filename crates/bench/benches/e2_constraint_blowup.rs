@@ -1,0 +1,75 @@
+//! Experiment E2 — normalisation without constraints is exponential.
+//!
+//! Paper claim (Section 6): "If constraints were omitted the time taken to
+//! normalize a program, and the size of the resulting normal-form program,
+//! could be exponential in the size of the original program." The workload is
+//! W(n, k) with the key constraint either present (normal form has k clauses)
+//! or omitted (the normaliser must consider every combination of the k partial
+//! clauses: 2^k - 1 clauses).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wol_engine::{normalize, NormalizeOptions};
+use workloads::wide;
+
+fn bench_constraint_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_constraint_blowup");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    let attrs = 24;
+    for &partials in &[2usize, 4, 6, 8, 10] {
+        let with_keys = wide::partial_program(attrs, partials, true);
+        let without_keys = wide::partial_program(attrs, partials, false);
+        group.bench_with_input(
+            BenchmarkId::new("with_key_constraints", partials),
+            &with_keys,
+            |b, program| {
+                b.iter(|| normalize(program, &NormalizeOptions::default()).expect("normalises"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("constraints_omitted", partials),
+            &without_keys,
+            |b, program| {
+                let options = NormalizeOptions {
+                    use_target_keys: false,
+                    ..NormalizeOptions::default()
+                };
+                b.iter(|| normalize(program, &options).expect("normalises"))
+            },
+        );
+    }
+    group.finish();
+
+    // Paper-style summary: normal-form size with and without constraints.
+    eprintln!("[E2] k_partial_clauses, clauses_with_keys, clauses_without_keys, size_with, size_without");
+    for &partials in &[2usize, 4, 6, 8, 10] {
+        let with_keys = normalize(
+            &wide::partial_program(attrs, partials, true),
+            &NormalizeOptions::default(),
+        )
+        .unwrap();
+        let without_keys = normalize(
+            &wide::partial_program(attrs, partials, false),
+            &NormalizeOptions {
+                use_target_keys: false,
+                ..NormalizeOptions::default()
+            },
+        )
+        .unwrap();
+        eprintln!(
+            "[E2] {partials}, {}, {}, {}, {}",
+            with_keys.len(),
+            without_keys.len(),
+            with_keys.size(),
+            without_keys.size()
+        );
+    }
+}
+
+criterion_group!(benches, bench_constraint_blowup);
+criterion_main!(benches);

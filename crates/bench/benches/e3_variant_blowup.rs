@@ -1,0 +1,52 @@
+//! Experiment E3 — partial clauses vs complete clauses under variants.
+//!
+//! Paper claim (Sections 3.2–3.3): complete-clause languages (Datalog/ILOG)
+//! need a number of clauses exponential in the number of variants, while WOL's
+//! partial clauses stay linear. The workload is the variant family V(k); both
+//! systems compute the same target, and the bench compares program sizes and
+//! end-to-end (compile + run) time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datalog_baseline::{evaluate, variant_baseline_program, variant_facts};
+use wol_engine::{execute, normalize, NormalizeOptions};
+use workloads::variants;
+
+fn bench_variant_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_variant_blowup");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    let items = 200;
+    for &k in &[2usize, 4, 6, 8] {
+        let source = variants::generate_source(k, items, 7);
+        let wol_program = variants::wol_program(k);
+        group.bench_with_input(BenchmarkId::new("wol_partial_clauses", k), &k, |b, _| {
+            b.iter(|| {
+                let normal = normalize(&wol_program, &NormalizeOptions::default()).expect("normalises");
+                execute(&normal, &[&source][..], "target").expect("executes")
+            })
+        });
+        let baseline = variant_baseline_program(k);
+        let facts = variant_facts(&source, k);
+        group.bench_with_input(BenchmarkId::new("datalog_complete_clauses", k), &k, |b, _| {
+            b.iter(|| evaluate(&baseline.program, &facts))
+        });
+    }
+    group.finish();
+
+    eprintln!("[E3] k, wol_clauses, datalog_rules");
+    for &k in &[2usize, 4, 6, 8, 10] {
+        eprintln!(
+            "[E3] {k}, {}, {}",
+            variants::wol_program(k).clauses.len(),
+            variant_baseline_program(k).rule_count()
+        );
+    }
+}
+
+criterion_group!(benches, bench_variant_blowup);
+criterion_main!(benches);

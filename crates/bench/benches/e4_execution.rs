@@ -1,0 +1,67 @@
+//! Experiment E4 — single-pass execution of normal-form programs vs direct
+//! (recursive, multi-pass) clause application.
+//!
+//! Paper claim (Section 5): "Implementing a transformation directly using
+//! clauses such as (T1), (T2) and (T3) would be inefficient ... we would have
+//! to apply the clauses recursively"; normal-form programs run "in a single
+//! pass over the source databases". The workload is the Cities/Countries
+//! integration scaled by the number of source cities.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morphase::Morphase;
+use wol_engine::naive_transform;
+use workloads::cities::{generate_euro, CitiesWorkload};
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_execution");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    let workload = CitiesWorkload::new();
+    let program = workload.euro_program();
+
+    for &countries in &[10usize, 30, 100] {
+        let cities_per_country = 10;
+        let source = generate_euro(countries, cities_per_country, 42);
+        let total_cities = countries * cities_per_country;
+
+        // Morphase: compile once, then single-pass CPL execution.
+        let compiled = Morphase::new();
+        group.bench_with_input(
+            BenchmarkId::new("morphase_single_pass", total_cities),
+            &source,
+            |b, source| {
+                b.iter(|| compiled.transform(&program, &[source][..]).expect("transforms"))
+            },
+        );
+
+        // Naive: repeated clause application against sources + target.
+        group.bench_with_input(
+            BenchmarkId::new("naive_multi_pass", total_cities),
+            &source,
+            |b, source| b.iter(|| naive_transform(&program, &[source][..], "target").expect("transforms")),
+        );
+    }
+    group.finish();
+
+    // Paper-style summary at a fixed size.
+    let source = generate_euro(30, 10, 42);
+    let t0 = std::time::Instant::now();
+    Morphase::new().transform(&program, &[&source][..]).unwrap();
+    let single = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    naive_transform(&program, &[&source][..], "target").unwrap();
+    let naive = t1.elapsed();
+    eprintln!(
+        "[E4] 300 source cities: Morphase single pass {single:?}, naive multi-pass {naive:?}, \
+         speed-up {:.1}x",
+        naive.as_secs_f64() / single.as_secs_f64().max(1e-9)
+    );
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Experiment E5 — optimising derived clauses with source constraints.
+//!
+//! Paper claim (Section 4.2, Example 4.1): using the key constraint on
+//! `CountryE.name`, the derived clause that joins `CountryE` with itself can
+//! be simplified to a single scan, which "is simpler and more efficient to
+//! evaluate". The workload is the split (T4)/(T5) description of `CountryT`
+//! over a growing `CountryE` extent, normalised with and without
+//! source-constraint optimisation and then executed.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wol_engine::{execute, normalize, NormalizeOptions};
+use wol_lang::program::{Program, SchemaBinding};
+use workloads::cities::{generate_euro, CitiesWorkload};
+
+/// The Example 4.1 program: the CountryT description split over two clauses,
+/// with the derived self-join made explicit in a single clause.
+fn example_4_1_program(workload: &CitiesWorkload) -> Program {
+    Program::new(
+        "example_4_1",
+        vec![SchemaBinding::keyed(workload.euro_schema.clone(), workload.euro_keys.clone())],
+        SchemaBinding::keyed(workload.target_schema.clone(), workload.target_keys.clone()),
+    )
+    .with_text(
+        "T: X in CountryT, X.name = N, X.language = L, X.currency = C \
+             <= Y in CountryE, Y.name = N, Y.language = L, Z in CountryE, Z.name = N, Z.currency = C;\n\
+         C3: Y = Mk_CountryT(N) <= Y in CountryT, N = Y.name;\n\
+         C8: X = Y <= X in CountryE, Y in CountryE, X.name = Y.name;",
+    )
+}
+
+fn bench_source_constraint_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_source_constraint_opt");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    let workload = CitiesWorkload::new();
+    let program = example_4_1_program(&workload);
+    let optimised = normalize(&program, &NormalizeOptions::default()).unwrap();
+    let unoptimised = normalize(
+        &program,
+        &NormalizeOptions {
+            use_source_constraints: false,
+            ..NormalizeOptions::default()
+        },
+    )
+    .unwrap();
+
+    for &countries in &[50usize, 200, 500] {
+        let source = generate_euro(countries, 1, 3);
+        group.bench_with_input(
+            BenchmarkId::new("with_source_key", countries),
+            &source,
+            |b, source| b.iter(|| execute(&optimised, &[source][..], "t").expect("executes")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("without_source_key", countries),
+            &source,
+            |b, source| b.iter(|| execute(&unoptimised, &[source][..], "t").expect("executes")),
+        );
+    }
+    group.finish();
+
+    eprintln!(
+        "[E5] derived clause size with source key: {}, without: {} (smaller is better)",
+        optimised.size(),
+        unoptimised.size()
+    );
+}
+
+criterion_group!(benches, bench_source_constraint_opt);
+criterion_main!(benches);

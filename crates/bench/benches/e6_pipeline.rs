@@ -1,0 +1,50 @@
+//! Experiment E6 — the Morphase pipeline (Figure 6) stage by stage.
+//!
+//! The paper evaluates Morphase "in terms of ease of use, compilation time,
+//! and size and complexity of the resulting normal form program" and notes
+//! that many constraints are generated automatically from meta-data. This
+//! bench times the full pipeline on the Cities and genome-style workloads and
+//! prints the per-stage breakdown plus the auto-generated clause counts.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morphase::{render_report, Morphase};
+use workloads::cities::{generate_euro, CitiesWorkload};
+use workloads::genome::{self, GenomeParams};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pipeline");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    let workload = CitiesWorkload::new();
+    let cities_program = workload.euro_program();
+    let cities_source = generate_euro(50, 5, 9);
+    group.bench_function(BenchmarkId::new("cities", "50x5"), |b| {
+        b.iter(|| Morphase::new().transform(&cities_program, &[&cities_source][..]).expect("runs"))
+    });
+
+    let genome_program = genome::program();
+    let genome_source = genome::generate_source(&GenomeParams {
+        clones: 100,
+        markers: 300,
+        density: 0.6,
+        seed: 22,
+    });
+    group.bench_function(BenchmarkId::new("genome", "100c_300m"), |b| {
+        b.iter(|| Morphase::new().transform(&genome_program, &[&genome_source][..]).expect("runs"))
+    });
+    group.finish();
+
+    // Per-stage report (Figure 6 stages) for the genome run.
+    let run = Morphase::new().transform(&genome_program, &[&genome_source][..]).unwrap();
+    eprintln!("[E6] genome warehouse load:\n{}", render_report(&run));
+    let run = Morphase::new().transform(&cities_program, &[&cities_source][..]).unwrap();
+    eprintln!("[E6] cities integration:\n{}", render_report(&run));
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

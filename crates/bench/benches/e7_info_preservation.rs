@@ -1,0 +1,99 @@
+//! Experiment E7 — information preservation under constraints (Example 4.2).
+//!
+//! Paper claim (Section 4.3): the Person → Male/Female/Marriage schema
+//! evolution "is not information preserving" in general, but "is information
+//! preserving on those instances of the first schema that satisfy" the spouse
+//! constraints (C9)–(C11). The bench measures the cost of the empirical
+//! injectivity check and of constraint checking as the instance family grows,
+//! and prints the collision counts with and without constraint filtering.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wol_engine::{check_injective, execute, normalize, NormalizeOptions};
+use wol_model::{ClassName, Instance, Oid, Value};
+use workloads::people::{generate_couples, PeopleWorkload};
+
+/// Make the spouse attribute of the i-th wife point at herself, producing an
+/// instance that violates (C11) but maps to the same target.
+fn break_symmetry(mut instance: Instance, couple: usize) -> Instance {
+    let class = ClassName::new("Person");
+    let wife = Oid::new(class, (couple * 2 + 1) as u64);
+    let mut value = instance.value(&wife).expect("wife exists").clone();
+    if let Value::Record(ref mut fields) = value {
+        fields.insert("spouse".into(), Value::oid(wife.clone()));
+    }
+    instance.update(&wife, value).expect("update succeeds");
+    instance
+}
+
+fn bench_info_preservation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_info_preservation");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    let workload = PeopleWorkload::new();
+    let program = workload.program();
+    let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
+    let transform = |source: &Instance| {
+        execute(&normal, &[source][..], "people_v2").map_err(wol_engine::EngineError::from)
+    };
+
+    for &couples in &[5usize, 20, 50] {
+        // A family of valid instances plus their symmetry-broken twins.
+        let mut family = Vec::new();
+        for seed in 0..4u64 {
+            let valid = generate_couples(couples, seed);
+            family.push(break_symmetry(valid.clone(), 0));
+            family.push(valid);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("injectivity_check", couples),
+            &family,
+            |b, family| b.iter(|| check_injective(family, &transform, 3).expect("checks")),
+        );
+        let constraints = workload.constraints();
+        let clause_refs: Vec<&wol_lang::Clause> = constraints.iter().collect();
+        group.bench_with_input(
+            BenchmarkId::new("constraint_filtering", couples),
+            &family,
+            |b, family| {
+                b.iter(|| {
+                    wol_engine::info_preserve::satisfying_instances(family, &clause_refs)
+                        .expect("filters")
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Paper-style summary.
+    let couples = 10;
+    let valid = generate_couples(couples, 1);
+    let broken = break_symmetry(valid.clone(), 0);
+    let family = vec![valid, broken];
+    let unfiltered = check_injective(&family, &transform, 3).unwrap();
+    let constraints = PeopleWorkload::new().constraints();
+    let clause_refs: Vec<&wol_lang::Clause> = constraints.iter().collect();
+    let satisfying: Vec<Instance> =
+        wol_engine::info_preserve::satisfying_instances(&family, &clause_refs)
+            .unwrap()
+            .into_iter()
+            .cloned()
+            .collect();
+    let filtered = check_injective(&satisfying, &transform, 3).unwrap();
+    eprintln!(
+        "[E7] without constraints: {} collisions over {} instances; \
+         with constraints (C9)-(C11): {} collisions over {} instances",
+        unfiltered.collisions.len(),
+        unfiltered.sources,
+        filtered.collisions.len(),
+        filtered.sources
+    );
+}
+
+criterion_group!(benches, bench_info_preservation);
+criterion_main!(benches);

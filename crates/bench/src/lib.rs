@@ -1,0 +1,15 @@
+//! Shared configuration for the benchmark harness.
+//!
+//! Every bench uses a reduced sample count so that the full suite regenerating
+//! the paper's evaluation claims (experiments E1-E7, see EXPERIMENTS.md) runs
+//! in minutes rather than hours. The absolute numbers are not expected to
+//! match the 1997 hardware; the *shape* of each comparison is.
+
+/// Criterion sample size used by all benches.
+pub const SAMPLES: usize = 10;
+
+/// Criterion measurement time (seconds) used by all benches.
+pub const MEASURE_SECS: u64 = 2;
+
+/// Criterion warm-up time (milliseconds) used by all benches.
+pub const WARMUP_MS: u64 = 300;

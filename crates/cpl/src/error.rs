@@ -1,0 +1,52 @@
+//! Errors raised by the CPL substrate.
+
+use std::fmt;
+
+/// Errors from expression evaluation or plan execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CplError {
+    /// A row variable referenced by an expression is not present in the row.
+    UnknownVariable(String),
+    /// A projection or operation was applied to a value of the wrong shape.
+    BadValue(String),
+    /// An insert produced conflicting values for the same object.
+    ConflictingInsert(String),
+    /// A plan is malformed (e.g. a hash join whose key expressions reference
+    /// variables the corresponding side does not produce).
+    BadPlan(String),
+    /// An error bubbled up from the data model.
+    Model(String),
+}
+
+impl fmt::Display for CplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CplError::UnknownVariable(v) => write!(f, "unknown row variable `{v}`"),
+            CplError::BadValue(m) => write!(f, "bad value: {m}"),
+            CplError::ConflictingInsert(m) => write!(f, "conflicting insert: {m}"),
+            CplError::BadPlan(m) => write!(f, "bad plan: {m}"),
+            CplError::Model(m) => write!(f, "data model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CplError {}
+
+impl From<wol_model::ModelError> for CplError {
+    fn from(e: wol_model::ModelError) -> Self {
+        CplError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CplError::UnknownVariable("x".into()).to_string().contains("x"));
+        assert!(CplError::BadPlan("p".into()).to_string().contains("bad plan"));
+        let e: CplError = wol_model::ModelError::Invalid("m".into()).into();
+        assert!(matches!(e, CplError::Model(_)));
+    }
+}

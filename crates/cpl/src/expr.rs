@@ -1,0 +1,347 @@
+//! Row expressions over complex values.
+//!
+//! An expression is evaluated against a *row* (a binding of row variables to
+//! values), a set of source instances (for dereferencing object identities),
+//! and a Skolem factory (for `Mk_C` object creation).
+
+use std::collections::BTreeMap;
+
+use wol_model::{ClassName, Instance, Label, Oid, SkolemFactory, Value};
+
+use crate::error::CplError;
+use crate::Result;
+
+/// A row: named values produced by a plan operator.
+pub type Row = BTreeMap<String, Value>;
+
+/// A complex-value expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A row variable.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+    /// Project an attribute, dereferencing object identities through the
+    /// source instances when necessary.
+    Proj(Box<Expr>, Label),
+    /// Build a record.
+    Record(Vec<(Label, Expr)>),
+    /// Build a variant value.
+    Variant(Label, Box<Expr>),
+    /// Create (or look up) the object identity of `class` keyed by the value
+    /// of the argument expression.
+    Skolem(ClassName, Box<Expr>),
+    /// Equality of two values.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality.
+    Neq(Box<Expr>, Box<Expr>),
+    /// Numeric / string less-than.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Numeric / string less-than-or-equal.
+    Leq(Box<Expr>, Box<Expr>),
+    /// Boolean conjunction.
+    And(Vec<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// A row variable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// A constant.
+    pub fn constant(value: impl Into<Value>) -> Expr {
+        Expr::Const(value.into())
+    }
+
+    /// Project an attribute from this expression.
+    pub fn proj(self, label: impl Into<Label>) -> Expr {
+        Expr::Proj(Box::new(self), label.into())
+    }
+
+    /// Project a dotted attribute path.
+    pub fn path(self, dotted: &str) -> Expr {
+        dotted.split('.').fold(self, |e, seg| e.proj(seg))
+    }
+
+    /// Equality test.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of several predicates (true when empty).
+    pub fn and(exprs: Vec<Expr>) -> Expr {
+        Expr::And(exprs)
+    }
+
+    /// The row variables referenced by this expression.
+    pub fn variables(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Const(_) => {}
+            Expr::Proj(e, _) | Expr::Variant(_, e) | Expr::Skolem(_, e) | Expr::Not(e) => {
+                e.variables(out)
+            }
+            Expr::Record(fields) => fields.iter().for_each(|(_, e)| e.variables(out)),
+            Expr::Eq(a, b) | Expr::Neq(a, b) | Expr::Lt(a, b) | Expr::Leq(a, b) => {
+                a.variables(out);
+                b.variables(out);
+            }
+            Expr::And(es) => es.iter().for_each(|e| e.variables(out)),
+        }
+    }
+
+    /// The row variables referenced, as a set.
+    pub fn var_set(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.variables(&mut out);
+        out
+    }
+}
+
+/// The evaluation context: the source instances (searched in order when
+/// dereferencing object identities) and the Skolem factory.
+pub struct EvalCtx<'a> {
+    sources: Vec<&'a Instance>,
+    /// Skolem factory shared across the whole query so identities are stable.
+    pub factory: SkolemFactory,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Create a context over the given source instances.
+    pub fn new(sources: &[&'a Instance]) -> Self {
+        EvalCtx {
+            sources: sources.to_vec(),
+            factory: SkolemFactory::new(),
+        }
+    }
+
+    /// Look up the value of an object identity in the sources.
+    pub fn deref(&self, oid: &Oid) -> Option<&'a Value> {
+        self.sources.iter().find_map(|i| i.value(oid))
+    }
+
+    /// The instances visible to this context.
+    pub fn sources(&self) -> &[&'a Instance] {
+        &self.sources
+    }
+}
+
+/// Evaluate an expression against a row.
+pub fn eval(expr: &Expr, row: &Row, ctx: &mut EvalCtx<'_>) -> Result<Value> {
+    match expr {
+        Expr::Var(v) => row
+            .get(v)
+            .cloned()
+            .ok_or_else(|| CplError::UnknownVariable(v.clone())),
+        Expr::Const(value) => Ok(value.clone()),
+        Expr::Proj(base, label) => {
+            let base_value = eval(base, row, ctx)?;
+            let record = match &base_value {
+                Value::Oid(oid) => ctx
+                    .deref(oid)
+                    .cloned()
+                    .ok_or_else(|| CplError::BadValue(format!("dangling object identity {oid}")))?,
+                other => other.clone(),
+            };
+            record.project(label).cloned().ok_or_else(|| {
+                CplError::BadValue(format!(
+                    "value of kind `{}` has no attribute `{label}`",
+                    record.kind()
+                ))
+            })
+        }
+        Expr::Record(fields) => {
+            let mut out = BTreeMap::new();
+            for (label, sub) in fields {
+                out.insert(label.clone(), eval(sub, row, ctx)?);
+            }
+            Ok(Value::Record(out))
+        }
+        Expr::Variant(label, payload) => {
+            Ok(Value::Variant(label.clone(), Box::new(eval(payload, row, ctx)?)))
+        }
+        Expr::Skolem(class, key) => {
+            let key_value = eval(key, row, ctx)?;
+            Ok(Value::Oid(ctx.factory.mk(class, &key_value)))
+        }
+        Expr::Eq(a, b) => Ok(Value::Bool(eval(a, row, ctx)? == eval(b, row, ctx)?)),
+        Expr::Neq(a, b) => Ok(Value::Bool(eval(a, row, ctx)? != eval(b, row, ctx)?)),
+        Expr::Lt(a, b) => compare(&eval(a, row, ctx)?, &eval(b, row, ctx)?)
+            .map(|o| Value::Bool(o == std::cmp::Ordering::Less)),
+        Expr::Leq(a, b) => compare(&eval(a, row, ctx)?, &eval(b, row, ctx)?)
+            .map(|o| Value::Bool(o != std::cmp::Ordering::Greater)),
+        Expr::And(es) => {
+            for e in es {
+                if !truthy(&eval(e, row, ctx)?)? {
+                    return Ok(Value::Bool(false));
+                }
+            }
+            Ok(Value::Bool(true))
+        }
+        Expr::Not(e) => Ok(Value::Bool(!truthy(&eval(e, row, ctx)?)?)),
+    }
+}
+
+/// Evaluate a predicate expression to a boolean. Evaluation errors caused by
+/// missing optional attributes count as `false` (the row simply does not
+/// satisfy the predicate), mirroring the clause-matching semantics.
+pub fn eval_predicate(expr: &Expr, row: &Row, ctx: &mut EvalCtx<'_>) -> Result<bool> {
+    match eval(expr, row, ctx) {
+        Ok(value) => truthy(&value),
+        Err(CplError::BadValue(_)) => Ok(false),
+        Err(other) => Err(other),
+    }
+}
+
+fn truthy(value: &Value) -> Result<bool> {
+    match value {
+        Value::Bool(b) => Ok(*b),
+        other => Err(CplError::BadValue(format!(
+            "expected a boolean predicate value, found `{}`",
+            other.kind()
+        ))),
+    }
+}
+
+fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
+        (Value::Real(x), Value::Real(y)) => Ok(x.cmp(y)),
+        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
+        (Value::Int(x), Value::Real(y)) => Ok(wol_model::RealVal(*x as f64).cmp(y)),
+        (Value::Real(x), Value::Int(y)) => Ok(x.cmp(&wol_model::RealVal(*y as f64))),
+        _ => Err(CplError::BadValue(format!(
+            "cannot compare values of kinds `{}` and `{}`",
+            a.kind(),
+            b.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Instance, Oid, Oid) {
+        let mut inst = Instance::new("euro");
+        let fr = inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([("name", Value::str("France")), ("currency", Value::str("franc"))]),
+        );
+        let paris = inst.insert_fresh(
+            &ClassName::new("CityE"),
+            Value::record([
+                ("name", Value::str("Paris")),
+                ("is_capital", Value::bool(true)),
+                ("country", Value::oid(fr.clone())),
+            ]),
+        );
+        (inst, fr, paris)
+    }
+
+    #[test]
+    fn eval_projection_through_oid() {
+        let (inst, _, paris) = sample();
+        let refs = [&inst];
+        let mut ctx = EvalCtx::new(&refs);
+        let row = Row::from([("E".to_string(), Value::oid(paris))]);
+        let expr = Expr::var("E").path("country.name");
+        assert_eq!(eval(&expr, &row, &mut ctx).unwrap(), Value::str("France"));
+    }
+
+    #[test]
+    fn eval_record_variant_skolem() {
+        let (inst, _, _) = sample();
+        let refs = [&inst];
+        let mut ctx = EvalCtx::new(&refs);
+        let row = Row::from([("N".to_string(), Value::str("France"))]);
+        let expr = Expr::Record(vec![
+            ("name".to_string(), Expr::var("N")),
+            ("kind".to_string(), Expr::Variant("euro".to_string(), Box::new(Expr::Const(Value::Unit)))),
+        ]);
+        let value = eval(&expr, &row, &mut ctx).unwrap();
+        assert_eq!(value.project("kind"), Some(&Value::tag("euro")));
+
+        let sk = Expr::Skolem(ClassName::new("CountryT"), Box::new(Expr::var("N")));
+        let a = eval(&sk, &row, &mut ctx).unwrap();
+        let b = eval(&sk, &row, &mut ctx).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predicates_and_comparisons() {
+        let (inst, _, paris) = sample();
+        let refs = [&inst];
+        let mut ctx = EvalCtx::new(&refs);
+        let row = Row::from([
+            ("E".to_string(), Value::oid(paris)),
+            ("N".to_string(), Value::int(3)),
+        ]);
+        let p = Expr::var("E").proj("is_capital");
+        assert!(eval_predicate(&p, &row, &mut ctx).unwrap());
+        let cmp = Expr::Lt(Box::new(Expr::var("N")), Box::new(Expr::Const(Value::int(5))));
+        assert!(eval_predicate(&cmp, &row, &mut ctx).unwrap());
+        let leq = Expr::Leq(Box::new(Expr::var("N")), Box::new(Expr::Const(Value::int(3))));
+        assert!(eval_predicate(&leq, &row, &mut ctx).unwrap());
+        let and = Expr::and(vec![p, cmp, leq]);
+        assert!(eval_predicate(&and, &row, &mut ctx).unwrap());
+        let not = Expr::Not(Box::new(Expr::Eq(
+            Box::new(Expr::var("N")),
+            Box::new(Expr::Const(Value::int(4))),
+        )));
+        assert!(eval_predicate(&not, &row, &mut ctx).unwrap());
+        let neq = Expr::Neq(Box::new(Expr::var("N")), Box::new(Expr::Const(Value::int(4))));
+        assert!(eval_predicate(&neq, &row, &mut ctx).unwrap());
+    }
+
+    #[test]
+    fn missing_attribute_is_false_in_predicates_but_error_in_eval() {
+        let (inst, fr, _) = sample();
+        let refs = [&inst];
+        let mut ctx = EvalCtx::new(&refs);
+        let row = Row::from([("C".to_string(), Value::oid(fr))]);
+        let expr = Expr::var("C").proj("population").eq(Expr::Const(Value::int(1)));
+        assert!(!eval_predicate(&expr, &row, &mut ctx).unwrap());
+        assert!(matches!(
+            eval(&Expr::var("C").proj("population"), &row, &mut ctx),
+            Err(CplError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_variable_reported() {
+        let (inst, _, _) = sample();
+        let refs = [&inst];
+        let mut ctx = EvalCtx::new(&refs);
+        assert!(matches!(
+            eval(&Expr::var("missing"), &Row::new(), &mut ctx),
+            Err(CplError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn var_set_collects_variables() {
+        let expr = Expr::and(vec![
+            Expr::var("A").proj("x").eq(Expr::var("B").proj("y")),
+            Expr::Skolem(ClassName::new("C"), Box::new(Expr::var("K"))).eq(Expr::var("A")),
+        ]);
+        let vars = expr.var_set();
+        assert_eq!(vars.len(), 3);
+        assert!(vars.contains("A") && vars.contains("B") && vars.contains("K"));
+    }
+
+    #[test]
+    fn non_boolean_predicate_rejected() {
+        let (inst, fr, _) = sample();
+        let refs = [&inst];
+        let mut ctx = EvalCtx::new(&refs);
+        let row = Row::from([("C".to_string(), Value::oid(fr))]);
+        let expr = Expr::var("C").proj("name");
+        assert!(eval_predicate(&expr, &row, &mut ctx).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # cpl
+//!
+//! A small complex-value query engine standing in for **CPL / Kleisli**, the
+//! "database programming language for complex values developed at the
+//! University of Pennsylvania" that Morphase compiles normal-form WOL programs
+//! into (Section 5 of the paper). The real CPL is a closed research prototype;
+//! this crate implements the fragment Morphase needs:
+//!
+//! * row expressions over complex values ([`expr::Expr`]): projection through
+//!   object identities, record/variant construction, Skolem object creation,
+//!   comparisons and boolean connectives;
+//! * a physical algebra ([`plan::Plan`]): class scans, filters, binding maps,
+//!   nested-loop and hash joins, and distinct;
+//! * a single-pass executor ([`exec`]) that runs a plan against a set of
+//!   source instances and applies *insert actions* to build the target
+//!   instance, merging partial inserts by Skolem key;
+//! * a small rule-based optimiser ([`optimizer`]): filter push-down and
+//!   upgrading equality nested-loop joins to hash joins;
+//! * execution statistics ([`exec::ExecStats`]) used by the benchmark harness.
+
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod optimizer;
+pub mod plan;
+
+pub use error::CplError;
+pub use exec::{execute_query, run_plan, ExecStats, Row};
+pub use expr::Expr;
+pub use optimizer::optimize;
+pub use plan::{InsertAction, Plan, Query};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CplError>;

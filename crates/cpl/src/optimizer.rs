@@ -1,0 +1,319 @@
+//! A small rule-based plan optimiser.
+//!
+//! The paper relies on "the Kleisli optimizer [rewriting] the CPL code to a
+//! more efficient form" (Section 6). This substitute implements the two
+//! rewrites that matter for the workloads in this repository:
+//!
+//! * **filter push-down**: a filter over a join is pushed to the side that
+//!   produces all of the predicate's variables;
+//! * **hash-join upgrade**: a nested-loop join whose predicate is a
+//!   conjunction containing an equality between one-side-only expressions is
+//!   replaced by a hash join on that equality (remaining conjuncts stay as a
+//!   residual filter).
+
+use crate::expr::Expr;
+use crate::plan::Plan;
+
+/// Optimise a plan by repeatedly applying the rewrite rules until they no
+/// longer change the plan.
+pub fn optimize(plan: Plan) -> Plan {
+    let mut current = plan;
+    for _ in 0..16 {
+        let next = rewrite(current.clone());
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn rewrite(plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let input = rewrite(*input);
+            push_filter(input, predicate)
+        }
+        Plan::Map { input, bindings } => Plan::Map {
+            input: Box::new(rewrite(*input)),
+            bindings,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(rewrite(*input)),
+        },
+        Plan::NestedLoopJoin { left, right, predicate } => {
+            let left = rewrite(*left);
+            let right = rewrite(*right);
+            match predicate {
+                Some(p) => upgrade_join(left, right, p),
+                None => Plan::NestedLoopJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    predicate: None,
+                },
+            }
+        }
+        Plan::HashJoin { left, right, left_key, right_key } => Plan::HashJoin {
+            left: Box::new(rewrite(*left)),
+            right: Box::new(rewrite(*right)),
+            left_key,
+            right_key,
+        },
+        scan @ Plan::Scan { .. } => scan,
+    }
+}
+
+/// Push a filter as close to the scans as possible.
+fn push_filter(input: Plan, predicate: Expr) -> Plan {
+    let needed = predicate.var_set();
+    match input {
+        Plan::NestedLoopJoin { left, right, predicate: join_pred } => {
+            let left_vars = left.produced_vars();
+            let right_vars = right.produced_vars();
+            if needed.iter().all(|v| left_vars.contains(v)) {
+                return Plan::NestedLoopJoin {
+                    left: Box::new(push_filter(*left, predicate)),
+                    right,
+                    predicate: join_pred,
+                };
+            }
+            if needed.iter().all(|v| right_vars.contains(v)) {
+                return Plan::NestedLoopJoin {
+                    left,
+                    right: Box::new(push_filter(*right, predicate)),
+                    predicate: join_pred,
+                };
+            }
+            // The predicate spans both sides: fold it into the join predicate
+            // and try to turn the result into a hash join.
+            let mut all = conjuncts(predicate);
+            if let Some(existing) = join_pred {
+                all.extend(conjuncts(existing));
+            }
+            let combined = conjunction(all).expect("at least one conjunct");
+            upgrade_join(*left, *right, combined)
+        }
+        Plan::HashJoin { left, right, left_key, right_key } => {
+            let left_vars = left.produced_vars();
+            let right_vars = right.produced_vars();
+            if needed.iter().all(|v| left_vars.contains(v)) {
+                return Plan::HashJoin {
+                    left: Box::new(push_filter(*left, predicate)),
+                    right,
+                    left_key,
+                    right_key,
+                };
+            }
+            if needed.iter().all(|v| right_vars.contains(v)) {
+                return Plan::HashJoin {
+                    left,
+                    right: Box::new(push_filter(*right, predicate)),
+                    left_key,
+                    right_key,
+                };
+            }
+            Plan::Filter {
+                input: Box::new(Plan::HashJoin { left, right, left_key, right_key }),
+                predicate,
+            }
+        }
+        other => Plan::Filter {
+            input: Box::new(other),
+            predicate,
+        },
+    }
+}
+
+/// Split a predicate into its conjuncts.
+fn conjuncts(expr: Expr) -> Vec<Expr> {
+    match expr {
+        Expr::And(es) => es.into_iter().flat_map(conjuncts).collect(),
+        other => vec![other],
+    }
+}
+
+/// Rebuild a conjunction (or `None` for the empty conjunction).
+fn conjunction(mut exprs: Vec<Expr>) -> Option<Expr> {
+    match exprs.len() {
+        0 => None,
+        1 => Some(exprs.remove(0)),
+        _ => Some(Expr::And(exprs)),
+    }
+}
+
+/// Turn a nested-loop join into a hash join when an equality conjunct splits
+/// cleanly across the two sides.
+fn upgrade_join(left: Plan, right: Plan, predicate: Expr) -> Plan {
+    let left_vars = left.produced_vars();
+    let right_vars = right.produced_vars();
+    let mut equality: Option<(Expr, Expr)> = None;
+    let mut residual = Vec::new();
+    for conjunct in conjuncts(predicate) {
+        if equality.is_none() {
+            if let Expr::Eq(a, b) = &conjunct {
+                let a_vars = a.var_set();
+                let b_vars = b.var_set();
+                let a_left = a_vars.iter().all(|v| left_vars.contains(v));
+                let a_right = a_vars.iter().all(|v| right_vars.contains(v));
+                let b_left = b_vars.iter().all(|v| left_vars.contains(v));
+                let b_right = b_vars.iter().all(|v| right_vars.contains(v));
+                if a_left && b_right && !a_vars.is_empty() && !b_vars.is_empty() {
+                    equality = Some(((**a).clone(), (**b).clone()));
+                    continue;
+                }
+                if a_right && b_left && !a_vars.is_empty() && !b_vars.is_empty() {
+                    equality = Some(((**b).clone(), (**a).clone()));
+                    continue;
+                }
+            }
+        }
+        residual.push(conjunct);
+    }
+    match equality {
+        Some((left_key, right_key)) => {
+            let join = Plan::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_key,
+                right_key,
+            };
+            match conjunction(residual) {
+                Some(residual_pred) => Plan::Filter {
+                    input: Box::new(join),
+                    predicate: residual_pred,
+                },
+                None => join,
+            }
+        }
+        None => Plan::NestedLoopJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            predicate: conjunction(residual),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_plan, ExecStats};
+    use crate::expr::EvalCtx;
+    use wol_model::{ClassName, Instance, Value};
+
+    fn instance() -> Instance {
+        let mut inst = Instance::new("euro");
+        let fr = inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([("name", Value::str("France")), ("language", Value::str("French"))]),
+        );
+        let de = inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([("name", Value::str("Germany")), ("language", Value::str("German"))]),
+        );
+        for (name, capital, c) in [("Paris", true, &fr), ("Lyon", false, &fr), ("Berlin", true, &de)] {
+            inst.insert_fresh(
+                &ClassName::new("CityE"),
+                Value::record([
+                    ("name", Value::str(name)),
+                    ("is_capital", Value::bool(capital)),
+                    ("country", Value::oid(c.clone())),
+                ]),
+            );
+        }
+        inst
+    }
+
+    #[test]
+    fn nested_loop_with_equality_becomes_hash_join() {
+        let plan = Plan::scan("CityE", "E").join(
+            Plan::scan("CountryE", "C"),
+            Some(Expr::var("E").path("country.name").eq(Expr::var("C").proj("name"))),
+        );
+        let optimised = optimize(plan);
+        assert!(matches!(optimised, Plan::HashJoin { .. }));
+    }
+
+    #[test]
+    fn residual_conjuncts_preserved_as_filter() {
+        let plan = Plan::scan("CityE", "E").join(
+            Plan::scan("CountryE", "C"),
+            Some(Expr::and(vec![
+                Expr::var("E").path("country.name").eq(Expr::var("C").proj("name")),
+                Expr::var("E").proj("is_capital"),
+            ])),
+        );
+        let optimised = optimize(plan);
+        // The capital test only needs E, so it is pushed below the join.
+        match &optimised {
+            Plan::HashJoin { left, .. } => {
+                assert!(matches!(**left, Plan::Filter { .. }));
+            }
+            other => panic!("expected a hash join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_pushed_below_join() {
+        let plan = Plan::scan("CityE", "E")
+            .join(Plan::scan("CountryE", "C"), None)
+            .filter(Expr::var("E").proj("is_capital"));
+        let optimised = optimize(plan);
+        match optimised {
+            Plan::NestedLoopJoin { left, .. } => assert!(matches!(*left, Plan::Filter { .. })),
+            other => panic!("expected join at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimised_plans_produce_the_same_rows() {
+        let inst = instance();
+        let refs = [&inst];
+        let original = Plan::scan("CityE", "E")
+            .join(
+                Plan::scan("CountryE", "C"),
+                Some(Expr::and(vec![
+                    Expr::var("E").path("country.name").eq(Expr::var("C").proj("name")),
+                    Expr::var("E").proj("is_capital"),
+                ])),
+            )
+            .map(vec![("N".to_string(), Expr::var("C").proj("language"))]);
+        let optimised = optimize(original.clone());
+        assert_ne!(original, optimised);
+        let mut ctx = EvalCtx::new(&refs);
+        let mut stats = ExecStats::default();
+        let mut a = run_plan(&original, &mut ctx, &mut stats).unwrap();
+        let mut ctx = EvalCtx::new(&refs);
+        let mut b = run_plan(&optimised, &mut ctx, &mut stats).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn join_without_usable_equality_stays_nested_loop() {
+        let plan = Plan::scan("CityE", "E").join(
+            Plan::scan("CountryE", "C"),
+            Some(Expr::var("E").proj("is_capital")),
+        );
+        let optimised = optimize(plan);
+        match optimised {
+            Plan::NestedLoopJoin { left, predicate, .. } => {
+                // The one-sided predicate is pushed down; no residual remains.
+                assert!(matches!(*left, Plan::Filter { .. }) || predicate.is_some());
+            }
+            other => panic!("expected nested loop join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let plan = Plan::scan("CityE", "E").join(
+            Plan::scan("CountryE", "C"),
+            Some(Expr::var("E").path("country.name").eq(Expr::var("C").proj("name"))),
+        );
+        let once = optimize(plan);
+        let twice = optimize(once.clone());
+        assert_eq!(once, twice);
+    }
+}

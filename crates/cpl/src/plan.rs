@@ -1,0 +1,238 @@
+//! The physical algebra.
+//!
+//! A [`Plan`] produces a stream of rows; a [`Query`] couples a plan with the
+//! *insert actions* that build target objects from each row. Queries are the
+//! unit Morphase compiles one normal-form WOL clause into.
+
+use wol_model::{ClassName, Label};
+
+use crate::expr::Expr;
+
+/// A relational-style plan over complex-value rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Plan {
+    /// Scan the extent of a class, binding each object identity to `var`.
+    Scan {
+        /// Class to scan.
+        class: ClassName,
+        /// Row variable receiving each object identity.
+        var: String,
+    },
+    /// Keep only rows satisfying the predicate.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// Extend each row with computed bindings.
+    Map {
+        /// Input plan.
+        input: Box<Plan>,
+        /// New row variables and their defining expressions.
+        bindings: Vec<(String, Expr)>,
+    },
+    /// Nested-loop join with an optional residual predicate.
+    NestedLoopJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join predicate (over the combined row); `None` means a product.
+        predicate: Option<Expr>,
+    },
+    /// Hash join on equality of two key expressions.
+    HashJoin {
+        /// Left input (build side).
+        left: Box<Plan>,
+        /// Right input (probe side).
+        right: Box<Plan>,
+        /// Key computed from left rows.
+        left_key: Expr,
+        /// Key computed from right rows.
+        right_key: Expr,
+    },
+    /// Remove duplicate rows.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+}
+
+impl Plan {
+    /// Scan helper.
+    pub fn scan(class: impl Into<ClassName>, var: impl Into<String>) -> Plan {
+        Plan::Scan {
+            class: class.into(),
+            var: var.into(),
+        }
+    }
+
+    /// Filter helper.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Map helper.
+    pub fn map(self, bindings: Vec<(String, Expr)>) -> Plan {
+        Plan::Map {
+            input: Box::new(self),
+            bindings,
+        }
+    }
+
+    /// Nested-loop join helper.
+    pub fn join(self, right: Plan, predicate: Option<Expr>) -> Plan {
+        Plan::NestedLoopJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            predicate,
+        }
+    }
+
+    /// Hash join helper.
+    pub fn hash_join(self, right: Plan, left_key: Expr, right_key: Expr) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_key,
+            right_key,
+        }
+    }
+
+    /// Distinct helper.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct { input: Box::new(self) }
+    }
+
+    /// The row variables this plan is guaranteed to produce.
+    pub fn produced_vars(&self) -> std::collections::BTreeSet<String> {
+        match self {
+            Plan::Scan { var, .. } => std::collections::BTreeSet::from([var.clone()]),
+            Plan::Filter { input, .. } | Plan::Distinct { input } => input.produced_vars(),
+            Plan::Map { input, bindings } => {
+                let mut vars = input.produced_vars();
+                vars.extend(bindings.iter().map(|(v, _)| v.clone()));
+                vars
+            }
+            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                let mut vars = left.produced_vars();
+                vars.extend(right.produced_vars());
+                vars
+            }
+        }
+    }
+
+    /// Number of operators in the plan (used in reports).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Plan::Scan { .. } => 1,
+            Plan::Filter { input, .. } | Plan::Map { input, .. } | Plan::Distinct { input } => {
+                1 + input.operator_count()
+            }
+            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                1 + left.operator_count() + right.operator_count()
+            }
+        }
+    }
+
+    /// Render the plan as an indented tree (for reports and debugging).
+    pub fn render(&self) -> String {
+        fn go(plan: &Plan, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match plan {
+                Plan::Scan { class, var } => out.push_str(&format!("{pad}Scan {class} as {var}\n")),
+                Plan::Filter { input, .. } => {
+                    out.push_str(&format!("{pad}Filter\n"));
+                    go(input, indent + 1, out);
+                }
+                Plan::Map { input, bindings } => {
+                    out.push_str(&format!(
+                        "{pad}Map [{}]\n",
+                        bindings.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>().join(", ")
+                    ));
+                    go(input, indent + 1, out);
+                }
+                Plan::NestedLoopJoin { left, right, .. } => {
+                    out.push_str(&format!("{pad}NestedLoopJoin\n"));
+                    go(left, indent + 1, out);
+                    go(right, indent + 1, out);
+                }
+                Plan::HashJoin { left, right, .. } => {
+                    out.push_str(&format!("{pad}HashJoin\n"));
+                    go(left, indent + 1, out);
+                    go(right, indent + 1, out);
+                }
+                Plan::Distinct { input } => {
+                    out.push_str(&format!("{pad}Distinct\n"));
+                    go(input, indent + 1, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        go(self, 0, &mut out);
+        out
+    }
+}
+
+/// An insert action: for each row of the plan, create (or merge into) the
+/// object of `class` identified by the value of `key`, setting the given
+/// attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InsertAction {
+    /// Target class.
+    pub class: ClassName,
+    /// Key expression; its value identifies the object (via the Skolem factory).
+    pub key: Expr,
+    /// Attribute expressions.
+    pub attrs: Vec<(Label, Expr)>,
+}
+
+/// A compiled query: a plan plus the insert actions applied to each row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Human-readable name (usually the originating clause label).
+    pub name: String,
+    /// The row-producing plan.
+    pub plan: Plan,
+    /// Insert actions applied per row.
+    pub inserts: Vec<InsertAction>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_produced_vars() {
+        let plan = Plan::scan("CountryE", "C")
+            .map(vec![("N".to_string(), Expr::var("C").proj("name"))])
+            .filter(Expr::var("C").proj("name").eq(Expr::Const("France".into())))
+            .distinct();
+        let vars = plan.produced_vars();
+        assert!(vars.contains("C"));
+        assert!(vars.contains("N"));
+        assert_eq!(plan.operator_count(), 4);
+    }
+
+    #[test]
+    fn join_produced_vars_and_render() {
+        let plan = Plan::scan("CityE", "E").hash_join(
+            Plan::scan("CountryE", "C"),
+            Expr::var("E").path("country.name"),
+            Expr::var("C").proj("name"),
+        );
+        let vars = plan.produced_vars();
+        assert!(vars.contains("E") && vars.contains("C"));
+        let rendered = plan.render();
+        assert!(rendered.contains("HashJoin"));
+        assert!(rendered.contains("Scan CityE as E"));
+
+        let nl = Plan::scan("A", "a").join(Plan::scan("B", "b"), None);
+        assert!(nl.render().contains("NestedLoopJoin"));
+        assert_eq!(nl.operator_count(), 3);
+    }
+}

@@ -1,0 +1,207 @@
+//! Rule language of the Datalog/ILOG baseline.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use wol_model::Value;
+
+/// A term of the baseline language: a variable, a constant, or an ILOG-style
+/// Skolem term creating an object identity from the argument values.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DatalogTerm {
+    /// A variable.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+    /// A Skolem function named `name` applied to argument terms.
+    Skolem(String, Vec<DatalogTerm>),
+}
+
+impl DatalogTerm {
+    /// Variable helper.
+    pub fn var(name: impl Into<String>) -> Self {
+        DatalogTerm::Var(name.into())
+    }
+
+    /// Constant helper.
+    pub fn constant(value: impl Into<Value>) -> Self {
+        DatalogTerm::Const(value.into())
+    }
+
+    /// Collect the variables of this term.
+    pub fn variables(&self, out: &mut BTreeSet<String>) {
+        match self {
+            DatalogTerm::Var(v) => {
+                out.insert(v.clone());
+            }
+            DatalogTerm::Const(_) => {}
+            DatalogTerm::Skolem(_, args) => args.iter().for_each(|a| a.variables(out)),
+        }
+    }
+}
+
+impl fmt::Display for DatalogTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogTerm::Var(v) => write!(f, "{v}"),
+            DatalogTerm::Const(c) => write!(f, "{}", wol_model::display::render_value(c)),
+            DatalogTerm::Skolem(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// An atom: a predicate applied to positional terms. The positional syntax is
+/// one of the paper's criticisms of Datalog-style languages for wide records
+/// ("a positional representation of attributes, making the syntax unsuitable
+/// for dealing with relations with lots of attributes").
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DatalogAtom {
+    /// Predicate (relation) name.
+    pub predicate: String,
+    /// Positional argument terms.
+    pub terms: Vec<DatalogTerm>,
+}
+
+impl DatalogAtom {
+    /// Build an atom.
+    pub fn new(predicate: impl Into<String>, terms: Vec<DatalogTerm>) -> Self {
+        DatalogAtom {
+            predicate: predicate.into(),
+            terms,
+        }
+    }
+
+    /// The variables of the atom.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.terms.iter().for_each(|t| t.variables(&mut out));
+        out
+    }
+}
+
+impl fmt::Display for DatalogAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A rule `head :- body`. The head must be completely determined by the body
+/// (every head variable occurs in the body), which is exactly the
+/// complete-clause restriction the paper contrasts WOL with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatalogRule {
+    /// Head atom.
+    pub head: DatalogAtom,
+    /// Body atoms.
+    pub body: Vec<DatalogAtom>,
+}
+
+impl DatalogRule {
+    /// Build a rule.
+    pub fn new(head: DatalogAtom, body: Vec<DatalogAtom>) -> Self {
+        DatalogRule { head, body }
+    }
+
+    /// Check range restriction: every head variable must occur in the body.
+    pub fn is_range_restricted(&self) -> bool {
+        let body_vars: BTreeSet<String> = self.body.iter().flat_map(|a| a.variables()).collect();
+        self.head.variables().iter().all(|v| body_vars.contains(v))
+    }
+}
+
+impl fmt::Display for DatalogRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A program: a set of rules.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DatalogProgram {
+    /// The rules.
+    pub rules: Vec<DatalogRule>,
+}
+
+impl DatalogProgram {
+    /// Build a program.
+    pub fn new(rules: Vec<DatalogRule>) -> Self {
+        DatalogProgram { rules }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Total number of atoms (a size metric comparable to WOL program stats).
+    pub fn atom_count(&self) -> usize {
+        self.rules.iter().map(|r| 1 + r.body.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_variables() {
+        let rule = DatalogRule::new(
+            DatalogAtom::new(
+                "obj",
+                vec![
+                    DatalogTerm::Skolem("mk_obj".to_string(), vec![DatalogTerm::var("N")]),
+                    DatalogTerm::var("N"),
+                    DatalogTerm::constant("yes"),
+                ],
+            ),
+            vec![DatalogAtom::new(
+                "src",
+                vec![DatalogTerm::var("N"), DatalogTerm::constant(true)],
+            )],
+        );
+        assert!(rule.is_range_restricted());
+        let rendered = rule.to_string();
+        assert!(rendered.contains("obj(mk_obj(N), N, \"yes\") :- src(N, True)."));
+        let program = DatalogProgram::new(vec![rule]);
+        assert_eq!(program.len(), 1);
+        assert!(!program.is_empty());
+        assert_eq!(program.atom_count(), 2);
+    }
+
+    #[test]
+    fn unrestricted_rule_detected() {
+        let rule = DatalogRule::new(
+            DatalogAtom::new("p", vec![DatalogTerm::var("X"), DatalogTerm::var("Y")]),
+            vec![DatalogAtom::new("q", vec![DatalogTerm::var("X")])],
+        );
+        assert!(!rule.is_range_restricted());
+    }
+}

@@ -1,0 +1,280 @@
+//! Translation of normal-form WOL clauses into CPL queries (Figure 6's
+//! "Translator to CPL").
+//!
+//! Each [`NormalClause`] becomes one [`cpl::Query`]: its body's class
+//! membership atoms become scans combined by joins, equality atoms become
+//! either binding maps (when they define a fresh variable) or filters, and the
+//! clause's key and attribute terms become the query's insert action. The
+//! resulting plan is handed to the CPL optimiser, which pushes filters down
+//! and upgrades equality joins to hash joins — the role the paper assigns to
+//! the Kleisli optimiser.
+
+use std::collections::BTreeSet;
+
+use cpl::plan::InsertAction;
+use cpl::{Expr, Plan, Query};
+use wol_engine::normalize::{NormalClause, NormalProgram};
+use wol_lang::ast::{Atom, SkolemArgs, Term};
+
+use crate::error::MorphaseError;
+use crate::Result;
+
+/// Translate a WOL term over body variables into a CPL row expression.
+pub fn translate_term(term: &Term) -> Expr {
+    match term {
+        Term::Var(v) => Expr::Var(v.clone()),
+        Term::Const(value) => Expr::Const(value.clone()),
+        Term::Proj(base, label) => Expr::Proj(Box::new(translate_term(base)), label.clone()),
+        Term::Record(fields) => Expr::Record(
+            fields
+                .iter()
+                .map(|(l, t)| (l.clone(), translate_term(t)))
+                .collect(),
+        ),
+        Term::Variant(label, payload) => {
+            Expr::Variant(label.clone(), Box::new(translate_term(payload)))
+        }
+        Term::Skolem(class, args) => Expr::Skolem(class.clone(), Box::new(translate_key(args))),
+    }
+}
+
+/// Translate Skolem arguments into the key expression whose value identifies
+/// the created object.
+pub fn translate_key(args: &SkolemArgs) -> Expr {
+    match args {
+        SkolemArgs::Positional(ts) if ts.len() == 1 => translate_term(&ts[0]),
+        SkolemArgs::Positional(ts) => Expr::Record(
+            ts.iter()
+                .enumerate()
+                .map(|(i, t)| (format!("_{i}"), translate_term(t)))
+                .collect(),
+        ),
+        SkolemArgs::Named(fields) => Expr::Record(
+            fields
+                .iter()
+                .map(|(l, t)| (l.clone(), translate_term(t)))
+                .collect(),
+        ),
+    }
+}
+
+fn translate_atom_predicate(atom: &Atom) -> Result<Expr> {
+    Ok(match atom {
+        Atom::Eq(s, t) => Expr::Eq(Box::new(translate_term(s)), Box::new(translate_term(t))),
+        Atom::Neq(s, t) => Expr::Neq(Box::new(translate_term(s)), Box::new(translate_term(t))),
+        Atom::Lt(s, t) => Expr::Lt(Box::new(translate_term(s)), Box::new(translate_term(t))),
+        Atom::Leq(s, t) => Expr::Leq(Box::new(translate_term(s)), Box::new(translate_term(t))),
+        Atom::Member(_, c) => {
+            return Err(MorphaseError::Compilation(format!(
+                "membership in `{c}` cannot appear as a filter predicate"
+            )))
+        }
+        Atom::InSet(_, _) => {
+            return Err(MorphaseError::Compilation(
+                "`member` atoms are not supported by the CPL translator".to_string(),
+            ))
+        }
+    })
+}
+
+/// Compile one normal clause into a CPL query.
+pub fn compile_clause(clause: &NormalClause, optimize_plan: bool) -> Result<Query> {
+    // 1. Scans for every membership atom.
+    let mut plan: Option<Plan> = None;
+    let mut produced: BTreeSet<String> = BTreeSet::new();
+    let mut rest: Vec<&Atom> = Vec::new();
+    for atom in &clause.body {
+        match atom {
+            Atom::Member(Term::Var(v), class) => {
+                let scan = Plan::scan(class.clone(), v.clone());
+                produced.insert(v.clone());
+                plan = Some(match plan {
+                    None => scan,
+                    Some(existing) => existing.join(scan, None),
+                });
+            }
+            Atom::Member(_, class) => {
+                return Err(MorphaseError::Compilation(format!(
+                    "membership of a non-variable term in `{class}` is not supported"
+                )))
+            }
+            other => rest.push(other),
+        }
+    }
+    let mut plan = plan.ok_or_else(|| {
+        MorphaseError::Compilation(format!(
+            "clause for `{}` has no source membership atoms",
+            clause.class
+        ))
+    })?;
+
+    // 2. Remaining atoms: binding maps (defining equations) or filters, in
+    //    dependency order.
+    let mut remaining: Vec<&Atom> = rest;
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut deferred: Vec<&Atom> = Vec::new();
+        for atom in remaining.drain(..) {
+            // A defining equation `V = t` (or `t = V`) with V fresh and t computable.
+            let defining = match atom {
+                Atom::Eq(Term::Var(v), t) if !produced.contains(v) && covered(t, &produced) => {
+                    Some((v.clone(), t))
+                }
+                Atom::Eq(t, Term::Var(v)) if !produced.contains(v) && covered(t, &produced) => {
+                    Some((v.clone(), t))
+                }
+                _ => None,
+            };
+            if let Some((var, term)) = defining {
+                plan = plan.map(vec![(var.clone(), translate_term(term))]);
+                produced.insert(var);
+                progressed = true;
+                continue;
+            }
+            // A filter whose variables are all available.
+            if atom.var_set().iter().all(|v| produced.contains(v)) {
+                plan = plan.filter(translate_atom_predicate(atom)?);
+                progressed = true;
+                continue;
+            }
+            deferred.push(atom);
+        }
+        if !progressed && !deferred.is_empty() {
+            return Err(MorphaseError::Compilation(format!(
+                "cannot order the body atoms of the clause for `{}`: {} atoms remain unplaced",
+                clause.class,
+                deferred.len()
+            )));
+        }
+        remaining = deferred;
+    }
+
+    if optimize_plan {
+        plan = cpl::optimize(plan);
+    }
+
+    // 3. The insert action.
+    let insert = InsertAction {
+        class: clause.class.clone(),
+        key: translate_key(&clause.key),
+        attrs: clause
+            .attrs
+            .iter()
+            .map(|(l, t)| (l.clone(), translate_term(t)))
+            .collect(),
+    };
+    Ok(Query {
+        name: clause.provenance.join("+"),
+        plan,
+        inserts: vec![insert],
+    })
+}
+
+fn covered(term: &Term, produced: &BTreeSet<String>) -> bool {
+    term.var_set().iter().all(|v| produced.contains(v))
+}
+
+/// Compile a whole normal-form program into CPL queries.
+pub fn compile_program(normal: &NormalProgram, optimize_plans: bool) -> Result<Vec<Query>> {
+    normal
+        .clauses
+        .iter()
+        .map(|c| compile_clause(c, optimize_plans))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpl::exec::{execute_query, ExecStats};
+    use cpl::expr::EvalCtx;
+    use wol_engine::{normalize, NormalizeOptions};
+    use wol_model::{ClassName, Instance, Value};
+    use workloads::cities::{generate_euro, CitiesWorkload};
+
+    #[test]
+    fn cities_program_compiles_and_runs_through_cpl() {
+        let w = CitiesWorkload::new();
+        let program = w.euro_program();
+        let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
+        let queries = compile_program(&normal, true).unwrap();
+        assert_eq!(queries.len(), normal.len());
+
+        let source = generate_euro(4, 3, 17);
+        let refs = [&source];
+        let mut ctx = EvalCtx::new(&refs);
+        let mut stats = ExecStats::default();
+        let mut target = Instance::new("target");
+        for query in &queries {
+            execute_query(query, &mut ctx, &mut target, &mut stats).unwrap();
+        }
+        assert_eq!(target.extent_size(&ClassName::new("CountryT")), 4);
+        assert_eq!(target.extent_size(&ClassName::new("CityT")), 12);
+        assert!(stats.rows_scanned > 0);
+
+        // The CPL path agrees with the engine's reference executor.
+        let reference = wol_engine::execute(&normal, &[&source][..], "target").unwrap();
+        assert_eq!(
+            reference.extent_size(&ClassName::new("CityT")),
+            target.extent_size(&ClassName::new("CityT"))
+        );
+        for (_, value) in target.objects(&ClassName::new("CountryT")) {
+            assert!(value.project("capital").is_some());
+        }
+    }
+
+    #[test]
+    fn optimised_plans_use_hash_joins_for_the_cities_join() {
+        let w = CitiesWorkload::new();
+        let program = w.euro_program();
+        let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
+        let optimised = compile_program(&normal, true).unwrap();
+        let unoptimised = compile_program(&normal, false).unwrap();
+        let rendered_opt: String = optimised.iter().map(|q| q.plan.render()).collect();
+        let rendered_raw: String = unoptimised.iter().map(|q| q.plan.render()).collect();
+        assert!(rendered_opt.contains("HashJoin"));
+        assert!(!rendered_raw.contains("HashJoin"));
+    }
+
+    #[test]
+    fn translate_key_styles() {
+        let single = SkolemArgs::Positional(vec![Term::var("N")]);
+        assert_eq!(translate_key(&single), Expr::Var("N".to_string()));
+        let multi = SkolemArgs::Positional(vec![Term::var("A"), Term::var("B")]);
+        assert!(matches!(translate_key(&multi), Expr::Record(fields) if fields.len() == 2));
+        let named = SkolemArgs::Named(vec![("name".to_string(), Term::var("N"))]);
+        assert!(matches!(translate_key(&named), Expr::Record(fields) if fields[0].0 == "name"));
+    }
+
+    #[test]
+    fn translate_term_shapes() {
+        let term = Term::variant("euro_city", Term::skolem("CountryT", [Term::var("N")]));
+        let expr = translate_term(&term);
+        match expr {
+            Expr::Variant(label, payload) => {
+                assert_eq!(label, "euro_city");
+                assert!(matches!(*payload, Expr::Skolem(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            translate_term(&Term::Const(Value::int(3))),
+            Expr::Const(Value::int(3))
+        );
+    }
+
+    #[test]
+    fn unsupported_member_atom_reported() {
+        use std::collections::BTreeMap;
+        let clause = NormalClause {
+            class: ClassName::new("Tgt"),
+            key: SkolemArgs::Positional(vec![Term::var("N")]),
+            attrs: BTreeMap::new(),
+            body: vec![Atom::InSet(Term::var("X"), Term::var("S")), Atom::Member(Term::var("S"), ClassName::new("Src"))],
+            creates: true,
+            provenance: vec!["t".to_string()],
+        };
+        let err = compile_clause(&clause, false).unwrap_err();
+        assert!(matches!(err, MorphaseError::Compilation(_)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Errors raised by the Morphase pipeline.
+
+use std::fmt;
+
+/// Errors from any stage of the Morphase pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MorphaseError {
+    /// The input program failed validation.
+    Language(String),
+    /// Normalisation failed (recursion, incompleteness, ...).
+    Engine(String),
+    /// Translation of a normal clause to CPL failed.
+    Compilation(String),
+    /// CPL execution failed.
+    Execution(String),
+    /// The produced target violates its schema, keys or constraints.
+    Verification(String),
+    /// An error bubbled up from the data model.
+    Model(String),
+}
+
+impl fmt::Display for MorphaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorphaseError::Language(m) => write!(f, "language error: {m}"),
+            MorphaseError::Engine(m) => write!(f, "engine error: {m}"),
+            MorphaseError::Compilation(m) => write!(f, "compilation error: {m}"),
+            MorphaseError::Execution(m) => write!(f, "execution error: {m}"),
+            MorphaseError::Verification(m) => write!(f, "verification error: {m}"),
+            MorphaseError::Model(m) => write!(f, "data model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MorphaseError {}
+
+impl From<wol_lang::LangError> for MorphaseError {
+    fn from(e: wol_lang::LangError) -> Self {
+        MorphaseError::Language(e.to_string())
+    }
+}
+
+impl From<wol_engine::EngineError> for MorphaseError {
+    fn from(e: wol_engine::EngineError) -> Self {
+        MorphaseError::Engine(e.to_string())
+    }
+}
+
+impl From<cpl::CplError> for MorphaseError {
+    fn from(e: cpl::CplError) -> Self {
+        MorphaseError::Execution(e.to_string())
+    }
+}
+
+impl From<wol_model::ModelError> for MorphaseError {
+    fn from(e: wol_model::ModelError) -> Self {
+        MorphaseError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(MorphaseError::Verification("v".into()).to_string().contains("verification"));
+        let e: MorphaseError = wol_lang::LangError::Invalid("x".into()).into();
+        assert!(matches!(e, MorphaseError::Language(_)));
+        let e: MorphaseError = wol_engine::EngineError::Invalid("x".into()).into();
+        assert!(matches!(e, MorphaseError::Engine(_)));
+        let e: MorphaseError = cpl::CplError::BadPlan("x".into()).into();
+        assert!(matches!(e, MorphaseError::Execution(_)));
+        let e: MorphaseError = wol_model::ModelError::Invalid("x".into()).into();
+        assert!(matches!(e, MorphaseError::Model(_)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # morphase
+//!
+//! The Morphase system (Section 5, Figure 6): "an enzyme (-ase) for morphing
+//! data". Morphase takes a WOL transformation program, source database
+//! instances and meta-data, and produces the target database:
+//!
+//! ```text
+//! WOL transformation program + meta-data
+//!        │  (metadata: auto-generate key constraints)          [metadata]
+//!        ▼
+//! Translator to snf                                             [wol_engine::snf]
+//!        ▼
+//! Normalization                                                 [wol_engine::normalize]
+//!        ▼
+//! Translator to CPL                                             [compile]
+//!        ▼
+//! CPL execution against the source DBs → target DB              [cpl]
+//!        ▼
+//! Verification of target constraints and keys                   [pipeline]
+//! ```
+//!
+//! The [`pipeline::Morphase`] driver runs these stages, timing each one and
+//! reporting program-size metrics — the quantities the paper's evaluation
+//! discusses (compile time of normalised vs non-normalised programs, size of
+//! the resulting normal-form program, effect of omitting constraints).
+
+pub mod compile;
+pub mod error;
+pub mod metadata;
+pub mod pipeline;
+pub mod report;
+
+pub use compile::compile_program;
+pub use error::MorphaseError;
+pub use metadata::generate_key_clauses;
+pub use pipeline::{Morphase, MorphaseRun, PipelineOptions, StageTimings};
+pub use report::render_report;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MorphaseError>;

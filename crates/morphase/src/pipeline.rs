@@ -1,0 +1,376 @@
+//! The Morphase pipeline driver (Figure 6).
+
+use std::time::{Duration, Instant};
+
+use cpl::exec::{execute_query, ExecStats};
+use cpl::expr::EvalCtx;
+use wol_engine::normalize::{NormalProgram, NormalizeOptions};
+use wol_engine::snf::{program_to_snf, snf_stats, SnfStats};
+use wol_lang::program::Program;
+use wol_model::Instance;
+
+use crate::compile::compile_program;
+use crate::metadata::{generate_key_clauses, generate_merge_key_clauses};
+use crate::Result;
+
+/// Options controlling a Morphase run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineOptions {
+    /// Use target key constraints during normalisation (turning this off
+    /// reproduces the "constraints omitted" configuration of Section 6).
+    pub use_target_keys: bool,
+    /// Use source constraints for clause simplification and pruning.
+    pub use_source_constraints: bool,
+    /// Auto-generate key constraint clauses from the schemas' key
+    /// specifications (Figure 6's meta-data input).
+    pub generate_metadata_constraints: bool,
+    /// Run the CPL plan optimiser on compiled plans.
+    pub optimize_plans: bool,
+    /// Validate the produced target against the target schema and keys.
+    pub verify_target: bool,
+    /// Check the source constraints against the source instances before
+    /// transforming.
+    pub check_source_constraints: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            use_target_keys: true,
+            use_source_constraints: true,
+            generate_metadata_constraints: true,
+            optimize_plans: true,
+            verify_target: true,
+            check_source_constraints: false,
+        }
+    }
+}
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Program validation (parsing is the caller's; this is type/range checks).
+    pub validate: Duration,
+    /// Meta-data constraint generation.
+    pub metadata: Duration,
+    /// Semi-normal-form rewriting.
+    pub snf: Duration,
+    /// Normalisation (unify/unfold, key resolution, optimisation).
+    pub normalize: Duration,
+    /// Translation to CPL.
+    pub compile: Duration,
+    /// CPL execution.
+    pub execute: Duration,
+    /// Target verification.
+    pub verify: Duration,
+}
+
+impl StageTimings {
+    /// Total compile-side time (everything before execution), the quantity the
+    /// paper reports as "the time taken to compile and normalize".
+    pub fn compile_time(&self) -> Duration {
+        self.validate + self.metadata + self.snf + self.normalize + self.compile
+    }
+
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.compile_time() + self.execute + self.verify
+    }
+}
+
+/// The result of a Morphase run.
+#[derive(Clone, Debug)]
+pub struct MorphaseRun {
+    /// The produced target instance.
+    pub target: Instance,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Statistics of the snf rewriting stage.
+    pub snf: SnfStats,
+    /// The normal-form program (for inspection and size metrics).
+    pub normal: NormalProgram,
+    /// Number of clauses in the input program (after meta-data generation).
+    pub input_clauses: usize,
+    /// Number of auto-generated constraint clauses.
+    pub generated_clauses: usize,
+    /// CPL execution statistics.
+    pub exec: ExecStats,
+    /// Rendered CPL plans, one per normal clause.
+    pub plans: Vec<String>,
+}
+
+/// The Morphase system: a configured pipeline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Morphase {
+    /// Pipeline options.
+    pub options: PipelineOptions,
+}
+
+impl Morphase {
+    /// A Morphase instance with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A Morphase instance with the given options.
+    pub fn with_options(options: PipelineOptions) -> Self {
+        Morphase { options }
+    }
+
+    /// Compile a program (validation, meta-data, snf, normalisation, CPL
+    /// translation) without executing it. Returns the run with an empty
+    /// target; useful for the compile-time experiments (E1, E2).
+    pub fn compile(&self, program: &Program) -> Result<MorphaseRun> {
+        self.run_inner(program, &[], false)
+    }
+
+    /// Run the full pipeline: compile the program and execute it against the
+    /// given source instances.
+    pub fn transform(&self, program: &Program, sources: &[&Instance]) -> Result<MorphaseRun> {
+        self.run_inner(program, sources, true)
+    }
+
+    fn run_inner(
+        &self,
+        program: &Program,
+        sources: &[&Instance],
+        execute: bool,
+    ) -> Result<MorphaseRun> {
+        let mut timings = StageTimings::default();
+        let options = self.options;
+
+        // Stage 0: meta-data constraint generation.
+        let start = Instant::now();
+        let mut augmented = program.clone();
+        let mut generated = 0usize;
+        if options.generate_metadata_constraints {
+            let key_clauses =
+                generate_key_clauses(&augmented.target.schema, &augmented.target.keys);
+            generated += key_clauses.len();
+            for clause in key_clauses {
+                augmented.add_clause(clause);
+            }
+            let source_bindings: Vec<(wol_model::Schema, wol_model::KeySpec)> = augmented
+                .sources
+                .iter()
+                .map(|b| (b.schema.clone(), b.keys.clone()))
+                .collect();
+            for (schema, keys) in source_bindings {
+                let merge_clauses = generate_merge_key_clauses(&schema, &keys);
+                generated += merge_clauses.len();
+                for clause in merge_clauses {
+                    augmented.add_clause(clause);
+                }
+            }
+        }
+        timings.metadata = start.elapsed();
+
+        // Stage 1: validation.
+        let start = Instant::now();
+        augmented.validate()?;
+        timings.validate = start.elapsed();
+
+        // Stage 1b: source constraint checking (optional).
+        if options.check_source_constraints && !sources.is_empty() {
+            let constraints: Vec<&wol_lang::Clause> = augmented
+                .source_constraints()
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect();
+            let dbs = wol_engine::Databases::new(sources);
+            wol_engine::enforce_constraints(&constraints, &dbs)
+                .map_err(|e| crate::MorphaseError::Verification(e.to_string()))?;
+        }
+
+        // Stage 2: semi-normal form.
+        let start = Instant::now();
+        let snf_clauses = program_to_snf(&augmented.clauses);
+        let snf = snf_stats(&augmented.clauses, &snf_clauses);
+        timings.snf = start.elapsed();
+
+        // Stage 3: normalisation.
+        let start = Instant::now();
+        let normalize_options = NormalizeOptions {
+            use_target_keys: options.use_target_keys,
+            use_source_constraints: options.use_source_constraints,
+            ..NormalizeOptions::default()
+        };
+        let normal = wol_engine::normalize(&augmented, &normalize_options)?;
+        timings.normalize = start.elapsed();
+
+        // Stage 4: translation to CPL.
+        let start = Instant::now();
+        let queries = compile_program(&normal, options.optimize_plans)?;
+        let plans = queries.iter().map(|q| q.plan.render()).collect();
+        timings.compile = start.elapsed();
+
+        // Stage 5: execution.
+        let mut exec = ExecStats::default();
+        let mut target = Instance::new(augmented.target.schema.name());
+        if execute {
+            let start = Instant::now();
+            let mut ctx = EvalCtx::new(sources);
+            for query in &queries {
+                execute_query(query, &mut ctx, &mut target, &mut exec)?;
+            }
+            timings.execute = start.elapsed();
+
+            // Stage 6: verification.
+            if options.verify_target {
+                let start = Instant::now();
+                wol_model::validate::check_keyed_instance(
+                    &target,
+                    &augmented.target.schema,
+                    &augmented.target.keys,
+                )
+                .map_err(|e| crate::MorphaseError::Verification(e.to_string()))?;
+                let target_constraints: Vec<&wol_lang::Clause> = augmented
+                    .target_constraints()
+                    .into_iter()
+                    .map(|(_, c)| c)
+                    .filter(|c| {
+                        // Skolem-style key constraints are enforced by construction;
+                        // checking them against the Skolem-created identities would
+                        // re-create them, so only the remaining constraints are checked.
+                        !matches!(
+                            wol_engine::classify_constraint(c),
+                            wol_engine::ConstraintClass::SkolemKey(_)
+                        )
+                    })
+                    .collect();
+                let refs: Vec<&Instance> = vec![&target];
+                let dbs = wol_engine::Databases::new(&refs);
+                wol_engine::enforce_constraints(&target_constraints, &dbs)
+                    .map_err(|e| crate::MorphaseError::Verification(e.to_string()))?;
+                timings.verify = start.elapsed();
+            }
+        }
+
+        Ok(MorphaseRun {
+            target,
+            timings,
+            snf,
+            normal,
+            input_clauses: augmented.clauses.len(),
+            generated_clauses: generated,
+            exec,
+            plans,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wol_model::{ClassName, Value};
+    use workloads::cities::{generate_euro, CitiesWorkload};
+    use workloads::people::{generate_couples, PeopleWorkload};
+    use workloads::wide;
+
+    #[test]
+    fn full_pipeline_on_the_cities_workload() {
+        let w = CitiesWorkload::new();
+        let program = w.euro_program();
+        let source = generate_euro(5, 4, 99);
+        let run = Morphase::new().transform(&program, &[&source][..]).unwrap();
+        assert_eq!(run.target.extent_size(&ClassName::new("CountryT")), 5);
+        assert_eq!(run.target.extent_size(&ClassName::new("CityT")), 20);
+        assert!(run.timings.total() >= run.timings.compile_time());
+        assert!(run.exec.rows_scanned > 0);
+        assert!(!run.plans.is_empty());
+        assert!(run.snf.atoms_after >= run.snf.atoms_before);
+        // Metadata generated the target key clauses automatically.
+        assert!(run.generated_clauses >= 3);
+        assert!(run.input_clauses > program.clauses.len());
+    }
+
+    #[test]
+    fn metadata_generation_lets_the_user_omit_key_clauses() {
+        // The same cities program *without* the hand-written (C2)/(C3) key
+        // clauses still normalises, because the target KeySpec generates them.
+        let w = CitiesWorkload::new();
+        let text = "T1: X in CountryT, X.name = E.name, X.language = E.language, X.currency = E.currency <= E in CountryE;\n\
+                    T2: Y in CityT, Y.name = E.name, Y.place = ins_euro_city(X) <= E in CityE, X in CountryT, X.name = E.country.name;";
+        let program = wol_lang::program::Program::new(
+            "no_keys_written",
+            vec![wol_lang::program::SchemaBinding::keyed(w.euro_schema.clone(), w.euro_keys.clone())],
+            wol_lang::program::SchemaBinding::keyed(w.target_schema.clone(), w.target_keys.clone()),
+        )
+        .with_text(text);
+        let source = generate_euro(3, 2, 5);
+        let run = Morphase::new().transform(&program, &[&source][..]).unwrap();
+        assert_eq!(run.target.extent_size(&ClassName::new("CityT")), 6);
+        assert!(run.generated_clauses > 0);
+    }
+
+    #[test]
+    fn compile_only_runs_do_not_touch_sources() {
+        let w = CitiesWorkload::new();
+        let run = Morphase::new().compile(&w.euro_program()).unwrap();
+        assert!(run.target.is_empty());
+        assert!(run.normal.len() >= 3);
+        assert_eq!(run.exec.rows_scanned, 0);
+    }
+
+    #[test]
+    fn people_workload_round_trips_with_verification() {
+        let w = PeopleWorkload::new();
+        let program = w.program();
+        let source = generate_couples(3, 4);
+        let run = Morphase::new().transform(&program, &[&source][..]).unwrap();
+        assert_eq!(run.target.extent_size(&ClassName::new("Marriage")), 3);
+        // Verification checked the target against schema and keys.
+        assert!(run.timings.verify > Duration::ZERO);
+    }
+
+    #[test]
+    fn source_constraint_checking_rejects_bad_sources() {
+        let w = CitiesWorkload::new();
+        let mut program = w.euro_program();
+        program.add_text(CitiesWorkload::euro_constraints_text()).unwrap();
+        // A source where one country has two capitals violates (C5).
+        let mut source = generate_euro(2, 2, 1);
+        let second_city = source
+            .objects(&ClassName::new("CityE"))
+            .map(|(oid, _)| oid.clone())
+            .nth(1)
+            .unwrap();
+        let mut v = source.value(&second_city).unwrap().clone();
+        if let Value::Record(ref mut fields) = v {
+            fields.insert("is_capital".into(), Value::bool(true));
+        }
+        source.update(&second_city, v).unwrap();
+        let options = PipelineOptions {
+            check_source_constraints: true,
+            ..PipelineOptions::default()
+        };
+        let err = Morphase::with_options(options).transform(&program, &[&source][..]).unwrap_err();
+        assert!(matches!(err, crate::MorphaseError::Verification(_)));
+    }
+
+    #[test]
+    fn compile_time_of_partial_programs_exceeds_normal_form_programs() {
+        // The shape of the paper's ~6x claim: compiling a program that needs
+        // normalisation does strictly more work than compiling one already in
+        // normal form. (The exact ratio is measured by bench E1.)
+        let normal_run = Morphase::new().compile(&wide::normal_form_program(16)).unwrap();
+        let partial_run = Morphase::new().compile(&wide::partial_program(16, 8, true)).unwrap();
+        assert_eq!(normal_run.normal.len(), 1);
+        assert_eq!(partial_run.normal.len(), 8);
+        assert!(partial_run.normal.size() >= normal_run.normal.size());
+    }
+
+    #[test]
+    fn omitting_keys_blows_up_the_normal_form() {
+        let options = PipelineOptions {
+            use_target_keys: false,
+            generate_metadata_constraints: false,
+            ..PipelineOptions::default()
+        };
+        let with_keys = Morphase::new().compile(&wide::partial_program(8, 4, true)).unwrap();
+        let without_keys = Morphase::with_options(options)
+            .compile(&wide::partial_program(8, 4, false))
+            .unwrap();
+        assert!(without_keys.normal.len() > with_keys.normal.len());
+    }
+}

@@ -1,0 +1,69 @@
+//! Human-readable reports of Morphase runs.
+
+use std::fmt::Write as _;
+
+use crate::pipeline::MorphaseRun;
+
+/// Render a run as a small text report: stage timings, program sizes and
+/// execution statistics. Used by the examples and the benchmark harness.
+pub fn render_report(run: &MorphaseRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Morphase run ==");
+    let _ = writeln!(
+        out,
+        "input clauses: {} (of which {} auto-generated from meta-data)",
+        run.input_clauses, run.generated_clauses
+    );
+    let _ = writeln!(
+        out,
+        "snf: {} atoms -> {} atoms ({} fresh variables)",
+        run.snf.atoms_before, run.snf.atoms_after, run.snf.fresh_vars
+    );
+    let _ = writeln!(
+        out,
+        "normal form: {} clauses, size {}",
+        run.normal.len(),
+        run.normal.size()
+    );
+    let _ = writeln!(out, "stage timings:");
+    let t = &run.timings;
+    for (name, duration) in [
+        ("metadata", t.metadata),
+        ("validate", t.validate),
+        ("snf", t.snf),
+        ("normalize", t.normalize),
+        ("compile->CPL", t.compile),
+        ("execute", t.execute),
+        ("verify", t.verify),
+    ] {
+        let _ = writeln!(out, "  {name:<14} {:>10.3?}", duration);
+    }
+    let _ = writeln!(out, "  total compile  {:>10.3?}", t.compile_time());
+    let _ = writeln!(out, "  total          {:>10.3?}", t.total());
+    let _ = writeln!(
+        out,
+        "execution: {} rows scanned, {} rows produced, {} objects written",
+        run.exec.rows_scanned, run.exec.rows_produced, run.exec.objects_written
+    );
+    let _ = writeln!(out, "target: {} objects", run.target.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Morphase;
+    use workloads::cities::{generate_euro, CitiesWorkload};
+
+    #[test]
+    fn report_contains_the_key_metrics() {
+        let w = CitiesWorkload::new();
+        let source = generate_euro(2, 2, 1);
+        let run = Morphase::new().transform(&w.euro_program(), &[&source][..]).unwrap();
+        let report = render_report(&run);
+        assert!(report.contains("Morphase run"));
+        assert!(report.contains("normal form:"));
+        assert!(report.contains("total compile"));
+        assert!(report.contains("objects written"));
+    }
+}

@@ -1,0 +1,139 @@
+//! A minimal CSV-like import/export for flat classes.
+//!
+//! The paper's introduction motivates transformations partly by "uploading
+//! certain file formats into a relational database". This module provides the
+//! simplest such format: a header line of column names followed by
+//! comma-separated rows, with values inferred as integers, booleans or
+//! strings. It feeds the relational adapter rather than the model directly.
+
+use wol_model::Value;
+
+use crate::error::StorageError;
+use crate::relational::{Column, Table, TableSchema};
+use crate::Result;
+
+/// Parse CSV text into a [`Table`]. The first column is used as the key
+/// column. Column types are inferred from the first data row.
+pub fn parse_csv(name: &str, text: &str) -> Result<Table> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| StorageError::Csv("empty input".to_string()))?;
+    let names: Vec<&str> = header.split(',').map(str::trim).collect();
+    if names.is_empty() || names.iter().any(|n| n.is_empty()) {
+        return Err(StorageError::Csv("malformed header".to_string()));
+    }
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for (line_no, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != names.len() {
+            return Err(StorageError::Csv(format!(
+                "line {}: expected {} fields, found {}",
+                line_no + 2,
+                names.len(),
+                fields.len()
+            )));
+        }
+        rows.push(fields.iter().map(|f| infer_value(f)).collect());
+    }
+    let columns = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| match rows.first().map(|r| &r[i]) {
+            Some(Value::Int(_)) => Column::int(*n),
+            Some(Value::Bool(_)) => Column::bool(*n),
+            _ => Column::str(*n),
+        })
+        .collect();
+    let mut table = Table::new(TableSchema {
+        name: name.to_string(),
+        key_column: names[0].to_string(),
+        columns,
+    });
+    for row in rows {
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Render a table as CSV text (header plus one line per row).
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = table.schema.columns.iter().map(|c| c.name.as_str()).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in &table.rows {
+        let fields: Vec<String> = row.iter().map(render_value).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn infer_value(field: &str) -> Value {
+    if let Ok(i) = field.parse::<i64>() {
+        return Value::Int(i);
+    }
+    match field {
+        "true" | "True" => Value::Bool(true),
+        "false" | "False" => Value::Bool(false),
+        other => Value::str(other),
+    }
+}
+
+fn render_value(value: &Value) -> String {
+    match value {
+        Value::Str(s) => s.clone(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => wol_model::display::render_value(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relational::load_tables;
+    use wol_model::ClassName;
+
+    const CITIES: &str = "name,is_capital,population\nParis,true,2148000\nLyon,false,513000\n";
+
+    #[test]
+    fn parse_and_infer_types() {
+        let table = parse_csv("CityCsv", CITIES).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.schema.key_column, "name");
+        assert_eq!(table.rows[0][1], Value::Bool(true));
+        assert_eq!(table.rows[0][2], Value::Int(2_148_000));
+        assert_eq!(table.rows[1][0], Value::str("Lyon"));
+    }
+
+    #[test]
+    fn round_trip_through_csv() {
+        let table = parse_csv("CityCsv", CITIES).unwrap();
+        let text = to_csv(&table);
+        let reparsed = parse_csv("CityCsv", &text).unwrap();
+        assert_eq!(table.rows, reparsed.rows);
+    }
+
+    #[test]
+    fn csv_feeds_the_relational_adapter() {
+        let table = parse_csv("CityCsv", CITIES).unwrap();
+        let instance = load_tables(&[table], "csv_import").unwrap();
+        assert_eq!(instance.extent_size(&ClassName::new("CityCsv")), 2);
+        let paris = instance
+            .find_by_field(&ClassName::new("CityCsv"), "name", &Value::str("Paris"))
+            .unwrap();
+        assert_eq!(
+            instance.value(paris).unwrap().project("population"),
+            Some(&Value::int(2_148_000))
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(parse_csv("T", "").is_err());
+        assert!(parse_csv("T", "a,b\n1\n").is_err());
+        assert!(parse_csv("T", "a,,c\n1,2,3\n").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Errors raised by the storage adapters.
+
+use std::fmt;
+
+/// Errors from loading or dumping data through the storage substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A row has the wrong number of values or a value of the wrong type.
+    BadRow(String),
+    /// A referenced table, column or object does not exist.
+    Missing(String),
+    /// A foreign-key-style reference could not be resolved while importing.
+    UnresolvedReference(String),
+    /// A CSV line could not be parsed.
+    Csv(String),
+    /// An error bubbled up from the data model.
+    Model(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::BadRow(m) => write!(f, "bad row: {m}"),
+            StorageError::Missing(m) => write!(f, "missing: {m}"),
+            StorageError::UnresolvedReference(m) => write!(f, "unresolved reference: {m}"),
+            StorageError::Csv(m) => write!(f, "csv error: {m}"),
+            StorageError::Model(m) => write!(f, "data model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<wol_model::ModelError> for StorageError {
+    fn from(e: wol_model::ModelError) -> Self {
+        StorageError::Model(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(StorageError::BadRow("x".into()).to_string().contains("bad row"));
+        assert!(StorageError::Csv("y".into()).to_string().contains("csv"));
+        let e: StorageError = wol_model::ModelError::Invalid("z".into()).into();
+        assert!(matches!(e, StorageError::Model(_)));
+    }
+}

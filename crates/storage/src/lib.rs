@@ -1,0 +1,35 @@
+//! # storage
+//!
+//! Heterogeneous storage substrates for the WOL reproduction.
+//!
+//! The paper's trials move data between a **Sybase relational database**
+//! (Chr22DB) and an **ACeDB tree database** (ACe22DB) at the Sanger Centre,
+//! "which use incompatible data-models as well as different interpretations of
+//! the underlying data" (Section 6). Neither system is available here, so this
+//! crate provides the closest synthetic equivalents that exercise the same
+//! code paths:
+//!
+//! * [`relational`] — a flat table store (named columns, rows of base values)
+//!   with an adapter that loads tables into model [`Instance`]s and dumps
+//!   class extents back out to tables;
+//! * [`acedb`] — an ACeDB-like store of *tagged trees* ("tree-like structures
+//!   with object identities ... well suited for representing sparsely
+//!   populated data") with an importer that maps trees onto model instances
+//!   with optional attributes;
+//! * [`csv`] — a minimal line-oriented import/export format for flat classes,
+//!   standing in for the "uploading certain file formats" use case of the
+//!   introduction.
+//!
+//! [`Instance`]: wol_model::Instance
+
+pub mod acedb;
+pub mod csv;
+pub mod error;
+pub mod relational;
+
+pub use acedb::{AceObject, AceStore, AceValue};
+pub use error::StorageError;
+pub use relational::{Column, ColumnType, Table, TableSchema};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,708 @@
+//! Evaluation environment: databases, variable bindings, term evaluation and
+//! body matching.
+//!
+//! WOL clause bodies are matched against one or more database instances (the
+//! source databases, and — for non-normal-form clauses — also the target
+//! database built so far). The matcher enumerates all bindings of the body's
+//! variables that make every body atom true; this is the reference semantics
+//! used by the naive evaluator, the constraint checker and the engine's tests.
+//! The optimised execution path compiles normal-form clauses to the `cpl`
+//! algebra instead.
+
+use std::collections::BTreeMap;
+
+use wol_lang::ast::{Atom, SkolemArgs, Term, Var};
+use wol_model::{ClassName, Instance, Oid, SkolemFactory, Value};
+
+use crate::error::EngineError;
+use crate::Result;
+
+/// A set of database instances visible to clause evaluation, in order.
+#[derive(Clone)]
+pub struct Databases<'a> {
+    instances: Vec<&'a Instance>,
+}
+
+impl<'a> Databases<'a> {
+    /// View over the given instances (sources first, target last by
+    /// convention).
+    pub fn new(instances: &[&'a Instance]) -> Self {
+        Databases {
+            instances: instances.to_vec(),
+        }
+    }
+
+    /// Look up the value of an object identity in whichever instance holds it.
+    pub fn value_of(&self, oid: &Oid) -> Option<&'a Value> {
+        self.instances.iter().find_map(|i| i.value(oid))
+    }
+
+    /// Iterate over the extent of `class` across all instances.
+    pub fn extent(&self, class: &ClassName) -> Vec<&'a Oid> {
+        self.instances
+            .iter()
+            .flat_map(|i| i.extent(class))
+            .collect()
+    }
+
+    /// Whether `oid` is present in the extent of its class in any instance.
+    pub fn contains(&self, oid: &Oid) -> bool {
+        self.instances.iter().any(|i| i.contains(oid))
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True if there are no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+/// A binding of clause variables to values.
+pub type Bindings = BTreeMap<Var, Value>;
+
+/// Evaluate a term under `bindings`. Skolem terms are resolved through
+/// `skolem`, creating object identities on demand; projections dereference
+/// object identities through `dbs`.
+pub fn eval_term(
+    term: &Term,
+    bindings: &Bindings,
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+) -> Result<Value> {
+    match term {
+        Term::Var(v) => bindings
+            .get(v)
+            .cloned()
+            .ok_or_else(|| EngineError::Eval(format!("unbound variable {v}"))),
+        Term::Const(value) => Ok(value.clone()),
+        Term::Proj(base, label) => {
+            let base_value = eval_term(base, bindings, dbs, skolem)?;
+            let record = match &base_value {
+                Value::Oid(oid) => dbs
+                    .value_of(oid)
+                    .ok_or_else(|| EngineError::Eval(format!("dangling object identity {oid}")))?
+                    .clone(),
+                other => other.clone(),
+            };
+            record
+                .project(label)
+                .cloned()
+                .ok_or_else(|| {
+                    EngineError::Eval(format!(
+                        "value of kind `{}` has no attribute `{label}`",
+                        record.kind()
+                    ))
+                })
+        }
+        Term::Record(fields) => {
+            let mut out = BTreeMap::new();
+            for (label, sub) in fields {
+                out.insert(label.clone(), eval_term(sub, bindings, dbs, skolem)?);
+            }
+            Ok(Value::Record(out))
+        }
+        Term::Variant(label, payload) => Ok(Value::Variant(
+            label.clone(),
+            Box::new(eval_term(payload, bindings, dbs, skolem)?),
+        )),
+        Term::Skolem(class, args) => {
+            let key = eval_skolem_key(args, bindings, dbs, skolem)?;
+            Ok(Value::Oid(skolem.mk(class, &key)))
+        }
+    }
+}
+
+/// Evaluate the key value of a Skolem term's arguments: a single positional
+/// argument is the key itself, multiple positional arguments form a list, and
+/// named arguments form a record.
+pub fn eval_skolem_key(
+    args: &SkolemArgs,
+    bindings: &Bindings,
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+) -> Result<Value> {
+    match args {
+        SkolemArgs::Positional(ts) => {
+            let mut values = Vec::new();
+            for t in ts {
+                values.push(eval_term(t, bindings, dbs, skolem)?);
+            }
+            Ok(match values.len() {
+                1 => values.into_iter().next().expect("length checked"),
+                _ => Value::List(values),
+            })
+        }
+        SkolemArgs::Named(fields) => {
+            let mut out = BTreeMap::new();
+            for (label, t) in fields {
+                out.insert(label.clone(), eval_term(t, bindings, dbs, skolem)?);
+            }
+            Ok(Value::Record(out))
+        }
+    }
+}
+
+/// Evaluate a term if all of its variables are bound; `None` otherwise.
+pub fn try_eval_term(
+    term: &Term,
+    bindings: &Bindings,
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+) -> Option<Value> {
+    if term.var_set().iter().all(|v| bindings.contains_key(v)) {
+        eval_term(term, bindings, dbs, skolem).ok()
+    } else {
+        None
+    }
+}
+
+/// Match a term used as a *pattern* against a value, extending `bindings`.
+///
+/// Patterns are variables (bind or check), constants (check), record terms
+/// (destructure fields) and variant terms (check the label, destructure the
+/// payload). Projections and Skolem terms are not patterns; if they are fully
+/// evaluable they are checked for equality, otherwise the match fails.
+pub fn match_pattern(
+    pattern: &Term,
+    value: &Value,
+    bindings: &Bindings,
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+) -> Option<Bindings> {
+    match pattern {
+        Term::Var(v) => match bindings.get(v) {
+            Some(existing) => {
+                if existing == value {
+                    Some(bindings.clone())
+                } else {
+                    None
+                }
+            }
+            None => {
+                let mut extended = bindings.clone();
+                extended.insert(v.clone(), value.clone());
+                Some(extended)
+            }
+        },
+        Term::Const(c) => {
+            if c == value {
+                Some(bindings.clone())
+            } else {
+                None
+            }
+        }
+        Term::Record(fields) => {
+            let Value::Record(actual) = value else { return None };
+            let mut current = bindings.clone();
+            for (label, sub) in fields {
+                let sub_value = actual.get(label)?;
+                current = match_pattern(sub, sub_value, &current, dbs, skolem)?;
+            }
+            Some(current)
+        }
+        Term::Variant(label, payload) => {
+            let Value::Variant(actual_label, actual_payload) = value else { return None };
+            if label != actual_label {
+                return None;
+            }
+            match_pattern(payload, actual_payload, bindings, dbs, skolem)
+        }
+        Term::Proj(_, _) | Term::Skolem(_, _) => {
+            let evaluated = try_eval_term(pattern, bindings, dbs, skolem)?;
+            if &evaluated == value {
+                Some(bindings.clone())
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Is the term usable as a *pattern* for destructuring (see
+/// [`match_pattern`]): variables, constants, and record/variant shapes over
+/// patterns? Projections and Skolem terms are not patterns.
+fn is_pattern(term: &Term) -> bool {
+    match term {
+        Term::Var(_) | Term::Const(_) => true,
+        Term::Record(fields) => fields.iter().all(|(_, t)| is_pattern(t)),
+        Term::Variant(_, payload) => is_pattern(payload),
+        Term::Proj(_, _) | Term::Skolem(_, _) => false,
+    }
+}
+
+/// Can this atom be processed under the current bindings?
+fn atom_ready(atom: &Atom, bindings: &Bindings) -> bool {
+    let bound = |t: &Term| t.var_set().iter().all(|v| bindings.contains_key(v));
+    match atom {
+        // Membership can always be processed: either check (bound) or
+        // enumerate the extent (unbound variable / pattern).
+        Atom::Member(_, _) => true,
+        Atom::Eq(s, t) => {
+            (bound(s) && bound(t)) || (bound(s) && is_pattern(t)) || (bound(t) && is_pattern(s))
+        }
+        Atom::Neq(s, t) | Atom::Lt(s, t) | Atom::Leq(s, t) => bound(s) && bound(t),
+        Atom::InSet(_, set) => bound(set),
+    }
+}
+
+/// Extend `bindings` in every way that makes `atom` true.
+fn match_atom(
+    atom: &Atom,
+    bindings: &Bindings,
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+) -> Result<Vec<Bindings>> {
+    match atom {
+        Atom::Member(term, class) => {
+            if let Some(value) = try_eval_term(term, bindings, dbs, skolem) {
+                // Check membership of an already-determined object.
+                match value {
+                    Value::Oid(oid) => {
+                        if oid.class() == class && dbs.contains(&oid) {
+                            Ok(vec![bindings.clone()])
+                        } else {
+                            Ok(vec![])
+                        }
+                    }
+                    _ => Ok(vec![]),
+                }
+            } else {
+                // Enumerate the extent and match the term as a pattern.
+                let mut out = Vec::new();
+                for oid in dbs.extent(class) {
+                    let value = Value::Oid(oid.clone());
+                    if let Some(extended) = match_pattern(term, &value, bindings, dbs, skolem) {
+                        out.push(extended);
+                    }
+                }
+                Ok(out)
+            }
+        }
+        Atom::Eq(s, t) => {
+            let sv = try_eval_term(s, bindings, dbs, skolem);
+            let tv = try_eval_term(t, bindings, dbs, skolem);
+            let bound = |term: &Term| term.var_set().iter().all(|v| bindings.contains_key(v));
+            match (sv, tv) {
+                (Some(a), Some(b)) => Ok(if a == b { vec![bindings.clone()] } else { vec![] }),
+                (Some(a), None) => {
+                    if bound(t) {
+                        // Fully bound but not evaluable (e.g. a missing
+                        // optional attribute): the equality simply fails.
+                        Ok(vec![])
+                    } else {
+                        Ok(match_pattern(t, &a, bindings, dbs, skolem).into_iter().collect())
+                    }
+                }
+                (None, Some(b)) => {
+                    if bound(s) {
+                        Ok(vec![])
+                    } else {
+                        Ok(match_pattern(s, &b, bindings, dbs, skolem).into_iter().collect())
+                    }
+                }
+                (None, None) => {
+                    if bound(s) || bound(t) {
+                        // At least one side is fully bound but cannot be
+                        // evaluated (e.g. a missing optional field): the
+                        // equality has no witness.
+                        Ok(vec![])
+                    } else {
+                        Err(EngineError::Eval(format!(
+                            "cannot orient equality {} = {}: neither side is evaluable",
+                            wol_lang::render_term(s),
+                            wol_lang::render_term(t)
+                        )))
+                    }
+                }
+            }
+        }
+        Atom::Neq(s, t) => {
+            let a = eval_term(s, bindings, dbs, skolem)?;
+            let b = eval_term(t, bindings, dbs, skolem)?;
+            Ok(if a != b { vec![bindings.clone()] } else { vec![] })
+        }
+        Atom::Lt(s, t) | Atom::Leq(s, t) => {
+            let a = eval_term(s, bindings, dbs, skolem)?;
+            let b = eval_term(t, bindings, dbs, skolem)?;
+            let ordering = compare_numeric(&a, &b)?;
+            let holds = match atom {
+                Atom::Lt(_, _) => ordering == std::cmp::Ordering::Less,
+                _ => ordering != std::cmp::Ordering::Greater,
+            };
+            Ok(if holds { vec![bindings.clone()] } else { vec![] })
+        }
+        Atom::InSet(elem, set) => {
+            let set_value = eval_term(set, bindings, dbs, skolem)?;
+            let elements: Vec<Value> = match set_value {
+                Value::Set(items) => items.into_iter().collect(),
+                Value::List(items) => items,
+                other => {
+                    return Err(EngineError::Eval(format!(
+                        "`member` applied to a non-set value of kind `{}`",
+                        other.kind()
+                    )))
+                }
+            };
+            let mut out = Vec::new();
+            for item in elements {
+                if let Some(extended) = match_pattern(elem, &item, bindings, dbs, skolem) {
+                    out.push(extended);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn compare_numeric(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
+        (Value::Real(x), Value::Real(y)) => Ok(x.cmp(y)),
+        (Value::Int(x), Value::Real(y)) => Ok(wol_model::RealVal(*x as f64).cmp(y)),
+        (Value::Real(x), Value::Int(y)) => Ok(x.cmp(&wol_model::RealVal(*y as f64))),
+        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
+        _ => Err(EngineError::Eval(format!(
+            "cannot compare values of kinds `{}` and `{}`",
+            a.kind(),
+            b.kind()
+        ))),
+    }
+}
+
+/// Enumerate every binding of the body's variables (extending `initial`) that
+/// makes all `atoms` true against `dbs`.
+///
+/// The matcher repeatedly picks a *ready* atom — one whose unbound variables
+/// can only be bound by processing it — preferring cheap filters over
+/// extent enumerations. This is a straightforward nested-loop strategy: it is
+/// deliberately unoptimised, serving as the reference semantics and the
+/// "apply the clauses directly" baseline the paper contrasts Morphase with.
+pub fn match_body(
+    atoms: &[Atom],
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+    initial: Bindings,
+) -> Result<Vec<Bindings>> {
+    fn go(
+        remaining: &[Atom],
+        dbs: &Databases<'_>,
+        skolem: &mut SkolemFactory,
+        bindings: Bindings,
+        out: &mut Vec<Bindings>,
+    ) -> Result<()> {
+        if remaining.is_empty() {
+            out.push(bindings);
+            return Ok(());
+        }
+        // Pick the best ready atom: prefer fully-bound filters, then oriented
+        // equalities, then memberships/enumerations.
+        let fully_bound = |atom: &Atom| {
+            atom.var_set().iter().all(|v| bindings.contains_key(v))
+        };
+        let position = remaining
+            .iter()
+            .position(fully_bound)
+            .or_else(|| {
+                remaining
+                    .iter()
+                    .position(|a| matches!(a, Atom::Eq(_, _)) && atom_ready(a, &bindings))
+            })
+            .or_else(|| remaining.iter().position(|a| atom_ready(a, &bindings)));
+        let Some(position) = position else {
+            return Err(EngineError::Eval(
+                "no atom can be processed: the clause body is not range-restricted".to_string(),
+            ));
+        };
+        let atom = &remaining[position];
+        let rest: Vec<Atom> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != position)
+            .map(|(_, a)| a.clone())
+            .collect();
+        for extended in match_atom(atom, &bindings, dbs, skolem)? {
+            go(&rest, dbs, skolem, extended, out)?;
+        }
+        Ok(())
+    }
+
+    let mut out = Vec::new();
+    go(atoms, dbs, skolem, initial, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wol_lang::parse_clause;
+
+    fn euro_instance() -> (Instance, Oid, Oid) {
+        let mut inst = Instance::new("euro");
+        let uk = inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([
+                ("name", Value::str("United Kingdom")),
+                ("language", Value::str("English")),
+                ("currency", Value::str("sterling")),
+            ]),
+        );
+        let fr = inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([
+                ("name", Value::str("France")),
+                ("language", Value::str("French")),
+                ("currency", Value::str("franc")),
+            ]),
+        );
+        for (name, capital, country) in [
+            ("London", true, &uk),
+            ("Manchester", false, &uk),
+            ("Paris", true, &fr),
+        ] {
+            inst.insert_fresh(
+                &ClassName::new("CityE"),
+                Value::record([
+                    ("name", Value::str(name)),
+                    ("is_capital", Value::bool(capital)),
+                    ("country", Value::oid(country.clone())),
+                ]),
+            );
+        }
+        (inst, uk, fr)
+    }
+
+    #[test]
+    fn eval_projection_through_oid() {
+        let (inst, _, fr) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let bindings = Bindings::from([("X".to_string(), Value::oid(fr))]);
+        let term = Term::var("X").path("name");
+        assert_eq!(
+            eval_term(&term, &bindings, &dbs, &mut sk).unwrap(),
+            Value::str("France")
+        );
+    }
+
+    #[test]
+    fn eval_unbound_variable_fails() {
+        let (inst, _, _) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        assert!(eval_term(&Term::var("X"), &Bindings::new(), &dbs, &mut sk).is_err());
+        assert!(try_eval_term(&Term::var("X"), &Bindings::new(), &dbs, &mut sk).is_none());
+    }
+
+    #[test]
+    fn eval_record_variant_and_skolem() {
+        let (inst, _, _) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let bindings = Bindings::from([("N".to_string(), Value::str("France"))]);
+        let term = Term::record([("name", Term::var("N")), ("kind", Term::tag("euro"))]);
+        let value = eval_term(&term, &bindings, &dbs, &mut sk).unwrap();
+        assert_eq!(
+            value,
+            Value::record([("name", Value::str("France")), ("kind", Value::tag("euro"))])
+        );
+        // Skolem terms create deterministic identities.
+        let sk_term = Term::skolem("CountryT", [Term::var("N")]);
+        let a = eval_term(&sk_term, &bindings, &dbs, &mut sk).unwrap();
+        let b = eval_term(&sk_term, &bindings, &dbs, &mut sk).unwrap();
+        assert_eq!(a, b);
+        match a {
+            Value::Oid(oid) => assert_eq!(oid.class(), &ClassName::new("CountryT")),
+            other => panic!("expected an oid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skolem_key_styles() {
+        let (inst, _, _) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let bindings = Bindings::from([
+            ("N".to_string(), Value::str("Paris")),
+            ("C".to_string(), Value::str("France")),
+        ]);
+        let positional = SkolemArgs::Positional(vec![Term::var("N"), Term::var("C")]);
+        assert_eq!(
+            eval_skolem_key(&positional, &bindings, &dbs, &mut sk).unwrap(),
+            Value::list([Value::str("Paris"), Value::str("France")])
+        );
+        let named = SkolemArgs::Named(vec![
+            ("name".to_string(), Term::var("N")),
+            ("country_name".to_string(), Term::var("C")),
+        ]);
+        assert_eq!(
+            eval_skolem_key(&named, &bindings, &dbs, &mut sk).unwrap(),
+            Value::record([("name", Value::str("Paris")), ("country_name", Value::str("France"))])
+        );
+        let single = SkolemArgs::Positional(vec![Term::var("N")]);
+        assert_eq!(
+            eval_skolem_key(&single, &bindings, &dbs, &mut sk).unwrap(),
+            Value::str("Paris")
+        );
+    }
+
+    #[test]
+    fn match_body_of_clause_c4_style() {
+        // Find all (X country, Y capital city) pairs.
+        let (inst, uk, fr) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let clause = parse_clause(
+            "Z = Y.name <= X in CountryE, Y in CityE, Y.country = X, Y.is_capital = true",
+        )
+        .unwrap();
+        let results = match_body(&clause.body, &dbs, &mut sk, Bindings::new()).unwrap();
+        assert_eq!(results.len(), 2);
+        let mut countries: Vec<&Value> = results.iter().map(|b| &b["X"]).collect();
+        countries.sort();
+        countries.dedup();
+        assert_eq!(countries.len(), 2);
+        assert!(results.iter().any(|b| b["X"] == Value::oid(uk.clone())));
+        assert!(results.iter().any(|b| b["X"] == Value::oid(fr.clone())));
+    }
+
+    #[test]
+    fn match_body_joins_on_attribute() {
+        // Cities paired with the country record they reference by name.
+        let (inst, _, _) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let clause = parse_clause(
+            "Z = E.name <= E in CityE, X in CountryE, X.name = E.country.name",
+        )
+        .unwrap();
+        let results = match_body(&clause.body, &dbs, &mut sk, Bindings::new()).unwrap();
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn match_body_with_initial_bindings() {
+        let (inst, uk, _) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let clause = parse_clause("Z = Y.name <= Y in CityE, Y.country = X").unwrap();
+        let initial = Bindings::from([("X".to_string(), Value::oid(uk))]);
+        let results = match_body(&clause.body, &dbs, &mut sk, initial).unwrap();
+        assert_eq!(results.len(), 2); // London and Manchester
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        let mut inst = Instance::new("nums");
+        for (name, pop) in [("a", 10i64), ("b", 20), ("c", 30)] {
+            inst.insert_fresh(
+                &ClassName::new("CityA"),
+                Value::record([("name", Value::str(name)), ("population", Value::int(pop))]),
+            );
+        }
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let clause = parse_clause(
+            "Z = X.name <= X in CityA, Y in CityA, X.population < Y.population",
+        )
+        .unwrap();
+        let results = match_body(&clause.body, &dbs, &mut sk, Bindings::new()).unwrap();
+        assert_eq!(results.len(), 3); // (a,b), (a,c), (b,c)
+        let leq = parse_clause(
+            "Z = X.name <= X in CityA, Y in CityA, X.population =< Y.population",
+        )
+        .unwrap();
+        let results = match_body(&leq.body, &dbs, &mut sk, Bindings::new()).unwrap();
+        assert_eq!(results.len(), 6);
+        let neq = parse_clause("Z = X.name <= X in CityA, Y in CityA, X != Y").unwrap();
+        let results = match_body(&neq.body, &dbs, &mut sk, Bindings::new()).unwrap();
+        assert_eq!(results.len(), 6);
+    }
+
+    #[test]
+    fn set_membership_enumerates() {
+        let mut inst = Instance::new("clusters");
+        inst.insert_fresh(
+            &ClassName::new("Cluster"),
+            Value::record([
+                ("name", Value::str("c22")),
+                (
+                    "markers",
+                    Value::set([Value::str("D22S1"), Value::str("D22S2"), Value::str("D22S3")]),
+                ),
+            ]),
+        );
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let clause = parse_clause("Z = M <= X in Cluster, M member X.markers").unwrap();
+        let results = match_body(&clause.body, &dbs, &mut sk, Bindings::new()).unwrap();
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn variant_pattern_matching() {
+        let mut inst = Instance::new("people");
+        inst.insert_fresh(
+            &ClassName::new("Person"),
+            Value::record([("name", Value::str("Ada")), ("sex", Value::tag("female"))]),
+        );
+        inst.insert_fresh(
+            &ClassName::new("Person"),
+            Value::record([("name", Value::str("Alan")), ("sex", Value::tag("male"))]),
+        );
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let clause = parse_clause("Z = Y.name <= Y in Person, Y.sex = ins_male()").unwrap();
+        let results = match_body(&clause.body, &dbs, &mut sk, Bindings::new()).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get("Y").and_then(|v| v.as_oid()).map(|o| o.id()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn unorientable_equality_reported() {
+        let (inst, _, _) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        // Neither side of `A = B` can ever be evaluated.
+        let clause = parse_clause("Z = 1 <= A = B").unwrap();
+        assert!(match_body(&clause.body, &dbs, &mut sk, Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn databases_lookup_across_instances() {
+        let (inst, uk, _) = euro_instance();
+        let mut other = Instance::new("target");
+        let t = other.insert_fresh(&ClassName::new("CountryT"), Value::record([("name", Value::str("UK"))]));
+        let all = [&inst, &other];
+        let dbs = Databases::new(&all[..]);
+        assert!(dbs.value_of(&uk).is_some());
+        assert!(dbs.value_of(&t).is_some());
+        assert!(dbs.contains(&t));
+        assert_eq!(dbs.len(), 2);
+        assert!(!dbs.is_empty());
+        assert_eq!(dbs.extent(&ClassName::new("CountryT")).len(), 1);
+    }
+
+    #[test]
+    fn pattern_matching_records_and_conflicts() {
+        let (inst, _, _) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let value = Value::record([("name", Value::str("Paris")), ("country_name", Value::str("France"))]);
+        let pattern = Term::record([("name", Term::var("N")), ("country_name", Term::var("C"))]);
+        let bound = match_pattern(&pattern, &value, &Bindings::new(), &dbs, &mut sk).unwrap();
+        assert_eq!(bound["N"], Value::str("Paris"));
+        assert_eq!(bound["C"], Value::str("France"));
+        // A conflicting existing binding rejects the match.
+        let existing = Bindings::from([("N".to_string(), Value::str("Lyon"))]);
+        assert!(match_pattern(&pattern, &value, &existing, &dbs, &mut sk).is_none());
+        // Matching a non-record fails.
+        assert!(match_pattern(&pattern, &Value::int(1), &Bindings::new(), &dbs, &mut sk).is_none());
+    }
+}

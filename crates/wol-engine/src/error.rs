@@ -1,0 +1,94 @@
+//! Errors raised by the WOL engine.
+
+use std::fmt;
+
+/// Errors from clause evaluation, constraint checking or normalisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A term could not be evaluated (unbound variable, bad projection, ...).
+    Eval(String),
+    /// A constraint is violated by the instance(s) being checked.
+    ConstraintViolated {
+        /// Label or index of the violated clause.
+        clause: String,
+        /// Description of the violating binding.
+        detail: String,
+    },
+    /// The transformation program is recursive and cannot be normalised under
+    /// Morphase's syntactic restrictions (Section 5).
+    RecursiveProgram(String),
+    /// A target object cannot be completely determined: the program is
+    /// incomplete for the given class/attribute.
+    Incomplete {
+        /// The target class concerned.
+        class: String,
+        /// Explanation (e.g. which attribute or key part is missing).
+        detail: String,
+    },
+    /// Normalisation produced no usable definition for a clause.
+    Normalisation(String),
+    /// An error bubbled up from the data model.
+    Model(String),
+    /// An error bubbled up from the language front end.
+    Lang(String),
+    /// Any other invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+            EngineError::ConstraintViolated { clause, detail } => {
+                write!(f, "constraint {clause} violated: {detail}")
+            }
+            EngineError::RecursiveProgram(m) => write!(f, "recursive transformation program: {m}"),
+            EngineError::Incomplete { class, detail } => {
+                write!(f, "incomplete description of class `{class}`: {detail}")
+            }
+            EngineError::Normalisation(m) => write!(f, "normalisation error: {m}"),
+            EngineError::Model(m) => write!(f, "data model error: {m}"),
+            EngineError::Lang(m) => write!(f, "language error: {m}"),
+            EngineError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<wol_model::ModelError> for EngineError {
+    fn from(e: wol_model::ModelError) -> Self {
+        EngineError::Model(e.to_string())
+    }
+}
+
+impl From<wol_lang::LangError> for EngineError {
+    fn from(e: wol_lang::LangError) -> Self {
+        EngineError::Lang(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EngineError::Eval("x".into()).to_string().contains("evaluation"));
+        assert!(EngineError::ConstraintViolated { clause: "C4".into(), detail: "d".into() }
+            .to_string()
+            .contains("C4"));
+        assert!(EngineError::RecursiveProgram("loop".into()).to_string().contains("recursive"));
+        assert!(EngineError::Incomplete { class: "CityT".into(), detail: "capital".into() }
+            .to_string()
+            .contains("CityT"));
+    }
+
+    #[test]
+    fn conversions() {
+        let m: EngineError = wol_model::ModelError::Invalid("m".into()).into();
+        assert!(matches!(m, EngineError::Model(_)));
+        let l: EngineError = wol_lang::LangError::Invalid("l".into()).into();
+        assert!(matches!(l, EngineError::Lang(_)));
+    }
+}

@@ -1,0 +1,50 @@
+//! # wol-engine
+//!
+//! The WOL engine: the paper's primary contribution, implemented as a set of
+//! composable analyses and rewrites over [`wol_lang`] programs and
+//! [`wol_model`] instances.
+//!
+//! * [`env`] — reference evaluation: databases, bindings, term evaluation and
+//!   body matching.
+//! * [`constraints`] — constraint checking and constraint analysis (key
+//!   extraction, classification).
+//! * [`snf`] — semi-normal form rewriting (Section 5).
+//! * [`headform`] — analysis of transformation-clause heads into partial
+//!   object descriptions.
+//! * [`normalize`] — normalisation by unify/unfold into normal-form clauses,
+//!   plus a single-pass executor for normal-form programs.
+//! * [`optimize`] — source-constraint-based simplification and unsatisfiable
+//!   clause pruning (Section 4.2).
+//! * [`semantics`] — the naive multi-pass evaluator (the strategy Section 5
+//!   argues is inefficient), used as reference semantics and baseline.
+//! * [`completeness`] — static completeness analysis (Section 3.2).
+//! * [`info_preserve`] — empirical information-preservation (injectivity)
+//!   checking (Section 4.3).
+
+pub mod completeness;
+pub mod constraints;
+pub mod env;
+pub mod error;
+pub mod headform;
+pub mod info_preserve;
+pub mod normalize;
+pub mod optimize;
+pub mod semantics;
+pub mod snf;
+
+pub use completeness::{check_completeness, CompletenessReport};
+pub use constraints::{
+    check_constraint, check_constraints, classify_constraint, enforce_constraints,
+    extract_merge_keys, extract_object_keys, ConstraintClass, ObjectKey, Violation,
+};
+pub use env::{eval_term, match_body, Bindings, Databases};
+pub use error::EngineError;
+pub use info_preserve::{
+    canonical_form, check_injective, instances_equivalent, InjectivityReport,
+};
+pub use normalize::{execute, normalize, NormalClause, NormalProgram, NormalizeOptions};
+pub use semantics::{naive_transform, naive_transform_with_report, NaiveOptions, NaiveReport};
+pub use snf::{program_to_snf, to_snf, SnfStats};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,418 @@
+//! Naive (direct) evaluation of transformation programs.
+//!
+//! Section 5 opens: "Implementing a transformation directly using clauses such
+//! as (T1), (T2) and (T3) would be inefficient: to infer the structure of a
+//! single object we would have to apply multiple clauses ... Further, since
+//! some of the transformation clauses involve target classes and objects in
+//! their bodies, we would have to apply the clauses recursively."
+//!
+//! This module implements exactly that direct strategy: clauses are applied
+//! repeatedly against the source databases *and* the target built so far,
+//! until a fixpoint is reached. It serves two purposes: it is the reference
+//! semantics the normalised/compiled execution path is tested against, and it
+//! is the baseline that benchmark E4 compares single-pass execution with.
+
+use std::collections::BTreeMap;
+
+use wol_lang::program::Program;
+use wol_lang::typecheck::check_clause_types;
+use wol_model::{Instance, Label, Oid, SkolemFactory, Value};
+
+use crate::constraints::{extract_object_keys, ObjectKey};
+use crate::env::{eval_skolem_key, eval_term, match_body, Bindings, Databases};
+use crate::error::EngineError;
+use crate::headform::{analyze_head, HeadAnalysis};
+use crate::Result;
+
+/// Options for the naive evaluator.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiveOptions {
+    /// Maximum number of passes over the clause set before giving up.
+    pub max_passes: usize,
+}
+
+impl Default for NaiveOptions {
+    fn default() -> Self {
+        NaiveOptions { max_passes: 64 }
+    }
+}
+
+/// Statistics about a naive evaluation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NaiveReport {
+    /// Number of passes over the clause set until the fixpoint.
+    pub passes: usize,
+    /// Total number of body bindings enumerated across all passes.
+    pub bindings_considered: usize,
+}
+
+/// Apply the program's transformation clauses directly, repeatedly, until the
+/// target instance stops changing. Returns the target and run statistics.
+pub fn naive_transform_with_report(
+    program: &Program,
+    sources: &[&Instance],
+    target_name: &str,
+    options: &NaiveOptions,
+) -> Result<(Instance, NaiveReport)> {
+    let schemas = program.schemas();
+    let target_classes = program.target_classes();
+    let target_constraints: Vec<_> = program.target_constraints().into_iter().map(|(_, c)| c).collect();
+    let keys = extract_object_keys(&target_constraints);
+
+    // Pre-analyse every transformation clause.
+    let mut analysed: Vec<(HeadAnalysis, Vec<wol_lang::ast::Atom>)> = Vec::new();
+    for (_, clause) in program.transformation_clauses() {
+        let env = check_clause_types(clause, &schemas)?;
+        let analysis = analyze_head(clause, &env, &target_classes)?;
+        analysed.push((analysis, clause.body.clone()));
+    }
+
+    let mut factory = SkolemFactory::new();
+    let mut target = Instance::new(target_name);
+    let mut report = NaiveReport::default();
+
+    for pass in 0..options.max_passes {
+        report.passes = pass + 1;
+        let mut changed = false;
+        // Each pass evaluates every clause against the target as it stood at
+        // the *start* of the pass (the clause-at-a-time recursive application
+        // the paper describes); updates become visible in the next pass.
+        let snapshot = target.clone();
+        for (analysis, body) in &analysed {
+            // Gather the updates with an immutable view of the target, then apply.
+            let updates = {
+                let mut all: Vec<&Instance> = sources.to_vec();
+                all.push(&snapshot);
+                let dbs = Databases::new(&all);
+                let bindings = match_body(body, &dbs, &mut factory, Bindings::new())?;
+                report.bindings_considered += bindings.len();
+                let mut updates: Vec<(Oid, Label, Value)> = Vec::new();
+                let mut creations: Vec<Oid> = Vec::new();
+                for binding in &bindings {
+                    for object in &analysis.objects {
+                        let oid = identify_object(object, binding, &dbs, &keys, &mut factory)?;
+                        let Some(oid) = oid else { continue };
+                        if object.member_in_head {
+                            creations.push(oid.clone());
+                        }
+                        for (label, term) in &object.attrs {
+                            let value = eval_term(term, binding, &dbs, &mut factory)?;
+                            updates.push((oid.clone(), label.clone(), value));
+                        }
+                    }
+                }
+                (creations, updates)
+            };
+            let (creations, updates) = updates;
+            for oid in creations {
+                if !target.contains(&oid) {
+                    target.insert(oid, Value::Record(BTreeMap::new()))?;
+                    changed = true;
+                }
+            }
+            for (oid, label, value) in updates {
+                if !target.contains(&oid) {
+                    target.insert(oid.clone(), Value::Record(BTreeMap::new()))?;
+                    changed = true;
+                }
+                let existing = target.value(&oid).expect("just ensured").clone();
+                let Value::Record(mut fields) = existing else {
+                    return Err(EngineError::Invalid(format!(
+                        "target object {oid} does not hold a record value"
+                    )));
+                };
+                match fields.get(&label) {
+                    Some(previous) if previous == &value => {}
+                    Some(previous) => {
+                        return Err(EngineError::Invalid(format!(
+                            "ambiguous transformation: {oid}.{label} receives both {} and {}",
+                            wol_model::display::render_value(previous),
+                            wol_model::display::render_value(&value)
+                        )))
+                    }
+                    None => {
+                        fields.insert(label.clone(), value);
+                        target.update(&oid, Value::Record(fields))?;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok((target, report))
+}
+
+/// Convenience wrapper returning only the target instance.
+pub fn naive_transform(
+    program: &Program,
+    sources: &[&Instance],
+    target_name: &str,
+) -> Result<Instance> {
+    naive_transform_with_report(program, sources, target_name, &NaiveOptions::default())
+        .map(|(instance, _)| instance)
+}
+
+/// Determine the identity of a head object under a binding: a body-bound
+/// object variable, an explicit Skolem key, or a key derived from the object's
+/// key attributes. Returns `None` if the clause cannot determine the object
+/// for this binding (incomplete description).
+fn identify_object(
+    object: &crate::headform::HeadObject,
+    binding: &Bindings,
+    dbs: &Databases<'_>,
+    keys: &BTreeMap<wol_model::ClassName, ObjectKey>,
+    factory: &mut SkolemFactory,
+) -> Result<Option<Oid>> {
+    // Bound by the body?
+    if let Some(value) = binding.get(&object.var) {
+        return match value {
+            Value::Oid(oid) => Ok(Some(oid.clone())),
+            other => Err(EngineError::Eval(format!(
+                "head object variable {} is bound to a non-object value of kind `{}`",
+                object.var,
+                other.kind()
+            ))),
+        };
+    }
+    // Explicit Skolem identity?
+    if let Some(args) = &object.explicit_key {
+        let key = eval_skolem_key(args, binding, dbs, factory)?;
+        return Ok(Some(factory.mk(&object.class, &key)));
+    }
+    // Key derived from the class's key constraint and the head's attributes.
+    if let Some(object_key) = keys.get(&object.class) {
+        let mut parts = BTreeMap::new();
+        for (label, path) in &object_key.parts {
+            if path.len() != 1 {
+                return Ok(None);
+            }
+            let attr = &path.segments()[0];
+            let Some(term) = object.attrs.get(attr) else {
+                return Ok(None);
+            };
+            parts.insert(label.clone(), eval_term(term, binding, dbs, factory)?);
+        }
+        let key = Value::Record(parts);
+        return Ok(Some(factory.mk(&object.class, &key)));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wol_lang::program::{Program, SchemaBinding};
+    use wol_model::{ClassName, Schema, Type};
+
+    fn euro_schema() -> Schema {
+        Schema::new("euro")
+            .with_class(
+                "CityE",
+                Type::record([
+                    ("name", Type::str()),
+                    ("is_capital", Type::bool()),
+                    ("country", Type::class("CountryE")),
+                ]),
+            )
+            .with_class(
+                "CountryE",
+                Type::record([
+                    ("name", Type::str()),
+                    ("language", Type::str()),
+                    ("currency", Type::str()),
+                ]),
+            )
+    }
+
+    fn target_schema() -> Schema {
+        Schema::new("target")
+            .with_class(
+                "CityT",
+                Type::record([
+                    ("name", Type::str()),
+                    ("place", Type::variant([("euro_city", Type::class("CountryT"))])),
+                ]),
+            )
+            .with_class(
+                "CountryT",
+                Type::record([
+                    ("name", Type::str()),
+                    ("language", Type::str()),
+                    ("currency", Type::str()),
+                    ("capital", Type::optional(Type::class("CityT"))),
+                ]),
+            )
+    }
+
+    fn cities_program() -> Program {
+        Program::new(
+            "euro_to_target",
+            vec![SchemaBinding::new(euro_schema())],
+            SchemaBinding::new(target_schema()),
+        )
+        .with_text(
+            "T1: X in CountryT, X.name = E.name, X.language = E.language, X.currency = E.currency \
+                 <= E in CountryE;\n\
+             T2: Y in CityT, Y.name = E.name, Y.place = ins_euro_city(X) \
+                 <= E in CityE, X in CountryT, X.name = E.country.name;\n\
+             T3: X.capital = Y \
+                 <= X in CountryT, Y in CityT, Y.place = ins_euro_city(X), \
+                    E in CityE, E.name = Y.name, E.country.name = X.name, E.is_capital = true;\n\
+             C3: Y = Mk_CountryT(N) <= Y in CountryT, N = Y.name;\n\
+             C2: X = Mk_CityT(name = N, place = P) <= X in CityT, N = X.name, P = X.place;",
+        )
+    }
+
+    fn euro_instance() -> Instance {
+        let mut inst = Instance::new("euro");
+        let uk = inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([
+                ("name", Value::str("United Kingdom")),
+                ("language", Value::str("English")),
+                ("currency", Value::str("sterling")),
+            ]),
+        );
+        let fr = inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([
+                ("name", Value::str("France")),
+                ("language", Value::str("French")),
+                ("currency", Value::str("franc")),
+            ]),
+        );
+        for (name, capital, country) in [
+            ("London", true, &uk),
+            ("Manchester", false, &uk),
+            ("Paris", true, &fr),
+        ] {
+            inst.insert_fresh(
+                &ClassName::new("CityE"),
+                Value::record([
+                    ("name", Value::str(name)),
+                    ("is_capital", Value::bool(capital)),
+                    ("country", Value::oid(country.clone())),
+                ]),
+            );
+        }
+        inst
+    }
+
+    #[test]
+    fn naive_evaluation_reaches_the_paper_target() {
+        let program = cities_program();
+        let source = euro_instance();
+        let (target, report) =
+            naive_transform_with_report(&program, &[&source][..], "target", &NaiveOptions::default())
+                .unwrap();
+        assert_eq!(target.extent_size(&ClassName::new("CountryT")), 2);
+        assert_eq!(target.extent_size(&ClassName::new("CityT")), 3);
+        // Multiple passes were needed: T2 depends on T1's output and T3 on both
+        // (plus a final pass that detects the fixpoint).
+        assert!(report.passes >= 4, "expected several passes, got {}", report.passes);
+        assert!(report.bindings_considered > 0);
+
+        let france = target
+            .find_by_field(&ClassName::new("CountryT"), "name", &Value::str("France"))
+            .unwrap();
+        let capital = target.value(france).unwrap().project("capital").cloned();
+        let capital_oid = capital.and_then(|v| v.as_oid().cloned()).expect("France has a capital");
+        assert_eq!(
+            target.value(&capital_oid).unwrap().project("name"),
+            Some(&Value::str("Paris"))
+        );
+    }
+
+    #[test]
+    fn naive_and_normalized_execution_agree() {
+        let program = cities_program();
+        let source = euro_instance();
+        let naive = naive_transform(&program, &[&source][..], "target").unwrap();
+        let normal = crate::normalize::normalize(&program, &crate::normalize::NormalizeOptions::default()).unwrap();
+        let compiled = crate::normalize::execute(&normal, &[&source][..], "target").unwrap();
+        for class in ["CountryT", "CityT"] {
+            assert_eq!(
+                naive.extent_size(&ClassName::new(class)),
+                compiled.extent_size(&ClassName::new(class)),
+                "extent sizes differ for {class}"
+            );
+        }
+        // Compare the multisets of country descriptions (names + currencies).
+        let describe = |inst: &Instance| {
+            let mut v: Vec<(Value, Value)> = inst
+                .objects(&ClassName::new("CountryT"))
+                .map(|(_, value)| {
+                    (
+                        value.project("name").cloned().unwrap(),
+                        value.project("currency").cloned().unwrap(),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(describe(&naive), describe(&compiled));
+    }
+
+    #[test]
+    fn clause_without_key_attributes_is_skipped_not_fatal() {
+        // A clause that cannot determine its object's key contributes nothing.
+        let program = Program::new(
+            "p",
+            vec![SchemaBinding::new(euro_schema())],
+            SchemaBinding::new(target_schema()),
+        )
+        .with_text(
+            "T: X in CountryT, X.language = L <= Y in CountryE, Y.language = L;\n\
+             C3: Y = Mk_CountryT(N) <= Y in CountryT, N = Y.name;",
+        );
+        let source = euro_instance();
+        let target = naive_transform(&program, &[&source][..], "t").unwrap();
+        assert_eq!(target.extent_size(&ClassName::new("CountryT")), 0);
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_empty_sources() {
+        let program = cities_program();
+        let source = Instance::new("euro");
+        let (target, report) =
+            naive_transform_with_report(&program, &[&source][..], "t", &NaiveOptions::default()).unwrap();
+        assert!(target.is_empty());
+        assert_eq!(report.passes, 1);
+    }
+
+    #[test]
+    fn conflicting_updates_detected() {
+        let program = Program::new(
+            "conflict",
+            vec![SchemaBinding::new(euro_schema())],
+            SchemaBinding::new(target_schema()),
+        )
+        .with_text(
+            "T1: X in CountryT, X.name = E.name, X.currency = E.currency <= E in CountryE;\n\
+             T2: X in CountryT, X.name = E.name, X.currency = \"euro\" <= E in CountryE;\n\
+             C3: Y = Mk_CountryT(N) <= Y in CountryT, N = Y.name;",
+        );
+        let source = euro_instance();
+        let err = naive_transform(&program, &[&source][..], "t").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn max_passes_caps_runaway_programs() {
+        let program = cities_program();
+        let source = euro_instance();
+        let options = NaiveOptions { max_passes: 1 };
+        let (target, report) =
+            naive_transform_with_report(&program, &[&source][..], "t", &options).unwrap();
+        assert_eq!(report.passes, 1);
+        // After a single pass the capital attribute cannot have been filled in.
+        let france = target.find_by_field(&ClassName::new("CountryT"), "name", &Value::str("France"));
+        if let Some(fr) = france {
+            assert_eq!(target.value(fr).unwrap().project("capital"), None);
+        }
+    }
+}

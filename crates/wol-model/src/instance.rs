@@ -1,0 +1,312 @@
+//! Database instances.
+//!
+//! An instance of a schema consists of a finite set of object identities for
+//! each class and a mapping from each identity to its associated value, such
+//! that every identity occurring inside a value belongs to one of the
+//! instance's extents (Section 2.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::ModelError;
+use crate::oid::{Oid, OidGen};
+use crate::types::ClassName;
+use crate::values::Value;
+use crate::Result;
+
+/// A database instance: extents of object identities per class, plus the value
+/// associated with each identity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Instance {
+    schema_name: String,
+    extents: BTreeMap<ClassName, BTreeSet<Oid>>,
+    values: BTreeMap<Oid, Value>,
+    oid_gen: OidGen,
+}
+
+impl Instance {
+    /// Create an empty instance labelled with the name of the schema it is an
+    /// instance of.
+    pub fn new(schema_name: impl Into<String>) -> Self {
+        Instance {
+            schema_name: schema_name.into(),
+            extents: BTreeMap::new(),
+            values: BTreeMap::new(),
+            oid_gen: OidGen::new(),
+        }
+    }
+
+    /// The name of the schema this instance belongs to.
+    pub fn schema_name(&self) -> &str {
+        &self.schema_name
+    }
+
+    /// Insert an object with a caller-provided identity.
+    ///
+    /// The identity's class must match the extent it is inserted into, and the
+    /// identity must not already be present.
+    pub fn insert(&mut self, oid: Oid, value: Value) -> Result<()> {
+        let class = oid.class().clone();
+        if self.values.contains_key(&oid) {
+            return Err(ModelError::DuplicateOid(oid.to_string()));
+        }
+        self.extents.entry(class).or_default().insert(oid.clone());
+        self.values.insert(oid, value);
+        Ok(())
+    }
+
+    /// Insert an object with a freshly generated identity, returning it.
+    pub fn insert_fresh(&mut self, class: &ClassName, value: Value) -> Oid {
+        let oid = self.oid_gen.fresh(class);
+        self.extents.entry(class.clone()).or_default().insert(oid.clone());
+        self.values.insert(oid.clone(), value);
+        oid
+    }
+
+    /// Replace the value of an existing object.
+    pub fn update(&mut self, oid: &Oid, value: Value) -> Result<()> {
+        match self.values.get_mut(oid) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(ModelError::DanglingOid(oid.to_string())),
+        }
+    }
+
+    /// The value associated with an identity.
+    pub fn value(&self, oid: &Oid) -> Option<&Value> {
+        self.values.get(oid)
+    }
+
+    /// The value associated with an identity, or an error if it is unknown.
+    pub fn value_or_err(&self, oid: &Oid) -> Result<&Value> {
+        self.values
+            .get(oid)
+            .ok_or_else(|| ModelError::DanglingOid(oid.to_string()))
+    }
+
+    /// Whether the identity is present in this instance.
+    pub fn contains(&self, oid: &Oid) -> bool {
+        self.values.contains_key(oid)
+    }
+
+    /// The extent (set of identities) of a class; empty if the class has no
+    /// objects.
+    pub fn extent(&self, class: &ClassName) -> impl Iterator<Item = &Oid> {
+        self.extents.get(class).into_iter().flatten()
+    }
+
+    /// The number of objects in a class's extent.
+    pub fn extent_size(&self, class: &ClassName) -> usize {
+        self.extents.get(class).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Iterate over `(oid, value)` pairs of a class's extent.
+    pub fn objects(&self, class: &ClassName) -> impl Iterator<Item = (&Oid, &Value)> {
+        self.extent(class).map(move |oid| {
+            let value = self
+                .values
+                .get(oid)
+                .expect("extent oid always has a value");
+            (oid, value)
+        })
+    }
+
+    /// Iterate over every `(oid, value)` pair in the instance.
+    pub fn all_objects(&self) -> impl Iterator<Item = (&Oid, &Value)> {
+        self.values.iter()
+    }
+
+    /// The classes that have a (possibly empty) extent recorded.
+    pub fn populated_classes(&self) -> Vec<ClassName> {
+        self.extents.keys().cloned().collect()
+    }
+
+    /// Total number of objects across all classes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the instance holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Remove an object from the instance. Dangling references left behind are
+    /// detected by [`validate::check_instance`](crate::validate::check_instance).
+    pub fn remove(&mut self, oid: &Oid) -> Option<Value> {
+        if let Some(ext) = self.extents.get_mut(oid.class()) {
+            ext.remove(oid);
+        }
+        self.values.remove(oid)
+    }
+
+    /// Look up an object of `class` by a projected field value, e.g. find the
+    /// `CountryE` whose `name` is `"France"`. Linear scan; convenience for
+    /// tests, examples and adapters.
+    pub fn find_by_field(&self, class: &ClassName, field: &str, value: &Value) -> Option<&Oid> {
+        self.objects(class)
+            .find(|(_, v)| v.project(field) == Some(value))
+            .map(|(oid, _)| oid)
+    }
+
+    /// Merge another instance into this one. Identities must be disjoint.
+    pub fn absorb(&mut self, other: &Instance) -> Result<()> {
+        for (oid, value) in other.all_objects() {
+            self.insert(oid.clone(), value.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Total number of value-tree nodes stored; a rough size metric used by
+    /// the benchmark harness.
+    pub fn size_nodes(&self) -> usize {
+        self.values.values().map(Value::size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ClassName;
+
+    fn city(name: &str, capital: bool, country: &Oid) -> Value {
+        Value::record([
+            ("name", Value::str(name)),
+            ("is_capital", Value::bool(capital)),
+            ("country", Value::oid(country.clone())),
+        ])
+    }
+
+    /// Build (a fragment of) the Example 2.2 instance.
+    fn euro_instance() -> (Instance, Oid, Oid) {
+        let mut inst = Instance::new("euro");
+        let country_class = ClassName::new("CountryE");
+        let city_class = ClassName::new("CityE");
+        let uk = inst.insert_fresh(
+            &country_class,
+            Value::record([
+                ("name", Value::str("United Kingdom")),
+                ("language", Value::str("English")),
+                ("currency", Value::str("sterling")),
+            ]),
+        );
+        let fr = inst.insert_fresh(
+            &country_class,
+            Value::record([
+                ("name", Value::str("France")),
+                ("language", Value::str("French")),
+                ("currency", Value::str("franc")),
+            ]),
+        );
+        inst.insert_fresh(&city_class, city("London", true, &uk));
+        inst.insert_fresh(&city_class, city("Manchester", false, &uk));
+        inst.insert_fresh(&city_class, city("Paris", true, &fr));
+        (inst, uk, fr)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (inst, uk, _) = euro_instance();
+        assert_eq!(inst.schema_name(), "euro");
+        assert_eq!(inst.len(), 5);
+        assert!(!inst.is_empty());
+        assert_eq!(inst.extent_size(&ClassName::new("CityE")), 3);
+        assert_eq!(inst.extent_size(&ClassName::new("CountryE")), 2);
+        assert_eq!(inst.extent_size(&ClassName::new("Nope")), 0);
+        let uk_val = inst.value(&uk).unwrap();
+        assert_eq!(uk_val.project("currency"), Some(&Value::str("sterling")));
+        assert!(inst.contains(&uk));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut inst = Instance::new("euro");
+        let oid = Oid::new(ClassName::new("CountryE"), 0);
+        inst.insert(oid.clone(), Value::record([("name", Value::str("UK"))]))
+            .unwrap();
+        let err = inst
+            .insert(oid, Value::record([("name", Value::str("FR"))]))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateOid(_)));
+    }
+
+    #[test]
+    fn update_value() {
+        let (mut inst, uk, _) = euro_instance();
+        let mut new_val = inst.value(&uk).unwrap().clone();
+        if let Value::Record(ref mut fields) = new_val {
+            fields.insert("currency".into(), Value::str("pound"));
+        }
+        inst.update(&uk, new_val).unwrap();
+        assert_eq!(
+            inst.value(&uk).unwrap().project("currency"),
+            Some(&Value::str("pound"))
+        );
+        let missing = Oid::new(ClassName::new("CountryE"), 999);
+        assert!(inst.update(&missing, Value::Unit).is_err());
+    }
+
+    #[test]
+    fn find_by_field() {
+        let (inst, _, fr) = euro_instance();
+        let found = inst
+            .find_by_field(&ClassName::new("CountryE"), "name", &Value::str("France"))
+            .unwrap();
+        assert_eq!(found, &fr);
+        assert!(inst
+            .find_by_field(&ClassName::new("CountryE"), "name", &Value::str("Atlantis"))
+            .is_none());
+    }
+
+    #[test]
+    fn objects_iterate_with_values() {
+        let (inst, _, _) = euro_instance();
+        let capitals: Vec<&Value> = inst
+            .objects(&ClassName::new("CityE"))
+            .filter(|(_, v)| v.project("is_capital") == Some(&Value::bool(true)))
+            .map(|(_, v)| v.project("name").unwrap())
+            .collect();
+        assert_eq!(capitals.len(), 2);
+    }
+
+    #[test]
+    fn remove_object() {
+        let (mut inst, uk, _) = euro_instance();
+        let removed = inst.remove(&uk).unwrap();
+        assert_eq!(removed.project("name"), Some(&Value::str("United Kingdom")));
+        assert!(!inst.contains(&uk));
+        assert_eq!(inst.extent_size(&ClassName::new("CountryE")), 1);
+        assert!(inst.remove(&uk).is_none());
+    }
+
+    #[test]
+    fn absorb_disjoint_instances() {
+        let (mut inst, _, _) = euro_instance();
+        let mut other = Instance::new("us");
+        other.insert(
+            Oid::new(ClassName::new("StateA"), 0),
+            Value::record([("name", Value::str("Pennsylvania"))]),
+        )
+        .unwrap();
+        inst.absorb(&other).unwrap();
+        assert_eq!(inst.extent_size(&ClassName::new("StateA")), 1);
+    }
+
+    #[test]
+    fn absorb_conflicting_instances_fails() {
+        let (mut inst, _, _) = euro_instance();
+        let copy = inst.clone();
+        assert!(inst.absorb(&copy).is_err());
+    }
+
+    #[test]
+    fn populated_classes_and_size() {
+        let (inst, _, _) = euro_instance();
+        assert_eq!(
+            inst.populated_classes(),
+            vec![ClassName::new("CityE"), ClassName::new("CountryE")]
+        );
+        assert!(inst.size_nodes() > inst.len());
+    }
+}

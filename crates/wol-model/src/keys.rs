@@ -1,0 +1,431 @@
+//! Surrogate keys and Skolem object creation (Section 2.2).
+//!
+//! A *key specification* assigns to each class a function from its objects to
+//! key values that do not involve object identities. An instance *satisfies*
+//! the specification iff distinct objects of a class always have distinct key
+//! values. The [`SkolemFactory`] implements the paper's `Mk_C(...)` functions:
+//! it deterministically creates (and memoises) an object identity for each
+//! distinct key value of a class.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::instance::Instance;
+use crate::oid::Oid;
+use crate::path::Path;
+use crate::types::{ClassName, Label};
+use crate::values::Value;
+use crate::Result;
+
+/// An expression describing how to compute a key value from an object.
+///
+/// Key expressions mirror the paper's Example 2.3: the key of a `CountryE`
+/// is `x.name`, and the key of a `CityE` is the record
+/// `(name = x.name, country_name = x.country.name)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeyExpr {
+    /// Project an attribute path from the object's value, dereferencing object
+    /// identities along the way. If the final value is itself an identity, it
+    /// is *not* dereferenced — use a longer path to reach a value instead.
+    Path(Path),
+    /// A record of named sub-keys.
+    Record(Vec<(Label, KeyExpr)>),
+    /// A fixed constant.
+    Const(Value),
+}
+
+impl KeyExpr {
+    /// Convenience: a key that is a single attribute path, e.g. `"name"` or
+    /// `"country.name"`.
+    pub fn path(p: impl Into<Path>) -> KeyExpr {
+        KeyExpr::Path(p.into())
+    }
+
+    /// Convenience: a record of labelled path keys.
+    pub fn record<I, L>(fields: I) -> KeyExpr
+    where
+        I: IntoIterator<Item = (L, KeyExpr)>,
+        L: Into<Label>,
+    {
+        KeyExpr::Record(fields.into_iter().map(|(l, k)| (l.into(), k)).collect())
+    }
+
+    /// Evaluate the key expression for the object value `value` in `instance`.
+    pub fn eval(&self, value: &Value, instance: &Instance) -> Result<Value> {
+        match self {
+            KeyExpr::Path(path) => Ok(path.eval(value, instance)?.clone()),
+            KeyExpr::Record(fields) => {
+                let mut out = BTreeMap::new();
+                for (label, sub) in fields {
+                    out.insert(label.clone(), sub.eval(value, instance)?);
+                }
+                Ok(Value::Record(out))
+            }
+            KeyExpr::Const(v) => Ok(v.clone()),
+        }
+    }
+}
+
+impl fmt::Display for KeyExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyExpr::Path(p) => write!(f, "x.{p}"),
+            KeyExpr::Record(fields) => {
+                write!(f, "(")?;
+                for (i, (l, k)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l} = {k}")?;
+                }
+                write!(f, ")")
+            }
+            KeyExpr::Const(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// A key specification: a key expression per (keyed) class of a schema.
+///
+/// Classes without an entry are unkeyed; key-based merging and Skolem creation
+/// are only available for keyed classes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KeySpec {
+    keys: BTreeMap<ClassName, KeyExpr>,
+}
+
+impl KeySpec {
+    /// An empty key specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the key expression for a class (builder style).
+    pub fn with_key(mut self, class: impl Into<ClassName>, key: KeyExpr) -> Self {
+        self.keys.insert(class.into(), key);
+        self
+    }
+
+    /// Set the key expression for a class.
+    pub fn set_key(&mut self, class: impl Into<ClassName>, key: KeyExpr) {
+        self.keys.insert(class.into(), key);
+    }
+
+    /// The key expression of a class, if any.
+    pub fn key_of(&self, class: &ClassName) -> Option<&KeyExpr> {
+        self.keys.get(class)
+    }
+
+    /// Whether the class has a key.
+    pub fn has_key(&self, class: &ClassName) -> bool {
+        self.keys.contains_key(class)
+    }
+
+    /// The keyed classes.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassName> {
+        self.keys.keys()
+    }
+
+    /// Number of keyed classes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no class is keyed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Evaluate the key of an object identity in an instance.
+    pub fn eval(&self, oid: &Oid, instance: &Instance) -> Result<Value> {
+        let key = self
+            .keys
+            .get(oid.class())
+            .ok_or_else(|| ModelError::KeyEvaluation(format!("class `{}` has no key", oid.class())))?;
+        let value = instance.value_or_err(oid)?;
+        let key_value = key.eval(value, instance)?;
+        if key_value.contains_oid() {
+            return Err(ModelError::KeyContainsOid(oid.class().clone()));
+        }
+        Ok(key_value)
+    }
+
+    /// Check that `instance` satisfies this key specification: within each
+    /// keyed class, distinct objects have distinct key values (Section 2.2).
+    pub fn check(&self, instance: &Instance) -> Result<()> {
+        for (class, _) in &self.keys {
+            let mut seen: BTreeMap<Value, Oid> = BTreeMap::new();
+            for oid in instance.extent(class) {
+                let key_value = self.eval(oid, instance)?;
+                if let Some(previous) = seen.get(&key_value) {
+                    if previous != oid {
+                        return Err(ModelError::KeyViolation {
+                            class: class.clone(),
+                            key: format!("{key_value:?}"),
+                        });
+                    }
+                }
+                seen.insert(key_value, oid.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Build an index from key value to object identity for one class.
+    /// Fails if the key is violated.
+    pub fn index(&self, class: &ClassName, instance: &Instance) -> Result<BTreeMap<Value, Oid>> {
+        let mut out = BTreeMap::new();
+        for oid in instance.extent(class) {
+            let key_value = self.eval(oid, instance)?;
+            if let Some(previous) = out.insert(key_value.clone(), oid.clone()) {
+                if &previous != oid {
+                    return Err(ModelError::KeyViolation {
+                        class: class.clone(),
+                        key: format!("{key_value:?}"),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Deterministic Skolem-function factory implementing the paper's `Mk_C`
+/// object-creating functions.
+///
+/// `mk(class, key_value)` returns the *same* object identity every time it is
+/// called with the same class and key value within one factory, and a fresh
+/// identity for each new key value. This realises the semantics of Skolem
+/// functions, "which create new object identities associated uniquely with
+/// their arguments" (Section 3.1), and makes the "unique smallest
+/// transformation up to renaming of object identities" reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct SkolemFactory {
+    assigned: BTreeMap<(ClassName, Value), Oid>,
+    counters: BTreeMap<ClassName, u64>,
+}
+
+impl SkolemFactory {
+    /// A factory with no identities assigned yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply `Mk_class(key)`: return the identity associated with the key
+    /// value, creating it if necessary.
+    pub fn mk(&mut self, class: &ClassName, key: &Value) -> Oid {
+        if let Some(existing) = self.assigned.get(&(class.clone(), key.clone())) {
+            return existing.clone();
+        }
+        let counter = self.counters.entry(class.clone()).or_insert(0);
+        let oid = Oid::new(class.clone(), *counter);
+        *counter += 1;
+        self.assigned.insert((class.clone(), key.clone()), oid.clone());
+        oid
+    }
+
+    /// Look up the identity for a key value without creating one.
+    pub fn lookup(&self, class: &ClassName, key: &Value) -> Option<&Oid> {
+        self.assigned.get(&(class.clone(), key.clone()))
+    }
+
+    /// The key value that produced an identity, if the identity came from this
+    /// factory. (Inverse of [`mk`](Self::mk); linear in the number of
+    /// assignments.)
+    pub fn key_of(&self, oid: &Oid) -> Option<&Value> {
+        self.assigned
+            .iter()
+            .find(|(_, assigned)| *assigned == oid)
+            .map(|((_, key), _)| key)
+    }
+
+    /// Number of identities created for a class.
+    pub fn count(&self, class: &ClassName) -> usize {
+        self.assigned.keys().filter(|(c, _)| c == class).count()
+    }
+
+    /// Total number of identities created.
+    pub fn len(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// True if no identities have been created.
+    pub fn is_empty(&self) -> bool {
+        self.assigned.is_empty()
+    }
+
+    /// Pre-register identities for every object of `class` in `instance`,
+    /// keyed by `spec`. Used when a transformation's target already contains
+    /// data that new objects must merge with.
+    pub fn seed_from_instance(
+        &mut self,
+        class: &ClassName,
+        spec: &KeySpec,
+        instance: &Instance,
+    ) -> Result<()> {
+        for oid in instance.extent(class) {
+            let key = spec.eval(oid, instance)?;
+            self.assigned.insert((class.clone(), key), oid.clone());
+            let counter = self.counters.entry(class.clone()).or_insert(0);
+            *counter = (*counter).max(oid.id() + 1);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn euro_instance() -> (Instance, Oid, Oid, Oid) {
+        let mut inst = Instance::new("euro");
+        let uk = inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([("name", Value::str("United Kingdom"))]),
+        );
+        let fr = inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([("name", Value::str("France"))]),
+        );
+        let paris = inst.insert_fresh(
+            &ClassName::new("CityE"),
+            Value::record([("name", Value::str("Paris")), ("country", Value::oid(fr.clone()))]),
+        );
+        (inst, uk, fr, paris)
+    }
+
+    fn euro_keys() -> KeySpec {
+        // Example 2.3 of the paper.
+        KeySpec::new()
+            .with_key("CountryE", KeyExpr::path("name"))
+            .with_key(
+                "CityE",
+                KeyExpr::record([
+                    ("name", KeyExpr::path("name")),
+                    ("country_name", KeyExpr::path("country.name")),
+                ]),
+            )
+    }
+
+    #[test]
+    fn key_evaluation_follows_example_2_3() {
+        let (inst, _, _, paris) = euro_instance();
+        let keys = euro_keys();
+        let key = keys.eval(&paris, &inst).unwrap();
+        assert_eq!(
+            key,
+            Value::record([
+                ("name", Value::str("Paris")),
+                ("country_name", Value::str("France"))
+            ])
+        );
+    }
+
+    #[test]
+    fn key_spec_lookup() {
+        let keys = euro_keys();
+        assert!(keys.has_key(&ClassName::new("CountryE")));
+        assert!(!keys.has_key(&ClassName::new("StateA")));
+        assert_eq!(keys.len(), 2);
+        assert!(!keys.is_empty());
+        assert_eq!(keys.classes().count(), 2);
+    }
+
+    #[test]
+    fn satisfied_key_spec_checks_ok() {
+        let (inst, _, _, _) = euro_instance();
+        assert!(euro_keys().check(&inst).is_ok());
+    }
+
+    #[test]
+    fn violated_key_spec_detected() {
+        let (mut inst, _, _, _) = euro_instance();
+        // A second country also called France violates the name key.
+        inst.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([("name", Value::str("France"))]),
+        );
+        let err = euro_keys().check(&inst).unwrap_err();
+        assert!(matches!(err, ModelError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn key_containing_oid_rejected() {
+        let (inst, _, _, paris) = euro_instance();
+        let keys = KeySpec::new().with_key("CityE", KeyExpr::path("country"));
+        let err = keys.eval(&paris, &inst).unwrap_err();
+        assert_eq!(err, ModelError::KeyContainsOid(ClassName::new("CityE")));
+    }
+
+    #[test]
+    fn unkeyed_class_eval_fails() {
+        let (inst, uk, _, _) = euro_instance();
+        let keys = KeySpec::new();
+        assert!(keys.eval(&uk, &inst).is_err());
+    }
+
+    #[test]
+    fn index_maps_keys_to_oids() {
+        let (inst, uk, fr, _) = euro_instance();
+        let keys = euro_keys();
+        let index = keys.index(&ClassName::new("CountryE"), &inst).unwrap();
+        assert_eq!(index.get(&Value::str("United Kingdom")), Some(&uk));
+        assert_eq!(index.get(&Value::str("France")), Some(&fr));
+    }
+
+    #[test]
+    fn skolem_factory_is_deterministic_and_injective() {
+        let mut factory = SkolemFactory::new();
+        let country = ClassName::new("CountryT");
+        let a = factory.mk(&country, &Value::str("France"));
+        let b = factory.mk(&country, &Value::str("France"));
+        let c = factory.mk(&country, &Value::str("Germany"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(factory.count(&country), 2);
+        assert_eq!(factory.len(), 2);
+        assert!(!factory.is_empty());
+        assert_eq!(factory.lookup(&country, &Value::str("France")), Some(&a));
+        assert_eq!(factory.key_of(&a), Some(&Value::str("France")));
+        assert_eq!(factory.key_of(&Oid::new(country, 99)), None);
+    }
+
+    #[test]
+    fn skolem_factory_separates_classes() {
+        let mut factory = SkolemFactory::new();
+        let a = factory.mk(&ClassName::new("CountryT"), &Value::str("France"));
+        let b = factory.mk(&ClassName::new("CityT"), &Value::str("France"));
+        assert_ne!(a, b);
+        assert_eq!(a.class(), &ClassName::new("CountryT"));
+        assert_eq!(b.class(), &ClassName::new("CityT"));
+    }
+
+    #[test]
+    fn seed_from_instance_reuses_existing_oids() {
+        let (inst, uk, fr, _) = euro_instance();
+        let keys = euro_keys();
+        let mut factory = SkolemFactory::new();
+        factory
+            .seed_from_instance(&ClassName::new("CountryE"), &keys, &inst)
+            .unwrap();
+        // Asking for an existing key returns the existing identity...
+        let again = factory.mk(&ClassName::new("CountryE"), &Value::str("France"));
+        assert_eq!(again, fr);
+        // ... and a new key gets a fresh identity that does not collide.
+        let fresh = factory.mk(&ClassName::new("CountryE"), &Value::str("Spain"));
+        assert_ne!(fresh, uk);
+        assert_ne!(fresh, fr);
+    }
+
+    #[test]
+    fn key_expr_display() {
+        let k = KeyExpr::record([
+            ("name", KeyExpr::path("name")),
+            ("country_name", KeyExpr::path("country.name")),
+        ]);
+        let rendered = k.to_string();
+        assert!(rendered.contains("name = x.name"));
+        assert!(rendered.contains("country_name = x.country.name"));
+    }
+}

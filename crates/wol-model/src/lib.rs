@@ -1,0 +1,45 @@
+//! # wol-model
+//!
+//! The complex-object data model underlying the WOL transformation language
+//! (Davidson & Kosky, *WOL: A Language for Database Transformations and
+//! Constraints*, ICDE 1997, Section 2).
+//!
+//! The model provides:
+//!
+//! * **Types** ([`Type`]): base types, class types, set types, record types,
+//!   variant types, lists and optional fields, nested arbitrarily deep.
+//! * **Values** ([`Value`]): structural values of those types, including opaque
+//!   object identities ([`Oid`]).
+//! * **Schemas** ([`Schema`]): a finite set of classes together with the type of
+//!   the value associated with each class.
+//! * **Instances** ([`Instance`]): finite extents of object identities per class
+//!   plus a mapping from each identity to its value.
+//! * **Surrogate keys** ([`KeySpec`], [`KeyExpr`]): value-based handles on object
+//!   identities, and a deterministic Skolem factory ([`SkolemFactory`]) used to
+//!   create identities from key values (the `Mk_C` functions of the paper).
+//!
+//! The crate is self-contained and has no dependency on the WOL language itself;
+//! it is the substrate every other crate in the workspace builds on.
+
+pub mod display;
+pub mod error;
+pub mod instance;
+pub mod keys;
+pub mod oid;
+pub mod path;
+pub mod schema;
+pub mod types;
+pub mod validate;
+pub mod values;
+
+pub use error::ModelError;
+pub use instance::Instance;
+pub use keys::{KeyExpr, KeySpec, SkolemFactory};
+pub use oid::Oid;
+pub use path::Path;
+pub use schema::Schema;
+pub use types::{BaseType, ClassName, Label, Type};
+pub use values::{RealVal, Value};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

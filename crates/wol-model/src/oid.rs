@@ -1,0 +1,130 @@
+//! Object identities.
+//!
+//! Object identities are opaque handles: they are "not considered to be
+//! directly visible and are typically unrelated between databases"
+//! (Section 2.2). Each identity records the class it belongs to and a
+//! numeric discriminator that is unique within the creating context.
+
+use std::fmt;
+
+use crate::types::ClassName;
+
+/// An object identity of a particular class.
+///
+/// Two identities are equal iff they have the same class and the same
+/// discriminator. Equality of identities never inspects the associated value;
+/// value-based identification goes through surrogate keys
+/// ([`KeySpec`](crate::KeySpec)).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid {
+    class: ClassName,
+    id: u64,
+}
+
+impl Oid {
+    /// Create an identity of `class` with discriminator `id`.
+    pub fn new(class: ClassName, id: u64) -> Self {
+        Oid { class, id }
+    }
+
+    /// The class this identity belongs to.
+    pub fn class(&self) -> &ClassName {
+        &self.class
+    }
+
+    /// The numeric discriminator.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}:{}", self.class, self.id)
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A simple monotonic generator of fresh object identities, one counter per
+/// class. Used when loading data from sources that do not come with explicit
+/// identities (flat files, relational rows, tree databases).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OidGen {
+    counters: std::collections::BTreeMap<ClassName, u64>,
+}
+
+impl OidGen {
+    /// Create a generator whose counters all start at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Produce a fresh identity of `class`.
+    pub fn fresh(&mut self, class: &ClassName) -> Oid {
+        let counter = self.counters.entry(class.clone()).or_insert(0);
+        let id = *counter;
+        *counter += 1;
+        Oid::new(class.clone(), id)
+    }
+
+    /// Number of identities generated so far for `class`.
+    pub fn count(&self, class: &ClassName) -> u64 {
+        self.counters.get(class).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_equality_and_display() {
+        let c = ClassName::new("CityE");
+        let a = Oid::new(c.clone(), 0);
+        let b = Oid::new(c.clone(), 0);
+        let d = Oid::new(c.clone(), 1);
+        assert_eq!(a, b);
+        assert_ne!(a, d);
+        assert_eq!(a.to_string(), "#CityE:0");
+        assert_eq!(format!("{a:?}"), "#CityE:0");
+        assert_eq!(a.class(), &c);
+        assert_eq!(d.id(), 1);
+    }
+
+    #[test]
+    fn oids_of_different_classes_differ() {
+        let a = Oid::new(ClassName::new("CityE"), 7);
+        let b = Oid::new(ClassName::new("CountryE"), 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generator_is_monotonic_per_class() {
+        let mut gen = OidGen::new();
+        let city = ClassName::new("CityE");
+        let country = ClassName::new("CountryE");
+        let a = gen.fresh(&city);
+        let b = gen.fresh(&city);
+        let c = gen.fresh(&country);
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        assert_eq!(c.id(), 0);
+        assert_ne!(a, b);
+        assert_eq!(gen.count(&city), 2);
+        assert_eq!(gen.count(&country), 1);
+        assert_eq!(gen.count(&ClassName::new("Other")), 0);
+    }
+
+    #[test]
+    fn oids_are_ordered() {
+        let c = ClassName::new("C");
+        let a = Oid::new(c.clone(), 1);
+        let b = Oid::new(c.clone(), 2);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: run the paper's running example end to end.
+//!
+//! Builds the European Cities/Countries source database of Example 2.2,
+//! compiles the WOL transformation program (clauses T1–T3 plus key
+//! constraints) with Morphase, executes it in a single pass, and prints the
+//! integrated target database and the pipeline report.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use wol_repro::morphase::{render_report, Morphase};
+use wol_repro::wol_model::display::render_instance;
+use wol_repro::workloads::cities::CitiesWorkload;
+
+fn main() {
+    let workload = CitiesWorkload::new();
+    let program = workload.euro_program();
+    let source = workload.small_euro_instance();
+
+    println!("== WOL program ==");
+    println!("{}", CitiesWorkload::euro_program_text());
+    println!();
+    println!("== Source database (European cities and countries) ==");
+    println!("{}", render_instance(&source));
+    println!();
+
+    let run = Morphase::new()
+        .transform(&program, &[&source][..])
+        .expect("the cities transformation runs");
+
+    println!("== Target database (integrated cities) ==");
+    println!("{}", render_instance(&run.target));
+    println!();
+    println!("{}", render_report(&run));
+    println!("== Compiled CPL plans ==");
+    for plan in &run.plans {
+        println!("{plan}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the WOL reproduction: re-exports every workspace member
+//! so that examples and integration tests can use a single dependency.
+
+pub use cpl;
+pub use datalog_baseline;
+pub use morphase;
+pub use storage;
+pub use wol_engine;
+pub use wol_lang;
+pub use wol_model;
+pub use workloads;

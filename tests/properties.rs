@@ -1,0 +1,99 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use proptest::prelude::*;
+
+use wol_repro::morphase::Morphase;
+use wol_repro::wol_engine::{execute, instances_equivalent, normalize, NormalizeOptions};
+use wol_repro::wol_lang::{parse_clause, render_clause};
+use wol_repro::wol_model::{ClassName, SkolemFactory, Value};
+use wol_repro::workloads::cities::{generate_euro, CitiesWorkload};
+use wol_repro::workloads::{variants, wide};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Skolem factory is a bijection between key values and identities:
+    /// equal keys give equal identities, distinct keys give distinct ones.
+    #[test]
+    fn skolem_factory_is_injective(keys in proptest::collection::vec("[a-z]{1,8}", 1..20)) {
+        let mut factory = SkolemFactory::new();
+        let class = ClassName::new("CountryT");
+        let mut assigned = std::collections::BTreeMap::new();
+        for key in &keys {
+            let oid = factory.mk(&class, &Value::str(key.clone()));
+            let again = factory.mk(&class, &Value::str(key.clone()));
+            prop_assert_eq!(&oid, &again);
+            if let Some(previous) = assigned.insert(key.clone(), oid.clone()) {
+                prop_assert_eq!(previous, oid);
+            }
+        }
+        let distinct_keys: std::collections::BTreeSet<_> = keys.iter().collect();
+        let distinct_oids: std::collections::BTreeSet<_> = assigned.values().collect();
+        prop_assert_eq!(distinct_keys.len(), distinct_oids.len());
+    }
+
+    /// Pretty-printing and re-parsing a clause is the identity.
+    #[test]
+    fn clause_round_trip(
+        attr in "[a-z]{1,6}",
+        class in "[A-Z][a-z]{1,6}",
+        constant in "[a-zA-Z]{1,8}",
+    ) {
+        let text = format!("X in {class}, X.{attr} = \"{constant}\" <= Y in {class}, X = Y");
+        let clause = parse_clause(&text).unwrap();
+        let reparsed = parse_clause(render_clause(&clause).trim_end_matches(';')).unwrap();
+        prop_assert_eq!(clause, reparsed);
+    }
+
+    /// The cities transformation scales: extents of the target are determined
+    /// by the source sizes, for any generated source.
+    #[test]
+    fn cities_target_extents_match_source(countries in 1usize..6, cities in 1usize..5, seed in 0u64..500) {
+        let workload = CitiesWorkload::new();
+        let program = workload.euro_program();
+        let source = generate_euro(countries, cities, seed);
+        let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
+        let target = execute(&normal, &[&source][..], "target").unwrap();
+        prop_assert_eq!(target.extent_size(&ClassName::new("CountryT")), countries);
+        prop_assert_eq!(target.extent_size(&ClassName::new("CityT")), countries * cities);
+    }
+
+    /// Normalisation is deterministic and insensitive to re-running.
+    #[test]
+    fn normalization_is_a_function(k in 1usize..5) {
+        let program = variants::wol_program(k);
+        let a = normalize(&program, &NormalizeOptions::default()).unwrap();
+        let b = normalize(&program, &NormalizeOptions::default()).unwrap();
+        prop_assert_eq!(a.clauses, b.clauses);
+    }
+
+    /// Splitting the same wide-record transformation into a different number
+    /// of partial clauses does not change the produced target (up to renaming
+    /// of object identities).
+    #[test]
+    fn partial_clause_granularity_is_semantically_irrelevant(
+        rows in 1usize..6,
+        k in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let n = 8;
+        let source = wide::generate_source(n, rows, seed);
+        let whole = normalize(&wide::normal_form_program(n), &NormalizeOptions::default()).unwrap();
+        let split = normalize(&wide::partial_program(n, k, true), &NormalizeOptions::default()).unwrap();
+        let a = execute(&whole, &[&source][..], "t").unwrap();
+        let b = execute(&split, &[&source][..], "t").unwrap();
+        prop_assert!(instances_equivalent(&a, &b, 2));
+    }
+
+    /// The Morphase/CPL execution path agrees with the engine's reference
+    /// executor on the variant family.
+    #[test]
+    fn cpl_and_reference_execution_agree(k in 1usize..4, items in 1usize..12, seed in 0u64..100) {
+        let program = variants::wol_program(k);
+        let source = variants::generate_source(k, items, seed);
+        let run = Morphase::new().transform(&program, &[&source][..]).unwrap();
+        let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
+        let reference = execute(&normal, &[&source][..], "target").unwrap();
+        prop_assert!(instances_equivalent(&run.target, &reference, 2));
+    }
+}
