@@ -46,7 +46,9 @@ fn bench_constraint_blowup(c: &mut Criterion) {
     group.finish();
 
     // Paper-style summary: normal-form size with and without constraints.
-    eprintln!("[E2] k_partial_clauses, clauses_with_keys, clauses_without_keys, size_with, size_without");
+    eprintln!(
+        "[E2] k_partial_clauses, clauses_with_keys, clauses_without_keys, size_with, size_without"
+    );
     for &partials in &[2usize, 4, 6, 8, 10] {
         let with_keys = normalize(
             &wide::partial_program(attrs, partials, true),

@@ -26,15 +26,18 @@ fn bench_variant_blowup(c: &mut Criterion) {
         let wol_program = variants::wol_program(k);
         group.bench_with_input(BenchmarkId::new("wol_partial_clauses", k), &k, |b, _| {
             b.iter(|| {
-                let normal = normalize(&wol_program, &NormalizeOptions::default()).expect("normalises");
+                let normal =
+                    normalize(&wol_program, &NormalizeOptions::default()).expect("normalises");
                 execute(&normal, &[&source][..], "target").expect("executes")
             })
         });
         let baseline = variant_baseline_program(k);
         let facts = variant_facts(&source, k);
-        group.bench_with_input(BenchmarkId::new("datalog_complete_clauses", k), &k, |b, _| {
-            b.iter(|| evaluate(&baseline.program, &facts))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("datalog_complete_clauses", k),
+            &k,
+            |b, _| b.iter(|| evaluate(&baseline.program, &facts)),
+        );
     }
     group.finish();
 

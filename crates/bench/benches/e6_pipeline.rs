@@ -24,7 +24,11 @@ fn bench_pipeline(c: &mut Criterion) {
     let cities_program = workload.euro_program();
     let cities_source = generate_euro(50, 5, 9);
     group.bench_function(BenchmarkId::new("cities", "50x5"), |b| {
-        b.iter(|| Morphase::new().transform(&cities_program, &[&cities_source][..]).expect("runs"))
+        b.iter(|| {
+            Morphase::new()
+                .transform(&cities_program, &[&cities_source][..])
+                .expect("runs")
+        })
     });
 
     let genome_program = genome::program();
@@ -35,14 +39,22 @@ fn bench_pipeline(c: &mut Criterion) {
         seed: 22,
     });
     group.bench_function(BenchmarkId::new("genome", "100c_300m"), |b| {
-        b.iter(|| Morphase::new().transform(&genome_program, &[&genome_source][..]).expect("runs"))
+        b.iter(|| {
+            Morphase::new()
+                .transform(&genome_program, &[&genome_source][..])
+                .expect("runs")
+        })
     });
     group.finish();
 
     // Per-stage report (Figure 6 stages) for the genome run.
-    let run = Morphase::new().transform(&genome_program, &[&genome_source][..]).unwrap();
+    let run = Morphase::new()
+        .transform(&genome_program, &[&genome_source][..])
+        .unwrap();
     eprintln!("[E6] genome warehouse load:\n{}", render_report(&run));
-    let run = Morphase::new().transform(&cities_program, &[&cities_source][..]).unwrap();
+    let run = Morphase::new()
+        .transform(&cities_program, &[&cities_source][..])
+        .unwrap();
     eprintln!("[E6] cities integration:\n{}", render_report(&run));
 }
 

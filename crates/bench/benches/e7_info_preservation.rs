@@ -37,9 +37,7 @@ fn bench_info_preservation(c: &mut Criterion) {
     let workload = PeopleWorkload::new();
     let program = workload.program();
     let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
-    let transform = |source: &Instance| {
-        execute(&normal, &[source][..], "people_v2").map_err(wol_engine::EngineError::from)
-    };
+    let transform = |source: &Instance| execute(&normal, &[source][..], "people_v2");
 
     for &couples in &[5usize, 20, 50] {
         // A family of valid instances plus their symmetry-broken twins.
@@ -52,7 +50,7 @@ fn bench_info_preservation(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("injectivity_check", couples),
             &family,
-            |b, family| b.iter(|| check_injective(family, &transform, 3).expect("checks")),
+            |b, family| b.iter(|| check_injective(family, transform, 3).expect("checks")),
         );
         let constraints = workload.constraints();
         let clause_refs: Vec<&wol_lang::Clause> = constraints.iter().collect();
@@ -75,7 +73,7 @@ fn bench_info_preservation(c: &mut Criterion) {
     let valid = generate_couples(couples, 1);
     let broken = break_symmetry(valid.clone(), 0);
     let family = vec![valid, broken];
-    let unfiltered = check_injective(&family, &transform, 3).unwrap();
+    let unfiltered = check_injective(&family, transform, 3).unwrap();
     let constraints = PeopleWorkload::new().constraints();
     let clause_refs: Vec<&wol_lang::Clause> = constraints.iter().collect();
     let satisfying: Vec<Instance> =
@@ -84,7 +82,7 @@ fn bench_info_preservation(c: &mut Criterion) {
             .into_iter()
             .cloned()
             .collect();
-    let filtered = check_injective(&satisfying, &transform, 3).unwrap();
+    let filtered = check_injective(&satisfying, transform, 3).unwrap();
     eprintln!(
         "[E7] without constraints: {} collisions over {} instances; \
          with constraints (C9)-(C11): {} collisions over {} instances",

@@ -44,8 +44,12 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(CplError::UnknownVariable("x".into()).to_string().contains("x"));
-        assert!(CplError::BadPlan("p".into()).to_string().contains("bad plan"));
+        assert!(CplError::UnknownVariable("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(CplError::BadPlan("p".into())
+            .to_string()
+            .contains("bad plan"));
         let e: CplError = wol_model::ModelError::Invalid("m".into()).into();
         assert!(matches!(e, CplError::Model(_)));
     }

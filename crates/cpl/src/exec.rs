@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use wol_model::{Instance, Value};
 
 use crate::error::CplError;
-use crate::expr::{eval, eval_predicate, EvalCtx};
+use crate::expr::{eval, eval_predicate, EvalCtx, Expr};
 use crate::plan::{Plan, Query};
 use crate::Result;
 
@@ -28,6 +28,8 @@ pub struct ExecStats {
     pub rows_output: usize,
     /// Objects inserted or merged into the target.
     pub objects_written: usize,
+    /// Attribute-index probes that replaced hash-join build sides.
+    pub index_probes: usize,
 }
 
 impl ExecStats {
@@ -37,7 +39,60 @@ impl ExecStats {
         self.rows_produced += other.rows_produced;
         self.rows_output += other.rows_output;
         self.objects_written += other.objects_written;
+        self.index_probes += other.index_probes;
     }
+}
+
+/// If a hash-join side is a bare class scan whose key expression is a single
+/// attribute projection off the scanned variable, the instances' attribute
+/// indexes ([`wol_model::index`]) can answer it directly: return the scan's
+/// class/variable and the attribute.
+fn indexable_side<'p>(
+    plan: &'p Plan,
+    key: &'p Expr,
+) -> Option<(&'p wol_model::ClassName, &'p str, &'p str)> {
+    let Plan::Scan { class, var } = plan else {
+        return None;
+    };
+    let Expr::Proj(base, attr) = key else {
+        return None;
+    };
+    match base.as_ref() {
+        Expr::Var(v) if v == var => Some((class, var, attr)),
+        _ => None,
+    }
+}
+
+/// The hash-join index fast path: drive the join from `driving`'s rows and
+/// answer each key by probing the indexable scan side (`class`/`var`/`attr`)
+/// through the source instances' attribute indexes.
+fn probe_join(
+    driving: &Plan,
+    driving_key: &Expr,
+    (class, var, attr): (wol_model::ClassName, String, String),
+    ctx: &mut EvalCtx<'_>,
+    stats: &mut ExecStats,
+) -> Result<Vec<Row>> {
+    let driving_rows = run_plan(driving, ctx, stats)?;
+    let sources = ctx.sources().to_vec();
+    let mut rows = Vec::new();
+    for row in &driving_rows {
+        let key = match eval(driving_key, row, ctx) {
+            Ok(key) => key,
+            Err(CplError::BadValue(_)) => continue,
+            Err(other) => return Err(other),
+        };
+        stats.index_probes += 1;
+        for instance in &sources {
+            for oid in instance.lookup_by_attr(&class, &attr, &key) {
+                let mut combined = row.clone();
+                combined.insert(var.clone(), Value::Oid(oid));
+                rows.push(combined);
+            }
+        }
+    }
+    stats.rows_produced += rows.len();
+    Ok(rows)
 }
 
 /// Run a plan against the context, returning its rows.
@@ -88,7 +143,11 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             }
             rows
         }
-        Plan::NestedLoopJoin { left, right, predicate } => {
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
             let left_rows = run_plan(left, ctx, stats)?;
             let right_rows = run_plan(right, ctx, stats)?;
             let mut rows = Vec::new();
@@ -107,7 +166,25 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             }
             rows
         }
-        Plan::HashJoin { left, right, left_key, right_key } => {
+        Plan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            // Index fast path: when one side is a bare scan keyed by a single
+            // attribute of the scanned object, skip materialising (and hash
+            // building over) that side entirely — drive the join from the
+            // other side's rows and answer each key with an attribute-index
+            // probe into the source instances.
+            if let Some((class, var, attr)) = indexable_side(left, left_key) {
+                let side = (class.clone(), var.to_string(), attr.to_string());
+                return probe_join(right, right_key, side, ctx, stats);
+            }
+            if let Some((class, var, attr)) = indexable_side(right, right_key) {
+                let side = (class.clone(), var.to_string(), attr.to_string());
+                return probe_join(left, left_key, side, ctx, stats);
+            }
             let left_rows = run_plan(left, ctx, stats)?;
             let right_rows = run_plan(right, ctx, stats)?;
             // Build on the left, probe with the right.
@@ -256,7 +333,11 @@ mod tests {
         let mut stats = ExecStats::default();
         let nl = Plan::scan("CityE", "E").join(
             Plan::scan("CountryE", "C"),
-            Some(Expr::var("E").path("country.name").eq(Expr::var("C").proj("name"))),
+            Some(
+                Expr::var("E")
+                    .path("country.name")
+                    .eq(Expr::var("C").proj("name")),
+            ),
         );
         let hj = Plan::scan("CityE", "E").hash_join(
             Plan::scan("CountryE", "C"),
@@ -276,13 +357,47 @@ mod tests {
     }
 
     #[test]
+    fn hash_join_scan_side_is_answered_by_index_probes() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        let mut stats = ExecStats::default();
+        // The CountryE side is a bare scan keyed by a single attribute, so it
+        // is answered by attribute-index probes: it contributes no scanned
+        // rows, and one probe per driving row.
+        let plan = Plan::scan("CityE", "E").hash_join(
+            Plan::scan("CountryE", "C"),
+            Expr::var("E").path("country.name"),
+            Expr::var("C").proj("name"),
+        );
+        let mut ctx = EvalCtx::new(&refs);
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(stats.rows_scanned, 3); // CityE only
+        assert_eq!(stats.index_probes, 3); // one per city row
+                                           // A join whose scan side is keyed by a computed expression falls back
+                                           // to the generic hash join.
+        let mut stats = ExecStats::default();
+        let generic = Plan::scan("CityE", "E").hash_join(
+            Plan::scan("CountryE", "C"),
+            Expr::var("E").path("country.name"),
+            Expr::var("C").path("capital.name"),
+        );
+        let mut ctx = EvalCtx::new(&refs);
+        let _ = run_plan(&generic, &mut ctx, &mut stats);
+        assert_eq!(stats.index_probes, 0);
+    }
+
+    #[test]
     fn distinct_removes_duplicates() {
         let inst = euro_instance();
         let refs = [&inst];
         let mut ctx = EvalCtx::new(&refs);
         let mut stats = ExecStats::default();
         let plan = Plan::scan("CityE", "E")
-            .map(vec![("L".to_string(), Expr::var("E").path("country.language"))])
+            .map(vec![(
+                "L".to_string(),
+                Expr::var("E").path("country.language"),
+            )])
             .map(vec![("K".to_string(), Expr::var("L"))])
             .distinct();
         // Keep only the language column to create duplicates.
@@ -292,7 +407,7 @@ mod tests {
         };
         let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
         assert_eq!(rows.len(), 3); // rows still distinct because E differs
-        // Project to just the language: build rows manually to check distinct.
+                                   // Project to just the language: build rows manually to check distinct.
         let lang_only = Plan::Distinct {
             input: Box::new(Plan::Map {
                 input: Box::new(Plan::scan("CityE", "E")),
@@ -358,14 +473,21 @@ mod tests {
         let mut target = Instance::new("target");
         let make = |name: &str, value: Expr| Query {
             name: name.to_string(),
-            plan: Plan::scan("CountryE", "C").map(vec![("N".to_string(), Expr::var("C").proj("name"))]),
+            plan: Plan::scan("CountryE", "C")
+                .map(vec![("N".to_string(), Expr::var("C").proj("name"))]),
             inserts: vec![InsertAction {
                 class: ClassName::new("CountryT"),
                 key: Expr::var("N"),
                 attrs: vec![("currency".to_string(), value)],
             }],
         };
-        execute_query(&make("a", Expr::var("C").proj("currency")), &mut ctx, &mut target, &mut stats).unwrap();
+        execute_query(
+            &make("a", Expr::var("C").proj("currency")),
+            &mut ctx,
+            &mut target,
+            &mut stats,
+        )
+        .unwrap();
         let err = execute_query(
             &make("b", Expr::Const(Value::str("euro"))),
             &mut ctx,
@@ -382,7 +504,10 @@ mod tests {
         let ghost = Oid::new(ClassName::new("CountryE"), 42);
         inst.insert_fresh(
             &ClassName::new("CityE"),
-            Value::record([("name", Value::str("Atlantis")), ("country", Value::oid(ghost))]),
+            Value::record([
+                ("name", Value::str("Atlantis")),
+                ("country", Value::oid(ghost)),
+            ]),
         );
         let refs = [&inst];
         let mut ctx = EvalCtx::new(&refs);
@@ -402,10 +527,12 @@ mod tests {
             rows_produced: 2,
             rows_output: 3,
             objects_written: 4,
+            index_probes: 5,
         };
         let b = a;
         a.absorb(b);
         assert_eq!(a.rows_scanned, 2);
         assert_eq!(a.objects_written, 8);
+        assert_eq!(a.index_probes, 10);
     }
 }

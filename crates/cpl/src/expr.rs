@@ -162,9 +162,10 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &mut EvalCtx<'_>) -> Result<Value> {
             }
             Ok(Value::Record(out))
         }
-        Expr::Variant(label, payload) => {
-            Ok(Value::Variant(label.clone(), Box::new(eval(payload, row, ctx)?)))
-        }
+        Expr::Variant(label, payload) => Ok(Value::Variant(
+            label.clone(),
+            Box::new(eval(payload, row, ctx)?),
+        )),
         Expr::Skolem(class, key) => {
             let key_value = eval(key, row, ctx)?;
             Ok(Value::Oid(ctx.factory.mk(class, &key_value)))
@@ -231,7 +232,10 @@ mod tests {
         let mut inst = Instance::new("euro");
         let fr = inst.insert_fresh(
             &ClassName::new("CountryE"),
-            Value::record([("name", Value::str("France")), ("currency", Value::str("franc"))]),
+            Value::record([
+                ("name", Value::str("France")),
+                ("currency", Value::str("franc")),
+            ]),
         );
         let paris = inst.insert_fresh(
             &ClassName::new("CityE"),
@@ -262,7 +266,10 @@ mod tests {
         let row = Row::from([("N".to_string(), Value::str("France"))]);
         let expr = Expr::Record(vec![
             ("name".to_string(), Expr::var("N")),
-            ("kind".to_string(), Expr::Variant("euro".to_string(), Box::new(Expr::Const(Value::Unit)))),
+            (
+                "kind".to_string(),
+                Expr::Variant("euro".to_string(), Box::new(Expr::Const(Value::Unit))),
+            ),
         ]);
         let value = eval(&expr, &row, &mut ctx).unwrap();
         assert_eq!(value.project("kind"), Some(&Value::tag("euro")));
@@ -284,9 +291,15 @@ mod tests {
         ]);
         let p = Expr::var("E").proj("is_capital");
         assert!(eval_predicate(&p, &row, &mut ctx).unwrap());
-        let cmp = Expr::Lt(Box::new(Expr::var("N")), Box::new(Expr::Const(Value::int(5))));
+        let cmp = Expr::Lt(
+            Box::new(Expr::var("N")),
+            Box::new(Expr::Const(Value::int(5))),
+        );
         assert!(eval_predicate(&cmp, &row, &mut ctx).unwrap());
-        let leq = Expr::Leq(Box::new(Expr::var("N")), Box::new(Expr::Const(Value::int(3))));
+        let leq = Expr::Leq(
+            Box::new(Expr::var("N")),
+            Box::new(Expr::Const(Value::int(3))),
+        );
         assert!(eval_predicate(&leq, &row, &mut ctx).unwrap());
         let and = Expr::and(vec![p, cmp, leq]);
         assert!(eval_predicate(&and, &row, &mut ctx).unwrap());
@@ -295,7 +308,10 @@ mod tests {
             Box::new(Expr::Const(Value::int(4))),
         )));
         assert!(eval_predicate(&not, &row, &mut ctx).unwrap());
-        let neq = Expr::Neq(Box::new(Expr::var("N")), Box::new(Expr::Const(Value::int(4))));
+        let neq = Expr::Neq(
+            Box::new(Expr::var("N")),
+            Box::new(Expr::Const(Value::int(4))),
+        );
         assert!(eval_predicate(&neq, &row, &mut ctx).unwrap());
     }
 
@@ -305,7 +321,9 @@ mod tests {
         let refs = [&inst];
         let mut ctx = EvalCtx::new(&refs);
         let row = Row::from([("C".to_string(), Value::oid(fr))]);
-        let expr = Expr::var("C").proj("population").eq(Expr::Const(Value::int(1)));
+        let expr = Expr::var("C")
+            .proj("population")
+            .eq(Expr::Const(Value::int(1)));
         assert!(!eval_predicate(&expr, &row, &mut ctx).unwrap());
         assert!(matches!(
             eval(&Expr::var("C").proj("population"), &row, &mut ctx),

@@ -41,7 +41,11 @@ fn rewrite(plan: Plan) -> Plan {
         Plan::Distinct { input } => Plan::Distinct {
             input: Box::new(rewrite(*input)),
         },
-        Plan::NestedLoopJoin { left, right, predicate } => {
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
             let left = rewrite(*left);
             let right = rewrite(*right);
             match predicate {
@@ -53,7 +57,12 @@ fn rewrite(plan: Plan) -> Plan {
                 },
             }
         }
-        Plan::HashJoin { left, right, left_key, right_key } => Plan::HashJoin {
+        Plan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => Plan::HashJoin {
             left: Box::new(rewrite(*left)),
             right: Box::new(rewrite(*right)),
             left_key,
@@ -67,7 +76,11 @@ fn rewrite(plan: Plan) -> Plan {
 fn push_filter(input: Plan, predicate: Expr) -> Plan {
     let needed = predicate.var_set();
     match input {
-        Plan::NestedLoopJoin { left, right, predicate: join_pred } => {
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            predicate: join_pred,
+        } => {
             let left_vars = left.produced_vars();
             let right_vars = right.produced_vars();
             if needed.iter().all(|v| left_vars.contains(v)) {
@@ -93,7 +106,12 @@ fn push_filter(input: Plan, predicate: Expr) -> Plan {
             let combined = conjunction(all).expect("at least one conjunct");
             upgrade_join(*left, *right, combined)
         }
-        Plan::HashJoin { left, right, left_key, right_key } => {
+        Plan::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
             let left_vars = left.produced_vars();
             let right_vars = right.produced_vars();
             if needed.iter().all(|v| left_vars.contains(v)) {
@@ -113,7 +131,12 @@ fn push_filter(input: Plan, predicate: Expr) -> Plan {
                 };
             }
             Plan::Filter {
-                input: Box::new(Plan::HashJoin { left, right, left_key, right_key }),
+                input: Box::new(Plan::HashJoin {
+                    left,
+                    right,
+                    left_key,
+                    right_key,
+                }),
                 predicate,
             }
         }
@@ -204,13 +227,23 @@ mod tests {
         let mut inst = Instance::new("euro");
         let fr = inst.insert_fresh(
             &ClassName::new("CountryE"),
-            Value::record([("name", Value::str("France")), ("language", Value::str("French"))]),
+            Value::record([
+                ("name", Value::str("France")),
+                ("language", Value::str("French")),
+            ]),
         );
         let de = inst.insert_fresh(
             &ClassName::new("CountryE"),
-            Value::record([("name", Value::str("Germany")), ("language", Value::str("German"))]),
+            Value::record([
+                ("name", Value::str("Germany")),
+                ("language", Value::str("German")),
+            ]),
         );
-        for (name, capital, c) in [("Paris", true, &fr), ("Lyon", false, &fr), ("Berlin", true, &de)] {
+        for (name, capital, c) in [
+            ("Paris", true, &fr),
+            ("Lyon", false, &fr),
+            ("Berlin", true, &de),
+        ] {
             inst.insert_fresh(
                 &ClassName::new("CityE"),
                 Value::record([
@@ -227,7 +260,11 @@ mod tests {
     fn nested_loop_with_equality_becomes_hash_join() {
         let plan = Plan::scan("CityE", "E").join(
             Plan::scan("CountryE", "C"),
-            Some(Expr::var("E").path("country.name").eq(Expr::var("C").proj("name"))),
+            Some(
+                Expr::var("E")
+                    .path("country.name")
+                    .eq(Expr::var("C").proj("name")),
+            ),
         );
         let optimised = optimize(plan);
         assert!(matches!(optimised, Plan::HashJoin { .. }));
@@ -238,7 +275,9 @@ mod tests {
         let plan = Plan::scan("CityE", "E").join(
             Plan::scan("CountryE", "C"),
             Some(Expr::and(vec![
-                Expr::var("E").path("country.name").eq(Expr::var("C").proj("name")),
+                Expr::var("E")
+                    .path("country.name")
+                    .eq(Expr::var("C").proj("name")),
                 Expr::var("E").proj("is_capital"),
             ])),
         );
@@ -272,7 +311,9 @@ mod tests {
             .join(
                 Plan::scan("CountryE", "C"),
                 Some(Expr::and(vec![
-                    Expr::var("E").path("country.name").eq(Expr::var("C").proj("name")),
+                    Expr::var("E")
+                        .path("country.name")
+                        .eq(Expr::var("C").proj("name")),
                     Expr::var("E").proj("is_capital"),
                 ])),
             )
@@ -298,7 +339,9 @@ mod tests {
         );
         let optimised = optimize(plan);
         match optimised {
-            Plan::NestedLoopJoin { left, predicate, .. } => {
+            Plan::NestedLoopJoin {
+                left, predicate, ..
+            } => {
                 // The one-sided predicate is pushed down; no residual remains.
                 assert!(matches!(*left, Plan::Filter { .. }) || predicate.is_some());
             }
@@ -310,7 +353,11 @@ mod tests {
     fn optimize_is_idempotent() {
         let plan = Plan::scan("CityE", "E").join(
             Plan::scan("CountryE", "C"),
-            Some(Expr::var("E").path("country.name").eq(Expr::var("C").proj("name"))),
+            Some(
+                Expr::var("E")
+                    .path("country.name")
+                    .eq(Expr::var("C").proj("name")),
+            ),
         );
         let once = optimize(plan);
         let twice = optimize(once.clone());

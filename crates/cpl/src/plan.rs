@@ -105,7 +105,9 @@ impl Plan {
 
     /// Distinct helper.
     pub fn distinct(self) -> Plan {
-        Plan::Distinct { input: Box::new(self) }
+        Plan::Distinct {
+            input: Box::new(self),
+        }
     }
 
     /// The row variables this plan is guaranteed to produce.
@@ -152,7 +154,11 @@ impl Plan {
                 Plan::Map { input, bindings } => {
                     out.push_str(&format!(
                         "{pad}Map [{}]\n",
-                        bindings.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>().join(", ")
+                        bindings
+                            .iter()
+                            .map(|(v, _)| v.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     ));
                     go(input, indent + 1, out);
                 }

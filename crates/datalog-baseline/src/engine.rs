@@ -38,7 +38,11 @@ fn match_tuple(atom: &DatalogAtom, tuple: &[Value], bindings: &Bindings) -> Opti
     Some(out)
 }
 
-fn eval_term(term: &DatalogTerm, bindings: &Bindings, factory: &mut SkolemFactory) -> Option<Value> {
+fn eval_term(
+    term: &DatalogTerm,
+    bindings: &Bindings,
+    factory: &mut SkolemFactory,
+) -> Option<Value> {
     match term {
         DatalogTerm::Var(v) => bindings.get(v).cloned(),
         DatalogTerm::Const(c) => Some(c.clone()),
@@ -139,7 +143,9 @@ pub fn evaluate(program: &DatalogProgram, edb: &Database) -> (Database, EvalStat
             break;
         }
         for (predicate, tuples) in &new_delta {
-            db.entry(predicate.clone()).or_default().extend(tuples.iter().cloned());
+            db.entry(predicate.clone())
+                .or_default()
+                .extend(tuples.iter().cloned());
         }
         delta = new_delta;
         if stats.iterations > 10_000 {
@@ -170,7 +176,10 @@ mod tests {
         let program = DatalogProgram::new(vec![
             DatalogRule::new(
                 DatalogAtom::new("path", vec![DatalogTerm::var("X"), DatalogTerm::var("Y")]),
-                vec![DatalogAtom::new("edge", vec![DatalogTerm::var("X"), DatalogTerm::var("Y")])],
+                vec![DatalogAtom::new(
+                    "edge",
+                    vec![DatalogTerm::var("X"), DatalogTerm::var("Y")],
+                )],
             ),
             DatalogRule::new(
                 DatalogAtom::new("path", vec![DatalogTerm::var("X"), DatalogTerm::var("Z")]),
@@ -192,7 +201,9 @@ mod tests {
         let mut edb = Database::new();
         edb.insert(
             "name".to_string(),
-            [vec![Value::str("Ada")], vec![Value::str("Alan")]].into_iter().collect(),
+            [vec![Value::str("Ada")], vec![Value::str("Alan")]]
+                .into_iter()
+                .collect(),
         );
         let program = DatalogProgram::new(vec![DatalogRule::new(
             DatalogAtom::new(

@@ -116,7 +116,8 @@ mod tests {
 
         // WOL path.
         let program = variants::wol_program(k);
-        let normal = wol_engine::normalize(&program, &wol_engine::NormalizeOptions::default()).unwrap();
+        let normal =
+            wol_engine::normalize(&program, &wol_engine::NormalizeOptions::default()).unwrap();
         let target = wol_engine::execute(&normal, &[&source][..], "target").unwrap();
         assert_eq!(target.extent_size(&ClassName::new("Obj")), items);
 
@@ -135,10 +136,8 @@ mod tests {
             })
             .collect();
         wol_rows.sort();
-        let mut baseline_rows: Vec<Vec<Value>> = db["obj"]
-            .iter()
-            .map(|tuple| tuple[1..].to_vec())
-            .collect();
+        let mut baseline_rows: Vec<Vec<Value>> =
+            db["obj"].iter().map(|tuple| tuple[1..].to_vec()).collect();
         baseline_rows.sort();
         assert_eq!(wol_rows, baseline_rows);
     }

@@ -270,7 +270,10 @@ mod tests {
             class: ClassName::new("Tgt"),
             key: SkolemArgs::Positional(vec![Term::var("N")]),
             attrs: BTreeMap::new(),
-            body: vec![Atom::InSet(Term::var("X"), Term::var("S")), Atom::Member(Term::var("S"), ClassName::new("Src"))],
+            body: vec![
+                Atom::InSet(Term::var("X"), Term::var("S")),
+                Atom::Member(Term::var("S"), ClassName::new("Src")),
+            ],
             creates: true,
             provenance: vec!["t".to_string()],
         };

@@ -64,7 +64,9 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        assert!(MorphaseError::Verification("v".into()).to_string().contains("verification"));
+        assert!(MorphaseError::Verification("v".into())
+            .to_string()
+            .contains("verification"));
         let e: MorphaseError = wol_lang::LangError::Invalid("x".into()).into();
         assert!(matches!(e, MorphaseError::Language(_)));
         let e: MorphaseError = wol_engine::EngineError::Invalid("x".into()).into();

@@ -23,7 +23,9 @@ pub fn generate_key_clauses(schema: &Schema, keys: &KeySpec) -> Vec<Clause> {
         if !schema.has_class(class) {
             continue;
         }
-        let Some(key) = keys.key_of(class) else { continue };
+        let Some(key) = keys.key_of(class) else {
+            continue;
+        };
         let object = Term::var("X");
         let mut body = vec![Atom::Member(object.clone(), class.clone())];
         let args = match key {
@@ -61,7 +63,9 @@ pub fn generate_merge_key_clauses(schema: &Schema, keys: &KeySpec) -> Vec<Clause
         if !schema.has_class(class) {
             continue;
         }
-        let Some(key) = keys.key_of(class) else { continue };
+        let Some(key) = keys.key_of(class) else {
+            continue;
+        };
         let paths: Vec<&wol_model::Path> = match key {
             KeyExpr::Path(p) => vec![p],
             KeyExpr::Record(fields) => fields
@@ -128,7 +132,10 @@ mod tests {
         for clause in &clauses {
             match classify_constraint(clause) {
                 ConstraintClass::SkolemKey(key) => {
-                    assert!(key.class == ClassName::new("CountryT") || key.class == ClassName::new("CityT"));
+                    assert!(
+                        key.class == ClassName::new("CountryT")
+                            || key.class == ClassName::new("CityT")
+                    );
                 }
                 other => panic!("expected a Skolem key constraint, got {other:?}"),
             }
@@ -166,7 +173,10 @@ mod tests {
     fn generated_clauses_are_well_formed() {
         let keys = KeySpec::new().with_key(
             "CityT",
-            KeyExpr::record([("name", KeyExpr::path("name")), ("country", KeyExpr::path("country"))]),
+            KeyExpr::record([
+                ("name", KeyExpr::path("name")),
+                ("country", KeyExpr::path("country")),
+            ]),
         );
         let schema = target_schema();
         for clause in generate_key_clauses(&schema, &keys) {

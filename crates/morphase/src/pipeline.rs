@@ -293,7 +293,10 @@ mod tests {
                     T2: Y in CityT, Y.name = E.name, Y.place = ins_euro_city(X) <= E in CityE, X in CountryT, X.name = E.country.name;";
         let program = wol_lang::program::Program::new(
             "no_keys_written",
-            vec![wol_lang::program::SchemaBinding::keyed(w.euro_schema.clone(), w.euro_keys.clone())],
+            vec![wol_lang::program::SchemaBinding::keyed(
+                w.euro_schema.clone(),
+                w.euro_keys.clone(),
+            )],
             wol_lang::program::SchemaBinding::keyed(w.target_schema.clone(), w.target_keys.clone()),
         )
         .with_text(text);
@@ -327,7 +330,9 @@ mod tests {
     fn source_constraint_checking_rejects_bad_sources() {
         let w = CitiesWorkload::new();
         let mut program = w.euro_program();
-        program.add_text(CitiesWorkload::euro_constraints_text()).unwrap();
+        program
+            .add_text(CitiesWorkload::euro_constraints_text())
+            .unwrap();
         // A source where one country has two capitals violates (C5).
         let mut source = generate_euro(2, 2, 1);
         let second_city = source
@@ -344,7 +349,9 @@ mod tests {
             check_source_constraints: true,
             ..PipelineOptions::default()
         };
-        let err = Morphase::with_options(options).transform(&program, &[&source][..]).unwrap_err();
+        let err = Morphase::with_options(options)
+            .transform(&program, &[&source][..])
+            .unwrap_err();
         assert!(matches!(err, crate::MorphaseError::Verification(_)));
     }
 
@@ -353,8 +360,12 @@ mod tests {
         // The shape of the paper's ~6x claim: compiling a program that needs
         // normalisation does strictly more work than compiling one already in
         // normal form. (The exact ratio is measured by bench E1.)
-        let normal_run = Morphase::new().compile(&wide::normal_form_program(16)).unwrap();
-        let partial_run = Morphase::new().compile(&wide::partial_program(16, 8, true)).unwrap();
+        let normal_run = Morphase::new()
+            .compile(&wide::normal_form_program(16))
+            .unwrap();
+        let partial_run = Morphase::new()
+            .compile(&wide::partial_program(16, 8, true))
+            .unwrap();
         assert_eq!(normal_run.normal.len(), 1);
         assert_eq!(partial_run.normal.len(), 8);
         assert!(partial_run.normal.size() >= normal_run.normal.size());
@@ -367,7 +378,9 @@ mod tests {
             generate_metadata_constraints: false,
             ..PipelineOptions::default()
         };
-        let with_keys = Morphase::new().compile(&wide::partial_program(8, 4, true)).unwrap();
+        let with_keys = Morphase::new()
+            .compile(&wide::partial_program(8, 4, true))
+            .unwrap();
         let without_keys = Morphase::with_options(options)
             .compile(&wide::partial_program(8, 4, false))
             .unwrap();

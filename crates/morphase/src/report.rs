@@ -42,8 +42,11 @@ pub fn render_report(run: &MorphaseRun) -> String {
     let _ = writeln!(out, "  total          {:>10.3?}", t.total());
     let _ = writeln!(
         out,
-        "execution: {} rows scanned, {} rows produced, {} objects written",
-        run.exec.rows_scanned, run.exec.rows_produced, run.exec.objects_written
+        "execution: {} rows scanned, {} rows produced, {} index probes, {} objects written",
+        run.exec.rows_scanned,
+        run.exec.rows_produced,
+        run.exec.index_probes,
+        run.exec.objects_written
     );
     let _ = writeln!(out, "target: {} objects", run.target.len());
     out
@@ -59,11 +62,14 @@ mod tests {
     fn report_contains_the_key_metrics() {
         let w = CitiesWorkload::new();
         let source = generate_euro(2, 2, 1);
-        let run = Morphase::new().transform(&w.euro_program(), &[&source][..]).unwrap();
+        let run = Morphase::new()
+            .transform(&w.euro_program(), &[&source][..])
+            .unwrap();
         let report = render_report(&run);
         assert!(report.contains("Morphase run"));
         assert!(report.contains("normal form:"));
         assert!(report.contains("total compile"));
+        assert!(report.contains("index probes"));
         assert!(report.contains("objects written"));
     }
 }

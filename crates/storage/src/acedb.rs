@@ -133,7 +133,9 @@ fn convert(value: &AceValue, oids: &BTreeMap<(String, String), wol_model::Oid>) 
         AceValue::Int(i) => Value::Int(*i),
         AceValue::ObjectRef(class, name) => {
             let oid = oids.get(&(class.clone(), name.clone())).ok_or_else(|| {
-                StorageError::UnresolvedReference(format!("{class}:{name} is not part of the import"))
+                StorageError::UnresolvedReference(format!(
+                    "{class}:{name} is not part of the import"
+                ))
             })?;
             Value::Oid(oid.clone())
         }
@@ -167,7 +169,10 @@ impl AceMapping {
         AceMapping {
             ace_class: ace_class.into(),
             model_class: model_class.into(),
-            tags: tags.iter().map(|(t, l)| (t.to_string(), l.to_string())).collect(),
+            tags: tags
+                .iter()
+                .map(|(t, l)| (t.to_string(), l.to_string()))
+                .collect(),
         }
     }
 }
@@ -188,7 +193,10 @@ mod tests {
         store.add(
             AceObject::new("Marker", "D22S1")
                 .with_tag("Position", AceValue::Int(17))
-                .with_tag("Clone", AceValue::ObjectRef("Clone".to_string(), "cE22-1".to_string()))
+                .with_tag(
+                    "Clone",
+                    AceValue::ObjectRef("Clone".to_string(), "cE22-1".to_string()),
+                )
                 .with_tag(
                     "Aliases",
                     AceValue::Many(vec![
@@ -202,11 +210,19 @@ mod tests {
 
     fn mappings() -> Vec<AceMapping> {
         vec![
-            AceMapping::new("Clone", "CloneS", &[("Length", "length"), ("Sequenced_by", "lab")]),
+            AceMapping::new(
+                "Clone",
+                "CloneS",
+                &[("Length", "length"), ("Sequenced_by", "lab")],
+            ),
             AceMapping::new(
                 "Marker",
                 "MarkerS",
-                &[("Position", "position"), ("Clone", "clone"), ("Aliases", "aliases")],
+                &[
+                    ("Position", "position"),
+                    ("Clone", "clone"),
+                    ("Aliases", "aliases"),
+                ],
             ),
         ]
     }
@@ -223,7 +239,10 @@ mod tests {
         let full = instance
             .find_by_field(&ClassName::new("CloneS"), "name", &Value::str("cE22-1"))
             .unwrap();
-        assert_eq!(instance.value(full).unwrap().project("length"), Some(&Value::int(40_000)));
+        assert_eq!(
+            instance.value(full).unwrap().project("length"),
+            Some(&Value::int(40_000))
+        );
 
         // The sparse clone has a name but no length attribute at all.
         let sparse = instance
@@ -251,12 +270,15 @@ mod tests {
     #[test]
     fn unresolved_reference_reported() {
         let mut store = AceStore::new();
-        store.add(
-            AceObject::new("Marker", "D22S9")
-                .with_tag("Clone", AceValue::ObjectRef("Clone".to_string(), "ghost".to_string())),
-        );
+        store.add(AceObject::new("Marker", "D22S9").with_tag(
+            "Clone",
+            AceValue::ObjectRef("Clone".to_string(), "ghost".to_string()),
+        ));
         let err = store
-            .import(&[AceMapping::new("Marker", "MarkerS", &[("Clone", "clone")])], "x")
+            .import(
+                &[AceMapping::new("Marker", "MarkerS", &[("Clone", "clone")])],
+                "x",
+            )
             .unwrap_err();
         assert!(matches!(err, StorageError::UnresolvedReference(_)));
     }
@@ -265,7 +287,10 @@ mod tests {
     fn unmapped_classes_are_ignored() {
         let store = genome_store();
         let instance = store
-            .import(&[AceMapping::new("Clone", "CloneS", &[("Length", "length")])], "x")
+            .import(
+                &[AceMapping::new("Clone", "CloneS", &[("Length", "length")])],
+                "x",
+            )
             .unwrap();
         assert_eq!(instance.extent_size(&ClassName::new("MarkerS")), 0);
         assert_eq!(instance.extent_size(&ClassName::new("CloneS")), 2);

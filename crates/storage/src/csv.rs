@@ -59,7 +59,12 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Table> {
 /// Render a table as CSV text (header plus one line per row).
 pub fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let header: Vec<&str> = table.schema.columns.iter().map(|c| c.name.as_str()).collect();
+    let header: Vec<&str> = table
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in &table.rows {

@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(StorageError::BadRow("x".into()).to_string().contains("bad row"));
+        assert!(StorageError::BadRow("x".into())
+            .to_string()
+            .contains("bad row"));
         assert!(StorageError::Csv("y".into()).to_string().contains("csv"));
         let e: StorageError = wol_model::ModelError::Invalid("z".into()).into();
         assert!(matches!(e, StorageError::Model(_)));

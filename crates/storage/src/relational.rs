@@ -39,22 +39,38 @@ pub struct Column {
 impl Column {
     /// A string column.
     pub fn str(name: impl Into<String>) -> Column {
-        Column { name: name.into(), ty: ColumnType::Str, references: None }
+        Column {
+            name: name.into(),
+            ty: ColumnType::Str,
+            references: None,
+        }
     }
 
     /// An integer column.
     pub fn int(name: impl Into<String>) -> Column {
-        Column { name: name.into(), ty: ColumnType::Int, references: None }
+        Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            references: None,
+        }
     }
 
     /// A boolean column.
     pub fn bool(name: impl Into<String>) -> Column {
-        Column { name: name.into(), ty: ColumnType::Bool, references: None }
+        Column {
+            name: name.into(),
+            ty: ColumnType::Bool,
+            references: None,
+        }
     }
 
     /// A reference column pointing at `table`.
     pub fn reference(name: impl Into<String>, table: impl Into<String>) -> Column {
-        Column { name: name.into(), ty: ColumnType::Ref, references: Some(table.into()) }
+        Column {
+            name: name.into(),
+            ty: ColumnType::Ref,
+            references: Some(table.into()),
+        }
     }
 }
 
@@ -81,7 +97,10 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(schema: TableSchema) -> Table {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; its arity must match the schema.
@@ -113,7 +132,9 @@ impl Table {
             .columns
             .iter()
             .position(|c| c.name == name)
-            .ok_or_else(|| StorageError::Missing(format!("column `{name}` in table `{}`", self.schema.name)))
+            .ok_or_else(|| {
+                StorageError::Missing(format!("column `{name}` in table `{}`", self.schema.name))
+            })
     }
 }
 
@@ -201,12 +222,11 @@ pub fn dump_class(instance: &Instance, class: &ClassName, ref_key: &str) -> Resu
             let flattened = match (&column.ty, field) {
                 (ColumnType::Ref, Value::Oid(oid)) => {
                     let referenced = instance.value_or_err(&oid)?;
-                    referenced
-                        .project(ref_key)
-                        .cloned()
-                        .ok_or_else(|| StorageError::BadRow(format!(
+                    referenced.project(ref_key).cloned().ok_or_else(|| {
+                        StorageError::BadRow(format!(
                             "referenced object {oid} has no `{ref_key}` attribute"
-                        )))?
+                        ))
+                    })?
                 }
                 (_, v) => v,
             };
@@ -237,10 +257,24 @@ mod tests {
         let mut t = Table::new(TableSchema {
             name: "CountryE".to_string(),
             key_column: "name".to_string(),
-            columns: vec![Column::str("name"), Column::str("language"), Column::str("currency")],
+            columns: vec![
+                Column::str("name"),
+                Column::str("language"),
+                Column::str("currency"),
+            ],
         });
-        t.push_row(vec![Value::str("France"), Value::str("French"), Value::str("franc")]).unwrap();
-        t.push_row(vec![Value::str("United Kingdom"), Value::str("English"), Value::str("sterling")]).unwrap();
+        t.push_row(vec![
+            Value::str("France"),
+            Value::str("French"),
+            Value::str("franc"),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::str("United Kingdom"),
+            Value::str("English"),
+            Value::str("sterling"),
+        ])
+        .unwrap();
         t
     }
 
@@ -254,9 +288,24 @@ mod tests {
                 Column::reference("country", "CountryE"),
             ],
         });
-        t.push_row(vec![Value::str("Paris"), Value::bool(true), Value::str("France")]).unwrap();
-        t.push_row(vec![Value::str("London"), Value::bool(true), Value::str("United Kingdom")]).unwrap();
-        t.push_row(vec![Value::str("Lyon"), Value::bool(false), Value::str("France")]).unwrap();
+        t.push_row(vec![
+            Value::str("Paris"),
+            Value::bool(true),
+            Value::str("France"),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::str("London"),
+            Value::bool(true),
+            Value::str("United Kingdom"),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::str("Lyon"),
+            Value::bool(false),
+            Value::str("France"),
+        ])
+        .unwrap();
         t
     }
 
@@ -284,7 +333,12 @@ mod tests {
     #[test]
     fn unresolved_reference_reported() {
         let mut city = city_table();
-        city.push_row(vec![Value::str("Atlantis"), Value::bool(false), Value::str("Nowhere")]).unwrap();
+        city.push_row(vec![
+            Value::str("Atlantis"),
+            Value::bool(false),
+            Value::str("Nowhere"),
+        ])
+        .unwrap();
         let err = load_tables(&[country_table(), city], "euro").unwrap_err();
         assert!(matches!(err, StorageError::UnresolvedReference(_)));
     }
@@ -304,7 +358,10 @@ mod tests {
         assert_eq!(dumped.len(), 3);
         // Reference columns are flattened back to the referenced key.
         let country_idx = dumped.column_index("country").unwrap();
-        assert!(dumped.rows.iter().any(|r| r[country_idx] == Value::str("France")));
+        assert!(dumped
+            .rows
+            .iter()
+            .any(|r| r[country_idx] == Value::str("France")));
         // Reloading the dumped tables alongside the countries reproduces the extents.
         let reloaded = load_tables(&[country_table(), dumped], "euro2").unwrap();
         assert_eq!(reloaded.extent_size(&ClassName::new("CityE")), 3);

@@ -190,7 +190,9 @@ mod tests {
         let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
         let report = check_completeness(&normal, &target_schema());
         // `capital` is optional and undefined — still complete.
-        assert!(!report.missing_attributes.contains_key(&ClassName::new("CountryT")));
+        assert!(!report
+            .missing_attributes
+            .contains_key(&ClassName::new("CountryT")));
     }
 
     #[test]

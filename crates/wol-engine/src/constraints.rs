@@ -59,7 +59,10 @@ impl ObjectKey {
     {
         ObjectKey {
             class: class.into(),
-            parts: parts.into_iter().map(|(l, p)| (l.into(), p.into())).collect(),
+            parts: parts
+                .into_iter()
+                .map(|(l, p)| (l.into(), p.into()))
+                .collect(),
         }
     }
 
@@ -155,7 +158,9 @@ pub fn classify_constraint(clause: &Clause) -> ConstraintClass {
     for atom in &clause.head {
         if let Atom::Member(Term::Var(v), class) = atom {
             if !body_vars.contains(v) {
-                return ConstraintClass::Existence { class: class.clone() };
+                return ConstraintClass::Existence {
+                    class: class.clone(),
+                };
             }
         }
     }
@@ -323,7 +328,10 @@ pub struct Violation {
 /// Check a single constraint clause against the given databases.
 pub fn check_constraint(clause: &Clause, dbs: &Databases<'_>) -> Result<Vec<Violation>> {
     let mut skolem = SkolemFactory::new();
-    let clause_name = clause.label.clone().unwrap_or_else(|| "<unlabelled>".to_string());
+    let clause_name = clause
+        .label
+        .clone()
+        .unwrap_or_else(|| "<unlabelled>".to_string());
     let mut violations = Vec::new();
 
     // Split the head: equalities with a Skolem side are interpreted as
@@ -484,10 +492,7 @@ mod tests {
 
     /// Clause (C4): every country has a capital city.
     fn clause_c4() -> Clause {
-        parse_clause(
-            "C4: Y in CityE, Y.country = X, Y.is_capital = true <= X in CountryE",
-        )
-        .unwrap()
+        parse_clause("C4: Y in CityE, Y.country = X, Y.is_capital = true <= X in CountryE").unwrap()
     }
 
     /// Clause (C5): at most one capital city per country.
@@ -540,7 +545,9 @@ mod tests {
         let bad = euro_instance(true, true);
         let dbs_good = Databases::new(&[&good][..]);
         let dbs_bad = Databases::new(&[&bad][..]);
-        assert!(check_constraint(&clause_c5(), &dbs_good).unwrap().is_empty());
+        assert!(check_constraint(&clause_c5(), &dbs_good)
+            .unwrap()
+            .is_empty());
         let violations = check_constraint(&clause_c5(), &dbs_bad).unwrap();
         assert!(!violations.is_empty());
     }
@@ -567,11 +574,17 @@ mod tests {
     fn skolem_key_constraint_checks_injectivity() {
         // Two CountryT objects with the same name violate the C3 key.
         let mut inst = Instance::new("target");
-        inst.insert_fresh(&ClassName::new("CountryT"), Value::record([("name", Value::str("France"))]));
+        inst.insert_fresh(
+            &ClassName::new("CountryT"),
+            Value::record([("name", Value::str("France"))]),
+        );
         let ok_dbs_holder = inst.clone();
         let ok = Databases::new(&[&ok_dbs_holder][..]);
         assert!(check_constraint(&clause_c3(), &ok).unwrap().is_empty());
-        inst.insert_fresh(&ClassName::new("CountryT"), Value::record([("name", Value::str("France"))]));
+        inst.insert_fresh(
+            &ClassName::new("CountryT"),
+            Value::record([("name", Value::str("France"))]),
+        );
         let dbs = Databases::new(&[&inst][..]);
         let violations = check_constraint(&clause_c3(), &dbs).unwrap();
         assert!(!violations.is_empty());
@@ -593,8 +606,14 @@ mod tests {
                 assert_eq!(key.class, ClassName::new("CityT"));
                 assert_eq!(key.parts.len(), 2);
                 assert_eq!(key.parts[0], ("name".to_string(), Path::parse("name")));
-                assert_eq!(key.parts[1], ("country".to_string(), Path::parse("country")));
-                assert_eq!(key.leading_attributes(), vec!["name".to_string(), "country".to_string()]);
+                assert_eq!(
+                    key.parts[1],
+                    ("country".to_string(), Path::parse("country"))
+                );
+                assert_eq!(
+                    key.leading_attributes(),
+                    vec!["name".to_string(), "country".to_string()]
+                );
             }
             other => panic!("expected SkolemKey, got {other:?}"),
         }
@@ -631,14 +650,18 @@ mod tests {
         assert!(keys.contains_key(&ClassName::new("CountryT")));
         let merge = extract_merge_keys(&[&c2, &c3, &c8]);
         assert_eq!(merge.len(), 1);
-        assert_eq!(merge[&ClassName::new("CountryE")], vec![Path::parse("name")]);
+        assert_eq!(
+            merge[&ClassName::new("CountryE")],
+            vec![Path::parse("name")]
+        );
     }
 
     #[test]
     fn object_key_constructors() {
         let single = ObjectKey::single("CountryT", "name");
         assert_eq!(single.parts.len(), 1);
-        let composite = ObjectKey::composite("CityT", [("name", "name"), ("country", "country.name")]);
+        let composite =
+            ObjectKey::composite("CityT", [("name", "name"), ("country", "country.name")]);
         assert_eq!(composite.parts[1].1, Path::parse("country.name"));
     }
 
@@ -653,7 +676,10 @@ mod tests {
         );
         let phl = inst.insert_fresh(
             &ClassName::new("CityA"),
-            Value::record([("name", Value::str("Philadelphia")), ("state", Value::oid(pa.clone()))]),
+            Value::record([
+                ("name", Value::str("Philadelphia")),
+                ("state", Value::oid(pa.clone())),
+            ]),
         );
         let mut with_capital = inst.value(&pa).unwrap().clone();
         if let Value::Record(ref mut fields) = with_capital {

@@ -1,18 +1,34 @@
-//! Evaluation environment: databases, variable bindings, term evaluation and
+//! Evaluation environment: databases, bindings, term evaluation and
 //! body matching.
 //!
 //! WOL clause bodies are matched against one or more database instances (the
 //! source databases, and — for non-normal-form clauses — also the target
 //! database built so far). The matcher enumerates all bindings of the body's
-//! variables that make every body atom true; this is the reference semantics
-//! used by the naive evaluator, the constraint checker and the engine's tests.
-//! The optimised execution path compiles normal-form clauses to the `cpl`
-//! algebra instead.
+//! variables that make every body atom true.
+//!
+//! Two matchers are provided:
+//!
+//! * [`match_body`] — the **indexed** matcher. It compiles each body into a
+//!   one-shot greedy join plan (cheap filters first, then atoms ordered by
+//!   estimated selectivity from extent sizes and bound-variable coverage),
+//!   answers `Member` atoms that are equated to a bound attribute value
+//!   through the instances' secondary attribute indexes
+//!   ([`wol_model::index`]) instead of enumerating extents, and executes the
+//!   plan over a single mutable [`Bindings`] frame with an undo trail, so
+//!   extending a binding never deep-clones the binding map.
+//! * [`match_body_reference`] — the naive generate-and-test matcher the paper
+//!   contrasts Morphase with: it scans full extents and clones the binding
+//!   set at every atom extension. It is kept as the reference semantics the
+//!   indexed matcher is property-tested against, and as the "pre-index"
+//!   baseline the benchmarks measure speed-ups over.
+//!
+//! Both report [`MatchStats`] so callers (the naive evaluator, the Morphase
+//! pipeline, benches E2/E4/E6) can quantify the work done.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use wol_lang::ast::{Atom, SkolemArgs, Term, Var};
-use wol_model::{ClassName, Instance, Oid, SkolemFactory, Value};
+use wol_model::{ClassName, Instance, Label, Oid, SharedValue, SkolemFactory, Value};
 
 use crate::error::EngineError;
 use crate::Result;
@@ -45,9 +61,29 @@ impl<'a> Databases<'a> {
             .collect()
     }
 
+    /// Total number of objects of `class` across all instances.
+    pub fn extent_size(&self, class: &ClassName) -> usize {
+        self.instances.iter().map(|i| i.extent_size(class)).sum()
+    }
+
+    /// All identities of `class` whose attribute `attr` equals `value`,
+    /// answered through each instance's lazily built attribute index.
+    pub fn lookup_by_attr(&self, class: &ClassName, attr: &str, value: &Value) -> Vec<Oid> {
+        let mut out = Vec::new();
+        for instance in &self.instances {
+            out.extend(instance.lookup_by_attr(class, attr, value));
+        }
+        out
+    }
+
     /// Whether `oid` is present in the extent of its class in any instance.
     pub fn contains(&self, oid: &Oid) -> bool {
         self.instances.iter().any(|i| i.contains(oid))
+    }
+
+    /// The instances visible to this view.
+    pub fn instances(&self) -> &[&'a Instance] {
+        &self.instances
     }
 
     /// Number of instances.
@@ -62,7 +98,123 @@ impl<'a> Databases<'a> {
 }
 
 /// A binding of clause variables to values.
-pub type Bindings = BTreeMap<Var, Value>;
+///
+/// Values are held behind [`SharedValue`] (`Arc`) handles, so cloning a
+/// binding — which the matcher does once per *emitted result*, and the
+/// reference matcher once per *extension* — bumps reference counts instead of
+/// deep-cloning value trees. The map API mirrors the `BTreeMap<Var, Value>`
+/// this type used to be, so callers are unaffected.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Bindings {
+    map: BTreeMap<Var, SharedValue>,
+}
+
+impl Bindings {
+    /// An empty binding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The value bound to `var`, if any.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.map.get(var).map(|v| v.as_ref())
+    }
+
+    /// The shared handle bound to `var`, if any.
+    pub fn get_shared(&self, var: &str) -> Option<&SharedValue> {
+        self.map.get(var)
+    }
+
+    /// Whether `var` is bound.
+    pub fn contains_key(&self, var: &str) -> bool {
+        self.map.contains_key(var)
+    }
+
+    /// Bind `var` to `value`, returning the previous handle if it was bound.
+    pub fn insert(&mut self, var: impl Into<Var>, value: Value) -> Option<SharedValue> {
+        self.map.insert(var.into(), value.shared())
+    }
+
+    /// Bind `var` to an already-shared value without re-wrapping it.
+    pub fn insert_shared(
+        &mut self,
+        var: impl Into<Var>,
+        value: SharedValue,
+    ) -> Option<SharedValue> {
+        self.map.insert(var.into(), value)
+    }
+
+    /// Remove the binding of `var`.
+    pub fn remove(&mut self, var: &str) -> Option<SharedValue> {
+        self.map.remove(var)
+    }
+
+    /// Iterate over `(variable, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Value)> {
+        self.map.iter().map(|(k, v)| (k, v.as_ref()))
+    }
+
+    /// The bound variables.
+    pub fn keys(&self) -> impl Iterator<Item = &Var> {
+        self.map.keys()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<const N: usize> From<[(Var, Value); N]> for Bindings {
+    fn from(entries: [(Var, Value); N]) -> Self {
+        entries.into_iter().collect()
+    }
+}
+
+impl FromIterator<(Var, Value)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (Var, Value)>>(iter: I) -> Self {
+        Bindings {
+            map: iter
+                .into_iter()
+                .map(|(var, value)| (var, value.shared()))
+                .collect(),
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Bindings {
+    type Output = Value;
+
+    fn index(&self, var: &str) -> &Value {
+        self.get(var)
+            .unwrap_or_else(|| panic!("no binding for variable `{var}`"))
+    }
+}
+
+/// Statistics of a body-matching run, for benchmarks and regression tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Full extent enumerations performed.
+    pub extents_scanned: usize,
+    /// Attribute-index probes performed (indexed matcher only).
+    pub index_probes: usize,
+    /// Candidate bindings enumerated across all atom-processing steps.
+    pub bindings_considered: usize,
+}
+
+impl MatchStats {
+    /// Accumulate another stats value into this one.
+    pub fn absorb(&mut self, other: MatchStats) {
+        self.extents_scanned += other.extents_scanned;
+        self.index_probes += other.index_probes;
+        self.bindings_considered += other.bindings_considered;
+    }
+}
 
 /// Evaluate a term under `bindings`. Skolem terms are resolved through
 /// `skolem`, creating object identities on demand; projections dereference
@@ -84,19 +236,15 @@ pub fn eval_term(
             let record = match &base_value {
                 Value::Oid(oid) => dbs
                     .value_of(oid)
-                    .ok_or_else(|| EngineError::Eval(format!("dangling object identity {oid}")))?
-                    .clone(),
-                other => other.clone(),
+                    .ok_or_else(|| EngineError::Eval(format!("dangling object identity {oid}")))?,
+                other => other,
             };
-            record
-                .project(label)
-                .cloned()
-                .ok_or_else(|| {
-                    EngineError::Eval(format!(
-                        "value of kind `{}` has no attribute `{label}`",
-                        record.kind()
-                    ))
-                })
+            record.project(label).cloned().ok_or_else(|| {
+                EngineError::Eval(format!(
+                    "value of kind `{}` has no attribute `{label}`",
+                    record.kind()
+                ))
+            })
         }
         Term::Record(fields) => {
             let mut out = BTreeMap::new();
@@ -173,52 +321,72 @@ pub fn match_pattern(
     dbs: &Databases<'_>,
     skolem: &mut SkolemFactory,
 ) -> Option<Bindings> {
+    let mut extended = bindings.clone();
+    let mut trail = Vec::new();
+    if match_pattern_in_place(pattern, value, &mut extended, &mut trail, dbs, skolem) {
+        Some(extended)
+    } else {
+        None
+    }
+}
+
+/// In-place pattern matching over a mutable frame: newly bound variables are
+/// recorded on `trail` so the caller can undo the extension with
+/// [`unwind_trail`]. On failure, partial bindings may remain on the trail;
+/// the caller must unwind to its own mark.
+fn match_pattern_in_place(
+    pattern: &Term,
+    value: &Value,
+    bindings: &mut Bindings,
+    trail: &mut Vec<Var>,
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+) -> bool {
     match pattern {
         Term::Var(v) => match bindings.get(v) {
-            Some(existing) => {
-                if existing == value {
-                    Some(bindings.clone())
-                } else {
-                    None
-                }
-            }
+            Some(existing) => existing == value,
             None => {
-                let mut extended = bindings.clone();
-                extended.insert(v.clone(), value.clone());
-                Some(extended)
+                bindings.insert(v.clone(), value.clone());
+                trail.push(v.clone());
+                true
             }
         },
-        Term::Const(c) => {
-            if c == value {
-                Some(bindings.clone())
-            } else {
-                None
-            }
-        }
+        Term::Const(c) => c == value,
         Term::Record(fields) => {
-            let Value::Record(actual) = value else { return None };
-            let mut current = bindings.clone();
+            let Value::Record(actual) = value else {
+                return false;
+            };
             for (label, sub) in fields {
-                let sub_value = actual.get(label)?;
-                current = match_pattern(sub, sub_value, &current, dbs, skolem)?;
+                let Some(sub_value) = actual.get(label) else {
+                    return false;
+                };
+                if !match_pattern_in_place(sub, sub_value, bindings, trail, dbs, skolem) {
+                    return false;
+                }
             }
-            Some(current)
+            true
         }
         Term::Variant(label, payload) => {
-            let Value::Variant(actual_label, actual_payload) = value else { return None };
-            if label != actual_label {
-                return None;
-            }
-            match_pattern(payload, actual_payload, bindings, dbs, skolem)
+            let Value::Variant(actual_label, actual_payload) = value else {
+                return false;
+            };
+            label == actual_label
+                && match_pattern_in_place(payload, actual_payload, bindings, trail, dbs, skolem)
         }
         Term::Proj(_, _) | Term::Skolem(_, _) => {
-            let evaluated = try_eval_term(pattern, bindings, dbs, skolem)?;
-            if &evaluated == value {
-                Some(bindings.clone())
-            } else {
-                None
+            match try_eval_term(pattern, bindings, dbs, skolem) {
+                Some(evaluated) => &evaluated == value,
+                None => false,
             }
         }
+    }
+}
+
+/// Undo frame extensions recorded on the trail past `mark`.
+fn unwind_trail(bindings: &mut Bindings, trail: &mut Vec<Var>, mark: usize) {
+    while trail.len() > mark {
+        let var = trail.pop().expect("trail length checked");
+        bindings.remove(&var);
     }
 }
 
@@ -233,6 +401,533 @@ fn is_pattern(term: &Term) -> bool {
         Term::Proj(_, _) | Term::Skolem(_, _) => false,
     }
 }
+
+fn compare_numeric(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
+        (Value::Real(x), Value::Real(y)) => Ok(x.cmp(y)),
+        (Value::Int(x), Value::Real(y)) => Ok(wol_model::RealVal(*x as f64).cmp(y)),
+        (Value::Real(x), Value::Int(y)) => Ok(x.cmp(&wol_model::RealVal(*y as f64))),
+        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
+        _ => Err(EngineError::Eval(format!(
+            "cannot compare values of kinds `{}` and `{}`",
+            a.kind(),
+            b.kind()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The indexed matcher: greedy join plans over an undo-trail frame.
+// ---------------------------------------------------------------------------
+
+/// How one body atom is processed by a join plan.
+#[derive(Clone, Debug)]
+enum StepKind {
+    /// All variables bound: check the atom and keep or drop the binding.
+    Filter,
+    /// Equality with one side evaluable and the other a pattern: evaluate,
+    /// destructure, bind.
+    BindEq {
+        /// Whether the evaluable side is the left one.
+        bound_is_left: bool,
+    },
+    /// Membership of a fully-determined object: an O(1) presence check.
+    MemberCheck,
+    /// Membership enumerated from the class extent, matching the term as a
+    /// pattern.
+    MemberScan,
+    /// Membership answered by probing the attribute index: the member
+    /// variable is equated to a bound value through `attr` by the consumed
+    /// equality atom.
+    MemberProbe {
+        /// The attribute the equality constrains.
+        attr: Label,
+        /// Index of the consumed equality atom in the body.
+        eq_atom: usize,
+        /// Whether the *key* (evaluable) side of that equality is its left
+        /// term.
+        key_is_left: bool,
+    },
+    /// Set membership with a bound set: enumerate elements, bind the element
+    /// pattern.
+    InSetBind,
+    /// No remaining atom can ever be processed: the body is not
+    /// range-restricted. Raised only if a binding actually reaches this step.
+    Stuck,
+}
+
+/// One step of a join plan: which atom, processed how.
+#[derive(Clone, Debug)]
+struct Step {
+    atom: usize,
+    kind: StepKind,
+}
+
+/// Cost assigned to a dead scan (an enumeration that cannot bind anything);
+/// chosen last so that genuinely productive atoms run first.
+const DEAD_SCAN_COST: u64 = 1 << 40;
+
+/// If `term` is a single projection `v.attr` off the given variable, return
+/// the attribute.
+fn single_proj_attr<'t>(term: &'t Term, var: &str) -> Option<&'t Label> {
+    match term {
+        Term::Proj(base, label) => match base.as_ref() {
+            Term::Var(v) if v == var => Some(label),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Build a one-shot greedy join plan for `atoms`, given the initially bound
+/// variables. At each step the cheapest processable atom is chosen:
+///
+/// * fully bound atoms are free filters (cost 0);
+/// * oriented equalities bind pattern variables (cost 1);
+/// * `Member` atoms whose variable is equated to a bound attribute value are
+///   answered through the attribute index (cost scales with a fraction of the
+///   extent, standing in for the expected bucket size);
+/// * remaining `Member` atoms enumerate their extent (cost = extent size), so
+///   the smallest extents are scanned first.
+///
+/// Variable boundness depends only on *which* atoms have been processed, not
+/// on any particular binding, so the plan is valid for every branch of the
+/// search.
+fn build_plan(atoms: &[Atom], initially_bound: &BTreeSet<Var>, dbs: &Databases<'_>) -> Vec<Step> {
+    let mut used = vec![false; atoms.len()];
+    let mut bound = initially_bound.clone();
+    let mut steps = Vec::new();
+
+    fn remaining(used: &[bool]) -> impl Iterator<Item = usize> + '_ {
+        used.iter()
+            .enumerate()
+            .filter(|(_, u)| !**u)
+            .map(|(i, _)| i)
+    }
+
+    while remaining(&used).next().is_some() {
+        let mut best: Option<(u64, Step, Vec<Var>, Option<usize>)> = None;
+        for i in remaining(&used) {
+            let Some(candidate) = classify_atom(i, &atoms[i], atoms, &used, &bound, dbs) else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|(cost, ..)| candidate.0 < *cost) {
+                best = Some(candidate);
+            }
+        }
+        match best {
+            Some((_, step, binds, consumed)) => {
+                used[step.atom] = true;
+                if let Some(eq) = consumed {
+                    used[eq] = true;
+                }
+                bound.extend(binds);
+                steps.push(step);
+            }
+            None => {
+                // Whatever is left can never be processed; fail any binding
+                // that reaches this point (zero bindings fail nothing, which
+                // matches the dynamic matcher's behaviour).
+                steps.push(Step {
+                    atom: atoms.len(),
+                    kind: StepKind::Stuck,
+                });
+                break;
+            }
+        }
+    }
+    steps
+}
+
+/// Classify one unused atom against the current bound-variable set: the cost
+/// of processing it now, the step to run, the variables it binds, and an
+/// equality atom it consumes (for index probes). `None` if it cannot be
+/// processed yet.
+fn classify_atom(
+    index: usize,
+    atom: &Atom,
+    atoms: &[Atom],
+    used: &[bool],
+    bound: &BTreeSet<Var>,
+    dbs: &Databases<'_>,
+) -> Option<(u64, Step, Vec<Var>, Option<usize>)> {
+    let term_bound = |t: &Term| t.var_set().iter().all(|v| bound.contains(v));
+    let unbound_vars = |t: &Term| -> Vec<Var> {
+        t.var_set()
+            .into_iter()
+            .filter(|v| !bound.contains(v))
+            .collect()
+    };
+    let step = |kind: StepKind| Step { atom: index, kind };
+
+    match atom {
+        Atom::Member(term, class) => {
+            if term_bound(term) {
+                return Some((0, step(StepKind::MemberCheck), Vec::new(), None));
+            }
+            let extent = dbs.extent_size(class) as u64;
+            if let Term::Var(v) = term {
+                // Probe partner: an unused equality `v.attr = key` (either
+                // orientation) whose key side is already evaluable.
+                for (j, other) in atoms.iter().enumerate() {
+                    if used[j] || j == index {
+                        continue;
+                    }
+                    let Atom::Eq(left, right) = other else {
+                        continue;
+                    };
+                    let probe = match (single_proj_attr(left, v), single_proj_attr(right, v)) {
+                        (Some(attr), _) if term_bound(right) => Some((attr, false)),
+                        (_, Some(attr)) if term_bound(left) => Some((attr, true)),
+                        _ => None,
+                    };
+                    if let Some((attr, key_is_left)) = probe {
+                        return Some((
+                            1 + extent / 16,
+                            step(StepKind::MemberProbe {
+                                attr: attr.clone(),
+                                eq_atom: j,
+                                key_is_left,
+                            }),
+                            vec![v.clone()],
+                            Some(j),
+                        ));
+                    }
+                }
+            }
+            if is_pattern(term) {
+                Some((
+                    2 + extent,
+                    step(StepKind::MemberScan),
+                    unbound_vars(term),
+                    None,
+                ))
+            } else {
+                // Not a pattern and not evaluable: enumerating can only yield
+                // the empty result, and binds nothing. Do it last.
+                Some((
+                    DEAD_SCAN_COST + extent,
+                    step(StepKind::MemberScan),
+                    Vec::new(),
+                    None,
+                ))
+            }
+        }
+        Atom::Eq(s, t) => {
+            let (s_bound, t_bound) = (term_bound(s), term_bound(t));
+            if s_bound && t_bound {
+                return Some((0, step(StepKind::Filter), Vec::new(), None));
+            }
+            if s_bound && is_pattern(t) {
+                return Some((
+                    1,
+                    step(StepKind::BindEq {
+                        bound_is_left: true,
+                    }),
+                    unbound_vars(t),
+                    None,
+                ));
+            }
+            if t_bound && is_pattern(s) {
+                return Some((
+                    1,
+                    step(StepKind::BindEq {
+                        bound_is_left: false,
+                    }),
+                    unbound_vars(s),
+                    None,
+                ));
+            }
+            None
+        }
+        Atom::Neq(s, t) | Atom::Lt(s, t) | Atom::Leq(s, t) => {
+            if term_bound(s) && term_bound(t) {
+                Some((0, step(StepKind::Filter), Vec::new(), None))
+            } else {
+                None
+            }
+        }
+        Atom::InSet(elem, set) => {
+            if !term_bound(set) {
+                return None;
+            }
+            if term_bound(elem) {
+                Some((0, step(StepKind::Filter), Vec::new(), None))
+            } else if is_pattern(elem) {
+                Some((4, step(StepKind::InSetBind), unbound_vars(elem), None))
+            } else {
+                Some((DEAD_SCAN_COST, step(StepKind::InSetBind), Vec::new(), None))
+            }
+        }
+    }
+}
+
+/// Check a fully-bound atom against the current frame. Missing optional
+/// attributes make equalities and memberships fail quietly; comparison atoms
+/// keep their hard-error semantics.
+fn check_bound_atom(
+    atom: &Atom,
+    bindings: &Bindings,
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+) -> Result<bool> {
+    match atom {
+        Atom::Member(term, class) => Ok(match try_eval_term(term, bindings, dbs, skolem) {
+            Some(Value::Oid(oid)) => oid.class() == class && dbs.contains(&oid),
+            _ => false,
+        }),
+        Atom::Eq(s, t) => {
+            let sv = try_eval_term(s, bindings, dbs, skolem);
+            let tv = try_eval_term(t, bindings, dbs, skolem);
+            Ok(matches!((sv, tv), (Some(a), Some(b)) if a == b))
+        }
+        Atom::Neq(s, t) => {
+            let a = eval_term(s, bindings, dbs, skolem)?;
+            let b = eval_term(t, bindings, dbs, skolem)?;
+            Ok(a != b)
+        }
+        Atom::Lt(s, t) | Atom::Leq(s, t) => {
+            let a = eval_term(s, bindings, dbs, skolem)?;
+            let b = eval_term(t, bindings, dbs, skolem)?;
+            let ordering = compare_numeric(&a, &b)?;
+            Ok(match atom {
+                Atom::Lt(_, _) => ordering == std::cmp::Ordering::Less,
+                _ => ordering != std::cmp::Ordering::Greater,
+            })
+        }
+        Atom::InSet(elem, set) => {
+            let set_value = eval_term(set, bindings, dbs, skolem)?;
+            let Some(elem_value) = try_eval_term(elem, bindings, dbs, skolem) else {
+                return Ok(false);
+            };
+            match set_value {
+                Value::Set(items) => Ok(items.contains(&elem_value)),
+                Value::List(items) => Ok(items.contains(&elem_value)),
+                other => Err(EngineError::Eval(format!(
+                    "`member` applied to a non-set value of kind `{}`",
+                    other.kind()
+                ))),
+            }
+        }
+    }
+}
+
+/// Execute the plan from `step_index` onwards, emitting complete bindings
+/// into `out`. The frame is mutated in place; every extension is recorded on
+/// `trail` and undone before returning, so the caller's frame is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn run_plan(
+    step_index: usize,
+    steps: &[Step],
+    atoms: &[Atom],
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+    bindings: &mut Bindings,
+    trail: &mut Vec<Var>,
+    out: &mut Vec<Bindings>,
+    stats: &mut MatchStats,
+) -> Result<()> {
+    let Some(step) = steps.get(step_index) else {
+        out.push(bindings.clone());
+        return Ok(());
+    };
+    match &step.kind {
+        StepKind::Stuck => Err(EngineError::Eval(
+            "no atom can be processed: the clause body is not range-restricted".to_string(),
+        )),
+        StepKind::Filter | StepKind::MemberCheck => {
+            if check_bound_atom(&atoms[step.atom], bindings, dbs, skolem)? {
+                stats.bindings_considered += 1;
+                run_plan(
+                    step_index + 1,
+                    steps,
+                    atoms,
+                    dbs,
+                    skolem,
+                    bindings,
+                    trail,
+                    out,
+                    stats,
+                )?;
+            }
+            Ok(())
+        }
+        StepKind::BindEq { bound_is_left } => {
+            let Atom::Eq(left, right) = &atoms[step.atom] else {
+                unreachable!("BindEq steps are built from Eq atoms");
+            };
+            let (evaluable, pattern) = if *bound_is_left {
+                (left, right)
+            } else {
+                (right, left)
+            };
+            // The evaluable side's variables are bound by construction; a
+            // `None` here means a missing optional attribute, which simply
+            // has no witness.
+            let Some(value) = try_eval_term(evaluable, bindings, dbs, skolem) else {
+                return Ok(());
+            };
+            let mark = trail.len();
+            if match_pattern_in_place(pattern, &value, bindings, trail, dbs, skolem) {
+                stats.bindings_considered += 1;
+                run_plan(
+                    step_index + 1,
+                    steps,
+                    atoms,
+                    dbs,
+                    skolem,
+                    bindings,
+                    trail,
+                    out,
+                    stats,
+                )?;
+            }
+            unwind_trail(bindings, trail, mark);
+            Ok(())
+        }
+        StepKind::MemberProbe {
+            attr,
+            eq_atom,
+            key_is_left,
+        } => {
+            let Atom::Member(Term::Var(var), class) = &atoms[step.atom] else {
+                unreachable!("MemberProbe steps are built from variable Member atoms");
+            };
+            let Atom::Eq(left, right) = &atoms[*eq_atom] else {
+                unreachable!("MemberProbe consumes an Eq atom");
+            };
+            let key_term = if *key_is_left { left } else { right };
+            let Some(key) = try_eval_term(key_term, bindings, dbs, skolem) else {
+                return Ok(());
+            };
+            stats.index_probes += 1;
+            for oid in dbs.lookup_by_attr(class, attr, &key) {
+                stats.bindings_considered += 1;
+                let mark = trail.len();
+                bindings.insert(var.clone(), Value::Oid(oid));
+                trail.push(var.clone());
+                run_plan(
+                    step_index + 1,
+                    steps,
+                    atoms,
+                    dbs,
+                    skolem,
+                    bindings,
+                    trail,
+                    out,
+                    stats,
+                )?;
+                unwind_trail(bindings, trail, mark);
+            }
+            Ok(())
+        }
+        StepKind::MemberScan => {
+            let Atom::Member(term, class) = &atoms[step.atom] else {
+                unreachable!("MemberScan steps are built from Member atoms");
+            };
+            stats.extents_scanned += 1;
+            for oid in dbs.extent(class) {
+                let value = Value::Oid(oid.clone());
+                let mark = trail.len();
+                if match_pattern_in_place(term, &value, bindings, trail, dbs, skolem) {
+                    stats.bindings_considered += 1;
+                    run_plan(
+                        step_index + 1,
+                        steps,
+                        atoms,
+                        dbs,
+                        skolem,
+                        bindings,
+                        trail,
+                        out,
+                        stats,
+                    )?;
+                }
+                unwind_trail(bindings, trail, mark);
+            }
+            Ok(())
+        }
+        StepKind::InSetBind => {
+            let Atom::InSet(elem, set) = &atoms[step.atom] else {
+                unreachable!("InSetBind steps are built from InSet atoms");
+            };
+            let set_value = eval_term(set, bindings, dbs, skolem)?;
+            let elements: Vec<Value> = match set_value {
+                Value::Set(items) => items.into_iter().collect(),
+                Value::List(items) => items,
+                other => {
+                    return Err(EngineError::Eval(format!(
+                        "`member` applied to a non-set value of kind `{}`",
+                        other.kind()
+                    )))
+                }
+            };
+            for item in elements {
+                let mark = trail.len();
+                if match_pattern_in_place(elem, &item, bindings, trail, dbs, skolem) {
+                    stats.bindings_considered += 1;
+                    run_plan(
+                        step_index + 1,
+                        steps,
+                        atoms,
+                        dbs,
+                        skolem,
+                        bindings,
+                        trail,
+                        out,
+                        stats,
+                    )?;
+                }
+                unwind_trail(bindings, trail, mark);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Enumerate every binding of the body's variables (extending `initial`) that
+/// makes all `atoms` true against `dbs`, using the indexed plan-based matcher.
+pub fn match_body(
+    atoms: &[Atom],
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+    initial: Bindings,
+) -> Result<Vec<Bindings>> {
+    let mut stats = MatchStats::default();
+    match_body_with_stats(atoms, dbs, skolem, initial, &mut stats)
+}
+
+/// [`match_body`], additionally accumulating [`MatchStats`].
+pub fn match_body_with_stats(
+    atoms: &[Atom],
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+    initial: Bindings,
+    stats: &mut MatchStats,
+) -> Result<Vec<Bindings>> {
+    let initially_bound: BTreeSet<Var> = initial.keys().cloned().collect();
+    let steps = build_plan(atoms, &initially_bound, dbs);
+    let mut bindings = initial;
+    let mut trail = Vec::new();
+    let mut out = Vec::new();
+    run_plan(
+        0,
+        &steps,
+        atoms,
+        dbs,
+        skolem,
+        &mut bindings,
+        &mut trail,
+        &mut out,
+        stats,
+    )?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The reference matcher: naive generate-and-test, one clone per extension.
+// ---------------------------------------------------------------------------
 
 /// Can this atom be processed under the current bindings?
 fn atom_ready(atom: &Atom, bindings: &Bindings) -> bool {
@@ -249,12 +944,14 @@ fn atom_ready(atom: &Atom, bindings: &Bindings) -> bool {
     }
 }
 
-/// Extend `bindings` in every way that makes `atom` true.
+/// Extend `bindings` in every way that makes `atom` true, cloning the binding
+/// map once per extension (the naive strategy).
 fn match_atom(
     atom: &Atom,
     bindings: &Bindings,
     dbs: &Databases<'_>,
     skolem: &mut SkolemFactory,
+    stats: &mut MatchStats,
 ) -> Result<Vec<Bindings>> {
     match atom {
         Atom::Member(term, class) => {
@@ -272,6 +969,7 @@ fn match_atom(
                 }
             } else {
                 // Enumerate the extent and match the term as a pattern.
+                stats.extents_scanned += 1;
                 let mut out = Vec::new();
                 for oid in dbs.extent(class) {
                     let value = Value::Oid(oid.clone());
@@ -287,21 +985,29 @@ fn match_atom(
             let tv = try_eval_term(t, bindings, dbs, skolem);
             let bound = |term: &Term| term.var_set().iter().all(|v| bindings.contains_key(v));
             match (sv, tv) {
-                (Some(a), Some(b)) => Ok(if a == b { vec![bindings.clone()] } else { vec![] }),
+                (Some(a), Some(b)) => Ok(if a == b {
+                    vec![bindings.clone()]
+                } else {
+                    vec![]
+                }),
                 (Some(a), None) => {
                     if bound(t) {
                         // Fully bound but not evaluable (e.g. a missing
                         // optional attribute): the equality simply fails.
                         Ok(vec![])
                     } else {
-                        Ok(match_pattern(t, &a, bindings, dbs, skolem).into_iter().collect())
+                        Ok(match_pattern(t, &a, bindings, dbs, skolem)
+                            .into_iter()
+                            .collect())
                     }
                 }
                 (None, Some(b)) => {
                     if bound(s) {
                         Ok(vec![])
                     } else {
-                        Ok(match_pattern(s, &b, bindings, dbs, skolem).into_iter().collect())
+                        Ok(match_pattern(s, &b, bindings, dbs, skolem)
+                            .into_iter()
+                            .collect())
                     }
                 }
                 (None, None) => {
@@ -323,7 +1029,11 @@ fn match_atom(
         Atom::Neq(s, t) => {
             let a = eval_term(s, bindings, dbs, skolem)?;
             let b = eval_term(t, bindings, dbs, skolem)?;
-            Ok(if a != b { vec![bindings.clone()] } else { vec![] })
+            Ok(if a != b {
+                vec![bindings.clone()]
+            } else {
+                vec![]
+            })
         }
         Atom::Lt(s, t) | Atom::Leq(s, t) => {
             let a = eval_term(s, bindings, dbs, skolem)?;
@@ -333,7 +1043,11 @@ fn match_atom(
                 Atom::Lt(_, _) => ordering == std::cmp::Ordering::Less,
                 _ => ordering != std::cmp::Ordering::Greater,
             };
-            Ok(if holds { vec![bindings.clone()] } else { vec![] })
+            Ok(if holds {
+                vec![bindings.clone()]
+            } else {
+                vec![]
+            })
         }
         Atom::InSet(elem, set) => {
             let set_value = eval_term(set, bindings, dbs, skolem)?;
@@ -358,34 +1072,18 @@ fn match_atom(
     }
 }
 
-fn compare_numeric(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
-    match (a, b) {
-        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
-        (Value::Real(x), Value::Real(y)) => Ok(x.cmp(y)),
-        (Value::Int(x), Value::Real(y)) => Ok(wol_model::RealVal(*x as f64).cmp(y)),
-        (Value::Real(x), Value::Int(y)) => Ok(x.cmp(&wol_model::RealVal(*y as f64))),
-        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
-        _ => Err(EngineError::Eval(format!(
-            "cannot compare values of kinds `{}` and `{}`",
-            a.kind(),
-            b.kind()
-        ))),
-    }
-}
-
-/// Enumerate every binding of the body's variables (extending `initial`) that
-/// makes all `atoms` true against `dbs`.
-///
-/// The matcher repeatedly picks a *ready* atom — one whose unbound variables
-/// can only be bound by processing it — preferring cheap filters over
-/// extent enumerations. This is a straightforward nested-loop strategy: it is
-/// deliberately unoptimised, serving as the reference semantics and the
-/// "apply the clauses directly" baseline the paper contrasts Morphase with.
-pub fn match_body(
+/// The naive generate-and-test matcher: repeatedly picks a *ready* atom —
+/// preferring cheap filters over extent enumerations — and extends the
+/// binding set by cloning it at every extension. This is the "apply the
+/// clauses directly" strategy the paper contrasts Morphase with; it is kept
+/// as the reference semantics for the indexed [`match_body`] and as the
+/// pre-index baseline measured by the benchmarks.
+pub fn match_body_reference(
     atoms: &[Atom],
     dbs: &Databases<'_>,
     skolem: &mut SkolemFactory,
     initial: Bindings,
+    stats: &mut MatchStats,
 ) -> Result<Vec<Bindings>> {
     fn go(
         remaining: &[Atom],
@@ -393,6 +1091,7 @@ pub fn match_body(
         skolem: &mut SkolemFactory,
         bindings: Bindings,
         out: &mut Vec<Bindings>,
+        stats: &mut MatchStats,
     ) -> Result<()> {
         if remaining.is_empty() {
             out.push(bindings);
@@ -400,9 +1099,7 @@ pub fn match_body(
         }
         // Pick the best ready atom: prefer fully-bound filters, then oriented
         // equalities, then memberships/enumerations.
-        let fully_bound = |atom: &Atom| {
-            atom.var_set().iter().all(|v| bindings.contains_key(v))
-        };
+        let fully_bound = |atom: &Atom| atom.var_set().iter().all(|v| bindings.contains_key(v));
         let position = remaining
             .iter()
             .position(fully_bound)
@@ -424,14 +1121,16 @@ pub fn match_body(
             .filter(|(i, _)| *i != position)
             .map(|(_, a)| a.clone())
             .collect();
-        for extended in match_atom(atom, &bindings, dbs, skolem)? {
-            go(&rest, dbs, skolem, extended, out)?;
+        let extensions = match_atom(atom, &bindings, dbs, skolem, stats)?;
+        stats.bindings_considered += extensions.len();
+        for extended in extensions {
+            go(&rest, dbs, skolem, extended, out, stats)?;
         }
         Ok(())
     }
 
     let mut out = Vec::new();
-    go(atoms, dbs, skolem, initial, &mut out)?;
+    go(atoms, dbs, skolem, initial, &mut out, stats)?;
     Ok(out)
 }
 
@@ -540,7 +1239,10 @@ mod tests {
         ]);
         assert_eq!(
             eval_skolem_key(&named, &bindings, &dbs, &mut sk).unwrap(),
-            Value::record([("name", Value::str("Paris")), ("country_name", Value::str("France"))])
+            Value::record([
+                ("name", Value::str("Paris")),
+                ("country_name", Value::str("France"))
+            ])
         );
         let single = SkolemArgs::Positional(vec![Term::var("N")]);
         assert_eq!(
@@ -575,10 +1277,9 @@ mod tests {
         let (inst, _, _) = euro_instance();
         let dbs = Databases::new(&[&inst][..]);
         let mut sk = SkolemFactory::new();
-        let clause = parse_clause(
-            "Z = E.name <= E in CityE, X in CountryE, X.name = E.country.name",
-        )
-        .unwrap();
+        let clause =
+            parse_clause("Z = E.name <= E in CityE, X in CountryE, X.name = E.country.name")
+                .unwrap();
         let results = match_body(&clause.body, &dbs, &mut sk, Bindings::new()).unwrap();
         assert_eq!(results.len(), 3);
     }
@@ -605,16 +1306,14 @@ mod tests {
         }
         let dbs = Databases::new(&[&inst][..]);
         let mut sk = SkolemFactory::new();
-        let clause = parse_clause(
-            "Z = X.name <= X in CityA, Y in CityA, X.population < Y.population",
-        )
-        .unwrap();
+        let clause =
+            parse_clause("Z = X.name <= X in CityA, Y in CityA, X.population < Y.population")
+                .unwrap();
         let results = match_body(&clause.body, &dbs, &mut sk, Bindings::new()).unwrap();
         assert_eq!(results.len(), 3); // (a,b), (a,c), (b,c)
-        let leq = parse_clause(
-            "Z = X.name <= X in CityA, Y in CityA, X.population =< Y.population",
-        )
-        .unwrap();
+        let leq =
+            parse_clause("Z = X.name <= X in CityA, Y in CityA, X.population =< Y.population")
+                .unwrap();
         let results = match_body(&leq.body, &dbs, &mut sk, Bindings::new()).unwrap();
         assert_eq!(results.len(), 6);
         let neq = parse_clause("Z = X.name <= X in CityA, Y in CityA, X != Y").unwrap();
@@ -631,7 +1330,11 @@ mod tests {
                 ("name", Value::str("c22")),
                 (
                     "markers",
-                    Value::set([Value::str("D22S1"), Value::str("D22S2"), Value::str("D22S3")]),
+                    Value::set([
+                        Value::str("D22S1"),
+                        Value::str("D22S2"),
+                        Value::str("D22S3"),
+                    ]),
                 ),
             ]),
         );
@@ -672,13 +1375,20 @@ mod tests {
         // Neither side of `A = B` can ever be evaluated.
         let clause = parse_clause("Z = 1 <= A = B").unwrap();
         assert!(match_body(&clause.body, &dbs, &mut sk, Bindings::new()).is_err());
+        let mut stats = MatchStats::default();
+        assert!(
+            match_body_reference(&clause.body, &dbs, &mut sk, Bindings::new(), &mut stats).is_err()
+        );
     }
 
     #[test]
     fn databases_lookup_across_instances() {
         let (inst, uk, _) = euro_instance();
         let mut other = Instance::new("target");
-        let t = other.insert_fresh(&ClassName::new("CountryT"), Value::record([("name", Value::str("UK"))]));
+        let t = other.insert_fresh(
+            &ClassName::new("CountryT"),
+            Value::record([("name", Value::str("UK"))]),
+        );
         let all = [&inst, &other];
         let dbs = Databases::new(&all[..]);
         assert!(dbs.value_of(&uk).is_some());
@@ -687,6 +1397,11 @@ mod tests {
         assert_eq!(dbs.len(), 2);
         assert!(!dbs.is_empty());
         assert_eq!(dbs.extent(&ClassName::new("CountryT")).len(), 1);
+        assert_eq!(dbs.extent_size(&ClassName::new("CountryT")), 1);
+        assert_eq!(
+            dbs.lookup_by_attr(&ClassName::new("CountryT"), "name", &Value::str("UK")),
+            vec![t]
+        );
     }
 
     #[test]
@@ -694,7 +1409,10 @@ mod tests {
         let (inst, _, _) = euro_instance();
         let dbs = Databases::new(&[&inst][..]);
         let mut sk = SkolemFactory::new();
-        let value = Value::record([("name", Value::str("Paris")), ("country_name", Value::str("France"))]);
+        let value = Value::record([
+            ("name", Value::str("Paris")),
+            ("country_name", Value::str("France")),
+        ]);
         let pattern = Term::record([("name", Term::var("N")), ("country_name", Term::var("C"))]);
         let bound = match_pattern(&pattern, &value, &Bindings::new(), &dbs, &mut sk).unwrap();
         assert_eq!(bound["N"], Value::str("Paris"));
@@ -704,5 +1422,104 @@ mod tests {
         assert!(match_pattern(&pattern, &value, &existing, &dbs, &mut sk).is_none());
         // Matching a non-record fails.
         assert!(match_pattern(&pattern, &Value::int(1), &Bindings::new(), &dbs, &mut sk).is_none());
+    }
+
+    /// The indexed matcher and the reference matcher agree on every body the
+    /// unit suite exercises, and the indexed one probes instead of scanning.
+    #[test]
+    fn indexed_and_reference_matchers_agree() {
+        let (inst, _, _) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        for body in [
+            "Z = 1 <= X in CountryE, Y in CityE, Y.country = X, Y.is_capital = true",
+            "Z = 1 <= E in CityE, X in CountryE, X.name = E.country.name",
+            "Z = 1 <= X in CountryE",
+            "Z = 1 <= X in CountryE, X.language = \"French\"",
+            "Z = 1 <= X in CountryE, Y in CountryE, X != Y",
+        ] {
+            let clause = parse_clause(body).unwrap();
+            let mut sk = SkolemFactory::new();
+            let mut indexed_stats = MatchStats::default();
+            let mut indexed = match_body_with_stats(
+                &clause.body,
+                &dbs,
+                &mut sk,
+                Bindings::new(),
+                &mut indexed_stats,
+            )
+            .unwrap();
+            let mut sk = SkolemFactory::new();
+            let mut reference_stats = MatchStats::default();
+            let mut reference = match_body_reference(
+                &clause.body,
+                &dbs,
+                &mut sk,
+                Bindings::new(),
+                &mut reference_stats,
+            )
+            .unwrap();
+            indexed.sort();
+            reference.sort();
+            assert_eq!(indexed, reference, "matchers disagree on `{body}`");
+            assert!(
+                indexed_stats.bindings_considered <= reference_stats.bindings_considered,
+                "indexed matcher considered more bindings on `{body}`"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_matcher_probes_instead_of_scanning() {
+        let (inst, _, _) = euro_instance();
+        let dbs = Databases::new(&[&inst][..]);
+        let mut sk = SkolemFactory::new();
+        let clause =
+            parse_clause("Z = 1 <= X in CountryE, Y in CityE, Y.country = X, Y.is_capital = true")
+                .unwrap();
+        let mut stats = MatchStats::default();
+        let results =
+            match_body_with_stats(&clause.body, &dbs, &mut sk, Bindings::new(), &mut stats)
+                .unwrap();
+        assert_eq!(results.len(), 2);
+        // The plan probes CityE on the constant `is_capital = true`, binds the
+        // country through `Y.country = X`, and checks membership — no extent
+        // is ever enumerated.
+        assert_eq!(stats.extents_scanned, 0);
+        assert_eq!(stats.index_probes, 1);
+        assert!(stats.bindings_considered > 0);
+    }
+
+    #[test]
+    fn bindings_frame_is_shared_not_deep_cloned() {
+        let big = Value::set((0..100).map(Value::int));
+        let mut bindings = Bindings::new();
+        bindings.insert("S", big);
+        let shared = bindings.get_shared("S").unwrap().clone();
+        let copy = bindings.clone();
+        // Three handles, one value.
+        assert_eq!(std::sync::Arc::strong_count(&shared), 3);
+        assert_eq!(copy.get("S"), bindings.get("S"));
+        drop(copy);
+        assert_eq!(std::sync::Arc::strong_count(&shared), 2);
+    }
+
+    #[test]
+    fn bindings_map_api_round_trips() {
+        let mut bindings = Bindings::new();
+        assert!(bindings.is_empty());
+        assert!(bindings.insert("X", Value::int(1)).is_none());
+        assert!(bindings.contains_key("X"));
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings["X"], Value::int(1));
+        let previous = bindings.insert("X", Value::int(2)).unwrap();
+        assert_eq!(*previous, Value::int(1));
+        let collected: Vec<(String, Value)> = bindings
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        assert_eq!(collected, vec![("X".to_string(), Value::int(2))]);
+        assert_eq!(bindings.keys().collect::<Vec<_>>(), vec!["X"]);
+        assert!(bindings.remove("X").is_some());
+        assert!(bindings.get("X").is_none());
     }
 }

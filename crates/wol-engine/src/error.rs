@@ -74,14 +74,24 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(EngineError::Eval("x".into()).to_string().contains("evaluation"));
-        assert!(EngineError::ConstraintViolated { clause: "C4".into(), detail: "d".into() }
+        assert!(EngineError::Eval("x".into())
             .to_string()
-            .contains("C4"));
-        assert!(EngineError::RecursiveProgram("loop".into()).to_string().contains("recursive"));
-        assert!(EngineError::Incomplete { class: "CityT".into(), detail: "capital".into() }
+            .contains("evaluation"));
+        assert!(EngineError::ConstraintViolated {
+            clause: "C4".into(),
+            detail: "d".into()
+        }
+        .to_string()
+        .contains("C4"));
+        assert!(EngineError::RecursiveProgram("loop".into())
             .to_string()
-            .contains("CityT"));
+            .contains("recursive"));
+        assert!(EngineError::Incomplete {
+            class: "CityT".into(),
+            detail: "capital".into()
+        }
+        .to_string()
+        .contains("CityT"));
     }
 
     #[test]

@@ -92,7 +92,14 @@ pub fn analyze_head(
             }
             Atom::Eq(lhs, rhs) => {
                 // Try both orientations.
-                if let Some(handled) = head_equation(lhs, rhs, env, target_classes, &mut objects, &mut ensure_object)? {
+                if let Some(handled) = head_equation(
+                    lhs,
+                    rhs,
+                    env,
+                    target_classes,
+                    &mut objects,
+                    &mut ensure_object,
+                )? {
                     if !handled {
                         residual.push(atom.clone());
                     }
@@ -133,7 +140,9 @@ fn head_equation(
         if let (Term::Var(v), Term::Skolem(class, args)) = (a, b) {
             if target_classes.contains(class) {
                 let idx = ensure_object(objects, v, class.clone());
-                if objects[idx].explicit_key.is_some() && objects[idx].explicit_key.as_ref() != Some(args) {
+                if objects[idx].explicit_key.is_some()
+                    && objects[idx].explicit_key.as_ref() != Some(args)
+                {
                     return Err(EngineError::Normalisation(format!(
                         "object {v} has two different explicit Skolem identities"
                     )));
@@ -161,11 +170,16 @@ fn head_equation(
             // Nested projections on target objects (O.a.b = t) are outside the
             // supported normal-form fragment.
             if let Some((base_var, labels)) = a.as_var_path() {
-                if labels.len() > 1 && target_class_of(env.get(base_var), target_classes).is_some() {
+                if labels.len() > 1 && target_class_of(env.get(base_var), target_classes).is_some()
+                {
                     return Err(EngineError::Normalisation(format!(
                         "nested head projection {base_var}.{} is not supported; introduce an \
                          intermediate object variable instead",
-                        labels.iter().map(|l| l.as_str()).collect::<Vec<_>>().join(".")
+                        labels
+                            .iter()
+                            .map(|l| l.as_str())
+                            .collect::<Vec<_>>()
+                            .join(".")
                     )));
                 }
             }
@@ -274,7 +288,10 @@ mod tests {
         let analysis = analyze_head(&clause, &env, &target_set(&target)).unwrap();
         let obj = analysis.object("Y").unwrap();
         assert!(obj.member_in_head);
-        assert_eq!(obj.attrs["place"], Term::variant("euro_city", Term::var("X")));
+        assert_eq!(
+            obj.attrs["place"],
+            Term::variant("euro_city", Term::var("X"))
+        );
         // X is a target object too, but the head does not describe it.
         assert!(analysis.object("X").is_none());
     }
@@ -315,10 +332,9 @@ mod tests {
     #[test]
     fn conflicting_attribute_assignment_rejected() {
         let (euro, target) = schemas();
-        let clause = parse_clause(
-            "X in CountryT, X.name = E.name, X.name = E.currency <= E in CountryE",
-        )
-        .unwrap();
+        let clause =
+            parse_clause("X in CountryT, X.name = E.name, X.name = E.currency <= E in CountryE")
+                .unwrap();
         let env = check_clause_types(&clause, &[&euro, &target]).unwrap();
         let err = analyze_head(&clause, &env, &target_set(&target)).unwrap_err();
         assert!(matches!(err, EngineError::Normalisation(_)));

@@ -110,7 +110,11 @@ impl InjectivityReport {
 /// Empirically check that `transform` is injective on the given family of
 /// source instances: every pair of non-equivalent sources must map to
 /// non-equivalent targets.
-pub fn check_injective<F>(sources: &[Instance], transform: F, depth: usize) -> Result<InjectivityReport>
+pub fn check_injective<F>(
+    sources: &[Instance],
+    transform: F,
+    depth: usize,
+) -> Result<InjectivityReport>
 where
     F: Fn(&Instance) -> Result<Instance>,
 {
@@ -118,8 +122,10 @@ where
     for source in sources {
         targets.push(transform(source)?);
     }
-    let source_forms: Vec<CanonicalForm> = sources.iter().map(|s| canonical_form(s, depth)).collect();
-    let target_forms: Vec<CanonicalForm> = targets.iter().map(|t| canonical_form(t, depth)).collect();
+    let source_forms: Vec<CanonicalForm> =
+        sources.iter().map(|s| canonical_form(s, depth)).collect();
+    let target_forms: Vec<CanonicalForm> =
+        targets.iter().map(|t| canonical_form(t, depth)).collect();
     let mut collisions = Vec::new();
     for i in 0..sources.len() {
         for j in (i + 1)..sources.len() {
@@ -251,7 +257,11 @@ mod tests {
         let a = person_instance(&[("Adam", "Beth")], None);
         let b = person_instance(&[("Adam", "Carol")], None);
         assert!(!instances_equivalent(&a, &b, 2));
-        assert!(!instances_equivalent(&a, &person_instance(&[("Adam", "Beth")], Some("Dan")), 2));
+        assert!(!instances_equivalent(
+            &a,
+            &person_instance(&[("Adam", "Beth")], Some("Dan")),
+            2
+        ));
     }
 
     #[test]

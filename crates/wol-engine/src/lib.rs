@@ -37,11 +37,12 @@ pub use constraints::{
     check_constraint, check_constraints, classify_constraint, enforce_constraints,
     extract_merge_keys, extract_object_keys, ConstraintClass, ObjectKey, Violation,
 };
-pub use env::{eval_term, match_body, Bindings, Databases};
-pub use error::EngineError;
-pub use info_preserve::{
-    canonical_form, check_injective, instances_equivalent, InjectivityReport,
+pub use env::{
+    eval_term, match_body, match_body_reference, match_body_with_stats, Bindings, Databases,
+    MatchStats,
 };
+pub use error::EngineError;
+pub use info_preserve::{canonical_form, check_injective, instances_equivalent, InjectivityReport};
 pub use normalize::{execute, normalize, NormalClause, NormalProgram, NormalizeOptions};
 pub use semantics::{naive_transform, naive_transform_with_report, NaiveOptions, NaiveReport};
 pub use snf::{program_to_snf, to_snf, SnfStats};

@@ -164,8 +164,11 @@ pub fn normalize(program: &Program, options: &NormalizeOptions) -> Result<Normal
     // Keys: from the target schema's constraint clauses plus the metadata key
     // specification is the caller's job (Morphase generates C2/C3-style
     // clauses from metadata); here we extract Skolem-style key constraints.
-    let target_constraint_clauses: Vec<&Clause> =
-        program.target_constraints().into_iter().map(|(_, c)| c).collect();
+    let target_constraint_clauses: Vec<&Clause> = program
+        .target_constraints()
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
     let keys = if options.use_target_keys {
         extract_object_keys(&target_constraint_clauses)
     } else {
@@ -173,8 +176,11 @@ pub fn normalize(program: &Program, options: &NormalizeOptions) -> Result<Normal
     };
 
     // Source keys for the optimiser.
-    let source_constraint_clauses: Vec<&Clause> =
-        program.source_constraints().into_iter().map(|(_, c)| c).collect();
+    let source_constraint_clauses: Vec<&Clause> = program
+        .source_constraints()
+        .into_iter()
+        .map(|(_, c)| c)
+        .collect();
     let source_keys: SourceKeys = if options.use_source_constraints {
         extract_merge_keys(&source_constraint_clauses)
     } else {
@@ -217,8 +223,10 @@ pub fn normalize(program: &Program, options: &NormalizeOptions) -> Result<Normal
     let mut output: Vec<NormalClause> = Vec::new();
     let mut unfold_counter = 0usize;
     for class in order {
-        let class_partials: Vec<&Partial> =
-            partials.iter().filter(|p| p.class == class && p.creates).collect();
+        let class_partials: Vec<&Partial> = partials
+            .iter()
+            .filter(|p| p.class == class && p.creates)
+            .collect();
         if class_partials.is_empty() {
             continue;
         }
@@ -246,7 +254,10 @@ pub fn normalize(program: &Program, options: &NormalizeOptions) -> Result<Normal
             &normalized,
             &mut unfold_counter,
         )?;
-        by_class.entry(partial.class.clone()).or_default().extend(unfolded);
+        by_class
+            .entry(partial.class.clone())
+            .or_default()
+            .extend(unfolded);
     }
     for (class, candidates) in by_class {
         let clauses = resolve_identities(&class, candidates, &keys, options)?;
@@ -256,9 +267,9 @@ pub fn normalize(program: &Program, options: &NormalizeOptions) -> Result<Normal
     // Step 5: optimisation with source constraints.
     let mut final_clauses = Vec::new();
     for clause in output {
-        match optimize::optimize_clause(clause, &source_keys) {
-            Some(optimised) => final_clauses.push(optimised),
-            None => {} // unsatisfiable clause pruned
+        // `None` means the clause body is unsatisfiable and is pruned.
+        if let Some(optimised) = optimize::optimize_clause(clause, &source_keys) {
+            final_clauses.push(optimised);
         }
     }
 
@@ -349,9 +360,9 @@ fn unfold_partial(
     counter: &mut usize,
 ) -> Result<Vec<Partial>> {
     // Find the first target membership atom in the body.
-    let position = partial.body.iter().position(|atom| {
-        matches!(atom, Atom::Member(Term::Var(_), class) if target_classes.contains(class))
-    });
+    let position = partial.body.iter().position(
+        |atom| matches!(atom, Atom::Member(Term::Var(_), class) if target_classes.contains(class)),
+    );
     let Some(position) = position else {
         return Ok(vec![partial]);
     };
@@ -379,11 +390,7 @@ fn unfold_partial(
             .iter()
             .map(|(l, t)| (l.clone(), rename_term(t, &prefix)))
             .collect();
-        let renamed_body: Vec<Atom> = def
-            .body
-            .iter()
-            .map(|a| rename_atom(a, &prefix))
-            .collect();
+        let renamed_body: Vec<Atom> = def.body.iter().map(|a| rename_atom(a, &prefix)).collect();
         let identity = Term::Skolem(class.clone(), renamed_key.clone());
 
         // Rewrite the remaining body, attributes and keys of the partial:
@@ -395,18 +402,28 @@ fn unfold_partial(
             if i == position {
                 continue;
             }
-            new_body.push(rewrite_atom(atom, &object_var, &identity, &renamed_attrs, &mut ok));
+            new_body.push(rewrite_atom(
+                atom,
+                &object_var,
+                &identity,
+                &renamed_attrs,
+                &mut ok,
+            ));
         }
         new_body.extend(renamed_body);
         let new_attrs: BTreeMap<Label, Term> = partial
             .attrs
             .iter()
-            .map(|(l, t)| (l.clone(), rewrite_object_refs(t, &object_var, &identity, &renamed_attrs, &mut ok)))
+            .map(|(l, t)| {
+                (
+                    l.clone(),
+                    rewrite_object_refs(t, &object_var, &identity, &renamed_attrs, &mut ok),
+                )
+            })
             .collect();
-        let new_explicit = partial
-            .explicit_key
-            .as_ref()
-            .map(|k| k.map(|t| rewrite_object_refs(t, &object_var, &identity, &renamed_attrs, &mut ok)));
+        let new_explicit = partial.explicit_key.as_ref().map(|k| {
+            k.map(|t| rewrite_object_refs(t, &object_var, &identity, &renamed_attrs, &mut ok))
+        });
         if !ok {
             // Some attribute of the unfolded object is not defined by this
             // defining clause; the combination is not usable.
@@ -429,7 +446,12 @@ fn unfold_partial(
             creates: partial.creates,
             label: partial.label.clone(),
         };
-        results.extend(unfold_partial(unfolded, target_classes, normalized, counter)?);
+        results.extend(unfold_partial(
+            unfolded,
+            target_classes,
+            normalized,
+            counter,
+        )?);
     }
     Ok(results)
 }
@@ -489,12 +511,19 @@ fn rewrite_object_refs(
         Term::Record(fields) => Term::Record(
             fields
                 .iter()
-                .map(|(l, t)| (l.clone(), rewrite_object_refs(t, object_var, identity, attrs, ok)))
+                .map(|(l, t)| {
+                    (
+                        l.clone(),
+                        rewrite_object_refs(t, object_var, identity, attrs, ok),
+                    )
+                })
                 .collect(),
         ),
         Term::Variant(label, payload) => Term::Variant(
             label.clone(),
-            Box::new(rewrite_object_refs(payload, object_var, identity, attrs, ok)),
+            Box::new(rewrite_object_refs(
+                payload, object_var, identity, attrs, ok,
+            )),
         ),
         Term::Skolem(class, args) => Term::Skolem(
             class.clone(),
@@ -607,16 +636,17 @@ fn resolve_identities(
         let labels: Vec<&str> = unkeyed.iter().map(|p| p.label.as_str()).collect();
         return Err(EngineError::Incomplete {
             class: class.to_string(),
-            detail: format!(
-                "clauses {labels:?} do not determine the object's key attributes"
-            ),
+            detail: format!("clauses {labels:?} do not determine the object's key attributes"),
         });
     }
 
     let mut combined = Vec::new();
     let n = unkeyed.len();
     for mask in 1u64..(1u64 << n) {
-        let subset: Vec<&Partial> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| &unkeyed[i]).collect();
+        let subset: Vec<&Partial> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| &unkeyed[i])
+            .collect();
         if let Some(clause) = merge_subset(class, &subset) {
             combined.push(clause);
         }
@@ -625,7 +655,10 @@ fn resolve_identities(
     Ok(keyed)
 }
 
-fn derive_key_from_attrs(candidate: &Partial, object_key: Option<&ObjectKey>) -> Option<SkolemArgs> {
+fn derive_key_from_attrs(
+    candidate: &Partial,
+    object_key: Option<&ObjectKey>,
+) -> Option<SkolemArgs> {
     let key = object_key?;
     let mut parts = Vec::new();
     for (label, path) in &key.parts {
@@ -698,7 +731,10 @@ pub fn execute(
             let oid = factory.mk(&clause.class, &key_value);
             let mut fields = BTreeMap::new();
             for (label, term) in &clause.attrs {
-                fields.insert(label.clone(), eval_term(term, &binding, &dbs, &mut factory)?);
+                fields.insert(
+                    label.clone(),
+                    eval_term(term, &binding, &dbs, &mut factory)?,
+                );
             }
             let record = Value::Record(fields);
             match target.value(&oid) {
@@ -757,7 +793,10 @@ mod tests {
                 "CityT",
                 Type::record([
                     ("name", Type::str()),
-                    ("place", Type::variant([("euro_city", Type::class("CountryT"))])),
+                    (
+                        "place",
+                        Type::variant([("euro_city", Type::class("CountryT"))]),
+                    ),
                 ]),
             )
             .with_class(
@@ -835,7 +874,10 @@ mod tests {
         let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
         // One creating clause for CountryT, one for CityT, one attribute-only
         // clause for CountryT.capital.
-        assert_eq!(normal.creating_clauses(&ClassName::new("CountryT")).len(), 1);
+        assert_eq!(
+            normal.creating_clauses(&ClassName::new("CountryT")).len(),
+            1
+        );
         assert_eq!(normal.creating_clauses(&ClassName::new("CityT")).len(), 1);
         assert_eq!(normal.len(), 3);
         assert!(normal.size() > 0);
@@ -1084,7 +1126,10 @@ mod tests {
         let source = euro_instance();
         let a = execute(&with_opt, &[&source][..], "t").unwrap();
         let b = execute(&without_opt, &[&source][..], "t").unwrap();
-        assert_eq!(a.extent_size(&ClassName::new("CountryT")), b.extent_size(&ClassName::new("CountryT")));
+        assert_eq!(
+            a.extent_size(&ClassName::new("CountryT")),
+            b.extent_size(&ClassName::new("CountryT"))
+        );
     }
 
     #[test]

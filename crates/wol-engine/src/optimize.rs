@@ -30,10 +30,7 @@ pub fn optimize_clause(clause: NormalClause, source_keys: &SourceKeys) -> Option
     let mut body = clause.body;
     // Iterate self-join elimination to a fixpoint: merging two variables may
     // enable further merges.
-    loop {
-        let Some((keep, drop)) = find_mergeable_pair(&body, source_keys) else {
-            break;
-        };
+    while let Some((keep, drop)) = find_mergeable_pair(&body, source_keys) {
         let subst: BTreeMap<Var, Term> = BTreeMap::from([(drop, Term::Var(keep))]);
         body = body.iter().map(|a| a.substitute(&subst)).collect();
         dedup_atoms(&mut body);
@@ -246,7 +243,10 @@ mod tests {
             "Y in CountryE, Z in CountryE, Y.name = Z.name, Z.currency = C, Y.name = N",
         );
         let optimised = optimize_clause(clause, &country_key()).unwrap();
-        assert!(!optimised.body.iter().any(|a| wol_lang::render_atom(a).contains('Z')));
+        assert!(!optimised
+            .body
+            .iter()
+            .any(|a| wol_lang::render_atom(a).contains('Z')));
     }
 
     #[test]
@@ -266,7 +266,10 @@ mod tests {
             "Y in CountryE, Y.language = L, Z in CountryE, Z.language = L, Z.name = N, Y.name = M",
         );
         let optimised = optimize_clause(clause, &country_key()).unwrap();
-        assert!(optimised.body.iter().any(|a| wol_lang::render_atom(a).contains('Z')));
+        assert!(optimised
+            .body
+            .iter()
+            .any(|a| wol_lang::render_atom(a).contains('Z')));
     }
 
     #[test]
@@ -276,17 +279,22 @@ mod tests {
             vec![Path::parse("name"), Path::parse("country")],
         )]);
         // Only the name is equated: no merge.
-        let clause = clause_with_body(
-            "Y in CityE, Y.name = N, Z in CityE, Z.name = N, Z.is_capital = B",
-        );
+        let clause =
+            clause_with_body("Y in CityE, Y.name = N, Z in CityE, Z.name = N, Z.is_capital = B");
         let optimised = optimize_clause(clause, &keys).unwrap();
-        assert!(optimised.body.iter().any(|a| wol_lang::render_atom(a).contains('Z')));
+        assert!(optimised
+            .body
+            .iter()
+            .any(|a| wol_lang::render_atom(a).contains('Z')));
         // Both name and country equated: merge.
         let clause = clause_with_body(
             "Y in CityE, Y.name = N, Y.country = K, Z in CityE, Z.name = N, Z.country = K, Z.is_capital = B",
         );
         let optimised = optimize_clause(clause, &keys).unwrap();
-        assert!(!optimised.body.iter().any(|a| wol_lang::render_atom(a).contains('Z')));
+        assert!(!optimised
+            .body
+            .iter()
+            .any(|a| wol_lang::render_atom(a).contains('Z')));
     }
 
     #[test]
@@ -307,7 +315,8 @@ mod tests {
 
     #[test]
     fn unsatisfiable_constant_conflict_pruned() {
-        let clause = clause_with_body("Y in CountryE, Y.name = N, Y.is_big = true, Y.is_big = false");
+        let clause =
+            clause_with_body("Y in CountryE, Y.name = N, Y.is_big = true, Y.is_big = false");
         assert!(optimize_clause(clause, &country_key()).is_none());
         let clause = clause_with_body("Y in CountryE, Y.name = N, \"a\" = \"b\"");
         assert!(optimize_clause(clause, &country_key()).is_none());
@@ -323,7 +332,8 @@ mod tests {
 
     #[test]
     fn duplicate_and_trivial_atoms_removed() {
-        let clause = clause_with_body("Y in CountryE, Y in CountryE, Y.name = N, Y.name = N, N = N");
+        let clause =
+            clause_with_body("Y in CountryE, Y in CountryE, Y.name = N, Y.name = N, N = N");
         let optimised = optimize_clause(clause, &country_key()).unwrap();
         assert_eq!(optimised.body.len(), 2);
     }

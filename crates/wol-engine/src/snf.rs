@@ -85,9 +85,9 @@ fn flatten_term(term: &Term, fresh: &mut FreshVars, out: &mut Vec<Atom>) -> Term
         }
         Term::Skolem(class, args) => {
             let flat_args = match args {
-                SkolemArgs::Positional(ts) => SkolemArgs::Positional(
-                    ts.iter().map(|t| flatten_term(t, fresh, out)).collect(),
-                ),
+                SkolemArgs::Positional(ts) => {
+                    SkolemArgs::Positional(ts.iter().map(|t| flatten_term(t, fresh, out)).collect())
+                }
                 SkolemArgs::Named(fs) => SkolemArgs::Named(
                     fs.iter()
                         .map(|(l, t)| (l.clone(), flatten_term(t, fresh, out)))
@@ -137,12 +137,22 @@ fn flatten_atom(atom: &Atom, fresh: &mut FreshVars) -> Vec<Atom> {
                 },
             }
         }
-        Atom::Neq(s, t) => Atom::Neq(flatten_term(s, fresh, &mut out), flatten_term(t, fresh, &mut out)),
-        Atom::Lt(s, t) => Atom::Lt(flatten_term(s, fresh, &mut out), flatten_term(t, fresh, &mut out)),
-        Atom::Leq(s, t) => Atom::Leq(flatten_term(s, fresh, &mut out), flatten_term(t, fresh, &mut out)),
-        Atom::InSet(s, t) => {
-            Atom::InSet(flatten_term(s, fresh, &mut out), flatten_term(t, fresh, &mut out))
-        }
+        Atom::Neq(s, t) => Atom::Neq(
+            flatten_term(s, fresh, &mut out),
+            flatten_term(t, fresh, &mut out),
+        ),
+        Atom::Lt(s, t) => Atom::Lt(
+            flatten_term(s, fresh, &mut out),
+            flatten_term(t, fresh, &mut out),
+        ),
+        Atom::Leq(s, t) => Atom::Leq(
+            flatten_term(s, fresh, &mut out),
+            flatten_term(t, fresh, &mut out),
+        ),
+        Atom::InSet(s, t) => Atom::InSet(
+            flatten_term(s, fresh, &mut out),
+            flatten_term(t, fresh, &mut out),
+        ),
     };
     out.push(flattened);
     out
@@ -229,9 +239,7 @@ mod tests {
         let simple = |t: &Term| matches!(t, Term::Var(_) | Term::Const(_));
         match atom {
             Atom::Member(t, _) => simple(t),
-            Atom::Eq(s, t) => {
-                (simple(s) && depth_one(t)) || (depth_one(s) && simple(t))
-            }
+            Atom::Eq(s, t) => (simple(s) && depth_one(t)) || (depth_one(s) && simple(t)),
             Atom::Neq(s, t) | Atom::Lt(s, t) | Atom::Leq(s, t) | Atom::InSet(s, t) => {
                 simple(s) && simple(t)
             }
@@ -264,7 +272,8 @@ mod tests {
 
     #[test]
     fn variant_of_projection_flattened() {
-        let c = parse_clause("Y.place = ins_euro_city(E.country) <= E in CityE, Y in CityT").unwrap();
+        let c =
+            parse_clause("Y.place = ins_euro_city(E.country) <= E in CityE, Y in CityT").unwrap();
         let snf = to_snf(&c);
         assert!(snf.head.iter().chain(snf.body.iter()).all(is_snf_atom));
     }
@@ -315,7 +324,7 @@ mod tests {
             c.head
                 .iter()
                 .chain(c.body.iter())
-                .map(|atom| std::mem::discriminant(atom))
+                .map(std::mem::discriminant)
                 .collect::<Vec<_>>()
         };
         assert_eq!(shape(&sa), shape(&sb));

@@ -161,7 +161,10 @@ impl Term {
     where
         I: IntoIterator<Item = Term>,
     {
-        Term::Skolem(class.into(), SkolemArgs::Positional(args.into_iter().collect()))
+        Term::Skolem(
+            class.into(),
+            SkolemArgs::Positional(args.into_iter().collect()),
+        )
     }
 
     /// A Skolem term with named arguments.
@@ -268,7 +271,11 @@ impl Atom {
     pub fn variables(&self, out: &mut BTreeSet<Var>) {
         match self {
             Atom::Member(t, _) => t.variables(out),
-            Atom::Eq(s, t) | Atom::Neq(s, t) | Atom::Lt(s, t) | Atom::Leq(s, t) | Atom::InSet(s, t) => {
+            Atom::Eq(s, t)
+            | Atom::Neq(s, t)
+            | Atom::Lt(s, t)
+            | Atom::Leq(s, t)
+            | Atom::InSet(s, t) => {
                 s.variables(out);
                 t.variables(out);
             }
@@ -314,7 +321,11 @@ impl Atom {
                 out.insert(c.clone());
                 collect_term(t, &mut out);
             }
-            Atom::Eq(s, t) | Atom::Neq(s, t) | Atom::Lt(s, t) | Atom::Leq(s, t) | Atom::InSet(s, t) => {
+            Atom::Eq(s, t)
+            | Atom::Neq(s, t)
+            | Atom::Lt(s, t)
+            | Atom::Leq(s, t)
+            | Atom::InSet(s, t) => {
                 collect_term(s, &mut out);
                 collect_term(t, &mut out);
             }
@@ -326,9 +337,11 @@ impl Atom {
     pub fn size(&self) -> usize {
         match self {
             Atom::Member(t, _) => 1 + t.size(),
-            Atom::Eq(s, t) | Atom::Neq(s, t) | Atom::Lt(s, t) | Atom::Leq(s, t) | Atom::InSet(s, t) => {
-                1 + s.size() + t.size()
-            }
+            Atom::Eq(s, t)
+            | Atom::Neq(s, t)
+            | Atom::Lt(s, t)
+            | Atom::Leq(s, t)
+            | Atom::InSet(s, t) => 1 + s.size() + t.size(),
         }
     }
 }
@@ -348,7 +361,11 @@ pub struct Clause {
 impl Clause {
     /// Build a clause from head and body atoms.
     pub fn new(head: Vec<Atom>, body: Vec<Atom>) -> Self {
-        Clause { head, body, label: None }
+        Clause {
+            head,
+            body,
+            label: None,
+        }
     }
 
     /// Attach a user-facing label.
@@ -378,7 +395,10 @@ impl Clause {
     /// Variables appearing only in the head (existentially quantified).
     pub fn head_only_variables(&self) -> BTreeSet<Var> {
         let body = self.body_variables();
-        self.variables().into_iter().filter(|v| !body.contains(v)).collect()
+        self.variables()
+            .into_iter()
+            .filter(|v| !body.contains(v))
+            .collect()
     }
 
     /// Classes mentioned anywhere in the clause.
@@ -443,7 +463,11 @@ impl Clause {
 
     /// Size metric: sum of atom sizes.
     pub fn size(&self) -> usize {
-        self.head.iter().chain(self.body.iter()).map(Atom::size).sum()
+        self.head
+            .iter()
+            .chain(self.body.iter())
+            .map(Atom::size)
+            .sum()
     }
 }
 
@@ -520,8 +544,14 @@ mod tests {
         let classes = c.mentioned_classes();
         assert!(classes.contains(&ClassName::new("CountryT")));
         assert!(classes.contains(&ClassName::new("CountryE")));
-        assert_eq!(c.head_classes(), BTreeSet::from([ClassName::new("CountryT")]));
-        assert_eq!(c.body_classes(), BTreeSet::from([ClassName::new("CountryE")]));
+        assert_eq!(
+            c.head_classes(),
+            BTreeSet::from([ClassName::new("CountryT")])
+        );
+        assert_eq!(
+            c.body_classes(),
+            BTreeSet::from([ClassName::new("CountryE")])
+        );
     }
 
     #[test]
@@ -546,7 +576,10 @@ mod tests {
     #[test]
     fn skolem_args_styles() {
         let positional = Term::skolem("CountryT", [Term::var("N")]);
-        let named = Term::skolem_named("CityT", [("name", Term::var("N")), ("country", Term::var("C"))]);
+        let named = Term::skolem_named(
+            "CityT",
+            [("name", Term::var("N")), ("country", Term::var("C"))],
+        );
         match (&positional, &named) {
             (Term::Skolem(c1, a1), Term::Skolem(c2, a2)) => {
                 assert_eq!(c1, &ClassName::new("CountryT"));

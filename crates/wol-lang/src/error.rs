@@ -42,9 +42,15 @@ pub enum LangError {
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LangError::Lex { offset, message } => write!(f, "lexical error at byte {offset}: {message}"),
-            LangError::Parse { offset, message } => write!(f, "parse error at byte {offset}: {message}"),
-            LangError::Type { clause, message } => write!(f, "type error in clause {clause}: {message}"),
+            LangError::Lex { offset, message } => {
+                write!(f, "lexical error at byte {offset}: {message}")
+            }
+            LangError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            LangError::Type { clause, message } => {
+                write!(f, "type error in clause {clause}: {message}")
+            }
             LangError::RangeRestriction { clause, unbound } => write!(
                 f,
                 "clause {clause} is not range-restricted: unbound variables {unbound:?}"
@@ -69,11 +75,20 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = LangError::Lex { offset: 3, message: "bad char".into() };
+        let e = LangError::Lex {
+            offset: 3,
+            message: "bad char".into(),
+        };
         assert!(e.to_string().contains("byte 3"));
-        let e = LangError::RangeRestriction { clause: "C1".into(), unbound: vec!["Y".into()] };
+        let e = LangError::RangeRestriction {
+            clause: "C1".into(),
+            unbound: vec!["Y".into()],
+        };
         assert!(e.to_string().contains("not range-restricted"));
-        let e = LangError::Type { clause: "0".into(), message: "boom".into() };
+        let e = LangError::Type {
+            clause: "0".into(),
+            message: "boom".into(),
+        };
         assert!(e.to_string().contains("type error"));
     }
 

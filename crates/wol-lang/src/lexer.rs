@@ -33,32 +33,53 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
         let start = i;
         match c {
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Spanned { token: Token::Semicolon, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Spanned { token: Token::Dot, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(Spanned { token: Token::Colon, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Colon,
+                    offset: start,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Neq, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Neq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(LangError::Lex {
@@ -69,19 +90,31 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'<') {
-                    tokens.push(Spanned { token: Token::Leq, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Leq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Eq, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Eq,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Arrow, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Arrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Lt, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -122,9 +155,18 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                         }
                     }
                 }
-                tokens.push(Spanned { token: Token::Str(out), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Str(out),
+                    offset: start,
+                });
             }
-            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit()).unwrap_or(false)) => {
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && bytes
+                        .get(i + 1)
+                        .map(|b| (*b as char).is_ascii_digit())
+                        .unwrap_or(false)) =>
+            {
                 let mut j = i + 1;
                 while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
                     j += 1;
@@ -145,14 +187,20 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                         offset: start,
                         message: format!("invalid real literal `{text}`"),
                     })?;
-                    tokens.push(Spanned { token: Token::Real(value), offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Real(value),
+                        offset: start,
+                    });
                 } else {
                     let text = &input[i..j];
                     let value: i64 = text.parse().map_err(|_| LangError::Lex {
                         offset: start,
                         message: format!("invalid integer literal `{text}`"),
                     })?;
-                    tokens.push(Spanned { token: Token::Int(value), offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Int(value),
+                        offset: start,
+                    });
                 }
                 i = j;
             }
@@ -174,7 +222,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                     "false" | "False" => Token::KwFalse,
                     _ => Token::Ident(text.to_string()),
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
                 i = j;
             }
             other => {
@@ -185,7 +236,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
             }
         }
     }
-    tokens.push(Spanned { token: Token::Eof, offset: input.len() });
+    tokens.push(Spanned {
+        token: Token::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
@@ -285,7 +339,10 @@ mod tests {
     fn comments_are_skipped() {
         let toks = kinds("X = Y // this is clause C1\n<= Y in StateA;");
         assert!(toks.contains(&Token::Arrow));
-        assert_eq!(toks.iter().filter(|t| matches!(t, Token::Ident(_))).count(), 4);
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t, Token::Ident(_))).count(),
+            4
+        );
     }
 
     #[test]

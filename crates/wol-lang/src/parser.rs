@@ -112,16 +112,17 @@ impl Parser {
 
     fn clause_allow_missing_semi(&mut self) -> Result<Clause> {
         // Optional clause label: IDENT ':'
-        let label = if matches!(self.peek(), Token::Ident(_)) && matches!(self.peek2(), Token::Colon) {
-            let l = match self.bump() {
-                Token::Ident(s) => s,
-                _ => unreachable!(),
+        let label =
+            if matches!(self.peek(), Token::Ident(_)) && matches!(self.peek2(), Token::Colon) {
+                let l = match self.bump() {
+                    Token::Ident(s) => s,
+                    _ => unreachable!(),
+                };
+                self.bump(); // colon
+                Some(l)
+            } else {
+                None
             };
-            self.bump(); // colon
-            Some(l)
-        } else {
-            None
-        };
 
         let head = self.atoms()?;
         let body = if matches!(self.peek(), Token::Arrow) {
@@ -204,7 +205,11 @@ impl Parser {
                 Token::Ident(label) => {
                     t = t.proj(label);
                 }
-                other => return Err(self.error(format!("expected an attribute label after `.`, found {other}"))),
+                other => {
+                    return Err(self.error(format!(
+                        "expected an attribute label after `.`, found {other}"
+                    )))
+                }
             }
         }
         Ok(t)
@@ -270,7 +275,9 @@ impl Parser {
                         let label = match self.bump() {
                             Token::Ident(l) => l,
                             other => {
-                                return Err(self.error(format!("expected a field label, found {other}")))
+                                return Err(
+                                    self.error(format!("expected a field label, found {other}"))
+                                )
                             }
                         };
                         self.expect(&Token::Eq, "`=` in record field")?;
@@ -304,7 +311,9 @@ impl Parser {
             loop {
                 let label = match self.bump() {
                     Token::Ident(l) => l,
-                    other => return Err(self.error(format!("expected an argument label, found {other}"))),
+                    other => {
+                        return Err(self.error(format!("expected an argument label, found {other}")))
+                    }
                 };
                 self.expect(&Token::Eq, "`=` in named Skolem argument")?;
                 let value = self.term()?;
@@ -342,8 +351,14 @@ mod tests {
             c.head[0],
             Atom::Eq(Term::var("X").proj("state"), Term::var("Y"))
         );
-        assert_eq!(c.body[0], Atom::Member(Term::var("Y"), ClassName::new("StateA")));
-        assert_eq!(c.body[1], Atom::Eq(Term::var("X"), Term::var("Y").proj("capital")));
+        assert_eq!(
+            c.body[0],
+            Atom::Member(Term::var("Y"), ClassName::new("StateA"))
+        );
+        assert_eq!(
+            c.body[1],
+            Atom::Eq(Term::var("X"), Term::var("Y").proj("capital"))
+        );
     }
 
     #[test]
@@ -373,7 +388,10 @@ mod tests {
         // E.country.name parses as a nested projection.
         assert_eq!(
             c.body[2],
-            Atom::Eq(Term::var("X").proj("name"), Term::var("E").path("country.name"))
+            Atom::Eq(
+                Term::var("X").proj("name"),
+                Term::var("E").path("country.name")
+            )
         );
     }
 
@@ -393,7 +411,10 @@ mod tests {
             c.head[0],
             Atom::Eq(
                 Term::var("X"),
-                Term::skolem_named("CityT", [("name", Term::var("N")), ("country", Term::var("C"))])
+                Term::skolem_named(
+                    "CityT",
+                    [("name", Term::var("N")), ("country", Term::var("C"))]
+                )
             )
         );
     }
@@ -401,7 +422,9 @@ mod tests {
     #[test]
     fn parse_dataless_variant() {
         // Clause (T6): X in Male, X.name = N <= Y in Person, Y.name = N, Y.sex = ins_male();
-        let c = parse_clause("X in Male, X.name = N <= Y in Person, Y.name = N, Y.sex = ins_male()").unwrap();
+        let c =
+            parse_clause("X in Male, X.name = N <= Y in Person, Y.name = N, Y.sex = ins_male()")
+                .unwrap();
         assert_eq!(
             c.body[2],
             Atom::Eq(Term::var("Y").proj("sex"), Term::tag("male"))
@@ -451,8 +474,10 @@ mod tests {
 
     #[test]
     fn parse_record_term() {
-        let c = parse_clause("X.key = (name = N, country_name = C) <= X in CityT, N = X.name, C = X.country.name")
-            .unwrap();
+        let c = parse_clause(
+            "X.key = (name = N, country_name = C) <= X in CityT, N = X.name, C = X.country.name",
+        )
+        .unwrap();
         assert_eq!(
             c.head[0],
             Atom::Eq(
@@ -465,7 +490,10 @@ mod tests {
     #[test]
     fn parse_parenthesised_term() {
         let c = parse_clause("X = (Y.capital) <= Y in StateA").unwrap();
-        assert_eq!(c.head[0], Atom::Eq(Term::var("X"), Term::var("Y").proj("capital")));
+        assert_eq!(
+            c.head[0],
+            Atom::Eq(Term::var("X"), Term::var("Y").proj("capital"))
+        );
     }
 
     #[test]
@@ -529,7 +557,10 @@ mod tests {
     fn skolem_without_parens_is_a_variable() {
         // `Mk_CountryT` not followed by `(` is just an identifier/variable.
         let c = parse_clause("X = Mk_CountryT <= X in CityT").unwrap();
-        assert_eq!(c.head[0], Atom::Eq(Term::var("X"), Term::var("Mk_CountryT")));
+        assert_eq!(
+            c.head[0],
+            Atom::Eq(Term::var("X"), Term::var("Mk_CountryT"))
+        );
     }
 
     #[test]
@@ -537,7 +568,10 @@ mod tests {
         let c = parse_clause("X = Mk_Singleton() <= Y in CountryE").unwrap();
         assert_eq!(
             c.head[0],
-            Atom::Eq(Term::var("X"), Term::skolem("Singleton", Vec::<Term>::new()))
+            Atom::Eq(
+                Term::var("X"),
+                Term::skolem("Singleton", Vec::<Term>::new())
+            )
         );
     }
 }

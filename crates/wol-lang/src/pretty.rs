@@ -120,7 +120,11 @@ pub fn render_clause(clause: &Clause) -> String {
 
 /// Render a sequence of clauses, one per line.
 pub fn render_program(clauses: &[Clause]) -> String {
-    clauses.iter().map(render_clause).collect::<Vec<_>>().join("\n")
+    clauses
+        .iter()
+        .map(render_clause)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]

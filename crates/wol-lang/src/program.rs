@@ -90,7 +90,11 @@ pub struct Program {
 
 impl Program {
     /// Create an empty program.
-    pub fn new(name: impl Into<String>, sources: Vec<SchemaBinding>, target: SchemaBinding) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        sources: Vec<SchemaBinding>,
+        target: SchemaBinding,
+    ) -> Self {
         Program {
             name: name.into(),
             sources,
@@ -225,10 +229,7 @@ impl Program {
             binding.schema.validate().map_err(LangError::from)?;
         }
         let schemas = self.schemas();
-        let known: BTreeSet<ClassName> = schemas
-            .iter()
-            .flat_map(|s| s.class_names())
-            .collect();
+        let known: BTreeSet<ClassName> = schemas.iter().flat_map(|s| s.class_names()).collect();
         for (id, clause) in self.enumerate() {
             for class in clause.mentioned_classes() {
                 if !known.contains(&class) {
@@ -362,7 +363,10 @@ mod tests {
         assert_eq!(p.transformation_clauses().len(), 2);
         assert_eq!(p.source_constraints().len(), 1);
         assert_eq!(p.target_constraints().len(), 1);
-        assert_eq!(ClauseRole::Transformation.kind(), ClauseKind::Transformation);
+        assert_eq!(
+            ClauseRole::Transformation.kind(),
+            ClauseKind::Transformation
+        );
         assert_eq!(ClauseRole::SourceConstraint.kind(), ClauseKind::Constraint);
     }
 
@@ -374,7 +378,8 @@ mod tests {
     #[test]
     fn validation_reports_unknown_class_with_clause_id() {
         let mut p = sample_program();
-        p.add_text("X in Nowhere, X.name = E.name <= E in CountryE;").unwrap();
+        p.add_text("X in Nowhere, X.name = E.name <= E in CountryE;")
+            .unwrap();
         let err = p.validate().unwrap_err();
         assert!(err.to_string().contains("Nowhere"));
     }
@@ -382,7 +387,8 @@ mod tests {
     #[test]
     fn validation_reports_ill_typed_clause() {
         let mut p = sample_program();
-        p.add_text("bad: X in CountryT, X.name = E.is_capital <= E in CityE;").unwrap();
+        p.add_text("bad: X in CountryT, X.name = E.is_capital <= E in CityE;")
+            .unwrap();
         let err = p.validate().unwrap_err();
         assert!(matches!(err, LangError::Type { .. }));
         assert!(err.to_string().contains("bad"));
@@ -391,7 +397,8 @@ mod tests {
     #[test]
     fn validation_reports_unrestricted_clause() {
         let mut p = sample_program();
-        p.add_text("loose: X in CountryT, N != X.name <= E in CountryE;").unwrap();
+        p.add_text("loose: X in CountryT, N != X.name <= E in CountryE;")
+            .unwrap();
         let err = p.validate().unwrap_err();
         assert!(matches!(err, LangError::RangeRestriction { .. }));
     }
@@ -418,7 +425,11 @@ mod tests {
     #[test]
     fn invalid_schema_rejected() {
         let bad = Schema::new("bad").with_class("A", Type::record([("x", Type::class("Missing"))]));
-        let p = Program::new("p", vec![SchemaBinding::new(bad)], SchemaBinding::new(target_schema()));
+        let p = Program::new(
+            "p",
+            vec![SchemaBinding::new(bad)],
+            SchemaBinding::new(target_schema()),
+        );
         assert!(matches!(p.validate().unwrap_err(), LangError::Schema(_)));
     }
 }

@@ -112,7 +112,12 @@ pub fn analyse(clause: &Clause) -> RangeReport {
     fixpoint(&clause.body, &mut bound);
     let bound_in_body = bound.clone();
     // Head atoms may bind head-only (existential) variables.
-    let all_atoms: Vec<Atom> = clause.body.iter().chain(clause.head.iter()).cloned().collect();
+    let all_atoms: Vec<Atom> = clause
+        .body
+        .iter()
+        .chain(clause.head.iter())
+        .cloned()
+        .collect();
     fixpoint(&all_atoms, &mut bound);
     let unbound: BTreeSet<Var> = clause
         .variables()
@@ -134,7 +139,10 @@ pub fn check_range_restricted(clause: &Clause) -> Result<RangeReport> {
         Ok(report)
     } else {
         Err(LangError::RangeRestriction {
-            clause: clause.label.clone().unwrap_or_else(|| "<unlabelled>".to_string()),
+            clause: clause
+                .label
+                .clone()
+                .unwrap_or_else(|| "<unlabelled>".to_string()),
             unbound: report.unbound.iter().cloned().collect(),
         })
     }
@@ -160,7 +168,9 @@ mod tests {
         let c = parse_clause("X.population < Y <= X in CityA").unwrap();
         let err = check_range_restricted(&c).unwrap_err();
         match err {
-            LangError::RangeRestriction { unbound, .. } => assert_eq!(unbound, vec!["Y".to_string()]),
+            LangError::RangeRestriction { unbound, .. } => {
+                assert_eq!(unbound, vec!["Y".to_string()])
+            }
             other => panic!("expected range-restriction error, got {other:?}"),
         }
     }
@@ -202,10 +212,8 @@ mod tests {
 
     #[test]
     fn record_and_variant_patterns_bind_components() {
-        let c = parse_clause(
-            "K = (name = N, country = C) <= X in CityT, K = X.key, N = N, C = C",
-        )
-        .unwrap();
+        let c = parse_clause("K = (name = N, country = C) <= X in CityT, K = X.key, N = N, C = C")
+            .unwrap();
         // Simplified: K bound via X.key; record pattern binds N and C.
         let report = analyse(&c);
         assert!(report.bound.contains("N"));

@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn token_display() {
-        assert_eq!(Token::Ident("CityE".into()).to_string(), "identifier `CityE`");
+        assert_eq!(
+            Token::Ident("CityE".into()).to_string(),
+            "identifier `CityE`"
+        );
         assert_eq!(Token::Arrow.to_string(), "`<=`");
         assert_eq!(Token::Leq.to_string(), "`=<`");
         assert_eq!(Token::Str("x".into()).to_string(), "string literal \"x\"");

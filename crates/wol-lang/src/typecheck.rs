@@ -136,7 +136,9 @@ impl<'a> Checker<'a> {
             Term::Variant(_, _) => Ok(None),
             Term::Skolem(class, args) => {
                 if !class_exists(self.schemas, class) {
-                    return Err(self.error(format!("Skolem term refers to unknown class `{class}`")));
+                    return Err(
+                        self.error(format!("Skolem term refers to unknown class `{class}`"))
+                    );
                 }
                 // Argument terms need no particular type, but inferring them
                 // may bind variables through record/projection structure.
@@ -188,9 +190,9 @@ impl<'a> Checker<'a> {
                             Some((_, sub_ty)) => self.check_against(sub, sub_ty)?,
                             None => {
                                 return Err(self.error(format!(
-                                    "record term has field `{label}` not present in expected type {}",
-                                    wol_model::display::render_type(expected)
-                                )))
+                                "record term has field `{label}` not present in expected type {}",
+                                wol_model::display::render_type(expected)
+                            )))
                             }
                         }
                     }
@@ -286,7 +288,9 @@ impl<'a> Checker<'a> {
             Atom::InSet(elem, set) => {
                 if let Some(set_ty) = self.infer(set)? {
                     match set_ty {
-                        Type::Set(elem_ty) | Type::List(elem_ty) => self.check_against(elem, &elem_ty),
+                        Type::Set(elem_ty) | Type::List(elem_ty) => {
+                            self.check_against(elem, &elem_ty)
+                        }
                         other => Err(self.error(format!(
                             "`member` used on a term of non-set type {}",
                             wol_model::display::render_type(&other)
@@ -308,7 +312,10 @@ impl<'a> Checker<'a> {
 /// reported as errors (such clauses are also not range-restricted, but the
 /// dedicated message here is more helpful).
 pub fn check_clause_types(clause: &Clause, schemas: &[&Schema]) -> Result<TypeEnv> {
-    let clause_id = clause.label.clone().unwrap_or_else(|| "<unlabelled>".to_string());
+    let clause_id = clause
+        .label
+        .clone()
+        .unwrap_or_else(|| "<unlabelled>".to_string());
     let mut checker = Checker {
         schemas,
         env: TypeEnv::new(),
@@ -458,10 +465,12 @@ mod tests {
         // "a clause containing the atom X < Y.population ... and an atom
         //  X in CityA would not be well-typed."
         let us = us_schema();
-        let clause = parse_clause("Z = Y.name <= X in CityA, Y in StateA, X < Y.population").unwrap();
+        let clause =
+            parse_clause("Z = Y.name <= X in CityA, Y in StateA, X < Y.population").unwrap();
         // StateA has no population; use CityA's population but force X to be
         // both a city and an integer.
-        let clause2 = parse_clause("Z = Y.name <= X in CityA, Y in CityA, X < Y.population").unwrap();
+        let clause2 =
+            parse_clause("Z = Y.name <= X in CityA, Y in CityA, X < Y.population").unwrap();
         assert!(check_clause_types(&clause, &[&us]).is_err());
         assert!(check_clause_types(&clause2, &[&us]).is_err());
     }
@@ -502,10 +511,7 @@ mod tests {
     fn variant_label_must_exist() {
         let euro = euro_schema();
         let target = target_schema();
-        let clause = parse_clause(
-            "Y.place = ins_planet(X) <= Y in CityT, X in CountryT",
-        )
-        .unwrap();
+        let clause = parse_clause("Y.place = ins_planet(X) <= Y in CityT, X in CountryT").unwrap();
         let err = check_clause_types(&clause, &[&euro, &target]).unwrap_err();
         assert!(err.to_string().contains("ins_planet") || err.to_string().contains("planet"));
     }
@@ -543,7 +549,9 @@ mod tests {
     #[test]
     fn numeric_comparison_well_typed() {
         let us = us_schema();
-        let clause = parse_clause("N = X.name <= X in CityA, Y in CityA, X.population < Y.population").unwrap();
+        let clause =
+            parse_clause("N = X.name <= X in CityA, Y in CityA, X.population < Y.population")
+                .unwrap();
         assert!(check_clause_types(&clause, &[&us]).is_ok());
     }
 
@@ -551,7 +559,10 @@ mod tests {
     fn optional_fields_are_transparent() {
         let schema = Schema::new("s").with_class(
             "Marker",
-            Type::record([("name", Type::str()), ("position", Type::optional(Type::int()))]),
+            Type::record([
+                ("name", Type::str()),
+                ("position", Type::optional(Type::int())),
+            ]),
         );
         let clause = parse_clause("P = M.position <= M in Marker, P = 3").unwrap();
         let env = check_clause_types(&clause, &[&schema]).unwrap();

@@ -175,7 +175,10 @@ mod tests {
             render_type(&city_e),
             "(name: str, is_capital: bool, country: CountryE)"
         );
-        let place = Type::variant([("state", Type::class("StateT")), ("country", Type::class("CountryT"))]);
+        let place = Type::variant([
+            ("state", Type::class("StateT")),
+            ("country", Type::class("CountryT")),
+        ]);
         assert_eq!(render_type(&place), "<|state: StateT, country: CountryT|>");
         assert_eq!(render_type(&Type::set(Type::class("CityE"))), "{CityE}");
         assert_eq!(render_type(&Type::list(Type::int())), "[int]");
@@ -189,14 +192,23 @@ mod tests {
             ("name", Value::str("London")),
             ("is_capital", Value::bool(true)),
         ]);
-        assert_eq!(render_value(&v), r#"(is_capital -> True, name -> "London")"#);
+        assert_eq!(
+            render_value(&v),
+            r#"(is_capital -> True, name -> "London")"#
+        );
         assert_eq!(render_value(&Value::tag("male")), "ins_male()");
         assert_eq!(
             render_value(&Value::variant("euro_city", Value::int(1))),
             "ins_euro_city(1)"
         );
-        assert_eq!(render_value(&Value::set([Value::int(2), Value::int(1)])), "{1, 2}");
-        assert_eq!(render_value(&Value::list([Value::int(2), Value::int(1)])), "[2, 1]");
+        assert_eq!(
+            render_value(&Value::set([Value::int(2), Value::int(1)])),
+            "{1, 2}"
+        );
+        assert_eq!(
+            render_value(&Value::list([Value::int(2), Value::int(1)])),
+            "[2, 1]"
+        );
         assert_eq!(render_value(&Value::Absent), "<absent>");
         assert_eq!(render_value(&Value::real(1.5)), "1.5");
     }

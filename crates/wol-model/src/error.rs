@@ -69,7 +69,10 @@ impl fmt::Display for ModelError {
             ModelError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
             ModelError::DuplicateClass(c) => write!(f, "class `{c}` declared more than once"),
             ModelError::ClassTypedClass(c) => {
-                write!(f, "class `{c}` has a class type as its associated value type")
+                write!(
+                    f,
+                    "class `{c}` has a class type as its associated value type"
+                )
             }
             ModelError::DuplicateLabel { label, context } => {
                 write!(f, "duplicate label `{label}` in {context}")
@@ -91,7 +94,10 @@ impl fmt::Display for ModelError {
             ModelError::DuplicateOid(o) => write!(f, "object identity {o} inserted twice"),
             ModelError::KeyEvaluation(msg) => write!(f, "key evaluation failed: {msg}"),
             ModelError::KeyViolation { class, key } => {
-                write!(f, "key violation in class `{class}`: key value {key} is shared")
+                write!(
+                    f,
+                    "key violation in class `{class}`: key value {key} is shared"
+                )
             }
             ModelError::KeyContainsOid(c) => write!(
                 f,

@@ -1,0 +1,159 @@
+//! Secondary attribute indexes over instances.
+//!
+//! Clause-body matching and hash-join execution both repeatedly ask the same
+//! question of an instance: *which objects of class `C` have attribute `a`
+//! equal to value `v`?* Answering it by scanning the whole extent makes every
+//! join quadratic. This module provides the answer in (amortised) constant
+//! time: a per-`(class, attribute)` hash index from the attribute's value to
+//! the object identities carrying it.
+//!
+//! Design:
+//!
+//! * **Lazy** — an index is built the first time `(class, attribute)` is
+//!   probed, by one pass over the class's extent. Workloads that never join on
+//!   an attribute never pay for indexing it.
+//! * **Invalidation, not maintenance** — any mutation of a class's extent or
+//!   values (insert / update / remove) drops that class's indexes wholesale;
+//!   the next probe rebuilds. The engine's access pattern is
+//!   "load, then match many bodies", so rebuilds are rare, and wholesale
+//!   invalidation keeps the write path allocation-free.
+//! * **Hash buckets, exact verification** — buckets are keyed by a 64-bit
+//!   hash of the attribute value; probes re-check candidates against the live
+//!   value, so hash collisions cost time but never correctness.
+//!
+//! The cache lives behind a `RefCell` inside [`Instance`](crate::Instance):
+//! probing takes `&self`, so the read path of the engine stays borrow-friendly.
+//! Equality and cloning of instances deliberately ignore the cache (it is
+//! derived data).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+use crate::oid::Oid;
+use crate::types::{ClassName, Label};
+use crate::values::Value;
+
+/// Hash of an attribute value, as used by the index buckets.
+pub fn value_hash(value: &Value) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A single `(class, attribute)` index: value-hash → object identities whose
+/// attribute carries a value with that hash.
+#[derive(Clone, Debug, Default)]
+pub struct AttrIndex {
+    buckets: HashMap<u64, Vec<Oid>>,
+    entries: usize,
+}
+
+impl AttrIndex {
+    /// Record that `oid`'s attribute value hashes to `hash`.
+    pub fn add(&mut self, hash: u64, oid: Oid) {
+        self.buckets.entry(hash).or_default().push(oid);
+        self.entries += 1;
+    }
+
+    /// The candidate identities for a value hash. Candidates must be verified
+    /// against the live attribute value by the caller.
+    pub fn candidates(&self, hash: u64) -> &[Oid] {
+        self.buckets.get(&hash).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of indexed `(value, oid)` entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+/// The per-instance cache of attribute indexes, keyed by class and attribute
+/// label. The nesting (class, then label) lets probes — the hot path — look
+/// up with borrowed keys, allocation-free.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    indexes: BTreeMap<ClassName, BTreeMap<Label, AttrIndex>>,
+}
+
+impl IndexCache {
+    /// The index for `(class, attr)`, if it has been built.
+    pub fn get(&self, class: &ClassName, attr: &str) -> Option<&AttrIndex> {
+        self.indexes.get(class)?.get(attr)
+    }
+
+    /// Whether an index for `(class, attr)` exists.
+    pub fn contains(&self, class: &ClassName, attr: &str) -> bool {
+        self.get(class, attr).is_some()
+    }
+
+    /// Install a freshly built index.
+    pub fn insert(&mut self, class: ClassName, attr: Label, index: AttrIndex) {
+        self.indexes.entry(class).or_default().insert(attr, index);
+    }
+
+    /// Drop every index of `class` (called on any mutation touching the class).
+    pub fn invalidate_class(&mut self, class: &ClassName) {
+        self.indexes.remove(class);
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.indexes.clear();
+    }
+
+    /// Number of built `(class, attribute)` indexes.
+    pub fn len(&self) -> usize {
+        self.indexes.values().map(BTreeMap::len).sum()
+    }
+
+    /// True if no index has been built.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_and_report() {
+        let mut idx = AttrIndex::default();
+        assert!(idx.is_empty());
+        let class = ClassName::new("C");
+        let h = value_hash(&Value::str("x"));
+        idx.add(h, Oid::new(class.clone(), 0));
+        idx.add(h, Oid::new(class.clone(), 1));
+        assert_eq!(idx.candidates(h).len(), 2);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.candidates(h ^ 1).is_empty());
+    }
+
+    #[test]
+    fn cache_invalidation_is_per_class() {
+        let mut cache = IndexCache::default();
+        let a = ClassName::new("A");
+        let b = ClassName::new("B");
+        cache.insert(a.clone(), "name".to_string(), AttrIndex::default());
+        cache.insert(b.clone(), "name".to_string(), AttrIndex::default());
+        assert_eq!(cache.len(), 2);
+        cache.invalidate_class(&a);
+        assert!(!cache.contains(&a, "name"));
+        assert!(cache.contains(&b, "name"));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = Value::record([("x", Value::int(1))]);
+        let b = Value::record([("x", Value::int(1))]);
+        assert_eq!(value_hash(&a), value_hash(&b));
+    }
+}

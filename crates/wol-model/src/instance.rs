@@ -5,9 +5,11 @@
 //! that every identity occurring inside a value belongs to one of the
 //! instance's extents (Section 2.1).
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::error::ModelError;
+use crate::index::{value_hash, AttrIndex, IndexCache};
 use crate::oid::{Oid, OidGen};
 use crate::types::ClassName;
 use crate::values::Value;
@@ -15,13 +17,41 @@ use crate::Result;
 
 /// A database instance: extents of object identities per class, plus the value
 /// associated with each identity.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Instances also carry a lazily built cache of secondary attribute indexes
+/// (see [`crate::index`]) used by the engine's join machinery; the cache is
+/// derived data and is ignored by equality and excluded from clones.
+#[derive(Debug, Default)]
 pub struct Instance {
     schema_name: String,
     extents: BTreeMap<ClassName, BTreeSet<Oid>>,
     values: BTreeMap<Oid, Value>,
     oid_gen: OidGen,
+    index: RefCell<IndexCache>,
 }
+
+impl Clone for Instance {
+    fn clone(&self) -> Self {
+        Instance {
+            schema_name: self.schema_name.clone(),
+            extents: self.extents.clone(),
+            values: self.values.clone(),
+            oid_gen: self.oid_gen.clone(),
+            index: RefCell::new(IndexCache::default()),
+        }
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema_name == other.schema_name
+            && self.extents == other.extents
+            && self.values == other.values
+            && self.oid_gen == other.oid_gen
+    }
+}
+
+impl Eq for Instance {}
 
 impl Instance {
     /// Create an empty instance labelled with the name of the schema it is an
@@ -32,6 +62,7 @@ impl Instance {
             extents: BTreeMap::new(),
             values: BTreeMap::new(),
             oid_gen: OidGen::new(),
+            index: RefCell::new(IndexCache::default()),
         }
     }
 
@@ -49,6 +80,7 @@ impl Instance {
         if self.values.contains_key(&oid) {
             return Err(ModelError::DuplicateOid(oid.to_string()));
         }
+        self.index.borrow_mut().invalidate_class(&class);
         self.extents.entry(class).or_default().insert(oid.clone());
         self.values.insert(oid, value);
         Ok(())
@@ -57,7 +89,11 @@ impl Instance {
     /// Insert an object with a freshly generated identity, returning it.
     pub fn insert_fresh(&mut self, class: &ClassName, value: Value) -> Oid {
         let oid = self.oid_gen.fresh(class);
-        self.extents.entry(class.clone()).or_default().insert(oid.clone());
+        self.index.borrow_mut().invalidate_class(class);
+        self.extents
+            .entry(class.clone())
+            .or_default()
+            .insert(oid.clone());
         self.values.insert(oid.clone(), value);
         oid
     }
@@ -67,6 +103,7 @@ impl Instance {
         match self.values.get_mut(oid) {
             Some(slot) => {
                 *slot = value;
+                self.index.borrow_mut().invalidate_class(oid.class());
                 Ok(())
             }
             None => Err(ModelError::DanglingOid(oid.to_string())),
@@ -104,10 +141,7 @@ impl Instance {
     /// Iterate over `(oid, value)` pairs of a class's extent.
     pub fn objects(&self, class: &ClassName) -> impl Iterator<Item = (&Oid, &Value)> {
         self.extent(class).map(move |oid| {
-            let value = self
-                .values
-                .get(oid)
-                .expect("extent oid always has a value");
+            let value = self.values.get(oid).expect("extent oid always has a value");
             (oid, value)
         })
     }
@@ -135,6 +169,7 @@ impl Instance {
     /// Remove an object from the instance. Dangling references left behind are
     /// detected by [`validate::check_instance`](crate::validate::check_instance).
     pub fn remove(&mut self, oid: &Oid) -> Option<Value> {
+        self.index.borrow_mut().invalidate_class(oid.class());
         if let Some(ext) = self.extents.get_mut(oid.class()) {
             ext.remove(oid);
         }
@@ -143,19 +178,157 @@ impl Instance {
 
     /// Look up an object of `class` by a projected field value, e.g. find the
     /// `CountryE` whose `name` is `"France"`. Linear scan; convenience for
-    /// tests, examples and adapters.
+    /// tests, examples and adapters (the hot path is [`lookup_by_attr`],
+    /// which goes through the attribute index).
+    ///
+    /// [`lookup_by_attr`]: Instance::lookup_by_attr
     pub fn find_by_field(&self, class: &ClassName, field: &str, value: &Value) -> Option<&Oid> {
         self.objects(class)
             .find(|(_, v)| v.project(field) == Some(value))
             .map(|(oid, _)| oid)
     }
 
-    /// Merge another instance into this one. Identities must be disjoint.
+    /// All identities of `class` whose record value has attribute `attr` equal
+    /// to `value`, answered through the lazily built attribute index (see
+    /// [`crate::index`]). The first probe of a `(class, attr)` pair builds the
+    /// index in one pass over the extent; subsequent probes are hash lookups.
+    pub fn lookup_by_attr(&self, class: &ClassName, attr: &str, value: &Value) -> Vec<Oid> {
+        self.ensure_attr_index(class, attr);
+        let cache = self.index.borrow();
+        let index = cache
+            .get(class, attr)
+            .expect("ensure_attr_index always installs the index");
+        index
+            .candidates(value_hash(value))
+            .iter()
+            // Hash buckets are candidates only: verify against the live value.
+            .filter(|oid| {
+                self.values
+                    .get(oid)
+                    .and_then(|v| v.project(attr))
+                    .is_some_and(|v| v == value)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Whether a probe for `(class, attr)` would hit an already-built index.
+    /// Exposed for tests and diagnostics.
+    pub fn has_attr_index(&self, class: &ClassName, attr: &str) -> bool {
+        self.index.borrow().contains(class, attr)
+    }
+
+    /// Number of `(class, attribute)` indexes currently built.
+    pub fn attr_index_count(&self) -> usize {
+        self.index.borrow().len()
+    }
+
+    fn ensure_attr_index(&self, class: &ClassName, attr: &str) {
+        if self.index.borrow().contains(class, attr) {
+            return;
+        }
+        let mut built = AttrIndex::default();
+        for (oid, value) in self.objects(class) {
+            if let Some(attr_value) = value.project(attr) {
+                built.add(value_hash(attr_value), oid.clone());
+            }
+        }
+        self.index
+            .borrow_mut()
+            .insert(class.clone(), attr.to_string(), built);
+    }
+
+    /// Merge another instance into this one. Identities must be disjoint;
+    /// when they may overlap, use [`merge_keyed`](Instance::merge_keyed).
     pub fn absorb(&mut self, other: &Instance) -> Result<()> {
         for (oid, value) in other.all_objects() {
             self.insert(oid.clone(), value.clone())?;
         }
         Ok(())
+    }
+
+    /// A fresh identity of `class` that is guaranteed not to collide with any
+    /// identity already present (identities inserted with explicit ids are
+    /// not known to the generator, so skip past them).
+    fn fresh_noncolliding(&mut self, class: &ClassName) -> Oid {
+        loop {
+            let oid = self.oid_gen.fresh(class);
+            if !self.values.contains_key(&oid) {
+                return oid;
+            }
+        }
+    }
+
+    /// Merge another instance into this one *by key*: objects of keyed
+    /// classes that share a key value with an existing object are merged into
+    /// it (field by field, erroring on conflicting fields), and every other
+    /// object is inserted under a fresh identity. Object references inside
+    /// the incoming values are rewritten accordingly. Returns the mapping
+    /// from `other`'s identities to their identities in `self`.
+    ///
+    /// This is the instance-level counterpart of integrating independently
+    /// produced target fragments (Example 1.1): two transformations that key
+    /// `CityT` objects the same way produce fragments that merge cleanly even
+    /// though their identity spaces overlap.
+    pub fn merge_keyed(
+        &mut self,
+        other: &Instance,
+        keys: &crate::keys::KeySpec,
+    ) -> Result<BTreeMap<Oid, Oid>> {
+        // Phase 1: decide the identity mapping for every incoming object.
+        let mut mapping: BTreeMap<Oid, Oid> = BTreeMap::new();
+        let mut key_indexes: BTreeMap<ClassName, BTreeMap<Value, Oid>> = BTreeMap::new();
+        for class in other.populated_classes() {
+            if keys.has_key(&class) {
+                key_indexes.insert(class.clone(), keys.index(&class, self)?);
+            }
+        }
+        let mut pending: BTreeMap<(ClassName, Value), Oid> = BTreeMap::new();
+        for (oid, _) in other.all_objects() {
+            let class = oid.class();
+            // A keyed class whose key cannot be evaluated is an error: falling
+            // back to a fresh identity would let the merged instance violate
+            // its own key specification.
+            let key = match key_indexes.contains_key(class) {
+                true => Some(keys.eval(oid, other)?),
+                false => None,
+            };
+            let target = match key {
+                Some(key) => {
+                    if let Some(existing) = key_indexes[class].get(&key) {
+                        existing.clone()
+                    } else {
+                        // Incoming objects sharing a key merge with each
+                        // other even when the key is new to `self`.
+                        pending
+                            .entry((class.clone(), key))
+                            .or_insert_with(|| self.fresh_noncolliding(class))
+                            .clone()
+                    }
+                }
+                None => self.fresh_noncolliding(class),
+            };
+            mapping.insert(oid.clone(), target);
+        }
+        // Phase 2: insert or merge the values with references rewritten.
+        for (oid, value) in other.all_objects() {
+            let rewritten =
+                value.map_oids(&mut |o| mapping.get(o).cloned().unwrap_or_else(|| o.clone()));
+            let target = mapping[oid].clone();
+            match self.value(&target) {
+                None => self.insert(target, rewritten)?,
+                Some(existing) => {
+                    let merged = existing.merge_records(&rewritten).ok_or_else(|| {
+                        ModelError::Invalid(format!(
+                            "keyed merge: objects {oid} and {target} share a key but disagree \
+                             on a field"
+                        ))
+                    })?;
+                    self.update(&target, merged)?;
+                }
+            }
+        }
+        Ok(mapping)
     }
 
     /// Total number of value-tree nodes stored; a rough size metric used by
@@ -284,11 +457,12 @@ mod tests {
     fn absorb_disjoint_instances() {
         let (mut inst, _, _) = euro_instance();
         let mut other = Instance::new("us");
-        other.insert(
-            Oid::new(ClassName::new("StateA"), 0),
-            Value::record([("name", Value::str("Pennsylvania"))]),
-        )
-        .unwrap();
+        other
+            .insert(
+                Oid::new(ClassName::new("StateA"), 0),
+                Value::record([("name", Value::str("Pennsylvania"))]),
+            )
+            .unwrap();
         inst.absorb(&other).unwrap();
         assert_eq!(inst.extent_size(&ClassName::new("StateA")), 1);
     }
@@ -298,6 +472,162 @@ mod tests {
         let (mut inst, _, _) = euro_instance();
         let copy = inst.clone();
         assert!(inst.absorb(&copy).is_err());
+    }
+
+    #[test]
+    fn attr_index_probes_and_is_lazy() {
+        let (inst, _, fr) = euro_instance();
+        let country = ClassName::new("CountryE");
+        let city = ClassName::new("CityE");
+        assert_eq!(inst.attr_index_count(), 0);
+        let hits = inst.lookup_by_attr(&country, "name", &Value::str("France"));
+        assert_eq!(hits, vec![fr.clone()]);
+        assert!(inst.has_attr_index(&country, "name"));
+        assert!(!inst.has_attr_index(&city, "name"));
+        assert_eq!(inst.attr_index_count(), 1);
+        // Misses come back empty, including for unindexed-but-probed values.
+        assert!(inst
+            .lookup_by_attr(&country, "name", &Value::str("Atlantis"))
+            .is_empty());
+        // Multi-hit probes return every matching identity.
+        let capitals = inst.lookup_by_attr(&city, "is_capital", &Value::bool(true));
+        assert_eq!(capitals.len(), 2);
+        // Oid-valued attributes are indexable too (join targets).
+        let fr_cities = inst.lookup_by_attr(&city, "country", &Value::oid(fr));
+        assert_eq!(fr_cities.len(), 1);
+    }
+
+    #[test]
+    fn attr_index_invalidated_by_mutation() {
+        let (mut inst, uk, _) = euro_instance();
+        let country = ClassName::new("CountryE");
+        assert_eq!(
+            inst.lookup_by_attr(&country, "currency", &Value::str("sterling"))
+                .len(),
+            1
+        );
+        assert!(inst.has_attr_index(&country, "currency"));
+        // An update to the class drops its indexes; the next probe rebuilds
+        // and sees the new value.
+        let mut v = inst.value(&uk).unwrap().clone();
+        if let Value::Record(ref mut fields) = v {
+            fields.insert("currency".into(), Value::str("pound"));
+        }
+        inst.update(&uk, v).unwrap();
+        assert!(!inst.has_attr_index(&country, "currency"));
+        assert!(inst
+            .lookup_by_attr(&country, "currency", &Value::str("sterling"))
+            .is_empty());
+        assert_eq!(
+            inst.lookup_by_attr(&country, "currency", &Value::str("pound")),
+            vec![uk.clone()]
+        );
+        // Inserting and removing also invalidate.
+        let fresh = inst.insert_fresh(
+            &country,
+            Value::record([
+                ("name", Value::str("Spain")),
+                ("currency", Value::str("peseta")),
+            ]),
+        );
+        assert!(!inst.has_attr_index(&country, "currency"));
+        assert_eq!(
+            inst.lookup_by_attr(&country, "currency", &Value::str("peseta")),
+            vec![fresh.clone()]
+        );
+        inst.remove(&fresh);
+        assert!(inst
+            .lookup_by_attr(&country, "currency", &Value::str("peseta"))
+            .is_empty());
+    }
+
+    #[test]
+    fn merge_keyed_unifies_by_key_and_renumbers_the_rest() {
+        use crate::keys::{KeyExpr, KeySpec};
+        let keys = KeySpec::new().with_key("CountryE", KeyExpr::path("name"));
+        let (mut inst, uk, _) = euro_instance();
+
+        // An independently built fragment whose identities collide with
+        // `inst` (both number from 0): one country shared by key, one new,
+        // plus an unkeyed city referencing the shared country.
+        let mut other = Instance::new("euro");
+        let uk2 = other.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([("name", Value::str("United Kingdom"))]),
+        );
+        other.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([
+                ("name", Value::str("Spain")),
+                ("currency", Value::str("peseta")),
+            ]),
+        );
+        other.insert_fresh(&ClassName::new("CityE"), city("Bristol", false, &uk2));
+        assert_eq!(uk2, uk); // the collision absorb() would reject
+
+        let mapping = inst.merge_keyed(&other, &keys).unwrap();
+        // The shared key unified with the existing UK object...
+        assert_eq!(mapping[&uk2], uk);
+        assert_eq!(inst.extent_size(&ClassName::new("CountryE")), 3);
+        // ... the new country got a fresh non-colliding identity ...
+        let spain = inst
+            .find_by_field(&ClassName::new("CountryE"), "name", &Value::str("Spain"))
+            .unwrap();
+        assert_eq!(
+            inst.value(spain).unwrap().project("currency"),
+            Some(&Value::str("peseta"))
+        );
+        // ... and the city's reference was rewritten to the unified identity.
+        let bristol = inst
+            .find_by_field(&ClassName::new("CityE"), "name", &Value::str("Bristol"))
+            .unwrap();
+        assert_eq!(
+            inst.value(bristol).unwrap().project("country"),
+            Some(&Value::oid(uk))
+        );
+    }
+
+    #[test]
+    fn merge_keyed_rejects_unevaluable_keys() {
+        use crate::keys::{KeyExpr, KeySpec};
+        let keys = KeySpec::new().with_key("CountryE", KeyExpr::path("name"));
+        let (mut inst, _, _) = euro_instance();
+        // An incoming keyed object without the key attribute cannot be merged
+        // soundly: the error must propagate rather than minting a fresh,
+        // key-violating identity.
+        let mut other = Instance::new("euro");
+        other.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([("currency", Value::str("euro"))]),
+        );
+        assert!(inst.merge_keyed(&other, &keys).is_err());
+    }
+
+    #[test]
+    fn merge_keyed_rejects_conflicting_fields() {
+        use crate::keys::{KeyExpr, KeySpec};
+        let keys = KeySpec::new().with_key("CountryE", KeyExpr::path("name"));
+        let (mut inst, _, _) = euro_instance();
+        let mut other = Instance::new("euro");
+        other.insert_fresh(
+            &ClassName::new("CountryE"),
+            Value::record([
+                ("name", Value::str("France")),
+                ("currency", Value::str("euro")), // disagrees with "franc"
+            ]),
+        );
+        let err = inst.merge_keyed(&other, &keys).unwrap_err();
+        assert!(matches!(err, ModelError::Invalid(_)));
+    }
+
+    #[test]
+    fn clones_do_not_inherit_the_index_cache() {
+        let (inst, _, _) = euro_instance();
+        inst.lookup_by_attr(&ClassName::new("CountryE"), "name", &Value::str("France"));
+        assert_eq!(inst.attr_index_count(), 1);
+        let copy = inst.clone();
+        assert_eq!(copy.attr_index_count(), 0);
+        assert_eq!(copy, inst);
     }
 
     #[test]

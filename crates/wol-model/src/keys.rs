@@ -139,10 +139,9 @@ impl KeySpec {
 
     /// Evaluate the key of an object identity in an instance.
     pub fn eval(&self, oid: &Oid, instance: &Instance) -> Result<Value> {
-        let key = self
-            .keys
-            .get(oid.class())
-            .ok_or_else(|| ModelError::KeyEvaluation(format!("class `{}` has no key", oid.class())))?;
+        let key = self.keys.get(oid.class()).ok_or_else(|| {
+            ModelError::KeyEvaluation(format!("class `{}` has no key", oid.class()))
+        })?;
         let value = instance.value_or_err(oid)?;
         let key_value = key.eval(value, instance)?;
         if key_value.contains_oid() {
@@ -154,7 +153,7 @@ impl KeySpec {
     /// Check that `instance` satisfies this key specification: within each
     /// keyed class, distinct objects have distinct key values (Section 2.2).
     pub fn check(&self, instance: &Instance) -> Result<()> {
-        for (class, _) in &self.keys {
+        for class in self.keys.keys() {
             let mut seen: BTreeMap<Value, Oid> = BTreeMap::new();
             for oid in instance.extent(class) {
                 let key_value = self.eval(oid, instance)?;
@@ -221,7 +220,8 @@ impl SkolemFactory {
         let counter = self.counters.entry(class.clone()).or_insert(0);
         let oid = Oid::new(class.clone(), *counter);
         *counter += 1;
-        self.assigned.insert((class.clone(), key.clone()), oid.clone());
+        self.assigned
+            .insert((class.clone(), key.clone()), oid.clone());
         oid
     }
 
@@ -290,7 +290,10 @@ mod tests {
         );
         let paris = inst.insert_fresh(
             &ClassName::new("CityE"),
-            Value::record([("name", Value::str("Paris")), ("country", Value::oid(fr.clone()))]),
+            Value::record([
+                ("name", Value::str("Paris")),
+                ("country", Value::oid(fr.clone())),
+            ]),
         );
         (inst, uk, fr, paris)
     }

@@ -23,6 +23,7 @@
 
 pub mod display;
 pub mod error;
+pub mod index;
 pub mod instance;
 pub mod keys;
 pub mod oid;
@@ -39,7 +40,7 @@ pub use oid::Oid;
 pub use path::Path;
 pub use schema::Schema;
 pub use types::{BaseType, ClassName, Label, Type};
-pub use values::{RealVal, Value};
+pub use values::{RealVal, SharedValue, Value};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ModelError>;

@@ -23,7 +23,9 @@ pub struct Path {
 impl Path {
     /// The empty path (the identity projection).
     pub fn empty() -> Self {
-        Path { segments: Vec::new() }
+        Path {
+            segments: Vec::new(),
+        }
     }
 
     /// A path from an iterator of labels.
@@ -113,9 +115,7 @@ impl Path {
                     .ok_or_else(|| ModelError::UnknownClass(c.clone()))?;
             }
             current = current.field(segment).ok_or_else(|| {
-                ModelError::PathError(format!(
-                    "type has no attribute `{segment}` (path {self})"
-                ))
+                ModelError::PathError(format!("type has no attribute `{segment}` (path {self})"))
             })?;
         }
         Ok(current)
@@ -147,7 +147,10 @@ mod tests {
         let mut inst = Instance::new("euro");
         let fr = inst.insert_fresh(
             &ClassName::new("CountryE"),
-            Value::record([("name", Value::str("France")), ("currency", Value::str("franc"))]),
+            Value::record([
+                ("name", Value::str("France")),
+                ("currency", Value::str("franc")),
+            ]),
         );
         let paris = inst.insert_fresh(
             &ClassName::new("CityE"),
@@ -233,8 +236,12 @@ mod tests {
                 Type::record([("name", Type::str()), ("currency", Type::str())]),
             );
         let start = Type::class("CityE");
-        let t = Path::parse("country.name").type_of(&start, &schema).unwrap();
+        let t = Path::parse("country.name")
+            .type_of(&start, &schema)
+            .unwrap();
         assert_eq!(t, &Type::str());
-        assert!(Path::parse("country.bogus").type_of(&start, &schema).is_err());
+        assert!(Path::parse("country.bogus")
+            .type_of(&start, &schema)
+            .is_err());
     }
 }

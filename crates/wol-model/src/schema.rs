@@ -48,7 +48,8 @@ impl Schema {
     /// duplicates; convenient for statically known schemas in tests and
     /// workload generators.
     pub fn with_class(mut self, class: impl Into<ClassName>, ty: Type) -> Self {
-        self.add_class(class, ty).expect("duplicate class in schema builder");
+        self.add_class(class, ty)
+            .expect("duplicate class in schema builder");
         self
     }
 
@@ -136,10 +137,8 @@ impl Schema {
                 for succ in succs {
                     match colour.get(succ).copied() {
                         Some(Colour::Grey) => return true,
-                        Some(Colour::White) => {
-                            if visit(succ, graph, colour) {
-                                return true;
-                            }
+                        Some(Colour::White) if visit(succ, graph, colour) => {
+                            return true;
                         }
                         _ => {}
                     }
@@ -202,7 +201,9 @@ mod tests {
     #[test]
     fn duplicate_class_rejected() {
         let mut s = us_schema();
-        let err = s.add_class("CityA", Type::record([("x", Type::int())])).unwrap_err();
+        let err = s
+            .add_class("CityA", Type::record([("x", Type::int())]))
+            .unwrap_err();
         assert!(matches!(err, ModelError::DuplicateClass(_)));
     }
 

@@ -295,7 +295,10 @@ mod tests {
 
     #[test]
     fn variant_alternative_lookup() {
-        let t = Type::variant([("euro_city", Type::class("CityE")), ("us_city", Type::class("CityA"))]);
+        let t = Type::variant([
+            ("euro_city", Type::class("CityE")),
+            ("us_city", Type::class("CityA")),
+        ]);
         assert_eq!(t.alternative("euro_city"), Some(&Type::class("CityE")));
         assert_eq!(t.alternative("nope"), None);
         assert_eq!(t.field("euro_city"), None);
@@ -306,7 +309,10 @@ mod tests {
         let t = Type::record([
             ("a", Type::class("C1")),
             ("b", Type::set(Type::class("C2"))),
-            ("c", Type::variant([("x", Type::class("C1")), ("y", Type::int())])),
+            (
+                "c",
+                Type::variant([("x", Type::class("C1")), ("y", Type::int())]),
+            ),
         ]);
         let classes = t.referenced_classes();
         assert_eq!(classes, vec![ClassName::new("C1"), ClassName::new("C2")]);
@@ -333,7 +339,10 @@ mod tests {
             ("name", Type::str()),
             (
                 "place",
-                Type::variant([("state", Type::class("StateT")), ("country", Type::class("CountryT"))]),
+                Type::variant([
+                    ("state", Type::class("StateT")),
+                    ("country", Type::class("CountryT")),
+                ]),
             ),
             ("tags", Type::set(Type::str())),
             ("population", Type::optional(Type::int())),

@@ -135,9 +135,9 @@ pub fn check_keyed_instance(instance: &Instance, schema: &Schema, keys: &KeySpec
 pub fn invalid_classes(instance: &Instance, schema: &Schema) -> Vec<ClassName> {
     let mut out = Vec::new();
     for (class, ty) in schema.classes() {
-        let bad = instance
-            .objects(class)
-            .any(|(oid, value)| check_value(value, ty, instance, &format!("{class}({oid})")).is_err());
+        let bad = instance.objects(class).any(|(oid, value)| {
+            check_value(value, ty, instance, &format!("{class}({oid})")).is_err()
+        });
         if bad {
             out.push(class.clone());
         }
@@ -210,7 +210,10 @@ mod tests {
         );
         let err = check_instance(&inst, &schema).unwrap_err();
         assert!(matches!(err, ModelError::DanglingOid(_)));
-        assert_eq!(invalid_classes(&inst, &schema), vec![ClassName::new("CityE")]);
+        assert_eq!(
+            invalid_classes(&inst, &schema),
+            vec![ClassName::new("CityE")]
+        );
     }
 
     #[test]
@@ -258,7 +261,10 @@ mod tests {
     fn optional_fields_may_be_absent() {
         let schema = Schema::new("s").with_class(
             "Marker",
-            Type::record([("name", Type::str()), ("position", Type::optional(Type::int()))]),
+            Type::record([
+                ("name", Type::str()),
+                ("position", Type::optional(Type::int())),
+            ]),
         );
         let mut inst = Instance::new("s");
         inst.insert_fresh(
@@ -295,7 +301,10 @@ mod tests {
                 ]),
             );
         let mut inst = Instance::new("s");
-        let pa = inst.insert_fresh(&ClassName::new("StateT"), Value::record([("name", Value::str("PA"))]));
+        let pa = inst.insert_fresh(
+            &ClassName::new("StateT"),
+            Value::record([("name", Value::str("PA"))]),
+        );
         inst.insert_fresh(
             &ClassName::new("CityT"),
             Value::record([
@@ -307,7 +316,10 @@ mod tests {
 
         // Wrong alternative label fails.
         let mut bad = Instance::new("s");
-        let pa2 = bad.insert_fresh(&ClassName::new("StateT"), Value::record([("name", Value::str("PA"))]));
+        let pa2 = bad.insert_fresh(
+            &ClassName::new("StateT"),
+            Value::record([("name", Value::str("PA"))]),
+        );
         bad.insert_fresh(
             &ClassName::new("CityT"),
             Value::record([
@@ -339,7 +351,10 @@ mod tests {
     fn populated_undeclared_class_detected() {
         let schema = euro_schema();
         let mut inst = Instance::new("euro");
-        inst.insert_fresh(&ClassName::new("Mystery"), Value::record([("x", Value::int(1))]));
+        inst.insert_fresh(
+            &ClassName::new("Mystery"),
+            Value::record([("x", Value::int(1))]),
+        );
         assert!(matches!(
             check_instance(&inst, &schema).unwrap_err(),
             ModelError::UnknownClass(_)

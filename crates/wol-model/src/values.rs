@@ -7,9 +7,17 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::oid::Oid;
 use crate::types::Label;
+
+/// A cheaply clonable handle on a value.
+///
+/// The engine's binding frames hold values behind `Arc` so that extending a
+/// binding (or snapshotting it into a result) bumps a reference count instead
+/// of deep-cloning record and set trees.
+pub type SharedValue = Arc<Value>;
 
 /// A double-precision real with a total order.
 ///
@@ -260,6 +268,26 @@ impl Value {
         out
     }
 
+    /// Rewrite every object identity inside this value through `f` (used when
+    /// merging instances whose identity spaces overlap).
+    pub fn map_oids(&self, f: &mut impl FnMut(&Oid) -> Oid) -> Value {
+        match self {
+            Value::Oid(o) => Value::Oid(f(o)),
+            Value::Bool(_)
+            | Value::Int(_)
+            | Value::Real(_)
+            | Value::Str(_)
+            | Value::Unit
+            | Value::Absent => self.clone(),
+            Value::Set(s) => Value::Set(s.iter().map(|v| v.map_oids(f)).collect()),
+            Value::List(l) => Value::List(l.iter().map(|v| v.map_oids(f)).collect()),
+            Value::Record(r) => {
+                Value::Record(r.iter().map(|(l, v)| (l.clone(), v.map_oids(f))).collect())
+            }
+            Value::Variant(l, v) => Value::Variant(l.clone(), Box::new(v.map_oids(f))),
+        }
+    }
+
     /// A short description of the value's shape, used in error messages.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -301,6 +329,11 @@ impl Value {
             }
             _ => None,
         }
+    }
+
+    /// Wrap the value in a cheaply clonable [`SharedValue`] handle.
+    pub fn shared(self) -> SharedValue {
+        Arc::new(self)
     }
 
     /// The number of nodes in the value tree (used by size metrics in benches).
@@ -362,7 +395,10 @@ mod tests {
 
     #[test]
     fn record_projection() {
-        let v = Value::record([("name", Value::str("Paris")), ("is_capital", Value::bool(true))]);
+        let v = Value::record([
+            ("name", Value::str("Paris")),
+            ("is_capital", Value::bool(true)),
+        ]);
         assert_eq!(v.project("name"), Some(&Value::str("Paris")));
         assert_eq!(v.project("missing"), None);
         assert_eq!(Value::int(3).project("name"), None);
@@ -371,7 +407,10 @@ mod tests {
     #[test]
     fn variant_accessors() {
         let v = Value::variant("euro_city", Value::oid(oid("CityE", 3)));
-        assert_eq!(v.variant_payload("euro_city"), Some(&Value::oid(oid("CityE", 3))));
+        assert_eq!(
+            v.variant_payload("euro_city"),
+            Some(&Value::oid(oid("CityE", 3)))
+        );
         assert_eq!(v.variant_payload("us_city"), None);
         let (label, payload) = v.as_variant().unwrap();
         assert_eq!(label, "euro_city");
@@ -393,7 +432,10 @@ mod tests {
         let v = Value::record([
             ("country", Value::oid(oid("CountryE", 1))),
             ("aliases", Value::set([Value::str("x")])),
-            ("place", Value::variant("euro", Value::oid(oid("CountryE", 2)))),
+            (
+                "place",
+                Value::variant("euro", Value::oid(oid("CountryE", 2))),
+            ),
         ]);
         assert!(v.contains_oid());
         let oids = v.oids();
@@ -408,7 +450,10 @@ mod tests {
         let merged = a.merge_records(&b).unwrap();
         assert_eq!(
             merged,
-            Value::record([("name", Value::str("France")), ("currency", Value::str("franc"))])
+            Value::record([
+                ("name", Value::str("France")),
+                ("currency", Value::str("franc"))
+            ])
         );
     }
 
@@ -422,8 +467,14 @@ mod tests {
 
     #[test]
     fn merge_records_allows_agreeing_overlap() {
-        let a = Value::record([("name", Value::str("France")), ("language", Value::str("French"))]);
-        let b = Value::record([("name", Value::str("France")), ("currency", Value::str("franc"))]);
+        let a = Value::record([
+            ("name", Value::str("France")),
+            ("language", Value::str("French")),
+        ]);
+        let b = Value::record([
+            ("name", Value::str("France")),
+            ("currency", Value::str("franc")),
+        ]);
         let merged = a.merge_records(&b).unwrap();
         assert_eq!(merged.as_record().unwrap().len(), 3);
     }

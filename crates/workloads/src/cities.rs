@@ -156,7 +156,10 @@ impl CitiesWorkload {
     pub fn euro_program(&self) -> Program {
         Program::new(
             "euro_to_target",
-            vec![SchemaBinding::keyed(self.euro_schema.clone(), self.euro_keys.clone())],
+            vec![SchemaBinding::keyed(
+                self.euro_schema.clone(),
+                self.euro_keys.clone(),
+            )],
             SchemaBinding::keyed(self.target_schema.clone(), self.target_keys.clone()),
         )
         .with_text(Self::euro_program_text())
@@ -186,20 +189,32 @@ impl CitiesWorkload {
         let ga = inst.insert_fresh(&state_class, Value::Record(Default::default()));
         let phl = inst.insert_fresh(
             &city_class,
-            Value::record([("name", Value::str("Harrisburg")), ("state", Value::oid(pa.clone()))]),
+            Value::record([
+                ("name", Value::str("Harrisburg")),
+                ("state", Value::oid(pa.clone())),
+            ]),
         );
         let atl = inst.insert_fresh(
             &city_class,
-            Value::record([("name", Value::str("Atlanta")), ("state", Value::oid(ga.clone()))]),
+            Value::record([
+                ("name", Value::str("Atlanta")),
+                ("state", Value::oid(ga.clone())),
+            ]),
         );
         inst.update(
             &pa,
-            Value::record([("name", Value::str("Pennsylvania")), ("capital", Value::oid(phl))]),
+            Value::record([
+                ("name", Value::str("Pennsylvania")),
+                ("capital", Value::oid(phl)),
+            ]),
         )
         .expect("state exists");
         inst.update(
             &ga,
-            Value::record([("name", Value::str("Georgia")), ("capital", Value::oid(atl))]),
+            Value::record([
+                ("name", Value::str("Georgia")),
+                ("capital", Value::oid(atl)),
+            ]),
         )
         .expect("state exists");
         inst
@@ -319,7 +334,11 @@ mod tests {
         assert_eq!(target.extent_size(&ClassName::new("StateT")), 2);
         assert_eq!(target.extent_size(&ClassName::new("CityT")), 2);
         let pa = target
-            .find_by_field(&ClassName::new("StateT"), "name", &Value::str("Pennsylvania"))
+            .find_by_field(
+                &ClassName::new("StateT"),
+                "name",
+                &Value::str("Pennsylvania"),
+            )
             .unwrap();
         assert!(target.value(pa).unwrap().project("capital").is_some());
     }
@@ -332,7 +351,9 @@ mod tests {
         let refs = [&inst];
         let dbs = wol_engine::Databases::new(&refs);
         let clause_refs: Vec<&wol_lang::Clause> = clauses.iter().collect();
-        assert!(wol_engine::check_constraints(&clause_refs, &dbs).unwrap().is_empty());
+        assert!(wol_engine::check_constraints(&clause_refs, &dbs)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -157,14 +157,24 @@ pub fn generate_ace_store(params: &GenomeParams) -> AceStore {
 pub fn generate_source(params: &GenomeParams) -> Instance {
     let store = generate_ace_store(params);
     let mappings = vec![
-        storage::acedb::AceMapping::new("Clone", "CloneS", &[("Length", "length"), ("Sequenced_by", "lab")]),
+        storage::acedb::AceMapping::new(
+            "Clone",
+            "CloneS",
+            &[("Length", "length"), ("Sequenced_by", "lab")],
+        ),
         storage::acedb::AceMapping::new(
             "Marker",
             "MarkerS",
-            &[("Position", "position"), ("Clone", "clone"), ("Aliases", "aliases")],
+            &[
+                ("Position", "position"),
+                ("Clone", "clone"),
+                ("Aliases", "aliases"),
+            ],
         ),
     ];
-    store.import(&mappings, "ace22").expect("generated store imports cleanly")
+    store
+        .import(&mappings, "ace22")
+        .expect("generated store imports cleanly")
 }
 
 #[cfg(test)]
@@ -182,7 +192,12 @@ mod tests {
 
     #[test]
     fn generated_source_conforms_to_schema() {
-        let params = GenomeParams { clones: 10, markers: 25, density: 0.5, seed: 1 };
+        let params = GenomeParams {
+            clones: 10,
+            markers: 25,
+            density: 0.5,
+            seed: 1,
+        };
         let source = generate_source(&params);
         wol_model::validate::check_instance(&source, &source_schema()).unwrap();
         assert_eq!(source.extent_size(&ClassName::new("CloneS")), 10);
@@ -191,7 +206,12 @@ mod tests {
 
     #[test]
     fn warehouse_load_preserves_counts_and_sparsity() {
-        let params = GenomeParams { clones: 8, markers: 20, density: 0.5, seed: 5 };
+        let params = GenomeParams {
+            clones: 8,
+            markers: 20,
+            density: 0.5,
+            seed: 5,
+        };
         let source = generate_source(&params);
         let normal = normalize(&program(), &NormalizeOptions::default()).unwrap();
         let target = execute(&normal, &[&source][..], "chr22").unwrap();
@@ -217,7 +237,12 @@ mod tests {
 
     #[test]
     fn density_zero_gives_fully_sparse_objects() {
-        let params = GenomeParams { clones: 3, markers: 3, density: 0.0, seed: 9 };
+        let params = GenomeParams {
+            clones: 3,
+            markers: 3,
+            density: 0.0,
+            seed: 9,
+        };
         let source = generate_source(&params);
         for (_, value) in source.objects(&ClassName::new("MarkerS")) {
             assert_eq!(value.as_record().unwrap().len(), 1); // name only

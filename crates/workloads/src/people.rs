@@ -35,7 +35,10 @@ impl PeopleWorkload {
             "Person",
             Type::record([
                 ("name", Type::str()),
-                ("sex", Type::variant([("male", Type::Unit), ("female", Type::Unit)])),
+                (
+                    "sex",
+                    Type::variant([("male", Type::Unit), ("female", Type::Unit)]),
+                ),
                 ("spouse", Type::class("Person")),
             ]),
         );
@@ -44,7 +47,10 @@ impl PeopleWorkload {
             .with_class("Female", Type::record([("name", Type::str())]))
             .with_class(
                 "Marriage",
-                Type::record([("husband", Type::class("Male")), ("wife", Type::class("Female"))]),
+                Type::record([
+                    ("husband", Type::class("Male")),
+                    ("wife", Type::class("Female")),
+                ]),
             );
         let target_keys = KeySpec::new()
             .with_key("Male", KeyExpr::path("name"))
@@ -217,13 +223,11 @@ mod tests {
         let w = PeopleWorkload::new();
         let program = w.program();
         let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
-        let transform = |source: &Instance| {
-            execute(&normal, &[source][..], "people_v2").map_err(wol_engine::EngineError::from)
-        };
+        let transform = |source: &Instance| execute(&normal, &[source][..], "people_v2");
 
         let valid_a = generate_couples(2, 10);
         let valid_b = generate_couples(2, 11);
-        let report = wol_engine::check_injective(&[valid_a, valid_b], &transform, 3).unwrap();
+        let report = wol_engine::check_injective(&[valid_a, valid_b], transform, 3).unwrap();
         assert!(report.is_injective());
 
         // A symmetric couple and the same couple with an asymmetric spouse
@@ -240,17 +244,25 @@ mod tests {
             fields.insert("spouse".into(), Value::oid(wife.clone()));
         }
         asymmetric.update(&wife, v).unwrap();
-        assert!(!wol_engine::instances_equivalent(&symmetric, &asymmetric, 3));
+        assert!(!wol_engine::instances_equivalent(
+            &symmetric,
+            &asymmetric,
+            3
+        ));
 
         let family = vec![symmetric, asymmetric];
-        let report = wol_engine::check_injective(&family, &transform, 3).unwrap();
-        assert!(!report.is_injective(), "information loss should be detected");
+        let report = wol_engine::check_injective(&family, transform, 3).unwrap();
+        assert!(
+            !report.is_injective(),
+            "information loss should be detected"
+        );
 
         // Filtering by the constraints removes the offending instance, and on
         // the remaining (valid) family the transformation is injective.
         let constraints = w.constraints();
         let clause_refs: Vec<&wol_lang::Clause> = constraints.iter().collect();
-        let satisfying = wol_engine::info_preserve::satisfying_instances(&family, &clause_refs).unwrap();
+        let satisfying =
+            wol_engine::info_preserve::satisfying_instances(&family, &clause_refs).unwrap();
         assert_eq!(satisfying.len(), 1);
     }
 }

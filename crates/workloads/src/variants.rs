@@ -127,7 +127,9 @@ mod tests {
         for (_, value) in target.objects(&ClassName::new("Obj")) {
             for i in 0..k {
                 let attr = value.project(&variant_attr(i)).expect("attribute present");
-                assert!(matches!(attr, Value::Variant(label, _) if label == "yes" || label == "no"));
+                assert!(
+                    matches!(attr, Value::Variant(label, _) if label == "yes" || label == "no")
+                );
             }
         }
     }

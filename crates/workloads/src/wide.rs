@@ -101,7 +101,10 @@ pub fn generate_source(n: usize, rows: usize, seed: u64) -> Instance {
     for r in 0..rows {
         let mut fields = vec![("name".to_string(), Value::str(format!("row{r}")))];
         for i in 0..n {
-            fields.push((attr(i), Value::str(format!("v{}_{}", i, rng.gen_range(0..1000)))));
+            fields.push((
+                attr(i),
+                Value::str(format!("v{}_{}", i, rng.gen_range(0..1000))),
+            ));
         }
         inst.insert_fresh(&class, Value::Record(fields.into_iter().collect()));
     }
@@ -125,7 +128,8 @@ mod tests {
         let n = 8;
         let source = generate_source(n, 5, 3);
         let normal_a = normalize(&normal_form_program(n), &NormalizeOptions::default()).unwrap();
-        let normal_b = normalize(&partial_program(n, 4, true), &NormalizeOptions::default()).unwrap();
+        let normal_b =
+            normalize(&partial_program(n, 4, true), &NormalizeOptions::default()).unwrap();
         let a = execute(&normal_a, &[&source][..], "t").unwrap();
         let b = execute(&normal_b, &[&source][..], "t").unwrap();
         assert!(wol_engine::instances_equivalent(&a, &b, 2));
@@ -135,7 +139,8 @@ mod tests {
     #[test]
     fn without_keys_the_normal_form_is_exponential_in_k() {
         let n = 8;
-        let with_keys = normalize(&partial_program(n, 4, true), &NormalizeOptions::default()).unwrap();
+        let with_keys =
+            normalize(&partial_program(n, 4, true), &NormalizeOptions::default()).unwrap();
         let without_keys = normalize(
             &partial_program(n, 4, false),
             &NormalizeOptions {
@@ -166,7 +171,11 @@ mod tests {
             covered.extend(clause.attrs.keys().cloned());
         }
         for i in 0..n {
-            assert!(covered.contains(&attr(i)), "attribute {} not covered", attr(i));
+            assert!(
+                covered.contains(&attr(i)),
+                "attribute {} not covered",
+                attr(i)
+            );
         }
     }
 

@@ -4,10 +4,11 @@
 //!
 //! Each source is transformed by its own WOL program into the shared target;
 //! because both programs key `CityT` objects by (name, place), the two target
-//! fragments merge cleanly into one database. The example also checks the
-//! source constraints (C1), (C4), (C5) before transforming — the paper's point
-//! that the transformation of capital cities "is only well defined" given
-//! those constraints.
+//! fragments merge cleanly into one database through
+//! [`Instance::merge_keyed`](wol_repro::wol_model::Instance::merge_keyed).
+//! The example also checks the source constraints (C1), (C4), (C5) before
+//! transforming — the paper's point that the transformation of capital cities
+//! "is only well defined" given those constraints.
 //!
 //! ```text
 //! cargo run --example cities_integration
@@ -33,7 +34,10 @@ fn main() {
     let dbs = Databases::new(&refs);
     let clause_refs: Vec<&wol_repro::wol_lang::Clause> = euro_constraints.iter().collect();
     let violations = check_constraints(&clause_refs, &dbs).unwrap();
-    println!("European source constraint violations: {}", violations.len());
+    println!(
+        "European source constraint violations: {}",
+        violations.len()
+    );
 
     let us_constraints =
         wol_repro::wol_lang::parse_program(CitiesWorkload::us_constraints_text()).unwrap();
@@ -51,11 +55,15 @@ fn main() {
         .transform(&workload.us_program(), &[&us][..])
         .expect("US transformation runs");
 
-    // Combine the two target fragments into one integrated database.
+    // Combine the two target fragments into one integrated database. The two
+    // transformations ran independently, so their identity spaces overlap
+    // (both number CityT objects from 0); merging goes through the target
+    // keys — both programs key CityT by (name, place) — so shared objects
+    // unify and fresh ones are renumbered.
     let mut integrated = euro_run.target.clone();
     integrated
-        .absorb(&us_run.target)
-        .expect("the two fragments use disjoint object identities");
+        .merge_keyed(&us_run.target, &workload.target_keys)
+        .expect("the two fragments merge through the target keys");
 
     println!();
     println!("== Integrated target database ==");

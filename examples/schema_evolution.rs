@@ -42,11 +42,9 @@ fn main() {
     }
     asymmetric.update(&wife, v).unwrap();
 
-    let transform = |source: &Instance| {
-        execute(&normal, &[source][..], "people_v2").map_err(wol_engine::EngineError::from)
-    };
+    let transform = |source: &Instance| execute(&normal, &[source][..], "people_v2");
     let family = vec![valid, asymmetric];
-    let report = check_injective(&family, &transform, 3).expect("checks");
+    let report = check_injective(&family, transform, 3).expect("checks");
     println!(
         "Without constraints: {} collision(s) among {} source instances (information is lost).",
         report.collisions.len(),
@@ -55,7 +53,8 @@ fn main() {
 
     let constraints = workload.constraints();
     let clause_refs: Vec<&wol_repro::wol_lang::Clause> = constraints.iter().collect();
-    let satisfying = wol_engine::info_preserve::satisfying_instances(&family, &clause_refs).unwrap();
+    let satisfying =
+        wol_engine::info_preserve::satisfying_instances(&family, &clause_refs).unwrap();
     println!(
         "Instances satisfying (C9)-(C11): {} of {} — on those the transformation is information preserving.",
         satisfying.len(),

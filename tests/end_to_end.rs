@@ -29,7 +29,8 @@ fn cities_pipeline_matches_reference_semantics_and_schema() {
         );
     }
     // The target conforms to the schema and its keys.
-    validate::check_keyed_instance(&run.target, &workload.target_schema, &workload.target_keys).unwrap();
+    validate::check_keyed_instance(&run.target, &workload.target_schema, &workload.target_keys)
+        .unwrap();
     // Every country received its capital, and the capital's place points back
     // at the country (the paper's non-trivial mapping).
     for (oid, value) in run.target.objects(&ClassName::new("CountryT")) {
@@ -39,7 +40,10 @@ fn cities_pipeline_matches_reference_semantics_and_schema() {
             .expect("every generated country has a capital");
         let capital_value = run.target.value(capital).unwrap();
         let place = capital_value.project("place").unwrap();
-        assert_eq!(place.variant_payload("euro_city"), Some(&Value::Oid(oid.clone())));
+        assert_eq!(
+            place.variant_payload("euro_city"),
+            Some(&Value::Oid(oid.clone()))
+        );
     }
 }
 
@@ -49,13 +53,25 @@ fn relational_source_feeds_the_pipeline() {
     let mut countries = Table::new(TableSchema {
         name: "CountryE".to_string(),
         key_column: "name".to_string(),
-        columns: vec![Column::str("name"), Column::str("language"), Column::str("currency")],
+        columns: vec![
+            Column::str("name"),
+            Column::str("language"),
+            Column::str("currency"),
+        ],
     });
     countries
-        .push_row(vec![Value::str("France"), Value::str("French"), Value::str("franc")])
+        .push_row(vec![
+            Value::str("France"),
+            Value::str("French"),
+            Value::str("franc"),
+        ])
         .unwrap();
     countries
-        .push_row(vec![Value::str("Italy"), Value::str("Italian"), Value::str("lira")])
+        .push_row(vec![
+            Value::str("Italy"),
+            Value::str("Italian"),
+            Value::str("lira"),
+        ])
         .unwrap();
     let mut cities = Table::new(TableSchema {
         name: "CityE".to_string(),
@@ -72,13 +88,19 @@ fn relational_source_feeds_the_pipeline() {
         ("Rome", true, "Italy"),
     ] {
         cities
-            .push_row(vec![Value::str(name), Value::bool(capital), Value::str(country)])
+            .push_row(vec![
+                Value::str(name),
+                Value::bool(capital),
+                Value::str(country),
+            ])
             .unwrap();
     }
     let source = relational::load_tables(&[countries, cities], "euro").unwrap();
 
     let workload = CitiesWorkload::new();
-    let run = Morphase::new().transform(&workload.euro_program(), &[&source][..]).unwrap();
+    let run = Morphase::new()
+        .transform(&workload.euro_program(), &[&source][..])
+        .unwrap();
     assert_eq!(run.target.extent_size(&ClassName::new("CountryT")), 2);
     assert_eq!(run.target.extent_size(&ClassName::new("CityT")), 3);
 
@@ -99,7 +121,9 @@ fn genome_workload_round_trips_through_the_tree_store() {
     };
     let source = genome::generate_source(&params);
     validate::check_instance(&source, &genome::source_schema()).unwrap();
-    let run = Morphase::new().transform(&genome::program(), &[&source][..]).unwrap();
+    let run = Morphase::new()
+        .transform(&genome::program(), &[&source][..])
+        .unwrap();
     validate::check_instance(&run.target, &genome::target_schema()).unwrap();
     assert_eq!(run.target.extent_size(&ClassName::new("CloneD")), 12);
     assert_eq!(run.target.extent_size(&ClassName::new("MarkerD")), 30);
@@ -112,7 +136,8 @@ fn people_schema_evolution_preserves_information_under_constraints() {
     let source = generate_couples(5, 13);
     let run = Morphase::new().transform(&program, &[&source][..]).unwrap();
     assert_eq!(run.target.extent_size(&ClassName::new("Marriage")), 5);
-    validate::check_keyed_instance(&run.target, &workload.target_schema, &workload.target_keys).unwrap();
+    validate::check_keyed_instance(&run.target, &workload.target_schema, &workload.target_keys)
+        .unwrap();
 }
 
 #[test]
@@ -120,10 +145,16 @@ fn variant_family_agrees_with_the_datalog_baseline() {
     use wol_repro::datalog_baseline::{evaluate, variant_baseline_program, variant_facts};
     let k = 4;
     let source = variants::generate_source(k, 40, 19);
-    let normal =
-        wol_engine::normalize(&variants::wol_program(k), &wol_engine::NormalizeOptions::default()).unwrap();
+    let normal = wol_engine::normalize(
+        &variants::wol_program(k),
+        &wol_engine::NormalizeOptions::default(),
+    )
+    .unwrap();
     let target = wol_engine::execute(&normal, &[&source][..], "target").unwrap();
-    let (db, _) = evaluate(&variant_baseline_program(k).program, &variant_facts(&source, k));
+    let (db, _) = evaluate(
+        &variant_baseline_program(k).program,
+        &variant_facts(&source, k),
+    );
     assert_eq!(target.extent_size(&ClassName::new("Obj")), db["obj"].len());
     // The WOL program is linear in k, the baseline exponential.
     assert_eq!(variants::wol_program(k).clauses.len(), 2 * k + 1);
@@ -135,7 +166,9 @@ fn omitting_constraints_blows_up_but_preserves_semantics() {
     let n = 8;
     let k = 3;
     let source = wide::generate_source(n, 6, 3);
-    let keyed = Morphase::new().compile(&wide::partial_program(n, k, true)).unwrap();
+    let keyed = Morphase::new()
+        .compile(&wide::partial_program(n, k, true))
+        .unwrap();
     let unkeyed_options = PipelineOptions {
         use_target_keys: false,
         generate_metadata_constraints: false,
@@ -148,7 +181,9 @@ fn omitting_constraints_blows_up_but_preserves_semantics() {
     assert_eq!(unkeyed.normal.len(), (1 << k) - 1);
 
     // With keys, execution produces one object per source row with all fields.
-    let run = Morphase::new().transform(&wide::partial_program(n, k, true), &[&source][..]).unwrap();
+    let run = Morphase::new()
+        .transform(&wide::partial_program(n, k, true), &[&source][..])
+        .unwrap();
     assert_eq!(run.target.extent_size(&ClassName::new("Tgt")), 6);
     for (_, value) in run.target.objects(&ClassName::new("Tgt")) {
         assert_eq!(value.as_record().unwrap().len(), n + 1);

@@ -1,9 +1,9 @@
 //! Tests that follow the paper's own examples clause by clause.
 
-use wol_repro::wol_engine::{
-    check_constraint, classify_constraint, ConstraintClass, Databases,
+use wol_repro::wol_engine::{check_constraint, classify_constraint, ConstraintClass, Databases};
+use wol_repro::wol_lang::{
+    check_clause_types, check_range_restricted, parse_clause, parse_program, render_clause,
 };
-use wol_repro::wol_lang::{check_clause_types, check_range_restricted, parse_clause, parse_program, render_clause};
 use wol_repro::wol_model::{ClassName, Value};
 use wol_repro::workloads::cities::{generate_euro, CitiesWorkload};
 
@@ -46,7 +46,8 @@ fn section_3_1_ill_formed_clauses_rejected() {
 /// city" — hold on well-formed instances and catch violations.
 #[test]
 fn constraints_c4_c5_detect_capital_anomalies() {
-    let c4 = parse_clause("C4: Y in CityE, Y.country = X, Y.is_capital = true <= X in CountryE").unwrap();
+    let c4 = parse_clause("C4: Y in CityE, Y.country = X, Y.is_capital = true <= X in CountryE")
+        .unwrap();
     let c5 = parse_clause(
         "C5: X = Y <= X in CityE, Y in CityE, X.country = Y.country, X.is_capital = true, Y.is_capital = true",
     )
@@ -80,14 +81,30 @@ fn constraints_c4_c5_detect_capital_anomalies() {
 /// source keys (C8) and existence constraints (C4).
 #[test]
 fn constraint_classification_matches_the_paper() {
-    let c2 = parse_clause("X = Mk_CityT(name = N, country = C) <= X in CityT, N = X.name, C = X.country").unwrap();
+    let c2 = parse_clause(
+        "X = Mk_CityT(name = N, country = C) <= X in CityT, N = X.name, C = X.country",
+    )
+    .unwrap();
     let c3 = parse_clause("Y = Mk_CountryT(N) <= Y in CountryT, N = Y.name").unwrap();
     let c8 = parse_clause("X = Y <= X in CountryE, Y in CountryE, X.name = Y.name").unwrap();
-    let c4 = parse_clause("Y in CityE, Y.country = X, Y.is_capital = true <= X in CountryE").unwrap();
-    assert!(matches!(classify_constraint(&c2), ConstraintClass::SkolemKey(_)));
-    assert!(matches!(classify_constraint(&c3), ConstraintClass::SkolemKey(_)));
-    assert!(matches!(classify_constraint(&c8), ConstraintClass::MergeKey { .. }));
-    assert!(matches!(classify_constraint(&c4), ConstraintClass::Existence { .. }));
+    let c4 =
+        parse_clause("Y in CityE, Y.country = X, Y.is_capital = true <= X in CountryE").unwrap();
+    assert!(matches!(
+        classify_constraint(&c2),
+        ConstraintClass::SkolemKey(_)
+    ));
+    assert!(matches!(
+        classify_constraint(&c3),
+        ConstraintClass::SkolemKey(_)
+    ));
+    assert!(matches!(
+        classify_constraint(&c8),
+        ConstraintClass::MergeKey { .. }
+    ));
+    assert!(matches!(
+        classify_constraint(&c4),
+        ConstraintClass::Existence { .. }
+    ));
 }
 
 /// Section 2.2 / Example 2.3: surrogate keys identify countries by name and

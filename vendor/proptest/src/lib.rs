@@ -1,0 +1,321 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro over `fn name(arg in strategy, ...) { body }`
+//!   items, with an optional `#![proptest_config(...)]` header;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * strategies: string patterns (a small `[class]{m,n}` regex subset),
+//!   integer ranges, and [`collection::vec`].
+//!
+//! Generation is deterministic: case `i` of every test always draws the same
+//! values, so failures are reproducible without shrinking (there is no
+//! shrinking). This is a test-support shim, not a full property-testing
+//! framework.
+
+use std::ops::Range;
+
+/// Deterministic value source handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// A generator for one test case.
+    pub fn new(case: u64) -> Self {
+        Gen {
+            state: case
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0xD1B5_4A32_D192_ED03),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Run-time configuration of a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+}
+
+/// String strategies are written as a small regex subset: a sequence of
+/// elements, each a character class `[a-zA-Z...]` (or a literal character)
+/// with an optional `{m}` / `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, gen: &mut Gen) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, min, max) in &elements {
+            let reps = if min == max {
+                *min
+            } else {
+                gen.usize_in(*min, *max + 1)
+            };
+            for _ in 0..reps {
+                out.push(chars[gen.usize_in(0, chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse the `[class]{m,n}` pattern subset into (alphabet, min, max) elements.
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut elements = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet: Vec<char> = if c == '[' {
+            let mut inner = Vec::new();
+            let mut class = Vec::new();
+            for c in chars.by_ref() {
+                if c == ']' {
+                    break;
+                }
+                inner.push(c);
+            }
+            let mut i = 0;
+            while i < inner.len() {
+                if i + 2 < inner.len() && inner[i + 1] == '-' {
+                    let (lo, hi) = (inner[i], inner[i + 2]);
+                    assert!(lo <= hi, "bad character range in pattern `{pattern}`");
+                    class.extend((lo..=hi).collect::<Vec<char>>());
+                    i += 3;
+                } else {
+                    class.push(inner[i]);
+                    i += 1;
+                }
+            }
+            class
+        } else {
+            vec![c]
+        };
+        let (mut min, mut max) = (1usize, 1usize);
+        if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    min = lo.trim().parse().expect("bad repetition bound");
+                    max = hi.trim().parse().expect("bad repetition bound");
+                }
+                None => {
+                    min = spec.trim().parse().expect("bad repetition bound");
+                    max = min;
+                }
+            }
+        }
+        assert!(
+            !alphabet.is_empty() && min <= max,
+            "unsupported pattern `{pattern}`"
+        );
+        elements.push((alphabet, min, max));
+    }
+    elements
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, gen: &mut Gen) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (gen.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, gen: &mut Gen) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end as i128 - self.start as i128) as u64;
+        self.start.wrapping_add((gen.next_u64() % span) as i64)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of an element strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of between `size.start` and `size.end - 1` elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let len = gen.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "property assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err(format!(
+                "property assertion failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut generator = $crate::Gen::new(case as u64);
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strategy, &mut generator);
+                    )+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!("case {case} of {}: {message}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn patterns_generate_within_spec() {
+        let mut gen = crate::Gen::new(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut gen);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::generate(&"[A-Z][a-z]{2,3}", &mut gen);
+            assert!(t.chars().next().unwrap().is_ascii_uppercase());
+            assert!((3..=4).contains(&t.len()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut gen = crate::Gen::new(9);
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(0usize..5, 1..20), &mut gen);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_round_trips(x in 0usize..100, s in "[a-z]{1,4}") {
+            prop_assert!(x < 100);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+}
