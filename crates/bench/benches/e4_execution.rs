@@ -92,7 +92,7 @@ fn bench_execution(c: &mut Criterion) {
     // Paper-style summary at a fixed size.
     let source = generate_euro(30, 10, 42);
     let t0 = std::time::Instant::now();
-    Morphase::new().transform(&program, &[&source][..]).unwrap();
+    let morphase_run = Morphase::new().transform(&program, &[&source][..]).unwrap();
     let single = t0.elapsed();
     let t1 = std::time::Instant::now();
     naive_transform(&program, &[&source][..], "target").unwrap();
@@ -198,6 +198,49 @@ fn bench_execution(c: &mut Criterion) {
         preindex_report.bindings_considered as f64 / semi_report.bindings_considered.max(1) as f64,
         preindex_time.as_secs_f64() / semi_time.as_secs_f64().max(1e-9)
     );
+
+    // Machine-readable summary for cross-PR tracking.
+    bench::BenchJson::new()
+        .str("bench", "e4_execution")
+        .obj(
+            "morphase_single_pass_300_cities",
+            bench::BenchJson::new()
+                .num("secs", single.as_secs_f64())
+                .int("rows_scanned", morphase_run.exec.rows_scanned as u64)
+                .int(
+                    "max_intermediate_rows",
+                    morphase_run.exec.max_intermediate_rows as u64,
+                )
+                .int("index_probes", morphase_run.exec.index_probes as u64),
+        )
+        .num("naive_multi_pass_300_cities_secs", naive.as_secs_f64())
+        .obj(
+            "three_way_join_10100_objects",
+            bench::BenchJson::new()
+                .num("indexed_secs", indexed_time.as_secs_f64())
+                .num("reference_secs", reference_time.as_secs_f64())
+                .int("indexed_bindings", indexed_stats.bindings_considered as u64)
+                .int(
+                    "reference_bindings",
+                    reference_stats.bindings_considered as u64,
+                )
+                .int("index_probes", indexed_stats.index_probes as u64),
+        )
+        .obj(
+            "fixpoint_1100_objects",
+            bench::BenchJson::new()
+                .num("semi_naive_indexed_secs", semi_time.as_secs_f64())
+                .num("full_preindex_secs", preindex_time.as_secs_f64())
+                .int(
+                    "semi_naive_bindings",
+                    semi_report.bindings_considered as u64,
+                )
+                .int(
+                    "preindex_bindings",
+                    preindex_report.bindings_considered as u64,
+                ),
+        )
+        .write("BENCH_e4.json");
 }
 
 criterion_group!(benches, bench_execution);

@@ -48,14 +48,41 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 
     // Per-stage report (Figure 6 stages) for the genome run.
-    let run = Morphase::new()
+    let genome_run = Morphase::new()
         .transform(&genome_program, &[&genome_source][..])
         .unwrap();
-    eprintln!("[E6] genome warehouse load:\n{}", render_report(&run));
-    let run = Morphase::new()
+    eprintln!(
+        "[E6] genome warehouse load:\n{}",
+        render_report(&genome_run)
+    );
+    let cities_run = Morphase::new()
         .transform(&cities_program, &[&cities_source][..])
         .unwrap();
-    eprintln!("[E6] cities integration:\n{}", render_report(&run));
+    eprintln!("[E6] cities integration:\n{}", render_report(&cities_run));
+
+    // Machine-readable summary for cross-PR tracking of the execute phase —
+    // the cross-product elimination shows up as `max_intermediate_rows`
+    // (formerly ~23M on the genome workload) and non-zero `index_probes`.
+    let summarise = |run: &morphase::MorphaseRun| {
+        bench::BenchJson::new()
+            .num("execute_secs", run.timings.execute.as_secs_f64())
+            .num("total_secs", run.timings.total().as_secs_f64())
+            .int("rows_scanned", run.exec.rows_scanned as u64)
+            .int("rows_produced", run.exec.rows_produced as u64)
+            .int("rows_output", run.exec.rows_output as u64)
+            .int(
+                "max_intermediate_rows",
+                run.exec.max_intermediate_rows as u64,
+            )
+            .int("index_probes", run.exec.index_probes as u64)
+            .int("objects_written", run.exec.objects_written as u64)
+            .int("estimated_rows", run.estimated_rows.iter().sum())
+    };
+    bench::BenchJson::new()
+        .str("bench", "e6_pipeline")
+        .obj("genome_100c_300m", summarise(&genome_run))
+        .obj("cities_50x5", summarise(&cities_run))
+        .write("BENCH_e6.json");
 }
 
 criterion_group!(benches, bench_pipeline);

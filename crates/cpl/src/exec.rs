@@ -30,6 +30,9 @@ pub struct ExecStats {
     pub objects_written: usize,
     /// Attribute-index probes that replaced hash-join build sides.
     pub index_probes: usize,
+    /// Peak number of rows materialised by any single operator — the memory
+    /// high-water mark that exposes accidental cross products.
+    pub max_intermediate_rows: usize,
 }
 
 impl ExecStats {
@@ -40,59 +43,115 @@ impl ExecStats {
         self.rows_output += other.rows_output;
         self.objects_written += other.objects_written;
         self.index_probes += other.index_probes;
+        self.max_intermediate_rows = self.max_intermediate_rows.max(other.max_intermediate_rows);
+    }
+
+    fn record_operator_output(&mut self, rows: usize) {
+        self.rows_produced += rows;
+        self.max_intermediate_rows = self.max_intermediate_rows.max(rows);
     }
 }
 
-/// If a hash-join side is a bare class scan whose key expression is a single
-/// attribute projection off the scanned variable, the instances' attribute
-/// indexes ([`wol_model::index`]) can answer it directly: return the scan's
-/// class/variable and the attribute.
-fn indexable_side<'p>(
-    plan: &'p Plan,
-    key: &'p Expr,
-) -> Option<(&'p wol_model::ClassName, &'p str, &'p str)> {
+/// A hash-join side answerable through the instances' attribute indexes
+/// ([`wol_model::index`]): a bare class scan with at least one key expression
+/// that is a single attribute projection off the scanned variable.
+pub(crate) struct IndexableSide {
+    class: wol_model::ClassName,
+    var: String,
+    /// Attribute the index is probed on.
+    attr: String,
+    /// Which key pair the probe answers; the remaining pairs are verified
+    /// against each candidate object.
+    key_index: usize,
+}
+
+/// Detect an indexable side. `keys` yields this side's key expression from
+/// each `(left, right)` pair. Shared with the planner
+/// ([`crate::optimizer`]), which orients hash-join sides precisely so this
+/// fast path fires — the two must never diverge.
+pub(crate) fn indexable_side<'p>(
+    plan: &Plan,
+    keys: impl Iterator<Item = &'p Expr>,
+) -> Option<IndexableSide> {
     let Plan::Scan { class, var } = plan else {
         return None;
     };
-    let Expr::Proj(base, attr) = key else {
-        return None;
-    };
-    match base.as_ref() {
-        Expr::Var(v) if v == var => Some((class, var, attr)),
-        _ => None,
+    for (key_index, key) in keys.enumerate() {
+        if let Expr::Proj(base, attr) = key {
+            if matches!(base.as_ref(), Expr::Var(v) if v == var) {
+                return Some(IndexableSide {
+                    class: class.clone(),
+                    var: var.clone(),
+                    attr: attr.clone(),
+                    key_index,
+                });
+            }
+        }
     }
+    None
 }
 
-/// The hash-join index fast path: drive the join from `driving`'s rows and
-/// answer each key by probing the indexable scan side (`class`/`var`/`attr`)
-/// through the source instances' attribute indexes.
+/// The hash-join index fast path: drive the join from `driving`'s rows,
+/// answer key pair `side.key_index` by probing the indexable scan side
+/// through the source instances' attribute indexes, and verify any remaining
+/// key pairs against each candidate.
 fn probe_join(
     driving: &Plan,
-    driving_key: &Expr,
-    (class, var, attr): (wol_model::ClassName, String, String),
+    driving_keys: &[&Expr],
+    scan_keys: &[&Expr],
+    side: &IndexableSide,
     ctx: &mut EvalCtx<'_>,
     stats: &mut ExecStats,
 ) -> Result<Vec<Row>> {
     let driving_rows = run_plan(driving, ctx, stats)?;
     let sources = ctx.sources().to_vec();
     let mut rows = Vec::new();
-    for row in &driving_rows {
-        let key = match eval(driving_key, row, ctx) {
-            Ok(key) => key,
-            Err(CplError::BadValue(_)) => continue,
-            Err(other) => return Err(other),
-        };
+    'rows: for row in &driving_rows {
+        let mut key_values = Vec::with_capacity(driving_keys.len());
+        for key in driving_keys {
+            match eval(key, row, ctx) {
+                Ok(value) => key_values.push(value),
+                Err(CplError::BadValue(_)) => continue 'rows,
+                Err(other) => return Err(other),
+            }
+        }
         stats.index_probes += 1;
         for instance in &sources {
-            for oid in instance.lookup_by_attr(&class, &attr, &key) {
+            'candidates: for oid in
+                instance.lookup_by_attr(&side.class, &side.attr, &key_values[side.key_index])
+            {
                 let mut combined = row.clone();
-                combined.insert(var.clone(), Value::Oid(oid));
+                combined.insert(side.var.clone(), Value::Oid(oid));
+                for (i, scan_key) in scan_keys.iter().enumerate() {
+                    if i == side.key_index {
+                        continue;
+                    }
+                    match eval(scan_key, &combined, ctx) {
+                        Ok(value) if value == key_values[i] => {}
+                        Ok(_) | Err(CplError::BadValue(_)) => continue 'candidates,
+                        Err(other) => return Err(other),
+                    }
+                }
                 rows.push(combined);
             }
         }
     }
-    stats.rows_produced += rows.len();
+    stats.record_operator_output(rows.len());
     Ok(rows)
+}
+
+/// Evaluate all keys of one join side against a row; `None` when a missing
+/// optional attribute makes the row unjoinable.
+fn eval_keys(keys: &[&Expr], row: &Row, ctx: &mut EvalCtx<'_>) -> Result<Option<Vec<Value>>> {
+    let mut values = Vec::with_capacity(keys.len());
+    for key in keys {
+        match eval(key, row, ctx) {
+            Ok(value) => values.push(value),
+            Err(CplError::BadValue(_)) => return Ok(None),
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(Some(values))
 }
 
 /// Run a plan against the context, returning its rows.
@@ -166,42 +225,46 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             }
             rows
         }
-        Plan::HashJoin {
-            left,
-            right,
-            left_key,
-            right_key,
-        } => {
-            // Index fast path: when one side is a bare scan keyed by a single
-            // attribute of the scanned object, skip materialising (and hash
-            // building over) that side entirely — drive the join from the
-            // other side's rows and answer each key with an attribute-index
-            // probe into the source instances.
-            if let Some((class, var, attr)) = indexable_side(left, left_key) {
-                let side = (class.clone(), var.to_string(), attr.to_string());
-                return probe_join(right, right_key, side, ctx, stats);
+        Plan::CrossJoin { left, right } => {
+            let left_rows = run_plan(left, ctx, stats)?;
+            let right_rows = run_plan(right, ctx, stats)?;
+            let mut rows = Vec::with_capacity(left_rows.len() * right_rows.len());
+            for l in &left_rows {
+                for r in &right_rows {
+                    let mut combined = l.clone();
+                    combined.extend(r.clone());
+                    rows.push(combined);
+                }
             }
-            if let Some((class, var, attr)) = indexable_side(right, right_key) {
-                let side = (class.clone(), var.to_string(), attr.to_string());
-                return probe_join(left, left_key, side, ctx, stats);
+            rows
+        }
+        Plan::HashJoin { left, right, keys } => {
+            let left_keys: Vec<&Expr> = keys.iter().map(|(l, _)| l).collect();
+            let right_keys: Vec<&Expr> = keys.iter().map(|(_, r)| r).collect();
+            // Index fast path: when one side is a bare scan with a key that
+            // is a single attribute of the scanned object, skip materialising
+            // (and hash building over) that side entirely — drive the join
+            // from the other side's rows and answer each key with an
+            // attribute-index probe into the source instances.
+            if let Some(side) = indexable_side(left, left_keys.iter().copied()) {
+                return probe_join(right, &right_keys, &left_keys, &side, ctx, stats);
+            }
+            if let Some(side) = indexable_side(right, right_keys.iter().copied()) {
+                return probe_join(left, &left_keys, &right_keys, &side, ctx, stats);
             }
             let left_rows = run_plan(left, ctx, stats)?;
             let right_rows = run_plan(right, ctx, stats)?;
             // Build on the left, probe with the right.
-            let mut table: BTreeMap<Value, Vec<&Row>> = BTreeMap::new();
+            let mut table: BTreeMap<Vec<Value>, Vec<&Row>> = BTreeMap::new();
             for l in &left_rows {
-                match eval(left_key, l, ctx) {
-                    Ok(key) => table.entry(key).or_default().push(l),
-                    Err(CplError::BadValue(_)) => {}
-                    Err(other) => return Err(other),
+                if let Some(key) = eval_keys(&left_keys, l, ctx)? {
+                    table.entry(key).or_default().push(l);
                 }
             }
             let mut rows = Vec::new();
             for r in &right_rows {
-                let key = match eval(right_key, r, ctx) {
-                    Ok(key) => key,
-                    Err(CplError::BadValue(_)) => continue,
-                    Err(other) => return Err(other),
+                let Some(key) = eval_keys(&right_keys, r, ctx)? else {
+                    continue;
                 };
                 if let Some(matches) = table.get(&key) {
                     for l in matches {
@@ -224,7 +287,7 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             rows
         }
     };
-    stats.rows_produced += rows.len();
+    stats.record_operator_output(rows.len());
     Ok(rows)
 }
 
@@ -528,11 +591,92 @@ mod tests {
             rows_output: 3,
             objects_written: 4,
             index_probes: 5,
+            max_intermediate_rows: 6,
         };
         let b = a;
         a.absorb(b);
         assert_eq!(a.rows_scanned, 2);
         assert_eq!(a.objects_written, 8);
         assert_eq!(a.index_probes, 10);
+        // The high-water mark combines by max, not by sum.
+        assert_eq!(a.max_intermediate_rows, 6);
+    }
+
+    #[test]
+    fn cross_join_is_a_product_and_raises_the_high_water_mark() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        let mut ctx = EvalCtx::new(&refs);
+        let mut stats = ExecStats::default();
+        let plan = Plan::scan("CityE", "E").cross(Plan::scan("CountryE", "C"));
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert_eq!(rows.len(), 6); // 3 cities x 2 countries
+        assert_eq!(stats.max_intermediate_rows, 6);
+    }
+
+    #[test]
+    fn multi_key_hash_join_matches_composite_keys() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        // Join cities to countries on (name-of-country, language): composite
+        // key through the generic hash path (left side is not a bare scan).
+        let left = Plan::scan("CityE", "E").filter(Expr::var("E").proj("is_capital"));
+        let plan = left.hash_join_multi(
+            Plan::scan("CityE", "F").filter(Expr::var("F").proj("is_capital")),
+            vec![
+                (
+                    Expr::var("E").path("country.name"),
+                    Expr::var("F").path("country.name"),
+                ),
+                (Expr::var("E").proj("name"), Expr::var("F").proj("name")),
+            ],
+        );
+        let mut ctx = EvalCtx::new(&refs);
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        // Each capital joins only with itself under the composite key.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(stats.index_probes, 0);
+    }
+
+    #[test]
+    fn multi_key_probe_join_verifies_secondary_keys() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        // The CountryE side is a bare scan: probed on `name`, with the
+        // second (language vs country.language) pair verified per candidate.
+        let plan = Plan::scan("CityE", "E").hash_join_multi(
+            Plan::scan("CountryE", "C"),
+            vec![
+                (
+                    Expr::var("E").path("country.name"),
+                    Expr::var("C").proj("name"),
+                ),
+                (
+                    Expr::var("E").path("country.language"),
+                    Expr::var("C").proj("language"),
+                ),
+            ],
+        );
+        let mut ctx = EvalCtx::new(&refs);
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(stats.index_probes, 3);
+        // A mismatched secondary key filters every candidate out.
+        let plan = Plan::scan("CityE", "E").hash_join_multi(
+            Plan::scan("CountryE", "C"),
+            vec![
+                (
+                    Expr::var("E").path("country.name"),
+                    Expr::var("C").proj("name"),
+                ),
+                (Expr::var("E").proj("name"), Expr::var("C").proj("language")),
+            ],
+        );
+        let mut ctx = EvalCtx::new(&refs);
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert!(rows.is_empty());
     }
 }

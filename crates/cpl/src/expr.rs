@@ -101,6 +101,37 @@ impl Expr {
         self.variables(&mut out);
         out
     }
+
+    /// Replace every row variable that has an entry in `defs` by its defining
+    /// expression. The query planner uses this to inline `Map` bindings into
+    /// filter predicates so join equalities range over base scan variables
+    /// only; `defs` must already be fully resolved (its expressions must not
+    /// reference each other's variables).
+    pub fn substitute(&self, defs: &BTreeMap<String, Expr>) -> Expr {
+        match self {
+            Expr::Var(v) => defs.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Expr::Const(_) => self.clone(),
+            Expr::Proj(e, l) => Expr::Proj(Box::new(e.substitute(defs)), l.clone()),
+            Expr::Record(fields) => Expr::Record(
+                fields
+                    .iter()
+                    .map(|(l, e)| (l.clone(), e.substitute(defs)))
+                    .collect(),
+            ),
+            Expr::Variant(l, e) => Expr::Variant(l.clone(), Box::new(e.substitute(defs))),
+            Expr::Skolem(c, e) => Expr::Skolem(c.clone(), Box::new(e.substitute(defs))),
+            Expr::Eq(a, b) => Expr::Eq(Box::new(a.substitute(defs)), Box::new(b.substitute(defs))),
+            Expr::Neq(a, b) => {
+                Expr::Neq(Box::new(a.substitute(defs)), Box::new(b.substitute(defs)))
+            }
+            Expr::Lt(a, b) => Expr::Lt(Box::new(a.substitute(defs)), Box::new(b.substitute(defs))),
+            Expr::Leq(a, b) => {
+                Expr::Leq(Box::new(a.substitute(defs)), Box::new(b.substitute(defs)))
+            }
+            Expr::And(es) => Expr::And(es.iter().map(|e| e.substitute(defs)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.substitute(defs))),
+        }
+    }
 }
 
 /// The evaluation context: the source instances (searched in order when
@@ -351,6 +382,36 @@ mod tests {
         let vars = expr.var_set();
         assert_eq!(vars.len(), 3);
         assert!(vars.contains("A") && vars.contains("B") && vars.contains("K"));
+    }
+
+    #[test]
+    fn substitute_inlines_definitions() {
+        let defs = BTreeMap::from([("N".to_string(), Expr::var("C").proj("name"))]);
+        let pred = Expr::var("E").path("country.name").eq(Expr::var("N"));
+        let inlined = pred.substitute(&defs);
+        assert_eq!(
+            inlined,
+            Expr::var("E")
+                .path("country.name")
+                .eq(Expr::var("C").proj("name"))
+        );
+        assert!(inlined.var_set().contains("C"));
+        assert!(!inlined.var_set().contains("N"));
+        // Variables without a definition are untouched, across all shapes.
+        let all = Expr::and(vec![
+            Expr::Not(Box::new(Expr::Neq(
+                Box::new(Expr::var("N")),
+                Box::new(Expr::Const(Value::int(1))),
+            ))),
+            Expr::Lt(Box::new(Expr::var("X")), Box::new(Expr::var("N"))),
+            Expr::Leq(Box::new(Expr::var("X")), Box::new(Expr::var("X"))),
+            Expr::Record(vec![("k".to_string(), Expr::var("N"))])
+                .eq(Expr::Variant("t".to_string(), Box::new(Expr::var("N")))),
+            Expr::Skolem(ClassName::new("T"), Box::new(Expr::var("N"))).eq(Expr::var("X")),
+        ]);
+        let inlined = all.substitute(&defs);
+        assert!(!inlined.var_set().contains("N"));
+        assert!(inlined.var_set().contains("X"));
     }
 
     #[test]

@@ -10,12 +10,16 @@
 //!   object identities, record/variant construction, Skolem object creation,
 //!   comparisons and boolean connectives;
 //! * a physical algebra ([`plan::Plan`]): class scans, filters, binding maps,
-//!   nested-loop and hash joins, and distinct;
+//!   nested-loop, hash (single- or composite-key) and cross joins, and
+//!   distinct;
 //! * a single-pass executor ([`exec`]) that runs a plan against a set of
 //!   source instances and applies *insert actions* to build the target
 //!   instance, merging partial inserts by Skolem key;
-//! * a small rule-based optimiser ([`optimizer`]): filter push-down and
-//!   upgrading equality nested-loop joins to hash joins;
+//! * a cost-based join-graph planner ([`optimizer`]): decomposes a compiled
+//!   plan into scans plus a conjunct pool and greedily re-joins the cheapest
+//!   connected pair, fed by extent/ndv statistics over the live instances
+//!   ([`optimizer::Statistics`]); the legacy rule-based rewriter survives as
+//!   [`optimizer::optimize_reference`];
 //! * execution statistics ([`exec::ExecStats`]) used by the benchmark harness.
 
 pub mod error;
@@ -27,7 +31,7 @@ pub mod plan;
 pub use error::CplError;
 pub use exec::{execute_query, run_plan, ExecStats, Row};
 pub use expr::Expr;
-pub use optimizer::optimize;
+pub use optimizer::{estimate_rows, optimize, optimize_reference, optimize_with_stats, Statistics};
 pub use plan::{InsertAction, Plan, Query};
 
 /// Crate-wide result alias.

@@ -1,30 +1,616 @@
-//! A small rule-based plan optimiser.
+//! A cost-based join-graph planner (plus the legacy rule-based rewriter).
 //!
 //! The paper relies on "the Kleisli optimizer [rewriting] the CPL code to a
-//! more efficient form" (Section 6). This substitute implements the two
-//! rewrites that matter for the workloads in this repository:
+//! more efficient form" (Section 6). This module is that substitute. The
+//! primary entry point is [`optimize_with_stats`], a **join-graph planner**:
 //!
-//! * **filter push-down**: a filter over a join is pushed to the side that
-//!   produces all of the predicate's variables;
-//! * **hash-join upgrade**: a nested-loop join whose predicate is a
-//!   conjunction containing an equality between one-side-only expressions is
-//!   replaced by a hash join on that equality (remaining conjuncts stay as a
-//!   residual filter).
+//! 1. **Decompose** the compiled plan into a pool of base scans, defining
+//!    `Map` bindings, and filter/join conjuncts (wherever they sat in the
+//!    original operator tree).
+//! 2. **Inline** the `Map` definitions into the conjunct pool, so every
+//!    conjunct ranges over base scan variables only — this is what lets an
+//!    equality like `C.name = N` (with `N` defined as `D.name` by a map)
+//!    become a join edge between the two scans instead of a post-product
+//!    filter.
+//! 3. **Estimate**: per-scan cardinalities come from the live [`Instance`]
+//!    extents via a [`Statistics`] handle; equality selectivities are `1/ndv`
+//!    using the attribute indexes' distinct-value counts
+//!    ([`wol_model::index`]); inequalities and boolean tests use fixed
+//!    heuristics.
+//! 4. **Greedily join** the cheapest *connected* pair of components next
+//!    (the same greedy selectivity discipline `wol_engine::env::build_plan`
+//!    applies to clause bodies), folding **every** cross-side equality into a
+//!    (possibly composite) [`Plan::HashJoin`] key and keeping the rest as a
+//!    residual filter. Cross products are refused unless the join graph is
+//!    genuinely disconnected, in which case an explicit [`Plan::CrossJoin`]
+//!    documents the fact.
+//!
+//! Single-scan conjuncts are pushed below the joins, and hash-join sides are
+//! oriented so a bare scan keyed by a single attribute stays bare — the
+//! executor then answers it with attribute-index probes instead of
+//! materialising the side at all ([`crate::exec`]).
+//!
+//! The old rule-based rewriter (filter push-down + hash-join upgrade) remains
+//! available as [`optimize_reference`], mirroring the engine's
+//! `match_body_reference`: it is the semantics baseline the planner is
+//! property-tested against, and the fallback for plan shapes the decomposer
+//! does not understand.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wol_model::{ClassName, Instance};
 
 use crate::expr::Expr;
 use crate::plan::Plan;
 
-/// Optimise a plan by repeatedly applying the rewrite rules until they no
-/// longer change the plan.
+// ---------------------------------------------------------------------------
+// Statistics.
+// ---------------------------------------------------------------------------
+
+/// Extent sizes when no statistics are available (compile-only runs).
+const DEFAULT_EXTENT: f64 = 1_000.0;
+/// Selectivity of an equality whose sides carry no ndv information.
+const SEL_EQ_DEFAULT: f64 = 0.1;
+/// Selectivity of `<` / `=<` comparisons.
+const SEL_CMP: f64 = 0.3;
+/// Selectivity of `!=`.
+const SEL_NEQ: f64 = 0.9;
+/// Selectivity of boolean attribute tests, negations, and anything else.
+const SEL_BOOL: f64 = 0.5;
+
+/// A handle over the live source instances from which the planner reads
+/// extent sizes and per-attribute distinct-value counts. Reading an
+/// attribute's statistics builds the same lazy index the executor later
+/// probes, so the work is shared, not duplicated.
+#[derive(Clone, Default)]
+pub struct Statistics<'a> {
+    sources: Vec<&'a Instance>,
+}
+
+impl std::fmt::Debug for Statistics<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Statistics")
+            .field("sources", &self.sources.len())
+            .finish()
+    }
+}
+
+impl<'a> Statistics<'a> {
+    /// Statistics over the given source instances.
+    pub fn from_instances(sources: &[&'a Instance]) -> Self {
+        Statistics {
+            sources: sources.to_vec(),
+        }
+    }
+
+    /// Statistics with no instances: every estimate falls back to fixed
+    /// defaults. Used for compile-only runs.
+    pub fn empty() -> Self {
+        Statistics::default()
+    }
+
+    /// Total extent size of `class` across the sources; `None` when no
+    /// instances are attached.
+    pub fn extent_size(&self, class: &ClassName) -> Option<usize> {
+        if self.sources.is_empty() {
+            return None;
+        }
+        Some(self.sources.iter().map(|i| i.extent_size(class)).sum())
+    }
+
+    /// Approximate number of distinct values of `class.attr` across the
+    /// sources; `None` when no instances are attached.
+    pub fn ndv(&self, class: &ClassName, attr: &str) -> Option<usize> {
+        if self.sources.is_empty() {
+            return None;
+        }
+        Some(self.sources.iter().map(|i| i.attr_ndv(class, attr)).sum())
+    }
+
+    fn extent_estimate(&self, class: &ClassName) -> f64 {
+        self.extent_size(class)
+            .map(|n| n as f64)
+            .unwrap_or(DEFAULT_EXTENT)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition: plan -> scans + maps + conjunct pool.
+// ---------------------------------------------------------------------------
+
+/// The raw material of a query, recovered from a compiled plan: base scans,
+/// defining `Map` bindings (in dependency order), and the pooled filter/join
+/// conjuncts.
+#[derive(Debug, Default)]
+struct Pool {
+    scans: Vec<(ClassName, String)>,
+    maps: Vec<(String, Expr)>,
+    conjuncts: Vec<Expr>,
+}
+
+/// Split a predicate into its conjuncts.
+fn split_conjuncts(expr: Expr) -> Vec<Expr> {
+    match expr {
+        Expr::And(es) => es.into_iter().flat_map(split_conjuncts).collect(),
+        other => vec![other],
+    }
+}
+
+/// Rebuild a conjunction (or `None` for the empty conjunction).
+fn conjunction(mut exprs: Vec<Expr>) -> Option<Expr> {
+    match exprs.len() {
+        0 => None,
+        1 => Some(exprs.remove(0)),
+        _ => Some(Expr::And(exprs)),
+    }
+}
+
+/// Flatten a plan into the pool. Returns `false` on operators the planner
+/// does not decompose (currently `Distinct`), in which case the caller falls
+/// back to the rule-based rewriter.
+fn decompose(plan: Plan, pool: &mut Pool) -> bool {
+    match plan {
+        Plan::Scan { class, var } => {
+            pool.scans.push((class, var));
+            true
+        }
+        Plan::Filter { input, predicate } => {
+            if !decompose(*input, pool) {
+                return false;
+            }
+            pool.conjuncts.extend(split_conjuncts(predicate));
+            true
+        }
+        Plan::Map { input, bindings } => {
+            if !decompose(*input, pool) {
+                return false;
+            }
+            pool.maps.extend(bindings);
+            true
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            if !decompose(*left, pool) || !decompose(*right, pool) {
+                return false;
+            }
+            if let Some(p) = predicate {
+                pool.conjuncts.extend(split_conjuncts(p));
+            }
+            true
+        }
+        Plan::HashJoin { left, right, keys } => {
+            if !decompose(*left, pool) || !decompose(*right, pool) {
+                return false;
+            }
+            pool.conjuncts.extend(
+                keys.into_iter()
+                    .map(|(l, r)| Expr::Eq(Box::new(l), Box::new(r))),
+            );
+            true
+        }
+        Plan::CrossJoin { left, right } => decompose(*left, pool) && decompose(*right, pool),
+        Plan::Distinct { .. } => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selectivity and cardinality estimation.
+// ---------------------------------------------------------------------------
+
+/// If `expr` is a single attribute projection off a scan variable, the
+/// number of distinct values it takes; if it is a bare scan variable, the
+/// extent size (object identities are unique). `None` otherwise.
+fn expr_ndv(
+    expr: &Expr,
+    var_class: &BTreeMap<String, ClassName>,
+    stats: &Statistics<'_>,
+) -> Option<usize> {
+    match expr {
+        Expr::Proj(base, attr) => match base.as_ref() {
+            Expr::Var(v) => stats.ndv(var_class.get(v)?, attr),
+            _ => None,
+        },
+        Expr::Var(v) => stats.extent_size(var_class.get(v)?),
+        _ => None,
+    }
+}
+
+/// Heuristic selectivity of one conjunct used as a filter or join predicate.
+fn conjunct_selectivity(
+    conjunct: &Expr,
+    var_class: &BTreeMap<String, ClassName>,
+    stats: &Statistics<'_>,
+) -> f64 {
+    match conjunct {
+        Expr::Eq(a, b) => {
+            let ndv = match (expr_ndv(a, var_class, stats), expr_ndv(b, var_class, stats)) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            };
+            match ndv {
+                Some(n) => 1.0 / n.max(1) as f64,
+                None => SEL_EQ_DEFAULT,
+            }
+        }
+        Expr::Neq(_, _) => SEL_NEQ,
+        Expr::Lt(_, _) | Expr::Leq(_, _) => SEL_CMP,
+        Expr::And(es) => es
+            .iter()
+            .map(|e| conjunct_selectivity(e, var_class, stats))
+            .product(),
+        _ => SEL_BOOL,
+    }
+}
+
+/// Map every scan variable in the plan to its class (for ndv lookups).
+fn collect_scan_classes(plan: &Plan, out: &mut BTreeMap<String, ClassName>) {
+    match plan {
+        Plan::Scan { class, var } => {
+            out.insert(var.clone(), class.clone());
+        }
+        Plan::Filter { input, .. } | Plan::Map { input, .. } | Plan::Distinct { input } => {
+            collect_scan_classes(input, out)
+        }
+        Plan::NestedLoopJoin { left, right, .. }
+        | Plan::HashJoin { left, right, .. }
+        | Plan::CrossJoin { left, right } => {
+            collect_scan_classes(left, out);
+            collect_scan_classes(right, out);
+        }
+    }
+}
+
+/// Estimate the number of rows a plan produces, using the same cardinality
+/// model the planner plans with. Reported by the Morphase pipeline next to
+/// the actual row counts.
+pub fn estimate_rows(plan: &Plan, stats: &Statistics<'_>) -> f64 {
+    let mut var_class = BTreeMap::new();
+    collect_scan_classes(plan, &mut var_class);
+    fn go(plan: &Plan, var_class: &BTreeMap<String, ClassName>, stats: &Statistics<'_>) -> f64 {
+        match plan {
+            Plan::Scan { class, .. } => stats.extent_estimate(class),
+            Plan::Filter { input, predicate } => {
+                go(input, var_class, stats) * conjunct_selectivity(predicate, var_class, stats)
+            }
+            Plan::Map { input, .. } | Plan::Distinct { input } => go(input, var_class, stats),
+            Plan::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                let cross = go(left, var_class, stats) * go(right, var_class, stats);
+                match predicate {
+                    Some(p) => cross * conjunct_selectivity(p, var_class, stats),
+                    None => cross,
+                }
+            }
+            Plan::CrossJoin { left, right } => {
+                go(left, var_class, stats) * go(right, var_class, stats)
+            }
+            Plan::HashJoin { left, right, keys } => {
+                let mut est = go(left, var_class, stats) * go(right, var_class, stats);
+                for (l, r) in keys {
+                    let eq = Expr::Eq(Box::new(l.clone()), Box::new(r.clone()));
+                    est *= conjunct_selectivity(&eq, var_class, stats);
+                }
+                est
+            }
+        }
+    }
+    go(plan, &var_class, stats)
+}
+
+// ---------------------------------------------------------------------------
+// The planner.
+// ---------------------------------------------------------------------------
+
+/// A partially built sub-plan during greedy join ordering.
+struct Component {
+    plan: Plan,
+    vars: BTreeSet<String>,
+    est: f64,
+}
+
+impl Component {
+    /// Whether the executor's attribute-index fast path could answer this
+    /// side of a hash join keyed by `keys` (this side's expressions). Defers
+    /// to the executor's own detection so planning and execution cannot
+    /// drift apart.
+    fn indexable<'k>(&self, keys: impl Iterator<Item = &'k Expr>) -> bool {
+        crate::exec::indexable_side(&self.plan, keys).is_some()
+    }
+}
+
+/// Optimise a plan with the join-graph planner, falling back to
+/// [`optimize_reference`] for shapes the decomposer does not understand.
+/// Without instance statistics every estimate uses fixed defaults; prefer
+/// [`optimize_with_stats`] whenever the source instances are at hand.
 pub fn optimize(plan: Plan) -> Plan {
+    optimize_with_stats(plan, &Statistics::empty())
+}
+
+/// Optimise a plan with the join-graph planner, fed by extent and
+/// distinct-value statistics over the live source instances.
+pub fn optimize_with_stats(plan: Plan, stats: &Statistics<'_>) -> Plan {
+    // Distinct is a planning barrier: plan what is underneath it.
+    if let Plan::Distinct { input } = plan {
+        return Plan::Distinct {
+            input: Box::new(optimize_with_stats(*input, stats)),
+        };
+    }
+    let mut pool = Pool::default();
+    if !decompose(plan.clone(), &mut pool) || pool.scans.is_empty() {
+        return optimize_reference(plan);
+    }
+    // Inlining map definitions into the conjunct pool is only sound when
+    // every binding introduces a *fresh* variable: a binding that shadows a
+    // scan variable (or an earlier binding) changes what conjuncts below it
+    // referred to. The translator never emits such plans, but the planner is
+    // a public API — rebinding shapes take the rule-based path instead.
+    let mut seen: BTreeSet<&String> = pool.scans.iter().map(|(_, var)| var).collect();
+    if !pool.maps.iter().all(|(var, _)| seen.insert(var)) {
+        return optimize_reference(plan);
+    }
+    plan_pool(pool, stats)
+}
+
+/// Build the cheapest plan the greedy strategy finds for a decomposed pool.
+fn plan_pool(pool: Pool, stats: &Statistics<'_>) -> Plan {
+    // Resolve map definitions transitively, so each ranges over scan
+    // variables only, then inline them into the conjunct pool.
+    let mut defs: BTreeMap<String, Expr> = BTreeMap::new();
+    for (var, expr) in &pool.maps {
+        let resolved = expr.substitute(&defs);
+        defs.insert(var.clone(), resolved);
+    }
+    let conjuncts: Vec<Expr> = pool.conjuncts.iter().map(|c| c.substitute(&defs)).collect();
+    let mut used = vec![false; conjuncts.len()];
+
+    let var_class: BTreeMap<String, ClassName> = pool
+        .scans
+        .iter()
+        .map(|(class, var)| (var.clone(), class.clone()))
+        .collect();
+
+    // One component per scan, with its single-variable conjuncts pushed down.
+    let mut components: Vec<Component> = Vec::new();
+    for (class, var) in &pool.scans {
+        let mut est = stats.extent_estimate(class);
+        let mut plan = Plan::scan(class.clone(), var.clone());
+        for (i, conjunct) in conjuncts.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let vars = conjunct.var_set();
+            if !vars.is_empty() && vars.iter().all(|v| v == var) {
+                est *= conjunct_selectivity(conjunct, &var_class, stats);
+                plan = plan.filter(conjunct.clone());
+                used[i] = true;
+            }
+        }
+        components.push(Component {
+            plan,
+            vars: BTreeSet::from([var.clone()]),
+            est,
+        });
+    }
+
+    // Greedy join loop: always join the cheapest connected pair next; fall
+    // back to an explicit cross join of the two smallest components only
+    // when nothing connects what remains.
+    while components.len() > 1 {
+        let mut best: Option<(f64, usize, usize, Vec<usize>)> = None;
+        for i in 0..components.len() {
+            for j in (i + 1)..components.len() {
+                let applicable = applicable_conjuncts(
+                    &conjuncts,
+                    &used,
+                    &components[i].vars,
+                    &components[j].vars,
+                );
+                if applicable.is_empty() {
+                    continue;
+                }
+                let mut est = components[i].est * components[j].est;
+                for &k in &applicable {
+                    est *= conjunct_selectivity(&conjuncts[k], &var_class, stats);
+                }
+                if best.as_ref().is_none_or(|(cost, ..)| est < *cost) {
+                    best = Some((est, i, j, applicable));
+                }
+            }
+        }
+        match best {
+            Some((est, i, j, applicable)) => {
+                let right = components.remove(j);
+                let left = components.remove(i);
+                let picked: Vec<Expr> = applicable
+                    .iter()
+                    .map(|&k| {
+                        used[k] = true;
+                        conjuncts[k].clone()
+                    })
+                    .collect();
+                components.insert(i, join_components(left, right, picked, est));
+            }
+            None => {
+                // Genuinely disconnected: cross-join the two smallest.
+                let (i, j) = two_smallest(&components);
+                let right = components.remove(j);
+                let left = components.remove(i);
+                let est = left.est * right.est;
+                components.insert(
+                    i,
+                    Component {
+                        vars: left.vars.union(&right.vars).cloned().collect(),
+                        plan: left.plan.cross(right.plan),
+                        est,
+                    },
+                );
+            }
+        }
+    }
+    let component = components.pop().expect("at least one scan");
+    let mut plan = component.plan;
+
+    // Anything left in the pool (variable-free predicates, or conjuncts over
+    // variables no scan produces) runs as a final filter.
+    let leftovers: Vec<Expr> = conjuncts
+        .into_iter()
+        .zip(used)
+        .filter(|(_, u)| !*u)
+        .map(|(c, _)| c)
+        .collect();
+    if let Some(residual) = conjunction(leftovers) {
+        plan = plan.filter(residual);
+    }
+
+    // Re-apply the defining maps (original, unsubstituted form — the
+    // executor evaluates a Map's bindings in order, so intra-map
+    // dependencies are preserved).
+    if !pool.maps.is_empty() {
+        plan = plan.map(pool.maps);
+    }
+    plan
+}
+
+/// Indexes of the unused conjuncts that connect two components: fully
+/// evaluable over the union of their variables while touching both sides.
+fn applicable_conjuncts(
+    conjuncts: &[Expr],
+    used: &[bool],
+    left: &BTreeSet<String>,
+    right: &BTreeSet<String>,
+) -> Vec<usize> {
+    conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !used[*i])
+        .filter(|(_, c)| {
+            let vars = c.var_set();
+            !vars.is_empty()
+                && vars.iter().all(|v| left.contains(v) || right.contains(v))
+                && vars.iter().any(|v| left.contains(v))
+                && vars.iter().any(|v| right.contains(v))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Positions of the two cheapest components.
+fn two_smallest(components: &[Component]) -> (usize, usize) {
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    order.sort_by(|&a, &b| {
+        components[a]
+            .est
+            .partial_cmp(&components[b].est)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let (a, b) = (order[0], order[1]);
+    (a.min(b), a.max(b))
+}
+
+/// Join two components with the given conjuncts: every cross-side equality
+/// becomes part of the composite hash key, the rest stays as a residual
+/// filter; sides are oriented so the executor's index fast path can fire.
+fn join_components(left: Component, right: Component, conjs: Vec<Expr>, est: f64) -> Component {
+    let mut keys: Vec<(Expr, Expr)> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for conjunct in conjs {
+        if let Expr::Eq(a, b) = &conjunct {
+            let a_vars = a.var_set();
+            let b_vars = b.var_set();
+            if !a_vars.is_empty() && !b_vars.is_empty() {
+                let a_left = a_vars.iter().all(|v| left.vars.contains(v));
+                let a_right = a_vars.iter().all(|v| right.vars.contains(v));
+                let b_left = b_vars.iter().all(|v| left.vars.contains(v));
+                let b_right = b_vars.iter().all(|v| right.vars.contains(v));
+                if a_left && b_right {
+                    keys.push(((**a).clone(), (**b).clone()));
+                    continue;
+                }
+                if a_right && b_left {
+                    keys.push(((**b).clone(), (**a).clone()));
+                    continue;
+                }
+            }
+        }
+        residual.push(conjunct);
+    }
+    let vars: BTreeSet<String> = left.vars.union(&right.vars).cloned().collect();
+    let mut plan = if keys.is_empty() {
+        // Connected only by non-equality conjuncts: a predicated nested loop.
+        let (outer, inner) = if left.est <= right.est {
+            (left.plan, right.plan)
+        } else {
+            (right.plan, left.plan)
+        };
+        let plan = outer.join(inner, conjunction(std::mem::take(&mut residual)));
+        return Component { plan, vars, est };
+    } else {
+        // Orient the hash join: a bare indexable scan goes where the executor
+        // probes it through the attribute index (preferring to probe the
+        // larger side — the driving side is materialised in full); otherwise
+        // build the hash table over the smaller side.
+        let left_indexable = left.indexable(keys.iter().map(|(l, _)| l));
+        let right_indexable = right.indexable(keys.iter().map(|(_, r)| r));
+        let swap = match (left_indexable, right_indexable) {
+            (true, false) => false,
+            (false, true) => true,
+            (true, true) => left.est < right.est,
+            (false, false) => left.est > right.est,
+        };
+        let (build, probe) = if swap {
+            keys = keys.into_iter().map(|(l, r)| (r, l)).collect();
+            (right.plan, left.plan)
+        } else {
+            (left.plan, right.plan)
+        };
+        build.hash_join_multi(probe, keys)
+    };
+    if let Some(residual_pred) = conjunction(residual) {
+        plan = plan.filter(residual_pred);
+    }
+    Component { plan, vars, est }
+}
+
+// ---------------------------------------------------------------------------
+// The legacy rule-based rewriter.
+// ---------------------------------------------------------------------------
+
+/// Iteration cap for the rule-based rewriter. Each pass either reaches a
+/// fixpoint or strictly sinks filters / upgrades joins, so well-formed plans
+/// converge in a handful of passes; the cap is a backstop against rewrite
+/// cycles, and hitting it is a bug that is loudly reported.
+const MAX_REWRITE_PASSES: usize = 64;
+
+/// Optimise a plan with the legacy rule-based rewriter: filter push-down and
+/// hash-join upgrade applied to a fixpoint. Kept (mirroring the engine's
+/// `match_body_reference`) as the baseline the planner is property-tested
+/// against, and used as the fallback for non-decomposable plan shapes.
+pub fn optimize_reference(plan: Plan) -> Plan {
     let mut current = plan;
-    for _ in 0..16 {
+    for _ in 0..MAX_REWRITE_PASSES {
         let next = rewrite(current.clone());
         if next == current {
             return next;
         }
         current = next;
     }
+    debug_assert!(
+        false,
+        "rule-based rewriter failed to converge within {MAX_REWRITE_PASSES} passes on:\n{}",
+        current.render()
+    );
+    eprintln!(
+        "warning: cpl::optimize_reference did not converge within {MAX_REWRITE_PASSES} passes; \
+         returning the last plan"
+    );
     current
 }
 
@@ -57,16 +643,14 @@ fn rewrite(plan: Plan) -> Plan {
                 },
             }
         }
-        Plan::HashJoin {
-            left,
-            right,
-            left_key,
-            right_key,
-        } => Plan::HashJoin {
+        Plan::CrossJoin { left, right } => Plan::CrossJoin {
             left: Box::new(rewrite(*left)),
             right: Box::new(rewrite(*right)),
-            left_key,
-            right_key,
+        },
+        Plan::HashJoin { left, right, keys } => Plan::HashJoin {
+            left: Box::new(rewrite(*left)),
+            right: Box::new(rewrite(*right)),
+            keys,
         },
         scan @ Plan::Scan { .. } => scan,
     }
@@ -99,44 +683,32 @@ fn push_filter(input: Plan, predicate: Expr) -> Plan {
             }
             // The predicate spans both sides: fold it into the join predicate
             // and try to turn the result into a hash join.
-            let mut all = conjuncts(predicate);
+            let mut all = split_conjuncts(predicate);
             if let Some(existing) = join_pred {
-                all.extend(conjuncts(existing));
+                all.extend(split_conjuncts(existing));
             }
             let combined = conjunction(all).expect("at least one conjunct");
             upgrade_join(*left, *right, combined)
         }
-        Plan::HashJoin {
-            left,
-            right,
-            left_key,
-            right_key,
-        } => {
+        Plan::HashJoin { left, right, keys } => {
             let left_vars = left.produced_vars();
             let right_vars = right.produced_vars();
             if needed.iter().all(|v| left_vars.contains(v)) {
                 return Plan::HashJoin {
                     left: Box::new(push_filter(*left, predicate)),
                     right,
-                    left_key,
-                    right_key,
+                    keys,
                 };
             }
             if needed.iter().all(|v| right_vars.contains(v)) {
                 return Plan::HashJoin {
                     left,
                     right: Box::new(push_filter(*right, predicate)),
-                    left_key,
-                    right_key,
+                    keys,
                 };
             }
             Plan::Filter {
-                input: Box::new(Plan::HashJoin {
-                    left,
-                    right,
-                    left_key,
-                    right_key,
-                }),
+                input: Box::new(Plan::HashJoin { left, right, keys }),
                 predicate,
             }
         }
@@ -147,72 +719,53 @@ fn push_filter(input: Plan, predicate: Expr) -> Plan {
     }
 }
 
-/// Split a predicate into its conjuncts.
-fn conjuncts(expr: Expr) -> Vec<Expr> {
-    match expr {
-        Expr::And(es) => es.into_iter().flat_map(conjuncts).collect(),
-        other => vec![other],
-    }
-}
-
-/// Rebuild a conjunction (or `None` for the empty conjunction).
-fn conjunction(mut exprs: Vec<Expr>) -> Option<Expr> {
-    match exprs.len() {
-        0 => None,
-        1 => Some(exprs.remove(0)),
-        _ => Some(Expr::And(exprs)),
-    }
-}
-
-/// Turn a nested-loop join into a hash join when an equality conjunct splits
-/// cleanly across the two sides.
+/// Turn a nested-loop join into a hash join when equality conjuncts split
+/// cleanly across the two sides, folding **all** of them into the composite
+/// key.
 fn upgrade_join(left: Plan, right: Plan, predicate: Expr) -> Plan {
     let left_vars = left.produced_vars();
     let right_vars = right.produced_vars();
-    let mut equality: Option<(Expr, Expr)> = None;
+    let mut keys: Vec<(Expr, Expr)> = Vec::new();
     let mut residual = Vec::new();
-    for conjunct in conjuncts(predicate) {
-        if equality.is_none() {
-            if let Expr::Eq(a, b) = &conjunct {
-                let a_vars = a.var_set();
-                let b_vars = b.var_set();
+    for conjunct in split_conjuncts(predicate) {
+        if let Expr::Eq(a, b) = &conjunct {
+            let a_vars = a.var_set();
+            let b_vars = b.var_set();
+            if !a_vars.is_empty() && !b_vars.is_empty() {
                 let a_left = a_vars.iter().all(|v| left_vars.contains(v));
                 let a_right = a_vars.iter().all(|v| right_vars.contains(v));
                 let b_left = b_vars.iter().all(|v| left_vars.contains(v));
                 let b_right = b_vars.iter().all(|v| right_vars.contains(v));
-                if a_left && b_right && !a_vars.is_empty() && !b_vars.is_empty() {
-                    equality = Some(((**a).clone(), (**b).clone()));
+                if a_left && b_right {
+                    keys.push(((**a).clone(), (**b).clone()));
                     continue;
                 }
-                if a_right && b_left && !a_vars.is_empty() && !b_vars.is_empty() {
-                    equality = Some(((**b).clone(), (**a).clone()));
+                if a_right && b_left {
+                    keys.push(((**b).clone(), (**a).clone()));
                     continue;
                 }
             }
         }
         residual.push(conjunct);
     }
-    match equality {
-        Some((left_key, right_key)) => {
-            let join = Plan::HashJoin {
-                left: Box::new(left),
-                right: Box::new(right),
-                left_key,
-                right_key,
-            };
-            match conjunction(residual) {
-                Some(residual_pred) => Plan::Filter {
-                    input: Box::new(join),
-                    predicate: residual_pred,
-                },
-                None => join,
-            }
-        }
-        None => Plan::NestedLoopJoin {
+    if keys.is_empty() {
+        return Plan::NestedLoopJoin {
             left: Box::new(left),
             right: Box::new(right),
             predicate: conjunction(residual),
+        };
+    }
+    let join = Plan::HashJoin {
+        left: Box::new(left),
+        right: Box::new(right),
+        keys,
+    };
+    match conjunction(residual) {
+        Some(residual_pred) => Plan::Filter {
+            input: Box::new(join),
+            predicate: residual_pred,
         },
+        None => join,
     }
 }
 
@@ -256,6 +809,15 @@ mod tests {
         inst
     }
 
+    fn rows_of(plan: &Plan, inst: &Instance) -> Vec<crate::Row> {
+        let refs = [inst];
+        let mut ctx = EvalCtx::new(&refs);
+        let mut stats = ExecStats::default();
+        let mut rows = run_plan(plan, &mut ctx, &mut stats).unwrap();
+        rows.sort();
+        rows
+    }
+
     #[test]
     fn nested_loop_with_equality_becomes_hash_join() {
         let plan = Plan::scan("CityE", "E").join(
@@ -266,8 +828,9 @@ mod tests {
                     .eq(Expr::var("C").proj("name")),
             ),
         );
-        let optimised = optimize(plan);
-        assert!(matches!(optimised, Plan::HashJoin { .. }));
+        for optimised in [optimize(plan.clone()), optimize_reference(plan)] {
+            assert!(matches!(optimised, Plan::HashJoin { .. }));
+        }
     }
 
     #[test]
@@ -281,13 +844,17 @@ mod tests {
                 Expr::var("E").proj("is_capital"),
             ])),
         );
-        let optimised = optimize(plan);
-        // The capital test only needs E, so it is pushed below the join.
-        match &optimised {
-            Plan::HashJoin { left, .. } => {
-                assert!(matches!(**left, Plan::Filter { .. }));
+        // Both paths push the one-sided capital test below the join.
+        for optimised in [optimize(plan.clone()), optimize_reference(plan)] {
+            match &optimised {
+                Plan::HashJoin { left, right, .. } => {
+                    assert!(
+                        matches!(**left, Plan::Filter { .. })
+                            || matches!(**right, Plan::Filter { .. })
+                    );
+                }
+                other => panic!("expected a hash join, got {other:?}"),
             }
-            other => panic!("expected a hash join, got {other:?}"),
         }
     }
 
@@ -296,17 +863,28 @@ mod tests {
         let plan = Plan::scan("CityE", "E")
             .join(Plan::scan("CountryE", "C"), None)
             .filter(Expr::var("E").proj("is_capital"));
-        let optimised = optimize(plan);
+        let optimised = optimize_reference(plan.clone());
         match optimised {
             Plan::NestedLoopJoin { left, .. } => assert!(matches!(*left, Plan::Filter { .. })),
             other => panic!("expected join at the top, got {other:?}"),
+        }
+        // The planner has no equality to join on: the graph is disconnected,
+        // so it owns up to the product with an explicit CrossJoin (and still
+        // pushes the filter down).
+        let planned = optimize(plan);
+        match planned {
+            Plan::CrossJoin { left, right } => {
+                assert!(
+                    matches!(*left, Plan::Filter { .. }) || matches!(*right, Plan::Filter { .. })
+                );
+            }
+            other => panic!("expected a cross join, got {other:?}"),
         }
     }
 
     #[test]
     fn optimised_plans_produce_the_same_rows() {
         let inst = instance();
-        let refs = [&inst];
         let original = Plan::scan("CityE", "E")
             .join(
                 Plan::scan("CountryE", "C"),
@@ -318,34 +896,122 @@ mod tests {
                 ])),
             )
             .map(vec![("N".to_string(), Expr::var("C").proj("language"))]);
-        let optimised = optimize(original.clone());
-        assert_ne!(original, optimised);
-        let mut ctx = EvalCtx::new(&refs);
-        let mut stats = ExecStats::default();
-        let mut a = run_plan(&original, &mut ctx, &mut stats).unwrap();
-        let mut ctx = EvalCtx::new(&refs);
-        let mut b = run_plan(&optimised, &mut ctx, &mut stats).unwrap();
-        a.sort();
-        b.sort();
-        assert_eq!(a, b);
-        assert_eq!(a.len(), 2);
+        let expected = rows_of(&original, &inst);
+        assert_eq!(expected.len(), 2);
+        let refs = [&inst];
+        let stats = Statistics::from_instances(&refs);
+        for optimised in [
+            optimize(original.clone()),
+            optimize_reference(original.clone()),
+            optimize_with_stats(original.clone(), &stats),
+        ] {
+            assert_ne!(original, optimised);
+            assert_eq!(rows_of(&optimised, &inst), expected);
+        }
+    }
+
+    #[test]
+    fn map_definitions_are_inlined_into_join_equalities() {
+        // The E6 shape: the join equality goes through a Map-defined variable,
+        // which the rule-based rewriter cannot see past (it leaves a raw
+        // product) but the planner inlines into a hash-join key.
+        let inst = instance();
+        let plan = Plan::scan("CityE", "E")
+            .join(Plan::scan("CountryE", "C"), None)
+            .map(vec![("N".to_string(), Expr::var("C").proj("name"))])
+            .filter(Expr::var("E").path("country.name").eq(Expr::var("N")));
+        let reference = optimize_reference(plan.clone());
+        assert!(!reference.render().contains("HashJoin"));
+        let refs = [&inst];
+        let stats = Statistics::from_instances(&refs);
+        let planned = optimize_with_stats(plan.clone(), &stats);
+        assert!(planned.render().contains("HashJoin"));
+        assert!(!planned.render().contains("CrossJoin"));
+        assert_eq!(rows_of(&planned, &inst), rows_of(&plan, &inst));
+    }
+
+    #[test]
+    fn multi_key_equalities_fold_into_one_composite_hash_join() {
+        let plan = Plan::scan("CityE", "E").join(
+            Plan::scan("CountryE", "C"),
+            Some(Expr::and(vec![
+                Expr::var("E")
+                    .path("country.name")
+                    .eq(Expr::var("C").proj("name")),
+                Expr::var("E")
+                    .path("country.language")
+                    .eq(Expr::var("C").proj("language")),
+            ])),
+        );
+        let inst = instance();
+        let expected = rows_of(&plan, &inst);
+        assert_eq!(expected.len(), 3);
+        for optimised in [optimize(plan.clone()), optimize_reference(plan.clone())] {
+            match &optimised {
+                Plan::HashJoin { keys, .. } => assert_eq!(keys.len(), 2),
+                other => panic!("expected a composite-key hash join, got {other:?}"),
+            }
+            assert_eq!(rows_of(&optimised, &inst), expected);
+        }
+    }
+
+    #[test]
+    fn planner_orders_joins_by_estimated_cost() {
+        // Three scans in a chain, deliberately listed in the worst order:
+        // the planner must not join CityE with CityE first (no conjunct
+        // connects them), and must never emit a cross product.
+        let inst = instance();
+        let plan = Plan::scan("CityE", "E")
+            .join(Plan::scan("CityE", "F"), None)
+            .join(Plan::scan("CountryE", "C"), None)
+            .filter(Expr::and(vec![
+                Expr::var("E")
+                    .path("country.name")
+                    .eq(Expr::var("C").proj("name")),
+                Expr::var("F").proj("country").eq(Expr::var("C")),
+                Expr::var("F").proj("is_capital"),
+            ]));
+        let refs = [&inst];
+        let stats = Statistics::from_instances(&refs);
+        let planned = optimize_with_stats(plan.clone(), &stats);
+        let rendered = planned.render();
+        assert!(!rendered.contains("CrossJoin"));
+        assert!(!rendered.contains("NestedLoopJoin"));
+        assert_eq!(rows_of(&planned, &inst), rows_of(&plan, &inst));
+    }
+
+    #[test]
+    fn disconnected_graphs_cross_join_the_smallest_components() {
+        let inst = instance();
+        let plan = Plan::scan("CityE", "E")
+            .join(Plan::scan("CountryE", "C"), None)
+            .filter(Expr::var("E").proj("is_capital"))
+            .filter(
+                Expr::var("C")
+                    .proj("language")
+                    .eq(Expr::Const(Value::str("French"))),
+            );
+        let refs = [&inst];
+        let stats = Statistics::from_instances(&refs);
+        let planned = optimize_with_stats(plan.clone(), &stats);
+        assert!(planned.render().contains("CrossJoin"));
+        assert_eq!(rows_of(&planned, &inst), rows_of(&plan, &inst));
     }
 
     #[test]
     fn join_without_usable_equality_stays_nested_loop() {
         let plan = Plan::scan("CityE", "E").join(
             Plan::scan("CountryE", "C"),
-            Some(Expr::var("E").proj("is_capital")),
+            Some(Expr::Lt(
+                Box::new(Expr::var("E").proj("name")),
+                Box::new(Expr::var("C").proj("name")),
+            )),
         );
-        let optimised = optimize(plan);
-        match optimised {
-            Plan::NestedLoopJoin {
-                left, predicate, ..
-            } => {
-                // The one-sided predicate is pushed down; no residual remains.
-                assert!(matches!(*left, Plan::Filter { .. }) || predicate.is_some());
+        for optimised in [optimize(plan.clone()), optimize_reference(plan)] {
+            match optimised {
+                Plan::NestedLoopJoin { predicate, .. } => assert!(predicate.is_some()),
+                other => panic!("expected nested loop join, got {other:?}"),
             }
-            other => panic!("expected nested loop join, got {other:?}"),
         }
     }
 
@@ -359,8 +1025,81 @@ mod tests {
                     .eq(Expr::var("C").proj("name")),
             ),
         );
-        let once = optimize(plan);
+        let once = optimize(plan.clone());
         let twice = optimize(once.clone());
         assert_eq!(once, twice);
+        let once = optimize_reference(plan);
+        let twice = optimize_reference(once.clone());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn rebinding_maps_are_not_inlined() {
+        // A Map that rebinds a scan variable would make substitution unsound
+        // (the filter below the Map refers to the *pre*-Map value); such
+        // shapes must keep their raw semantics via the rule-based path.
+        let inst = instance();
+        let plan = Plan::scan("CityE", "E")
+            .filter(Expr::var("E").proj("is_capital"))
+            .map(vec![("E".to_string(), Expr::var("E").proj("country"))]);
+        let expected = rows_of(&plan, &inst);
+        assert_eq!(expected.len(), 2);
+        let refs = [&inst];
+        let stats = Statistics::from_instances(&refs);
+        for optimised in [optimize(plan.clone()), optimize_with_stats(plan, &stats)] {
+            assert_eq!(rows_of(&optimised, &inst), expected);
+        }
+    }
+
+    #[test]
+    fn distinct_is_planned_through() {
+        let inst = instance();
+        let plan = Plan::scan("CityE", "E")
+            .join(
+                Plan::scan("CountryE", "C"),
+                Some(
+                    Expr::var("E")
+                        .path("country.name")
+                        .eq(Expr::var("C").proj("name")),
+                ),
+            )
+            .distinct();
+        let planned = optimize(plan.clone());
+        match &planned {
+            Plan::Distinct { input } => assert!(matches!(**input, Plan::HashJoin { .. })),
+            other => panic!("expected Distinct on top, got {other:?}"),
+        }
+        assert_eq!(rows_of(&planned, &inst), rows_of(&plan, &inst));
+    }
+
+    #[test]
+    fn statistics_report_extents_and_ndv() {
+        let inst = instance();
+        let refs = [&inst];
+        let stats = Statistics::from_instances(&refs);
+        assert_eq!(stats.extent_size(&ClassName::new("CityE")), Some(3));
+        assert_eq!(stats.ndv(&ClassName::new("CityE"), "is_capital"), Some(2));
+        assert_eq!(stats.ndv(&ClassName::new("CountryE"), "name"), Some(2));
+        let empty = Statistics::empty();
+        assert_eq!(empty.extent_size(&ClassName::new("CityE")), None);
+        assert_eq!(empty.ndv(&ClassName::new("CityE"), "name"), None);
+    }
+
+    #[test]
+    fn estimate_rows_tracks_the_cardinality_model() {
+        let inst = instance();
+        let refs = [&inst];
+        let stats = Statistics::from_instances(&refs);
+        let scan = Plan::scan("CityE", "E");
+        assert_eq!(estimate_rows(&scan, &stats), 3.0);
+        let join = Plan::scan("CityE", "E").hash_join(
+            Plan::scan("CountryE", "C"),
+            Expr::var("E").path("country.name"),
+            Expr::var("C").proj("name"),
+        );
+        // 3 x 2 / ndv(name)=2 = 3.
+        assert_eq!(estimate_rows(&join, &stats), 3.0);
+        let cross = Plan::scan("CityE", "E").cross(Plan::scan("CountryE", "C"));
+        assert_eq!(estimate_rows(&cross, &stats), 6.0);
     }
 }

@@ -41,16 +41,25 @@ pub enum Plan {
         /// Join predicate (over the combined row); `None` means a product.
         predicate: Option<Expr>,
     },
-    /// Hash join on equality of two key expressions.
+    /// Hash join on the (possibly composite) equality of key expressions:
+    /// rows combine when every `(left_key, right_key)` pair evaluates equal.
     HashJoin {
-        /// Left input (build side).
+        /// Left input (build side, or the index-probed side on the fast path).
         left: Box<Plan>,
         /// Right input (probe side).
         right: Box<Plan>,
-        /// Key computed from left rows.
-        left_key: Expr,
-        /// Key computed from right rows.
-        right_key: Expr,
+        /// Equality key pairs, `(computed from left rows, computed from right
+        /// rows)`. Must be non-empty.
+        keys: Vec<(Expr, Expr)>,
+    },
+    /// Cartesian product of two inputs. Emitted by the planner only when the
+    /// join graph is genuinely disconnected, so its presence in a plan is an
+    /// auditable statement that no predicate relates the two sides.
+    CrossJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
     },
     /// Remove duplicate rows.
     Distinct {
@@ -93,13 +102,25 @@ impl Plan {
         }
     }
 
-    /// Hash join helper.
+    /// Single-key hash join helper.
     pub fn hash_join(self, right: Plan, left_key: Expr, right_key: Expr) -> Plan {
+        self.hash_join_multi(right, vec![(left_key, right_key)])
+    }
+
+    /// Multi-key (composite) hash join helper.
+    pub fn hash_join_multi(self, right: Plan, keys: Vec<(Expr, Expr)>) -> Plan {
         Plan::HashJoin {
             left: Box::new(self),
             right: Box::new(right),
-            left_key,
-            right_key,
+            keys,
+        }
+    }
+
+    /// Cross-join helper.
+    pub fn cross(self, right: Plan) -> Plan {
+        Plan::CrossJoin {
+            left: Box::new(self),
+            right: Box::new(right),
         }
     }
 
@@ -120,7 +141,9 @@ impl Plan {
                 vars.extend(bindings.iter().map(|(v, _)| v.clone()));
                 vars
             }
-            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            Plan::NestedLoopJoin { left, right, .. }
+            | Plan::HashJoin { left, right, .. }
+            | Plan::CrossJoin { left, right } => {
                 let mut vars = left.produced_vars();
                 vars.extend(right.produced_vars());
                 vars
@@ -135,9 +158,9 @@ impl Plan {
             Plan::Filter { input, .. } | Plan::Map { input, .. } | Plan::Distinct { input } => {
                 1 + input.operator_count()
             }
-            Plan::NestedLoopJoin { left, right, .. } | Plan::HashJoin { left, right, .. } => {
-                1 + left.operator_count() + right.operator_count()
-            }
+            Plan::NestedLoopJoin { left, right, .. }
+            | Plan::HashJoin { left, right, .. }
+            | Plan::CrossJoin { left, right } => 1 + left.operator_count() + right.operator_count(),
         }
     }
 
@@ -167,8 +190,13 @@ impl Plan {
                     go(left, indent + 1, out);
                     go(right, indent + 1, out);
                 }
-                Plan::HashJoin { left, right, .. } => {
-                    out.push_str(&format!("{pad}HashJoin\n"));
+                Plan::HashJoin { left, right, keys } => {
+                    out.push_str(&format!("{pad}HashJoin ({} key(s))\n", keys.len()));
+                    go(left, indent + 1, out);
+                    go(right, indent + 1, out);
+                }
+                Plan::CrossJoin { left, right } => {
+                    out.push_str(&format!("{pad}CrossJoin\n"));
                     go(left, indent + 1, out);
                     go(right, indent + 1, out);
                 }
@@ -240,5 +268,23 @@ mod tests {
         let nl = Plan::scan("A", "a").join(Plan::scan("B", "b"), None);
         assert!(nl.render().contains("NestedLoopJoin"));
         assert_eq!(nl.operator_count(), 3);
+    }
+
+    #[test]
+    fn cross_join_and_multi_key_render() {
+        let cross = Plan::scan("A", "a").cross(Plan::scan("B", "b"));
+        assert!(cross.render().contains("CrossJoin"));
+        assert_eq!(cross.operator_count(), 3);
+        let vars = cross.produced_vars();
+        assert!(vars.contains("a") && vars.contains("b"));
+
+        let multi = Plan::scan("A", "a").hash_join_multi(
+            Plan::scan("B", "b"),
+            vec![
+                (Expr::var("a").proj("x"), Expr::var("b").proj("x")),
+                (Expr::var("a").proj("y"), Expr::var("b").proj("y")),
+            ],
+        );
+        assert!(multi.render().contains("HashJoin (2 key(s))"));
     }
 }

@@ -2,22 +2,43 @@
 //! "Translator to CPL").
 //!
 //! Each [`NormalClause`] becomes one [`cpl::Query`]: its body's class
-//! membership atoms become scans combined by joins, equality atoms become
-//! either binding maps (when they define a fresh variable) or filters, and the
-//! clause's key and attribute terms become the query's insert action. The
-//! resulting plan is handed to the CPL optimiser, which pushes filters down
-//! and upgrades equality joins to hash joins — the role the paper assigns to
-//! the Kleisli optimiser.
+//! membership atoms become scans, equality atoms become either binding maps
+//! (when they define a fresh variable) or filters, and the clause's key and
+//! attribute terms become the query's insert action. The translator does
+//! **not** order the joins itself — it emits the scans as a raw product (the
+//! atom pool) and hands the result to the CPL join-graph planner
+//! ([`cpl::optimize_with_stats`]), which reorders the scans by estimated
+//! cardinality and selectivity — the role the paper assigns to the Kleisli
+//! optimiser. Which planner runs (none, the legacy rule-based rewriter, or
+//! the statistics-fed planner) is chosen by [`PlanMode`].
 
 use std::collections::BTreeSet;
 
 use cpl::plan::InsertAction;
-use cpl::{Expr, Plan, Query};
+use cpl::{Expr, Plan, Query, Statistics};
 use wol_engine::normalize::{NormalClause, NormalProgram};
 use wol_lang::ast::{Atom, SkolemArgs, Term};
 
 use crate::error::MorphaseError;
 use crate::Result;
+
+/// How compiled plans are optimised.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum PlanMode<'a> {
+    /// Leave the raw left-deep translation untouched (the baseline the
+    /// regression tests measure against).
+    Raw,
+    /// The legacy rule-based rewriter ([`cpl::optimize_reference`]): filter
+    /// push-down and hash-join upgrade, no join reordering.
+    Reference,
+    /// The cost-based join-graph planner with default statistics (no
+    /// instances at hand).
+    #[default]
+    Planner,
+    /// The cost-based join-graph planner fed by extent/ndv statistics over
+    /// the live source instances.
+    PlannerWithStats(&'a Statistics<'a>),
+}
 
 /// Translate a WOL term over body variables into a CPL row expression.
 pub fn translate_term(term: &Term) -> Expr {
@@ -78,7 +99,7 @@ fn translate_atom_predicate(atom: &Atom) -> Result<Expr> {
 }
 
 /// Compile one normal clause into a CPL query.
-pub fn compile_clause(clause: &NormalClause, optimize_plan: bool) -> Result<Query> {
+pub fn compile_clause(clause: &NormalClause, mode: PlanMode<'_>) -> Result<Query> {
     // 1. Scans for every membership atom.
     let mut plan: Option<Plan> = None;
     let mut produced: BTreeSet<String> = BTreeSet::new();
@@ -149,9 +170,12 @@ pub fn compile_clause(clause: &NormalClause, optimize_plan: bool) -> Result<Quer
         remaining = deferred;
     }
 
-    if optimize_plan {
-        plan = cpl::optimize(plan);
-    }
+    plan = match mode {
+        PlanMode::Raw => plan,
+        PlanMode::Reference => cpl::optimize_reference(plan),
+        PlanMode::Planner => cpl::optimize(plan),
+        PlanMode::PlannerWithStats(stats) => cpl::optimize_with_stats(plan, stats),
+    };
 
     // 3. The insert action.
     let insert = InsertAction {
@@ -174,12 +198,26 @@ fn covered(term: &Term, produced: &BTreeSet<String>) -> bool {
     term.var_set().iter().all(|v| produced.contains(v))
 }
 
-/// Compile a whole normal-form program into CPL queries.
+/// Compile a whole normal-form program into CPL queries. `optimize_plans`
+/// selects the join-graph planner (without instance statistics); use
+/// [`compile_program_with`] to feed it live statistics or to pick another
+/// [`PlanMode`].
 pub fn compile_program(normal: &NormalProgram, optimize_plans: bool) -> Result<Vec<Query>> {
+    let mode = if optimize_plans {
+        PlanMode::Planner
+    } else {
+        PlanMode::Raw
+    };
+    compile_program_with(normal, mode)
+}
+
+/// Compile a whole normal-form program into CPL queries under the given
+/// planning mode.
+pub fn compile_program_with(normal: &NormalProgram, mode: PlanMode<'_>) -> Result<Vec<Query>> {
     normal
         .clauses
         .iter()
-        .map(|c| compile_clause(c, optimize_plans))
+        .map(|c| compile_clause(c, mode))
         .collect()
 }
 
@@ -237,6 +275,46 @@ mod tests {
     }
 
     #[test]
+    fn planner_with_stats_eliminates_cross_products_on_the_genome_program() {
+        use workloads::genome::{self, GenomeParams};
+        let program = genome::program();
+        let normal = normalize(&program, &NormalizeOptions::default()).unwrap();
+        let source = genome::generate_source(&GenomeParams {
+            clones: 10,
+            markers: 30,
+            density: 0.6,
+            seed: 22,
+        });
+        let refs = [&source];
+        let stats = cpl::Statistics::from_instances(&refs);
+        let queries = compile_program_with(&normal, PlanMode::PlannerWithStats(&stats)).unwrap();
+        let rendered: String = queries.iter().map(|q| q.plan.render()).collect();
+        // Every join is recovered as a (possibly composite) hash join: no
+        // products survive anywhere in the compiled program.
+        assert!(rendered.contains("HashJoin"));
+        assert!(!rendered.contains("CrossJoin"));
+        assert!(!rendered.contains("NestedLoopJoin"));
+
+        // And the planned program produces the same target as the engine's
+        // reference executor.
+        let mut ctx = EvalCtx::new(&refs);
+        let mut exec_stats = ExecStats::default();
+        let mut target = Instance::new("chr22");
+        for query in &queries {
+            execute_query(query, &mut ctx, &mut target, &mut exec_stats).unwrap();
+        }
+        let reference = wol_engine::execute(&normal, &[&source][..], "chr22").unwrap();
+        assert!(exec_stats.index_probes > 0);
+        for class in ["CloneD", "MarkerD"] {
+            assert_eq!(
+                reference.extent_size(&ClassName::new(class)),
+                target.extent_size(&ClassName::new(class)),
+                "extent mismatch for {class}"
+            );
+        }
+    }
+
+    #[test]
     fn translate_key_styles() {
         let single = SkolemArgs::Positional(vec![Term::var("N")]);
         assert_eq!(translate_key(&single), Expr::Var("N".to_string()));
@@ -277,7 +355,7 @@ mod tests {
             creates: true,
             provenance: vec!["t".to_string()],
         };
-        let err = compile_clause(&clause, false).unwrap_err();
+        let err = compile_clause(&clause, PlanMode::Raw).unwrap_err();
         assert!(matches!(err, MorphaseError::Compilation(_)));
     }
 }

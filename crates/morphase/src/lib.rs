@@ -30,7 +30,7 @@ pub mod metadata;
 pub mod pipeline;
 pub mod report;
 
-pub use compile::compile_program;
+pub use compile::{compile_program, compile_program_with, PlanMode};
 pub use error::MorphaseError;
 pub use metadata::generate_key_clauses;
 pub use pipeline::{Morphase, MorphaseRun, PipelineOptions, StageTimings};

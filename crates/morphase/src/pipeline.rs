@@ -9,7 +9,7 @@ use wol_engine::snf::{program_to_snf, snf_stats, SnfStats};
 use wol_lang::program::Program;
 use wol_model::Instance;
 
-use crate::compile::compile_program;
+use crate::compile::{compile_program_with, PlanMode};
 use crate::metadata::{generate_key_clauses, generate_merge_key_clauses};
 use crate::Result;
 
@@ -97,6 +97,10 @@ pub struct MorphaseRun {
     pub exec: ExecStats,
     /// Rendered CPL plans, one per normal clause.
     pub plans: Vec<String>,
+    /// The planner's estimated output rows, one per compiled query (from the
+    /// same cardinality model the join ordering used). Compared against
+    /// `exec.rows_output` in reports.
+    pub estimated_rows: Vec<u64>,
 }
 
 /// The Morphase system: a configured pipeline.
@@ -198,10 +202,22 @@ impl Morphase {
         let normal = wol_engine::normalize(&augmented, &normalize_options)?;
         timings.normalize = start.elapsed();
 
-        // Stage 4: translation to CPL.
+        // Stage 4: translation to CPL. The planner is fed extent and
+        // distinct-value statistics read from the live source instances, so
+        // join orders reflect the data actually being transformed.
         let start = Instant::now();
-        let queries = compile_program(&normal, options.optimize_plans)?;
+        let stats = cpl::Statistics::from_instances(sources);
+        let mode = if options.optimize_plans {
+            PlanMode::PlannerWithStats(&stats)
+        } else {
+            PlanMode::Raw
+        };
+        let queries = compile_program_with(&normal, mode)?;
         let plans = queries.iter().map(|q| q.plan.render()).collect();
+        let estimated_rows = queries
+            .iter()
+            .map(|q| cpl::estimate_rows(&q.plan, &stats).round() as u64)
+            .collect();
         timings.compile = start.elapsed();
 
         // Stage 5: execution.
@@ -255,6 +271,7 @@ impl Morphase {
             generated_clauses: generated,
             exec,
             plans,
+            estimated_rows,
         })
     }
 }

@@ -48,6 +48,17 @@ pub fn render_report(run: &MorphaseRun) -> String {
         run.exec.index_probes,
         run.exec.objects_written
     );
+    let _ = writeln!(
+        out,
+        "peak operator output: {} rows (max_intermediate_rows)",
+        run.exec.max_intermediate_rows
+    );
+    let estimated: u64 = run.estimated_rows.iter().sum();
+    let _ = writeln!(
+        out,
+        "planner estimate: {} output rows (actual {})",
+        estimated, run.exec.rows_output
+    );
     let _ = writeln!(out, "target: {} objects", run.target.len());
     out
 }
@@ -71,5 +82,7 @@ mod tests {
         assert!(report.contains("total compile"));
         assert!(report.contains("index probes"));
         assert!(report.contains("objects written"));
+        assert!(report.contains("max_intermediate_rows"));
+        assert!(report.contains("planner estimate:"));
     }
 }

@@ -67,6 +67,14 @@ impl AttrIndex {
         self.entries
     }
 
+    /// Number of distinct value hashes present. Hash collisions can only
+    /// merge buckets, so this is a (tight in practice) *lower bound* on the
+    /// attribute's number of distinct values — exactly the quantity the query
+    /// planner's `1/ndv` equality selectivities need.
+    pub fn distinct(&self) -> usize {
+        self.buckets.len()
+    }
+
     /// True if nothing is indexed.
     pub fn is_empty(&self) -> bool {
         self.entries == 0

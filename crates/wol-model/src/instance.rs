@@ -15,6 +15,18 @@ use crate::types::ClassName;
 use crate::values::Value;
 use crate::Result;
 
+/// Per-`(class, attribute)` statistics derived from the lazy attribute index,
+/// consumed by cost-based query planning (see
+/// [`attr_stats`](Instance::attr_stats)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttrStats {
+    /// Objects of the class that carry the attribute (optional attributes
+    /// make this smaller than the extent).
+    pub entries: usize,
+    /// Approximate number of distinct values the attribute takes.
+    pub distinct: usize,
+}
+
 /// A database instance: extents of object identities per class, plus the value
 /// associated with each identity.
 ///
@@ -210,6 +222,30 @@ impl Instance {
             })
             .cloned()
             .collect()
+    }
+
+    /// Cheap per-attribute statistics for cost-based planning: the number of
+    /// objects of `class` that carry attribute `attr` at all, and the
+    /// (approximate) number of distinct values it takes. Built from the same
+    /// lazy attribute index the join machinery probes, so asking for the
+    /// statistics of an attribute that will later be joined on costs nothing
+    /// extra — the one pass over the extent is shared.
+    pub fn attr_stats(&self, class: &ClassName, attr: &str) -> AttrStats {
+        self.ensure_attr_index(class, attr);
+        let cache = self.index.borrow();
+        let index = cache
+            .get(class, attr)
+            .expect("ensure_attr_index always installs the index");
+        AttrStats {
+            entries: index.len(),
+            distinct: index.distinct(),
+        }
+    }
+
+    /// Approximate number of distinct values attribute `attr` takes across
+    /// the extent of `class` (see [`attr_stats`](Instance::attr_stats)).
+    pub fn attr_ndv(&self, class: &ClassName, attr: &str) -> usize {
+        self.attr_stats(class, attr).distinct
     }
 
     /// Whether a probe for `(class, attr)` would hit an already-built index.

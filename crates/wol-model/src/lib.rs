@@ -34,7 +34,7 @@ pub mod validate;
 pub mod values;
 
 pub use error::ModelError;
-pub use instance::Instance;
+pub use instance::{AttrStats, Instance};
 pub use keys::{KeyExpr, KeySpec, SkolemFactory};
 pub use oid::Oid;
 pub use path::Path;

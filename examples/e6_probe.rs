@@ -1,0 +1,26 @@
+//! Quick probe of the E6 genome pipeline: plans, exec stats, stage timings.
+//!
+//! ```text
+//! cargo run --release --example e6_probe
+//! ```
+
+use wol_repro::morphase::{render_report, Morphase};
+use wol_repro::workloads::genome::{self, GenomeParams};
+
+fn main() {
+    let params = GenomeParams {
+        clones: 100,
+        markers: 300,
+        density: 0.6,
+        seed: 22,
+    };
+    let source = genome::generate_source(&params);
+    let program = genome::program();
+    let run = Morphase::new()
+        .transform(&program, &[&source][..])
+        .expect("runs");
+    println!("{}", render_report(&run));
+    for plan in &run.plans {
+        println!("{plan}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Performance regression tests for the CPL join-graph planner (ISSUE 2).
+//!
+//! The E6 genome pipeline used to materialise ~23M-row cross products (the
+//! translator emitted scans as raw products, and the rule-based rewriter
+//! could not see join equalities through `Map`-defined variables). The
+//! planner must keep that workload index-probed and product-free; these tests
+//! guard the speed-up and are also run in release mode by CI.
+
+use std::time::Duration;
+
+use wol_repro::morphase::{Morphase, PipelineOptions};
+use wol_repro::wol_engine::instances_equivalent;
+use wol_repro::wol_model::ClassName;
+use wol_repro::workloads::genome::{self, GenomeParams};
+
+/// The planner-vs-raw wall-clock regression: on a moderate genome workload
+/// the planned execute phase must be at least 5x faster than the raw
+/// (unoptimised) plans, while producing an equivalent target.
+#[test]
+fn e6_planned_execution_is_at_least_5x_faster_than_raw_plans() {
+    let params = GenomeParams {
+        clones: 30,
+        markers: 90,
+        density: 0.6,
+        seed: 22,
+    };
+    let source = genome::generate_source(&params);
+    let program = genome::program();
+
+    let planned = Morphase::new()
+        .transform(&program, &[&source][..])
+        .expect("planned run succeeds");
+    let raw = Morphase::with_options(PipelineOptions {
+        optimize_plans: false,
+        ..PipelineOptions::default()
+    })
+    .transform(&program, &[&source][..])
+    .expect("raw run succeeds");
+
+    assert!(
+        instances_equivalent(&planned.target, &raw.target, 2),
+        "planned and raw targets diverge"
+    );
+    // The raw plans materialise the marker x marker (x clone) products; the
+    // planner must stay well below them.
+    assert!(
+        raw.exec.max_intermediate_rows >= 10 * planned.exec.max_intermediate_rows.max(1),
+        "expected >=10x fewer peak rows, got raw={} planned={}",
+        raw.exec.max_intermediate_rows,
+        planned.exec.max_intermediate_rows
+    );
+    assert!(
+        planned.exec.index_probes > 0,
+        "planner lost the index probes"
+    );
+    let speedup =
+        raw.timings.execute.as_secs_f64() / planned.timings.execute.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 5.0,
+        "expected a >=5x execute speed-up, got {speedup:.1}x (raw {:?}, planned {:?})",
+        raw.timings.execute,
+        planned.timings.execute
+    );
+}
+
+/// The full-size E6 acceptance check (100 clones x 300 markers): the genome
+/// join runs on index probes, the ~23M-row cross product is gone (peak
+/// operator output far below 1M rows), and the execute phase — ~20-60s
+/// before the planner — finishes promptly even in debug builds.
+#[test]
+fn e6_full_size_genome_pipeline_has_no_cross_products() {
+    let params = GenomeParams {
+        clones: 100,
+        markers: 300,
+        density: 0.6,
+        seed: 22,
+    };
+    let source = genome::generate_source(&params);
+    let run = Morphase::new()
+        .transform(&genome::program(), &[&source][..])
+        .expect("genome pipeline runs");
+
+    assert_eq!(run.target.extent_size(&ClassName::new("CloneD")), 100);
+    assert_eq!(run.target.extent_size(&ClassName::new("MarkerD")), 300);
+    assert!(
+        run.exec.max_intermediate_rows < 1_000_000,
+        "cross product is back: peak operator output {} rows",
+        run.exec.max_intermediate_rows
+    );
+    assert!(
+        run.exec.index_probes > 0,
+        "the genome join no longer uses index probes"
+    );
+    // No plan in the compiled program contains a product operator.
+    for plan in &run.plans {
+        assert!(
+            !plan.contains("CrossJoin") && !plan.contains("NestedLoopJoin"),
+            "a product survived planning:\n{plan}"
+        );
+    }
+    // Generous absolute bound (debug builds included): the pre-planner
+    // execute phase took tens of seconds in release.
+    assert!(
+        run.timings.execute < Duration::from_secs(10),
+        "execute took {:?}",
+        run.timings.execute
+    );
+}
