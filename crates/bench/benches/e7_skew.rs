@@ -1,0 +1,98 @@
+//! Experiment E7 — histogram-backed cardinality estimation on skewed data.
+//!
+//! The E6 genome workload joins on (near-)key attributes, where the flat
+//! `1/ndv` selectivity model happens to be right. E7 is the adversarial
+//! sibling: a zipfian marker-per-clone distribution (a few clones carry most
+//! markers — the shape of the paper's real Chr22DB/ACe22DB trials) and a
+//! triangle join where the flat model orders the two skewed relations first
+//! and materialises the `Σ m_c · p_c` blow-up. This bench runs the *same*
+//! pipeline under both cost models and reports the execute-phase gap, the
+//! peak intermediate rows, and the estimate-vs-actual error per join.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morphase::{render_report, Morphase, MorphaseRun, PipelineOptions};
+use workloads::skewed::{self, SkewedParams};
+
+fn run(source: &wol_model::Instance, cost_model: cpl::CostModel) -> MorphaseRun {
+    let options = PipelineOptions {
+        cost_model,
+        ..PipelineOptions::default()
+    };
+    Morphase::with_options(options)
+        .transform(&skewed::program(), &[source][..])
+        .expect("skewed pipeline runs")
+}
+
+fn bench_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_skew");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    let params = SkewedParams::full();
+    let source = skewed::generate_source(&params);
+    for (label, cost_model) in [
+        ("histogram", cpl::CostModel::Histogram),
+        ("flat_ndv", cpl::CostModel::FlatNdv),
+    ] {
+        group.bench_function(BenchmarkId::new("pipeline", label), |b| {
+            b.iter(|| run(&source, cost_model))
+        });
+    }
+    group.finish();
+
+    let hist_run = run(&source, cpl::CostModel::Histogram);
+    let flat_run = run(&source, cpl::CostModel::FlatNdv);
+    eprintln!(
+        "[E7] skewed genome, histogram:\n{}",
+        render_report(&hist_run)
+    );
+    eprintln!(
+        "[E7] skewed genome, flat 1/ndv:\n{}",
+        render_report(&flat_run)
+    );
+
+    // Machine-readable summary for cross-PR tracking: the histogram model's
+    // worth is `max_intermediate_rows` and `execute_secs` staying flat where
+    // the flat model blows up, plus join estimate errors near 1x.
+    let summarise = |run: &MorphaseRun| {
+        let worst_error = run
+            .join_stats
+            .iter()
+            .map(|j| j.error_ratio())
+            .fold(1.0f64, f64::max);
+        bench::BenchJson::new()
+            .num("execute_secs", run.timings.execute.as_secs_f64())
+            .num("total_secs", run.timings.total().as_secs_f64())
+            .int("rows_produced", run.exec.rows_produced as u64)
+            .int(
+                "max_intermediate_rows",
+                run.exec.max_intermediate_rows as u64,
+            )
+            .int("index_probes", run.exec.index_probes as u64)
+            .int("probe_cache_hits", run.exec.probe_cache_hits as u64)
+            .int("objects_written", run.exec.objects_written as u64)
+            .num("worst_join_estimate_error", worst_error)
+    };
+    let execute_ratio =
+        flat_run.timings.execute.as_secs_f64() / hist_run.timings.execute.as_secs_f64().max(1e-9);
+    let peak_ratio = flat_run.exec.max_intermediate_rows as f64
+        / hist_run.exec.max_intermediate_rows.max(1) as f64;
+    bench::BenchJson::new()
+        .str("bench", "e7_skew")
+        .str(
+            "workload",
+            "zipfian genome triangle (3000 markers, 1000 probes, 1200 clones)",
+        )
+        .obj("histogram", summarise(&hist_run))
+        .obj("flat_ndv", summarise(&flat_run))
+        .num("execute_ratio_flat_over_histogram", execute_ratio)
+        .num("peak_rows_ratio_flat_over_histogram", peak_ratio)
+        .write("BENCH_e7.json");
+}
+
+criterion_group!(benches, bench_skew);
+criterion_main!(benches);

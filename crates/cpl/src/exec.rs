@@ -5,9 +5,9 @@
 //! (Section 5: "A transformation program in which all the transformation
 //! clauses are in normal form can easily be implemented in a single pass").
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
-use wol_model::{Instance, Value};
+use wol_model::{Instance, Oid, Value};
 
 use crate::error::CplError;
 use crate::expr::{eval, eval_predicate, EvalCtx, Expr};
@@ -30,6 +30,11 @@ pub struct ExecStats {
     pub objects_written: usize,
     /// Attribute-index probes that replaced hash-join build sides.
     pub index_probes: usize,
+    /// Probe-side cache hits: driving rows whose composite key was already
+    /// probed, answered without touching the attribute index again. Skewed
+    /// workloads repeat the same hot keys constantly, so this is where the
+    /// zipfian head stops costing per-row work.
+    pub probe_cache_hits: usize,
     /// Peak number of rows materialised by any single operator — the memory
     /// high-water mark that exposes accidental cross products.
     pub max_intermediate_rows: usize,
@@ -43,6 +48,7 @@ impl ExecStats {
         self.rows_output += other.rows_output;
         self.objects_written += other.objects_written;
         self.index_probes += other.index_probes;
+        self.probe_cache_hits += other.probe_cache_hits;
         self.max_intermediate_rows = self.max_intermediate_rows.max(other.max_intermediate_rows);
     }
 
@@ -50,6 +56,18 @@ impl ExecStats {
         self.rows_produced += rows;
         self.max_intermediate_rows = self.max_intermediate_rows.max(rows);
     }
+}
+
+/// One executed join operator's actual output row count, recorded (in
+/// post-order) when the context's join trace is enabled
+/// ([`EvalCtx::enable_join_trace`]). Reports pair these with the planner's
+/// [`crate::optimizer::estimate_join_outputs`] estimates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinActual {
+    /// Operator kind (`HashJoin`, `NestedLoopJoin`, `CrossJoin`).
+    pub kind: &'static str,
+    /// Rows the join actually produced.
+    pub rows: usize,
 }
 
 /// A hash-join side answerable through the instances' attribute indexes
@@ -68,7 +86,9 @@ pub(crate) struct IndexableSide {
 /// Detect an indexable side. `keys` yields this side's key expression from
 /// each `(left, right)` pair. Shared with the planner
 /// ([`crate::optimizer`]), which orients hash-join sides precisely so this
-/// fast path fires — the two must never diverge.
+/// fast path fires — the two must never diverge. (The planner only asks
+/// *whether* a side is indexable; which key the executor actually probes on
+/// is chosen per run by [`best_indexable_side`].)
 pub(crate) fn indexable_side<'p>(
     plan: &Plan,
     keys: impl Iterator<Item = &'p Expr>,
@@ -91,10 +111,83 @@ pub(crate) fn indexable_side<'p>(
     None
 }
 
+/// Among a composite key's probe-able attributes, pick the one whose index
+/// yields the smallest *expected* candidate list, estimated from the
+/// attribute's own histogram as `Σ_v count(v)² / entries` — the mean bucket
+/// length weighted by how often each value is probed. On skewed data this is
+/// the difference between probing a zipfian attribute (hot keys return huge
+/// candidate lists, over and over) and probing a uniform one; plain ndv
+/// cannot see it. Histograms are only consulted when there is a genuine
+/// choice (two or more probe-able keys) — the common single-key join keeps
+/// the old O(1) detection.
+fn best_indexable_side(
+    plan: &Plan,
+    keys: &[&Expr],
+    sources: &[&Instance],
+) -> Option<IndexableSide> {
+    let Plan::Scan { class, var } = plan else {
+        return None;
+    };
+    let candidates: Vec<(usize, &String)> = keys
+        .iter()
+        .enumerate()
+        .filter_map(|(key_index, key)| match key {
+            Expr::Proj(base, attr) if matches!(base.as_ref(), Expr::Var(v) if v == var) => {
+                Some((key_index, attr))
+            }
+            _ => None,
+        })
+        .collect();
+    if candidates.len() <= 1 {
+        return candidates
+            .into_iter()
+            .next()
+            .map(|(key_index, attr)| IndexableSide {
+                class: class.clone(),
+                var: var.clone(),
+                attr: attr.clone(),
+                key_index,
+            });
+    }
+    let mut best: Option<(f64, IndexableSide)> = None;
+    for (key_index, attr) in candidates {
+        let mut self_join_rows = 0.0;
+        let mut entries = 0.0;
+        for source in sources {
+            let histogram = source.attr_histogram(class, attr);
+            self_join_rows += histogram.eq_join_rows(&histogram);
+            entries += histogram.entries() as f64;
+        }
+        let expected = if entries > 0.0 {
+            self_join_rows / entries
+        } else {
+            f64::INFINITY
+        };
+        if best.as_ref().is_none_or(|(cost, _)| expected < *cost) {
+            best = Some((
+                expected,
+                IndexableSide {
+                    class: class.clone(),
+                    var: var.clone(),
+                    attr: attr.clone(),
+                    key_index,
+                },
+            ));
+        }
+    }
+    best.map(|(_, side)| side)
+}
+
 /// The hash-join index fast path: drive the join from `driving`'s rows,
 /// answer key pair `side.key_index` by probing the indexable scan side
 /// through the source instances' attribute indexes, and verify any remaining
 /// key pairs against each candidate.
+///
+/// Repeated composite keys — the common case on skewed data, where a few hot
+/// values dominate the driving side — are answered from a probe-side cache:
+/// the verified identity list for a key tuple is computed once and replayed
+/// for every later driving row carrying the same tuple
+/// ([`ExecStats::probe_cache_hits`]).
 fn probe_join(
     driving: &Plan,
     driving_keys: &[&Expr],
@@ -105,6 +198,14 @@ fn probe_join(
 ) -> Result<Vec<Row>> {
     let driving_rows = run_plan(driving, ctx, stats)?;
     let sources = ctx.sources().to_vec();
+    // The cache is sound only when every scan-side key expression ranges
+    // over the scanned variable alone — then the verified identity list is a
+    // function of the key tuple. The planner only emits such keys, but the
+    // join shape is public API, so the executor re-checks.
+    let cacheable = scan_keys
+        .iter()
+        .all(|k| k.var_set().iter().all(|v| v == &side.var));
+    let mut cache: HashMap<Vec<Value>, Vec<Oid>> = HashMap::new();
     let mut rows = Vec::new();
     'rows: for row in &driving_rows {
         let mut key_values = Vec::with_capacity(driving_keys.len());
@@ -115,29 +216,78 @@ fn probe_join(
                 Err(other) => return Err(other),
             }
         }
-        stats.index_probes += 1;
-        for instance in &sources {
-            'candidates: for oid in
-                instance.lookup_by_attr(&side.class, &side.attr, &key_values[side.key_index])
+        if cacheable {
+            let matched = match cache.get(&key_values) {
+                Some(hit) => {
+                    stats.probe_cache_hits += 1;
+                    hit
+                }
+                None => {
+                    let fresh = verified_candidates(
+                        &Row::new(),
+                        &key_values,
+                        scan_keys,
+                        side,
+                        &sources,
+                        ctx,
+                        stats,
+                    )?;
+                    cache.entry(key_values.clone()).or_insert(fresh)
+                }
+            };
+            for oid in matched {
+                let mut combined = row.clone();
+                combined.insert(side.var.clone(), Value::Oid(oid.clone()));
+                rows.push(combined);
+            }
+        } else {
+            for oid in verified_candidates(row, &key_values, scan_keys, side, &sources, ctx, stats)?
             {
                 let mut combined = row.clone();
                 combined.insert(side.var.clone(), Value::Oid(oid));
-                for (i, scan_key) in scan_keys.iter().enumerate() {
-                    if i == side.key_index {
-                        continue;
-                    }
-                    match eval(scan_key, &combined, ctx) {
-                        Ok(value) if value == key_values[i] => {}
-                        Ok(_) | Err(CplError::BadValue(_)) => continue 'candidates,
-                        Err(other) => return Err(other),
-                    }
-                }
                 rows.push(combined);
             }
         }
     }
+    ctx.record_join("HashJoin", rows.len());
     stats.record_operator_output(rows.len());
     Ok(rows)
+}
+
+/// Probe the attribute index for the scan-side candidates of one key tuple
+/// and verify every non-probed key pair against each candidate, extending
+/// `base` with the candidate's identity for the verification.
+fn verified_candidates(
+    base: &Row,
+    key_values: &[Value],
+    scan_keys: &[&Expr],
+    side: &IndexableSide,
+    sources: &[&Instance],
+    ctx: &mut EvalCtx<'_>,
+    stats: &mut ExecStats,
+) -> Result<Vec<Oid>> {
+    stats.index_probes += 1;
+    let mut matched = Vec::new();
+    for instance in sources {
+        'candidates: for oid in
+            instance.lookup_by_attr(&side.class, &side.attr, &key_values[side.key_index])
+        {
+            let mut probe_row = base.clone();
+            probe_row.insert(side.var.clone(), Value::Oid(oid.clone()));
+            for (i, scan_key) in scan_keys.iter().enumerate() {
+                if i == side.key_index {
+                    continue;
+                }
+                match eval(scan_key, &probe_row, ctx) {
+                    Ok(value) if value == key_values[i] => {}
+                    Ok(_) | Err(CplError::BadValue(_)) => continue 'candidates,
+                    Err(other) => return Err(other),
+                }
+            }
+            matched.push(oid);
+        }
+    }
+    Ok(matched)
 }
 
 /// Evaluate all keys of one join side against a row; `None` when a missing
@@ -223,6 +373,7 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
                     }
                 }
             }
+            ctx.record_join("NestedLoopJoin", rows.len());
             rows
         }
         Plan::CrossJoin { left, right } => {
@@ -236,6 +387,7 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
                     rows.push(combined);
                 }
             }
+            ctx.record_join("CrossJoin", rows.len());
             rows
         }
         Plan::HashJoin { left, right, keys } => {
@@ -245,11 +397,12 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             // is a single attribute of the scanned object, skip materialising
             // (and hash building over) that side entirely — drive the join
             // from the other side's rows and answer each key with an
-            // attribute-index probe into the source instances.
-            if let Some(side) = indexable_side(left, left_keys.iter().copied()) {
+            // attribute-index probe into the source instances, probing on
+            // the attribute with the smallest expected candidate lists.
+            if let Some(side) = best_indexable_side(left, &left_keys, ctx.sources()) {
                 return probe_join(right, &right_keys, &left_keys, &side, ctx, stats);
             }
-            if let Some(side) = indexable_side(right, right_keys.iter().copied()) {
+            if let Some(side) = best_indexable_side(right, &right_keys, ctx.sources()) {
                 return probe_join(left, &left_keys, &right_keys, &side, ctx, stats);
             }
             let left_rows = run_plan(left, ctx, stats)?;
@@ -274,6 +427,7 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
                     }
                 }
             }
+            ctx.record_join("HashJoin", rows.len());
             rows
         }
         Plan::Distinct { input } => {
@@ -436,9 +590,10 @@ mod tests {
         let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(stats.rows_scanned, 3); // CityE only
-        assert_eq!(stats.index_probes, 3); // one per city row
-                                           // A join whose scan side is keyed by a computed expression falls back
-                                           // to the generic hash join.
+        assert_eq!(stats.index_probes, 2); // one per *distinct* key value
+        assert_eq!(stats.probe_cache_hits, 1); // Manchester reuses the UK probe
+                                               // A join whose scan side is keyed by a computed expression falls back
+                                               // to the generic hash join.
         let mut stats = ExecStats::default();
         let generic = Plan::scan("CityE", "E").hash_join(
             Plan::scan("CountryE", "C"),
@@ -591,6 +746,7 @@ mod tests {
             rows_output: 3,
             objects_written: 4,
             index_probes: 5,
+            probe_cache_hits: 7,
             max_intermediate_rows: 6,
         };
         let b = a;
@@ -598,6 +754,7 @@ mod tests {
         assert_eq!(a.rows_scanned, 2);
         assert_eq!(a.objects_written, 8);
         assert_eq!(a.index_probes, 10);
+        assert_eq!(a.probe_cache_hits, 14);
         // The high-water mark combines by max, not by sum.
         assert_eq!(a.max_intermediate_rows, 6);
     }
@@ -640,6 +797,105 @@ mod tests {
     }
 
     #[test]
+    fn probe_cache_replays_verified_matches_for_repeated_keys() {
+        // Many driving rows sharing one hot key: exactly one index probe,
+        // the rest served from the cache, and the row multiset is identical
+        // to the generic (uncached) hash join.
+        let mut inst = Instance::new("skew");
+        let hub = inst.insert_fresh(
+            &ClassName::new("CloneS"),
+            Value::record([("name", Value::str("hot"))]),
+        );
+        let _ = hub;
+        inst.insert_fresh(
+            &ClassName::new("CloneS"),
+            Value::record([("name", Value::str("cold"))]),
+        );
+        for i in 0..10 {
+            inst.insert_fresh(
+                &ClassName::new("MarkerS"),
+                Value::record([
+                    ("name", Value::str(format!("m{i}"))),
+                    ("clone_name", Value::str(if i < 9 { "hot" } else { "cold" })),
+                ]),
+            );
+        }
+        let refs = [&inst];
+        // The marker side is not a bare scan (a Map sits on it), so the
+        // CloneS scan is the indexable side and the 10 marker rows drive.
+        let probed = Plan::scan("MarkerS", "M").map(vec![]).hash_join(
+            Plan::scan("CloneS", "C"),
+            Expr::var("M").proj("clone_name"),
+            Expr::var("C").proj("name"),
+        );
+        let mut ctx = EvalCtx::new(&refs);
+        let mut stats = ExecStats::default();
+        let mut rows = run_plan(&probed, &mut ctx, &mut stats).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(stats.index_probes, 2); // "hot" once, "cold" once
+        assert_eq!(stats.probe_cache_hits, 8);
+        // Same rows as the generic hash join over pre-materialised sides.
+        let generic = Plan::scan("MarkerS", "M")
+            .map(vec![("K".to_string(), Expr::var("M").proj("clone_name"))])
+            .hash_join(
+                Plan::scan("CloneS", "C").map(vec![("N".to_string(), Expr::var("C").proj("name"))]),
+                Expr::var("K"),
+                Expr::var("N"),
+            );
+        let mut ctx = EvalCtx::new(&refs);
+        let mut generic_stats = ExecStats::default();
+        let mut generic_rows = run_plan(&generic, &mut ctx, &mut generic_stats).unwrap();
+        assert_eq!(generic_stats.index_probes, 0);
+        // Strip the helper bindings before comparing.
+        for row in generic_rows.iter_mut() {
+            row.remove("K");
+            row.remove("N");
+        }
+        rows.sort();
+        generic_rows.sort();
+        assert_eq!(rows, generic_rows);
+    }
+
+    #[test]
+    fn join_trace_records_actual_rows_in_post_order() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        // A hash join (probed) nested under a cross join.
+        let plan = Plan::scan("CityE", "E")
+            .hash_join(
+                Plan::scan("CountryE", "C"),
+                Expr::var("E").path("country.name"),
+                Expr::var("C").proj("name"),
+            )
+            .cross(Plan::scan("CountryE", "D"));
+        let mut ctx = EvalCtx::new(&refs);
+        ctx.enable_join_trace();
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert_eq!(rows.len(), 6);
+        let trace = ctx.take_join_trace();
+        assert_eq!(
+            trace,
+            vec![
+                JoinActual {
+                    kind: "HashJoin",
+                    rows: 3
+                },
+                JoinActual {
+                    kind: "CrossJoin",
+                    rows: 6
+                },
+            ]
+        );
+        // Draining leaves the trace enabled but empty.
+        assert!(ctx.take_join_trace().is_empty());
+        // Without enabling, nothing is recorded.
+        let mut ctx = EvalCtx::new(&refs);
+        let _ = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert!(ctx.take_join_trace().is_empty());
+    }
+
+    #[test]
     fn multi_key_probe_join_verifies_secondary_keys() {
         let inst = euro_instance();
         let refs = [&inst];
@@ -662,7 +918,8 @@ mod tests {
         let mut stats = ExecStats::default();
         let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
         assert_eq!(rows.len(), 3);
-        assert_eq!(stats.index_probes, 3);
+        assert_eq!(stats.index_probes, 2); // London and Manchester share a key
+        assert_eq!(stats.probe_cache_hits, 1);
         // A mismatched secondary key filters every candidate out.
         let plan = Plan::scan("CityE", "E").hash_join_multi(
             Plan::scan("CountryE", "C"),

@@ -140,6 +140,10 @@ pub struct EvalCtx<'a> {
     sources: Vec<&'a Instance>,
     /// Skolem factory shared across the whole query so identities are stable.
     pub factory: SkolemFactory,
+    /// When enabled, the executor records each join operator's actual output
+    /// row count here, in post-order — the same order
+    /// [`crate::optimizer::estimate_join_outputs`] emits estimates in.
+    join_trace: Option<Vec<crate::exec::JoinActual>>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -148,6 +152,7 @@ impl<'a> EvalCtx<'a> {
         EvalCtx {
             sources: sources.to_vec(),
             factory: SkolemFactory::new(),
+            join_trace: None,
         }
     }
 
@@ -159,6 +164,29 @@ impl<'a> EvalCtx<'a> {
     /// The instances visible to this context.
     pub fn sources(&self) -> &[&'a Instance] {
         &self.sources
+    }
+
+    /// Start recording per-join actual output rows (no-op if already on).
+    pub fn enable_join_trace(&mut self) {
+        if self.join_trace.is_none() {
+            self.join_trace = Some(Vec::new());
+        }
+    }
+
+    /// Drain the join records collected so far; recording stays enabled.
+    /// Empty if tracing was never enabled.
+    pub fn take_join_trace(&mut self) -> Vec<crate::exec::JoinActual> {
+        match self.join_trace.as_mut() {
+            Some(trace) => std::mem::take(trace),
+            None => Vec::new(),
+        }
+    }
+
+    /// Record one executed join's actual output (no-op unless tracing).
+    pub(crate) fn record_join(&mut self, kind: &'static str, rows: usize) {
+        if let Some(trace) = self.join_trace.as_mut() {
+            trace.push(crate::exec::JoinActual { kind, rows });
+        }
     }
 }
 

@@ -17,8 +17,11 @@
 //!   instance, merging partial inserts by Skolem key;
 //! * a cost-based join-graph planner ([`optimizer`]): decomposes a compiled
 //!   plan into scans plus a conjunct pool and greedily re-joins the cheapest
-//!   connected pair, fed by extent/ndv statistics over the live instances
-//!   ([`optimizer::Statistics`]); the legacy rule-based rewriter survives as
+//!   connected pair, fed by extent statistics and per-attribute equi-depth
+//!   histograms over the live instances ([`optimizer::Statistics`],
+//!   [`optimizer::CostModel`]) with ndv propagated through join outputs; the
+//!   flat `1/ndv` model remains selectable as the differential baseline, and
+//!   the legacy rule-based rewriter survives as
 //!   [`optimizer::optimize_reference`];
 //! * execution statistics ([`exec::ExecStats`]) used by the benchmark harness.
 
@@ -31,7 +34,10 @@ pub mod plan;
 pub use error::CplError;
 pub use exec::{execute_query, run_plan, ExecStats, Row};
 pub use expr::Expr;
-pub use optimizer::{estimate_rows, optimize, optimize_reference, optimize_with_stats, Statistics};
+pub use optimizer::{
+    estimate_join_outputs, estimate_rows, optimize, optimize_reference, optimize_with_stats,
+    CostModel, JoinEstimate, Statistics,
+};
 pub use plan::{InsertAction, Plan, Query};
 
 /// Crate-wide result alias.

@@ -13,10 +13,15 @@
 //!    become a join edge between the two scans instead of a post-product
 //!    filter.
 //! 3. **Estimate**: per-scan cardinalities come from the live [`Instance`]
-//!    extents via a [`Statistics`] handle; equality selectivities are `1/ndv`
-//!    using the attribute indexes' distinct-value counts
-//!    ([`wol_model::index`]); inequalities and boolean tests use fixed
-//!    heuristics.
+//!    extents via a [`Statistics`] handle. Under the default
+//!    [`CostModel::Histogram`], equality selectivities come from lazy
+//!    per-attribute equi-depth histograms ([`wol_model::histogram`]) — exact
+//!    on skewed value heads, where the uniform model is most wrong — and
+//!    estimated ndv is propagated through join outputs (capped by each
+//!    component's estimated rows). [`CostModel::FlatNdv`] keeps the plain
+//!    `1/ndv` selectivities from the attribute indexes' distinct counts
+//!    ([`wol_model::index`]) as the differential baseline. Inequalities and
+//!    boolean tests use fixed heuristics in both models.
 //! 4. **Greedily join** the cheapest *connected* pair of components next
 //!    (the same greedy selectivity discipline `wol_engine::env::build_plan`
 //!    applies to clause bodies), folding **every** cross-side equality into a
@@ -36,9 +41,11 @@
 //! property-tested against, and the fallback for plan shapes the decomposer
 //! does not understand.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
-use wol_model::{ClassName, Instance};
+use wol_model::{AttrHistogram, ClassName, Instance};
 
 use crate::expr::Expr;
 use crate::plan::Plan;
@@ -57,15 +64,45 @@ const SEL_CMP: f64 = 0.3;
 const SEL_NEQ: f64 = 0.9;
 /// Selectivity of boolean attribute tests, negations, and anything else.
 const SEL_BOOL: f64 = 0.5;
+/// Floor for every estimated selectivity, so a provably-empty histogram
+/// estimate (disjoint domains) still leaves plans comparable instead of
+/// collapsing whole subtrees to an exact zero.
+const SEL_FLOOR: f64 = 1e-9;
+
+/// Which cardinality model the planner estimates with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CostModel {
+    /// The PR-2 baseline: flat `1/ndv` equality selectivities from the
+    /// attribute indexes' distinct counts, no distribution information, no
+    /// propagation of ndv through join outputs. Kept bit-for-bit as the
+    /// differential baseline the histogram model is tested against.
+    FlatNdv,
+    /// Per-attribute equi-depth histograms ([`wol_model::histogram`]):
+    /// equality selectivities come from the actual value distribution (exact
+    /// for the skew head), constant filters use per-value frequencies, and
+    /// estimated ndv is propagated and capped through join outputs.
+    #[default]
+    Histogram,
+}
 
 /// A handle over the live source instances from which the planner reads
-/// extent sizes and per-attribute distinct-value counts. Reading an
+/// extent sizes, per-attribute distinct-value counts, and (under
+/// [`CostModel::Histogram`]) per-attribute equi-depth histograms. Reading an
 /// attribute's statistics builds the same lazy index the executor later
-/// probes, so the work is shared, not duplicated.
+/// probes, so the work is shared, not duplicated; histograms are additionally
+/// memoised here so repeated selectivity questions during planning do not
+/// re-clone them out of the instances.
 #[derive(Clone, Default)]
 pub struct Statistics<'a> {
     sources: Vec<&'a Instance>,
+    cost_model: CostModel,
+    /// Per-`(class, attr)` memo of the sources' histograms (one entry per
+    /// source that carries the attribute at all).
+    histograms: RefCell<HistogramMemo>,
 }
+
+/// The per-`(class, attribute)` histogram memo inside [`Statistics`].
+type HistogramMemo = BTreeMap<(ClassName, String), Rc<Vec<AttrHistogram>>>;
 
 impl std::fmt::Debug for Statistics<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -76,10 +113,12 @@ impl std::fmt::Debug for Statistics<'_> {
 }
 
 impl<'a> Statistics<'a> {
-    /// Statistics over the given source instances.
+    /// Statistics over the given source instances, estimating with the
+    /// default [`CostModel::Histogram`].
     pub fn from_instances(sources: &[&'a Instance]) -> Self {
         Statistics {
             sources: sources.to_vec(),
+            ..Statistics::default()
         }
     }
 
@@ -87,6 +126,17 @@ impl<'a> Statistics<'a> {
     /// defaults. Used for compile-only runs.
     pub fn empty() -> Self {
         Statistics::default()
+    }
+
+    /// Switch the cardinality model (builder style).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// The cardinality model estimates use.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
     }
 
     /// Total extent size of `class` across the sources; `None` when no
@@ -112,6 +162,41 @@ impl<'a> Statistics<'a> {
             .map(|n| n as f64)
             .unwrap_or(DEFAULT_EXTENT)
     }
+
+    /// The sources' equi-depth histograms of `class.attr` (one per source
+    /// that carries the attribute), memoised. Empty when no instances are
+    /// attached or no object carries the attribute.
+    pub fn attr_histograms(&self, class: &ClassName, attr: &str) -> Rc<Vec<AttrHistogram>> {
+        let key = (class.clone(), attr.to_string());
+        if let Some(cached) = self.histograms.borrow().get(&key) {
+            return Rc::clone(cached);
+        }
+        let built: Vec<AttrHistogram> = self
+            .sources
+            .iter()
+            .map(|i| i.attr_histogram(class, attr))
+            .filter(|h| !h.is_empty())
+            .collect();
+        let built = Rc::new(built);
+        self.histograms.borrow_mut().insert(key, Rc::clone(&built));
+        built
+    }
+}
+
+/// Total entries summarised by a set of per-source histograms.
+fn hist_entries(hists: &[AttrHistogram]) -> f64 {
+    hists.iter().map(|h| h.entries() as f64).sum()
+}
+
+/// Estimated `Σ_v count_l(v) · count_r(v)` across all source pairs.
+fn hist_join_rows(left: &[AttrHistogram], right: &[AttrHistogram]) -> f64 {
+    let mut rows = 0.0;
+    for l in left {
+        for r in right {
+            rows += l.eq_join_rows(r);
+        }
+    }
+    rows
 }
 
 // ---------------------------------------------------------------------------
@@ -218,8 +303,10 @@ fn expr_ndv(
     }
 }
 
-/// Heuristic selectivity of one conjunct used as a filter or join predicate.
-fn conjunct_selectivity(
+/// Heuristic selectivity of one conjunct used as a filter or join predicate
+/// under the flat `1/ndv` model (the [`CostModel::FlatNdv`] baseline, kept
+/// exactly as PR 2 shipped it).
+fn conjunct_selectivity_flat(
     conjunct: &Expr,
     var_class: &BTreeMap<String, ClassName>,
     stats: &Statistics<'_>,
@@ -240,9 +327,241 @@ fn conjunct_selectivity(
         Expr::Lt(_, _) | Expr::Leq(_, _) => SEL_CMP,
         Expr::And(es) => es
             .iter()
-            .map(|e| conjunct_selectivity(e, var_class, stats))
+            .map(|e| conjunct_selectivity_flat(e, var_class, stats))
             .product(),
         _ => SEL_BOOL,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram-fed estimation with ndv propagation.
+// ---------------------------------------------------------------------------
+
+/// Key under which per-attribute estimates are propagated: `(var, attr)` for
+/// a single attribute projection off a scan variable, `(var, "")` for the
+/// bare object identity.
+type AttrKey = (String, String);
+
+/// The attr key of an expression, if it has one.
+fn expr_attr_key(expr: &Expr) -> Option<AttrKey> {
+    match expr {
+        Expr::Proj(base, attr) => match base.as_ref() {
+            Expr::Var(v) => Some((v.clone(), attr.clone())),
+            _ => None,
+        },
+        Expr::Var(v) => Some((v.clone(), String::new())),
+        _ => None,
+    }
+}
+
+/// What a sub-plan is estimated to look like: output rows plus the estimated
+/// number of distinct values each attribute still takes *in that output* —
+/// the join-output ndv propagation the flat model lacks (there, only base
+/// scans carry ndv and everything above the leaves guesses).
+#[derive(Clone, Debug, Default)]
+struct CardEst {
+    rows: f64,
+    /// Estimated ndv of attr keys in this output, where it differs from the
+    /// base statistics (joined-on keys, constant-filtered keys). Readers cap
+    /// every lookup at `rows`, so shrinking outputs shrink every ndv.
+    ndvs: BTreeMap<AttrKey, f64>,
+    /// Variables this sub-plan produces (for routing conjunct sides).
+    vars: BTreeSet<String>,
+}
+
+impl CardEst {
+    fn scan(class: &ClassName, var: &str, stats: &Statistics<'_>) -> CardEst {
+        CardEst {
+            rows: stats.extent_estimate(class),
+            ndvs: BTreeMap::new(),
+            vars: BTreeSet::from([var.to_string()]),
+        }
+    }
+
+    /// The base ndv of `key` from the statistics (histogram when built,
+    /// distinct counts otherwise; extent size for bare identities).
+    fn base_ndv(
+        key: &AttrKey,
+        var_class: &BTreeMap<String, ClassName>,
+        stats: &Statistics<'_>,
+    ) -> Option<f64> {
+        let class = var_class.get(&key.0)?;
+        if key.1.is_empty() {
+            return stats.extent_size(class).map(|n| n.max(1) as f64);
+        }
+        stats.ndv(class, &key.1).map(|n| n.max(1) as f64)
+    }
+
+    /// The estimated ndv of `key` in this output: the propagated value if
+    /// one is recorded, the base statistic otherwise, always capped at the
+    /// output row count.
+    fn effective_ndv(
+        &self,
+        key: &AttrKey,
+        var_class: &BTreeMap<String, ClassName>,
+        stats: &Statistics<'_>,
+    ) -> Option<f64> {
+        let base = CardEst::base_ndv(key, var_class, stats);
+        let stored = self.ndvs.get(key).copied().or(base)?;
+        Some(stored.min(self.rows.max(1.0)).max(1.0))
+    }
+
+    /// Merge another side's estimate into this one after a join producing
+    /// `rows` rows.
+    fn absorb_join(&mut self, other: CardEst, rows: f64) {
+        self.rows = rows;
+        self.vars.extend(other.vars);
+        self.apply_updates(other.ndvs);
+    }
+
+    /// Fold propagated-ndv updates into this estimate, keeping the tightest
+    /// (smallest) value per key. Every selectivity pass reports its updates
+    /// through here, so the merge rule lives in exactly one place.
+    fn apply_updates(&mut self, updates: impl IntoIterator<Item = (AttrKey, f64)>) {
+        for (key, ndv) in updates {
+            self.ndvs
+                .entry(key)
+                .and_modify(|existing| *existing = existing.min(ndv))
+                .or_insert(ndv);
+        }
+    }
+}
+
+/// The estimator: variable→class mapping plus the statistics handle. All
+/// histogram-model selectivity logic lives here; the flat model bypasses it.
+struct Estimator<'a, 'b> {
+    var_class: &'b BTreeMap<String, ClassName>,
+    stats: &'b Statistics<'a>,
+}
+
+impl Estimator<'_, '_> {
+    fn histogram_model(&self) -> bool {
+        self.stats.cost_model() == CostModel::Histogram
+    }
+
+    /// The per-source histograms behind an attr-key expression (only for
+    /// genuine attribute projections — bare identities are uniform by
+    /// construction, which the ndv path already models exactly).
+    fn histograms_of(&self, expr: &Expr) -> Option<Rc<Vec<AttrHistogram>>> {
+        let (var, attr) = expr_attr_key(expr)?;
+        if attr.is_empty() {
+            return None;
+        }
+        let class = self.var_class.get(&var)?;
+        let hists = self.stats.attr_histograms(class, &attr);
+        if hists.is_empty() {
+            None
+        } else {
+            Some(hists)
+        }
+    }
+
+    /// Selectivity of an equality conjunct, given the (optional) estimates
+    /// of the side(s) its expressions range over. Returns the selectivity
+    /// and records propagated-ndv updates for the joined output into `out`.
+    fn eq_selectivity(
+        &self,
+        a: &Expr,
+        b: &Expr,
+        sides: &[&CardEst],
+        out: &mut Vec<(AttrKey, f64)>,
+    ) -> f64 {
+        let side_of = |e: &Expr| -> Option<&CardEst> {
+            let vars = e.var_set();
+            if vars.is_empty() {
+                return None;
+            }
+            sides
+                .iter()
+                .find(|s| vars.iter().all(|v| s.vars.contains(v)))
+                .copied()
+        };
+        let eff_ndv = |e: &Expr| -> Option<f64> {
+            let key = expr_attr_key(e)?;
+            match side_of(e) {
+                Some(side) => side.effective_ndv(&key, self.var_class, self.stats),
+                None => CardEst::base_ndv(&key, self.var_class, self.stats),
+            }
+        };
+
+        // Constant filter: `attr = const` answered from the histogram's
+        // per-value frequency — exact for the skew head. The attribute is
+        // pinned to one value afterwards.
+        for (e, other) in [(a, b), (b, a)] {
+            if let (Expr::Const(value), Some(hists)) = (other, self.histograms_of(e)) {
+                let entries = hist_entries(&hists);
+                if entries > 0.0 {
+                    let matching: f64 = hists.iter().map(|h| h.eq_count(value)).sum();
+                    if let Some(key) = expr_attr_key(e) {
+                        out.push((key, 1.0));
+                    }
+                    return (matching / entries).clamp(SEL_FLOOR, 1.0);
+                }
+            }
+        }
+
+        // Attribute-to-attribute equality: join the two distributions.
+        if let (Some(hl), Some(hr)) = (self.histograms_of(a), self.histograms_of(b)) {
+            let (nl, nr) = (hist_entries(&hl), hist_entries(&hr));
+            if nl > 0.0 && nr > 0.0 {
+                let rows = hist_join_rows(&hl, &hr);
+                let sel = (rows / (nl * nr)).clamp(SEL_FLOOR, 1.0);
+                if let (Some(ka), Some(kb), Some(na), Some(nb)) =
+                    (expr_attr_key(a), expr_attr_key(b), eff_ndv(a), eff_ndv(b))
+                {
+                    let joint = na.min(nb);
+                    out.push((ka, joint));
+                    out.push((kb, joint));
+                }
+                return sel;
+            }
+        }
+
+        // No usable histogram (identity joins, computed keys): uniform over
+        // the *effective* (propagated, output-capped) distinct counts.
+        let ndv = match (eff_ndv(a), eff_ndv(b)) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (Some(x), None) | (None, Some(x)) => Some(x),
+            (None, None) => None,
+        };
+        match ndv {
+            Some(n) => {
+                if let (Some(ka), Some(kb), Some(na), Some(nb)) =
+                    (expr_attr_key(a), expr_attr_key(b), eff_ndv(a), eff_ndv(b))
+                {
+                    let joint = na.min(nb);
+                    out.push((ka, joint));
+                    out.push((kb, joint));
+                }
+                (1.0 / n.max(1.0)).clamp(SEL_FLOOR, 1.0)
+            }
+            None => SEL_EQ_DEFAULT,
+        }
+    }
+
+    /// Selectivity of an arbitrary conjunct against the given side
+    /// estimates, recording ndv propagation updates into `out`. Falls back
+    /// to the flat model entirely when the statistics run in
+    /// [`CostModel::FlatNdv`].
+    fn conjunct_selectivity(
+        &self,
+        conjunct: &Expr,
+        sides: &[&CardEst],
+        out: &mut Vec<(AttrKey, f64)>,
+    ) -> f64 {
+        if !self.histogram_model() {
+            return conjunct_selectivity_flat(conjunct, self.var_class, self.stats);
+        }
+        match conjunct {
+            Expr::Eq(a, b) => self.eq_selectivity(a, b, sides, out),
+            Expr::Neq(_, _) => SEL_NEQ,
+            Expr::Lt(_, _) | Expr::Leq(_, _) => SEL_CMP,
+            Expr::And(es) => es
+                .iter()
+                .map(|e| self.conjunct_selectivity(e, sides, out))
+                .product(),
+            _ => SEL_BOOL,
+        }
     }
 }
 
@@ -264,55 +583,145 @@ fn collect_scan_classes(plan: &Plan, out: &mut BTreeMap<String, ClassName>) {
     }
 }
 
+/// One join operator's estimated output, in the executor's evaluation order
+/// (post-order over the plan tree). Paired with the actual per-join row
+/// counts the executor traces, so estimate-vs-actual error is visible per
+/// join in reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinEstimate {
+    /// Operator kind (`HashJoin`, `NestedLoopJoin`, `CrossJoin`).
+    pub kind: &'static str,
+    /// Estimated output rows of the join.
+    pub rows: f64,
+}
+
+/// Bottom-up cardinality estimation of a plan, propagating both row counts
+/// and per-attribute ndv through joins. When `joins` is given, every join
+/// operator pushes its estimate in post-order — the exact order the executor
+/// records actual join outputs in.
+fn estimate_plan(
+    plan: &Plan,
+    est: &Estimator<'_, '_>,
+    joins: Option<&mut Vec<JoinEstimate>>,
+) -> CardEst {
+    fn go(
+        plan: &Plan,
+        est: &Estimator<'_, '_>,
+        joins: &mut Option<&mut Vec<JoinEstimate>>,
+    ) -> CardEst {
+        match plan {
+            Plan::Scan { class, var } => CardEst::scan(class, var, est.stats),
+            Plan::Filter { input, predicate } => {
+                let mut card = go(input, est, joins);
+                let mut updates = Vec::new();
+                let sel = est.conjunct_selectivity(predicate, &[&card], &mut updates);
+                card.rows *= sel;
+                card.apply_updates(updates);
+                card
+            }
+            Plan::Map { input, bindings } => {
+                let mut card = go(input, est, joins);
+                card.vars.extend(bindings.iter().map(|(v, _)| v.clone()));
+                card
+            }
+            Plan::Distinct { input } => go(input, est, joins),
+            Plan::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                let mut l = go(left, est, joins);
+                let r = go(right, est, joins);
+                let mut rows = l.rows * r.rows;
+                let mut updates = Vec::new();
+                if let Some(p) = predicate {
+                    rows *= est.conjunct_selectivity(p, &[&l, &r], &mut updates);
+                }
+                l.absorb_join(r, rows);
+                l.apply_updates(updates);
+                if let Some(sink) = joins.as_deref_mut() {
+                    sink.push(JoinEstimate {
+                        kind: "NestedLoopJoin",
+                        rows: l.rows,
+                    });
+                }
+                l
+            }
+            Plan::CrossJoin { left, right } => {
+                let mut l = go(left, est, joins);
+                let r = go(right, est, joins);
+                let rows = l.rows * r.rows;
+                l.absorb_join(r, rows);
+                if let Some(sink) = joins.as_deref_mut() {
+                    sink.push(JoinEstimate {
+                        kind: "CrossJoin",
+                        rows: l.rows,
+                    });
+                }
+                l
+            }
+            Plan::HashJoin { left, right, keys } => {
+                let mut l = go(left, est, joins);
+                let r = go(right, est, joins);
+                let mut rows = l.rows * r.rows;
+                let mut updates = Vec::new();
+                for (lk, rk) in keys {
+                    let eq = Expr::Eq(Box::new(lk.clone()), Box::new(rk.clone()));
+                    rows *= est.conjunct_selectivity(&eq, &[&l, &r], &mut updates);
+                }
+                l.absorb_join(r, rows);
+                l.apply_updates(updates);
+                if let Some(sink) = joins.as_deref_mut() {
+                    sink.push(JoinEstimate {
+                        kind: "HashJoin",
+                        rows: l.rows,
+                    });
+                }
+                l
+            }
+        }
+    }
+    let mut joins = joins;
+    go(plan, est, &mut joins)
+}
+
 /// Estimate the number of rows a plan produces, using the same cardinality
 /// model the planner plans with. Reported by the Morphase pipeline next to
 /// the actual row counts.
 pub fn estimate_rows(plan: &Plan, stats: &Statistics<'_>) -> f64 {
     let mut var_class = BTreeMap::new();
     collect_scan_classes(plan, &mut var_class);
-    fn go(plan: &Plan, var_class: &BTreeMap<String, ClassName>, stats: &Statistics<'_>) -> f64 {
-        match plan {
-            Plan::Scan { class, .. } => stats.extent_estimate(class),
-            Plan::Filter { input, predicate } => {
-                go(input, var_class, stats) * conjunct_selectivity(predicate, var_class, stats)
-            }
-            Plan::Map { input, .. } | Plan::Distinct { input } => go(input, var_class, stats),
-            Plan::NestedLoopJoin {
-                left,
-                right,
-                predicate,
-            } => {
-                let cross = go(left, var_class, stats) * go(right, var_class, stats);
-                match predicate {
-                    Some(p) => cross * conjunct_selectivity(p, var_class, stats),
-                    None => cross,
-                }
-            }
-            Plan::CrossJoin { left, right } => {
-                go(left, var_class, stats) * go(right, var_class, stats)
-            }
-            Plan::HashJoin { left, right, keys } => {
-                let mut est = go(left, var_class, stats) * go(right, var_class, stats);
-                for (l, r) in keys {
-                    let eq = Expr::Eq(Box::new(l.clone()), Box::new(r.clone()));
-                    est *= conjunct_selectivity(&eq, var_class, stats);
-                }
-                est
-            }
-        }
-    }
-    go(plan, &var_class, stats)
+    let est = Estimator {
+        var_class: &var_class,
+        stats,
+    };
+    estimate_plan(plan, &est, None).rows
+}
+
+/// Per-join output estimates of a plan, in executor post-order — pair these
+/// with the executor's join trace ([`crate::expr::EvalCtx::enable_join_trace`])
+/// to report estimate-vs-actual error per join.
+pub fn estimate_join_outputs(plan: &Plan, stats: &Statistics<'_>) -> Vec<JoinEstimate> {
+    let mut var_class = BTreeMap::new();
+    collect_scan_classes(plan, &mut var_class);
+    let est = Estimator {
+        var_class: &var_class,
+        stats,
+    };
+    let mut joins = Vec::new();
+    estimate_plan(plan, &est, Some(&mut joins));
+    joins
 }
 
 // ---------------------------------------------------------------------------
 // The planner.
 // ---------------------------------------------------------------------------
 
-/// A partially built sub-plan during greedy join ordering.
+/// A partially built sub-plan during greedy join ordering: its plan and the
+/// cardinality estimate (rows + propagated per-attribute ndv + variables).
 struct Component {
     plan: Plan,
-    vars: BTreeSet<String>,
-    est: f64,
+    card: CardEst,
 }
 
 impl Component {
@@ -375,11 +784,15 @@ fn plan_pool(pool: Pool, stats: &Statistics<'_>) -> Plan {
         .iter()
         .map(|(class, var)| (var.clone(), class.clone()))
         .collect();
+    let estimator = Estimator {
+        var_class: &var_class,
+        stats,
+    };
 
     // One component per scan, with its single-variable conjuncts pushed down.
     let mut components: Vec<Component> = Vec::new();
     for (class, var) in &pool.scans {
-        let mut est = stats.extent_estimate(class);
+        let mut card = CardEst::scan(class, var, stats);
         let mut plan = Plan::scan(class.clone(), var.clone());
         for (i, conjunct) in conjuncts.iter().enumerate() {
             if used[i] {
@@ -387,45 +800,52 @@ fn plan_pool(pool: Pool, stats: &Statistics<'_>) -> Plan {
             }
             let vars = conjunct.var_set();
             if !vars.is_empty() && vars.iter().all(|v| v == var) {
-                est *= conjunct_selectivity(conjunct, &var_class, stats);
+                let mut updates = Vec::new();
+                card.rows *= estimator.conjunct_selectivity(conjunct, &[&card], &mut updates);
+                card.apply_updates(updates);
                 plan = plan.filter(conjunct.clone());
                 used[i] = true;
             }
         }
-        components.push(Component {
-            plan,
-            vars: BTreeSet::from([var.clone()]),
-            est,
-        });
+        components.push(Component { plan, card });
     }
 
     // Greedy join loop: always join the cheapest connected pair next; fall
     // back to an explicit cross join of the two smallest components only
     // when nothing connects what remains.
     while components.len() > 1 {
-        let mut best: Option<(f64, usize, usize, Vec<usize>)> = None;
+        /// The best pair found so far: estimated output rows, the two
+        /// component positions, the applicable conjunct indexes, and the
+        /// ndv-propagation updates the winning estimate produced.
+        type BestPair = (f64, usize, usize, Vec<usize>, Vec<(AttrKey, f64)>);
+        let mut best: Option<BestPair> = None;
         for i in 0..components.len() {
             for j in (i + 1)..components.len() {
                 let applicable = applicable_conjuncts(
                     &conjuncts,
                     &used,
-                    &components[i].vars,
-                    &components[j].vars,
+                    &components[i].card.vars,
+                    &components[j].card.vars,
                 );
                 if applicable.is_empty() {
                     continue;
                 }
-                let mut est = components[i].est * components[j].est;
+                let mut est = components[i].card.rows * components[j].card.rows;
+                let mut updates = Vec::new();
                 for &k in &applicable {
-                    est *= conjunct_selectivity(&conjuncts[k], &var_class, stats);
+                    est *= estimator.conjunct_selectivity(
+                        &conjuncts[k],
+                        &[&components[i].card, &components[j].card],
+                        &mut updates,
+                    );
                 }
                 if best.as_ref().is_none_or(|(cost, ..)| est < *cost) {
-                    best = Some((est, i, j, applicable));
+                    best = Some((est, i, j, applicable, updates));
                 }
             }
         }
         match best {
-            Some((est, i, j, applicable)) => {
+            Some((est, i, j, applicable, updates)) => {
                 let right = components.remove(j);
                 let left = components.remove(i);
                 let picked: Vec<Expr> = applicable
@@ -435,20 +855,21 @@ fn plan_pool(pool: Pool, stats: &Statistics<'_>) -> Plan {
                         conjuncts[k].clone()
                     })
                     .collect();
-                components.insert(i, join_components(left, right, picked, est));
+                components.insert(i, join_components(left, right, picked, est, updates));
             }
             None => {
                 // Genuinely disconnected: cross-join the two smallest.
                 let (i, j) = two_smallest(&components);
                 let right = components.remove(j);
                 let left = components.remove(i);
-                let est = left.est * right.est;
+                let est = left.card.rows * right.card.rows;
+                let mut card = left.card;
+                card.absorb_join(right.card, est);
                 components.insert(
                     i,
                     Component {
-                        vars: left.vars.union(&right.vars).cloned().collect(),
                         plan: left.plan.cross(right.plan),
-                        est,
+                        card,
                     },
                 );
             }
@@ -506,8 +927,9 @@ fn two_smallest(components: &[Component]) -> (usize, usize) {
     let mut order: Vec<usize> = (0..components.len()).collect();
     order.sort_by(|&a, &b| {
         components[a]
-            .est
-            .partial_cmp(&components[b].est)
+            .card
+            .rows
+            .partial_cmp(&components[b].card.rows)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
@@ -518,7 +940,15 @@ fn two_smallest(components: &[Component]) -> (usize, usize) {
 /// Join two components with the given conjuncts: every cross-side equality
 /// becomes part of the composite hash key, the rest stays as a residual
 /// filter; sides are oriented so the executor's index fast path can fire.
-fn join_components(left: Component, right: Component, conjs: Vec<Expr>, est: f64) -> Component {
+/// `updates` carries the joined output's propagated ndv entries, computed by
+/// the same selectivity pass that produced `est`.
+fn join_components(
+    left: Component,
+    right: Component,
+    conjs: Vec<Expr>,
+    est: f64,
+    updates: Vec<(AttrKey, f64)>,
+) -> Component {
     let mut keys: Vec<(Expr, Expr)> = Vec::new();
     let mut residual: Vec<Expr> = Vec::new();
     for conjunct in conjs {
@@ -526,10 +956,10 @@ fn join_components(left: Component, right: Component, conjs: Vec<Expr>, est: f64
             let a_vars = a.var_set();
             let b_vars = b.var_set();
             if !a_vars.is_empty() && !b_vars.is_empty() {
-                let a_left = a_vars.iter().all(|v| left.vars.contains(v));
-                let a_right = a_vars.iter().all(|v| right.vars.contains(v));
-                let b_left = b_vars.iter().all(|v| left.vars.contains(v));
-                let b_right = b_vars.iter().all(|v| right.vars.contains(v));
+                let a_left = a_vars.iter().all(|v| left.card.vars.contains(v));
+                let a_right = a_vars.iter().all(|v| right.card.vars.contains(v));
+                let b_left = b_vars.iter().all(|v| left.card.vars.contains(v));
+                let b_right = b_vars.iter().all(|v| right.card.vars.contains(v));
                 if a_left && b_right {
                     keys.push(((**a).clone(), (**b).clone()));
                     continue;
@@ -542,28 +972,32 @@ fn join_components(left: Component, right: Component, conjs: Vec<Expr>, est: f64
         }
         residual.push(conjunct);
     }
-    let vars: BTreeSet<String> = left.vars.union(&right.vars).cloned().collect();
+    let left_rows = left.card.rows;
+    let right_rows = right.card.rows;
+    let left_indexable = left.indexable(keys.iter().map(|(l, _)| l));
+    let right_indexable = right.indexable(keys.iter().map(|(_, r)| r));
+    let mut card = left.card;
+    card.absorb_join(right.card, est);
+    card.apply_updates(updates);
     let mut plan = if keys.is_empty() {
         // Connected only by non-equality conjuncts: a predicated nested loop.
-        let (outer, inner) = if left.est <= right.est {
+        let (outer, inner) = if left_rows <= right_rows {
             (left.plan, right.plan)
         } else {
             (right.plan, left.plan)
         };
         let plan = outer.join(inner, conjunction(std::mem::take(&mut residual)));
-        return Component { plan, vars, est };
+        return Component { plan, card };
     } else {
         // Orient the hash join: a bare indexable scan goes where the executor
         // probes it through the attribute index (preferring to probe the
         // larger side — the driving side is materialised in full); otherwise
         // build the hash table over the smaller side.
-        let left_indexable = left.indexable(keys.iter().map(|(l, _)| l));
-        let right_indexable = right.indexable(keys.iter().map(|(_, r)| r));
         let swap = match (left_indexable, right_indexable) {
             (true, false) => false,
             (false, true) => true,
-            (true, true) => left.est < right.est,
-            (false, false) => left.est > right.est,
+            (true, true) => left_rows < right_rows,
+            (false, false) => left_rows > right_rows,
         };
         let (build, probe) = if swap {
             keys = keys.into_iter().map(|(l, r)| (r, l)).collect();
@@ -576,7 +1010,7 @@ fn join_components(left: Component, right: Component, conjs: Vec<Expr>, est: f64
     if let Some(residual_pred) = conjunction(residual) {
         plan = plan.filter(residual_pred);
     }
-    Component { plan, vars, est }
+    Component { plan, card }
 }
 
 // ---------------------------------------------------------------------------
@@ -1083,6 +1517,127 @@ mod tests {
         let empty = Statistics::empty();
         assert_eq!(empty.extent_size(&ClassName::new("CityE")), None);
         assert_eq!(empty.ndv(&ClassName::new("CityE"), "name"), None);
+    }
+
+    /// A small skewed instance: class `A` and class `B` both carry a `k`
+    /// attribute where one hot value dominates.
+    fn skewed_instance() -> Instance {
+        let mut inst = Instance::new("skew");
+        for i in 0..60 {
+            let k = if i < 40 {
+                "hot".to_string()
+            } else {
+                format!("a{i}")
+            };
+            inst.insert_fresh(
+                &ClassName::new("A"),
+                Value::record([("name", Value::str(format!("A{i}"))), ("k", Value::str(k))]),
+            );
+        }
+        for i in 0..30 {
+            let k = if i < 20 {
+                "hot".to_string()
+            } else {
+                format!("a{}", i + 40)
+            };
+            inst.insert_fresh(
+                &ClassName::new("B"),
+                Value::record([("name", Value::str(format!("B{i}"))), ("k", Value::str(k))]),
+            );
+        }
+        inst
+    }
+
+    #[test]
+    fn cost_model_is_a_statistics_builder_knob() {
+        let inst = instance();
+        let refs = [&inst];
+        let stats = Statistics::from_instances(&refs);
+        assert_eq!(stats.cost_model(), CostModel::Histogram);
+        let flat = stats.clone().with_cost_model(CostModel::FlatNdv);
+        assert_eq!(flat.cost_model(), CostModel::FlatNdv);
+        // Histograms are memoised per (class, attr): the second request
+        // returns the same shared vector.
+        let a = stats.attr_histograms(&ClassName::new("CityE"), "name");
+        let b = stats.attr_histograms(&ClassName::new("CityE"), "name");
+        assert!(std::rc::Rc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 1);
+        // Empty statistics expose no histograms.
+        assert!(Statistics::empty()
+            .attr_histograms(&ClassName::new("CityE"), "name")
+            .is_empty());
+    }
+
+    #[test]
+    fn histogram_model_sees_skew_the_flat_model_misses() {
+        let inst = skewed_instance();
+        let refs = [&inst];
+        let hist = Statistics::from_instances(&refs);
+        let flat = Statistics::from_instances(&refs).with_cost_model(CostModel::FlatNdv);
+        let join = Plan::scan("A", "X").hash_join(
+            Plan::scan("B", "Y"),
+            Expr::var("X").proj("k"),
+            Expr::var("Y").proj("k"),
+        );
+        // True join size: 40*20 (hot) + ~0 tail = 800. The flat model
+        // guesses |A|*|B|/ndv = 60*30/21 ~ 86.
+        let hist_est = estimate_rows(&join, &hist);
+        let flat_est = estimate_rows(&join, &flat);
+        assert!(
+            (hist_est - 800.0).abs() < 80.0,
+            "histogram estimate {hist_est} strays from ~800"
+        );
+        assert!(
+            flat_est < 150.0,
+            "flat estimate {flat_est} unexpectedly saw the skew"
+        );
+
+        // Constant filters on the hot value are exact under the histogram
+        // model, and flat-uniform under the flat model.
+        let filter = Plan::scan("A", "X")
+            .filter(Expr::var("X").proj("k").eq(Expr::Const(Value::str("hot"))));
+        let hist_filter = estimate_rows(&filter, &hist);
+        let flat_filter = estimate_rows(&filter, &flat);
+        assert_eq!(hist_filter, 40.0);
+        assert!(flat_filter < 5.0);
+        // A value outside the domain estimates to (almost) nothing.
+        let miss = Plan::scan("A", "X").filter(
+            Expr::var("X")
+                .proj("k")
+                .eq(Expr::Const(Value::str("nonexistent"))),
+        );
+        assert!(estimate_rows(&miss, &hist) < 1.0);
+    }
+
+    #[test]
+    fn estimate_join_outputs_walks_joins_in_executor_post_order() {
+        let inst = instance();
+        let refs = [&inst];
+        let stats = Statistics::from_instances(&refs);
+        let plan = Plan::scan("CityE", "E")
+            .hash_join(
+                Plan::scan("CountryE", "C"),
+                Expr::var("E").path("country.name"),
+                Expr::var("C").proj("name"),
+            )
+            .cross(Plan::scan("CountryE", "D"));
+        let estimates = estimate_join_outputs(&plan, &stats);
+        assert_eq!(estimates.len(), 2);
+        assert_eq!(estimates[0].kind, "HashJoin");
+        assert_eq!(estimates[1].kind, "CrossJoin");
+        // The cross join's estimate is the hash join's times the extent.
+        assert!((estimates[1].rows - estimates[0].rows * 2.0).abs() < 1e-9);
+        // The executor's trace has the same shape in the same order.
+        let mut ctx = crate::expr::EvalCtx::new(&refs);
+        ctx.enable_join_trace();
+        let mut exec_stats = ExecStats::default();
+        run_plan(&plan, &mut ctx, &mut exec_stats).unwrap();
+        let trace = ctx.take_join_trace();
+        assert_eq!(trace.len(), estimates.len());
+        assert!(trace
+            .iter()
+            .zip(&estimates)
+            .all(|(actual, est)| actual.kind == est.kind));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod report;
 pub use compile::{compile_program, compile_program_with, PlanMode};
 pub use error::MorphaseError;
 pub use metadata::generate_key_clauses;
-pub use pipeline::{Morphase, MorphaseRun, PipelineOptions, StageTimings};
+pub use pipeline::{JoinStat, Morphase, MorphaseRun, PipelineOptions, StageTimings};
 pub use report::render_report;
 
 /// Crate-wide result alias.

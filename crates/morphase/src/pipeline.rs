@@ -26,6 +26,11 @@ pub struct PipelineOptions {
     pub generate_metadata_constraints: bool,
     /// Run the CPL plan optimiser on compiled plans.
     pub optimize_plans: bool,
+    /// Cardinality model the planner estimates with: histogram-backed (the
+    /// default) or the flat `1/ndv` baseline. The flat model is kept
+    /// selectable so skew regressions can be measured differentially (the E7
+    /// tests and bench run both over identical sources).
+    pub cost_model: cpl::CostModel,
     /// Validate the produced target against the target schema and keys.
     pub verify_target: bool,
     /// Check the source constraints against the source instances before
@@ -40,6 +45,7 @@ impl Default for PipelineOptions {
             use_source_constraints: true,
             generate_metadata_constraints: true,
             optimize_plans: true,
+            cost_model: cpl::CostModel::default(),
             verify_target: true,
             check_source_constraints: false,
         }
@@ -78,6 +84,33 @@ impl StageTimings {
     }
 }
 
+/// Estimated vs actual output rows of one join operator in one compiled
+/// query, paired up from the planner's post-order estimates
+/// ([`cpl::estimate_join_outputs`]) and the executor's join trace. The error
+/// ratio these carry is the direct measure of estimate quality the histogram
+/// work targets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinStat {
+    /// Name of the query (normal clause) the join belongs to.
+    pub query: String,
+    /// Join operator kind (`HashJoin`, `NestedLoopJoin`, `CrossJoin`).
+    pub kind: String,
+    /// The planner's estimated output rows.
+    pub estimated: u64,
+    /// The rows the join actually produced.
+    pub actual: u64,
+}
+
+impl JoinStat {
+    /// How far off the estimate was, as a symmetric `>= 1` factor (both
+    /// sides clamped to one row so empty joins stay finite).
+    pub fn error_ratio(&self) -> f64 {
+        let est = self.estimated.max(1) as f64;
+        let act = self.actual.max(1) as f64;
+        est.max(act) / est.min(act)
+    }
+}
+
 /// The result of a Morphase run.
 #[derive(Clone, Debug)]
 pub struct MorphaseRun {
@@ -101,6 +134,9 @@ pub struct MorphaseRun {
     /// same cardinality model the join ordering used). Compared against
     /// `exec.rows_output` in reports.
     pub estimated_rows: Vec<u64>,
+    /// Estimated vs actual rows per executed join operator (empty for
+    /// compile-only runs). Reports print these with their error ratios.
+    pub join_stats: Vec<JoinStat>,
 }
 
 /// The Morphase system: a configured pipeline.
@@ -202,11 +238,13 @@ impl Morphase {
         let normal = wol_engine::normalize(&augmented, &normalize_options)?;
         timings.normalize = start.elapsed();
 
-        // Stage 4: translation to CPL. The planner is fed extent and
-        // distinct-value statistics read from the live source instances, so
-        // join orders reflect the data actually being transformed.
+        // Stage 4: translation to CPL. The planner is fed extent,
+        // distinct-value and histogram statistics read from the live source
+        // instances, so join orders reflect the data actually being
+        // transformed — including its skew, under the default histogram
+        // cost model.
         let start = Instant::now();
-        let stats = cpl::Statistics::from_instances(sources);
+        let stats = cpl::Statistics::from_instances(sources).with_cost_model(options.cost_model);
         let mode = if options.optimize_plans {
             PlanMode::PlannerWithStats(&stats)
         } else {
@@ -218,16 +256,34 @@ impl Morphase {
             .iter()
             .map(|q| cpl::estimate_rows(&q.plan, &stats).round() as u64)
             .collect();
+        // Per-join estimates are pure planner work over the compiled plans;
+        // computing them here keeps the execute timing below honest.
+        let join_estimates: Vec<Vec<cpl::JoinEstimate>> = queries
+            .iter()
+            .map(|q| cpl::estimate_join_outputs(&q.plan, &stats))
+            .collect();
         timings.compile = start.elapsed();
 
-        // Stage 5: execution.
+        // Stage 5: execution, with per-join actual row counts traced so the
+        // run can report estimate-vs-actual error per join.
         let mut exec = ExecStats::default();
+        let mut join_stats = Vec::new();
         let mut target = Instance::new(augmented.target.schema.name());
         if execute {
             let start = Instant::now();
             let mut ctx = EvalCtx::new(sources);
-            for query in &queries {
+            ctx.enable_join_trace();
+            for (query, estimates) in queries.iter().zip(&join_estimates) {
                 execute_query(query, &mut ctx, &mut target, &mut exec)?;
+                let actuals = ctx.take_join_trace();
+                join_stats.extend(estimates.iter().zip(actuals.iter()).map(|(est, act)| {
+                    JoinStat {
+                        query: query.name.clone(),
+                        kind: act.kind.to_string(),
+                        estimated: est.rows.round() as u64,
+                        actual: act.rows as u64,
+                    }
+                }));
             }
             timings.execute = start.elapsed();
 
@@ -272,6 +328,7 @@ impl Morphase {
             exec,
             plans,
             estimated_rows,
+            join_stats,
         })
     }
 }

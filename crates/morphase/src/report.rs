@@ -59,6 +59,20 @@ pub fn render_report(run: &MorphaseRun) -> String {
         "planner estimate: {} output rows (actual {})",
         estimated, run.exec.rows_output
     );
+    if !run.join_stats.is_empty() {
+        let _ = writeln!(out, "join estimates (estimated -> actual rows):");
+        for join in &run.join_stats {
+            let _ = writeln!(
+                out,
+                "  [{}] {}: est {} actual {} (error {:.1}x)",
+                join.query,
+                join.kind,
+                join.estimated,
+                join.actual,
+                join.error_ratio()
+            );
+        }
+    }
     let _ = writeln!(out, "target: {} objects", run.target.len());
     out
 }
@@ -66,7 +80,7 @@ pub fn render_report(run: &MorphaseRun) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::Morphase;
+    use crate::pipeline::{JoinStat, Morphase};
     use workloads::cities::{generate_euro, CitiesWorkload};
 
     #[test]
@@ -84,5 +98,63 @@ mod tests {
         assert!(report.contains("objects written"));
         assert!(report.contains("max_intermediate_rows"));
         assert!(report.contains("planner estimate:"));
+    }
+
+    /// Pins the per-join estimate-vs-actual report format, so regressions in
+    /// estimate quality stay visible in test output (and log scrapers keep
+    /// working). The exact line shape is part of the contract.
+    #[test]
+    fn report_pins_the_join_estimate_format() {
+        let w = CitiesWorkload::new();
+        let source = generate_euro(2, 2, 1);
+        let mut run = Morphase::new()
+            .transform(&w.euro_program(), &[&source][..])
+            .unwrap();
+        // A real execution traced at least one join with a sane estimate.
+        assert!(!run.join_stats.is_empty(), "no joins were traced");
+        // Pin the exact rendering on fixed values.
+        run.join_stats = vec![
+            JoinStat {
+                query: "T2".to_string(),
+                kind: "HashJoin".to_string(),
+                estimated: 10,
+                actual: 40,
+            },
+            JoinStat {
+                query: "T3".to_string(),
+                kind: "NestedLoopJoin".to_string(),
+                estimated: 7,
+                actual: 7,
+            },
+        ];
+        let report = render_report(&run);
+        assert!(report.contains("join estimates (estimated -> actual rows):"));
+        assert!(report.contains("  [T2] HashJoin: est 10 actual 40 (error 4.0x)"));
+        assert!(report.contains("  [T3] NestedLoopJoin: est 7 actual 7 (error 1.0x)"));
+    }
+
+    #[test]
+    fn join_stat_error_ratio_is_symmetric_and_clamped() {
+        let over = JoinStat {
+            query: "q".into(),
+            kind: "HashJoin".into(),
+            estimated: 100,
+            actual: 25,
+        };
+        let under = JoinStat {
+            query: "q".into(),
+            kind: "HashJoin".into(),
+            estimated: 25,
+            actual: 100,
+        };
+        assert_eq!(over.error_ratio(), 4.0);
+        assert_eq!(under.error_ratio(), 4.0);
+        let empty = JoinStat {
+            query: "q".into(),
+            kind: "HashJoin".into(),
+            estimated: 0,
+            actual: 0,
+        };
+        assert_eq!(empty.error_ratio(), 1.0);
     }
 }

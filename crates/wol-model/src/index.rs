@@ -30,6 +30,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 
+use crate::histogram::AttrHistogram;
 use crate::oid::Oid;
 use crate::types::{ClassName, Label};
 use crate::values::Value;
@@ -81,12 +82,16 @@ impl AttrIndex {
     }
 }
 
-/// The per-instance cache of attribute indexes, keyed by class and attribute
-/// label. The nesting (class, then label) lets probes — the hot path — look
-/// up with borrowed keys, allocation-free.
+/// The per-instance cache of attribute indexes **and histograms**, keyed by
+/// class and attribute label. The nesting (class, then label) lets probes —
+/// the hot path — look up with borrowed keys, allocation-free. Histograms
+/// ride in the same cache so one `invalidate_class` drops both: a mutation
+/// can never leave a stale histogram behind an up-to-date index or vice
+/// versa.
 #[derive(Debug, Default)]
 pub struct IndexCache {
     indexes: BTreeMap<ClassName, BTreeMap<Label, AttrIndex>>,
+    histograms: BTreeMap<ClassName, BTreeMap<Label, AttrHistogram>>,
 }
 
 impl IndexCache {
@@ -105,14 +110,35 @@ impl IndexCache {
         self.indexes.entry(class).or_default().insert(attr, index);
     }
 
-    /// Drop every index of `class` (called on any mutation touching the class).
+    /// The histogram for `(class, attr)`, if it has been built.
+    pub fn get_histogram(&self, class: &ClassName, attr: &str) -> Option<&AttrHistogram> {
+        self.histograms.get(class)?.get(attr)
+    }
+
+    /// Whether a histogram for `(class, attr)` exists.
+    pub fn contains_histogram(&self, class: &ClassName, attr: &str) -> bool {
+        self.get_histogram(class, attr).is_some()
+    }
+
+    /// Install a freshly built histogram.
+    pub fn insert_histogram(&mut self, class: ClassName, attr: Label, histogram: AttrHistogram) {
+        self.histograms
+            .entry(class)
+            .or_default()
+            .insert(attr, histogram);
+    }
+
+    /// Drop every index *and histogram* of `class` (called on any mutation
+    /// touching the class).
     pub fn invalidate_class(&mut self, class: &ClassName) {
         self.indexes.remove(class);
+        self.histograms.remove(class);
     }
 
     /// Drop everything.
     pub fn clear(&mut self) {
         self.indexes.clear();
+        self.histograms.clear();
     }
 
     /// Number of built `(class, attribute)` indexes.
@@ -156,6 +182,21 @@ mod tests {
         assert!(cache.contains(&b, "name"));
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn histograms_share_the_per_class_invalidation() {
+        let mut cache = IndexCache::default();
+        let a = ClassName::new("A");
+        let b = ClassName::new("B");
+        cache.insert_histogram(a.clone(), "x".to_string(), AttrHistogram::default());
+        cache.insert_histogram(b.clone(), "x".to_string(), AttrHistogram::default());
+        assert!(cache.contains_histogram(&a, "x"));
+        cache.invalidate_class(&a);
+        assert!(!cache.contains_histogram(&a, "x"));
+        assert!(cache.contains_histogram(&b, "x"));
+        cache.clear();
+        assert!(!cache.contains_histogram(&b, "x"));
     }
 
     #[test]

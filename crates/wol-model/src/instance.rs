@@ -9,6 +9,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::error::ModelError;
+use crate::histogram::AttrHistogram;
 use crate::index::{value_hash, AttrIndex, IndexCache};
 use crate::oid::{Oid, OidGen};
 use crate::types::ClassName;
@@ -246,6 +247,33 @@ impl Instance {
     /// the extent of `class` (see [`attr_stats`](Instance::attr_stats)).
     pub fn attr_ndv(&self, class: &ClassName, attr: &str) -> usize {
         self.attr_stats(class, attr).distinct
+    }
+
+    /// The equi-depth histogram of attribute `attr` over the extent of
+    /// `class` (see [`crate::histogram`]), built lazily on first request and
+    /// cached alongside the attribute indexes — any mutation of the class
+    /// invalidates both together. Returns a clone of the cached histogram
+    /// (at most ~2× [`histogram::DEFAULT_BUCKETS`](crate::histogram::DEFAULT_BUCKETS)
+    /// buckets, so the copy is cheap); callers that estimate repeatedly
+    /// should memoise on their side, as `cpl`'s planner statistics do.
+    pub fn attr_histogram(&self, class: &ClassName, attr: &str) -> AttrHistogram {
+        if let Some(h) = self.index.borrow().get_histogram(class, attr) {
+            return h.clone();
+        }
+        let built = AttrHistogram::build(
+            self.objects(class)
+                .filter_map(|(_, value)| value.project(attr).cloned()),
+        );
+        self.index
+            .borrow_mut()
+            .insert_histogram(class.clone(), attr.to_string(), built.clone());
+        built
+    }
+
+    /// Whether a histogram for `(class, attr)` is currently cached. Exposed
+    /// for the stale-histogram invalidation tests.
+    pub fn has_attr_histogram(&self, class: &ClassName, attr: &str) -> bool {
+        self.index.borrow().contains_histogram(class, attr)
     }
 
     /// Whether a probe for `(class, attr)` would hit an already-built index.
@@ -654,6 +682,86 @@ mod tests {
         );
         let err = inst.merge_keyed(&other, &keys).unwrap_err();
         assert!(matches!(err, ModelError::Invalid(_)));
+    }
+
+    #[test]
+    fn attr_histogram_is_lazy_and_reflects_the_extent() {
+        let (inst, _, _) = euro_instance();
+        let city = ClassName::new("CityE");
+        assert!(!inst.has_attr_histogram(&city, "is_capital"));
+        let h = inst.attr_histogram(&city, "is_capital");
+        assert!(inst.has_attr_histogram(&city, "is_capital"));
+        assert_eq!(h.entries(), 3);
+        assert_eq!(h.distinct(), 2);
+        assert_eq!(h.eq_count(&Value::bool(true)), 2.0);
+        assert_eq!(h.eq_count(&Value::bool(false)), 1.0);
+        // A second request answers from the cache (same content).
+        assert_eq!(inst.attr_histogram(&city, "is_capital"), h);
+    }
+
+    #[test]
+    fn attr_histogram_of_an_empty_extent_is_empty() {
+        let inst = Instance::new("euro");
+        let h = inst.attr_histogram(&ClassName::new("Ghost"), "name");
+        assert!(h.is_empty());
+        assert_eq!(h.eq_count(&Value::str("anything")), 0.0);
+    }
+
+    #[test]
+    fn attr_histogram_skips_objects_missing_the_attribute() {
+        let mut inst = Instance::new("euro");
+        let class = ClassName::new("CloneS");
+        inst.insert_fresh(&class, Value::record([("name", Value::str("a"))]));
+        inst.insert_fresh(
+            &class,
+            Value::record([("name", Value::str("b")), ("length", Value::int(7))]),
+        );
+        let h = inst.attr_histogram(&class, "length");
+        assert_eq!(h.entries(), 1);
+        assert_eq!(h.distinct(), 1);
+        assert_eq!(h.eq_count(&Value::int(7)), 1.0);
+    }
+
+    #[test]
+    fn attr_histogram_invalidated_by_class_mutation() {
+        // The stale-histogram bug class: any insert/update/remove on the
+        // class must drop its histograms, and the rebuilt histogram must see
+        // the new data.
+        let (mut inst, uk, _) = euro_instance();
+        let country = ClassName::new("CountryE");
+        let city = ClassName::new("CityE");
+        let before = inst.attr_histogram(&country, "currency");
+        assert_eq!(before.eq_count(&Value::str("sterling")), 1.0);
+        assert_eq!(before.eq_count(&Value::str("peseta")), 0.0);
+
+        // Insert into the class: histogram dropped, rebuild sees the object.
+        inst.insert_fresh(
+            &country,
+            Value::record([
+                ("name", Value::str("Spain")),
+                ("currency", Value::str("peseta")),
+            ]),
+        );
+        assert!(!inst.has_attr_histogram(&country, "currency"));
+        let after_insert = inst.attr_histogram(&country, "currency");
+        assert_eq!(after_insert.eq_count(&Value::str("peseta")), 1.0);
+
+        // Update: the old value disappears from the rebuilt histogram.
+        let mut v = inst.value(&uk).unwrap().clone();
+        if let Value::Record(ref mut fields) = v {
+            fields.insert("currency".into(), Value::str("pound"));
+        }
+        inst.update(&uk, v).unwrap();
+        assert!(!inst.has_attr_histogram(&country, "currency"));
+        let after_update = inst.attr_histogram(&country, "currency");
+        assert_eq!(after_update.eq_count(&Value::str("sterling")), 0.0);
+        assert_eq!(after_update.eq_count(&Value::str("pound")), 1.0);
+
+        // Mutating one class leaves another class's histograms cached.
+        let _ = inst.attr_histogram(&city, "name");
+        inst.remove(&uk);
+        assert!(!inst.has_attr_histogram(&country, "currency"));
+        assert!(inst.has_attr_histogram(&city, "name"));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod display;
 pub mod error;
+pub mod histogram;
 pub mod index;
 pub mod instance;
 pub mod keys;
@@ -34,6 +35,7 @@ pub mod validate;
 pub mod values;
 
 pub use error::ModelError;
+pub use histogram::{AttrHistogram, HistogramBucket};
 pub use instance::{AttrStats, Instance};
 pub use keys::{KeyExpr, KeySpec, SkolemFactory};
 pub use oid::Oid;

@@ -13,6 +13,10 @@
 //! * [`genome`] — synthetic Chr22DB/ACe22DB-style data: a relational-style
 //!   schema with wide records and an ACeDB-style sparse tree source, standing
 //!   in for the proprietary genome databases of the paper's trials.
+//! * [`skewed`] — E7: the genome theme with a *zipfian* marker-per-clone
+//!   distribution and a triangle join whose ordering the flat `1/ndv` cost
+//!   model provably gets wrong; the workload behind the histogram-estimation
+//!   regression tests and bench.
 //! * [`variants`] — the variant family V(k) used to reproduce the claim that
 //!   complete-clause languages need exponentially many clauses in the number
 //!   of variants while WOL's partial clauses stay linear (Section 3.2).
@@ -23,6 +27,7 @@
 pub mod cities;
 pub mod genome;
 pub mod people;
+pub mod skewed;
 pub mod variants;
 pub mod wide;
 

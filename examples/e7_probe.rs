@@ -1,0 +1,35 @@
+//! Probe of the E7 skewed genome pipeline: run the same zipfian workload
+//! with the flat `1/ndv` cost model and with histogram estimation, and show
+//! how the join order, peak intermediate rows and estimate error diverge.
+//!
+//! ```text
+//! cargo run --release --example e7_probe
+//! ```
+
+use wol_repro::cpl::CostModel;
+use wol_repro::morphase::{render_report, Morphase, PipelineOptions};
+use wol_repro::workloads::skewed::{self, SkewedParams};
+
+fn main() {
+    let params = SkewedParams::full();
+    let source = skewed::generate_source(&params);
+    let program = skewed::program();
+
+    for (label, cost_model) in [
+        ("flat 1/ndv", CostModel::FlatNdv),
+        ("histogram", CostModel::Histogram),
+    ] {
+        let options = PipelineOptions {
+            cost_model,
+            ..PipelineOptions::default()
+        };
+        let run = Morphase::with_options(options)
+            .transform(&program, &[&source][..])
+            .expect("skewed pipeline runs");
+        println!("== E7 with {label} estimation ==");
+        println!("{}", render_report(&run));
+        for plan in &run.plans {
+            println!("{plan}");
+        }
+    }
+}

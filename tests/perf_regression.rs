@@ -8,10 +8,12 @@
 
 use std::time::Duration;
 
-use wol_repro::morphase::{Morphase, PipelineOptions};
+use wol_repro::cpl::CostModel;
+use wol_repro::morphase::{Morphase, MorphaseRun, PipelineOptions};
 use wol_repro::wol_engine::instances_equivalent;
 use wol_repro::wol_model::ClassName;
 use wol_repro::workloads::genome::{self, GenomeParams};
+use wol_repro::workloads::skewed::{self, SkewedParams};
 
 /// The planner-vs-raw wall-clock regression: on a moderate genome workload
 /// the planned execute phase must be at least 5x faster than the raw
@@ -60,6 +62,97 @@ fn e6_planned_execution_is_at_least_5x_faster_than_raw_plans() {
         "expected a >=5x execute speed-up, got {speedup:.1}x (raw {:?}, planned {:?})",
         raw.timings.execute,
         planned.timings.execute
+    );
+}
+
+/// Run the E7 skewed pipeline with the given cost model.
+fn run_skewed(params: &SkewedParams, cost_model: CostModel) -> MorphaseRun {
+    let source = skewed::generate_source(params);
+    let options = PipelineOptions {
+        cost_model,
+        ..PipelineOptions::default()
+    };
+    Morphase::with_options(options)
+        .transform(&skewed::program(), &[&source][..])
+        .expect("skewed pipeline runs")
+}
+
+/// The E7 guard at reduced size: on the zipfian workload the histogram-fed
+/// planner must beat the flat-`1/ndv` planner by >=3x in execute wall-clock
+/// (and well beyond that in peak intermediate rows), while producing an
+/// equivalent target — the flat model provably misorders the triangle join.
+#[test]
+fn e7_histogram_planning_beats_flat_ndv_by_3x_on_skew() {
+    let params = SkewedParams::reduced();
+    let hist = run_skewed(&params, CostModel::Histogram);
+    let flat = run_skewed(&params, CostModel::FlatNdv);
+
+    assert!(
+        instances_equivalent(&hist.target, &flat.target, 2),
+        "histogram and flat targets diverge"
+    );
+    assert!(
+        flat.exec.max_intermediate_rows >= 3 * hist.exec.max_intermediate_rows.max(1),
+        "expected >=3x fewer peak rows, got flat={} histogram={}",
+        flat.exec.max_intermediate_rows,
+        hist.exec.max_intermediate_rows
+    );
+    let speedup = flat.timings.execute.as_secs_f64() / hist.timings.execute.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 3.0,
+        "expected a >=3x execute speed-up, got {speedup:.1}x (flat {:?}, histogram {:?})",
+        flat.timings.execute,
+        hist.timings.execute
+    );
+}
+
+/// The full-size E7 acceptance check: the histogram-fed plan keeps the peak
+/// operator output at the final-result scale (the flat plan materialises the
+/// `Σ m_c · p_c` marker-probe blow-up, >=3x more), runs on index probes, and
+/// the probe-side cache absorbs the repeated hot keys.
+#[test]
+fn e7_full_size_skew_peak_rows_are_3x_below_flat_ndv() {
+    let params = SkewedParams::full();
+    let hist = run_skewed(&params, CostModel::Histogram);
+    let flat = run_skewed(&params, CostModel::FlatNdv);
+
+    assert!(
+        instances_equivalent(&hist.target, &flat.target, 2),
+        "histogram and flat targets diverge"
+    );
+    assert!(
+        hist.exec.max_intermediate_rows < 50_000,
+        "histogram plan peak operator output blew up: {} rows",
+        hist.exec.max_intermediate_rows
+    );
+    assert!(
+        flat.exec.max_intermediate_rows >= 3 * hist.exec.max_intermediate_rows.max(1),
+        "expected >=3x fewer peak rows, got flat={} histogram={}",
+        flat.exec.max_intermediate_rows,
+        hist.exec.max_intermediate_rows
+    );
+    assert!(
+        hist.exec.index_probes > 0,
+        "the skewed join no longer uses index probes"
+    );
+    assert!(
+        hist.exec.probe_cache_hits > 0,
+        "the probe-side cache never fired on repeated hot keys"
+    );
+    // The histogram estimates stay honest: every join's estimate-vs-actual
+    // error is within 2x, while the flat model is off by an order of
+    // magnitude on the skewed join.
+    assert!(!hist.join_stats.is_empty());
+    for join in &hist.join_stats {
+        assert!(
+            join.error_ratio() < 2.0,
+            "histogram estimate drifted: {join:?}"
+        );
+    }
+    assert!(
+        flat.join_stats.iter().any(|j| j.error_ratio() > 10.0),
+        "the flat model unexpectedly estimated the skewed join well: {:?}",
+        flat.join_stats
     );
 }
 
