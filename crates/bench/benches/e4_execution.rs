@@ -240,6 +240,7 @@ fn bench_execution(c: &mut Criterion) {
                     preindex_report.bindings_considered as u64,
                 ),
         )
+        .stamped()
         .write("BENCH_e4.json");
 }
 

@@ -82,6 +82,7 @@ fn bench_pipeline(c: &mut Criterion) {
         .str("bench", "e6_pipeline")
         .obj("genome_100c_300m", summarise(&genome_run))
         .obj("cities_50x5", summarise(&cities_run))
+        .stamped()
         .write("BENCH_e6.json");
 }
 

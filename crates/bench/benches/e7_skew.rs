@@ -91,6 +91,7 @@ fn bench_skew(c: &mut Criterion) {
         .obj("flat_ndv", summarise(&flat_run))
         .num("execute_ratio_flat_over_histogram", execute_ratio)
         .num("peak_rows_ratio_flat_over_histogram", peak_ratio)
+        .stamped()
         .write("BENCH_e7.json");
 }
 

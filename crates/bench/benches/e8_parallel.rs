@@ -1,0 +1,127 @@
+//! Experiment E8 — morsel-style partitioned parallel execution.
+//!
+//! PRs 1–3 made the pipeline algorithmically fast; E8 measures how the
+//! execute phase scales *across cores*: the same E6 (genome warehouse) and
+//! E7 (zipf-skewed triangle) pipelines run at 1/2/4/8 worker threads, sized
+//! up so the execute phase is long enough that per-operator thread spawns
+//! are noise. Parallel execution is deterministic — the targets are
+//! bit-identical at every thread count (guarded by the thread-matrix tests);
+//! this bench records the wall-clock side of that bargain in
+//! `BENCH_e8.json`, stamped with the git sha and thread configuration.
+//!
+//! On a single-core container the curve is flat (it measures the overhead
+//! bound, not scaling); the ≥2× four-thread guard runs on multi-core CI.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morphase::{Morphase, MorphaseRun, PipelineOptions};
+use workloads::genome::{self, GenomeParams};
+use workloads::skewed::{self, SkewedParams};
+
+fn run(
+    program: &wol_lang::program::Program,
+    source: &wol_model::Instance,
+    threads: usize,
+) -> MorphaseRun {
+    let options = PipelineOptions {
+        parallelism: cpl::Parallelism::new(threads),
+        ..PipelineOptions::default()
+    };
+    Morphase::with_options(options)
+        .transform(program, &[source][..])
+        .expect("pipeline runs")
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_parallel");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    // The same scaled shapes as the release perf guard.
+    let genome_params = GenomeParams {
+        clones: 1200,
+        markers: 3600,
+        density: 0.6,
+        seed: 22,
+    };
+    let genome_source = genome::generate_source(&genome_params);
+    let genome_program = genome::program();
+    let skew_params = SkewedParams {
+        clones: 2400,
+        markers: 6000,
+        probes: 2000,
+        lanes: 4200,
+        bins: 600,
+        zipf_exponent: 1.1,
+        seed: 22,
+    };
+    let skew_source = skewed::generate_source(&skew_params);
+    let skew_program = skewed::program();
+
+    let workloads: [(&str, &wol_lang::program::Program, &wol_model::Instance); 2] = [
+        ("e6_genome", &genome_program, &genome_source),
+        ("e7_skew", &skew_program, &skew_source),
+    ];
+    for (label, program, source) in workloads {
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(BenchmarkId::new(label, threads), |b| {
+                b.iter(|| run(program, source, threads))
+            });
+        }
+    }
+    group.finish();
+
+    // Machine-readable scaling curve: per workload, per thread count, the
+    // best-of-two execute time and its speed-up over the single-thread run.
+    let mut json = bench::BenchJson::new().str("bench", "e8_parallel").int(
+        "cores_available",
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+    );
+    for (label, program, source) in workloads {
+        let execute_at = |threads: usize| -> (f64, MorphaseRun) {
+            let first = run(program, source, threads);
+            let second = run(program, source, threads);
+            let best = first.timings.execute.min(second.timings.execute);
+            (best.as_secs_f64(), second)
+        };
+        let (base_secs, base_run) = execute_at(1);
+        assert!(
+            base_run.shard_stats.is_empty(),
+            "a single-thread run must not spawn workers"
+        );
+        let mut curve = bench::BenchJson::new();
+        for threads in [1usize, 2, 4, 8] {
+            let (secs, run) = if threads == 1 {
+                (base_secs, None)
+            } else {
+                let (secs, run) = execute_at(threads);
+                (secs, Some(run))
+            };
+            let point = bench::BenchJson::new()
+                .num("execute_secs", secs)
+                .num("speedup_vs_1_thread", base_secs / secs.max(1e-9))
+                .int(
+                    "worker_shards",
+                    run.as_ref().map_or(0, |r| r.shard_stats.len()) as u64,
+                );
+            curve = curve.obj(&format!("threads_{threads}"), point);
+            if let Some(run) = run {
+                // Determinism is cheap to re-assert while we are here.
+                assert_eq!(
+                    run.target, base_run.target,
+                    "{label}: target diverged at {threads} threads"
+                );
+            }
+        }
+        json = json.obj(label, curve);
+    }
+    json.stamped().write("BENCH_e8.json");
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

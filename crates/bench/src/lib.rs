@@ -78,6 +78,16 @@ impl BenchJson {
         format!("{{{}}}", body.join(", "))
     }
 
+    /// Stamp the summary with the git revision and worker-thread count it was
+    /// measured under. `BENCH_*.json` files are overwritten per run; the
+    /// stamp ties every summary to the commit and thread configuration that
+    /// produced it, so trajectories across PRs (and across `WOL_THREADS`
+    /// settings) stay attributable instead of silently shadowing each other.
+    pub fn stamped(self) -> Self {
+        let sha = git_sha();
+        self.str("git_sha", &sha).int("threads", env_threads())
+    }
+
     /// Write the object to `<workspace root>/<file_name>` and report where it
     /// went on stderr. Failures are reported, not fatal — summaries are a
     /// convenience, not a correctness requirement.
@@ -96,6 +106,28 @@ pub fn workspace_root() -> PathBuf {
         .join("../..")
         .canonicalize()
         .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+}
+
+/// The short git revision of the workspace checkout, or `"unknown"` when git
+/// is unavailable (e.g. a source tarball).
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(workspace_root())
+        .output()
+        .ok()
+        .filter(|output| output.status.success())
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The worker-thread budget the benched process runs under — the same
+/// policy the executors resolve ([`wol_model::Parallelism::from_env`]), so
+/// the stamp can never disagree with what actually ran.
+pub fn env_threads() -> u64 {
+    wol_model::Parallelism::from_env().threads() as u64
 }
 
 #[cfg(test)]

@@ -4,10 +4,35 @@
 //! program's queries makes exactly one pass over the source databases
 //! (Section 5: "A transformation program in which all the transformation
 //! clauses are in normal form can easily be implemented in a single pass").
+//!
+//! ## Parallel execution
+//!
+//! Operators over enough input rows run morsel-style over
+//! [`std::thread::scope`] workers, governed by the context's
+//! [`wol_model::Parallelism`] knob ([`EvalCtx::set_parallelism`]):
+//!
+//! * **scan+filter** partitions the class extent into contiguous chunks;
+//! * **map**, **nested-loop** and **cross joins** partition the (left) input
+//!   rows into contiguous chunks;
+//! * **hash joins** partition the *build side by key hash* into per-worker
+//!   shards and probe in parallel; on the index fast path the *driving* rows
+//!   are sharded by key hash, so each distinct key — and its probe-side
+//!   cache entry — is owned by exactly one worker.
+//!
+//! Parallelism never changes results, only wall-clock: chunks are merged in
+//! input order, a key's matches live wholly in one shard in build order, and
+//! expressions that create Skolem identities (whose numbering depends on
+//! first-call order) pin their operator to the sequential path. The output
+//! row stream — and therefore the target instance built from it — is
+//! bit-identical at every thread count, and the merged [`ExecStats`] equal
+//! the sequential run's totals (per-worker breakdowns are additionally kept
+//! as [`EvalCtx::shard_stats`]).
 
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
 
-use wol_model::{Instance, Oid, Value};
+use wol_model::{chunk_ranges, Instance, Oid, Value};
 
 use crate::error::CplError;
 use crate::expr::{eval, eval_predicate, EvalCtx, Expr};
@@ -56,6 +81,137 @@ impl ExecStats {
         self.rows_produced += rows;
         self.max_intermediate_rows = self.max_intermediate_rows.max(rows);
     }
+
+    /// Merge a parallel worker's probe counters. Row accounting is *not*
+    /// merged here: the owning operator records its merged output once,
+    /// exactly like its sequential counterpart, so parallel and sequential
+    /// totals stay equal by construction.
+    fn absorb_probe_counters(&mut self, other: &ExecStats) {
+        self.index_probes += other.index_probes;
+        self.probe_cache_hits += other.probe_cache_hits;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel scaffolding: partition, spawn, merge in input order.
+// ---------------------------------------------------------------------------
+
+/// Decide whether an operator over `rows` input items may run in parallel,
+/// given the expressions its workers would evaluate. Returns the worker count
+/// (>= 2) or `None` for the sequential path. Skolem-bearing expressions pin
+/// the operator to the sequential path: Skolem creation mutates the shared
+/// factory, whose identity numbering depends on first-call order.
+fn parallel_workers<'e>(
+    ctx: &EvalCtx<'_>,
+    rows: usize,
+    exprs: impl IntoIterator<Item = &'e Expr>,
+) -> Option<usize> {
+    let threads = ctx.parallelism().threads();
+    if threads <= 1 || rows < 2 || rows < ctx.parallel_min_rows() {
+        return None;
+    }
+    if exprs.into_iter().any(Expr::contains_skolem) {
+        return None;
+    }
+    Some(threads.min(rows))
+}
+
+/// Spawn one scoped worker per partition, each with a fresh *sequential*
+/// context over the same shared sources and its own [`ExecStats`], and
+/// collect each partition's result in partition order. Fresh per-worker
+/// contexts are sound because [`parallel_workers`] already rejected every
+/// expression that could touch the Skolem factory.
+///
+/// The workers' probe counters are merged into `stats` (row accounting stays
+/// with the calling operator) and the full per-worker stats are accumulated
+/// into the context's per-shard breakdown. The error of the *earliest*
+/// partition propagates — the same error a sequential left-to-right run
+/// would have hit first.
+fn run_partitioned<T, A, F>(
+    ctx: &mut EvalCtx<'_>,
+    stats: &mut ExecStats,
+    partitions: Vec<A>,
+    work: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    A: Send,
+    F: Fn(A, &mut EvalCtx<'_>, &mut ExecStats) -> Result<T> + Sync,
+{
+    let sources = ctx.sources().to_vec();
+    let outcomes: Vec<(ExecStats, Result<T>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .map(|partition| {
+                let sources = &sources;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut worker_ctx = EvalCtx::worker(sources);
+                    let mut worker_stats = ExecStats::default();
+                    let result = work(partition, &mut worker_ctx, &mut worker_stats);
+                    (worker_stats, result)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("executor worker panicked"))
+            .collect()
+    });
+    let worker_stats: Vec<ExecStats> = outcomes.iter().map(|(ws, _)| *ws).collect();
+    ctx.absorb_shard_stats(&worker_stats);
+    for ws in &worker_stats {
+        stats.absorb_probe_counters(ws);
+    }
+    outcomes.into_iter().map(|(_, result)| result).collect()
+}
+
+/// Run `work` over contiguous chunks of `0..n` on `workers` scoped threads
+/// and concatenate the chunk results in input order.
+fn run_chunked<T, F>(
+    ctx: &mut EvalCtx<'_>,
+    stats: &mut ExecStats,
+    n: usize,
+    workers: usize,
+    work: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut EvalCtx<'_>, &mut ExecStats) -> Result<Vec<T>> + Sync,
+{
+    let chunks = run_partitioned(ctx, stats, chunk_ranges(n, workers), work)?;
+    Ok(chunks.into_iter().flatten().collect())
+}
+
+/// Hash of a composite key tuple, used to assign build rows and driving rows
+/// to shards. [`std::collections::hash_map::DefaultHasher`] is deterministic
+/// across processes, so shard assignment — and everything derived from it,
+/// like per-shard statistics — is reproducible.
+fn key_tuple_hash(values: &[Value]) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    values.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Evaluate one side's key tuples for every row, in parallel chunks when
+/// worth it. `None` entries are rows whose keys hit a missing optional
+/// attribute — unjoinable, exactly as the sequential paths treat them.
+fn eval_key_tuples(
+    rows: &[Row],
+    keys: &[&Expr],
+    workers: usize,
+    ctx: &mut EvalCtx<'_>,
+    stats: &mut ExecStats,
+) -> Result<Vec<Option<Vec<Value>>>> {
+    if rows.len() < 2 * workers {
+        return rows.iter().map(|row| eval_keys(keys, row, ctx)).collect();
+    }
+    run_chunked(ctx, stats, rows.len(), workers, |range, wctx, _ws| {
+        rows[range]
+            .iter()
+            .map(|row| eval_keys(keys, row, wctx))
+            .collect()
+    })
 }
 
 /// One executed join operator's actual output row count, recorded (in
@@ -197,6 +353,18 @@ fn probe_join(
     stats: &mut ExecStats,
 ) -> Result<Vec<Row>> {
     let driving_rows = run_plan(driving, ctx, stats)?;
+    let gate = driving_keys.iter().chain(scan_keys.iter()).copied();
+    if let Some(workers) = parallel_workers(ctx, driving_rows.len(), gate) {
+        return par_probe_join(
+            &driving_rows,
+            driving_keys,
+            scan_keys,
+            side,
+            workers,
+            ctx,
+            stats,
+        );
+    }
     let sources = ctx.sources().to_vec();
     // The cache is sound only when every scan-side key expression ranges
     // over the scanned variable alone — then the verified identity list is a
@@ -254,6 +422,103 @@ fn probe_join(
     Ok(rows)
 }
 
+/// The parallel index fast path: driving rows are sharded *by key hash* when
+/// the probe cache is usable — a distinct key, its index probe and its cache
+/// entry then belong to exactly one worker, so the merged probe and cache-hit
+/// counts equal the sequential run's — and by contiguous chunks otherwise
+/// (every row probes regardless, so ownership is irrelevant). Each worker
+/// emits `(driving row index, produced rows)` pairs; reassembling them in
+/// driving-row order reproduces the sequential output stream exactly.
+#[allow(clippy::too_many_arguments)]
+fn par_probe_join(
+    driving_rows: &[Row],
+    driving_keys: &[&Expr],
+    scan_keys: &[&Expr],
+    side: &IndexableSide,
+    workers: usize,
+    ctx: &mut EvalCtx<'_>,
+    stats: &mut ExecStats,
+) -> Result<Vec<Row>> {
+    let key_tuples = eval_key_tuples(driving_rows, driving_keys, workers, ctx, stats)?;
+    // Same soundness condition as the sequential cache (see `probe_join`).
+    let cacheable = scan_keys
+        .iter()
+        .all(|k| k.var_set().iter().all(|v| v == &side.var));
+    let mut shards: Vec<Vec<usize>> = if cacheable {
+        let mut shards = vec![Vec::new(); workers];
+        for (idx, key) in key_tuples.iter().enumerate() {
+            if let Some(values) = key {
+                shards[(key_tuple_hash(values) % workers as u64) as usize].push(idx);
+            }
+        }
+        shards
+    } else {
+        chunk_ranges(key_tuples.len(), workers)
+            .into_iter()
+            .map(|range| range.filter(|idx| key_tuples[*idx].is_some()).collect())
+            .collect()
+    };
+    // A heavy hitter can leave shards empty (every row hashing to one key);
+    // don't pay a thread spawn for them. Reassembly is by driving-row slot,
+    // so dropping empty shards cannot affect output order.
+    shards.retain(|indices| !indices.is_empty());
+    let key_tuples = &key_tuples;
+    let per_shard: Vec<Vec<(usize, Vec<Row>)>> =
+        run_partitioned(ctx, stats, shards, |indices, wctx, ws| {
+            let wsources = wctx.sources().to_vec();
+            let mut cache: HashMap<&[Value], Vec<Oid>> = HashMap::new();
+            let mut out = Vec::with_capacity(indices.len());
+            for idx in indices {
+                let key_values = key_tuples[idx]
+                    .as_ref()
+                    .expect("only keyed rows are partitioned");
+                let row = &driving_rows[idx];
+                let matched: Vec<Oid> = if cacheable {
+                    match cache.get(key_values.as_slice()) {
+                        Some(hit) => {
+                            ws.probe_cache_hits += 1;
+                            hit.clone()
+                        }
+                        None => {
+                            let fresh = verified_candidates(
+                                &Row::new(),
+                                key_values,
+                                scan_keys,
+                                side,
+                                &wsources,
+                                wctx,
+                                ws,
+                            )?;
+                            cache.insert(key_values.as_slice(), fresh.clone());
+                            fresh
+                        }
+                    }
+                } else {
+                    verified_candidates(row, key_values, scan_keys, side, &wsources, wctx, ws)?
+                };
+                let mut produced = Vec::with_capacity(matched.len());
+                for oid in matched {
+                    let mut combined = row.clone();
+                    combined.insert(side.var.clone(), Value::Oid(oid));
+                    produced.push(combined);
+                }
+                ws.rows_produced += produced.len();
+                out.push((idx, produced));
+            }
+            Ok(out)
+        })?;
+    let mut per_row: Vec<Vec<Row>> = vec![Vec::new(); driving_rows.len()];
+    for shard in per_shard {
+        for (idx, produced) in shard {
+            per_row[idx] = produced;
+        }
+    }
+    let rows: Vec<Row> = per_row.into_iter().flatten().collect();
+    ctx.record_join("HashJoin", rows.len());
+    stats.record_operator_output(rows.len());
+    Ok(rows)
+}
+
 /// Probe the attribute index for the scan-side candidates of one key tuple
 /// and verify every non-probed key pair against each candidate, extending
 /// `base` with the candidate's identity for the verification.
@@ -290,6 +555,64 @@ fn verified_candidates(
     Ok(matched)
 }
 
+/// The parallel generic hash join. The *build side* is partitioned by key
+/// hash into per-worker shard tables (each worker builds the table for the
+/// keys it owns, scanning the pre-evaluated key tuples), then the probe side
+/// is processed in contiguous chunks: each probe row looks up the shard that
+/// owns its key's hash. A key's build rows all live in one shard, in build
+/// order, and probe chunks merge in probe order — so the output row stream is
+/// identical to the sequential build-then-probe loop.
+fn par_hash_join(
+    left_rows: &[Row],
+    right_rows: &[Row],
+    left_keys: &[&Expr],
+    right_keys: &[&Expr],
+    workers: usize,
+    ctx: &mut EvalCtx<'_>,
+    stats: &mut ExecStats,
+) -> Result<Vec<Row>> {
+    let left_tuples = eval_key_tuples(left_rows, left_keys, workers, ctx, stats)?;
+    let right_tuples = eval_key_tuples(right_rows, right_keys, workers, ctx, stats)?;
+    let left_hashes: Vec<u64> = left_tuples
+        .iter()
+        .map(|tuple| tuple.as_ref().map_or(0, |values| key_tuple_hash(values)))
+        .collect();
+    let (left_tuples, left_hashes) = (&left_tuples, &left_hashes);
+    // Shard tables map a key tuple to the build-row indices carrying it, in
+    // ascending (build) order.
+    let shard_tables: Vec<HashMap<&[Value], Vec<usize>>> =
+        run_partitioned(ctx, stats, (0..workers).collect(), |shard, _wctx, _ws| {
+            let mut table: HashMap<&[Value], Vec<usize>> = HashMap::new();
+            for (idx, tuple) in left_tuples.iter().enumerate() {
+                if let Some(values) = tuple {
+                    if left_hashes[idx] % workers as u64 == shard as u64 {
+                        table.entry(values.as_slice()).or_default().push(idx);
+                    }
+                }
+            }
+            Ok(table)
+        })?;
+    let (shard_tables, right_tuples) = (&shard_tables, &right_tuples);
+    run_chunked(ctx, stats, right_rows.len(), workers, |range, _wctx, ws| {
+        let mut out = Vec::new();
+        for idx in range {
+            let Some(values) = &right_tuples[idx] else {
+                continue;
+            };
+            let table = &shard_tables[(key_tuple_hash(values) % workers as u64) as usize];
+            if let Some(matches) = table.get(values.as_slice()) {
+                for &left_idx in matches {
+                    let mut combined = left_rows[left_idx].clone();
+                    combined.extend(right_rows[idx].clone());
+                    out.push(combined);
+                }
+            }
+        }
+        ws.rows_produced += out.len();
+        Ok(out)
+    })
+}
+
 /// Evaluate all keys of one join side against a row; `None` when a missing
 /// optional attribute makes the row unjoinable.
 fn eval_keys(keys: &[&Expr], row: &Row, ctx: &mut EvalCtx<'_>) -> Result<Option<Vec<Value>>> {
@@ -320,37 +643,119 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             rows
         }
         Plan::Filter { input, predicate } => {
-            let mut rows = Vec::new();
-            for row in run_plan(input, ctx, stats)? {
-                if eval_predicate(predicate, &row, ctx)? {
-                    rows.push(row);
+            // Fused scan+filter: partition the class extent itself into
+            // contiguous chunks, so row construction and the predicate both
+            // run on the workers.
+            if let Plan::Scan { class, var } = input.as_ref() {
+                let extent_total: usize = ctx.sources().iter().map(|i| i.extent_size(class)).sum();
+                if let Some(workers) = parallel_workers(ctx, extent_total, [predicate]) {
+                    let oids: Vec<Oid> = ctx
+                        .sources()
+                        .iter()
+                        .flat_map(|instance| instance.extent(class))
+                        .cloned()
+                        .collect();
+                    // Account for the scan exactly like the sequential path
+                    // would have: every extent row is scanned and produced by
+                    // the scan operator before the filter keeps its subset.
+                    stats.rows_scanned += oids.len();
+                    stats.record_operator_output(oids.len());
+                    let oids = &oids;
+                    let rows = run_chunked(ctx, stats, oids.len(), workers, |range, wctx, ws| {
+                        ws.rows_scanned += range.len();
+                        let mut kept = Vec::new();
+                        for oid in &oids[range] {
+                            let row = Row::from([(var.clone(), Value::Oid(oid.clone()))]);
+                            if eval_predicate(predicate, &row, wctx)? {
+                                kept.push(row);
+                            }
+                        }
+                        ws.rows_produced += kept.len();
+                        Ok(kept)
+                    })?;
+                    stats.record_operator_output(rows.len());
+                    return Ok(rows);
                 }
             }
-            rows
+            let input_rows = run_plan(input, ctx, stats)?;
+            match parallel_workers(ctx, input_rows.len(), [predicate]) {
+                Some(workers) => {
+                    let input_rows = &input_rows;
+                    run_chunked(ctx, stats, input_rows.len(), workers, |range, wctx, ws| {
+                        let mut kept = Vec::new();
+                        for row in &input_rows[range] {
+                            if eval_predicate(predicate, row, wctx)? {
+                                kept.push(row.clone());
+                            }
+                        }
+                        ws.rows_produced += kept.len();
+                        Ok(kept)
+                    })?
+                }
+                None => {
+                    let mut rows = Vec::new();
+                    for row in input_rows {
+                        if eval_predicate(predicate, &row, ctx)? {
+                            rows.push(row);
+                        }
+                    }
+                    rows
+                }
+            }
         }
         Plan::Map { input, bindings } => {
-            let mut rows = Vec::new();
-            for mut row in run_plan(input, ctx, stats)? {
-                let mut ok = true;
-                for (var, expr) in bindings {
-                    match eval(expr, &row, ctx) {
-                        Ok(value) => {
-                            row.insert(var.clone(), value);
+            let input_rows = run_plan(input, ctx, stats)?;
+            let gate = bindings.iter().map(|(_, e)| e);
+            match parallel_workers(ctx, input_rows.len(), gate) {
+                Some(workers) => {
+                    let input_rows = &input_rows;
+                    run_chunked(ctx, stats, input_rows.len(), workers, |range, wctx, ws| {
+                        let mut out = Vec::new();
+                        'rows: for row in &input_rows[range] {
+                            let mut extended = row.clone();
+                            for (var, expr) in bindings {
+                                match eval(expr, &extended, wctx) {
+                                    Ok(value) => {
+                                        extended.insert(var.clone(), value);
+                                    }
+                                    // Missing optional attribute: the row
+                                    // does not contribute.
+                                    Err(CplError::BadValue(_)) => continue 'rows,
+                                    Err(other) => return Err(other),
+                                }
+                            }
+                            out.push(extended);
                         }
-                        Err(CplError::BadValue(_)) => {
-                            // A missing optional attribute: the row does not
-                            // contribute (mirrors clause-matching semantics).
-                            ok = false;
-                            break;
-                        }
-                        Err(other) => return Err(other),
-                    }
+                        ws.rows_produced += out.len();
+                        Ok(out)
+                    })?
                 }
-                if ok {
-                    rows.push(row);
+                None => {
+                    let mut rows = Vec::new();
+                    for mut row in input_rows {
+                        let mut ok = true;
+                        for (var, expr) in bindings {
+                            match eval(expr, &row, ctx) {
+                                Ok(value) => {
+                                    row.insert(var.clone(), value);
+                                }
+                                Err(CplError::BadValue(_)) => {
+                                    // A missing optional attribute: the row
+                                    // does not contribute (mirrors
+                                    // clause-matching semantics).
+                                    ok = false;
+                                    break;
+                                }
+                                Err(other) => return Err(other),
+                            }
+                        }
+                        if ok {
+                            rows.push(row);
+                        }
+                    }
+                    rows
                 }
             }
-            rows
         }
         Plan::NestedLoopJoin {
             left,
@@ -359,34 +764,80 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
         } => {
             let left_rows = run_plan(left, ctx, stats)?;
             let right_rows = run_plan(right, ctx, stats)?;
-            let mut rows = Vec::new();
-            for l in &left_rows {
-                for r in &right_rows {
-                    let mut combined = l.clone();
-                    combined.extend(r.clone());
-                    let keep = match predicate {
-                        Some(p) => eval_predicate(p, &combined, ctx)?,
-                        None => true,
-                    };
-                    if keep {
-                        rows.push(combined);
-                    }
+            let rows = match parallel_workers(ctx, left_rows.len(), predicate.iter()) {
+                Some(workers) => {
+                    let (left_rows, right_rows) = (&left_rows, &right_rows);
+                    run_chunked(ctx, stats, left_rows.len(), workers, |range, wctx, ws| {
+                        let mut out = Vec::new();
+                        for l in &left_rows[range] {
+                            for r in right_rows {
+                                let mut combined = l.clone();
+                                combined.extend(r.clone());
+                                let keep = match predicate {
+                                    Some(p) => eval_predicate(p, &combined, wctx)?,
+                                    None => true,
+                                };
+                                if keep {
+                                    out.push(combined);
+                                }
+                            }
+                        }
+                        ws.rows_produced += out.len();
+                        Ok(out)
+                    })?
                 }
-            }
+                None => {
+                    let mut rows = Vec::new();
+                    for l in &left_rows {
+                        for r in &right_rows {
+                            let mut combined = l.clone();
+                            combined.extend(r.clone());
+                            let keep = match predicate {
+                                Some(p) => eval_predicate(p, &combined, ctx)?,
+                                None => true,
+                            };
+                            if keep {
+                                rows.push(combined);
+                            }
+                        }
+                    }
+                    rows
+                }
+            };
             ctx.record_join("NestedLoopJoin", rows.len());
             rows
         }
         Plan::CrossJoin { left, right } => {
             let left_rows = run_plan(left, ctx, stats)?;
             let right_rows = run_plan(right, ctx, stats)?;
-            let mut rows = Vec::with_capacity(left_rows.len() * right_rows.len());
-            for l in &left_rows {
-                for r in &right_rows {
-                    let mut combined = l.clone();
-                    combined.extend(r.clone());
-                    rows.push(combined);
+            let rows = match parallel_workers(ctx, left_rows.len(), std::iter::empty()) {
+                Some(workers) => {
+                    let (left_rows, right_rows) = (&left_rows, &right_rows);
+                    run_chunked(ctx, stats, left_rows.len(), workers, |range, _wctx, ws| {
+                        let mut out = Vec::with_capacity(range.len() * right_rows.len());
+                        for l in &left_rows[range] {
+                            for r in right_rows {
+                                let mut combined = l.clone();
+                                combined.extend(r.clone());
+                                out.push(combined);
+                            }
+                        }
+                        ws.rows_produced += out.len();
+                        Ok(out)
+                    })?
                 }
-            }
+                None => {
+                    let mut rows = Vec::with_capacity(left_rows.len() * right_rows.len());
+                    for l in &left_rows {
+                        for r in &right_rows {
+                            let mut combined = l.clone();
+                            combined.extend(r.clone());
+                            rows.push(combined);
+                        }
+                    }
+                    rows
+                }
+            };
             ctx.record_join("CrossJoin", rows.len());
             rows
         }
@@ -407,26 +858,41 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             }
             let left_rows = run_plan(left, ctx, stats)?;
             let right_rows = run_plan(right, ctx, stats)?;
-            // Build on the left, probe with the right.
-            let mut table: BTreeMap<Vec<Value>, Vec<&Row>> = BTreeMap::new();
-            for l in &left_rows {
-                if let Some(key) = eval_keys(&left_keys, l, ctx)? {
-                    table.entry(key).or_default().push(l);
-                }
-            }
-            let mut rows = Vec::new();
-            for r in &right_rows {
-                let Some(key) = eval_keys(&right_keys, r, ctx)? else {
-                    continue;
-                };
-                if let Some(matches) = table.get(&key) {
-                    for l in matches {
-                        let mut combined = (*l).clone();
-                        combined.extend(r.clone());
-                        rows.push(combined);
+            let gate = keys.iter().flat_map(|(l, r)| [l, r]);
+            let rows = match parallel_workers(ctx, left_rows.len().max(right_rows.len()), gate) {
+                Some(workers) => par_hash_join(
+                    &left_rows,
+                    &right_rows,
+                    &left_keys,
+                    &right_keys,
+                    workers,
+                    ctx,
+                    stats,
+                )?,
+                None => {
+                    // Build on the left, probe with the right.
+                    let mut table: BTreeMap<Vec<Value>, Vec<&Row>> = BTreeMap::new();
+                    for l in &left_rows {
+                        if let Some(key) = eval_keys(&left_keys, l, ctx)? {
+                            table.entry(key).or_default().push(l);
+                        }
                     }
+                    let mut rows = Vec::new();
+                    for r in &right_rows {
+                        let Some(key) = eval_keys(&right_keys, r, ctx)? else {
+                            continue;
+                        };
+                        if let Some(matches) = table.get(&key) {
+                            for l in matches {
+                                let mut combined = (*l).clone();
+                                combined.extend(r.clone());
+                                rows.push(combined);
+                            }
+                        }
+                    }
+                    rows
                 }
-            }
+            };
             ctx.record_join("HashJoin", rows.len());
             rows
         }
@@ -489,7 +955,7 @@ mod tests {
     use super::*;
     use crate::expr::Expr;
     use crate::plan::InsertAction;
-    use wol_model::{ClassName, Oid};
+    use wol_model::{ClassName, Oid, Parallelism};
 
     fn euro_instance() -> Instance {
         let mut inst = Instance::new("euro");
@@ -893,6 +1359,227 @@ mod tests {
         let mut ctx = EvalCtx::new(&refs);
         let _ = run_plan(&plan, &mut ctx, &mut stats).unwrap();
         assert!(ctx.take_join_trace().is_empty());
+    }
+
+    /// Run `plan` sequentially and at each of the given thread counts (with
+    /// the parallel threshold lowered so tiny inputs still exercise the
+    /// partitioned paths), asserting the parallel run reproduces the
+    /// sequential row *stream* (same rows, same order) and that the merged
+    /// [`ExecStats`] equal the sequential totals. Returns the sequential
+    /// rows and stats for further assertions.
+    fn assert_parallel_matches_sequential(
+        plan: &Plan,
+        inst: &Instance,
+        thread_counts: &[usize],
+    ) -> (Vec<Row>, ExecStats) {
+        let refs = [inst];
+        let mut seq_ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::sequential());
+        let mut seq_stats = ExecStats::default();
+        let seq_rows = run_plan(plan, &mut seq_ctx, &mut seq_stats).expect("sequential run");
+        assert!(
+            seq_ctx.shard_stats().is_empty(),
+            "a sequential run must not spawn workers"
+        );
+        for &threads in thread_counts {
+            let mut par_ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::new(threads));
+            par_ctx.set_parallel_min_rows(1);
+            let mut par_stats = ExecStats::default();
+            let par_rows = run_plan(plan, &mut par_ctx, &mut par_stats).expect("parallel run");
+            assert_eq!(
+                par_rows, seq_rows,
+                "row stream diverged at {threads} threads"
+            );
+            assert_eq!(
+                par_stats, seq_stats,
+                "merged ExecStats diverged at {threads} threads"
+            );
+        }
+        (seq_rows, seq_stats)
+    }
+
+    /// Partition edge case: empty extents. Scan+filter and a hash join whose
+    /// build side is empty must behave identically in parallel — including
+    /// producing zero rows, zero probes, and equal stats.
+    #[test]
+    fn parallel_partitioning_handles_empty_extents() {
+        let inst = euro_instance();
+        let filter = Plan::scan("GhostClass", "G").filter(Expr::var("G").proj("is_capital"));
+        let (rows, _) = assert_parallel_matches_sequential(&filter, &inst, &[2, 4, 8]);
+        assert!(rows.is_empty());
+        let join = Plan::scan("CityE", "E").map(vec![]).hash_join(
+            Plan::scan("GhostClass", "G"),
+            Expr::var("E").proj("name"),
+            Expr::var("G").proj("name"),
+        );
+        let (rows, _) = assert_parallel_matches_sequential(&join, &inst, &[2, 4, 8]);
+        assert!(rows.is_empty());
+    }
+
+    /// Partition edge case: a single-row build side still joins correctly
+    /// from every shard, and the merged stats equal the sequential run's.
+    #[test]
+    fn parallel_partitioning_handles_single_row_build_sides() {
+        let mut inst = euro_instance();
+        inst.insert_fresh(
+            &ClassName::new("Capital"),
+            Value::record([("of", Value::str("France"))]),
+        );
+        // The Capital side is a single-row bare scan probed by index.
+        let probed = Plan::scan("CityE", "E").hash_join(
+            Plan::scan("Capital", "K"),
+            Expr::var("E").path("country.name"),
+            Expr::var("K").proj("of"),
+        );
+        let (rows, stats) = assert_parallel_matches_sequential(&probed, &inst, &[2, 4, 8]);
+        assert_eq!(rows.len(), 1); // only Paris reaches the single capital row
+        assert!(stats.index_probes > 0);
+        // The generic path (build side behind a Map) over the same data.
+        let generic = Plan::scan("CityE", "E").map(vec![]).hash_join(
+            Plan::scan("Capital", "K").map(vec![("O".to_string(), Expr::var("K").proj("of"))]),
+            Expr::var("E").path("country.name"),
+            Expr::var("O"),
+        );
+        let (rows, stats) = assert_parallel_matches_sequential(&generic, &inst, &[2, 4, 8]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(stats.index_probes, 0);
+    }
+
+    /// Partition edge case: a zipfian heavy hitter — every driving row
+    /// carries the same key, so every row hashes to one shard. The other
+    /// shards go idle, the hot key is probed exactly once (all later rows hit
+    /// the one worker's cache), and the totals equal the sequential run's.
+    #[test]
+    fn parallel_partitioning_handles_all_rows_hashing_to_one_shard() {
+        let mut inst = Instance::new("skew");
+        inst.insert_fresh(
+            &ClassName::new("CloneS"),
+            Value::record([("name", Value::str("hot"))]),
+        );
+        for i in 0..12 {
+            inst.insert_fresh(
+                &ClassName::new("MarkerS"),
+                Value::record([
+                    ("name", Value::str(format!("m{i}"))),
+                    ("clone_name", Value::str("hot")),
+                ]),
+            );
+        }
+        let probed = Plan::scan("MarkerS", "M").map(vec![]).hash_join(
+            Plan::scan("CloneS", "C"),
+            Expr::var("M").proj("clone_name"),
+            Expr::var("C").proj("name"),
+        );
+        let (rows, stats) = assert_parallel_matches_sequential(&probed, &inst, &[2, 4, 8]);
+        assert_eq!(rows.len(), 12);
+        assert_eq!(stats.index_probes, 1); // the hot key probes once, ever
+        assert_eq!(stats.probe_cache_hits, 11);
+    }
+
+    /// Partition edge case: more threads than rows. `chunk_ranges` never
+    /// emits empty chunks, so a 3-row input at 8 threads runs on 3 workers
+    /// and still reproduces the sequential stream and stats.
+    #[test]
+    fn parallel_partitioning_handles_more_threads_than_rows() {
+        let inst = euro_instance();
+        let filter = Plan::scan("CityE", "E").filter(Expr::var("E").proj("is_capital"));
+        let (rows, stats) = assert_parallel_matches_sequential(&filter, &inst, &[8, 16]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(stats.rows_scanned, 3);
+        let cross = Plan::scan("CityE", "E").cross(Plan::scan("CountryE", "C"));
+        let (rows, _) = assert_parallel_matches_sequential(&cross, &inst, &[8]);
+        assert_eq!(rows.len(), 6);
+        let nested = Plan::scan("CityE", "E").join(
+            Plan::scan("CountryE", "C"),
+            Some(
+                Expr::var("E")
+                    .path("country.name")
+                    .eq(Expr::var("C").proj("name")),
+            ),
+        );
+        let (rows, _) = assert_parallel_matches_sequential(&nested, &inst, &[8]);
+        assert_eq!(rows.len(), 3);
+    }
+
+    /// Maps parallelise over row chunks, including rows dropped for missing
+    /// optional attributes, without disturbing order or stats.
+    #[test]
+    fn parallel_map_matches_sequential_including_dropped_rows() {
+        let mut inst = euro_instance();
+        // An object missing `country` drops out of the Map in both modes.
+        inst.insert_fresh(
+            &ClassName::new("CityE"),
+            Value::record([("name", Value::str("Atlantis"))]),
+        );
+        let plan = Plan::scan("CityE", "E")
+            .map(vec![("N".to_string(), Expr::var("E").path("country.name"))]);
+        let (rows, _) = assert_parallel_matches_sequential(&plan, &inst, &[2, 4, 8]);
+        assert_eq!(rows.len(), 3); // Atlantis contributed nothing
+    }
+
+    /// A Skolem-bearing expression pins its operator to the sequential path
+    /// (identity numbering depends on first-call order), but the run still
+    /// succeeds and later Skolem evaluation sees a consistent factory.
+    #[test]
+    fn skolem_expressions_fall_back_to_the_sequential_path() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        let plan = Plan::scan("CityE", "E").map(vec![(
+            "T".to_string(),
+            Expr::Skolem(
+                ClassName::new("CityT"),
+                Box::new(Expr::var("E").proj("name")),
+            ),
+        )]);
+        let mut ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::new(8));
+        ctx.set_parallel_min_rows(1);
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert_eq!(rows.len(), 3);
+        // The factory was exercised on the main thread: the identities exist
+        // and no parallel worker ran for this operator.
+        assert_eq!(ctx.factory.count(&ClassName::new("CityT")), 3);
+        assert!(ctx.shard_stats().is_empty());
+    }
+
+    /// The per-shard breakdown accumulated by a parallel run sums to the
+    /// merged totals for the worker-side counters.
+    #[test]
+    fn shard_stats_sum_to_the_merged_probe_totals() {
+        let source = {
+            let mut inst = Instance::new("s");
+            for i in 0..16 {
+                inst.insert_fresh(
+                    &ClassName::new("CloneS"),
+                    Value::record([("name", Value::str(format!("c{}", i % 4)))]),
+                );
+                inst.insert_fresh(
+                    &ClassName::new("MarkerS"),
+                    Value::record([
+                        ("name", Value::str(format!("m{i}"))),
+                        ("clone_name", Value::str(format!("c{}", i % 4))),
+                    ]),
+                );
+            }
+            inst
+        };
+        let refs = [&source];
+        let probed = Plan::scan("MarkerS", "M").map(vec![]).hash_join(
+            Plan::scan("CloneS", "C"),
+            Expr::var("M").proj("clone_name"),
+            Expr::var("C").proj("name"),
+        );
+        let mut ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::new(4));
+        ctx.set_parallel_min_rows(1);
+        let mut stats = ExecStats::default();
+        let _ = run_plan(&probed, &mut ctx, &mut stats).unwrap();
+        let shards = ctx.take_shard_stats();
+        assert!(!shards.is_empty());
+        let probes: usize = shards.iter().map(|s| s.index_probes).sum();
+        let hits: usize = shards.iter().map(|s| s.probe_cache_hits).sum();
+        assert_eq!(probes, stats.index_probes);
+        assert_eq!(hits, stats.probe_cache_hits);
+        // Draining leaves the accumulator empty for the next run.
+        assert!(ctx.shard_stats().is_empty());
     }
 
     #[test]

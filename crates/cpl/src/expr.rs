@@ -102,6 +102,25 @@ impl Expr {
         out
     }
 
+    /// Whether the expression (or any sub-expression) creates object
+    /// identities through a Skolem function. Skolem creation mutates the
+    /// query-wide [`wol_model::SkolemFactory`], whose identity numbering
+    /// depends on first-call order — so the parallel executor refuses to
+    /// evaluate Skolem-bearing expressions off the main thread (the operator
+    /// falls back to its sequential path, keeping targets bit-identical).
+    pub fn contains_skolem(&self) -> bool {
+        match self {
+            Expr::Skolem(_, _) => true,
+            Expr::Var(_) | Expr::Const(_) => false,
+            Expr::Proj(e, _) | Expr::Variant(_, e) | Expr::Not(e) => e.contains_skolem(),
+            Expr::Record(fields) => fields.iter().any(|(_, e)| e.contains_skolem()),
+            Expr::Eq(a, b) | Expr::Neq(a, b) | Expr::Lt(a, b) | Expr::Leq(a, b) => {
+                a.contains_skolem() || b.contains_skolem()
+            }
+            Expr::And(es) => es.iter().any(Expr::contains_skolem),
+        }
+    }
+
     /// Replace every row variable that has an entry in `defs` by its defining
     /// expression. The query planner uses this to inline `Map` bindings into
     /// filter predicates so join equalities range over base scan variables
@@ -144,7 +163,26 @@ pub struct EvalCtx<'a> {
     /// row count here, in post-order — the same order
     /// [`crate::optimizer::estimate_join_outputs`] emits estimates in.
     join_trace: Option<Vec<crate::exec::JoinActual>>,
+    /// How many worker threads parallel operators may use (see
+    /// [`crate::exec`]'s module docs for the partitioning scheme). Defaults
+    /// to [`Parallelism::from_env`]: the machine's cores, overridable via
+    /// `WOL_THREADS`.
+    parallelism: wol_model::Parallelism,
+    /// Minimum input rows before an operator goes parallel; below it the
+    /// per-operator thread spawn costs more than it saves. Tests lower it to
+    /// exercise the partitioned paths on tiny inputs (results are identical
+    /// either way — the threshold is purely a performance choice).
+    parallel_min_rows: usize,
+    /// Per-worker-slot statistics accumulated across every parallel operator
+    /// this context executed (slot `i` collects what worker `i` did).
+    shard_stats: Vec<crate::exec::ExecStats>,
 }
+
+/// Default minimum input rows before an operator is worth partitioning. A
+/// scoped 4-thread spawn round costs ~100µs; rows below this process faster
+/// than that sequentially, so small operators skip straight to the
+/// sequential path and only genuinely heavy operators pay for workers.
+const PARALLEL_MIN_ROWS: usize = 1024;
 
 impl<'a> EvalCtx<'a> {
     /// Create a context over the given source instances.
@@ -153,7 +191,75 @@ impl<'a> EvalCtx<'a> {
             sources: sources.to_vec(),
             factory: SkolemFactory::new(),
             join_trace: None,
+            parallelism: wol_model::Parallelism::from_env(),
+            parallel_min_rows: PARALLEL_MIN_ROWS,
+            shard_stats: Vec::new(),
         }
+    }
+
+    /// A sequential worker context over the given sources, as spawned by the
+    /// parallel operators: no env lookup (unlike [`EvalCtx::new`]) and never
+    /// spawns nested workers.
+    pub(crate) fn worker(sources: &[&'a Instance]) -> Self {
+        EvalCtx {
+            sources: sources.to_vec(),
+            factory: SkolemFactory::new(),
+            join_trace: None,
+            parallelism: wol_model::Parallelism::sequential(),
+            parallel_min_rows: PARALLEL_MIN_ROWS,
+            shard_stats: Vec::new(),
+        }
+    }
+
+    /// Set the worker-thread budget (builder style).
+    pub fn with_parallelism(mut self, parallelism: wol_model::Parallelism) -> Self {
+        self.set_parallelism(parallelism);
+        self
+    }
+
+    /// Set the worker-thread budget.
+    pub fn set_parallelism(&mut self, parallelism: wol_model::Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The worker-thread budget parallel operators honour.
+    pub fn parallelism(&self) -> wol_model::Parallelism {
+        self.parallelism
+    }
+
+    /// Lower (or raise) the minimum input rows before an operator goes
+    /// parallel. Intended for tests that exercise the partitioned paths on
+    /// tiny, hand-checkable inputs.
+    pub fn set_parallel_min_rows(&mut self, min_rows: usize) {
+        self.parallel_min_rows = min_rows;
+    }
+
+    /// The current minimum input rows for parallel operators.
+    pub fn parallel_min_rows(&self) -> usize {
+        self.parallel_min_rows
+    }
+
+    /// Merge one parallel operator's per-worker statistics into the
+    /// context-wide per-shard accumulators (slot-wise).
+    pub(crate) fn absorb_shard_stats(&mut self, per_worker: &[crate::exec::ExecStats]) {
+        if self.shard_stats.len() < per_worker.len() {
+            self.shard_stats
+                .resize_with(per_worker.len(), Default::default);
+        }
+        for (slot, stats) in self.shard_stats.iter_mut().zip(per_worker) {
+            slot.absorb(*stats);
+        }
+    }
+
+    /// Per-worker-slot statistics accumulated across all parallel operators
+    /// run so far (empty if nothing ran in parallel).
+    pub fn shard_stats(&self) -> &[crate::exec::ExecStats] {
+        &self.shard_stats
+    }
+
+    /// Drain the accumulated per-shard statistics.
+    pub fn take_shard_stats(&mut self) -> Vec<crate::exec::ExecStats> {
+        std::mem::take(&mut self.shard_stats)
     }
 
     /// Look up the value of an object identity in the sources.

@@ -24,6 +24,33 @@
 //!   the legacy rule-based rewriter survives as
 //!   [`optimizer::optimize_reference`];
 //! * execution statistics ([`exec::ExecStats`]) used by the benchmark harness.
+//!
+//! ## Threading model
+//!
+//! The executor runs morsel-style partitioned parallelism over
+//! [`std::thread::scope`] workers, governed by a [`Parallelism`] knob
+//! (default: available cores, overridable via the `WOL_THREADS` environment
+//! variable) threaded through [`expr::EvalCtx`]. The contract:
+//!
+//! * **Shared immutably** — the source [`wol_model::Instance`]s. Extents,
+//!   attribute indexes and histograms are read concurrently from every
+//!   worker; the lazy index cache sits behind an `RwLock` inside `Instance`,
+//!   and mutation requires `&mut`, so a parallel section can never observe a
+//!   write.
+//! * **Partitioned** — hash-join *build sides* and index-probed *driving
+//!   rows* are sharded by key hash (a distinct key, its probe and its
+//!   probe-cache entry belong to exactly one worker); scans+filters, maps and
+//!   loop joins are split into contiguous input chunks.
+//! * **Deterministic by construction** — partition results are reassembled
+//!   in input order (chunk concatenation, or per-driving-row slots), a key's
+//!   build rows stay in build order within their shard, and expressions that
+//!   create Skolem identities — whose numbering depends on first-call order —
+//!   pin their operator to the sequential path. Insert actions always apply
+//!   on the main thread in row order. The output row stream, the target
+//!   instance, and the merged [`ExecStats`] totals are therefore
+//!   bit-identical at every thread count; this is enforced by the
+//!   thread-matrix differential tests in `tests/properties.rs` and the
+//!   partition edge-case tests in [`exec`].
 
 pub mod error;
 pub mod exec;
@@ -39,6 +66,7 @@ pub use optimizer::{
     CostModel, JoinEstimate, Statistics,
 };
 pub use plan::{InsertAction, Plan, Query};
+pub use wol_model::Parallelism;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CplError>;

@@ -36,6 +36,12 @@ pub struct PipelineOptions {
     /// Check the source constraints against the source instances before
     /// transforming.
     pub check_source_constraints: bool,
+    /// Worker threads the CPL executor may use (see `cpl`'s threading-model
+    /// docs). Defaults to the environment ([`cpl::Parallelism::from_env`]):
+    /// the machine's available cores, overridable via `WOL_THREADS`.
+    /// Parallel execution is deterministic — the produced target is
+    /// bit-identical at every thread count.
+    pub parallelism: cpl::Parallelism,
 }
 
 impl Default for PipelineOptions {
@@ -48,6 +54,7 @@ impl Default for PipelineOptions {
             cost_model: cpl::CostModel::default(),
             verify_target: true,
             check_source_constraints: false,
+            parallelism: cpl::Parallelism::from_env(),
         }
     }
 }
@@ -137,6 +144,13 @@ pub struct MorphaseRun {
     /// Estimated vs actual rows per executed join operator (empty for
     /// compile-only runs). Reports print these with their error ratios.
     pub join_stats: Vec<JoinStat>,
+    /// The worker-thread budget execution ran with.
+    pub threads: usize,
+    /// Per-worker-slot execution statistics accumulated across every
+    /// parallel operator (empty when nothing ran in parallel). Slot `i`
+    /// holds what worker `i` did: its share of produced rows, index probes
+    /// and probe-cache hits — the skew of work across shards.
+    pub shard_stats: Vec<ExecStats>,
 }
 
 /// The Morphase system: a configured pipeline.
@@ -268,10 +282,11 @@ impl Morphase {
         // run can report estimate-vs-actual error per join.
         let mut exec = ExecStats::default();
         let mut join_stats = Vec::new();
+        let mut shard_stats = Vec::new();
         let mut target = Instance::new(augmented.target.schema.name());
         if execute {
             let start = Instant::now();
-            let mut ctx = EvalCtx::new(sources);
+            let mut ctx = EvalCtx::new(sources).with_parallelism(options.parallelism);
             ctx.enable_join_trace();
             for (query, estimates) in queries.iter().zip(&join_estimates) {
                 execute_query(query, &mut ctx, &mut target, &mut exec)?;
@@ -285,6 +300,7 @@ impl Morphase {
                     }
                 }));
             }
+            shard_stats = ctx.take_shard_stats();
             timings.execute = start.elapsed();
 
             // Stage 6: verification.
@@ -329,6 +345,8 @@ impl Morphase {
             plans,
             estimated_rows,
             join_stats,
+            threads: options.parallelism.threads(),
+            shard_stats,
         })
     }
 }

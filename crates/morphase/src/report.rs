@@ -53,6 +53,20 @@ pub fn render_report(run: &MorphaseRun) -> String {
         "peak operator output: {} rows (max_intermediate_rows)",
         run.exec.max_intermediate_rows
     );
+    if !run.shard_stats.is_empty() {
+        let _ = writeln!(
+            out,
+            "parallel shards ({} worker threads, per-shard share of the parallel operators):",
+            run.threads
+        );
+        for (shard, stats) in run.shard_stats.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  shard {shard}: {} rows, {} probes, {} cache hits",
+                stats.rows_produced, stats.index_probes, stats.probe_cache_hits
+            );
+        }
+    }
     let estimated: u64 = run.estimated_rows.iter().sum();
     let _ = writeln!(
         out,
@@ -131,6 +145,44 @@ mod tests {
         assert!(report.contains("join estimates (estimated -> actual rows):"));
         assert!(report.contains("  [T2] HashJoin: est 10 actual 40 (error 4.0x)"));
         assert!(report.contains("  [T3] NestedLoopJoin: est 7 actual 7 (error 1.0x)"));
+    }
+
+    /// Pins the per-shard report format: a parallel run surfaces each
+    /// worker's share of the partitioned operators; a sequential run prints
+    /// no shard section at all.
+    #[test]
+    fn report_surfaces_per_shard_stats_for_parallel_runs() {
+        use cpl::exec::ExecStats;
+        let w = CitiesWorkload::new();
+        let source = generate_euro(2, 2, 1);
+        let mut run = Morphase::new()
+            .transform(&w.euro_program(), &[&source][..])
+            .unwrap();
+        // Sequential (or below-threshold) runs have no shard breakdown.
+        run.shard_stats = Vec::new();
+        assert!(!render_report(&run).contains("parallel shards"));
+        // Pin the exact rendering on fixed values.
+        run.threads = 2;
+        run.shard_stats = vec![
+            ExecStats {
+                rows_produced: 10,
+                index_probes: 3,
+                probe_cache_hits: 2,
+                ..ExecStats::default()
+            },
+            ExecStats {
+                rows_produced: 7,
+                index_probes: 1,
+                probe_cache_hits: 0,
+                ..ExecStats::default()
+            },
+        ];
+        let report = render_report(&run);
+        assert!(report.contains(
+            "parallel shards (2 worker threads, per-shard share of the parallel operators):"
+        ));
+        assert!(report.contains("  shard 0: 10 rows, 3 probes, 2 cache hits"));
+        assert!(report.contains("  shard 1: 7 rows, 1 probes, 0 cache hits"));
     }
 
     #[test]

@@ -28,7 +28,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use wol_lang::ast::{Atom, SkolemArgs, Term, Var};
-use wol_model::{ClassName, Instance, Label, Oid, SharedValue, SkolemFactory, Value};
+use wol_model::{
+    chunk_ranges, ClassName, Instance, Label, Oid, Parallelism, SharedValue, SkolemFactory, Value,
+};
 
 use crate::error::EngineError;
 use crate::Result;
@@ -387,6 +389,32 @@ fn unwind_trail(bindings: &mut Bindings, trail: &mut Vec<Var>, mark: usize) {
     while trail.len() > mark {
         let var = trail.pop().expect("trail length checked");
         bindings.remove(&var);
+    }
+}
+
+/// Whether the term (or any sub-term) applies a Skolem function. Skolem
+/// application mutates the clause-wide [`SkolemFactory`], whose identity
+/// numbering depends on first-call order, so the partitioned matcher refuses
+/// to run Skolem-bearing bodies off the main thread.
+fn term_contains_skolem(term: &Term) -> bool {
+    match term {
+        Term::Skolem(_, _) => true,
+        Term::Var(_) | Term::Const(_) => false,
+        Term::Proj(base, _) => term_contains_skolem(base),
+        Term::Record(fields) => fields.iter().any(|(_, t)| term_contains_skolem(t)),
+        Term::Variant(_, payload) => term_contains_skolem(payload),
+    }
+}
+
+/// Whether any term of the atom applies a Skolem function (see
+/// [`term_contains_skolem`]).
+pub(crate) fn atom_contains_skolem(atom: &Atom) -> bool {
+    match atom {
+        Atom::Member(term, _) => term_contains_skolem(term),
+        Atom::Eq(s, t) | Atom::Neq(s, t) | Atom::Lt(s, t) | Atom::Leq(s, t) => {
+            term_contains_skolem(s) || term_contains_skolem(t)
+        }
+        Atom::InSet(elem, set) => term_contains_skolem(elem) || term_contains_skolem(set),
     }
 }
 
@@ -886,8 +914,13 @@ fn run_plan(
     }
 }
 
+/// Minimum extent size before the partitioned matcher spawns workers; below
+/// it the per-body thread spawn costs more than the matching it divides.
+const PAR_MIN_EXTENT: usize = 64;
+
 /// Enumerate every binding of the body's variables (extending `initial`) that
-/// makes all `atoms` true against `dbs`, using the indexed plan-based matcher.
+/// makes all `atoms` true against `dbs`, using the indexed plan-based matcher
+/// at the environment's default parallelism ([`Parallelism::from_env`]).
 pub fn match_body(
     atoms: &[Atom],
     dbs: &Databases<'_>,
@@ -895,7 +928,14 @@ pub fn match_body(
     initial: Bindings,
 ) -> Result<Vec<Bindings>> {
     let mut stats = MatchStats::default();
-    match_body_with_stats(atoms, dbs, skolem, initial, &mut stats)
+    match_body_partitioned(
+        atoms,
+        dbs,
+        skolem,
+        initial,
+        &mut stats,
+        Parallelism::from_env(),
+    )
 }
 
 /// [`match_body`], additionally accumulating [`MatchStats`].
@@ -906,8 +946,111 @@ pub fn match_body_with_stats(
     initial: Bindings,
     stats: &mut MatchStats,
 ) -> Result<Vec<Bindings>> {
+    match_body_partitioned(atoms, dbs, skolem, initial, stats, Parallelism::from_env())
+}
+
+/// [`match_body_with_stats`] with an explicit worker budget.
+///
+/// When the compiled join plan opens with an extent enumeration
+/// (`MemberScan`), the extent is split into contiguous chunks and each chunk
+/// is matched by a scoped worker running the *rest of the same plan* over its
+/// own undo-trail [`Bindings`] frame. Results concatenate in chunk order,
+/// which is the extent order the sequential matcher enumerates in, so the
+/// binding list — and the accumulated [`MatchStats`] totals — are identical
+/// at every thread count. Bodies that apply Skolem functions (which mutate
+/// the shared factory in first-call order) and plans that do not open with a
+/// scan stay on the sequential path.
+pub fn match_body_partitioned(
+    atoms: &[Atom],
+    dbs: &Databases<'_>,
+    skolem: &mut SkolemFactory,
+    initial: Bindings,
+    stats: &mut MatchStats,
+    parallelism: Parallelism,
+) -> Result<Vec<Bindings>> {
     let initially_bound: BTreeSet<Var> = initial.keys().cloned().collect();
     let steps = build_plan(atoms, &initially_bound, dbs);
+    let threads = parallelism.threads();
+    if threads > 1 && !atoms.iter().any(atom_contains_skolem) {
+        if let Some(Step {
+            atom,
+            kind: StepKind::MemberScan,
+        }) = steps.first()
+        {
+            let Atom::Member(term, class) = &atoms[*atom] else {
+                unreachable!("MemberScan steps are built from Member atoms");
+            };
+            let extent = dbs.extent(class);
+            if extent.len() >= PAR_MIN_EXTENT {
+                stats.extents_scanned += 1;
+                let (extent, steps, initial) = (&extent, &steps, &initial);
+                let outcomes: Vec<(MatchStats, Result<Vec<Bindings>>)> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = chunk_ranges(extent.len(), threads)
+                            .into_iter()
+                            .map(|range| {
+                                scope.spawn(move || {
+                                    // Fresh factory per worker: sound because
+                                    // Skolem-bearing bodies never get here.
+                                    let mut factory = SkolemFactory::new();
+                                    let mut worker_stats = MatchStats::default();
+                                    let mut frame = initial.clone();
+                                    let mut trail = Vec::new();
+                                    let mut out = Vec::new();
+                                    let result = (|| {
+                                        for oid in &extent[range] {
+                                            let value = Value::Oid((*oid).clone());
+                                            let mark = trail.len();
+                                            if match_pattern_in_place(
+                                                term,
+                                                &value,
+                                                &mut frame,
+                                                &mut trail,
+                                                dbs,
+                                                &mut factory,
+                                            ) {
+                                                worker_stats.bindings_considered += 1;
+                                                run_plan(
+                                                    1,
+                                                    steps,
+                                                    atoms,
+                                                    dbs,
+                                                    &mut factory,
+                                                    &mut frame,
+                                                    &mut trail,
+                                                    &mut out,
+                                                    &mut worker_stats,
+                                                )?;
+                                            }
+                                            unwind_trail(&mut frame, &mut trail, mark);
+                                        }
+                                        Ok(())
+                                    })();
+                                    (worker_stats, result.map(|()| out))
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|handle| handle.join().expect("match worker panicked"))
+                            .collect()
+                    });
+                let mut all = Vec::new();
+                let mut first_err = None;
+                for (worker_stats, result) in outcomes {
+                    stats.absorb(worker_stats);
+                    match result {
+                        Ok(bindings) => all.extend(bindings),
+                        Err(err) => first_err = first_err.or(Some(err)),
+                    }
+                }
+                return match first_err {
+                    Some(err) => Err(err),
+                    None => Ok(all),
+                };
+            }
+        }
+    }
     let mut bindings = initial;
     let mut trail = Vec::new();
     let mut out = Vec::new();
@@ -1487,6 +1630,97 @@ mod tests {
         assert_eq!(stats.extents_scanned, 0);
         assert_eq!(stats.index_probes, 1);
         assert!(stats.bindings_considered > 0);
+    }
+
+    /// The partitioned matcher enumerates a large extent over worker chunks
+    /// (each with its own undo-trail frame) and reproduces the sequential
+    /// matcher's binding *list* — same bindings, same order — with equal
+    /// stats, at every thread count.
+    #[test]
+    fn partitioned_matcher_equals_sequential_on_large_extents() {
+        let mut inst = Instance::new("euro");
+        let mut countries = Vec::new();
+        for c in 0..10 {
+            countries.push(inst.insert_fresh(
+                &ClassName::new("CountryE"),
+                Value::record([("name", Value::str(format!("country{c}")))]),
+            ));
+        }
+        for i in 0..200 {
+            inst.insert_fresh(
+                &ClassName::new("CityE"),
+                Value::record([
+                    ("name", Value::str(format!("city{i}"))),
+                    ("is_capital", Value::bool(i % 10 == 0)),
+                    ("country", Value::oid(countries[i % 10].clone())),
+                ]),
+            );
+        }
+        let dbs = Databases::new(&[&inst][..]);
+        for body in [
+            "Z = 1 <= E in CityE, E.is_capital = true",
+            "Z = 1 <= E in CityE, X in CountryE, X = E.country",
+            "Z = 1 <= E in CityE, F in CityE, E.country = F.country, F.is_capital = true",
+        ] {
+            let clause = parse_clause(body).unwrap();
+            let mut sk = SkolemFactory::new();
+            let mut seq_stats = MatchStats::default();
+            let sequential = match_body_partitioned(
+                &clause.body,
+                &dbs,
+                &mut sk,
+                Bindings::new(),
+                &mut seq_stats,
+                Parallelism::sequential(),
+            )
+            .unwrap();
+            assert!(!sequential.is_empty());
+            for threads in [2, 4, 8] {
+                let mut sk = SkolemFactory::new();
+                let mut par_stats = MatchStats::default();
+                let parallel = match_body_partitioned(
+                    &clause.body,
+                    &dbs,
+                    &mut sk,
+                    Bindings::new(),
+                    &mut par_stats,
+                    Parallelism::new(threads),
+                )
+                .unwrap();
+                assert_eq!(parallel, sequential, "bindings diverged on `{body}`");
+                assert_eq!(par_stats, seq_stats, "stats diverged on `{body}`");
+            }
+        }
+    }
+
+    /// Skolem-bearing bodies stay on the sequential path (the factory is
+    /// shared, ordered state), and still match correctly at any requested
+    /// parallelism.
+    #[test]
+    fn partitioned_matcher_gates_skolem_bodies_to_sequential() {
+        let mut inst = Instance::new("euro");
+        for i in 0..100 {
+            inst.insert_fresh(
+                &ClassName::new("CountryE"),
+                Value::record([("name", Value::str(format!("c{i}")))]),
+            );
+        }
+        let dbs = Databases::new(&[&inst][..]);
+        let clause = parse_clause("Z = 1 <= X in CountryE, Y = Mk_CountryT(X.name)").unwrap();
+        let mut sk = SkolemFactory::new();
+        let mut stats = MatchStats::default();
+        let results = match_body_partitioned(
+            &clause.body,
+            &dbs,
+            &mut sk,
+            Bindings::new(),
+            &mut stats,
+            Parallelism::new(8),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 100);
+        // The shared factory minted the identities in extent order.
+        assert_eq!(sk.count(&ClassName::new("CountryT")), 100);
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub use constraints::{
     extract_merge_keys, extract_object_keys, ConstraintClass, ObjectKey, Violation,
 };
 pub use env::{
-    eval_term, match_body, match_body_reference, match_body_with_stats, Bindings, Databases,
-    MatchStats,
+    eval_term, match_body, match_body_partitioned, match_body_reference, match_body_with_stats,
+    Bindings, Databases, MatchStats,
 };
 pub use error::EngineError;
 pub use info_preserve::{canonical_form, check_injective, instances_equivalent, InjectivityReport};

@@ -32,11 +32,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use wol_lang::ast::{Atom, Term, Var};
 use wol_lang::program::Program;
 use wol_lang::typecheck::check_clause_types;
-use wol_model::{ClassName, Instance, Label, Oid, SkolemFactory, Value};
+use wol_model::{chunk_ranges, ClassName, Instance, Label, Oid, Parallelism, SkolemFactory, Value};
 
 use crate::constraints::{extract_object_keys, ObjectKey};
 use crate::env::{
-    eval_skolem_key, eval_term, match_body_reference, match_body_with_stats, Bindings, Databases,
+    eval_skolem_key, eval_term, match_body_partitioned, match_body_reference, Bindings, Databases,
     MatchStats,
 };
 use crate::error::EngineError;
@@ -56,6 +56,13 @@ pub struct NaiveOptions {
     /// off uses the naive generate-and-test reference matcher, the pre-index
     /// baseline the benchmarks compare against.
     pub use_indexed_matching: bool,
+    /// Worker threads for partitioned body matching and the semi-naive delta
+    /// passes. Defaults to the environment ([`Parallelism::from_env`]:
+    /// available cores, overridable via `WOL_THREADS`). Parallelism never
+    /// changes the produced target — Skolem-bearing clause bodies pin
+    /// themselves to the sequential path, and delta matches are collected
+    /// into an ordered set before updates apply.
+    pub parallelism: Parallelism,
 }
 
 impl Default for NaiveOptions {
@@ -64,6 +71,7 @@ impl Default for NaiveOptions {
             max_passes: 64,
             semi_naive: true,
             use_indexed_matching: true,
+            parallelism: Parallelism::from_env(),
         }
     }
 }
@@ -94,7 +102,9 @@ struct AnalysedClause {
     reads_target: bool,
 }
 
-/// Match one clause body, honouring the matcher choice.
+/// Match one clause body, honouring the matcher choice. The indexed matcher
+/// partitions its extent scan over `parallelism` workers; the reference
+/// matcher is the sequential baseline and ignores the knob.
 fn match_clause_body(
     body: &[Atom],
     dbs: &Databases<'_>,
@@ -102,9 +112,10 @@ fn match_clause_body(
     initial: Bindings,
     indexed: bool,
     stats: &mut MatchStats,
+    parallelism: Parallelism,
 ) -> Result<Vec<Bindings>> {
     if indexed {
-        match_body_with_stats(body, dbs, factory, initial, stats)
+        match_body_partitioned(body, dbs, factory, initial, stats, parallelism)
     } else {
         match_body_reference(body, dbs, factory, initial, stats)
     }
@@ -189,6 +200,7 @@ pub fn naive_transform_with_report(
                         Bindings::new(),
                         options.use_indexed_matching,
                         &mut stats,
+                        options.parallelism,
                     )?
                 } else if !clause.reads_target {
                     // A source-only clause matches exactly what it matched in
@@ -206,26 +218,31 @@ pub fn naive_transform_with_report(
                         Bindings::new(),
                         options.use_indexed_matching,
                         &mut stats,
+                        options.parallelism,
                     )?
                 } else {
                     // Semi-naive: only bindings in which at least one target
                     // membership variable is bound to a delta object can be
                     // new. Seed each target membership variable with each
-                    // delta object of its class and take the union.
-                    let mut collected: BTreeSet<Bindings> = BTreeSet::new();
+                    // delta object of its class and take the union. The
+                    // per-seed matches are independent read-only queries, so
+                    // they run over scoped workers (each with its own binding
+                    // frame) when the clause body is Skolem-free; the union
+                    // is an ordered set, so the merge order cannot matter.
+                    let mut seeds: Vec<(Var, Oid)> = Vec::new();
                     for (var, class) in &clause.target_member_vars {
                         for oid in delta.iter().filter(|oid| oid.class() == class) {
-                            let initial = Bindings::from([(var.clone(), Value::Oid(oid.clone()))]);
-                            collected.extend(match_clause_body(
-                                &clause.body,
-                                &dbs,
-                                &mut factory,
-                                initial,
-                                options.use_indexed_matching,
-                                &mut stats,
-                            )?);
+                            seeds.push((var.clone(), oid.clone()));
                         }
                     }
+                    let collected = match_delta_seeds(
+                        &clause.body,
+                        &dbs,
+                        &mut factory,
+                        seeds,
+                        options,
+                        &mut stats,
+                    )?;
                     collected.into_iter().collect()
                 };
                 let mut updates: Vec<(Oid, Label, Value)> = Vec::new();
@@ -299,6 +316,90 @@ pub fn naive_transform_with_report(
     report.index_probes = stats.index_probes;
     report.bindings_considered = stats.bindings_considered;
     Ok((target, report))
+}
+
+/// Match one clause body once per delta seed and take the union. Runs the
+/// seeds over contiguous chunks on scoped workers when the options allow it
+/// (a worker budget above one, at least two seeds, the indexed matcher, and
+/// a Skolem-free body — Skolem terms would mutate the shared factory in
+/// first-call order); otherwise matches the seeds sequentially. Either way
+/// the result is an ordered set, so the produced fixpoint is identical.
+fn match_delta_seeds(
+    body: &[Atom],
+    dbs: &Databases<'_>,
+    factory: &mut SkolemFactory,
+    seeds: Vec<(Var, Oid)>,
+    options: &NaiveOptions,
+    stats: &mut MatchStats,
+) -> Result<BTreeSet<Bindings>> {
+    let threads = options.parallelism.threads();
+    let parallel_ok = threads > 1
+        && seeds.len() >= 2
+        && options.use_indexed_matching
+        && !body.iter().any(crate::env::atom_contains_skolem);
+    if !parallel_ok {
+        let mut collected = BTreeSet::new();
+        for (var, oid) in seeds {
+            let initial = Bindings::from([(var, Value::Oid(oid))]);
+            collected.extend(match_clause_body(
+                body,
+                dbs,
+                factory,
+                initial,
+                options.use_indexed_matching,
+                stats,
+                Parallelism::sequential(),
+            )?);
+        }
+        return Ok(collected);
+    }
+    let seeds = &seeds;
+    let outcomes: Vec<(MatchStats, Result<Vec<Bindings>>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunk_ranges(seeds.len(), threads)
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    // Fresh factory per worker: sound because Skolem-bearing
+                    // bodies never get here.
+                    let mut worker_factory = SkolemFactory::new();
+                    let mut worker_stats = MatchStats::default();
+                    let mut out = Vec::new();
+                    let result = (|| {
+                        for (var, oid) in &seeds[range] {
+                            let initial = Bindings::from([(var.clone(), Value::Oid(oid.clone()))]);
+                            out.extend(match_body_partitioned(
+                                body,
+                                dbs,
+                                &mut worker_factory,
+                                initial,
+                                &mut worker_stats,
+                                Parallelism::sequential(),
+                            )?);
+                        }
+                        Ok(())
+                    })();
+                    (worker_stats, result.map(|()| out))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("delta-pass worker panicked"))
+            .collect()
+    });
+    let mut collected = BTreeSet::new();
+    let mut first_err = None;
+    for (worker_stats, result) in outcomes {
+        stats.absorb(worker_stats);
+        match result {
+            Ok(bindings) => collected.extend(bindings),
+            Err(err) => first_err = first_err.or(Some(err)),
+        }
+    }
+    match first_err {
+        Some(err) => Err(err),
+        None => Ok(collected),
+    }
 }
 
 /// Convenience wrapper returning only the target instance.
@@ -615,6 +716,36 @@ mod tests {
         assert_eq!(reference_report.index_probes, 0);
         assert!(indexed_report.extents_scanned <= reference_report.extents_scanned);
         assert!(indexed_report.bindings_considered <= reference_report.bindings_considered);
+    }
+
+    /// The parallel fixpoint (partitioned matching + parallel delta passes)
+    /// produces the *identical* target instance — same identities, same
+    /// values — and the same match statistics as the sequential fixpoint, at
+    /// every thread count.
+    #[test]
+    fn parallel_fixpoint_is_bit_identical_to_sequential() {
+        let program = cities_program();
+        let source = euro_instance();
+        let sequential_options = NaiveOptions {
+            parallelism: Parallelism::sequential(),
+            ..NaiveOptions::default()
+        };
+        let (sequential, sequential_report) =
+            naive_transform_with_report(&program, &[&source][..], "target", &sequential_options)
+                .unwrap();
+        for threads in [2, 4, 8] {
+            let options = NaiveOptions {
+                parallelism: Parallelism::new(threads),
+                ..NaiveOptions::default()
+            };
+            let (parallel, report) =
+                naive_transform_with_report(&program, &[&source][..], "target", &options).unwrap();
+            assert_eq!(parallel, sequential, "target diverged at {threads} threads");
+            assert_eq!(
+                report, sequential_report,
+                "report diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

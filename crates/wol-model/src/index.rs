@@ -21,10 +21,12 @@
 //!   hash of the attribute value; probes re-check candidates against the live
 //!   value, so hash collisions cost time but never correctness.
 //!
-//! The cache lives behind a `RefCell` inside [`Instance`](crate::Instance):
-//! probing takes `&self`, so the read path of the engine stays borrow-friendly.
-//! Equality and cloning of instances deliberately ignore the cache (it is
-//! derived data).
+//! The cache lives behind an `RwLock` inside [`Instance`](crate::Instance):
+//! probing takes `&self`, so the read path of the engine stays
+//! borrow-friendly, and shared references can be handed to scoped worker
+//! threads (the parallel executors probe one instance from many workers at
+//! once). Equality and cloning of instances deliberately ignore the cache (it
+//! is derived data).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};

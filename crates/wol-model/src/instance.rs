@@ -5,8 +5,8 @@
 //! that every identity occurring inside a value belongs to one of the
 //! instance's extents (Section 2.1).
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::RwLock;
 
 use crate::error::ModelError;
 use crate::histogram::AttrHistogram;
@@ -34,13 +34,20 @@ pub struct AttrStats {
 /// Instances also carry a lazily built cache of secondary attribute indexes
 /// (see [`crate::index`]) used by the engine's join machinery; the cache is
 /// derived data and is ignored by equality and excluded from clones.
+///
+/// The cache sits behind an [`RwLock`], so an `Instance` is [`Sync`]: the
+/// parallel executors share `&Instance` across [`std::thread::scope`] workers,
+/// which probe extents, attribute indexes and histograms concurrently.
+/// Mutation still requires `&mut self`, so a read-only parallel section can
+/// never observe a write — the lock exists only to let concurrent readers
+/// build missing index entries lazily.
 #[derive(Debug, Default)]
 pub struct Instance {
     schema_name: String,
     extents: BTreeMap<ClassName, BTreeSet<Oid>>,
     values: BTreeMap<Oid, Value>,
     oid_gen: OidGen,
-    index: RefCell<IndexCache>,
+    index: RwLock<IndexCache>,
 }
 
 impl Clone for Instance {
@@ -50,7 +57,7 @@ impl Clone for Instance {
             extents: self.extents.clone(),
             values: self.values.clone(),
             oid_gen: self.oid_gen.clone(),
-            index: RefCell::new(IndexCache::default()),
+            index: RwLock::new(IndexCache::default()),
         }
     }
 }
@@ -75,7 +82,7 @@ impl Instance {
             extents: BTreeMap::new(),
             values: BTreeMap::new(),
             oid_gen: OidGen::new(),
-            index: RefCell::new(IndexCache::default()),
+            index: RwLock::new(IndexCache::default()),
         }
     }
 
@@ -93,7 +100,7 @@ impl Instance {
         if self.values.contains_key(&oid) {
             return Err(ModelError::DuplicateOid(oid.to_string()));
         }
-        self.index.borrow_mut().invalidate_class(&class);
+        self.cache_write().invalidate_class(&class);
         self.extents.entry(class).or_default().insert(oid.clone());
         self.values.insert(oid, value);
         Ok(())
@@ -102,7 +109,7 @@ impl Instance {
     /// Insert an object with a freshly generated identity, returning it.
     pub fn insert_fresh(&mut self, class: &ClassName, value: Value) -> Oid {
         let oid = self.oid_gen.fresh(class);
-        self.index.borrow_mut().invalidate_class(class);
+        self.cache_write().invalidate_class(class);
         self.extents
             .entry(class.clone())
             .or_default()
@@ -116,7 +123,7 @@ impl Instance {
         match self.values.get_mut(oid) {
             Some(slot) => {
                 *slot = value;
-                self.index.borrow_mut().invalidate_class(oid.class());
+                self.cache_write().invalidate_class(oid.class());
                 Ok(())
             }
             None => Err(ModelError::DanglingOid(oid.to_string())),
@@ -182,7 +189,7 @@ impl Instance {
     /// Remove an object from the instance. Dangling references left behind are
     /// detected by [`validate::check_instance`](crate::validate::check_instance).
     pub fn remove(&mut self, oid: &Oid) -> Option<Value> {
-        self.index.borrow_mut().invalidate_class(oid.class());
+        self.cache_write().invalidate_class(oid.class());
         if let Some(ext) = self.extents.get_mut(oid.class()) {
             ext.remove(oid);
         }
@@ -207,7 +214,7 @@ impl Instance {
     /// index in one pass over the extent; subsequent probes are hash lookups.
     pub fn lookup_by_attr(&self, class: &ClassName, attr: &str, value: &Value) -> Vec<Oid> {
         self.ensure_attr_index(class, attr);
-        let cache = self.index.borrow();
+        let cache = self.cache_read();
         let index = cache
             .get(class, attr)
             .expect("ensure_attr_index always installs the index");
@@ -233,7 +240,7 @@ impl Instance {
     /// extra — the one pass over the extent is shared.
     pub fn attr_stats(&self, class: &ClassName, attr: &str) -> AttrStats {
         self.ensure_attr_index(class, attr);
-        let cache = self.index.borrow();
+        let cache = self.cache_read();
         let index = cache
             .get(class, attr)
             .expect("ensure_attr_index always installs the index");
@@ -257,15 +264,14 @@ impl Instance {
     /// buckets, so the copy is cheap); callers that estimate repeatedly
     /// should memoise on their side, as `cpl`'s planner statistics do.
     pub fn attr_histogram(&self, class: &ClassName, attr: &str) -> AttrHistogram {
-        if let Some(h) = self.index.borrow().get_histogram(class, attr) {
+        if let Some(h) = self.cache_read().get_histogram(class, attr) {
             return h.clone();
         }
         let built = AttrHistogram::build(
             self.objects(class)
                 .filter_map(|(_, value)| value.project(attr).cloned()),
         );
-        self.index
-            .borrow_mut()
+        self.cache_write()
             .insert_histogram(class.clone(), attr.to_string(), built.clone());
         built
     }
@@ -273,22 +279,35 @@ impl Instance {
     /// Whether a histogram for `(class, attr)` is currently cached. Exposed
     /// for the stale-histogram invalidation tests.
     pub fn has_attr_histogram(&self, class: &ClassName, attr: &str) -> bool {
-        self.index.borrow().contains_histogram(class, attr)
+        self.cache_read().contains_histogram(class, attr)
     }
 
     /// Whether a probe for `(class, attr)` would hit an already-built index.
     /// Exposed for tests and diagnostics.
     pub fn has_attr_index(&self, class: &ClassName, attr: &str) -> bool {
-        self.index.borrow().contains(class, attr)
+        self.cache_read().contains(class, attr)
     }
 
     /// Number of `(class, attribute)` indexes currently built.
     pub fn attr_index_count(&self) -> usize {
-        self.index.borrow().len()
+        self.cache_read().len()
+    }
+
+    /// Read access to the derived-data cache. Poisoning is impossible in
+    /// practice (no panic path holds the guard), but recover into the inner
+    /// value rather than propagating: the cache is derived data and is always
+    /// safe to read or rebuild.
+    fn cache_read(&self) -> std::sync::RwLockReadGuard<'_, IndexCache> {
+        self.index.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write access to the derived-data cache (see [`cache_read`](Self::cache_read)).
+    fn cache_write(&self) -> std::sync::RwLockWriteGuard<'_, IndexCache> {
+        self.index.write().unwrap_or_else(|e| e.into_inner())
     }
 
     fn ensure_attr_index(&self, class: &ClassName, attr: &str) {
-        if self.index.borrow().contains(class, attr) {
+        if self.cache_read().contains(class, attr) {
             return;
         }
         let mut built = AttrIndex::default();
@@ -297,8 +316,7 @@ impl Instance {
                 built.add(value_hash(attr_value), oid.clone());
             }
         }
-        self.index
-            .borrow_mut()
+        self.cache_write()
             .insert(class.clone(), attr.to_string(), built);
     }
 
@@ -772,6 +790,46 @@ mod tests {
         let copy = inst.clone();
         assert_eq!(copy.attr_index_count(), 0);
         assert_eq!(copy, inst);
+    }
+
+    /// The parallel executors rely on sharing `&Instance` across scoped
+    /// threads; this pins the auto-traits at compile time.
+    #[test]
+    fn instance_is_send_and_sync_for_scoped_thread_sharing() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Instance>();
+        assert_send_sync::<Value>();
+        assert_send_sync::<Oid>();
+    }
+
+    /// Concurrent probes of a shared instance build the lazy index and
+    /// histogram caches safely and agree with a sequential probe.
+    #[test]
+    fn concurrent_reads_share_the_lazy_caches() {
+        let (inst, _, fr) = euro_instance();
+        let country = ClassName::new("CountryE");
+        let city = ClassName::new("CityE");
+        let expected = inst.lookup_by_attr(&country, "name", &Value::str("France"));
+        let shared = &inst;
+        let (country, city) = (&country, &city);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(scope.spawn(move || {
+                    let hits = shared.lookup_by_attr(country, "name", &Value::str("France"));
+                    let stats = shared.attr_stats(city, "is_capital");
+                    let hist = shared.attr_histogram(city, "is_capital");
+                    (hits, stats, hist)
+                }));
+            }
+            for handle in handles {
+                let (hits, stats, hist) = handle.join().expect("reader thread panicked");
+                assert_eq!(hits, expected);
+                assert_eq!(stats.entries, 3);
+                assert_eq!(hist.eq_count(&Value::bool(true)), 2.0);
+            }
+        });
+        assert_eq!(expected, vec![fr]);
     }
 
     #[test]

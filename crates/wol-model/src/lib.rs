@@ -28,6 +28,7 @@ pub mod index;
 pub mod instance;
 pub mod keys;
 pub mod oid;
+pub mod parallel;
 pub mod path;
 pub mod schema;
 pub mod types;
@@ -39,6 +40,7 @@ pub use histogram::{AttrHistogram, HistogramBucket};
 pub use instance::{AttrStats, Instance};
 pub use keys::{KeyExpr, KeySpec, SkolemFactory};
 pub use oid::Oid;
+pub use parallel::{chunk_ranges, Parallelism};
 pub use path::Path;
 pub use schema::Schema;
 pub use types::{BaseType, ClassName, Label, Type};

@@ -1,0 +1,136 @@
+//! The workspace-wide parallelism knob.
+//!
+//! Both execution engines (`cpl`'s plan executor and `wol-engine`'s clause
+//! matcher) partition their work over [`std::thread::scope`] workers. How many
+//! workers is a *policy* decision threaded down from the pipeline driver, so
+//! it lives here in the shared model crate: a [`Parallelism`] value is "use
+//! `n` OS threads", defaulting to the machine's available cores and
+//! overridable with the `WOL_THREADS` environment variable (the hook the CI
+//! thread-matrix uses to run the whole suite single- and multi-threaded).
+//!
+//! Parallel execution is required to be *deterministic*: the same inputs must
+//! produce bit-identical outputs at every thread count. The executors achieve
+//! that by partitioning work by data (contiguous chunks, or key-hash shards)
+//! rather than by scheduling, and by reassembling results in input order —
+//! `Parallelism` only decides how many partitions run concurrently, never
+//! what any partition computes.
+
+/// Number of worker threads parallel operators may use. Always at least 1;
+/// `1` means fully sequential execution (no scoped threads are spawned).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Parallelism(usize);
+
+impl Parallelism {
+    /// Exactly `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        Parallelism(threads.max(1))
+    }
+
+    /// Sequential execution: one worker, no threads spawned.
+    pub fn sequential() -> Self {
+        Parallelism(1)
+    }
+
+    /// The environment's parallelism: `WOL_THREADS` if set to an integer
+    /// (`0` clamps to sequential, matching [`Parallelism::new`]), otherwise
+    /// the number of available cores (1 if unknown).
+    pub fn from_env() -> Self {
+        match std::env::var("WOL_THREADS") {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) => Parallelism::new(n),
+                Err(_) => Self::available(),
+            },
+            Err(_) => Self::available(),
+        }
+    }
+
+    /// The machine's available cores, ignoring `WOL_THREADS`.
+    pub fn available() -> Self {
+        Parallelism(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The number of worker threads.
+    pub fn threads(self) -> usize {
+        self.0
+    }
+
+    /// True when no scoped threads would be spawned.
+    pub fn is_sequential(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl Default for Parallelism {
+    /// The environment default ([`Parallelism::from_env`]).
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Split `n` items into at most `threads` contiguous, order-preserving index
+/// ranges of near-equal length (the first `n % threads` ranges are one item
+/// longer). Empty ranges are never emitted, so the result has
+/// `min(threads, n)` entries; concatenating the ranges in order yields
+/// `0..n`. Partitioning work this way keeps parallel results mergeable in
+/// input order, which is what makes the executors deterministic.
+pub fn chunk_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = threads.max(1).min(n);
+    if workers == 0 {
+        return Vec::new();
+    }
+    let base = n / workers;
+    let extra = n % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for i in 0..workers {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_clamps_and_reports() {
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        assert_eq!(Parallelism::new(8).threads(), 8);
+        assert!(Parallelism::sequential().is_sequential());
+        assert!(!Parallelism::new(2).is_sequential());
+        assert!(Parallelism::available().threads() >= 1);
+        assert!(Parallelism::from_env().threads() >= 1);
+        assert!(Parallelism::default().threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_in_order() {
+        for n in 0..40usize {
+            for threads in 1..10usize {
+                let ranges = chunk_ranges(n, threads);
+                assert_eq!(ranges.len(), threads.min(n));
+                let mut expected = 0usize;
+                for range in &ranges {
+                    assert_eq!(range.start, expected);
+                    assert!(!range.is_empty());
+                    expected = range.end;
+                }
+                assert_eq!(expected, n);
+                // Near-equal: lengths differ by at most one.
+                if let (Some(max), Some(min)) = (
+                    ranges.iter().map(|r| r.len()).max(),
+                    ranges.iter().map(|r| r.len()).min(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+}

@@ -8,10 +8,10 @@
 
 use std::time::Duration;
 
-use wol_repro::cpl::CostModel;
+use wol_repro::cpl::{CostModel, Parallelism};
 use wol_repro::morphase::{Morphase, MorphaseRun, PipelineOptions};
 use wol_repro::wol_engine::instances_equivalent;
-use wol_repro::wol_model::ClassName;
+use wol_repro::wol_model::{ClassName, Instance};
 use wol_repro::workloads::genome::{self, GenomeParams};
 use wol_repro::workloads::skewed::{self, SkewedParams};
 
@@ -154,6 +154,162 @@ fn e7_full_size_skew_peak_rows_are_3x_below_flat_ndv() {
         "the flat model unexpectedly estimated the skewed join well: {:?}",
         flat.join_stats
     );
+}
+
+/// Run a pipeline with an explicit worker-thread budget.
+fn transform_with_threads(
+    program: &wol_repro::wol_lang::program::Program,
+    source: &Instance,
+    cost_model: CostModel,
+    threads: usize,
+) -> MorphaseRun {
+    let options = PipelineOptions {
+        cost_model,
+        parallelism: Parallelism::new(threads),
+        ..PipelineOptions::default()
+    };
+    Morphase::with_options(options)
+        .transform(program, &[source][..])
+        .expect("pipeline runs")
+}
+
+/// The E8 determinism guard: the plan- and target-instance assertions from
+/// PRs 2–3 hold *at every thread count*, and — stronger — the target
+/// instance and the merged `ExecStats` are bit-identical to the
+/// single-thread run's. Identity numbering in the target depends on output
+/// row order, so target equality proves parallel row order is exactly
+/// sequential.
+#[test]
+fn e8_plan_and_target_assertions_hold_at_every_thread_count() {
+    // E6 genome shape across the full matrix.
+    let genome_params = GenomeParams {
+        clones: 30,
+        markers: 90,
+        density: 0.6,
+        seed: 22,
+    };
+    let genome_source = genome::generate_source(&genome_params);
+    let genome_program = genome::program();
+    let base = transform_with_threads(&genome_program, &genome_source, CostModel::Histogram, 1);
+    for plan in &base.plans {
+        assert!(
+            !plan.contains("CrossJoin") && !plan.contains("NestedLoopJoin"),
+            "a product survived planning:\n{plan}"
+        );
+    }
+    for threads in [2usize, 4, 8] {
+        let run = transform_with_threads(
+            &genome_program,
+            &genome_source,
+            CostModel::Histogram,
+            threads,
+        );
+        assert_eq!(
+            run.target, base.target,
+            "E6 target diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.exec, base.exec,
+            "E6 merged ExecStats diverged at {threads} threads"
+        );
+        assert_eq!(run.plans, base.plans, "plans must not depend on threads");
+        assert!(run.exec.index_probes > 0);
+    }
+
+    // E7 skew shape across the matrix, under *both* cost models.
+    let skew_params = SkewedParams {
+        clones: 200,
+        markers: 500,
+        probes: 175,
+        lanes: 600,
+        bins: 100,
+        zipf_exponent: 1.1,
+        seed: 22,
+    };
+    let skew_source = skewed::generate_source(&skew_params);
+    let skew_program = skewed::program();
+    for cost_model in [CostModel::Histogram, CostModel::FlatNdv] {
+        let base = transform_with_threads(&skew_program, &skew_source, cost_model, 1);
+        for threads in [2usize, 4, 8] {
+            let run = transform_with_threads(&skew_program, &skew_source, cost_model, threads);
+            assert_eq!(
+                run.target, base.target,
+                "E7 target diverged at {threads} threads under {cost_model:?}"
+            );
+            assert_eq!(
+                run.exec, base.exec,
+                "E7 merged ExecStats diverged at {threads} threads under {cost_model:?}"
+            );
+        }
+    }
+}
+
+/// The E8 scaling guard (release mode, run by CI): on scaled-up E6 and E7
+/// workloads — sized so the execute phase is long enough that thread-spawn
+/// overhead is noise — the 4-thread execute phase must be at least 2× faster
+/// than the single-thread one. The measurement needs ≥4 physical cores; on
+/// smaller machines (and in debug builds, where the ratio would measure the
+/// allocator rather than the executor) only the determinism assertions run.
+#[test]
+fn e8_four_thread_execute_is_at_least_2x_single_thread_on_e6_and_e7() {
+    if cfg!(debug_assertions) {
+        eprintln!("[e8] debug build: the scaling ratio is measured by the release CI run only");
+        return;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let genome_params = GenomeParams {
+        clones: 1200,
+        markers: 3600,
+        density: 0.6,
+        seed: 22,
+    };
+    let genome_source = genome::generate_source(&genome_params);
+    let skew_params = SkewedParams {
+        clones: 2400,
+        markers: 6000,
+        probes: 2000,
+        lanes: 4200,
+        bins: 600,
+        zipf_exponent: 1.1,
+        seed: 22,
+    };
+    let skew_source = skewed::generate_source(&skew_params);
+    let genome_program = genome::program();
+    let skew_program = skewed::program();
+    for (label, program, source) in [
+        ("E6", &genome_program, &genome_source),
+        ("E7", &skew_program, &skew_source),
+    ] {
+        // Best-of-two per configuration to damp scheduler noise.
+        let measure = |threads: usize| -> (Duration, MorphaseRun) {
+            let first = transform_with_threads(program, source, CostModel::Histogram, threads);
+            let second = transform_with_threads(program, source, CostModel::Histogram, threads);
+            let best = first.timings.execute.min(second.timings.execute);
+            (best, second)
+        };
+        let (t1, run1) = measure(1);
+        let (t4, run4) = measure(4);
+        assert_eq!(
+            run4.target, run1.target,
+            "{label} target diverged between 1 and 4 threads"
+        );
+        let speedup = t1.as_secs_f64() / t4.as_secs_f64().max(1e-9);
+        eprintln!("[e8] {label}: single-thread {t1:?}, 4-thread {t4:?} ({speedup:.2}x)");
+        if cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "{label}: expected a >=2x 4-thread execute speed-up, got {speedup:.2}x \
+                 (single-thread {t1:?}, 4-thread {t4:?})"
+            );
+        } else {
+            eprintln!(
+                "[e8] {label}: only {cores} core(s) available; the >=2x assertion is \
+                 enforced by the multi-core CI runners"
+            );
+        }
+    }
 }
 
 /// The full-size E6 acceptance check (100 clones x 300 markers): the genome

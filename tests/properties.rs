@@ -178,11 +178,49 @@ fn skew_chain_raw_plan(k: usize, rotation: usize) -> Plan {
 
 /// Run a plan and return its sorted row multiset.
 fn sorted_rows(plan: &Plan, refs: &[&wol_repro::wol_model::Instance]) -> Vec<cpl::Row> {
-    let mut ctx = cpl::expr::EvalCtx::new(refs);
+    let mut ctx = cpl::expr::EvalCtx::new(refs).with_parallelism(cpl::Parallelism::sequential());
     let mut stats = cpl::ExecStats::default();
     let mut rows = cpl::run_plan(plan, &mut ctx, &mut stats).expect("plan runs");
     rows.sort();
     rows
+}
+
+/// Execute `plan` at the given thread count — both bare (for the row stream)
+/// and as a full query whose Skolem-keyed insert actions build a target
+/// instance from the rows (so the *identity numbering*, which depends on row
+/// order, is part of what is compared). The parallel threshold is lowered to
+/// one row so even tiny generated instances exercise the partitioned paths.
+fn run_query_with_threads(
+    plan: &Plan,
+    refs: &[&wol_repro::wol_model::Instance],
+    threads: usize,
+) -> (Vec<cpl::Row>, wol_repro::wol_model::Instance) {
+    let parallelism = cpl::Parallelism::new(threads);
+    let mut ctx = cpl::expr::EvalCtx::new(refs).with_parallelism(parallelism);
+    ctx.set_parallel_min_rows(1);
+    let mut stats = cpl::ExecStats::default();
+    let rows = cpl::run_plan(plan, &mut ctx, &mut stats).expect("plan runs");
+
+    let query = cpl::Query {
+        name: "thread_matrix".to_string(),
+        plan: plan.clone(),
+        inserts: vec![cpl::InsertAction {
+            class: ClassName::new("OutT"),
+            // Keyed by the V0 marker object: join multiplicity makes partial
+            // inserts merge, exactly like compiled normal-form clauses.
+            key: Expr::var("V0"),
+            attrs: vec![
+                ("marker".to_string(), Expr::var("V0").proj("name")),
+                ("clone".to_string(), Expr::var("V0").proj("clone_name")),
+            ],
+        }],
+    };
+    let mut ctx = cpl::expr::EvalCtx::new(refs).with_parallelism(parallelism);
+    ctx.set_parallel_min_rows(1);
+    let mut stats = cpl::ExecStats::default();
+    let mut target = wol_repro::wol_model::Instance::new("target");
+    cpl::execute_query(&query, &mut ctx, &mut target, &mut stats).expect("query executes");
+    (rows, target)
 }
 
 proptest! {
@@ -252,6 +290,55 @@ proptest! {
         }
         let reference = cpl::optimize_reference(raw.clone());
         prop_assert_eq!(&sorted_rows(&reference, &refs[..]), &expected);
+    }
+
+    /// The thread-matrix differential: over zipf-skewed E7-style instances,
+    /// parallel execution at every thread count in {1, 2, 4, 8} produces the
+    /// *identical row stream and target instance* as the sequential executor
+    /// — for the cost-based plan under both cost models *and* for the legacy
+    /// `optimize_reference` plan — and the row multiset always equals the raw
+    /// plan's. Identity numbering in the target depends on row order, so
+    /// target equality here proves parallel row order is exactly sequential.
+    #[test]
+    fn parallel_execution_is_deterministic_across_the_thread_matrix(
+        k in 2usize..5,
+        rotation in 0usize..6,
+        clones in 1usize..5,
+        markers in 2usize..11,
+        probes in 1usize..7,
+        seed in 0u64..500,
+    ) {
+        let params = SkewedParams {
+            clones,
+            markers,
+            probes,
+            lanes: 4,
+            bins: 3,
+            zipf_exponent: 1.3,
+            seed,
+        };
+        let source = skewed::generate_source(&params);
+        let refs = [&source];
+        let raw = skew_chain_raw_plan(k, rotation % k);
+        let raw_multiset = sorted_rows(&raw, &refs[..]);
+        let reference = cpl::optimize_reference(raw.clone());
+        for cost_model in [cpl::CostModel::Histogram, cpl::CostModel::FlatNdv] {
+            let stats = cpl::Statistics::from_instances(&refs[..]).with_cost_model(cost_model);
+            let planned = cpl::optimize_with_stats(raw.clone(), &stats);
+            for plan in [&planned, &reference] {
+                let (base_rows, base_target) = run_query_with_threads(plan, &refs[..], 1);
+                for threads in [2usize, 4, 8] {
+                    let (rows, target) = run_query_with_threads(plan, &refs[..], threads);
+                    // Divergence at any thread count under either cost model
+                    // is a determinism bug.
+                    prop_assert_eq!(&rows, &base_rows);
+                    prop_assert_eq!(&target, &base_target);
+                }
+                let mut multiset = base_rows;
+                multiset.sort();
+                prop_assert_eq!(&multiset, &raw_multiset);
+            }
+        }
     }
 
     /// The Skolem factory is a bijection between key values and identities:
