@@ -11,6 +11,13 @@
 //!
 //! On a single-core container the curve is flat (it measures the overhead
 //! bound, not scaling); the ≥2× four-thread guard runs on multi-core CI.
+//! Since PR 5, operators dispatch to a persistent worker pool instead of
+//! spawning a `thread::scope` round each (threshold down 1024 → 128 rows),
+//! Skolem-bearing maps and insert actions run parallel under the two-phase
+//! key-claim protocol (the E6 load's insert phase was main-thread-only
+//! before), and independent queries of one program overlap on the pool —
+//! the per-point `pool_size` field records the worker pool each
+//! configuration dispatched to.
 
 use std::time::Duration;
 
@@ -108,6 +115,12 @@ fn bench_parallel(c: &mut Criterion) {
                 .int(
                     "worker_shards",
                     run.as_ref().map_or(0, |r| r.shard_stats.len()) as u64,
+                )
+                // The persistent pool this configuration dispatches to:
+                // `threads - 1` OS workers plus the participating caller.
+                .int(
+                    "pool_size",
+                    cpl::WorkerPool::shared(cpl::Parallelism::new(threads)).threads() as u64,
                 );
             curve = curve.obj(&format!("threads_{threads}"), point);
             if let Some(run) = run {

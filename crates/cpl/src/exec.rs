@@ -32,7 +32,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
 
-use wol_model::{chunk_ranges, Instance, Oid, Value};
+use wol_model::{chunk_ranges, rewrite_resolved, Instance, Oid, SkolemClaims, Value};
 
 use crate::error::CplError;
 use crate::expr::{eval, eval_predicate, EvalCtx, Expr};
@@ -98,76 +98,94 @@ impl ExecStats {
 
 /// Decide whether an operator over `rows` input items may run in parallel,
 /// given the expressions its workers would evaluate. Returns the worker count
-/// (>= 2) or `None` for the sequential path. Skolem-bearing expressions pin
-/// the operator to the sequential path: Skolem creation mutates the shared
-/// factory, whose identity numbering depends on first-call order.
+/// (>= 2) or `None` for the sequential path.
+///
+/// Skolem creation mutates the shared factory, whose identity numbering
+/// depends on first-call order, so a Skolem-bearing expression is only
+/// admitted when the operator supports the two-phase key-claim protocol
+/// (`claims_ok` — [`Plan::Map`] and the insert actions) *and* every Skolem
+/// sits in value position ([`Expr::skolem_parallel_safe`]); otherwise the
+/// operator pins itself to the sequential path.
 fn parallel_workers<'e>(
     ctx: &EvalCtx<'_>,
     rows: usize,
+    claims_ok: bool,
     exprs: impl IntoIterator<Item = &'e Expr>,
 ) -> Option<usize> {
     let threads = ctx.parallelism().threads();
     if threads <= 1 || rows < 2 || rows < ctx.parallel_min_rows() {
         return None;
     }
-    if exprs.into_iter().any(Expr::contains_skolem) {
-        return None;
+    for expr in exprs {
+        if expr.contains_skolem() && !(claims_ok && expr.skolem_parallel_safe()) {
+            return None;
+        }
     }
     Some(threads.min(rows))
 }
 
-/// Spawn one scoped worker per partition, each with a fresh *sequential*
-/// context over the same shared sources and its own [`ExecStats`], and
-/// collect each partition's result in partition order. Fresh per-worker
-/// contexts are sound because [`parallel_workers`] already rejected every
-/// expression that could touch the Skolem factory.
+/// Dispatch one job per partition to the context's persistent
+/// [`wol_model::WorkerPool`], each with a fresh *sequential* context over the
+/// same shared sources and its own [`ExecStats`], and collect each
+/// partition's result in partition order. With `with_claims`, each worker
+/// context carries a [`SkolemClaims`] arena (the claim phase of the
+/// two-phase protocol) and the arenas come back partition-ordered for the
+/// caller to resolve; without it, workers cannot touch the Skolem factory at
+/// all, which [`parallel_workers`] already guaranteed is never needed.
 ///
 /// The workers' probe counters are merged into `stats` (row accounting stays
 /// with the calling operator) and the full per-worker stats are accumulated
 /// into the context's per-shard breakdown. The error of the *earliest*
 /// partition propagates — the same error a sequential left-to-right run
 /// would have hit first.
+#[allow(clippy::type_complexity)]
 fn run_partitioned<T, A, F>(
     ctx: &mut EvalCtx<'_>,
     stats: &mut ExecStats,
     partitions: Vec<A>,
+    with_claims: bool,
     work: F,
-) -> Result<Vec<T>>
+) -> Result<(Vec<T>, Vec<Option<SkolemClaims>>)>
 where
     T: Send,
     A: Send,
     F: Fn(A, &mut EvalCtx<'_>, &mut ExecStats) -> Result<T> + Sync,
 {
+    let pool = ctx.pool();
     let sources = ctx.sources().to_vec();
-    let outcomes: Vec<(ExecStats, Result<T>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .into_iter()
-            .map(|partition| {
-                let sources = &sources;
-                let work = &work;
-                scope.spawn(move || {
-                    let mut worker_ctx = EvalCtx::worker(sources);
-                    let mut worker_stats = ExecStats::default();
-                    let result = work(partition, &mut worker_ctx, &mut worker_stats);
-                    (worker_stats, result)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("executor worker panicked"))
-            .collect()
-    });
-    let worker_stats: Vec<ExecStats> = outcomes.iter().map(|(ws, _)| *ws).collect();
+    let sources = &sources;
+    let work = &work;
+    let jobs: Vec<wol_model::Job<'_, (ExecStats, Option<SkolemClaims>, Result<T>)>> = partitions
+        .into_iter()
+        .map(|partition| {
+            Box::new(move || {
+                let claims = with_claims.then(SkolemClaims::new);
+                let mut worker_ctx = EvalCtx::worker(sources, claims);
+                let mut worker_stats = ExecStats::default();
+                let result = work(partition, &mut worker_ctx, &mut worker_stats);
+                (worker_stats, worker_ctx.take_claims(), result)
+            }) as wol_model::Job<'_, _>
+        })
+        .collect();
+    let outcomes = pool.scope(jobs);
+    let worker_stats: Vec<ExecStats> = outcomes.iter().map(|(ws, _, _)| *ws).collect();
     ctx.absorb_shard_stats(&worker_stats);
     for ws in &worker_stats {
         stats.absorb_probe_counters(ws);
     }
-    outcomes.into_iter().map(|(_, result)| result).collect()
+    let mut arenas = Vec::with_capacity(outcomes.len());
+    let mut results = Vec::with_capacity(outcomes.len());
+    for (_, claims, result) in outcomes {
+        arenas.push(claims);
+        results.push(result);
+    }
+    let results: Result<Vec<T>> = results.into_iter().collect();
+    Ok((results?, arenas))
 }
 
-/// Run `work` over contiguous chunks of `0..n` on `workers` scoped threads
-/// and concatenate the chunk results in input order.
+/// Run `work` over contiguous chunks of `0..n` on `workers` pool workers
+/// and concatenate the chunk results in input order. Claim-free: the callers
+/// of this helper never evaluate Skolem-bearing expressions.
 fn run_chunked<T, F>(
     ctx: &mut EvalCtx<'_>,
     stats: &mut ExecStats,
@@ -179,8 +197,43 @@ where
     T: Send,
     F: Fn(Range<usize>, &mut EvalCtx<'_>, &mut ExecStats) -> Result<Vec<T>> + Sync,
 {
-    let chunks = run_partitioned(ctx, stats, chunk_ranges(n, workers), work)?;
+    let (chunks, _) = run_partitioned(ctx, stats, chunk_ranges(n, workers), false, work)?;
     Ok(chunks.into_iter().flatten().collect())
+}
+
+/// Whether a `Map`'s bindings, evaluated in order against one claim arena,
+/// keep every provisional identity in value position — including identities
+/// laundered through an *earlier binding of the same Map* (a later binding
+/// inspecting `Var(t)` where `t` was bound to a Skolem-bearing expression
+/// would observe the provisional, not the memoised real identity a
+/// sequential run sees). Input rows are already resolved by the upstream
+/// operator's resolution barrier, so only the Map's own bindings can taint
+/// — the taint set starts empty.
+fn map_bindings_claim_safe(bindings: &[(String, Expr)]) -> bool {
+    crate::expr::bindings_claim_safe(bindings, &mut std::collections::BTreeSet::new())
+}
+
+/// Resolve the claim arenas a partitioned operator brought back (partition
+/// order = input order) and rewrite every provisional identity in `rows` to
+/// its final one. After this, no provisional identity survives in the
+/// operator's output — downstream operators and the target only ever see the
+/// identities a sequential run would have produced.
+fn resolve_rows(rows: &mut [Row], arenas: Vec<Option<SkolemClaims>>, ctx: &mut EvalCtx<'_>) {
+    let arenas: Vec<SkolemClaims> = arenas.into_iter().flatten().collect();
+    if arenas.is_empty() {
+        return;
+    }
+    let resolved = ctx.resolve_claim_arenas(&arenas);
+    if resolved.is_empty() {
+        return;
+    }
+    for row in rows.iter_mut() {
+        for value in row.values_mut() {
+            if value.contains_oid() {
+                *value = rewrite_resolved(value, &resolved);
+            }
+        }
+    }
 }
 
 /// Hash of a composite key tuple, used to assign build rows and driving rows
@@ -354,7 +407,7 @@ fn probe_join(
 ) -> Result<Vec<Row>> {
     let driving_rows = run_plan(driving, ctx, stats)?;
     let gate = driving_keys.iter().chain(scan_keys.iter()).copied();
-    if let Some(workers) = parallel_workers(ctx, driving_rows.len(), gate) {
+    if let Some(workers) = parallel_workers(ctx, driving_rows.len(), false, gate) {
         return par_probe_join(
             &driving_rows,
             driving_keys,
@@ -463,8 +516,11 @@ fn par_probe_join(
     // so dropping empty shards cannot affect output order.
     shards.retain(|indices| !indices.is_empty());
     let key_tuples = &key_tuples;
-    let per_shard: Vec<Vec<(usize, Vec<Row>)>> =
-        run_partitioned(ctx, stats, shards, |indices, wctx, ws| {
+    /// Rows produced for one driving-row slot, keyed for order-preserving
+    /// reassembly.
+    type SlotRows = Vec<(usize, Vec<Row>)>;
+    let (per_shard, _): (Vec<SlotRows>, _) =
+        run_partitioned(ctx, stats, shards, false, |indices, wctx, ws| {
             let wsources = wctx.sources().to_vec();
             let mut cache: HashMap<&[Value], Vec<Oid>> = HashMap::new();
             let mut out = Vec::with_capacity(indices.len());
@@ -580,8 +636,12 @@ fn par_hash_join(
     let (left_tuples, left_hashes) = (&left_tuples, &left_hashes);
     // Shard tables map a key tuple to the build-row indices carrying it, in
     // ascending (build) order.
-    let shard_tables: Vec<HashMap<&[Value], Vec<usize>>> =
-        run_partitioned(ctx, stats, (0..workers).collect(), |shard, _wctx, _ws| {
+    let (shard_tables, _): (Vec<HashMap<&[Value], Vec<usize>>>, _) = run_partitioned(
+        ctx,
+        stats,
+        (0..workers).collect(),
+        false,
+        |shard, _wctx, _ws| {
             let mut table: HashMap<&[Value], Vec<usize>> = HashMap::new();
             for (idx, tuple) in left_tuples.iter().enumerate() {
                 if let Some(values) = tuple {
@@ -591,7 +651,8 @@ fn par_hash_join(
                 }
             }
             Ok(table)
-        })?;
+        },
+    )?;
     let (shard_tables, right_tuples) = (&shard_tables, &right_tuples);
     run_chunked(ctx, stats, right_rows.len(), workers, |range, _wctx, ws| {
         let mut out = Vec::new();
@@ -648,7 +709,7 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             // run on the workers.
             if let Plan::Scan { class, var } = input.as_ref() {
                 let extent_total: usize = ctx.sources().iter().map(|i| i.extent_size(class)).sum();
-                if let Some(workers) = parallel_workers(ctx, extent_total, [predicate]) {
+                if let Some(workers) = parallel_workers(ctx, extent_total, false, [predicate]) {
                     let oids: Vec<Oid> = ctx
                         .sources()
                         .iter()
@@ -678,7 +739,7 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
                 }
             }
             let input_rows = run_plan(input, ctx, stats)?;
-            match parallel_workers(ctx, input_rows.len(), [predicate]) {
+            match parallel_workers(ctx, input_rows.len(), false, [predicate]) {
                 Some(workers) => {
                     let input_rows = &input_rows;
                     run_chunked(ctx, stats, input_rows.len(), workers, |range, wctx, ws| {
@@ -706,29 +767,46 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
         Plan::Map { input, bindings } => {
             let input_rows = run_plan(input, ctx, stats)?;
             let gate = bindings.iter().map(|(_, e)| e);
-            match parallel_workers(ctx, input_rows.len(), gate) {
+            let claims_ok = map_bindings_claim_safe(bindings);
+            match parallel_workers(ctx, input_rows.len(), claims_ok, gate) {
                 Some(workers) => {
+                    // Skolem-bearing bindings run under the two-phase
+                    // key-claim protocol: workers mint provisional
+                    // identities into per-worker arenas, and the arenas are
+                    // resolved in partition (= input) order afterwards, so
+                    // the final numbering — and the rewritten rows — are
+                    // bit-identical to a sequential evaluation.
+                    let with_claims = bindings.iter().any(|(_, e)| e.contains_skolem());
                     let input_rows = &input_rows;
-                    run_chunked(ctx, stats, input_rows.len(), workers, |range, wctx, ws| {
-                        let mut out = Vec::new();
-                        'rows: for row in &input_rows[range] {
-                            let mut extended = row.clone();
-                            for (var, expr) in bindings {
-                                match eval(expr, &extended, wctx) {
-                                    Ok(value) => {
-                                        extended.insert(var.clone(), value);
+                    let (chunks, arenas) = run_partitioned(
+                        ctx,
+                        stats,
+                        chunk_ranges(input_rows.len(), workers),
+                        with_claims,
+                        |range, wctx, ws| {
+                            let mut out = Vec::new();
+                            'rows: for row in &input_rows[range] {
+                                let mut extended = row.clone();
+                                for (var, expr) in bindings {
+                                    match eval(expr, &extended, wctx) {
+                                        Ok(value) => {
+                                            extended.insert(var.clone(), value);
+                                        }
+                                        // Missing optional attribute: the row
+                                        // does not contribute.
+                                        Err(CplError::BadValue(_)) => continue 'rows,
+                                        Err(other) => return Err(other),
                                     }
-                                    // Missing optional attribute: the row
-                                    // does not contribute.
-                                    Err(CplError::BadValue(_)) => continue 'rows,
-                                    Err(other) => return Err(other),
                                 }
+                                out.push(extended);
                             }
-                            out.push(extended);
-                        }
-                        ws.rows_produced += out.len();
-                        Ok(out)
-                    })?
+                            ws.rows_produced += out.len();
+                            Ok(out)
+                        },
+                    )?;
+                    let mut rows: Vec<Row> = chunks.into_iter().flatten().collect();
+                    resolve_rows(&mut rows, arenas, ctx);
+                    rows
                 }
                 None => {
                     let mut rows = Vec::new();
@@ -764,7 +842,7 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
         } => {
             let left_rows = run_plan(left, ctx, stats)?;
             let right_rows = run_plan(right, ctx, stats)?;
-            let rows = match parallel_workers(ctx, left_rows.len(), predicate.iter()) {
+            let rows = match parallel_workers(ctx, left_rows.len(), false, predicate.iter()) {
                 Some(workers) => {
                     let (left_rows, right_rows) = (&left_rows, &right_rows);
                     run_chunked(ctx, stats, left_rows.len(), workers, |range, wctx, ws| {
@@ -810,7 +888,7 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
         Plan::CrossJoin { left, right } => {
             let left_rows = run_plan(left, ctx, stats)?;
             let right_rows = run_plan(right, ctx, stats)?;
-            let rows = match parallel_workers(ctx, left_rows.len(), std::iter::empty()) {
+            let rows = match parallel_workers(ctx, left_rows.len(), false, std::iter::empty()) {
                 Some(workers) => {
                     let (left_rows, right_rows) = (&left_rows, &right_rows);
                     run_chunked(ctx, stats, left_rows.len(), workers, |range, _wctx, ws| {
@@ -859,40 +937,41 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             let left_rows = run_plan(left, ctx, stats)?;
             let right_rows = run_plan(right, ctx, stats)?;
             let gate = keys.iter().flat_map(|(l, r)| [l, r]);
-            let rows = match parallel_workers(ctx, left_rows.len().max(right_rows.len()), gate) {
-                Some(workers) => par_hash_join(
-                    &left_rows,
-                    &right_rows,
-                    &left_keys,
-                    &right_keys,
-                    workers,
-                    ctx,
-                    stats,
-                )?,
-                None => {
-                    // Build on the left, probe with the right.
-                    let mut table: BTreeMap<Vec<Value>, Vec<&Row>> = BTreeMap::new();
-                    for l in &left_rows {
-                        if let Some(key) = eval_keys(&left_keys, l, ctx)? {
-                            table.entry(key).or_default().push(l);
-                        }
-                    }
-                    let mut rows = Vec::new();
-                    for r in &right_rows {
-                        let Some(key) = eval_keys(&right_keys, r, ctx)? else {
-                            continue;
-                        };
-                        if let Some(matches) = table.get(&key) {
-                            for l in matches {
-                                let mut combined = (*l).clone();
-                                combined.extend(r.clone());
-                                rows.push(combined);
+            let rows =
+                match parallel_workers(ctx, left_rows.len().max(right_rows.len()), false, gate) {
+                    Some(workers) => par_hash_join(
+                        &left_rows,
+                        &right_rows,
+                        &left_keys,
+                        &right_keys,
+                        workers,
+                        ctx,
+                        stats,
+                    )?,
+                    None => {
+                        // Build on the left, probe with the right.
+                        let mut table: BTreeMap<Vec<Value>, Vec<&Row>> = BTreeMap::new();
+                        for l in &left_rows {
+                            if let Some(key) = eval_keys(&left_keys, l, ctx)? {
+                                table.entry(key).or_default().push(l);
                             }
                         }
+                        let mut rows = Vec::new();
+                        for r in &right_rows {
+                            let Some(key) = eval_keys(&right_keys, r, ctx)? else {
+                                continue;
+                            };
+                            if let Some(matches) = table.get(&key) {
+                                for l in matches {
+                                    let mut combined = (*l).clone();
+                                    combined.extend(r.clone());
+                                    rows.push(combined);
+                                }
+                            }
+                        }
+                        rows
                     }
-                    rows
-                }
-            };
+                };
             ctx.record_join("HashJoin", rows.len());
             rows
         }
@@ -911,7 +990,232 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
     Ok(rows)
 }
 
+/// One row's evaluated insert actions from the claim phase: the key and
+/// record *values* (possibly holding provisional identities) plus the claim
+/// ranges their evaluation recorded, so the apply phase can interleave claim
+/// resolution with the per-row `Mk_C` calls exactly as a sequential run
+/// interleaved them.
+#[derive(Debug)]
+struct EvaluatedInsert {
+    key: Value,
+    record: Value,
+    key_claims: Range<usize>,
+    attr_claims: Range<usize>,
+}
+
+/// Phase-1 product of one query evaluated on a claim context
+/// ([`EvalCtx::claim_worker`]): everything needed to rebuild the target
+/// bit-identically on the main thread, in program order. Queries whose rows
+/// are independent of each other can therefore be *evaluated* concurrently —
+/// the expensive part — while [`apply_evaluated_query`] keeps application
+/// (and with it Skolem numbering, merge conflicts, and `objects_written`
+/// accounting) strictly sequential.
+#[derive(Debug)]
+pub struct EvaluatedQuery {
+    /// The worker's claim arena, covering plan and insert evaluation.
+    arena: Option<SkolemClaims>,
+    /// Claims recorded while the plan ran; resolved before any insert (a
+    /// sequential run materialises all plan rows before inserting).
+    plan_claims: Range<usize>,
+    /// Per output row, in row order: the evaluated inserts, or the error the
+    /// evaluation hit (rows before it still apply, exactly like the
+    /// sequential loop that stops mid-way).
+    per_row: Vec<Result<Vec<EvaluatedInsert>>>,
+    /// Rows the plan emitted.
+    rows: usize,
+}
+
+impl EvaluatedQuery {
+    /// Rows the query's plan emitted during the claim phase.
+    pub fn rows_output(&self) -> usize {
+        self.rows
+    }
+}
+
+/// The claim-phase insert-evaluation loop shared by [`evaluate_query`] and
+/// the partitioned path of [`execute_query`]: evaluate every insert's key
+/// and attributes per row, delimiting the Skolem claims each evaluation
+/// recorded. Stops at the first erroring row (recording the error in its
+/// slot), exactly where the sequential loop would have stopped.
+fn evaluate_insert_rows<'r>(
+    query: &Query,
+    rows: impl Iterator<Item = &'r Row>,
+    ctx: &mut EvalCtx<'_>,
+) -> Vec<Result<Vec<EvaluatedInsert>>> {
+    let mut out = Vec::new();
+    'rows: for row in rows {
+        let mut evaluated = Vec::with_capacity(query.inserts.len());
+        for insert in &query.inserts {
+            let before_key = ctx.claims_mark();
+            let key = match eval(&insert.key, row, ctx) {
+                Ok(value) => value,
+                Err(err) => {
+                    out.push(Err(err));
+                    break 'rows;
+                }
+            };
+            let after_key = ctx.claims_mark();
+            let mut fields = BTreeMap::new();
+            for (label, expr) in &insert.attrs {
+                match eval(expr, row, ctx) {
+                    Ok(value) => {
+                        fields.insert(label.clone(), value);
+                    }
+                    Err(err) => {
+                        out.push(Err(err));
+                        break 'rows;
+                    }
+                }
+            }
+            evaluated.push(EvaluatedInsert {
+                key,
+                record: Value::Record(fields),
+                key_claims: before_key..after_key,
+                attr_claims: after_key..ctx.claims_mark(),
+            });
+        }
+        out.push(Ok(evaluated));
+    }
+    out
+}
+
+/// Evaluate one query's rows and insert values without touching any shared
+/// state: run the plan and the insert expressions on `ctx` — a claim context
+/// ([`EvalCtx::claim_worker`]) when called off the main thread — recording
+/// Skolem claims for the apply phase. `stats` (the worker's) absorbs the
+/// execution counters, including `rows_output`. The returned
+/// [`EvaluatedQuery`] must be applied with [`apply_evaluated_query`] on the
+/// owning (main) context.
+pub fn evaluate_query(
+    query: &Query,
+    ctx: &mut EvalCtx<'_>,
+    stats: &mut ExecStats,
+) -> Result<EvaluatedQuery> {
+    let rows = run_plan(&query.plan, ctx, stats)?;
+    stats.rows_output += rows.len();
+    let plan_claims = 0..ctx.claims_mark();
+    let per_row = evaluate_insert_rows(query, rows.iter(), ctx);
+    Ok(EvaluatedQuery {
+        arena: ctx.take_claims(),
+        plan_claims,
+        per_row,
+        rows: rows.len(),
+    })
+}
+
+/// Phase 2 of query execution: resolve the evaluated query's Skolem claims
+/// against the owning context's factory — plan claims first, then per row
+/// interleaved with the insert-key `Mk_C` calls, reproducing the sequential
+/// first-call order exactly — and merge the rewritten records into `target`
+/// in row order. The produced target is bit-identical to running the whole
+/// query sequentially on `ctx`. `stats` gains the `objects_written` of the
+/// application; the evaluation counters (including `rows_output`) were
+/// already recorded by [`evaluate_query`] into the worker's stats.
+pub fn apply_evaluated_query(
+    query: &Query,
+    evaluated: EvaluatedQuery,
+    ctx: &mut EvalCtx<'_>,
+    target: &mut Instance,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    let mut resolved: BTreeMap<Oid, Oid> = BTreeMap::new();
+    if let Some(arena) = &evaluated.arena {
+        let range = evaluated.plan_claims.clone();
+        arena.replay_range_into(range, &mut resolved, &mut |class, key| {
+            ctx.mk_skolem(class, key)
+        });
+    }
+    apply_insert_rows(
+        query,
+        vec![(evaluated.arena, evaluated.per_row)],
+        &mut resolved,
+        ctx,
+        target,
+        stats,
+    )
+}
+
+/// The shared apply loop: for each worker's chunk in partition (= row)
+/// order, for each row in order, resolve the row's key claims, mint the
+/// insert identity, resolve its attribute claims, rewrite, and merge —
+/// stopping at the first row whose evaluation errored, after the rows before
+/// it have been applied, exactly like the sequential loop.
+#[allow(clippy::type_complexity)]
+fn apply_insert_rows(
+    query: &Query,
+    chunks: Vec<(Option<SkolemClaims>, Vec<Result<Vec<EvaluatedInsert>>>)>,
+    resolved: &mut BTreeMap<Oid, Oid>,
+    ctx: &mut EvalCtx<'_>,
+    target: &mut Instance,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    for (arena, rows) in chunks {
+        for row in rows {
+            let evaluated = row?;
+            for (insert, ev) in query.inserts.iter().zip(evaluated) {
+                if let Some(arena) = &arena {
+                    arena.replay_range_into(ev.key_claims, resolved, &mut |class, key| {
+                        ctx.mk_skolem(class, key)
+                    });
+                }
+                // Move the evaluated values straight through when there is
+                // nothing to rewrite — the common claims-free case.
+                let key = if resolved.is_empty() || !ev.key.contains_oid() {
+                    ev.key
+                } else {
+                    rewrite_resolved(&ev.key, resolved)
+                };
+                let oid = ctx.mk_skolem(&insert.class, &key);
+                if let Some(arena) = &arena {
+                    arena.replay_range_into(ev.attr_claims, resolved, &mut |class, key| {
+                        ctx.mk_skolem(class, key)
+                    });
+                }
+                let record = if resolved.is_empty() || !ev.record.contains_oid() {
+                    ev.record
+                } else {
+                    rewrite_resolved(&ev.record, resolved)
+                };
+                write_object(target, oid, record, &query.name, stats)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Insert or key-merge one evaluated object into the target.
+fn write_object(
+    target: &mut Instance,
+    oid: Oid,
+    record: Value,
+    query_name: &str,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    match target.value(&oid) {
+        None => {
+            target.insert(oid, record)?;
+            stats.objects_written += 1;
+        }
+        Some(existing) => {
+            let merged = existing.merge_records(&record).ok_or_else(|| {
+                CplError::ConflictingInsert(format!(
+                    "object {oid} receives conflicting values from query `{query_name}`"
+                ))
+            })?;
+            target.update(&oid, merged)?;
+            stats.objects_written += 1;
+        }
+    }
+    Ok(())
+}
+
 /// Execute one query: run its plan and apply its insert actions to `target`.
+///
+/// With enough rows and a worker budget, the insert *evaluation* — key and
+/// attribute expressions per row, the expensive part of Skolem-heavy loads —
+/// runs partitioned on the pool under the two-phase key-claim protocol, while
+/// application stays on the calling thread in row order; the target is
+/// bit-identical to the sequential loop at every thread count.
 pub fn execute_query(
     query: &Query,
     ctx: &mut EvalCtx<'_>,
@@ -920,34 +1224,60 @@ pub fn execute_query(
 ) -> Result<()> {
     let rows = run_plan(&query.plan, ctx, stats)?;
     stats.rows_output += rows.len();
+    let gate = query
+        .inserts
+        .iter()
+        .flat_map(|i| std::iter::once(&i.key).chain(i.attrs.iter().map(|(_, e)| e)));
+    if let Some(workers) = parallel_workers(ctx, rows.len(), true, gate) {
+        return parallel_inserts(query, &rows, workers, ctx, target, stats);
+    }
     for row in rows {
         for insert in &query.inserts {
             let key = eval(&insert.key, &row, ctx)?;
-            let oid = ctx.factory.mk(&insert.class, &key);
+            let oid = ctx.mk_skolem(&insert.class, &key);
             let mut fields = BTreeMap::new();
             for (label, expr) in &insert.attrs {
                 fields.insert(label.clone(), eval(expr, &row, ctx)?);
             }
-            let record = Value::Record(fields);
-            match target.value(&oid) {
-                None => {
-                    target.insert(oid, record)?;
-                    stats.objects_written += 1;
-                }
-                Some(existing) => {
-                    let merged = existing.merge_records(&record).ok_or_else(|| {
-                        CplError::ConflictingInsert(format!(
-                            "object {oid} receives conflicting values from query `{}`",
-                            query.name
-                        ))
-                    })?;
-                    target.update(&oid, merged)?;
-                    stats.objects_written += 1;
-                }
-            }
+            write_object(target, oid, Value::Record(fields), &query.name, stats)?;
         }
     }
     Ok(())
+}
+
+/// The partitioned insert-evaluation path of [`execute_query`]: workers
+/// evaluate contiguous row chunks (claiming Skolem identities into
+/// per-worker arenas), then the claims resolve and the records apply on the
+/// calling thread in row order — parallel Skolem insertion, deterministic by
+/// the two-phase protocol.
+fn parallel_inserts(
+    query: &Query,
+    rows: &[Row],
+    workers: usize,
+    ctx: &mut EvalCtx<'_>,
+    target: &mut Instance,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    let with_claims = query
+        .inserts
+        .iter()
+        .any(|i| i.key.contains_skolem() || i.attrs.iter().any(|(_, e)| e.contains_skolem()));
+    let (chunks, arenas) = run_partitioned(
+        ctx,
+        stats,
+        chunk_ranges(rows.len(), workers),
+        with_claims,
+        |range, wctx, _ws| Ok(evaluate_insert_rows(query, rows[range].iter(), wctx)),
+    )?;
+    let mut resolved = BTreeMap::new();
+    apply_insert_rows(
+        query,
+        arenas.into_iter().zip(chunks).collect(),
+        &mut resolved,
+        ctx,
+        target,
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -1516,19 +1846,123 @@ mod tests {
         assert_eq!(rows.len(), 3); // Atlantis contributed nothing
     }
 
-    /// A Skolem-bearing expression pins its operator to the sequential path
-    /// (identity numbering depends on first-call order), but the run still
-    /// succeeds and later Skolem evaluation sees a consistent factory.
+    /// A value-position Skolem `Map` runs **parallel** under the two-phase
+    /// key-claim protocol: workers claim provisional identities, resolution
+    /// replays them in input order, and the produced rows — identities
+    /// included — are bit-identical to the sequential run at every thread
+    /// count, with the shared factory left in the identical state.
     #[test]
-    fn skolem_expressions_fall_back_to_the_sequential_path() {
+    fn skolem_maps_parallelise_under_the_key_claim_protocol() {
         let inst = euro_instance();
         let refs = [&inst];
-        let plan = Plan::scan("CityE", "E").map(vec![(
-            "T".to_string(),
+        // Duplicate keys across rows (all three cities share one country
+        // attribute path through `country.language` for UK cities), so
+        // claims collide across workers.
+        let plan = Plan::scan("CityE", "E").map(vec![
+            (
+                "T".to_string(),
+                Expr::Skolem(
+                    ClassName::new("CityT"),
+                    Box::new(Expr::var("E").proj("name")),
+                ),
+            ),
+            (
+                "L".to_string(),
+                Expr::Skolem(
+                    ClassName::new("LangT"),
+                    Box::new(Expr::var("E").path("country.language")),
+                ),
+            ),
+        ]);
+        let mut seq_ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::sequential());
+        let mut seq_stats = ExecStats::default();
+        let seq_rows = run_plan(&plan, &mut seq_ctx, &mut seq_stats).unwrap();
+        assert_eq!(seq_rows.len(), 3);
+        assert_eq!(seq_ctx.factory.count(&ClassName::new("LangT")), 2);
+        for threads in [2usize, 4, 8] {
+            let mut ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::new(threads));
+            ctx.set_parallel_min_rows(1);
+            let mut stats = ExecStats::default();
+            let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+            assert!(
+                !ctx.shard_stats().is_empty(),
+                "the map must have gone parallel"
+            );
+            assert_eq!(rows, seq_rows, "rows diverged at {threads} threads");
+            assert_eq!(stats, seq_stats, "stats diverged at {threads} threads");
+            // The factory ended in the sequential state: same identities,
+            // numbered in sequential first-call order.
+            assert_eq!(ctx.factory.count(&ClassName::new("CityT")), 3);
+            assert_eq!(ctx.factory.count(&ClassName::new("LangT")), 2);
+            assert_eq!(
+                ctx.factory
+                    .lookup(&ClassName::new("LangT"), &Value::str("English")),
+                seq_ctx
+                    .factory
+                    .lookup(&ClassName::new("LangT"), &Value::str("English"))
+            );
+        }
+    }
+
+    /// Intra-Map taint laundering pins the operator sequential: a later
+    /// binding of the same Map comparing an *earlier* Skolem-bearing
+    /// binding's variable contains no Skolem node itself, but would observe
+    /// the provisional identity on a worker. Sequentially, factory
+    /// memoisation makes the comparison true; the gate must keep it that
+    /// way at every thread count.
+    #[test]
+    fn intra_map_skolem_laundering_pins_to_the_sequential_path() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        let mk = || {
             Expr::Skolem(
                 ClassName::new("CityT"),
                 Box::new(Expr::var("E").proj("name")),
-            ),
+            )
+        };
+        // First Map resolves T to real identities (operator barrier); the
+        // second Map re-mints the same keys as T2 and compares T2 with T.
+        let plan = Plan::scan("CityE", "E")
+            .map(vec![("T".to_string(), mk())])
+            .map(vec![
+                ("T2".to_string(), mk()),
+                ("B".to_string(), Expr::var("T2").eq(Expr::var("T"))),
+            ]);
+        let mut seq_ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::sequential());
+        let mut seq_stats = ExecStats::default();
+        let seq_rows = run_plan(&plan, &mut seq_ctx, &mut seq_stats).unwrap();
+        assert!(
+            seq_rows.iter().all(|r| r["B"] == Value::Bool(true)),
+            "memoisation must make T2 equal T sequentially"
+        );
+        let mut ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::new(8));
+        ctx.set_parallel_min_rows(1);
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert_eq!(rows, seq_rows);
+        // The first (laundering-free) Map may parallelise, but the second
+        // must not have: every B is still true.
+        assert!(rows.iter().all(|r| r["B"] == Value::Bool(true)));
+        assert!(!map_bindings_claim_safe(&[
+            ("T2".to_string(), mk()),
+            ("B".to_string(), Expr::var("T2").eq(Expr::var("T"))),
+        ]));
+    }
+
+    /// A Skolem in *inspection position* — under a comparison — still pins
+    /// its operator to the sequential path: provisional identities must
+    /// never be compared.
+    #[test]
+    fn skolem_comparisons_still_pin_to_the_sequential_path() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        let plan = Plan::scan("CityE", "E").map(vec![(
+            "B".to_string(),
+            Expr::Skolem(
+                ClassName::new("CityT"),
+                Box::new(Expr::var("E").proj("name")),
+            )
+            .eq(Expr::var("E")),
         )]);
         let mut ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::new(8));
         ctx.set_parallel_min_rows(1);
@@ -1539,6 +1973,143 @@ mod tests {
         // and no parallel worker ran for this operator.
         assert_eq!(ctx.factory.count(&ClassName::new("CityT")), 3);
         assert!(ctx.shard_stats().is_empty());
+    }
+
+    /// Parallel Skolem **insertion**: with enough rows, `execute_query`
+    /// evaluates insert keys and attributes on the pool (claiming provisional
+    /// identities) and applies them in row order — the target instance is
+    /// bit-identical to the sequential loop at every thread count, duplicate
+    /// keys across workers included.
+    #[test]
+    fn parallel_skolem_insertion_is_bit_identical_to_sequential() {
+        let mut inst = Instance::new("src");
+        for i in 0..40 {
+            inst.insert_fresh(
+                &ClassName::new("CityE"),
+                Value::record([
+                    ("name", Value::str(format!("city{i}"))),
+                    // 8 distinct country keys, repeated across the extent so
+                    // different workers claim the same key.
+                    ("cname", Value::str(format!("country{}", i % 8))),
+                ]),
+            );
+        }
+        let refs = [&inst];
+        let query = Query {
+            name: "skolem_insert".to_string(),
+            plan: Plan::scan("CityE", "E"),
+            inserts: vec![InsertAction {
+                class: ClassName::new("CityT"),
+                key: Expr::var("E").proj("name"),
+                attrs: vec![
+                    ("name".to_string(), Expr::var("E").proj("name")),
+                    (
+                        // The attribute mints a CountryT identity per row —
+                        // the Skolem-heavy insertion shape of E6.
+                        "country".to_string(),
+                        Expr::Skolem(
+                            ClassName::new("CountryT"),
+                            Box::new(Expr::var("E").proj("cname")),
+                        ),
+                    ),
+                ],
+            }],
+        };
+        let mut seq_ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::sequential());
+        let mut seq_stats = ExecStats::default();
+        let mut seq_target = Instance::new("target");
+        execute_query(&query, &mut seq_ctx, &mut seq_target, &mut seq_stats).unwrap();
+        assert_eq!(seq_target.extent_size(&ClassName::new("CityT")), 40);
+        for threads in [2usize, 4, 8] {
+            let mut ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::new(threads));
+            ctx.set_parallel_min_rows(1);
+            let mut stats = ExecStats::default();
+            let mut target = Instance::new("target");
+            execute_query(&query, &mut ctx, &mut target, &mut stats).unwrap();
+            assert_eq!(target, seq_target, "target diverged at {threads} threads");
+            assert_eq!(stats, seq_stats, "stats diverged at {threads} threads");
+            assert_eq!(
+                ctx.factory.count(&ClassName::new("CountryT")),
+                seq_ctx.factory.count(&ClassName::new("CountryT"))
+            );
+        }
+    }
+
+    /// The split evaluate/apply API (query-level parallelism's building
+    /// block) reproduces `execute_query` exactly: evaluating on a claim
+    /// context and applying on the main context yields the identical target
+    /// and factory state.
+    #[test]
+    fn evaluate_then_apply_equals_direct_execution() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        let query = Query {
+            name: "T2".to_string(),
+            plan: Plan::scan("CityE", "E")
+                .map(vec![("N".to_string(), Expr::var("E").proj("name"))]),
+            inserts: vec![InsertAction {
+                class: ClassName::new("CityT"),
+                key: Expr::var("N"),
+                attrs: vec![
+                    ("name".to_string(), Expr::var("N")),
+                    (
+                        "place".to_string(),
+                        Expr::Variant(
+                            "euro_city".to_string(),
+                            Box::new(Expr::Skolem(
+                                ClassName::new("CountryT"),
+                                Box::new(Expr::var("E").path("country.name")),
+                            )),
+                        ),
+                    ),
+                ],
+            }],
+        };
+        let mut direct_ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::sequential());
+        let mut direct_stats = ExecStats::default();
+        let mut direct_target = Instance::new("target");
+        execute_query(
+            &query,
+            &mut direct_ctx,
+            &mut direct_target,
+            &mut direct_stats,
+        )
+        .unwrap();
+
+        let mut worker_ctx = EvalCtx::claim_worker(&refs);
+        let mut worker_stats = ExecStats::default();
+        let evaluated = evaluate_query(&query, &mut worker_ctx, &mut worker_stats).unwrap();
+        assert_eq!(evaluated.rows_output(), 3);
+        // The worker never touched a real factory.
+        assert!(worker_ctx.factory.is_empty());
+        let mut main_ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::sequential());
+        let mut main_stats = ExecStats::default();
+        let mut target = Instance::new("target");
+        apply_evaluated_query(
+            &query,
+            evaluated,
+            &mut main_ctx,
+            &mut target,
+            &mut main_stats,
+        )
+        .unwrap();
+        assert_eq!(target, direct_target);
+        // Worker stats (evaluation) + main stats (application) together
+        // equal the direct run's counters.
+        main_stats.absorb(worker_stats);
+        assert_eq!(main_stats, direct_stats);
+        assert_eq!(
+            main_ctx.factory.count(&ClassName::new("CountryT")),
+            direct_ctx.factory.count(&ClassName::new("CountryT"))
+        );
+        assert_eq!(
+            main_ctx
+                .factory
+                .lookup(&ClassName::new("CountryT"), &Value::str("France")),
+            direct_ctx
+                .factory
+                .lookup(&ClassName::new("CountryT"), &Value::str("France"))
+        );
     }
 
     /// The per-shard breakdown accumulated by a parallel run sums to the

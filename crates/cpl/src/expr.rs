@@ -5,8 +5,9 @@
 //! and a Skolem factory (for `Mk_C` object creation).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use wol_model::{ClassName, Instance, Label, Oid, SkolemFactory, Value};
+use wol_model::{ClassName, Instance, Label, Oid, SkolemClaims, SkolemFactory, Value, WorkerPool};
 
 use crate::error::CplError;
 use crate::Result;
@@ -105,9 +106,11 @@ impl Expr {
     /// Whether the expression (or any sub-expression) creates object
     /// identities through a Skolem function. Skolem creation mutates the
     /// query-wide [`wol_model::SkolemFactory`], whose identity numbering
-    /// depends on first-call order — so the parallel executor refuses to
-    /// evaluate Skolem-bearing expressions off the main thread (the operator
-    /// falls back to its sequential path, keeping targets bit-identical).
+    /// depends on first-call order — so parallel workers may only evaluate
+    /// Skolem-bearing expressions through the two-phase key-claim protocol
+    /// ([`wol_model::SkolemClaims`]), and only where that is sound
+    /// ([`Expr::skolem_parallel_safe`]); everywhere else the operator falls
+    /// back to its sequential path, keeping targets bit-identical.
     pub fn contains_skolem(&self) -> bool {
         match self {
             Expr::Skolem(_, _) => true,
@@ -118,6 +121,59 @@ impl Expr {
                 a.contains_skolem() || b.contains_skolem()
             }
             Expr::And(es) => es.iter().any(Expr::contains_skolem),
+        }
+    }
+
+    /// Whether every Skolem application in this expression sits in **value
+    /// position** — flowing only into the constructed output (directly, or
+    /// through [`Expr::Record`] / [`Expr::Variant`] / another Skolem's key) —
+    /// and never under a comparison, boolean connective, or projection.
+    ///
+    /// Value position is the soundness condition of the two-phase key-claim
+    /// protocol: a worker's *provisional* identity ([`SkolemClaims`]) is a
+    /// placeholder that gets rewritten to the real identity at resolution
+    /// time, so it may be stored but never *inspected* — comparing it (two
+    /// workers hold different provisionals for one key; a provisional never
+    /// equals the real identity an earlier query created) or projecting
+    /// through it would observe the placeholder and diverge from sequential
+    /// evaluation. Expressions that fail this predicate keep the sequential
+    /// pin. Skolem-free expressions are trivially safe.
+    pub fn skolem_parallel_safe(&self) -> bool {
+        self.skolem_claim_safe(&std::collections::BTreeSet::new())
+    }
+
+    /// Whether this expression may *hold* a provisional identity when
+    /// evaluated on a claim context: it applies a Skolem function itself, or
+    /// it reads a variable in `tainted` — the set of row variables whose
+    /// bindings may carry one.
+    pub fn carries_provisional(&self, tainted: &std::collections::BTreeSet<String>) -> bool {
+        self.contains_skolem() || self.var_set().iter().any(|v| tainted.contains(v))
+    }
+
+    /// The flow-aware form of [`Expr::skolem_parallel_safe`]: safe iff every
+    /// *provisional-valued* position — a Skolem application **or a variable
+    /// in `tainted`**, i.e. one bound to a Skolem-bearing expression earlier
+    /// in the same claim scope — sits in value position, never under a
+    /// comparison, boolean connective, or projection. The per-expression
+    /// predicate cannot see taint laundered through a variable binding
+    /// (`T = Mk_C(…)` followed by `Eq(Var(T), …)` contains no Skolem node in
+    /// the equality), so callers that evaluate several binding expressions
+    /// against one claim arena must thread the taint set through.
+    pub fn skolem_claim_safe(&self, tainted: &std::collections::BTreeSet<String>) -> bool {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => true,
+            // The skolem key itself is a value position (nested claims
+            // resolve inside-out), but it must be safe recursively.
+            Expr::Skolem(_, key) => key.skolem_claim_safe(tainted),
+            Expr::Record(fields) => fields.iter().all(|(_, e)| e.skolem_claim_safe(tainted)),
+            Expr::Variant(_, payload) => payload.skolem_claim_safe(tainted),
+            // Inspection positions: nothing provisional-valued below these.
+            Expr::Proj(base, _) => !base.carries_provisional(tainted),
+            Expr::Not(e) => !e.carries_provisional(tainted),
+            Expr::Eq(a, b) | Expr::Neq(a, b) | Expr::Lt(a, b) | Expr::Leq(a, b) => {
+                !a.carries_provisional(tainted) && !b.carries_provisional(tainted)
+            }
+            Expr::And(es) => es.iter().all(|e| !e.carries_provisional(tainted)),
         }
     }
 
@@ -153,12 +209,43 @@ impl Expr {
     }
 }
 
+/// Propagate claim-context taint through an ordered list of `(var, expr)`
+/// bindings (a [`crate::plan::Plan::Map`]'s bindings, evaluated in order
+/// against one claim arena): every binding must keep provisional-valued
+/// positions in value position w.r.t. the taint accumulated *so far* —
+/// including identities laundered through an earlier binding of the same
+/// list — and each Skolem-bearing (or taint-relaying) binding taints its own
+/// variable. Returns whether all bindings are safe; `tainted` is extended
+/// either way, so callers chaining several binding lists (the query-level
+/// scheduler walking a whole plan) can keep threading it. This is the single
+/// soundness condition both protocol gates — `cpl`'s operator-level Map gate
+/// and `morphase`'s query-level overlap gate — must agree on, which is why
+/// it lives here rather than in either caller.
+pub fn bindings_claim_safe(
+    bindings: &[(String, Expr)],
+    tainted: &mut std::collections::BTreeSet<String>,
+) -> bool {
+    for (var, expr) in bindings {
+        if !expr.skolem_claim_safe(tainted) {
+            return false;
+        }
+        if expr.carries_provisional(tainted) {
+            tainted.insert(var.clone());
+        }
+    }
+    true
+}
+
 /// The evaluation context: the source instances (searched in order when
 /// dereferencing object identities) and the Skolem factory.
 pub struct EvalCtx<'a> {
     sources: Vec<&'a Instance>,
     /// Skolem factory shared across the whole query so identities are stable.
     pub factory: SkolemFactory,
+    /// When set, Skolem evaluation records provisional claims here instead of
+    /// touching `factory` — the worker side of the two-phase key-claim
+    /// protocol ([`wol_model::SkolemClaims`]). `None` on main-thread contexts.
+    claims: Option<SkolemClaims>,
     /// When enabled, the executor records each join operator's actual output
     /// row count here, in post-order — the same order
     /// [`crate::optimizer::estimate_join_outputs`] emits estimates in.
@@ -166,10 +253,12 @@ pub struct EvalCtx<'a> {
     /// How many worker threads parallel operators may use (see
     /// [`crate::exec`]'s module docs for the partitioning scheme). Defaults
     /// to [`Parallelism::from_env`]: the machine's cores, overridable via
-    /// `WOL_THREADS`.
+    /// `WOL_THREADS`. The persistent pool operators dispatch to is fetched
+    /// lazily from the process-wide registry ([`EvalCtx::pool`]), so a
+    /// sequential run never spawns a thread.
     parallelism: wol_model::Parallelism,
     /// Minimum input rows before an operator goes parallel; below it the
-    /// per-operator thread spawn costs more than it saves. Tests lower it to
+    /// per-operator dispatch costs more than it saves. Tests lower it to
     /// exercise the partitioned paths on tiny inputs (results are identical
     /// either way — the threshold is purely a performance choice).
     parallel_min_rows: usize,
@@ -178,11 +267,13 @@ pub struct EvalCtx<'a> {
     shard_stats: Vec<crate::exec::ExecStats>,
 }
 
-/// Default minimum input rows before an operator is worth partitioning. A
-/// scoped 4-thread spawn round costs ~100µs; rows below this process faster
-/// than that sequentially, so small operators skip straight to the
-/// sequential path and only genuinely heavy operators pay for workers.
-const PARALLEL_MIN_ROWS: usize = 1024;
+/// Default minimum input rows before an operator is worth partitioning.
+/// Dispatching a round of closures to the persistent pool costs a few
+/// microseconds (PR 4's per-operator `std::thread::scope` cost ~100µs, which
+/// forced this threshold up to 1024); rows below this still process faster
+/// than even that small dispatch, so tiny operators skip straight to the
+/// sequential path.
+const PARALLEL_MIN_ROWS: usize = 128;
 
 impl<'a> EvalCtx<'a> {
     /// Create a context over the given source instances.
@@ -190,6 +281,7 @@ impl<'a> EvalCtx<'a> {
         EvalCtx {
             sources: sources.to_vec(),
             factory: SkolemFactory::new(),
+            claims: None,
             join_trace: None,
             parallelism: wol_model::Parallelism::from_env(),
             parallel_min_rows: PARALLEL_MIN_ROWS,
@@ -197,18 +289,41 @@ impl<'a> EvalCtx<'a> {
         }
     }
 
-    /// A sequential worker context over the given sources, as spawned by the
-    /// parallel operators: no env lookup (unlike [`EvalCtx::new`]) and never
-    /// spawns nested workers.
-    pub(crate) fn worker(sources: &[&'a Instance]) -> Self {
+    /// A sequential worker context over the given sources, as dispatched by
+    /// the parallel operators: no env lookup (unlike [`EvalCtx::new`]) and
+    /// never spawns nested workers. With `claims`, Skolem evaluation records
+    /// provisional claims into the given arena (the claim phase of the
+    /// two-phase protocol) instead of touching the worker's (unused) factory.
+    pub(crate) fn worker(sources: &[&'a Instance], claims: Option<SkolemClaims>) -> Self {
         EvalCtx {
             sources: sources.to_vec(),
             factory: SkolemFactory::new(),
+            claims,
             join_trace: None,
             parallelism: wol_model::Parallelism::sequential(),
             parallel_min_rows: PARALLEL_MIN_ROWS,
             shard_stats: Vec::new(),
         }
+    }
+
+    /// A **claim-phase** context over the given sources, for evaluating a
+    /// whole query off the main thread (query-level parallelism): Skolem
+    /// evaluation records provisional claims instead of touching a shared
+    /// factory. Sequential by default; give it a worker budget with
+    /// [`EvalCtx::with_parallelism`] and its operators run pool morsels
+    /// *inside* the concurrently evaluated query — nested claim arenas
+    /// resolve into this context's arena, preserving input order. Pair with
+    /// [`crate::exec::evaluate_query`] / [`crate::exec::apply_evaluated_query`].
+    pub fn claim_worker(sources: &[&'a Instance]) -> Self {
+        Self::worker(sources, Some(SkolemClaims::new()))
+    }
+
+    /// Number of claims recorded so far on a claim context (always 0 on main
+    /// contexts): a mark delimiting one unit of work's claims, so resolution
+    /// can interleave claim replay with direct factory calls exactly as a
+    /// sequential run interleaved them.
+    pub(crate) fn claims_mark(&self) -> usize {
+        self.claims.as_ref().map_or(0, |c| c.mark())
     }
 
     /// Set the worker-thread budget (builder style).
@@ -217,9 +332,49 @@ impl<'a> EvalCtx<'a> {
         self
     }
 
-    /// Set the worker-thread budget.
+    /// Set the worker-thread budget; parallel operators will dispatch to the
+    /// shared persistent pool of that size.
     pub fn set_parallelism(&mut self, parallelism: wol_model::Parallelism) {
         self.parallelism = parallelism;
+    }
+
+    /// The persistent worker pool parallel operators dispatch to: the
+    /// process-wide [`WorkerPool::shared`] pool for this context's
+    /// parallelism, fetched lazily — a cheap registry lookup per parallel
+    /// operator, and no threads are ever spawned for a context that never
+    /// goes parallel.
+    pub fn pool(&self) -> Arc<WorkerPool> {
+        WorkerPool::shared(self.parallelism)
+    }
+
+    /// Apply `Mk_class(key)` through this context: provisionally via the
+    /// claim arena on worker contexts, directly via the shared factory on
+    /// the main context.
+    pub fn mk_skolem(&mut self, class: &ClassName, key: &Value) -> Oid {
+        match self.claims.as_mut() {
+            Some(claims) => claims.mk(class, key),
+            None => self.factory.mk(class, key),
+        }
+    }
+
+    /// Take the claim arena out of a worker context after its work is done.
+    pub(crate) fn take_claims(&mut self) -> Option<SkolemClaims> {
+        self.claims.take()
+    }
+
+    /// Resolve per-worker claim arenas **in partition order** against this
+    /// context's factory (the resolution phase of the two-phase protocol),
+    /// returning the provisional→final identity map used to rewrite the
+    /// workers' outputs. Replays through [`EvalCtx::mk_skolem`], so a claim
+    /// context resolving nested arenas re-claims into its own arena.
+    pub(crate) fn resolve_claim_arenas(&mut self, arenas: &[SkolemClaims]) -> BTreeMap<Oid, Oid> {
+        let mut resolved = BTreeMap::new();
+        for arena in arenas {
+            arena.replay_range_into(0..arena.mark(), &mut resolved, &mut |class, key| {
+                self.mk_skolem(class, key)
+            });
+        }
+        resolved
     }
 
     /// The worker-thread budget parallel operators honour.
@@ -239,9 +394,12 @@ impl<'a> EvalCtx<'a> {
         self.parallel_min_rows
     }
 
-    /// Merge one parallel operator's per-worker statistics into the
-    /// context-wide per-shard accumulators (slot-wise).
-    pub(crate) fn absorb_shard_stats(&mut self, per_worker: &[crate::exec::ExecStats]) {
+    /// Merge one parallel operator's — or a finished worker context's —
+    /// per-worker statistics into the context-wide per-shard accumulators
+    /// (slot-wise). The pipeline driver uses this to roll the operator-level
+    /// shard breakdown of concurrently evaluated queries back into the main
+    /// context's view.
+    pub fn absorb_shard_stats(&mut self, per_worker: &[crate::exec::ExecStats]) {
         if self.shard_stats.len() < per_worker.len() {
             self.shard_stats
                 .resize_with(per_worker.len(), Default::default);
@@ -333,7 +491,7 @@ pub fn eval(expr: &Expr, row: &Row, ctx: &mut EvalCtx<'_>) -> Result<Value> {
         )),
         Expr::Skolem(class, key) => {
             let key_value = eval(key, row, ctx)?;
-            Ok(Value::Oid(ctx.factory.mk(class, &key_value)))
+            Ok(Value::Oid(ctx.mk_skolem(class, &key_value)))
         }
         Expr::Eq(a, b) => Ok(Value::Bool(eval(a, row, ctx)? == eval(b, row, ctx)?)),
         Expr::Neq(a, b) => Ok(Value::Bool(eval(a, row, ctx)? != eval(b, row, ctx)?)),

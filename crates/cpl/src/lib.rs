@@ -27,10 +27,14 @@
 //!
 //! ## Threading model
 //!
-//! The executor runs morsel-style partitioned parallelism over
-//! [`std::thread::scope`] workers, governed by a [`Parallelism`] knob
-//! (default: available cores, overridable via the `WOL_THREADS` environment
-//! variable) threaded through [`expr::EvalCtx`]. The contract:
+//! The executor runs morsel-style partitioned parallelism over a
+//! **persistent worker pool** ([`wol_model::WorkerPool`]; long-lived
+//! channel-fed workers, caller participation, panic propagation on join),
+//! governed by a [`Parallelism`] knob (default: available cores, overridable
+//! via the `WOL_THREADS` environment variable) threaded through
+//! [`expr::EvalCtx`]. Because a pool dispatch round costs microseconds where
+//! a `std::thread::scope` spawn round cost ~100µs, operators go parallel
+//! from ~128 input rows instead of 1024. The contract:
 //!
 //! * **Shared immutably** — the source [`wol_model::Instance`]s. Extents,
 //!   attribute indexes and histograms are read concurrently from every
@@ -42,15 +46,24 @@
 //!   probe-cache entry belong to exactly one worker); scans+filters, maps and
 //!   loop joins are split into contiguous input chunks.
 //! * **Deterministic by construction** — partition results are reassembled
-//!   in input order (chunk concatenation, or per-driving-row slots), a key's
-//!   build rows stay in build order within their shard, and expressions that
-//!   create Skolem identities — whose numbering depends on first-call order —
-//!   pin their operator to the sequential path. Insert actions always apply
-//!   on the main thread in row order. The output row stream, the target
-//!   instance, and the merged [`ExecStats`] totals are therefore
+//!   in input order (chunk concatenation, or per-driving-row slots), and a
+//!   key's build rows stay in build order within their shard. Skolem
+//!   creation — whose identity numbering depends on first-call order — runs
+//!   off the main thread only under the **two-phase key-claim protocol**
+//!   ([`wol_model::SkolemClaims`]): workers record `(class, key)` claims and
+//!   mint provisional identities, then a resolution pass on the owning
+//!   thread replays the claims in input order against the shared factory
+//!   and rewrites the outputs, so the final numbering equals the sequential
+//!   run's exactly. The protocol covers `Map` bindings and the insert
+//!   actions (where compiled programs put their Skolems — both restricted
+//!   to *value position*, [`Expr::skolem_parallel_safe`]); Skolems anywhere
+//!   else pin their operator to the sequential path. Insert actions always
+//!   *apply* on the owning thread in row order. The output row stream, the
+//!   target instance, and the merged [`ExecStats`] totals are therefore
 //!   bit-identical at every thread count; this is enforced by the
-//!   thread-matrix differential tests in `tests/properties.rs` and the
-//!   partition edge-case tests in [`exec`].
+//!   thread-matrix differential tests in `tests/properties.rs` (including
+//!   the Skolem-insertion soak proptest) and the partition edge-case tests
+//!   in [`exec`].
 
 pub mod error;
 pub mod exec;
@@ -59,14 +72,16 @@ pub mod optimizer;
 pub mod plan;
 
 pub use error::CplError;
-pub use exec::{execute_query, run_plan, ExecStats, Row};
+pub use exec::{
+    apply_evaluated_query, evaluate_query, execute_query, run_plan, EvaluatedQuery, ExecStats, Row,
+};
 pub use expr::Expr;
 pub use optimizer::{
     estimate_join_outputs, estimate_rows, optimize, optimize_reference, optimize_with_stats,
     CostModel, JoinEstimate, Statistics,
 };
 pub use plan::{InsertAction, Plan, Query};
-pub use wol_model::Parallelism;
+pub use wol_model::{Parallelism, WorkerPool};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CplError>;

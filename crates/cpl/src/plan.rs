@@ -151,6 +151,72 @@ impl Plan {
         }
     }
 
+    /// The classes this plan scans — a query's *read set*, used by the
+    /// pipeline's query scheduler to order queries that read an extent after
+    /// queries that write it.
+    pub fn scanned_classes(&self) -> std::collections::BTreeSet<ClassName> {
+        fn go(plan: &Plan, out: &mut std::collections::BTreeSet<ClassName>) {
+            match plan {
+                Plan::Scan { class, .. } => {
+                    out.insert(class.clone());
+                }
+                Plan::Filter { input, .. } | Plan::Map { input, .. } | Plan::Distinct { input } => {
+                    go(input, out)
+                }
+                Plan::NestedLoopJoin { left, right, .. }
+                | Plan::HashJoin { left, right, .. }
+                | Plan::CrossJoin { left, right } => {
+                    go(left, out);
+                    go(right, out);
+                }
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// Every expression embedded in the plan (filter predicates, map
+    /// bindings, join predicates and keys), for whole-plan analyses like the
+    /// scheduler's Skolem-safety gate.
+    pub fn expressions(&self) -> Vec<&Expr> {
+        fn go<'p>(plan: &'p Plan, out: &mut Vec<&'p Expr>) {
+            match plan {
+                Plan::Scan { .. } => {}
+                Plan::Filter { input, predicate } => {
+                    out.push(predicate);
+                    go(input, out);
+                }
+                Plan::Map { input, bindings } => {
+                    out.extend(bindings.iter().map(|(_, e)| e));
+                    go(input, out);
+                }
+                Plan::Distinct { input } => go(input, out),
+                Plan::NestedLoopJoin {
+                    left,
+                    right,
+                    predicate,
+                } => {
+                    out.extend(predicate.iter());
+                    go(left, out);
+                    go(right, out);
+                }
+                Plan::HashJoin { left, right, keys } => {
+                    out.extend(keys.iter().flat_map(|(l, r)| [l, r]));
+                    go(left, out);
+                    go(right, out);
+                }
+                Plan::CrossJoin { left, right } => {
+                    go(left, out);
+                    go(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+
     /// Number of operators in the plan (used in reports).
     pub fn operator_count(&self) -> usize {
         match self {

@@ -29,12 +29,14 @@ pub mod error;
 pub mod metadata;
 pub mod pipeline;
 pub mod report;
+pub mod schedule;
 
 pub use compile::{compile_program, compile_program_with, PlanMode};
 pub use error::MorphaseError;
 pub use metadata::generate_key_clauses;
-pub use pipeline::{JoinStat, Morphase, MorphaseRun, PipelineOptions, StageTimings};
+pub use pipeline::{JoinStat, Morphase, MorphaseRun, PipelineOptions, QueryStat, StageTimings};
 pub use report::render_report;
+pub use schedule::{plan_schedule, QueryNode, QuerySchedule};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MorphaseError>;

@@ -2,15 +2,16 @@
 
 use std::time::{Duration, Instant};
 
-use cpl::exec::{execute_query, ExecStats};
+use cpl::exec::{apply_evaluated_query, evaluate_query, execute_query, ExecStats};
 use cpl::expr::EvalCtx;
 use wol_engine::normalize::{NormalProgram, NormalizeOptions};
 use wol_engine::snf::{program_to_snf, snf_stats, SnfStats};
 use wol_lang::program::Program;
-use wol_model::Instance;
+use wol_model::{Instance, Job, WorkerPool};
 
 use crate::compile::{compile_program_with, PlanMode};
 use crate::metadata::{generate_key_clauses, generate_merge_key_clauses};
+use crate::schedule::plan_schedule;
 use crate::Result;
 
 /// Options controlling a Morphase run.
@@ -36,11 +37,15 @@ pub struct PipelineOptions {
     /// Check the source constraints against the source instances before
     /// transforming.
     pub check_source_constraints: bool,
-    /// Worker threads the CPL executor may use (see `cpl`'s threading-model
+    /// Worker threads the executors may use (see `cpl`'s threading-model
     /// docs). Defaults to the environment ([`cpl::Parallelism::from_env`]):
-    /// the machine's available cores, overridable via `WOL_THREADS`.
-    /// Parallel execution is deterministic — the produced target is
-    /// bit-identical at every thread count.
+    /// the machine's available cores, overridable via `WOL_THREADS`. Both
+    /// levels share one persistent [`cpl::WorkerPool`]: queries of a
+    /// multi-query schedule stage evaluate concurrently on it, and each
+    /// query's own operators still run pool morsels inside its slot (the
+    /// pool bounds total concurrency); singleton-stage queries use the pool
+    /// for operator-level morsels alone. Parallel execution is deterministic
+    /// — the produced target is bit-identical at every thread count.
     pub parallelism: cpl::Parallelism,
 }
 
@@ -118,6 +123,28 @@ impl JoinStat {
     }
 }
 
+/// One query's execution breakdown: which schedule stage it ran in, whether
+/// its evaluation overlapped other queries of the stage, and where its time
+/// went. The per-query timing view the report pins.
+#[derive(Clone, Debug)]
+pub struct QueryStat {
+    /// Name of the query (the originating clause label(s)).
+    pub query: String,
+    /// Index of the schedule stage the query ran in.
+    pub stage: usize,
+    /// Whether the query's evaluation ran concurrently with other queries
+    /// of its stage (query-level parallelism).
+    pub overlapped: bool,
+    /// Rows the query's plan emitted.
+    pub rows_output: u64,
+    /// Wall-clock spent evaluating the query (plan + insert expressions).
+    pub eval: Duration,
+    /// Wall-clock spent applying the evaluated inserts to the target (zero
+    /// for queries executed directly on the main context, where evaluation
+    /// and application interleave).
+    pub apply: Duration,
+}
+
 /// The result of a Morphase run.
 #[derive(Clone, Debug)]
 pub struct MorphaseRun {
@@ -151,6 +178,9 @@ pub struct MorphaseRun {
     /// holds what worker `i` did: its share of produced rows, index probes
     /// and probe-cache hits — the skew of work across shards.
     pub shard_stats: Vec<ExecStats>,
+    /// Per-query execution breakdown in program order: schedule stage,
+    /// overlap, rows and timings (empty for compile-only runs).
+    pub query_stats: Vec<QueryStat>,
 }
 
 /// The Morphase system: a configured pipeline.
@@ -279,26 +309,113 @@ impl Morphase {
         timings.compile = start.elapsed();
 
         // Stage 5: execution, with per-join actual row counts traced so the
-        // run can report estimate-vs-actual error per join.
+        // run can report estimate-vs-actual error per join. Queries execute
+        // stage by stage under the dependency schedule: singleton stages run
+        // directly on the main context; multi-query stages *evaluate*
+        // concurrently on the worker pool (claim contexts) and *apply* in
+        // program order on the main context, so the target — Skolem
+        // numbering included — is bit-identical to a sequential run.
         let mut exec = ExecStats::default();
         let mut join_stats = Vec::new();
         let mut shard_stats = Vec::new();
+        let mut query_stats = Vec::new();
         let mut target = Instance::new(augmented.target.schema.name());
         if execute {
             let start = Instant::now();
             let mut ctx = EvalCtx::new(sources).with_parallelism(options.parallelism);
             ctx.enable_join_trace();
-            for (query, estimates) in queries.iter().zip(&join_estimates) {
-                execute_query(query, &mut ctx, &mut target, &mut exec)?;
-                let actuals = ctx.take_join_trace();
-                join_stats.extend(estimates.iter().zip(actuals.iter()).map(|(est, act)| {
-                    JoinStat {
-                        query: query.name.clone(),
-                        kind: act.kind.to_string(),
-                        estimated: est.rows.round() as u64,
-                        actual: act.rows as u64,
+            let schedule = plan_schedule(&queries);
+            let pool = WorkerPool::shared(options.parallelism);
+            let overlap = options.parallelism.threads() > 1;
+            let record_joins =
+                |join_stats: &mut Vec<JoinStat>, qi: usize, actuals: &[cpl::exec::JoinActual]| {
+                    join_stats.extend(join_estimates[qi].iter().zip(actuals.iter()).map(
+                        |(est, act)| JoinStat {
+                            query: queries[qi].name.clone(),
+                            kind: act.kind.to_string(),
+                            estimated: est.rows.round() as u64,
+                            actual: act.rows as u64,
+                        },
+                    ));
+                };
+            for (stage_index, stage) in schedule.stages.iter().enumerate() {
+                if overlap && stage.len() > 1 {
+                    // Claim phase: evaluate every query of the stage
+                    // concurrently, each on its own claim context. The claim
+                    // contexts keep the full worker budget, so a big query
+                    // still runs operator-level morsels *inside* its slot —
+                    // the shared pool bounds total concurrency either way —
+                    // and its per-shard breakdown rolls back into the main
+                    // context's view.
+                    type Evaluated = (
+                        cpl::Result<cpl::EvaluatedQuery>,
+                        ExecStats,
+                        Vec<ExecStats>,
+                        Vec<cpl::exec::JoinActual>,
+                        Duration,
+                    );
+                    let jobs: Vec<Job<'_, Evaluated>> = stage
+                        .iter()
+                        .map(|&qi| {
+                            let query = &queries[qi];
+                            Box::new(move || {
+                                let eval_start = Instant::now();
+                                let mut wctx = EvalCtx::claim_worker(sources)
+                                    .with_parallelism(options.parallelism);
+                                wctx.enable_join_trace();
+                                let mut wstats = ExecStats::default();
+                                let result = evaluate_query(query, &mut wctx, &mut wstats);
+                                (
+                                    result,
+                                    wstats,
+                                    wctx.take_shard_stats(),
+                                    wctx.take_join_trace(),
+                                    eval_start.elapsed(),
+                                )
+                            }) as Job<'_, Evaluated>
+                        })
+                        .collect();
+                    let outcomes = pool.scope(jobs);
+                    // Resolution phase: absorb stats and apply in program
+                    // order; the earliest query's error propagates, exactly
+                    // like the sequential loop.
+                    for (&qi, (result, wstats, shards, actuals, eval)) in stage.iter().zip(outcomes)
+                    {
+                        exec.absorb(wstats);
+                        ctx.absorb_shard_stats(&shards);
+                        let query = &queries[qi];
+                        let evaluated = result?;
+                        let rows_output = evaluated.rows_output() as u64;
+                        let apply_start = Instant::now();
+                        apply_evaluated_query(query, evaluated, &mut ctx, &mut target, &mut exec)?;
+                        record_joins(&mut join_stats, qi, &actuals);
+                        query_stats.push(QueryStat {
+                            query: query.name.clone(),
+                            stage: stage_index,
+                            overlapped: true,
+                            rows_output,
+                            eval,
+                            apply: apply_start.elapsed(),
+                        });
                     }
-                }));
+                } else {
+                    for &qi in stage {
+                        let query = &queries[qi];
+                        let rows_before = exec.rows_output;
+                        let eval_start = Instant::now();
+                        execute_query(query, &mut ctx, &mut target, &mut exec)?;
+                        let actuals = ctx.take_join_trace();
+                        record_joins(&mut join_stats, qi, &actuals);
+                        query_stats.push(QueryStat {
+                            query: query.name.clone(),
+                            stage: stage_index,
+                            overlapped: false,
+                            rows_output: (exec.rows_output - rows_before) as u64,
+                            eval: eval_start.elapsed(),
+                            apply: Duration::ZERO,
+                        });
+                    }
+                }
             }
             shard_stats = ctx.take_shard_stats();
             timings.execute = start.elapsed();
@@ -347,6 +464,7 @@ impl Morphase {
             join_stats,
             threads: options.parallelism.threads(),
             shard_stats,
+            query_stats,
         })
     }
 }
@@ -396,6 +514,60 @@ mod tests {
         let run = Morphase::new().transform(&program, &[&source][..]).unwrap();
         assert_eq!(run.target.extent_size(&ClassName::new("CityT")), 6);
         assert!(run.generated_clauses > 0);
+    }
+
+    /// Query-level parallelism end to end: at every thread count the
+    /// overlapped pipeline produces the bit-identical target and equal
+    /// merged `ExecStats` as the sequential one, reports per-query stats in
+    /// program order with non-decreasing stage indices, and actually
+    /// overlaps the (source-only, hence independent) cities queries.
+    #[test]
+    fn query_level_parallelism_is_bit_identical_to_sequential() {
+        let w = CitiesWorkload::new();
+        let program = w.euro_program();
+        let source = generate_euro(6, 4, 7);
+        let sequential = Morphase::with_options(PipelineOptions {
+            parallelism: cpl::Parallelism::sequential(),
+            ..PipelineOptions::default()
+        })
+        .transform(&program, &[&source][..])
+        .unwrap();
+        assert!(sequential.query_stats.iter().all(|q| !q.overlapped));
+        let names: Vec<&str> = sequential
+            .query_stats
+            .iter()
+            .map(|q| q.query.as_str())
+            .collect();
+        for threads in [2usize, 4, 8] {
+            let run = Morphase::with_options(PipelineOptions {
+                parallelism: cpl::Parallelism::new(threads),
+                ..PipelineOptions::default()
+            })
+            .transform(&program, &[&source][..])
+            .unwrap();
+            assert_eq!(
+                run.target, sequential.target,
+                "target diverged at {threads} threads"
+            );
+            assert_eq!(
+                run.exec, sequential.exec,
+                "merged ExecStats diverged at {threads} threads"
+            );
+            // Per-query stats stay in program order whatever overlapped.
+            let run_names: Vec<&str> = run.query_stats.iter().map(|q| q.query.as_str()).collect();
+            assert_eq!(run_names, names);
+            assert!(
+                run.query_stats.windows(2).all(|w| w[0].stage <= w[1].stage),
+                "stage indices must be non-decreasing in program order"
+            );
+            // The cities queries read only source extents, so they are
+            // independent: the scheduler must actually overlap them.
+            assert!(
+                run.query_stats.iter().any(|q| q.overlapped),
+                "independent queries never overlapped at {threads} threads"
+            );
+            assert!(run.join_stats.iter().eq(sequential.join_stats.iter()));
+        }
     }
 
     #[test]

@@ -67,6 +67,21 @@ pub fn render_report(run: &MorphaseRun) -> String {
             );
         }
     }
+    if !run.query_stats.is_empty() {
+        let stages = run.query_stats.iter().map(|q| q.stage).max().unwrap_or(0) + 1;
+        let _ = writeln!(
+            out,
+            "query schedule ({stages} stage(s); per-query eval/apply):"
+        );
+        for q in &run.query_stats {
+            let overlap = if q.overlapped { ", overlapped" } else { "" };
+            let _ = writeln!(
+                out,
+                "  [stage {}] {}: {} rows, eval {:.3?}, apply {:.3?}{overlap}",
+                q.stage, q.query, q.rows_output, q.eval, q.apply
+            );
+        }
+    }
     let estimated: u64 = run.estimated_rows.iter().sum();
     let _ = writeln!(
         out,
@@ -183,6 +198,49 @@ mod tests {
         ));
         assert!(report.contains("  shard 0: 10 rows, 3 probes, 2 cache hits"));
         assert!(report.contains("  shard 1: 7 rows, 1 probes, 0 cache hits"));
+    }
+
+    /// Pins the per-query schedule/timing breakdown format: stage index,
+    /// rows, eval/apply durations and the overlap marker. The exact line
+    /// shape is part of the contract, like the join-estimate section.
+    #[test]
+    fn report_pins_the_per_query_timing_format() {
+        use crate::pipeline::QueryStat;
+        use std::time::Duration;
+        let w = CitiesWorkload::new();
+        let source = generate_euro(2, 2, 1);
+        let mut run = Morphase::new()
+            .transform(&w.euro_program(), &[&source][..])
+            .unwrap();
+        // A real execution produced one stat per compiled query, in order.
+        assert_eq!(run.query_stats.len(), run.plans.len());
+        // Pin the exact rendering on fixed values.
+        run.query_stats = vec![
+            QueryStat {
+                query: "T1+C3".to_string(),
+                stage: 0,
+                overlapped: true,
+                rows_output: 40,
+                eval: Duration::from_micros(1200),
+                apply: Duration::from_micros(300),
+            },
+            QueryStat {
+                query: "T2".to_string(),
+                stage: 1,
+                overlapped: false,
+                rows_output: 7,
+                eval: Duration::from_micros(450),
+                apply: Duration::ZERO,
+            },
+        ];
+        let report = render_report(&run);
+        assert!(report.contains("query schedule (2 stage(s); per-query eval/apply):"));
+        assert!(report
+            .contains("  [stage 0] T1+C3: 40 rows, eval 1.200ms, apply 300.000µs, overlapped"));
+        assert!(report.contains("  [stage 1] T2: 7 rows, eval 450.000µs, apply 0.000ns"));
+        // Compile-only runs print no schedule section.
+        run.query_stats = Vec::new();
+        assert!(!render_report(&run).contains("query schedule"));
     }
 
     #[test]

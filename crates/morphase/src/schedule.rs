@@ -1,0 +1,406 @@
+//! Query-level parallel scheduling.
+//!
+//! A compiled Morphase program is a list of [`cpl::Query`] values executed in
+//! program order. Operator-level parallelism (inside one query) leaves a
+//! second lever on the table: *independent queries* — the common case, since
+//! normal-form clauses read only source extents — can be evaluated
+//! concurrently on the same [`cpl::WorkerPool`].
+//!
+//! [`plan_schedule`] builds a dependency-aware schedule:
+//!
+//! * Each query's **read set** is the classes its plan scans
+//!   ([`cpl::Plan::scanned_classes`]); its **write set** is the target
+//!   classes its insert actions create or merge into.
+//! * Query `j` *conflicts with* an earlier query `i` when `i` writes an
+//!   extent `j` reads (a write→read chain must stay ordered) or `j` writes
+//!   an extent `i` reads (an anti-dependency: the read must not observe the
+//!   later write).
+//! * The schedule groups queries into **stages**: contiguous program-order
+//!   runs with no internal conflicts. Stages execute strictly one after
+//!   another; the queries *within* a stage may be evaluated concurrently.
+//!   Contiguity is what keeps the pipeline's *application* order — and with
+//!   it Skolem numbering, merge-conflict detection and every statistic —
+//!   exactly the program order, so the target instance is bit-identical to a
+//!   fully sequential run.
+//! * A **self-dependent** query (one that reads an extent it also writes —
+//!   the fixpoint shape) conflicts with itself: it never overlaps anything,
+//!   always occupying a stage of its own.
+//! * A query is **overlap-safe** only if a flow-aware taint analysis shows
+//!   every *provisional-valued* position stays in value position: evaluated
+//!   off the main thread, Skolem identities become provisional claims, which
+//!   must never be compared or projected through — including indirectly,
+//!   through a `Map`-bound variable carrying one (the whole-query claim path
+//!   has no per-operator resolution barrier, unlike `cpl`'s operator-level
+//!   protocol). Unsafe queries get a singleton stage and run on the main
+//!   context.
+//!
+//! Evaluation within a stage uses the two-phase claim protocol
+//! ([`cpl::evaluate_query`] on claim contexts, then
+//! [`cpl::apply_evaluated_query`] on the main context in program order); the
+//! driver lives in [`crate::pipeline`].
+
+use std::collections::BTreeSet;
+
+use cpl::{Plan, Query};
+use wol_model::ClassName;
+
+/// One query's scheduling metadata.
+#[derive(Clone, Debug)]
+pub struct QueryNode {
+    /// Source/target classes the query's plan scans.
+    pub reads: BTreeSet<ClassName>,
+    /// Target classes the query's insert actions write.
+    pub writes: BTreeSet<ClassName>,
+    /// Whether the query reads an extent it also writes (fixpoint shape):
+    /// such a query conflicts with itself and never overlaps anything.
+    pub self_dependent: bool,
+    /// Whether every expression of the query may be evaluated on a claim
+    /// context (see the module docs); `false` pins the query to the main
+    /// context in its own stage.
+    pub overlap_safe: bool,
+}
+
+/// A dependency-aware execution schedule over a compiled program.
+#[derive(Clone, Debug)]
+pub struct QuerySchedule {
+    /// Per-query metadata, indexed like the input queries.
+    pub nodes: Vec<QueryNode>,
+    /// Stages in execution order: each stage is a contiguous run of query
+    /// indices (ascending program order) that may evaluate concurrently.
+    /// Concatenating the stages yields `0..queries.len()` exactly.
+    pub stages: Vec<Vec<usize>>,
+}
+
+impl QuerySchedule {
+    /// The largest number of queries any stage may overlap.
+    pub fn max_overlap(&self) -> usize {
+        self.stages.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Walk the plan bottom-up, accumulating the tainted-variable set (row
+/// variables whose bindings may hold a provisional identity on a claim
+/// context) and checking every expression against it with the flow-aware
+/// [`Expr::skolem_claim_safe`] / [`Expr::carries_provisional`]. The
+/// per-expression predicate cannot see taint laundered through a variable
+/// binding (`Map [T = Mk_C(...)]` followed by `Filter(T.x = ...)` contains
+/// no Skolem node in the filter), which is exactly what this guards: on the
+/// whole-query claim path there is no per-operator resolution barrier, so a
+/// downstream inspection of `T` would observe the provisional identity and
+/// could diverge from sequential. `Distinct` compares whole rows, so any
+/// taint below it is unsafe (a provisional and the sequential run's real
+/// identity can disagree on equality); join keys and predicates are
+/// inspection positions outright — not even a bare tainted variable may
+/// appear in them.
+fn plan_claim_safe(plan: &Plan, tainted: &mut BTreeSet<String>) -> bool {
+    match plan {
+        Plan::Scan { .. } => true,
+        Plan::Filter { input, predicate } => {
+            plan_claim_safe(input, tainted) && !predicate.carries_provisional(tainted)
+        }
+        Plan::Map { input, bindings } => {
+            plan_claim_safe(input, tainted) && cpl::expr::bindings_claim_safe(bindings, tainted)
+        }
+        Plan::Distinct { input } => {
+            let mut inner = BTreeSet::new();
+            let ok = plan_claim_safe(input, &mut inner);
+            let clean = inner.is_empty();
+            tainted.extend(inner);
+            ok && clean
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            plan_claim_safe(left, tainted)
+                && plan_claim_safe(right, tainted)
+                && predicate.iter().all(|p| !p.carries_provisional(tainted))
+        }
+        Plan::HashJoin { left, right, keys } => {
+            plan_claim_safe(left, tainted)
+                && plan_claim_safe(right, tainted)
+                && keys.iter().all(|(l, r)| {
+                    !l.carries_provisional(tainted) && !r.carries_provisional(tainted)
+                })
+        }
+        Plan::CrossJoin { left, right } => {
+            plan_claim_safe(left, tainted) && plan_claim_safe(right, tainted)
+        }
+    }
+}
+
+/// Analyse one query into its scheduling metadata.
+fn analyse(query: &Query) -> QueryNode {
+    let reads = query.plan.scanned_classes();
+    let writes: BTreeSet<ClassName> = query.inserts.iter().map(|i| i.class.clone()).collect();
+    let self_dependent = reads.intersection(&writes).next().is_some();
+    // Taint flows out of the plan into the insert expressions: a tainted
+    // variable may be *stored* by an insert (the apply phase rewrites keys
+    // and records through the resolution map) but never inspected.
+    let mut tainted = BTreeSet::new();
+    let overlap_safe = plan_claim_safe(&query.plan, &mut tainted)
+        && query.inserts.iter().all(|insert| {
+            insert.key.skolem_claim_safe(&tainted)
+                && insert
+                    .attrs
+                    .iter()
+                    .all(|(_, e)| e.skolem_claim_safe(&tainted))
+        });
+    QueryNode {
+        reads,
+        writes,
+        self_dependent,
+        overlap_safe,
+    }
+}
+
+/// Whether queries `a` and `b` must not evaluate concurrently: one writes an
+/// extent the other reads (in either direction — the write→read chain and
+/// the anti-dependency both force ordering).
+fn conflicts(a: &QueryNode, b: &QueryNode) -> bool {
+    a.writes.intersection(&b.reads).next().is_some()
+        || b.writes.intersection(&a.reads).next().is_some()
+}
+
+/// Build the execution schedule for a compiled program (see module docs).
+pub fn plan_schedule(queries: &[Query]) -> QuerySchedule {
+    let nodes: Vec<QueryNode> = queries.iter().map(analyse).collect();
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    for (index, node) in nodes.iter().enumerate() {
+        let exclusive = node.self_dependent || !node.overlap_safe;
+        let joins_current = match stages.last() {
+            Some(current) if !exclusive => {
+                // The current stage is open unless it holds an exclusive
+                // query (always alone by construction) or a conflicting one.
+                current.iter().all(|&i| {
+                    let member = &nodes[i];
+                    !member.self_dependent && member.overlap_safe && !conflicts(member, node)
+                })
+            }
+            _ => false,
+        };
+        if joins_current {
+            stages.last_mut().expect("checked above").push(index);
+        } else {
+            stages.push(vec![index]);
+        }
+    }
+    QuerySchedule { nodes, stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpl::{Expr, InsertAction};
+
+    fn query(name: &str, scans: &[(&str, &str)], writes: &[&str]) -> Query {
+        let mut plan: Option<Plan> = None;
+        for (class, var) in scans {
+            let scan = Plan::scan(*class, *var);
+            plan = Some(match plan {
+                None => scan,
+                Some(p) => p.cross(scan),
+            });
+        }
+        Query {
+            name: name.to_string(),
+            plan: plan.expect("at least one scan"),
+            inserts: writes
+                .iter()
+                .map(|class| InsertAction {
+                    class: ClassName::new(*class),
+                    key: Expr::var(scans[0].1).proj("name"),
+                    attrs: vec![("name".to_string(), Expr::var(scans[0].1).proj("name"))],
+                })
+                .collect(),
+        }
+    }
+
+    /// Disjoint queries (distinct reads, distinct writes) share one stage
+    /// and may overlap.
+    #[test]
+    fn disjoint_queries_overlap_in_one_stage() {
+        let queries = vec![
+            query("q0", &[("A", "a")], &["X"]),
+            query("q1", &[("B", "b")], &["Y"]),
+            query("q2", &[("C", "c")], &["Z"]),
+        ];
+        let schedule = plan_schedule(&queries);
+        assert_eq!(schedule.stages, vec![vec![0, 1, 2]]);
+        assert_eq!(schedule.max_overlap(), 3);
+        assert!(schedule.nodes.iter().all(|n| n.overlap_safe));
+        assert!(schedule.nodes.iter().all(|n| !n.self_dependent));
+    }
+
+    /// A write→read chain stays ordered: the reader lands in a later stage
+    /// than the writer, and an unrelated query can still share the reader's
+    /// stage.
+    #[test]
+    fn write_read_chains_stay_ordered() {
+        let queries = vec![
+            query("writer", &[("A", "a")], &["X"]),
+            query("reader", &[("X", "x")], &["Y"]),
+            query("bystander", &[("B", "b")], &["Z"]),
+        ];
+        let schedule = plan_schedule(&queries);
+        assert_eq!(schedule.stages, vec![vec![0], vec![1, 2]]);
+        // And the anti-dependency direction (read before write) also splits.
+        let queries = vec![
+            query("reader", &[("X", "x")], &["Y"]),
+            query("writer", &[("A", "a")], &["X"]),
+        ];
+        let schedule = plan_schedule(&queries);
+        assert_eq!(schedule.stages, vec![vec![0], vec![1]]);
+    }
+
+    /// Queries writing the *same* class may overlap: application is strictly
+    /// program-ordered on the main thread, so write–write merges (partial
+    /// clauses keyed alike) stay deterministic.
+    #[test]
+    fn write_write_queries_may_overlap() {
+        let queries = vec![
+            query("q0", &[("A", "a")], &["X"]),
+            query("q1", &[("B", "b")], &["X"]),
+        ];
+        let schedule = plan_schedule(&queries);
+        assert_eq!(schedule.stages, vec![vec![0, 1]]);
+    }
+
+    /// A self-dependent (fixpoint-shaped) query never overlaps itself or
+    /// anything else: it always occupies a singleton stage, wherever it
+    /// falls in the program.
+    #[test]
+    fn self_dependent_queries_never_overlap() {
+        let queries = vec![
+            query("q0", &[("A", "a")], &["X"]),
+            query("fixpoint", &[("Y", "y")], &["Y"]),
+            query("q2", &[("B", "b")], &["Z"]),
+            query("q3", &[("C", "c")], &["W"]),
+        ];
+        let schedule = plan_schedule(&queries);
+        assert!(schedule.nodes[1].self_dependent);
+        assert_eq!(schedule.stages, vec![vec![0], vec![1], vec![2, 3]]);
+        // Even as the first query, the fixpoint stays alone.
+        let queries = vec![
+            query("fixpoint", &[("Y", "y")], &["Y"]),
+            query("q1", &[("A", "a")], &["X"]),
+        ];
+        let schedule = plan_schedule(&queries);
+        assert_eq!(schedule.stages, vec![vec![0], vec![1]]);
+    }
+
+    /// Stages are contiguous program-order runs (application order is the
+    /// program order), so a conflict splits the stage even if a later query
+    /// would have been conflict-free with the earlier stage.
+    #[test]
+    fn stages_are_contiguous_program_order_runs() {
+        let queries = vec![
+            query("q0", &[("A", "a")], &["X"]),
+            query("q1", &[("X", "x")], &["Y"]), // conflicts with q0
+            query("q2", &[("A", "a2")], &["W"]), // no conflict with q1, joins its stage
+        ];
+        let schedule = plan_schedule(&queries);
+        assert_eq!(schedule.stages, vec![vec![0], vec![1, 2]]);
+        let flat: Vec<usize> = schedule.stages.iter().flatten().copied().collect();
+        assert_eq!(flat, vec![0, 1, 2]);
+    }
+
+    /// A query whose expressions put a Skolem in inspection position is not
+    /// overlap-safe: it pins to a singleton stage (and the main context).
+    #[test]
+    fn skolem_unsafe_queries_get_singleton_stages() {
+        let unsafe_query = Query {
+            name: "compares_skolem".to_string(),
+            plan: Plan::scan("A", "a").filter(
+                Expr::Skolem(ClassName::new("T"), Box::new(Expr::var("a").proj("k")))
+                    .eq(Expr::var("a")),
+            ),
+            inserts: vec![InsertAction {
+                class: ClassName::new("X"),
+                key: Expr::var("a").proj("k"),
+                attrs: vec![],
+            }],
+        };
+        let queries = vec![
+            query("q0", &[("B", "b")], &["Y"]),
+            unsafe_query,
+            query("q2", &[("C", "c")], &["Z"]),
+        ];
+        let schedule = plan_schedule(&queries);
+        assert!(!schedule.nodes[1].overlap_safe);
+        assert_eq!(schedule.stages, vec![vec![0], vec![1], vec![2]]);
+        // Value-position Skolems (the compiled-program shape) stay safe.
+        let value_position = Query {
+            name: "mints_skolem".to_string(),
+            plan: Plan::scan("A", "a").map(vec![(
+                "t".to_string(),
+                Expr::Skolem(ClassName::new("T"), Box::new(Expr::var("a").proj("k"))),
+            )]),
+            inserts: vec![InsertAction {
+                class: ClassName::new("X"),
+                key: Expr::var("a").proj("k"),
+                attrs: vec![("t".to_string(), Expr::var("t"))],
+            }],
+        };
+        assert!(analyse(&value_position).overlap_safe);
+    }
+
+    /// Taint flows through `Map`-bound variables: a downstream expression
+    /// that projects through, compares, or dedups a variable holding a
+    /// Skolem-minted value is unsafe even though it contains no Skolem node
+    /// itself — the laundering case the per-expression predicate misses.
+    #[test]
+    fn skolem_taint_through_map_bindings_blocks_overlap() {
+        let skolem_map = |next: fn(Plan) -> Plan| Query {
+            name: "laundered".to_string(),
+            plan: next(Plan::scan("A", "a").map(vec![(
+                "t".to_string(),
+                Expr::Skolem(ClassName::new("T"), Box::new(Expr::var("a").proj("k"))),
+            )])),
+            inserts: vec![InsertAction {
+                class: ClassName::new("X"),
+                key: Expr::var("a").proj("k"),
+                attrs: vec![],
+            }],
+        };
+        // Projection through the tainted variable.
+        let projected = skolem_map(|p| p.filter(Expr::var("t").proj("x")));
+        assert!(!analyse(&projected).overlap_safe);
+        // Comparison against the tainted variable.
+        let compared = skolem_map(|p| p.filter(Expr::var("t").eq(Expr::var("a"))));
+        assert!(!analyse(&compared).overlap_safe);
+        // Second-order taint: a binding defined *from* a tainted variable
+        // taints its own variable too.
+        let relayed = skolem_map(|p| {
+            p.map(vec![("u".to_string(), Expr::var("t"))])
+                .filter(Expr::var("u").eq(Expr::var("a")))
+        });
+        assert!(!analyse(&relayed).overlap_safe);
+        // Row-level equality (Distinct) over tainted rows is unsafe.
+        let deduped = skolem_map(|p| p.distinct());
+        assert!(!analyse(&deduped).overlap_safe);
+        // A tainted variable used as a hash-join key is unsafe.
+        let joined = skolem_map(|p| {
+            p.hash_join(
+                Plan::scan("B", "b"),
+                Expr::var("t"),
+                Expr::var("b").proj("r"),
+            )
+        });
+        assert!(!analyse(&joined).overlap_safe);
+        // Merely *storing* the tainted variable (insert attrs, records,
+        // variants, another Skolem's key) keeps the query safe: the apply
+        // phase rewrites stored values through the resolution map.
+        let stored = skolem_map(|p| {
+            p.map(vec![(
+                "wrapped".to_string(),
+                Expr::Variant("tag".to_string(), Box::new(Expr::var("t"))),
+            )])
+        });
+        assert!(analyse(&stored).overlap_safe);
+        // And a tainted Distinct deep in the tree still poisons the query.
+        let nested_distinct = skolem_map(|p| p.distinct().filter(Expr::var("a").proj("live")));
+        assert!(!analyse(&nested_distinct).overlap_safe);
+    }
+}

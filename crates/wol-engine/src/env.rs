@@ -29,7 +29,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use wol_lang::ast::{Atom, SkolemArgs, Term, Var};
 use wol_model::{
-    chunk_ranges, ClassName, Instance, Label, Oid, Parallelism, SharedValue, SkolemFactory, Value,
+    chunk_ranges, ClassName, Instance, Job, Label, Oid, Parallelism, SharedValue, SkolemFactory,
+    Value, WorkerPool,
 };
 
 use crate::error::EngineError;
@@ -953,13 +954,14 @@ pub fn match_body_with_stats(
 ///
 /// When the compiled join plan opens with an extent enumeration
 /// (`MemberScan`), the extent is split into contiguous chunks and each chunk
-/// is matched by a scoped worker running the *rest of the same plan* over its
-/// own undo-trail [`Bindings`] frame. Results concatenate in chunk order,
-/// which is the extent order the sequential matcher enumerates in, so the
-/// binding list — and the accumulated [`MatchStats`] totals — are identical
-/// at every thread count. Bodies that apply Skolem functions (which mutate
-/// the shared factory in first-call order) and plans that do not open with a
-/// scan stay on the sequential path.
+/// is matched on the persistent [`WorkerPool`] by running the *rest of the
+/// same plan* over its own undo-trail [`Bindings`] frame. Results
+/// concatenate in chunk order, which is the extent order the sequential
+/// matcher enumerates in, so the binding list — and the accumulated
+/// [`MatchStats`] totals — are identical at every thread count. Bodies that
+/// apply Skolem functions (which mutate the shared factory in first-call
+/// order) and plans that do not open with a scan stay on the sequential
+/// path.
 pub fn match_body_partitioned(
     atoms: &[Atom],
     dbs: &Databases<'_>,
@@ -984,57 +986,53 @@ pub fn match_body_partitioned(
             if extent.len() >= PAR_MIN_EXTENT {
                 stats.extents_scanned += 1;
                 let (extent, steps, initial) = (&extent, &steps, &initial);
-                let outcomes: Vec<(MatchStats, Result<Vec<Bindings>>)> =
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = chunk_ranges(extent.len(), threads)
-                            .into_iter()
-                            .map(|range| {
-                                scope.spawn(move || {
-                                    // Fresh factory per worker: sound because
-                                    // Skolem-bearing bodies never get here.
-                                    let mut factory = SkolemFactory::new();
-                                    let mut worker_stats = MatchStats::default();
-                                    let mut frame = initial.clone();
-                                    let mut trail = Vec::new();
-                                    let mut out = Vec::new();
-                                    let result = (|| {
-                                        for oid in &extent[range] {
-                                            let value = Value::Oid((*oid).clone());
-                                            let mark = trail.len();
-                                            if match_pattern_in_place(
-                                                term,
-                                                &value,
-                                                &mut frame,
-                                                &mut trail,
+                let pool = WorkerPool::shared(parallelism);
+                let jobs: Vec<Job<'_, (MatchStats, Result<Vec<Bindings>>)>> =
+                    chunk_ranges(extent.len(), threads)
+                        .into_iter()
+                        .map(|range| {
+                            Box::new(move || {
+                                // Fresh factory per worker: sound because
+                                // Skolem-bearing bodies never get here.
+                                let mut factory = SkolemFactory::new();
+                                let mut worker_stats = MatchStats::default();
+                                let mut frame = initial.clone();
+                                let mut trail = Vec::new();
+                                let mut out = Vec::new();
+                                let result = (|| {
+                                    for oid in &extent[range] {
+                                        let value = Value::Oid((*oid).clone());
+                                        let mark = trail.len();
+                                        if match_pattern_in_place(
+                                            term,
+                                            &value,
+                                            &mut frame,
+                                            &mut trail,
+                                            dbs,
+                                            &mut factory,
+                                        ) {
+                                            worker_stats.bindings_considered += 1;
+                                            run_plan(
+                                                1,
+                                                steps,
+                                                atoms,
                                                 dbs,
                                                 &mut factory,
-                                            ) {
-                                                worker_stats.bindings_considered += 1;
-                                                run_plan(
-                                                    1,
-                                                    steps,
-                                                    atoms,
-                                                    dbs,
-                                                    &mut factory,
-                                                    &mut frame,
-                                                    &mut trail,
-                                                    &mut out,
-                                                    &mut worker_stats,
-                                                )?;
-                                            }
-                                            unwind_trail(&mut frame, &mut trail, mark);
+                                                &mut frame,
+                                                &mut trail,
+                                                &mut out,
+                                                &mut worker_stats,
+                                            )?;
                                         }
-                                        Ok(())
-                                    })();
-                                    (worker_stats, result.map(|()| out))
-                                })
-                            })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|handle| handle.join().expect("match worker panicked"))
-                            .collect()
-                    });
+                                        unwind_trail(&mut frame, &mut trail, mark);
+                                    }
+                                    Ok(())
+                                })();
+                                (worker_stats, result.map(|()| out))
+                            }) as Job<'_, _>
+                        })
+                        .collect();
+                let outcomes = pool.scope(jobs);
                 let mut all = Vec::new();
                 let mut first_err = None;
                 for (worker_stats, result) in outcomes {

@@ -319,11 +319,12 @@ pub fn naive_transform_with_report(
 }
 
 /// Match one clause body once per delta seed and take the union. Runs the
-/// seeds over contiguous chunks on scoped workers when the options allow it
-/// (a worker budget above one, at least two seeds, the indexed matcher, and
-/// a Skolem-free body — Skolem terms would mutate the shared factory in
-/// first-call order); otherwise matches the seeds sequentially. Either way
-/// the result is an ordered set, so the produced fixpoint is identical.
+/// seeds over contiguous chunks on the persistent [`wol_model::WorkerPool`]
+/// when the options allow it (a worker budget above one, at least two seeds,
+/// the indexed matcher, and a Skolem-free body — Skolem terms would mutate
+/// the shared factory in first-call order); otherwise matches the seeds
+/// sequentially. Either way the result is an ordered set, so the produced
+/// fixpoint is identical.
 fn match_delta_seeds(
     body: &[Atom],
     dbs: &Databases<'_>,
@@ -354,11 +355,12 @@ fn match_delta_seeds(
         return Ok(collected);
     }
     let seeds = &seeds;
-    let outcomes: Vec<(MatchStats, Result<Vec<Bindings>>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunk_ranges(seeds.len(), threads)
+    let pool = wol_model::WorkerPool::shared(options.parallelism);
+    let jobs: Vec<wol_model::Job<'_, (MatchStats, Result<Vec<Bindings>>)>> =
+        chunk_ranges(seeds.len(), threads)
             .into_iter()
             .map(|range| {
-                scope.spawn(move || {
+                Box::new(move || {
                     // Fresh factory per worker: sound because Skolem-bearing
                     // bodies never get here.
                     let mut worker_factory = SkolemFactory::new();
@@ -379,14 +381,10 @@ fn match_delta_seeds(
                         Ok(())
                     })();
                     (worker_stats, result.map(|()| out))
-                })
+                }) as wol_model::Job<'_, _>
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("delta-pass worker panicked"))
-            .collect()
-    });
+    let outcomes = pool.scope(jobs);
     let mut collected = BTreeSet::new();
     let mut first_err = None;
     for (worker_stats, result) in outcomes {

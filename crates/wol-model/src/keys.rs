@@ -199,9 +199,18 @@ impl KeySpec {
 /// functions, "which create new object identities associated uniquely with
 /// their arguments" (Section 3.1), and makes the "unique smallest
 /// transformation up to renaming of object identities" reproducible.
+///
+/// The factory's numbering depends on *first-call order*, which is why it
+/// cannot be shared across worker threads directly; workers record
+/// [`SkolemClaims`] instead and the claims are resolved against the factory
+/// in input order (see the two-phase key-claim protocol documented there).
 #[derive(Clone, Debug, Default)]
 pub struct SkolemFactory {
-    assigned: BTreeMap<(ClassName, Value), Oid>,
+    /// Per-class memo from key value to identity — nested so the hot-path
+    /// lookup (a repeated key, the common case on merging partial inserts)
+    /// borrows the class and key instead of cloning them into a composite
+    /// lookup key.
+    assigned: BTreeMap<ClassName, BTreeMap<Value, Oid>>,
     counters: BTreeMap<ClassName, u64>,
 }
 
@@ -214,45 +223,48 @@ impl SkolemFactory {
     /// Apply `Mk_class(key)`: return the identity associated with the key
     /// value, creating it if necessary.
     pub fn mk(&mut self, class: &ClassName, key: &Value) -> Oid {
-        if let Some(existing) = self.assigned.get(&(class.clone(), key.clone())) {
+        if let Some(existing) = self.assigned.get(class).and_then(|keys| keys.get(key)) {
             return existing.clone();
         }
         let counter = self.counters.entry(class.clone()).or_insert(0);
         let oid = Oid::new(class.clone(), *counter);
         *counter += 1;
         self.assigned
-            .insert((class.clone(), key.clone()), oid.clone());
+            .entry(class.clone())
+            .or_default()
+            .insert(key.clone(), oid.clone());
         oid
     }
 
     /// Look up the identity for a key value without creating one.
     pub fn lookup(&self, class: &ClassName, key: &Value) -> Option<&Oid> {
-        self.assigned.get(&(class.clone(), key.clone()))
+        self.assigned.get(class).and_then(|keys| keys.get(key))
     }
 
     /// The key value that produced an identity, if the identity came from this
     /// factory. (Inverse of [`mk`](Self::mk); linear in the number of
     /// assignments.)
     pub fn key_of(&self, oid: &Oid) -> Option<&Value> {
-        self.assigned
-            .iter()
-            .find(|(_, assigned)| *assigned == oid)
-            .map(|((_, key), _)| key)
+        self.assigned.get(oid.class()).and_then(|keys| {
+            keys.iter()
+                .find(|(_, assigned)| *assigned == oid)
+                .map(|(key, _)| key)
+        })
     }
 
     /// Number of identities created for a class.
     pub fn count(&self, class: &ClassName) -> usize {
-        self.assigned.keys().filter(|(c, _)| c == class).count()
+        self.assigned.get(class).map_or(0, BTreeMap::len)
     }
 
     /// Total number of identities created.
     pub fn len(&self) -> usize {
-        self.assigned.len()
+        self.assigned.values().map(BTreeMap::len).sum()
     }
 
     /// True if no identities have been created.
     pub fn is_empty(&self) -> bool {
-        self.assigned.is_empty()
+        self.assigned.values().all(BTreeMap::is_empty)
     }
 
     /// Pre-register identities for every object of `class` in `instance`,
@@ -266,12 +278,204 @@ impl SkolemFactory {
     ) -> Result<()> {
         for oid in instance.extent(class) {
             let key = spec.eval(oid, instance)?;
-            self.assigned.insert((class.clone(), key), oid.clone());
+            self.assigned
+                .entry(class.clone())
+                .or_default()
+                .insert(key, oid.clone());
             let counter = self.counters.entry(class.clone()).or_insert(0);
             *counter = (*counter).max(oid.id() + 1);
         }
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------------------
+// The two-phase key-claim protocol.
+// ---------------------------------------------------------------------------
+
+/// The high bit tags *provisional* object identities minted by
+/// [`SkolemClaims`]; real identities come from monotonically increasing
+/// counters starting at zero and can never reach it in practice (`2^63`
+/// creations). The tag guarantees a provisional identity can never collide
+/// with — and therefore never be confused for, or rewritten over — a real
+/// identity embedded in the same value.
+const PROVISIONAL_TAG: u64 = 1 << 63;
+
+/// Globally unique arena numbers, so provisional identities from different
+/// arenas (different workers, different queries, different operators) never
+/// collide either. The counter is process-global and unordered across
+/// threads, but provisional identities never escape a resolution pass, so
+/// outputs stay deterministic.
+static NEXT_ARENA: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Provisional-identity layout below the tag bit: 39 bits of arena number
+/// (bits 24–62) above [`ARENA_SHIFT`] bits of per-arena claim index. Both
+/// fields are *hard*-asserted at mint time — an overflow must fail loudly,
+/// because wrapping would let two live arenas (or two claims of one arena)
+/// collide and silently corrupt the resolution rewrite. The budgets are
+/// generous: ~5.5 × 10¹¹ arenas per process and ~1.6 × 10⁷ distinct claims
+/// per arena (one arena covers a single worker's partition of one operator,
+/// or one query evaluation).
+const ARENA_SHIFT: u32 = 24;
+
+/// Exclusive upper bound on arena numbers (39 usable bits).
+const MAX_ARENAS: u64 = 1 << (63 - ARENA_SHIFT);
+
+/// Exclusive upper bound on per-arena claim indices.
+const MAX_CLAIMS: u64 = 1 << ARENA_SHIFT;
+
+/// A per-worker Skolem *claim arena* — one side of the two-phase key-claim
+/// protocol that lets Skolem-bearing work run off the main thread while the
+/// produced target stays bit-identical to a sequential run.
+///
+/// WOL's Skolem semantics (Section 4) define object identity by *key*, not
+/// by allocation order, so which worker first evaluates `Mk_C(k)` cannot be
+/// allowed to matter. The protocol (cf. database-ASM update-set consistency:
+/// parallel updates are consistent exactly when their key claims do not
+/// conflict):
+///
+/// 1. **Claim phase (workers).** Instead of touching the shared
+///    [`SkolemFactory`], a worker calls [`SkolemClaims::mk`], which hands
+///    back a *provisional* identity (tagged so it can never collide with a
+///    real one, unique per arena) and records the `(class, key)` claim in
+///    first-encounter order. Repeated keys within one arena reuse their
+///    provisional identity without a new claim — exactly the factory's
+///    memoisation, worker-locally.
+/// 2. **Resolution phase (the owner, in input order).** The arenas are
+///    drained *in partition order* ([`SkolemClaims::resolve_into`]): each
+///    claim's key — rewritten through the resolutions so far, so nested
+///    Skolem keys resolve inside-out — is fed to the real factory, which
+///    assigns identities in exactly the order a sequential run would have
+///    (a worker's first encounter of a key is the chunk-order first
+///    encounter; partitions concatenate in input order). Duplicate claims
+///    across workers resolve to the *same* final identity, realising the
+///    "consistent update set" of conflicting-by-key parallel writes.
+/// 3. The resulting provisional→final map rewrites the workers' outputs
+///    ([`Value::map_oids`]), after which no provisional identity survives.
+///
+/// Provisional identities are only sound where they are never *compared*
+/// against real identities — flowing into output values, or into the keys of
+/// later claims. The executors gate which expressions qualify
+/// (`Expr::skolem_parallel_safe` in `cpl`).
+#[derive(Debug)]
+pub struct SkolemClaims {
+    arena: u64,
+    /// Per-class memo of already-claimed keys — nested so the hot-path
+    /// lookup ([`SkolemClaims::mk`] on a repeated key) borrows the class and
+    /// key instead of cloning them into a composite lookup key.
+    assigned: BTreeMap<ClassName, BTreeMap<Value, Oid>>,
+    claims: Vec<(ClassName, Value)>,
+}
+
+impl SkolemClaims {
+    /// A fresh, empty arena with a process-unique provisional namespace.
+    pub fn new() -> Self {
+        let arena = NEXT_ARENA.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            arena < MAX_ARENAS,
+            "provisional arena numbers exhausted (2^39 arenas minted in one process)"
+        );
+        SkolemClaims {
+            arena,
+            assigned: BTreeMap::new(),
+            claims: Vec::new(),
+        }
+    }
+
+    /// Apply `Mk_class(key)` provisionally: return the arena-local identity
+    /// for the key value, recording a claim on first encounter. Repeated
+    /// keys — the hot path on merging inserts — answer from the memo
+    /// without allocating.
+    pub fn mk(&mut self, class: &ClassName, key: &Value) -> Oid {
+        if let Some(existing) = self.assigned.get(class).and_then(|keys| keys.get(key)) {
+            return existing.clone();
+        }
+        let index = self.claims.len() as u64;
+        assert!(
+            index < MAX_CLAIMS,
+            "claim arena overflow (2^24 distinct keys claimed by one worker)"
+        );
+        let id = PROVISIONAL_TAG | (self.arena << ARENA_SHIFT) | index;
+        let oid = Oid::new(class.clone(), id);
+        self.assigned
+            .entry(class.clone())
+            .or_default()
+            .insert(key.clone(), oid.clone());
+        self.claims.push((class.clone(), key.clone()));
+        oid
+    }
+
+    /// Number of claims recorded so far — a *mark* callers can take before a
+    /// unit of work to delimit the claims that work recorded
+    /// (`claims[mark_before..mark_after]`), so resolution can interleave
+    /// claim replay with other factory calls exactly as a sequential run
+    /// interleaved them.
+    pub fn mark(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// True if the arena recorded no claims.
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty()
+    }
+
+    /// Replay the claims in `range` (in claim order) through `mk`, extending
+    /// `resolved` with this arena's provisional→final assignments. Claim
+    /// keys are rewritten through `resolved` first, so a key built from an
+    /// earlier provisional identity (a nested Skolem) resolves to the key a
+    /// sequential run would have used. `mk` is usually the real factory's
+    /// [`SkolemFactory::mk`], but a claim context resolving nested arenas
+    /// re-claims into its own arena instead.
+    pub fn replay_range_into(
+        &self,
+        range: std::ops::Range<usize>,
+        resolved: &mut BTreeMap<Oid, Oid>,
+        mk: &mut impl FnMut(&ClassName, &Value) -> Oid,
+    ) {
+        for (index, (class, key)) in self.claims[range.clone()].iter().enumerate() {
+            let key = if key.contains_oid() {
+                key.map_oids(&mut |oid| resolved.get(oid).cloned().unwrap_or_else(|| oid.clone()))
+            } else {
+                key.clone()
+            };
+            let final_oid = mk(class, &key);
+            let id = PROVISIONAL_TAG | (self.arena << ARENA_SHIFT) | (range.start + index) as u64;
+            resolved.insert(Oid::new(class.clone(), id), final_oid);
+        }
+    }
+
+    /// Resolve the claims in `range` against `factory` (see
+    /// [`replay_range_into`](Self::replay_range_into)).
+    pub fn resolve_range_into(
+        &self,
+        range: std::ops::Range<usize>,
+        factory: &mut SkolemFactory,
+        resolved: &mut BTreeMap<Oid, Oid>,
+    ) {
+        self.replay_range_into(range, resolved, &mut |class, key| factory.mk(class, key));
+    }
+
+    /// Resolve *all* of this arena's claims against `factory` (see
+    /// [`replay_range_into`](Self::replay_range_into)).
+    pub fn resolve_into(&self, factory: &mut SkolemFactory, resolved: &mut BTreeMap<Oid, Oid>) {
+        self.resolve_range_into(0..self.claims.len(), factory, resolved);
+    }
+}
+
+impl Default for SkolemClaims {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Rewrite every provisional identity in `value` through the resolution map;
+/// identities without an entry (real ones) pass through unchanged. Cheap
+/// no-op clone-free check first: most values carry no identities at all.
+pub fn rewrite_resolved(value: &Value, resolved: &BTreeMap<Oid, Oid>) -> Value {
+    if resolved.is_empty() || !value.contains_oid() {
+        return value.clone();
+    }
+    value.map_oids(&mut |oid| resolved.get(oid).cloned().unwrap_or_else(|| oid.clone()))
 }
 
 #[cfg(test)]
@@ -419,6 +623,120 @@ mod tests {
         let fresh = factory.mk(&ClassName::new("CountryE"), &Value::str("Spain"));
         assert_ne!(fresh, uk);
         assert_ne!(fresh, fr);
+    }
+
+    /// The two-phase protocol's core guarantee: resolving per-worker claim
+    /// arenas in partition order reproduces the numbering a sequential
+    /// first-call-order run produces, with duplicate keys across arenas
+    /// mapping to one final identity.
+    #[test]
+    fn claims_resolve_to_sequential_first_call_numbering() {
+        let class = ClassName::new("CountryT");
+        // Sequential reference: keys in row order a, b, a, c.
+        let mut reference = SkolemFactory::new();
+        let seq: Vec<Oid> = ["a", "b", "a", "c"]
+            .iter()
+            .map(|k| reference.mk(&class, &Value::str(*k)))
+            .collect();
+        // Two workers over the same row order: worker 0 sees (a, b), worker
+        // 1 sees (a, c) — a duplicate claim of `a` across workers.
+        let mut w0 = SkolemClaims::new();
+        let mut w1 = SkolemClaims::new();
+        let p0a = w0.mk(&class, &Value::str("a"));
+        let p0b = w0.mk(&class, &Value::str("b"));
+        let p1a = w1.mk(&class, &Value::str("a"));
+        let p1c = w1.mk(&class, &Value::str("c"));
+        // Provisional identities are tagged, arena-unique and memoised.
+        assert!(p0a.id() >= (1 << 62));
+        assert_ne!(p0a, p1a, "different arenas must not share identities");
+        assert_eq!(w0.mk(&class, &Value::str("a")), p0a);
+        assert_eq!(w0.mark(), 2);
+        assert!(!w0.is_empty());
+        // Resolution in partition order.
+        let mut factory = SkolemFactory::new();
+        let mut resolved = BTreeMap::new();
+        w0.resolve_into(&mut factory, &mut resolved);
+        w1.resolve_into(&mut factory, &mut resolved);
+        assert_eq!(resolved[&p0a], seq[0]);
+        assert_eq!(resolved[&p0b], seq[1]);
+        assert_eq!(resolved[&p1a], seq[0], "duplicate key claims must merge");
+        assert_eq!(resolved[&p1c], seq[3]);
+        assert_eq!(factory.len(), 3);
+    }
+
+    /// Nested Skolem keys — an outer claim whose key embeds an inner claim's
+    /// provisional identity — resolve inside-out, matching the sequential
+    /// evaluation order (the inner `mk` always happens first).
+    #[test]
+    fn nested_claim_keys_are_rewritten_before_resolution() {
+        let inner_class = ClassName::new("CountryT");
+        let outer_class = ClassName::new("CityT");
+        let mut reference = SkolemFactory::new();
+        let seq_inner = reference.mk(&inner_class, &Value::str("France"));
+        let seq_outer = reference.mk(
+            &outer_class,
+            &Value::record([
+                ("name", Value::str("Paris")),
+                ("country", Value::oid(seq_inner.clone())),
+            ]),
+        );
+        let mut claims = SkolemClaims::new();
+        let p_inner = claims.mk(&inner_class, &Value::str("France"));
+        let p_outer = claims.mk(
+            &outer_class,
+            &Value::record([
+                ("name", Value::str("Paris")),
+                ("country", Value::oid(p_inner.clone())),
+            ]),
+        );
+        let mut factory = SkolemFactory::new();
+        let mut resolved = BTreeMap::new();
+        claims.resolve_into(&mut factory, &mut resolved);
+        assert_eq!(resolved[&p_inner], seq_inner);
+        assert_eq!(resolved[&p_outer], seq_outer);
+        // And rewriting a produced value erases every provisional identity.
+        let produced = Value::record([
+            ("city", Value::oid(p_outer)),
+            ("list", Value::list([Value::oid(p_inner)])),
+        ]);
+        let rewritten = rewrite_resolved(&produced, &resolved);
+        assert_eq!(
+            rewritten,
+            Value::record([
+                ("city", Value::oid(seq_outer)),
+                ("list", Value::list([Value::oid(seq_inner)])),
+            ])
+        );
+    }
+
+    /// Claim ranges let resolution interleave with other factory calls:
+    /// claims recorded before a mark resolve before a direct `mk`, claims
+    /// after it resolve after — reproducing a sequential interleaving.
+    #[test]
+    fn claim_ranges_interleave_with_direct_factory_calls() {
+        let class = ClassName::new("T");
+        let mut reference = SkolemFactory::new();
+        let seq: Vec<Oid> = ["x", "k", "y"]
+            .iter()
+            .map(|k| reference.mk(&class, &Value::str(*k)))
+            .collect();
+        let mut claims = SkolemClaims::new();
+        let px = claims.mk(&class, &Value::str("x"));
+        let before = claims.mark();
+        let py = claims.mk(&class, &Value::str("y"));
+        let mut factory = SkolemFactory::new();
+        let mut resolved = BTreeMap::new();
+        claims.resolve_range_into(0..before, &mut factory, &mut resolved);
+        let mid = factory.mk(&class, &Value::str("k"));
+        claims.resolve_range_into(before..claims.mark(), &mut factory, &mut resolved);
+        assert_eq!(resolved[&px], seq[0]);
+        assert_eq!(mid, seq[1]);
+        assert_eq!(resolved[&py], seq[2]);
+        // Rewriting a value with no identities is a cheap clone.
+        assert_eq!(
+            rewrite_resolved(&Value::str("plain"), &resolved),
+            Value::str("plain")
+        );
     }
 
     #[test]

@@ -38,9 +38,9 @@ pub mod values;
 pub use error::ModelError;
 pub use histogram::{AttrHistogram, HistogramBucket};
 pub use instance::{AttrStats, Instance};
-pub use keys::{KeyExpr, KeySpec, SkolemFactory};
+pub use keys::{rewrite_resolved, KeyExpr, KeySpec, SkolemClaims, SkolemFactory};
 pub use oid::Oid;
-pub use parallel::{chunk_ranges, Parallelism};
+pub use parallel::{chunk_ranges, Job, Parallelism, WorkerPool};
 pub use path::Path;
 pub use schema::Schema;
 pub use types::{BaseType, ClassName, Label, Type};

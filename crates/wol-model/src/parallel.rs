@@ -1,22 +1,57 @@
-//! The workspace-wide parallelism knob.
+//! The workspace-wide parallelism knob and the persistent worker pool.
 //!
 //! Both execution engines (`cpl`'s plan executor and `wol-engine`'s clause
-//! matcher) partition their work over [`std::thread::scope`] workers. How many
-//! workers is a *policy* decision threaded down from the pipeline driver, so
-//! it lives here in the shared model crate: a [`Parallelism`] value is "use
-//! `n` OS threads", defaulting to the machine's available cores and
-//! overridable with the `WOL_THREADS` environment variable (the hook the CI
-//! thread-matrix uses to run the whole suite single- and multi-threaded).
+//! matcher) partition their work over pool workers. How many workers is a
+//! *policy* decision threaded down from the pipeline driver, so it lives here
+//! in the shared model crate: a [`Parallelism`] value is "use `n` OS
+//! threads", defaulting to the machine's available cores and overridable with
+//! the `WOL_THREADS` environment variable (the hook the CI thread-matrix uses
+//! to run the whole suite single- and multi-threaded).
+//!
+//! ## The pool threading model
+//!
+//! Until PR 5 every parallel operator paid a fresh [`std::thread::scope`]
+//! spawn round (~100µs for four workers) — cheap for one big join, ruinous
+//! for a pipeline of medium operators. [`WorkerPool`] replaces the per
+//! operator scopes with *persistent* workers:
+//!
+//! * A pool for `Parallelism(n)` spawns `n - 1` long-lived OS workers that
+//!   block on a shared channel of jobs. [`Parallelism::sequential`] spawns
+//!   **no** threads at all.
+//! * [`WorkerPool::scope`] submits a batch of closures and blocks until all
+//!   of them have finished. The *calling thread participates*: it executes
+//!   queued jobs itself instead of idling, so a batch of `n` jobs runs at
+//!   concurrency `n` — and, crucially, a scope entered *from a pool worker*
+//!   (query-level parallelism nesting operator-level parallelism) can always
+//!   drain its own jobs even when every other worker is busy. There is no
+//!   configuration in which `scope` deadlocks waiting for a worker.
+//! * Results come back **in submission order**, whatever order jobs actually
+//!   ran in, so pool execution is as deterministic as the scoped-thread
+//!   rounds it replaces.
+//! * A panicking job is caught on the worker (the worker itself survives and
+//!   keeps serving jobs), recorded in the job's result slot, and re-raised on
+//!   the calling thread once the whole batch has finished — the same
+//!   propagate-on-join contract as [`std::thread::scope`], never a hang.
+//! * Dropping a pool closes the job channel and joins every worker.
+//!
+//! [`WorkerPool::shared`] returns a process-wide pool per thread count, so
+//! every executor sharing one `Parallelism` shares one set of workers instead
+//! of re-spawning per operator.
 //!
 //! Parallel execution is required to be *deterministic*: the same inputs must
 //! produce bit-identical outputs at every thread count. The executors achieve
 //! that by partitioning work by data (contiguous chunks, or key-hash shards)
 //! rather than by scheduling, and by reassembling results in input order —
-//! `Parallelism` only decides how many partitions run concurrently, never
-//! what any partition computes.
+//! the pool only decides *where* a partition runs, never what it computes.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Number of worker threads parallel operators may use. Always at least 1;
-/// `1` means fully sequential execution (no scoped threads are spawned).
+/// `1` means fully sequential execution (no threads are spawned).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Parallelism(usize);
 
@@ -32,16 +67,41 @@ impl Parallelism {
     }
 
     /// The environment's parallelism: `WOL_THREADS` if set to an integer
-    /// (`0` clamps to sequential, matching [`Parallelism::new`]), otherwise
-    /// the number of available cores (1 if unknown).
+    /// (`0` clamps to sequential, matching [`Parallelism::new`]; leading and
+    /// trailing whitespace is tolerated), otherwise the number of available
+    /// cores (1 if unknown). A set-but-unparsable `WOL_THREADS` falls back to
+    /// the available cores and warns **once** per process on stderr — before
+    /// PR 5 the garbage value was silently swallowed, which made a typoed
+    /// `WOL_THREADS=fuor` indistinguishable from the default.
     pub fn from_env() -> Self {
         match std::env::var("WOL_THREADS") {
-            Ok(raw) => match raw.trim().parse::<usize>() {
-                Ok(n) => Parallelism::new(n),
-                Err(_) => Self::available(),
+            Ok(raw) => match Self::from_spec(&raw) {
+                Some(parallelism) => parallelism,
+                None => {
+                    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                    WARN_ONCE.call_once(|| {
+                        eprintln!(
+                            "[wol] WOL_THREADS={raw:?} is not an integer; \
+                             falling back to all available cores"
+                        );
+                    });
+                    Self::available()
+                }
             },
             Err(_) => Self::available(),
         }
+    }
+
+    /// Parse a `WOL_THREADS`-style specification: an integer, surrounded by
+    /// optional whitespace. `0` clamps to sequential (matching
+    /// [`Parallelism::new`]); anything unparsable — including an empty or
+    /// all-whitespace string — is `None`. Split out of [`from_env`] so the
+    /// parsing rules are unit-testable without racing on the process
+    /// environment.
+    ///
+    /// [`from_env`]: Parallelism::from_env
+    pub fn from_spec(raw: &str) -> Option<Self> {
+        raw.trim().parse::<usize>().ok().map(Parallelism::new)
     }
 
     /// The machine's available cores, ignoring `WOL_THREADS`.
@@ -58,7 +118,7 @@ impl Parallelism {
         self.0
     }
 
-    /// True when no scoped threads would be spawned.
+    /// True when no threads would be spawned.
     pub fn is_sequential(self) -> bool {
         self.0 <= 1
     }
@@ -95,6 +155,224 @@ pub fn chunk_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
+// ---------------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------------
+
+/// A job as the executors submit it: a closure borrowing scope-local data.
+pub type Job<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+/// A type-erased ticket shipped to pool workers through the job channel.
+type Ticket = Box<dyn FnOnce() + Send + 'static>;
+
+/// One in-flight [`WorkerPool::scope`] batch: the job queue, the result
+/// slots, and the completion latch. Jobs are popped by whoever gets there
+/// first (the calling thread or a pool worker) and their results land in the
+/// slot of their submission index, so result order never depends on
+/// scheduling.
+struct ScopeState<'env, T> {
+    jobs: Mutex<VecDeque<(usize, Job<'env, T>)>>,
+    results: Mutex<Vec<Option<std::thread::Result<T>>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl<T: Send> ScopeState<'_, T> {
+    /// Pop and run one job if any are queued; returns whether a job ran.
+    /// Panics are caught into the job's result slot — the executing thread
+    /// (pool worker or caller) always survives — and the latch counts the
+    /// job as finished either way, so a panicking batch completes instead of
+    /// hanging.
+    fn run_one(&self) -> bool {
+        let popped = self.jobs.lock().expect("pool scope poisoned").pop_front();
+        let Some((slot, job)) = popped else {
+            return false;
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        self.results.lock().expect("pool scope poisoned")[slot] = Some(result);
+        let mut remaining = self.remaining.lock().expect("pool scope poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+        true
+    }
+}
+
+/// A persistent pool of worker threads shared by the parallel executors.
+/// See the module docs for the threading model; the short version:
+/// submission-ordered results, caller participation (no deadlocks, nesting
+/// allowed), panic propagation on join, workers joined on drop.
+pub struct WorkerPool {
+    /// Job channel; `None` only during drop (closing it stops the workers).
+    sender: Option<Sender<Ticket>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Live worker-thread count, for lifecycle assertions: incremented as a
+    /// worker starts, decremented as its loop exits.
+    live: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    /// A pool sized for `parallelism`: `threads - 1` OS workers (the calling
+    /// thread is the remaining unit of concurrency), so
+    /// [`Parallelism::sequential`] spawns no threads at all.
+    pub fn new(parallelism: Parallelism) -> Self {
+        let threads = parallelism.threads();
+        let (sender, receiver) = channel::<Ticket>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let live = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads.saturating_sub(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let live = Arc::clone(&live);
+                std::thread::Builder::new()
+                    .name(format!("wol-worker-{i}"))
+                    .spawn(move || {
+                        live.fetch_add(1, Ordering::SeqCst);
+                        loop {
+                            // Hold the lock only while popping: a running job
+                            // must never block the other workers' queue.
+                            let ticket = {
+                                let receiver = receiver.lock().expect("pool channel poisoned");
+                                receiver.recv()
+                            };
+                            match ticket {
+                                Ok(ticket) => ticket(),
+                                Err(_) => break, // channel closed: pool dropped
+                            }
+                        }
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawning a pool worker failed")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            threads,
+            live,
+        }
+    }
+
+    /// The process-wide shared pool for a thread count. Executors sharing a
+    /// [`Parallelism`] share workers instead of spawning their own; the pool
+    /// persists for the life of the process (idle workers block on the job
+    /// channel and cost nothing).
+    pub fn shared(parallelism: Parallelism) -> Arc<WorkerPool> {
+        static POOLS: OnceLock<Mutex<BTreeMap<usize, Arc<WorkerPool>>>> = OnceLock::new();
+        let pools = POOLS.get_or_init(|| Mutex::new(BTreeMap::new()));
+        let mut pools = pools.lock().expect("pool registry poisoned");
+        Arc::clone(
+            pools
+                .entry(parallelism.threads())
+                .or_insert_with(|| Arc::new(WorkerPool::new(parallelism))),
+        )
+    }
+
+    /// The concurrency this pool provides (OS workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The number of OS worker threads the pool spawned (`threads() - 1`).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A handle to the live worker-thread counter, for lifecycle tests: the
+    /// count drops to zero once [`Drop`] has joined every worker.
+    pub fn live_workers(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.live)
+    }
+
+    /// Run a batch of jobs to completion and return their results **in
+    /// submission order**. The calling thread executes queued jobs alongside
+    /// the pool workers (see the module docs), then blocks until stragglers
+    /// stolen by workers finish. If any job panicked, the first panic (by
+    /// submission index — the one a sequential left-to-right run would have
+    /// hit first) is re-raised here after the whole batch has completed.
+    pub fn scope<'env, T: Send + 'env>(&self, jobs: Vec<Job<'env, T>>) -> Vec<T> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let state = Arc::new(ScopeState {
+            jobs: Mutex::new(jobs.into_iter().enumerate().collect()),
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        });
+        // Offer at most (jobs - 1) tickets to the workers — the caller will
+        // run at least one job itself — capped at the worker count.
+        let tickets = self.worker_count().min(n.saturating_sub(1));
+        if tickets > 0 {
+            let sender = self.sender.as_ref().expect("pool is live");
+            for _ in 0..tickets {
+                let state = Arc::clone(&state);
+                // SAFETY: the ticket borrows `'env` data only through the
+                // queued jobs. `scope` does not return until `remaining`
+                // reaches zero, i.e. until every job has *finished running*
+                // (panics included — `run_one` counts them); a ticket that
+                // fires after that pops nothing and touches no borrowed
+                // data. So no `'env` borrow is ever used after `scope`
+                // returns, which is the invariant the lifetime erasure
+                // needs.
+                //
+                // Each ticket *drains* the queue rather than running a
+                // single job: with more jobs than workers (a wide query
+                // stage), every worker keeps pulling until the batch is
+                // empty instead of leaving the surplus to the caller.
+                let ticket: Box<dyn FnOnce() + Send + 'env> =
+                    Box::new(move || while state.run_one() {});
+                let ticket: Ticket = unsafe { std::mem::transmute(ticket) };
+                // A send error means the pool is mid-drop; impossible while
+                // `&self` is alive, but harmless: the caller runs every job.
+                let _ = sender.send(ticket);
+            }
+        }
+        // Caller participation: drain the queue, then wait for stragglers.
+        while state.run_one() {}
+        let mut remaining = state.remaining.lock().expect("pool scope poisoned");
+        while *remaining > 0 {
+            remaining = state
+                .done
+                .wait(remaining)
+                .expect("pool scope wait poisoned");
+        }
+        drop(remaining);
+        let results = std::mem::take(&mut *state.results.lock().expect("pool scope poisoned"));
+        let mut values = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for result in results {
+            match result.expect("latch counted every job") {
+                Ok(value) => values.push(value),
+                Err(payload) => {
+                    if panic.is_none() {
+                        panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        values
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every idle worker with a recv error.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            // A worker only panics if a ticket's own latch bookkeeping
+            // panicked; surface that instead of swallowing it.
+            worker.join().expect("pool worker panicked outside a job");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +386,25 @@ mod tests {
         assert!(Parallelism::available().threads() >= 1);
         assert!(Parallelism::from_env().threads() >= 1);
         assert!(Parallelism::default().threads() >= 1);
+    }
+
+    /// The `WOL_THREADS` parsing rules: integers (with surrounding
+    /// whitespace) parse, `0` clamps to sequential, and garbage — including
+    /// empty and all-whitespace strings — is rejected so `from_env` can warn
+    /// and fall back instead of silently using all cores.
+    #[test]
+    fn thread_spec_parsing_accepts_integers_and_rejects_garbage() {
+        assert_eq!(Parallelism::from_spec("4"), Some(Parallelism::new(4)));
+        assert_eq!(Parallelism::from_spec(" 8\t"), Some(Parallelism::new(8)));
+        // `0` is accepted and clamps to sequential, like `Parallelism::new`.
+        assert_eq!(Parallelism::from_spec("0"), Some(Parallelism::sequential()));
+        for garbage in ["", "  ", "four", "4.0", "-2", "8threads", "0x8"] {
+            assert_eq!(
+                Parallelism::from_spec(garbage),
+                None,
+                "`{garbage}` should not parse"
+            );
+        }
     }
 
     #[test]
@@ -132,5 +429,190 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A sequential pool spawns no OS threads; scope still runs every job
+    /// (on the caller) and returns results in submission order.
+    #[test]
+    fn sequential_pool_spawns_no_threads_and_runs_inline() {
+        let pool = WorkerPool::new(Parallelism::sequential());
+        assert_eq!(pool.worker_count(), 0);
+        assert_eq!(pool.live_workers().load(Ordering::SeqCst), 0);
+        let caller = std::thread::current().id();
+        let jobs: Vec<Job<'_, (usize, std::thread::ThreadId)>> = (0..5usize)
+            .map(|i| {
+                Box::new(move || (i * i, std::thread::current().id()))
+                    as Job<'_, (usize, std::thread::ThreadId)>
+            })
+            .collect();
+        let results = pool.scope(jobs);
+        for (i, (square, thread)) in results.iter().enumerate() {
+            assert_eq!(*square, i * i);
+            assert_eq!(*thread, caller, "sequential jobs must run on the caller");
+        }
+    }
+
+    /// The pool is reused across many scope rounds (the whole point of
+    /// persistence): results stay submission-ordered, borrowed data works,
+    /// and the worker count never changes between rounds.
+    #[test]
+    fn pool_reuse_across_rounds_keeps_results_in_submission_order() {
+        let pool = WorkerPool::new(Parallelism::new(4));
+        assert_eq!(pool.worker_count(), 3);
+        let data: Vec<usize> = (0..100).collect();
+        for round in 0..50 {
+            let results = pool.scope(
+                data.iter()
+                    .map(|&x| Box::new(move || x * 2 + round) as Job<'_, usize>)
+                    .collect(),
+            );
+            let expected: Vec<usize> = data.iter().map(|&x| x * 2 + round).collect();
+            assert_eq!(results, expected, "round {round} diverged");
+            assert_eq!(pool.worker_count(), 3, "workers died between rounds");
+        }
+    }
+
+    /// A panicking job propagates to the scope caller as a panic (never a
+    /// hang), the non-panicking jobs of the same batch still complete, and
+    /// the pool remains fully usable afterwards.
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(Parallelism::new(4));
+        let completed = AtomicUsize::new(0);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(
+                (0..8usize)
+                    .map(|i| {
+                        let completed = &completed;
+                        Box::new(move || {
+                            if i == 3 {
+                                panic!("job {i} exploded");
+                            }
+                            completed.fetch_add(1, Ordering::SeqCst);
+                            i
+                        }) as Job<'_, usize>
+                    })
+                    .collect(),
+            )
+        }));
+        let payload = outcome.expect_err("the panic must propagate to the caller");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("job 3 exploded"), "got `{message}`");
+        // Every other job of the batch ran to completion before the join.
+        assert_eq!(completed.load(Ordering::SeqCst), 7);
+        // The workers caught the panic and keep serving jobs.
+        let results = pool.scope(
+            (0..8usize)
+                .map(|i| Box::new(move || i + 1) as Job<'_, usize>)
+                .collect(),
+        );
+        assert_eq!(results, (1..9).collect::<Vec<_>>());
+    }
+
+    /// Dropping the pool joins every worker: the live-thread count falls to
+    /// zero (no leaked threads, no hang).
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new(Parallelism::new(4));
+        let live = pool.live_workers();
+        // Give the workers a beat to register themselves, then verify they
+        // are all alive before the drop.
+        for _ in 0..100 {
+            if live.load(Ordering::SeqCst) == 3 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 3);
+        drop(pool);
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "drop returned before every worker exited"
+        );
+    }
+
+    /// A scope entered from inside a pool job (query-level parallelism
+    /// nesting operator-level parallelism) completes even when the batch
+    /// saturates every worker: the job's thread drains the nested scope
+    /// itself.
+    #[test]
+    fn nested_scopes_cannot_deadlock() {
+        let pool = Arc::new(WorkerPool::new(Parallelism::new(4)));
+        let results = pool.scope(
+            (0..8usize)
+                .map(|i| {
+                    let pool = Arc::clone(&pool);
+                    Box::new(move || {
+                        let inner = pool.scope(
+                            (0..4usize)
+                                .map(|j| Box::new(move || i * 10 + j) as Job<'_, usize>)
+                                .collect(),
+                        );
+                        inner.into_iter().sum::<usize>()
+                    }) as Job<'_, usize>
+                })
+                .collect(),
+        );
+        let expected: Vec<usize> = (0..8usize)
+            .map(|i| (0..4usize).map(|j| i * 10 + j).sum())
+            .collect();
+        assert_eq!(results, expected);
+    }
+
+    /// The shared registry hands out one pool per thread count and the same
+    /// pool on repeated asks.
+    #[test]
+    fn shared_pools_are_cached_per_thread_count() {
+        let a = WorkerPool::shared(Parallelism::new(3));
+        let b = WorkerPool::shared(Parallelism::new(3));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = WorkerPool::shared(Parallelism::new(2));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.threads(), 3);
+        assert_eq!(c.threads(), 2);
+    }
+
+    /// More jobs than workers queue and complete; fewer jobs than workers
+    /// leave the idle workers blocked without disturbing the batch.
+    #[test]
+    fn job_counts_above_and_below_the_worker_count() {
+        let pool = WorkerPool::new(Parallelism::new(3));
+        let many: Vec<usize> = pool.scope(
+            (0..64usize)
+                .map(|i| Box::new(move || i) as Job<'_, usize>)
+                .collect(),
+        );
+        assert_eq!(many, (0..64).collect::<Vec<_>>());
+        let few: Vec<usize> = pool.scope(vec![Box::new(|| 42usize) as Job<'_, usize>]);
+        assert_eq!(few, vec![42]);
+        assert!(pool.scope(Vec::<Job<'_, usize>>::new()).is_empty());
+    }
+
+    /// A batch wider than the worker count is genuinely shared: tickets
+    /// drain the queue (they are not one-shot), so with jobs long enough for
+    /// the workers to wake up, more than one thread ends up executing them —
+    /// the caller alone cannot have run the whole batch.
+    #[test]
+    fn wide_batches_are_drained_by_multiple_threads() {
+        let pool = WorkerPool::new(Parallelism::new(4));
+        let threads: Vec<std::thread::ThreadId> = pool.scope(
+            (0..32usize)
+                .map(|_| {
+                    Box::new(|| {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        std::thread::current().id()
+                    }) as Job<'_, std::thread::ThreadId>
+                })
+                .collect(),
+        );
+        let distinct: std::collections::HashSet<_> = threads.iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "a 32-job batch on a 4-thread pool ran entirely on one thread"
+        );
     }
 }

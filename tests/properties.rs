@@ -9,7 +9,7 @@ use wol_repro::wol_engine::{
     Bindings, Databases, MatchStats, NormalizeOptions,
 };
 use wol_repro::wol_lang::{parse_clause, render_clause};
-use wol_repro::wol_model::{ClassName, SkolemFactory, Value};
+use wol_repro::wol_model::{ClassName, Instance, SkolemFactory, Value};
 use wol_repro::workloads::cities::{generate_euro, CitiesWorkload};
 use wol_repro::workloads::skewed::{self, SkewedParams};
 use wol_repro::workloads::{variants, wide};
@@ -185,6 +185,78 @@ fn sorted_rows(plan: &Plan, refs: &[&wol_repro::wol_model::Instance]) -> Vec<cpl
     rows
 }
 
+/// Wrap the planned chain join in a Skolem-heavy shape: a `Map` minting a
+/// clone-group identity per row (duplicate keys across rows, hence across
+/// worker chunks) and two insert actions — one keyed by the *duplicated*
+/// clone name (partial inserts merging under the key, with a Skolem-valued
+/// attribute functionally dependent on it) and one keyed per marker object
+/// with a nested Skolem reference to the group. This is the insertion shape
+/// the two-phase key-claim protocol exists for.
+fn skolem_heavy_query(plan: &Plan) -> cpl::Query {
+    let mapped = plan.clone().map(vec![(
+        "GRP".to_string(),
+        Expr::Skolem(
+            ClassName::new("GroupT"),
+            Box::new(Expr::var("V0").proj("clone_name")),
+        ),
+    )]);
+    cpl::Query {
+        name: "skolem_soak".to_string(),
+        plan: mapped,
+        inserts: vec![
+            cpl::InsertAction {
+                class: ClassName::new("CloneT"),
+                // Duplicate keys across rows and workers: every row of one
+                // clone merges into one object.
+                key: Expr::var("V0").proj("clone_name"),
+                attrs: vec![
+                    ("name".to_string(), Expr::var("V0").proj("clone_name")),
+                    // Functionally dependent on the key, so merges agree.
+                    ("group".to_string(), Expr::var("GRP")),
+                ],
+            },
+            cpl::InsertAction {
+                class: ClassName::new("MarkerT"),
+                key: Expr::var("V0"),
+                attrs: vec![
+                    ("marker".to_string(), Expr::var("V0").proj("name")),
+                    (
+                        // A fresh Skolem per insert evaluation, interleaved
+                        // with the key mints of both actions.
+                        "entry".to_string(),
+                        Expr::Skolem(
+                            ClassName::new("EntryT"),
+                            Box::new(Expr::var("V0").proj("name")),
+                        ),
+                    ),
+                    ("group".to_string(), Expr::var("GRP")),
+                ],
+            },
+        ],
+    }
+}
+
+/// Run a Skolem-heavy query end to end at one thread count, with the
+/// parallel threshold at one row, returning everything determinism is judged
+/// on: the produced rows, the target instance, and the merged [`ExecStats`].
+fn run_skolem_query(
+    query: &cpl::Query,
+    refs: &[&Instance],
+    threads: usize,
+) -> (Vec<cpl::Row>, Instance, cpl::ExecStats) {
+    let parallelism = cpl::Parallelism::new(threads);
+    let mut ctx = cpl::expr::EvalCtx::new(refs).with_parallelism(parallelism);
+    ctx.set_parallel_min_rows(1);
+    let mut stats = cpl::ExecStats::default();
+    let rows = cpl::run_plan(&query.plan, &mut ctx, &mut stats).expect("plan runs");
+    let mut ctx = cpl::expr::EvalCtx::new(refs).with_parallelism(parallelism);
+    ctx.set_parallel_min_rows(1);
+    let mut stats = cpl::ExecStats::default();
+    let mut target = Instance::new("target");
+    cpl::execute_query(query, &mut ctx, &mut target, &mut stats).expect("query executes");
+    (rows, target, stats)
+}
+
 /// Execute `plan` at the given thread count — both bare (for the row stream)
 /// and as a full query whose Skolem-keyed insert actions build a target
 /// instance from the rows (so the *identity numbering*, which depends on row
@@ -337,6 +409,70 @@ proptest! {
                 let mut multiset = base_rows;
                 multiset.sort();
                 prop_assert_eq!(&multiset, &raw_multiset);
+            }
+        }
+    }
+
+    /// The Skolem-insertion determinism **soak**: the primary proof of the
+    /// two-phase key-claim protocol. Over zipf-skewed generated instances,
+    /// a Skolem-heavy program — a Skolem-minting `Map` over the planned
+    /// join, plus insert actions whose keys *duplicate across worker
+    /// chunks* (merging partial inserts) and whose attributes mint further
+    /// identities interleaved with the key mints — must produce the
+    /// bit-identical row stream, bit-identical target instance (identity
+    /// numbering included) and equal merged `ExecStats` at every thread
+    /// count in {1, 2, 4, 8}, under both cost models. Any divergence means
+    /// claims resolved out of input order, or a provisional identity leaked.
+    #[test]
+    fn skolem_insertion_soak_is_deterministic_across_the_thread_matrix(
+        k in 2usize..5,
+        rotation in 0usize..6,
+        clones in 1usize..5,
+        markers in 2usize..11,
+        probes in 1usize..7,
+        seed in 0u64..500,
+    ) {
+        let params = SkewedParams {
+            clones,
+            markers,
+            probes,
+            lanes: 4,
+            bins: 3,
+            zipf_exponent: 1.3,
+            seed,
+        };
+        let source = skewed::generate_source(&params);
+        let refs = [&source];
+        let raw = skew_chain_raw_plan(k, rotation % k);
+        for cost_model in [cpl::CostModel::Histogram, cpl::CostModel::FlatNdv] {
+            let stats = cpl::Statistics::from_instances(&refs[..]).with_cost_model(cost_model);
+            let planned = cpl::optimize_with_stats(raw.clone(), &stats);
+            let query = skolem_heavy_query(&planned);
+            let (base_rows, base_target, base_stats) = run_skolem_query(&query, &refs[..], 1);
+            // Sanity: the generated program really is Skolem-heavy, and its
+            // duplicated keys really merge — one CloneT object per distinct
+            // group identity, one MarkerT object per distinct driving row.
+            prop_assert!(query.plan.expressions().iter().any(|e| e.contains_skolem()));
+            let groups: std::collections::BTreeSet<_> =
+                base_rows.iter().map(|r| r["GRP"].clone()).collect();
+            let drivers: std::collections::BTreeSet<_> =
+                base_rows.iter().map(|r| r["V0"].clone()).collect();
+            prop_assert_eq!(
+                base_target.extent_size(&ClassName::new("CloneT")),
+                groups.len()
+            );
+            prop_assert_eq!(
+                base_target.extent_size(&ClassName::new("MarkerT")),
+                drivers.len()
+            );
+            for threads in [2usize, 4, 8] {
+                // Divergence at any thread count under either cost model —
+                // in the row stream, the target, or the stats — is a bug in
+                // the key-claim protocol.
+                let (rows, target, stats) = run_skolem_query(&query, &refs[..], threads);
+                prop_assert_eq!(&rows, &base_rows);
+                prop_assert_eq!(&target, &base_target);
+                prop_assert_eq!(&stats, &base_stats);
             }
         }
     }
