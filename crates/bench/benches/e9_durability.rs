@@ -1,0 +1,114 @@
+//! Experiment E9 — durability: snapshot load vs pipeline regeneration.
+//!
+//! PR 6 added crash-consistent persistence (write-ahead log + checksummed
+//! snapshots, see the storage crate's "Durability" docs). The economic
+//! question a warehouse operator asks of that machinery: after a restart, is
+//! loading the checksummed snapshot actually cheaper than re-running the
+//! transformation from the sources? E9 answers it on the scaled genome
+//! warehouse (the E6/E8 shape): it times the full pipeline regeneration, the
+//! atomic snapshot save, and the verified snapshot load, asserts the loaded
+//! instance is bit-identical to the regenerated target, and records the
+//! numbers (plus the snapshot's size on disk) in `BENCH_e9.json`.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphase::{Morphase, MorphaseRun};
+use storage::persist::snapshot::{encode_snapshot, load_snapshot_file, save_snapshot_file};
+use wol_model::SkolemState;
+use workloads::genome::{self, GenomeParams};
+
+fn regenerate(program: &wol_lang::program::Program, source: &wol_model::Instance) -> MorphaseRun {
+    Morphase::new()
+        .transform(program, &[source][..])
+        .expect("pipeline runs")
+}
+
+/// Best-of-two wall-clock seconds for `f`.
+fn best_of_two(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let params = GenomeParams {
+        clones: 1200,
+        markers: 3600,
+        density: 0.6,
+        seed: 22,
+    };
+    let source = genome::generate_source(&params);
+    let program = genome::program();
+    let run = regenerate(&program, &source);
+    let snapshot_bytes = encode_snapshot(&run.target, &SkolemState::default(), 0, None);
+    let dir = std::env::temp_dir().join(format!("wol-bench-e9-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let snap_path = dir.join("target.snap");
+    save_snapshot_file(&snap_path, &snapshot_bytes, None).expect("save snapshot");
+
+    let mut group = c.benchmark_group("e9_durability");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+    group.bench_function("regenerate_pipeline", |b| {
+        b.iter(|| regenerate(&program, &source))
+    });
+    group.bench_function("snapshot_save", |b| {
+        b.iter(|| save_snapshot_file(&snap_path, &snapshot_bytes, None).expect("save"))
+    });
+    group.bench_function("snapshot_load", |b| {
+        b.iter(|| {
+            load_snapshot_file(&snap_path)
+                .expect("load")
+                .expect("snapshot present")
+        })
+    });
+    group.finish();
+
+    // The load must hand back the exact warehouse it saved — the speed-up is
+    // only meaningful if the recovered state is bit-identical.
+    let loaded = load_snapshot_file(&snap_path)
+        .expect("load")
+        .expect("snapshot present");
+    assert_eq!(
+        loaded.instance.deep_eq_report(&run.target),
+        None,
+        "snapshot load must reproduce the regenerated target bit-identically"
+    );
+
+    let regenerate_secs = best_of_two(|| {
+        regenerate(&program, &source);
+    });
+    let save_secs = best_of_two(|| {
+        save_snapshot_file(&snap_path, &snapshot_bytes, None).expect("save");
+    });
+    let load_secs = best_of_two(|| {
+        load_snapshot_file(&snap_path)
+            .expect("load")
+            .expect("snapshot present");
+    });
+    bench::BenchJson::new()
+        .str("bench", "e9_durability")
+        .str("workload", "e6_genome")
+        .int("target_objects", run.target.len() as u64)
+        .int("snapshot_bytes", snapshot_bytes.len() as u64)
+        .num("regenerate_secs", regenerate_secs)
+        .num("snapshot_save_secs", save_secs)
+        .num("snapshot_load_secs", load_secs)
+        .num(
+            "load_speedup_vs_regenerate",
+            regenerate_secs / load_secs.max(1e-9),
+        )
+        .stamped()
+        .write("BENCH_e9.json");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

@@ -17,6 +17,8 @@ pub enum MorphaseError {
     Verification(String),
     /// An error bubbled up from the data model.
     Model(String),
+    /// The durable-run journal failed (I/O fault, corrupt journal files).
+    Durability(String),
 }
 
 impl fmt::Display for MorphaseError {
@@ -28,6 +30,7 @@ impl fmt::Display for MorphaseError {
             MorphaseError::Execution(m) => write!(f, "execution error: {m}"),
             MorphaseError::Verification(m) => write!(f, "verification error: {m}"),
             MorphaseError::Model(m) => write!(f, "data model error: {m}"),
+            MorphaseError::Durability(m) => write!(f, "durability error: {m}"),
         }
     }
 }
@@ -58,6 +61,12 @@ impl From<wol_model::ModelError> for MorphaseError {
     }
 }
 
+impl From<storage::StorageError> for MorphaseError {
+    fn from(e: storage::StorageError) -> Self {
+        MorphaseError::Durability(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +84,9 @@ mod tests {
         assert!(matches!(e, MorphaseError::Execution(_)));
         let e: MorphaseError = wol_model::ModelError::Invalid("x".into()).into();
         assert!(matches!(e, MorphaseError::Model(_)));
+        let e: MorphaseError =
+            storage::StorageError::io("j/pipeline.wal", std::io::Error::other("boom")).into();
+        assert!(matches!(e, MorphaseError::Durability(_)));
+        assert!(e.to_string().contains("durability"));
     }
 }

@@ -34,7 +34,10 @@ pub mod schedule;
 pub use compile::{compile_program, compile_program_with, PlanMode};
 pub use error::MorphaseError;
 pub use metadata::generate_key_clauses;
-pub use pipeline::{JoinStat, Morphase, MorphaseRun, PipelineOptions, QueryStat, StageTimings};
+pub use pipeline::{
+    DurabilityStats, DurableOptions, JoinStat, Morphase, MorphaseRun, PipelineOptions, QueryStat,
+    StageTimings,
+};
 pub use report::render_report;
 pub use schedule::{plan_schedule, QueryNode, QuerySchedule};
 

@@ -1,13 +1,15 @@
 //! The Morphase pipeline driver (Figure 6).
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use cpl::exec::{apply_evaluated_query, evaluate_query, execute_query, ExecStats};
 use cpl::expr::EvalCtx;
+use storage::persist::{FaultPolicy, PipelineJournal};
 use wol_engine::normalize::{NormalProgram, NormalizeOptions};
 use wol_engine::snf::{program_to_snf, snf_stats, SnfStats};
 use wol_lang::program::Program;
-use wol_model::{Instance, Job, WorkerPool};
+use wol_model::{Instance, Job, SkolemFactory, WorkerPool};
 
 use crate::compile::{compile_program_with, PlanMode};
 use crate::metadata::{generate_key_clauses, generate_merge_key_clauses};
@@ -62,6 +64,60 @@ impl Default for PipelineOptions {
             parallelism: cpl::Parallelism::from_env(),
         }
     }
+}
+
+/// Where (and how) a durable run journals its progress.
+///
+/// Durable runs write a snapshot + write-ahead-log journal under `dir` (see
+/// `storage::persist::PipelineJournal`): each applied query becomes one
+/// committed batch, so a run killed between queries resumes after the last
+/// completed one instead of re-running the whole program. The journal is
+/// keyed by a fingerprint of the compiled program; reusing the directory
+/// with a different program resets it. Resuming assumes the *sources* are
+/// unchanged since the crashed run — the fingerprint covers the program and
+/// its compiled plans, not the source data.
+#[derive(Clone, Debug)]
+pub struct DurableOptions {
+    /// Directory holding the journal files (created if absent).
+    pub dir: PathBuf,
+    /// Fault policy installed on the journal's WAL sink — a crash-injection
+    /// hook for tests; `None` in normal use.
+    pub fault: Option<FaultPolicy>,
+}
+
+impl DurableOptions {
+    /// Journal into `dir`, no fault injection.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            dir: dir.into(),
+            fault: None,
+        }
+    }
+
+    /// Install a fault policy on the journal's WAL sink.
+    pub fn with_fault(mut self, fault: FaultPolicy) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+/// What a durable run recovered and journalled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// True when the run resumed work a previous (crashed) run completed.
+    pub resumed: bool,
+    /// Queries already durable when the run started.
+    pub completed_before: u64,
+    /// Queries skipped because the recovered target already held their
+    /// effects.
+    pub skipped: u64,
+    /// Queries applied and journalled by this run.
+    pub journaled: u64,
+    /// True when existing journal files belonged to a different program and
+    /// were discarded.
+    pub reset: bool,
+    /// True when recovery discarded a torn WAL tail (an interrupted batch).
+    pub recovered_torn_tail: bool,
 }
 
 /// Wall-clock time spent in each pipeline stage.
@@ -181,6 +237,9 @@ pub struct MorphaseRun {
     /// Per-query execution breakdown in program order: schedule stage,
     /// overlap, rows and timings (empty for compile-only runs).
     pub query_stats: Vec<QueryStat>,
+    /// Journal/recovery statistics of a durable run
+    /// ([`Morphase::transform_durable`]); `None` otherwise.
+    pub durability: Option<DurabilityStats>,
 }
 
 /// The Morphase system: a configured pipeline.
@@ -205,13 +264,30 @@ impl Morphase {
     /// translation) without executing it. Returns the run with an empty
     /// target; useful for the compile-time experiments (E1, E2).
     pub fn compile(&self, program: &Program) -> Result<MorphaseRun> {
-        self.run_inner(program, &[], false)
+        self.run_inner(program, &[], false, None)
     }
 
     /// Run the full pipeline: compile the program and execute it against the
     /// given source instances.
     pub fn transform(&self, program: &Program, sources: &[&Instance]) -> Result<MorphaseRun> {
-        self.run_inner(program, sources, true)
+        self.run_inner(program, sources, true, None)
+    }
+
+    /// Run the full pipeline *durably*: like
+    /// [`transform`](Morphase::transform), but every applied query's target
+    /// mutations and Skolem assignments are journalled to `durable.dir` as
+    /// one committed batch. A run killed between queries — a crash, an
+    /// injected fault — resumes from the journal on the next
+    /// `transform_durable` call with the same program, skipping the queries
+    /// already applied; the resumed target (Skolem numbering included) is
+    /// bit-identical to an uncrashed run.
+    pub fn transform_durable(
+        &self,
+        program: &Program,
+        sources: &[&Instance],
+        durable: &DurableOptions,
+    ) -> Result<MorphaseRun> {
+        self.run_inner(program, sources, true, Some(durable))
     }
 
     fn run_inner(
@@ -219,6 +295,7 @@ impl Morphase {
         program: &Program,
         sources: &[&Instance],
         execute: bool,
+        durable: Option<&DurableOptions>,
     ) -> Result<MorphaseRun> {
         let mut timings = StageTimings::default();
         let options = self.options;
@@ -295,7 +372,7 @@ impl Morphase {
             PlanMode::Raw
         };
         let queries = compile_program_with(&normal, mode)?;
-        let plans = queries.iter().map(|q| q.plan.render()).collect();
+        let plans: Vec<String> = queries.iter().map(|q| q.plan.render()).collect();
         let estimated_rows = queries
             .iter()
             .map(|q| cpl::estimate_rows(&q.plan, &stats).round() as u64)
@@ -319,12 +396,45 @@ impl Morphase {
         let mut join_stats = Vec::new();
         let mut shard_stats = Vec::new();
         let mut query_stats = Vec::new();
+        let mut durability: Option<DurabilityStats> = None;
         let mut target = Instance::new(augmented.target.schema.name());
         if execute {
             let start = Instant::now();
             let mut ctx = EvalCtx::new(sources).with_parallelism(options.parallelism);
             ctx.enable_join_trace();
             let schedule = plan_schedule(&queries);
+            // Durable mode: open (or resume) the journal keyed by the
+            // compiled program's fingerprint, restore the recovered target
+            // and Skolem factory, and stage further target mutations for
+            // per-query journalling. All factory growth and target mutation
+            // happen on this main context during program-ordered apply
+            // (overlapped stages evaluate on claim contexts), so the journal
+            // is sound at every thread count.
+            let mut journal: Option<PipelineJournal> = None;
+            if let Some(opts) = durable {
+                let fingerprint =
+                    program_fingerprint(augmented.target.schema.name(), sources, &queries, &plans);
+                let (j, recovery) = PipelineJournal::open(
+                    &opts.dir,
+                    fingerprint,
+                    augmented.target.schema.name(),
+                    opts.fault,
+                )?;
+                target = recovery.instance;
+                ctx.factory = SkolemFactory::from_state(recovery.skolem);
+                target.begin_mutation_log();
+                durability = Some(DurabilityStats {
+                    resumed: recovery.completed > 0,
+                    completed_before: recovery.completed,
+                    reset: recovery.reset,
+                    recovered_torn_tail: recovery.report.torn_tail.is_some(),
+                    skipped: 0,
+                    journaled: 0,
+                });
+                journal = Some(j);
+            }
+            let completed = journal.as_ref().map(|j| j.completed()).unwrap_or(0);
+            let mut next_index: u64 = 0;
             let pool = WorkerPool::shared(options.parallelism);
             let overlap = options.parallelism.threads() > 1;
             let record_joins =
@@ -339,7 +449,30 @@ impl Morphase {
                     ));
                 };
             for (stage_index, stage) in schedule.stages.iter().enumerate() {
-                if overlap && stage.len() > 1 {
+                // Durable resume: queries whose applied-order index falls
+                // below the journal's completed count are already in the
+                // recovered target — skip them. Completed queries are always
+                // a prefix of the applied order, hence a prefix of the stage.
+                let mut live: Vec<(usize, u64)> = Vec::new();
+                for (pos, &qi) in stage.iter().enumerate() {
+                    let k = next_index + pos as u64;
+                    if k < completed {
+                        let stats = durability.as_mut().expect("skips only in durable mode");
+                        stats.skipped += 1;
+                        query_stats.push(QueryStat {
+                            query: queries[qi].name.clone(),
+                            stage: stage_index,
+                            overlapped: false,
+                            rows_output: 0,
+                            eval: Duration::ZERO,
+                            apply: Duration::ZERO,
+                        });
+                    } else {
+                        live.push((qi, k));
+                    }
+                }
+                next_index += stage.len() as u64;
+                if overlap && live.len() > 1 {
                     // Claim phase: evaluate every query of the stage
                     // concurrently, each on its own claim context. The claim
                     // contexts keep the full worker budget, so a big query
@@ -354,9 +487,9 @@ impl Morphase {
                         Vec<cpl::exec::JoinActual>,
                         Duration,
                     );
-                    let jobs: Vec<Job<'_, Evaluated>> = stage
+                    let jobs: Vec<Job<'_, Evaluated>> = live
                         .iter()
-                        .map(|&qi| {
+                        .map(|&(qi, _)| {
                             let query = &queries[qi];
                             Box::new(move || {
                                 let eval_start = Instant::now();
@@ -379,7 +512,8 @@ impl Morphase {
                     // Resolution phase: absorb stats and apply in program
                     // order; the earliest query's error propagates, exactly
                     // like the sequential loop.
-                    for (&qi, (result, wstats, shards, actuals, eval)) in stage.iter().zip(outcomes)
+                    for (&(qi, k), (result, wstats, shards, actuals, eval)) in
+                        live.iter().zip(outcomes)
                     {
                         exec.absorb(wstats);
                         ctx.absorb_shard_stats(&shards);
@@ -387,7 +521,17 @@ impl Morphase {
                         let evaluated = result?;
                         let rows_output = evaluated.rows_output() as u64;
                         let apply_start = Instant::now();
+                        let factory_before =
+                            journal.as_ref().map(|_| ctx.factory.counter_snapshot());
                         apply_evaluated_query(query, evaluated, &mut ctx, &mut target, &mut exec)?;
+                        if let Some(j) = journal.as_mut() {
+                            let mutations = target.take_mutation_log();
+                            let assignments = ctx
+                                .factory
+                                .assignments_since(&factory_before.expect("taken before apply"));
+                            j.record_query(k, mutations, assignments, &target)?;
+                            durability.as_mut().expect("durable mode").journaled += 1;
+                        }
                         record_joins(&mut join_stats, qi, &actuals);
                         query_stats.push(QueryStat {
                             query: query.name.clone(),
@@ -399,11 +543,21 @@ impl Morphase {
                         });
                     }
                 } else {
-                    for &qi in stage {
+                    for (qi, k) in live {
                         let query = &queries[qi];
                         let rows_before = exec.rows_output;
                         let eval_start = Instant::now();
+                        let factory_before =
+                            journal.as_ref().map(|_| ctx.factory.counter_snapshot());
                         execute_query(query, &mut ctx, &mut target, &mut exec)?;
+                        if let Some(j) = journal.as_mut() {
+                            let mutations = target.take_mutation_log();
+                            let assignments = ctx
+                                .factory
+                                .assignments_since(&factory_before.expect("taken before execute"));
+                            j.record_query(k, mutations, assignments, &target)?;
+                            durability.as_mut().expect("durable mode").journaled += 1;
+                        }
                         let actuals = ctx.take_join_trace();
                         record_joins(&mut join_stats, qi, &actuals);
                         query_stats.push(QueryStat {
@@ -416,6 +570,12 @@ impl Morphase {
                         });
                     }
                 }
+            }
+            // Durable epilogue: fold the WAL into a final snapshot so the
+            // journal directory holds the full target compactly.
+            if let Some(j) = journal.as_mut() {
+                target.end_mutation_log();
+                j.finish(&target, &ctx.factory.export_state())?;
             }
             shard_stats = ctx.take_shard_stats();
             timings.execute = start.elapsed();
@@ -465,8 +625,42 @@ impl Morphase {
             threads: options.parallelism.threads(),
             shard_stats,
             query_stats,
+            durability,
         })
     }
+}
+
+/// FNV-1a (64-bit) fingerprint of the *compiled* program a durable journal
+/// belongs to: target schema name, source schema names, and every compiled
+/// query's name and rendered plan. Any change to the program, the schemas it
+/// binds, or how it compiled produces a different fingerprint, which resets
+/// (rather than resumes) an existing journal.
+fn program_fingerprint(
+    target_schema: &str,
+    sources: &[&Instance],
+    queries: &[cpl::Query],
+    plans: &[String],
+) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    fn eat(hash: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *hash ^= u64::from(b);
+            *hash = hash.wrapping_mul(PRIME);
+        }
+        // Field separator so concatenation ambiguities don't collide.
+        *hash ^= 0xFF;
+        *hash = hash.wrapping_mul(PRIME);
+    }
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    eat(&mut hash, target_schema.as_bytes());
+    for source in sources {
+        eat(&mut hash, source.schema_name().as_bytes());
+    }
+    for (query, plan) in queries.iter().zip(plans) {
+        eat(&mut hash, query.name.as_bytes());
+        eat(&mut hash, plan.as_bytes());
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -568,6 +762,103 @@ mod tests {
             );
             assert!(run.join_stats.iter().eq(sequential.join_stats.iter()));
         }
+    }
+
+    fn temp_journal_dir(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wol-durable-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A durable run produces the bit-identical target of a plain run, and a
+    /// second durable run over the same journal resumes (skipping every
+    /// query) to the same target.
+    #[test]
+    fn durable_run_matches_plain_and_resumes_to_identity() {
+        let w = CitiesWorkload::new();
+        let program = w.euro_program();
+        let source = generate_euro(5, 4, 99);
+        let plain = Morphase::new().transform(&program, &[&source][..]).unwrap();
+        let dir = temp_journal_dir("identity");
+        let durable = crate::DurableOptions::new(&dir);
+        let run = Morphase::new()
+            .transform_durable(&program, &[&source][..], &durable)
+            .unwrap();
+        assert_eq!(run.target, plain.target);
+        let d = run.durability.unwrap();
+        assert!(!d.resumed);
+        assert_eq!(d.journaled, plain.query_stats.len() as u64);
+        // Resume over the finished journal: everything is already durable.
+        let resumed = Morphase::new()
+            .transform_durable(&program, &[&source][..], &durable)
+            .unwrap();
+        assert_eq!(resumed.target, plain.target);
+        assert_eq!(
+            resumed.target.deep_eq_report(&plain.target),
+            None,
+            "resumed target must be bit-identical"
+        );
+        let d = resumed.durability.unwrap();
+        assert!(d.resumed);
+        assert_eq!(d.skipped, plain.query_stats.len() as u64);
+        assert_eq!(d.journaled, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Kill the run mid-journal with an injected fault; the resumed run
+    /// skips the completed prefix and lands on the bit-identical target.
+    #[test]
+    fn durable_run_killed_mid_journal_resumes_bit_identically() {
+        let w = CitiesWorkload::new();
+        let program = w.euro_program();
+        let source = generate_euro(6, 3, 7);
+        let plain = Morphase::new().transform(&program, &[&source][..]).unwrap();
+        let dir = temp_journal_dir("crash");
+        // Crash 40 bytes into the journal's WAL: the first query's batch is
+        // torn, so nothing (or only a prefix) survives.
+        let crashing =
+            crate::DurableOptions::new(&dir).with_fault(storage::persist::FaultPolicy::torn_at(40));
+        let err = Morphase::new()
+            .transform_durable(&program, &[&source][..], &crashing)
+            .unwrap_err();
+        assert!(matches!(err, crate::MorphaseError::Durability(_)), "{err}");
+        // Resume without the fault: completes and matches the plain run.
+        let durable = crate::DurableOptions::new(&dir);
+        let resumed = Morphase::new()
+            .transform_durable(&program, &[&source][..], &durable)
+            .unwrap();
+        assert_eq!(resumed.target, plain.target);
+        let d = resumed.durability.unwrap();
+        assert!(d.recovered_torn_tail, "the torn batch must be discarded");
+        assert_eq!(
+            d.skipped + d.journaled,
+            plain.query_stats.len() as u64,
+            "every query is either recovered or re-run"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A journal left by a different program is reset, not resumed.
+    #[test]
+    fn durable_run_resets_a_foreign_journal() {
+        let w = CitiesWorkload::new();
+        let source = generate_euro(3, 2, 5);
+        let dir = temp_journal_dir("foreign");
+        let durable = crate::DurableOptions::new(&dir);
+        Morphase::new()
+            .transform_durable(&w.euro_program(), &[&source][..], &durable)
+            .unwrap();
+        // A different program (people workload) reuses the directory.
+        let p = PeopleWorkload::new();
+        let p_source = generate_couples(3, 4);
+        let run = Morphase::new()
+            .transform_durable(&p.program(), &[&p_source][..], &durable)
+            .unwrap();
+        let d = run.durability.unwrap();
+        assert!(d.reset, "foreign journal must be discarded");
+        assert!(!d.resumed);
+        assert_eq!(run.target.extent_size(&ClassName::new("Marriage")), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

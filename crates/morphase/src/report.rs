@@ -102,6 +102,19 @@ pub fn render_report(run: &MorphaseRun) -> String {
             );
         }
     }
+    if let Some(d) = &run.durability {
+        let reset = if d.reset { ", journal reset" } else { "" };
+        let torn = if d.recovered_torn_tail {
+            ", torn tail discarded"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "durability: resumed at query {} ({} skipped, {} journaled{reset}{torn})",
+            d.completed_before, d.skipped, d.journaled
+        );
+    }
     let _ = writeln!(out, "target: {} objects", run.target.len());
     out
 }
@@ -241,6 +254,38 @@ mod tests {
         // Compile-only runs print no schedule section.
         run.query_stats = Vec::new();
         assert!(!render_report(&run).contains("query schedule"));
+    }
+
+    /// Pins the durability report line: a durable run surfaces where it
+    /// resumed and what it journalled; a plain run prints no such line.
+    #[test]
+    fn report_pins_the_durability_format() {
+        use crate::pipeline::DurabilityStats;
+        let w = CitiesWorkload::new();
+        let source = generate_euro(2, 2, 1);
+        let mut run = Morphase::new()
+            .transform(&w.euro_program(), &[&source][..])
+            .unwrap();
+        assert!(run.durability.is_none());
+        assert!(!render_report(&run).contains("durability:"));
+        run.durability = Some(DurabilityStats {
+            resumed: true,
+            completed_before: 2,
+            skipped: 2,
+            journaled: 3,
+            reset: false,
+            recovered_torn_tail: true,
+        });
+        let report = render_report(&run);
+        assert!(report.contains(
+            "durability: resumed at query 2 (2 skipped, 3 journaled, torn tail discarded)"
+        ));
+        run.durability = Some(DurabilityStats {
+            reset: true,
+            ..DurabilityStats::default()
+        });
+        assert!(render_report(&run)
+            .contains("durability: resumed at query 0 (0 skipped, 0 journaled, journal reset)"));
     }
 
     #[test]

@@ -14,25 +14,56 @@ use crate::Result;
 
 /// Parse CSV text into a [`Table`]. The first column is used as the key
 /// column. Column types are inferred from the first data row.
+///
+/// Parse failures come back as [`StorageError::Corrupt`] with the source
+/// labelled `"<memory>"`; use [`parse_csv_from`] to attach a real file path.
 pub fn parse_csv(name: &str, text: &str) -> Result<Table> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines
-        .next()
-        .ok_or_else(|| StorageError::Csv("empty input".to_string()))?;
+    parse_csv_from(name, "<memory>", text)
+}
+
+/// Read and parse a CSV file into a [`Table`] named after the file stem.
+/// I/O and parse errors both carry the file path.
+pub fn load_csv_file(path: &std::path::Path) -> Result<Table> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| StorageError::io(path.display().to_string(), e))?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "csv".to_string());
+    parse_csv_from(&name, &path.display().to_string(), &text)
+}
+
+/// Parse CSV text into a [`Table`], attributing errors to `source` (a file
+/// path or pseudo-path). Line numbers in errors are 1-based positions in
+/// `text`, counting blank lines.
+pub fn parse_csv_from(name: &str, source: &str, text: &str) -> Result<Table> {
+    // Keep original line numbers: enumerate before dropping blank lines.
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (header_no, header) = lines.next().ok_or_else(|| {
+        StorageError::corrupt_at_line(source, 1, "a header line of column names", "end of input")
+    })?;
     let names: Vec<&str> = header.split(',').map(str::trim).collect();
     if names.is_empty() || names.iter().any(|n| n.is_empty()) {
-        return Err(StorageError::Csv("malformed header".to_string()));
+        return Err(StorageError::corrupt_at_line(
+            source,
+            header_no + 1,
+            "comma-separated non-empty column names",
+            format!("`{header}`"),
+        ));
     }
     let mut rows: Vec<Vec<Value>> = Vec::new();
-    for (line_no, line) in lines.enumerate() {
+    for (line_no, line) in lines {
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != names.len() {
-            return Err(StorageError::Csv(format!(
-                "line {}: expected {} fields, found {}",
-                line_no + 2,
-                names.len(),
-                fields.len()
-            )));
+            return Err(StorageError::corrupt_at_line(
+                source,
+                line_no + 1,
+                format!("{} fields", names.len()),
+                format!("{} fields", fields.len()),
+            ));
         }
         rows.push(fields.iter().map(|f| infer_value(f)).collect());
     }
@@ -140,5 +171,46 @@ mod tests {
         assert!(parse_csv("T", "").is_err());
         assert!(parse_csv("T", "a,b\n1\n").is_err());
         assert!(parse_csv("T", "a,,c\n1,2,3\n").is_err());
+    }
+
+    /// A truncated row reports the source, the true (blank-line-aware) line
+    /// number, and expected-vs-found field counts.
+    #[test]
+    fn truncated_row_reports_position_context() {
+        let text = "name,is_capital,population\nParis,true,2148000\n\nLyon,false\n";
+        let err = parse_csv_from("CityCsv", "cities.csv", text).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::corrupt_at_line("cities.csv", 4, "3 fields", "2 fields")
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("cities.csv"), "{rendered}");
+        assert!(rendered.contains("line 4"), "{rendered}");
+        // The in-memory entry point labels its source.
+        let err = parse_csv("CityCsv", "a,b\n1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::Corrupt { ref path, .. } if path == "<memory>"
+        ));
+    }
+
+    #[test]
+    fn load_csv_file_reads_and_attributes_errors_to_the_path() {
+        let dir = std::env::temp_dir().join(format!("wol-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("cities.csv");
+        std::fs::write(&good, CITIES).unwrap();
+        let table = load_csv_file(&good).unwrap();
+        assert_eq!(table.schema.name, "cities");
+        assert_eq!(table.len(), 2);
+
+        let bad = dir.join("short.csv");
+        std::fs::write(&bad, "a,b,c\n1,2\n").unwrap();
+        let err = load_csv_file(&bad).unwrap_err();
+        assert!(err.to_string().contains("short.csv"), "{err}");
+
+        let err = load_csv_file(&dir.join("absent.csv")).unwrap_err();
+        assert!(matches!(err, StorageError::Io { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,20 +15,95 @@
 //! * [`acedb`] — an ACeDB-like store of *tagged trees* ("tree-like structures
 //!   with object identities ... well suited for representing sparsely
 //!   populated data") with an importer that maps trees onto model instances
-//!   with optional attributes;
+//!   with optional attributes, plus a parser for a simplified `.ace` dump
+//!   format;
 //! * [`csv`] — a minimal line-oriented import/export format for flat classes,
 //!   standing in for the "uploading certain file formats" use case of the
-//!   introduction.
+//!   introduction;
+//! * [`persist`] — crash-consistent durability for instances: a write-ahead
+//!   log, checksummed snapshots, recovery, and fault injection.
+//!
+//! Every loader reports malformed input as a structured
+//! [`StorageError::Corrupt`] carrying the source path, the line or byte
+//! offset, and expected-vs-found context — short or truncated reads are
+//! errors, never panics.
+//!
+//! # Durability
+//!
+//! The [`persist`] module stores an instance as a **snapshot** plus a
+//! **write-ahead log**; recovery loads the snapshot, replays every intact
+//! committed WAL batch, and discards the torn tail. This realises the
+//! paper's consistent-update-set semantics on disk: a recovered instance is
+//! always the result of a *prefix of whole update batches*, never a torn
+//! one.
+//!
+//! ## WAL layout (`store.wal` / `pipeline.wal`)
+//!
+//! A WAL is a flat sequence of records; every integer is little-endian and
+//! `varint` is LEB128 (zigzag for signed):
+//!
+//! ```text
+//! record  := len:u32  crc:u32  payload         crc = CRC-32 (IEEE) of payload
+//! payload := tag:u8   body
+//!
+//! tag 0x01 Insert        oid value             object inserted
+//! tag 0x02 Update        oid value             object's value replaced
+//! tag 0x03 Remove        oid                   object removed
+//! tag 0x04 SkolemAssign  class:str key:value oid   Mk_class(key) = oid
+//! tag 0x05 OidCounter    class:str n:varint    fresh-id counter advanced
+//! tag 0x06 QueryDone     index:varint          pipeline query applied
+//! tag 0x07 Fingerprint   fp:u64                journal's program fingerprint
+//! tag 0x08 Commit        seq:varint            closes a batch
+//!
+//! oid     := class:str  id:varint
+//! str     := len:varint  utf8-bytes
+//! value   := one tag byte (0x00..=0x0B) + body, see `persist::codec`
+//! ```
+//!
+//! Records between commit markers form a **batch**; `seq` numbers batches
+//! consecutively starting from the snapshot's `wal_seq`. Replay stops at the
+//! first truncated header or body, checksum mismatch, undecodable payload,
+//! out-of-order commit, or uncommitted tail — everything before that point
+//! is applied, everything after is truncated away.
+//!
+//! ## Snapshot layout (`store.snap` / `pipeline.snap`)
+//!
+//! ```text
+//! snapshot := magic:"WOLSNAP\0"  version:u32  body  crc:u32
+//! body     := schema_name:str
+//!             class_count:varint ( class:str n:varint (id:varint value)* )*
+//!             oid_counter_count:varint   ( class:str count:varint )*
+//!             skolem_class_count:varint  ( class:str k:varint (key:value oid)* )*
+//!             skolem_counter_count:varint ( class:str count:varint )*
+//!             wal_seq:varint
+//!             has_meta:u8  [ fingerprint:u64  completed:varint ]
+//! ```
+//!
+//! The trailing CRC-32 covers every preceding byte (magic and version
+//! included). Saves are atomic (write `.tmp`, sync, rename), so a crash
+//! mid-save leaves the previous snapshot intact.
+//!
+//! ## Version-bump rules
+//!
+//! * Value tags (0x00..=0x0B), WAL record tags (0x01..=0x08), and every
+//!   field layout above are **frozen** for format version 1.
+//! * Adding a new WAL record tag or value tag, reordering fields, or
+//!   changing any width requires bumping [`persist::SNAPSHOT_VERSION`] (the
+//!   WAL shares the snapshot's version: a snapshot at version *v* is only
+//!   ever paired with a WAL written by the same code).
+//! * Loaders must reject versions they do not know rather than guess.
 //!
 //! [`Instance`]: wol_model::Instance
 
 pub mod acedb;
 pub mod csv;
 pub mod error;
+pub mod persist;
 pub mod relational;
 
 pub use acedb::{AceObject, AceStore, AceValue};
 pub use error::StorageError;
+pub use persist::{DurableInstance, FaultKind, FaultPolicy, PipelineJournal, RecoveryReport};
 pub use relational::{Column, ColumnType, Table, TableSchema};
 
 /// Crate-wide result alias.

@@ -103,15 +103,17 @@ impl Table {
         }
     }
 
-    /// Append a row; its arity must match the schema.
+    /// Append a row; its arity must match the schema. A truncated (or
+    /// over-long) row is reported with the table name, the 1-based row number
+    /// it would have occupied, and expected-vs-found arity.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.schema.columns.len() {
-            return Err(StorageError::BadRow(format!(
-                "table `{}` expects {} values per row, got {}",
-                self.schema.name,
-                self.schema.columns.len(),
-                row.len()
-            )));
+            return Err(StorageError::corrupt_at_line(
+                format!("table `{}`", self.schema.name),
+                self.rows.len() + 1,
+                format!("{} values per row", self.schema.columns.len()),
+                format!("{} values", row.len()),
+            ));
         }
         self.rows.push(row);
         Ok(())
@@ -158,7 +160,7 @@ pub fn load_tables(tables: &[Table], instance_name: &str) -> Result<Instance> {
     // Pass 2: fill in the record values, resolving references.
     for table in tables {
         let key_idx = table.column_index(&table.schema.key_column)?;
-        for row in &table.rows {
+        for (row_no, row) in table.rows.iter().enumerate() {
             let key = row[key_idx].clone();
             let oid = oids[&(table.schema.name.clone(), key)].clone();
             let mut fields = BTreeMap::new();
@@ -175,7 +177,9 @@ pub fn load_tables(tables: &[Table], instance_name: &str) -> Result<Instance> {
                             .get(&(referenced_table.clone(), value.clone()))
                             .ok_or_else(|| {
                                 StorageError::UnresolvedReference(format!(
-                                    "row of `{}` references `{referenced_table}` key {value:?} which does not exist",
+                                    "row {} of `{}` references `{referenced_table}` key {value:?} \
+                                     which does not exist",
+                                    row_no + 1,
                                     table.schema.name
                                 ))
                             })?;
@@ -349,6 +353,33 @@ mod tests {
         assert!(t.push_row(vec![Value::str("Spain")]).is_err());
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    /// A truncated row reports the table, the row number it would have
+    /// occupied, and expected-vs-found arity — never a panic.
+    #[test]
+    fn truncated_row_reports_position_context() {
+        let mut t = country_table();
+        let err = t
+            .push_row(vec![Value::str("Spain"), Value::str("Spanish")])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::corrupt_at_line("table `CountryE`", 3, "3 values per row", "2 values")
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("CountryE"), "{rendered}");
+        assert!(rendered.contains("line 3"), "{rendered}");
+        // Unresolved references also carry the offending row number.
+        let mut city = city_table();
+        city.push_row(vec![
+            Value::str("Atlantis"),
+            Value::bool(false),
+            Value::str("Nowhere"),
+        ])
+        .unwrap();
+        let err = load_tables(&[country_table(), city], "euro").unwrap_err();
+        assert!(err.to_string().contains("row 4"), "{err}");
     }
 
     #[test]

@@ -28,6 +28,22 @@ pub struct AttrStats {
     pub distinct: usize,
 }
 
+/// One applied change to an instance's object population, as recorded by the
+/// optional mutation log (see [`Instance::begin_mutation_log`]). The
+/// persistence layer in `storage` turns these into write-ahead-log records;
+/// replaying them in order onto the pre-mutation instance reproduces the
+/// post-mutation instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// An object was inserted (via [`Instance::insert`] or
+    /// [`Instance::insert_fresh`]).
+    Insert(Oid, Value),
+    /// An existing object's value was replaced.
+    Update(Oid, Value),
+    /// An object was removed.
+    Remove(Oid),
+}
+
 /// A database instance: extents of object identities per class, plus the value
 /// associated with each identity.
 ///
@@ -48,6 +64,10 @@ pub struct Instance {
     values: BTreeMap<Oid, Value>,
     oid_gen: OidGen,
     index: RwLock<IndexCache>,
+    /// Optional mutation log (see [`begin_mutation_log`](Self::begin_mutation_log)).
+    /// Like the index cache this is bookkeeping, not data: it is ignored by
+    /// equality and excluded from clones.
+    mutation_log: Option<Vec<Mutation>>,
 }
 
 impl Clone for Instance {
@@ -58,6 +78,7 @@ impl Clone for Instance {
             values: self.values.clone(),
             oid_gen: self.oid_gen.clone(),
             index: RwLock::new(IndexCache::default()),
+            mutation_log: None,
         }
     }
 }
@@ -83,6 +104,7 @@ impl Instance {
             values: BTreeMap::new(),
             oid_gen: OidGen::new(),
             index: RwLock::new(IndexCache::default()),
+            mutation_log: None,
         }
     }
 
@@ -102,8 +124,18 @@ impl Instance {
         }
         self.cache_write().invalidate_class(&class);
         self.extents.entry(class).or_default().insert(oid.clone());
+        if let Some(log) = &mut self.mutation_log {
+            log.push(Mutation::Insert(oid.clone(), value.clone()));
+        }
         self.values.insert(oid, value);
         Ok(())
+    }
+
+    /// Declare a class, giving it an (empty) extent if it has none yet.
+    /// Restoring a persisted instance uses this so a class whose objects were
+    /// all removed round-trips to an equal instance.
+    pub fn ensure_class(&mut self, class: &ClassName) {
+        self.extents.entry(class.clone()).or_default();
     }
 
     /// Insert an object with a freshly generated identity, returning it.
@@ -114,6 +146,9 @@ impl Instance {
             .entry(class.clone())
             .or_default()
             .insert(oid.clone());
+        if let Some(log) = &mut self.mutation_log {
+            log.push(Mutation::Insert(oid.clone(), value.clone()));
+        }
         self.values.insert(oid.clone(), value);
         oid
     }
@@ -122,6 +157,9 @@ impl Instance {
     pub fn update(&mut self, oid: &Oid, value: Value) -> Result<()> {
         match self.values.get_mut(oid) {
             Some(slot) => {
+                if let Some(log) = &mut self.mutation_log {
+                    log.push(Mutation::Update(oid.clone(), value.clone()));
+                }
                 *slot = value;
                 self.cache_write().invalidate_class(oid.class());
                 Ok(())
@@ -193,7 +231,13 @@ impl Instance {
         if let Some(ext) = self.extents.get_mut(oid.class()) {
             ext.remove(oid);
         }
-        self.values.remove(oid)
+        let removed = self.values.remove(oid);
+        if removed.is_some() {
+            if let Some(log) = &mut self.mutation_log {
+                log.push(Mutation::Remove(oid.clone()));
+            }
+        }
+        removed
     }
 
     /// Look up an object of `class` by a projected field value, e.g. find the
@@ -417,6 +461,170 @@ impl Instance {
     /// the benchmark harness.
     pub fn size_nodes(&self) -> usize {
         self.values.values().map(Value::size).sum()
+    }
+
+    // -----------------------------------------------------------------------
+    // Mutation logging and durability support.
+    // -----------------------------------------------------------------------
+
+    /// Start recording every [`insert`](Self::insert) /
+    /// [`insert_fresh`](Self::insert_fresh) / [`update`](Self::update) /
+    /// [`remove`](Self::remove) into an in-memory [`Mutation`] log. The
+    /// persistence layer drains the log with
+    /// [`take_mutation_log`](Self::take_mutation_log) to journal each batch of
+    /// applied changes. Idempotent; an already-active log keeps its entries.
+    pub fn begin_mutation_log(&mut self) {
+        if self.mutation_log.is_none() {
+            self.mutation_log = Some(Vec::new());
+        }
+    }
+
+    /// Drain the recorded mutations, leaving logging active. Returns an empty
+    /// vector when logging was never started.
+    pub fn take_mutation_log(&mut self) -> Vec<Mutation> {
+        match &mut self.mutation_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Stop recording and return any remaining entries.
+    pub fn end_mutation_log(&mut self) -> Vec<Mutation> {
+        self.mutation_log.take().unwrap_or_default()
+    }
+
+    /// Whether a mutation log is currently recording.
+    pub fn is_logging_mutations(&self) -> bool {
+        self.mutation_log.is_some()
+    }
+
+    /// The fresh-identity counter of `class` (see [`OidGen::count`]).
+    pub fn oid_counter(&self, class: &ClassName) -> u64 {
+        self.oid_gen.count(class)
+    }
+
+    /// Iterate over all per-class fresh-identity counters, for persistence
+    /// snapshots: [`PartialEq`] on instances includes the generator, so a
+    /// bit-identical restore must reproduce these exactly.
+    pub fn oid_counters(&self) -> impl Iterator<Item = (&ClassName, u64)> {
+        self.oid_gen.counters()
+    }
+
+    /// Raise the fresh-identity counter of `class` to at least `count`
+    /// (see [`OidGen::restore_count`]). Used during recovery so that
+    /// post-recovery [`insert_fresh`](Self::insert_fresh) calls mint the same
+    /// identities an uncrashed run would.
+    pub fn restore_oid_counter(&mut self, class: &ClassName, count: u64) {
+        self.oid_gen.restore_count(class, count);
+    }
+
+    /// Compare two instances and describe the *first divergence* in
+    /// human-readable terms (schema name, class, oid, attribute), or `None`
+    /// when the instances are equal. Recovery and determinism tests use this
+    /// so a failure says *where* two instances differ instead of just
+    /// `assert!(a == b)`.
+    pub fn deep_eq_report(&self, other: &Instance) -> Option<String> {
+        fn brief(value: &Value) -> String {
+            let mut s = format!("{value:?}");
+            if s.len() > 120 {
+                s.truncate(117);
+                s.push_str("...");
+            }
+            s
+        }
+        if self.schema_name != other.schema_name {
+            return Some(format!(
+                "schema name differs: left `{}`, right `{}`",
+                self.schema_name, other.schema_name
+            ));
+        }
+        // Extents: first class whose identity sets differ.
+        let classes: BTreeSet<&ClassName> =
+            self.extents.keys().chain(other.extents.keys()).collect();
+        for class in &classes {
+            let left = self.extents.get(*class).cloned().unwrap_or_default();
+            let right = other.extents.get(*class).cloned().unwrap_or_default();
+            if let Some(oid) = left.difference(&right).next() {
+                return Some(format!(
+                    "class `{class}`: {oid} present in left only \
+                     (left extent {}, right extent {})",
+                    left.len(),
+                    right.len()
+                ));
+            }
+            if let Some(oid) = right.difference(&left).next() {
+                return Some(format!(
+                    "class `{class}`: {oid} present in right only \
+                     (left extent {}, right extent {})",
+                    left.len(),
+                    right.len()
+                ));
+            }
+        }
+        // Values: first object whose value differs, drilled down to the first
+        // differing record attribute where possible.
+        for (oid, left) in &self.values {
+            let Some(right) = other.values.get(oid) else {
+                return Some(format!("{oid}: value present in left only"));
+            };
+            if left == right {
+                continue;
+            }
+            if let (Value::Record(l), Value::Record(r)) = (left, right) {
+                let labels: BTreeSet<&crate::types::Label> = l.keys().chain(r.keys()).collect();
+                for label in labels {
+                    match (l.get(label), r.get(label)) {
+                        (Some(a), Some(b)) if a == b => {}
+                        (Some(a), Some(b)) => {
+                            return Some(format!(
+                                "{oid}.{label}: left {}, right {}",
+                                brief(a),
+                                brief(b)
+                            ));
+                        }
+                        (Some(a), None) => {
+                            return Some(format!(
+                                "{oid}.{label}: left {}, right missing",
+                                brief(a)
+                            ));
+                        }
+                        (None, Some(b)) => {
+                            return Some(format!(
+                                "{oid}.{label}: left missing, right {}",
+                                brief(b)
+                            ));
+                        }
+                        (None, None) => unreachable!("label drawn from one of the records"),
+                    }
+                }
+            }
+            return Some(format!(
+                "{oid}: left {}, right {}",
+                brief(left),
+                brief(right)
+            ));
+        }
+        for oid in other.values.keys() {
+            if !self.values.contains_key(oid) {
+                return Some(format!("{oid}: value present in right only"));
+            }
+        }
+        // Fresh-identity counters (part of instance equality).
+        let counter_classes: BTreeSet<&ClassName> = self
+            .oid_gen
+            .counters()
+            .map(|(c, _)| c)
+            .chain(other.oid_gen.counters().map(|(c, _)| c))
+            .collect();
+        for class in counter_classes {
+            let (l, r) = (self.oid_gen.count(class), other.oid_gen.count(class));
+            if l != r {
+                return Some(format!(
+                    "oid counter for `{class}` differs: left {l}, right {r}"
+                ));
+            }
+        }
+        None
     }
 }
 
@@ -702,6 +910,70 @@ mod tests {
         assert!(matches!(err, ModelError::Invalid(_)));
     }
 
+    /// Recovery-shaped merges: fragments restored from independently crashed
+    /// runs have overlapping Skolem identity spaces (each numbered from 0),
+    /// emptied classes, and possibly dangling references. `merge_keyed` must
+    /// unify the overlap by key, carry empty extents without phantom
+    /// objects, and reject a keyed fragment whose key path dangles.
+    #[test]
+    fn merge_keyed_under_recovery_shaped_inputs() {
+        use crate::keys::{KeyExpr, KeySpec, SkolemFactory};
+        let keys = KeySpec::new().with_key("CountryE", KeyExpr::path("name"));
+        let country = ClassName::new("CountryE");
+        let city = ClassName::new("CityE");
+
+        // Two fragments minted by independent Skolem factories: identity
+        // spaces overlap and the key sets overlap on "France".
+        let build = |names: &[&str]| {
+            let mut factory = SkolemFactory::new();
+            let mut frag = Instance::new("euro");
+            for name in names {
+                let oid = factory.mk(&country, &Value::str(*name));
+                frag.insert(oid, Value::record([("name", Value::str(*name))]))
+                    .unwrap();
+            }
+            frag
+        };
+        let mut merged = build(&["France", "Spain"]);
+        let mut other = build(&["France", "Portugal"]);
+        // An emptied class rides along (crash after its objects were removed).
+        let ghost = other.insert_fresh(&city, Value::record([("name", Value::str("Ghost"))]));
+        other.remove(&ghost);
+        assert_eq!(other.extent_size(&city), 0);
+
+        let mapping = merged.merge_keyed(&other, &keys).unwrap();
+        assert_eq!(merged.extent_size(&country), 3, "France unified by key");
+        // The overlapping key mapped onto the existing (same-numbered)
+        // identity; the new key got a fresh non-colliding one.
+        let france = Oid::new(country.clone(), 0);
+        assert_eq!(mapping[&france], france);
+        let portugal = Oid::new(country.clone(), 1);
+        assert_ne!(mapping[&portugal], portugal, "colliding id renumbered");
+        // The emptied class contributed no phantom objects.
+        assert_eq!(merged.extent_size(&city), 0);
+        // Keys remain evaluable and unique after the merge.
+        keys.check(&merged).unwrap();
+
+        // A fragment whose keyed object references a dangling identity in
+        // its key path is rejected, not silently merged with a fresh
+        // key-violating identity.
+        let keys_by_ref = KeySpec::new().with_key("CityE", KeyExpr::path("country.name"));
+        let mut broken = Instance::new("euro");
+        let dangling = Oid::new(country.clone(), 77);
+        broken.insert_fresh(
+            &city,
+            Value::record([
+                ("name", Value::str("Atlantis")),
+                ("country", Value::Oid(dangling)),
+            ]),
+        );
+        let err = merged.merge_keyed(&broken, &keys_by_ref).unwrap_err();
+        assert!(
+            matches!(err, ModelError::DanglingOid(_)),
+            "dangling key path must be rejected, got: {err}"
+        );
+    }
+
     #[test]
     fn attr_histogram_is_lazy_and_reflects_the_extent() {
         let (inst, _, _) = euro_instance();
@@ -830,6 +1102,123 @@ mod tests {
             }
         });
         assert_eq!(expected, vec![fr]);
+    }
+
+    #[test]
+    fn mutation_log_records_applied_changes_in_order() {
+        let (mut inst, uk, _) = euro_instance();
+        assert!(!inst.is_logging_mutations());
+        // Mutations before the log starts are not recorded.
+        inst.begin_mutation_log();
+        assert!(inst.is_logging_mutations());
+        assert!(inst.take_mutation_log().is_empty());
+
+        let country = ClassName::new("CountryE");
+        let spain = inst.insert_fresh(&country, Value::record([("name", Value::str("Spain"))]));
+        let explicit = Oid::new(ClassName::new("StateA"), 7);
+        inst.insert(
+            explicit.clone(),
+            Value::record([("name", Value::str("PA"))]),
+        )
+        .unwrap();
+        inst.update(&spain, Value::record([("name", Value::str("España"))]))
+            .unwrap();
+        inst.remove(&uk).unwrap();
+        // A failed mutation records nothing.
+        assert!(inst.update(&uk, Value::Unit).is_err());
+        assert!(inst.remove(&uk).is_none());
+
+        let log = inst.take_mutation_log();
+        assert_eq!(
+            log,
+            vec![
+                Mutation::Insert(
+                    spain.clone(),
+                    Value::record([("name", Value::str("Spain"))])
+                ),
+                Mutation::Insert(explicit, Value::record([("name", Value::str("PA"))])),
+                Mutation::Update(spain, Value::record([("name", Value::str("España"))])),
+                Mutation::Remove(uk),
+            ]
+        );
+        // Draining keeps the log active; ending it stops recording.
+        assert!(inst.is_logging_mutations());
+        let leftover = inst.end_mutation_log();
+        assert!(leftover.is_empty());
+        assert!(!inst.is_logging_mutations());
+        // Clones never inherit an active log.
+        let mut logged = Instance::new("euro");
+        logged.begin_mutation_log();
+        assert!(!logged.clone().is_logging_mutations());
+    }
+
+    #[test]
+    fn replaying_a_mutation_log_reproduces_the_instance() {
+        let (mut inst, uk, _) = euro_instance();
+        let before = inst.clone();
+        inst.begin_mutation_log();
+        let country = ClassName::new("CountryE");
+        inst.insert_fresh(&country, Value::record([("name", Value::str("Spain"))]));
+        inst.remove(&uk);
+        let log = inst.end_mutation_log();
+
+        let mut replayed = before;
+        for m in log {
+            match m {
+                Mutation::Insert(oid, value) => replayed.insert(oid, value).unwrap(),
+                Mutation::Update(oid, value) => replayed.update(&oid, value).unwrap(),
+                Mutation::Remove(oid) => {
+                    replayed.remove(&oid);
+                }
+            }
+        }
+        // Replay restores extents and values; fresh-identity counters are
+        // restored separately (explicit-id inserts bypass the generator).
+        for (class, n) in inst.oid_counters() {
+            replayed.restore_oid_counter(class, n);
+        }
+        assert_eq!(replayed, inst);
+        assert_eq!(replayed.deep_eq_report(&inst), None);
+    }
+
+    #[test]
+    fn deep_eq_report_finds_the_first_divergence() {
+        let (inst, uk, _) = euro_instance();
+        assert_eq!(inst.deep_eq_report(&inst.clone()), None);
+
+        // Schema name.
+        let other = Instance::new("us");
+        let report = inst.deep_eq_report(&other).unwrap();
+        assert!(report.contains("schema name"), "{report}");
+
+        // Extent membership.
+        let mut missing = inst.clone();
+        missing.remove(&uk);
+        let report = inst.deep_eq_report(&missing).unwrap();
+        assert!(report.contains("CountryE"), "{report}");
+        assert!(report.contains("left only"), "{report}");
+        let report = missing.deep_eq_report(&inst).unwrap();
+        assert!(report.contains("right only"), "{report}");
+
+        // Attribute-level divergence names class, oid and attribute.
+        let mut edited = inst.clone();
+        let mut v = edited.value(&uk).unwrap().clone();
+        if let Value::Record(ref mut fields) = v {
+            fields.insert("currency".into(), Value::str("pound"));
+        }
+        edited.update(&uk, v).unwrap();
+        let report = inst.deep_eq_report(&edited).unwrap();
+        assert!(report.contains(&uk.to_string()), "{report}");
+        assert!(report.contains("currency"), "{report}");
+        assert!(report.contains("sterling"), "{report}");
+        assert!(report.contains("pound"), "{report}");
+
+        // Oid-counter divergence (same objects, different generator state).
+        let mut ahead = inst.clone();
+        ahead.restore_oid_counter(&ClassName::new("CityE"), 9);
+        let report = inst.deep_eq_report(&ahead).unwrap();
+        assert!(report.contains("oid counter"), "{report}");
+        assert!(report.contains("CityE"), "{report}");
     }
 
     #[test]

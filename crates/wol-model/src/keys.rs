@@ -267,6 +267,74 @@ impl SkolemFactory {
         self.assigned.values().all(BTreeMap::is_empty)
     }
 
+    /// Export the factory's full state for persistence. The state captures
+    /// both the key→identity memo and the per-class counters, so a factory
+    /// rebuilt with [`from_state`](Self::from_state) is *bit-identical*: every
+    /// already-assigned key returns its old identity and every new key gets
+    /// the identity an uncrashed factory would have minted next.
+    pub fn export_state(&self) -> SkolemState {
+        SkolemState {
+            assigned: self.assigned.clone(),
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Rebuild a factory from exported state (inverse of
+    /// [`export_state`](Self::export_state)).
+    pub fn from_state(state: SkolemState) -> Self {
+        SkolemFactory {
+            assigned: state.assigned,
+            counters: state.counters,
+        }
+    }
+
+    /// The next identity discriminator `mk` would assign for `class`.
+    pub fn counter(&self, class: &ClassName) -> u64 {
+        self.counters.get(class).copied().unwrap_or(0)
+    }
+
+    /// A copy of all per-class counters — a cheap watermark to take before a
+    /// unit of work so [`assignments_since`](Self::assignments_since) can
+    /// extract exactly the assignments that work created.
+    pub fn counter_snapshot(&self) -> BTreeMap<ClassName, u64> {
+        self.counters.clone()
+    }
+
+    /// The assignments created since a [`counter_snapshot`](Self::counter_snapshot)
+    /// was taken: every `(class, key, oid)` whose discriminator is at or past
+    /// the snapshotted counter, in deterministic `(class, id)` order.
+    /// Identity discriminators are minted monotonically per class, so the
+    /// watermark comparison is exact.
+    pub fn assignments_since(
+        &self,
+        before: &BTreeMap<ClassName, u64>,
+    ) -> Vec<(ClassName, Value, Oid)> {
+        let mut out = Vec::new();
+        for (class, keys) in &self.assigned {
+            let watermark = before.get(class).copied().unwrap_or(0);
+            let mut fresh: Vec<(ClassName, Value, Oid)> = keys
+                .iter()
+                .filter(|(_, oid)| oid.id() >= watermark)
+                .map(|(key, oid)| (class.clone(), key.clone(), oid.clone()))
+                .collect();
+            fresh.sort_by_key(|(_, _, oid)| oid.id());
+            out.extend(fresh);
+        }
+        out
+    }
+
+    /// Re-register one assignment during recovery: the key maps to `oid` and
+    /// the class counter moves past it, so replaying a write-ahead log of
+    /// assignments reproduces the factory that produced them.
+    pub fn restore_assignment(&mut self, class: &ClassName, key: Value, oid: Oid) {
+        let counter = self.counters.entry(class.clone()).or_insert(0);
+        *counter = (*counter).max(oid.id() + 1);
+        self.assigned
+            .entry(class.clone())
+            .or_default()
+            .insert(key, oid);
+    }
+
     /// Pre-register identities for every object of `class` in `instance`,
     /// keyed by `spec`. Used when a transformation's target already contains
     /// data that new objects must merge with.
@@ -287,6 +355,20 @@ impl SkolemFactory {
         }
         Ok(())
     }
+}
+
+/// Serializable view of a [`SkolemFactory`]'s complete state (the key→identity
+/// memo plus per-class counters), produced by
+/// [`SkolemFactory::export_state`] and consumed by
+/// [`SkolemFactory::from_state`]. The persistence layer stores this inside
+/// snapshots so a recovered pipeline's `Mk_C` calls are bit-identical to an
+/// uncrashed run's.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SkolemState {
+    /// Per-class memo from key value to assigned identity.
+    pub assigned: BTreeMap<ClassName, BTreeMap<Value, Oid>>,
+    /// Per-class next-discriminator counters.
+    pub counters: BTreeMap<ClassName, u64>,
 }
 
 // ---------------------------------------------------------------------------
@@ -737,6 +819,63 @@ mod tests {
             rewrite_resolved(&Value::str("plain"), &resolved),
             Value::str("plain")
         );
+    }
+
+    /// Export → import round-trips a factory bit-identically: old keys keep
+    /// their identities and new keys mint exactly what the original would.
+    #[test]
+    fn skolem_state_round_trip_is_bit_identical() {
+        let class = ClassName::new("CountryT");
+        let mut factory = SkolemFactory::new();
+        let fr = factory.mk(&class, &Value::str("France"));
+        let de = factory.mk(&class, &Value::str("Germany"));
+        let state = factory.export_state();
+        assert_eq!(
+            SkolemFactory::from_state(state.clone()).export_state(),
+            state
+        );
+
+        let mut restored = SkolemFactory::from_state(state);
+        assert_eq!(restored.mk(&class, &Value::str("France")), fr);
+        assert_eq!(restored.mk(&class, &Value::str("Germany")), de);
+        // The next fresh key gets the identity the original factory mints.
+        assert_eq!(
+            restored.mk(&class, &Value::str("Spain")),
+            factory.mk(&class, &Value::str("Spain"))
+        );
+        assert_eq!(restored.counter(&class), 3);
+        assert_eq!(restored.counter(&ClassName::new("Other")), 0);
+    }
+
+    /// Watermark deltas capture exactly the assignments made after the
+    /// snapshot, and restoring them onto the pre-snapshot factory reproduces
+    /// the post-snapshot factory.
+    #[test]
+    fn assignments_since_extracts_and_restores_the_delta() {
+        let country = ClassName::new("CountryT");
+        let city = ClassName::new("CityT");
+        let mut factory = SkolemFactory::new();
+        factory.mk(&country, &Value::str("France"));
+        let mark = factory.counter_snapshot();
+        let before_state = factory.export_state();
+
+        let de = factory.mk(&country, &Value::str("Germany"));
+        let paris = factory.mk(&city, &Value::str("Paris"));
+        assert_eq!(factory.mk(&country, &Value::str("France")).id(), 0);
+
+        let delta = factory.assignments_since(&mark);
+        assert_eq!(
+            delta,
+            vec![
+                (city.clone(), Value::str("Paris"), paris),
+                (country.clone(), Value::str("Germany"), de),
+            ]
+        );
+        let mut restored = SkolemFactory::from_state(before_state);
+        for (class, key, oid) in delta {
+            restored.restore_assignment(&class, key, oid);
+        }
+        assert_eq!(restored.export_state(), factory.export_state());
     }
 
     #[test]

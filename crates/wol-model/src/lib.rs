@@ -37,8 +37,8 @@ pub mod values;
 
 pub use error::ModelError;
 pub use histogram::{AttrHistogram, HistogramBucket};
-pub use instance::{AttrStats, Instance};
-pub use keys::{rewrite_resolved, KeyExpr, KeySpec, SkolemClaims, SkolemFactory};
+pub use instance::{AttrStats, Instance, Mutation};
+pub use keys::{rewrite_resolved, KeyExpr, KeySpec, SkolemClaims, SkolemFactory, SkolemState};
 pub use oid::Oid;
 pub use parallel::{chunk_ranges, Job, Parallelism, WorkerPool};
 pub use path::Path;

@@ -76,6 +76,24 @@ impl OidGen {
     pub fn count(&self, class: &ClassName) -> u64 {
         self.counters.get(class).copied().unwrap_or(0)
     }
+
+    /// Iterate over the per-class counters. Used by the persistence layer to
+    /// snapshot generator state so recovered instances mint the same fresh
+    /// identities an uncrashed run would.
+    pub fn counters(&self) -> impl Iterator<Item = (&ClassName, u64)> {
+        self.counters.iter().map(|(class, n)| (class, *n))
+    }
+
+    /// Raise the counter of `class` to at least `count`. Counters only move
+    /// forward: restoring a smaller count would let `fresh` re-mint a live
+    /// identity. A `count` of zero is a no-op (no entry is created), so
+    /// restoring an exported counter map onto a fresh generator reproduces it
+    /// exactly.
+    pub fn restore_count(&mut self, class: &ClassName, count: u64) {
+        if count > self.count(class) {
+            self.counters.insert(class.clone(), count);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +136,31 @@ mod tests {
         assert_eq!(gen.count(&city), 2);
         assert_eq!(gen.count(&country), 1);
         assert_eq!(gen.count(&ClassName::new("Other")), 0);
+    }
+
+    #[test]
+    fn restore_count_is_monotonic_and_exact() {
+        let mut gen = OidGen::new();
+        let city = ClassName::new("CityE");
+        gen.fresh(&city);
+        gen.fresh(&city);
+        // Restoring a smaller (or zero) count never rewinds.
+        gen.restore_count(&city, 1);
+        assert_eq!(gen.count(&city), 2);
+        gen.restore_count(&ClassName::new("Ghost"), 0);
+        assert_eq!(gen, {
+            let mut g = OidGen::new();
+            g.fresh(&city);
+            g.fresh(&city);
+            g
+        });
+        // Restoring every exported counter reproduces the generator exactly.
+        let mut restored = OidGen::new();
+        for (class, n) in gen.counters() {
+            restored.restore_count(class, n);
+        }
+        assert_eq!(restored, gen);
+        assert_eq!(restored.fresh(&city).id(), 2);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Durability integration tests: the crash matrix over the write-ahead log,
+//! bit-flip detection, snapshot round-trips across the thread matrix, and
+//! durable pipeline crash/resume through the public API.
+//!
+//! The contract under test (storage crate docs, "Durability"): recovery
+//! yields exactly the committed batch prefix of the log — bit-identical
+//! extents, oids and Skolem counters — and a corrupted or torn record is
+//! detected via its checksum and cleanly discarded, never silently applied.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use wol_repro::cpl;
+use wol_repro::morphase::{DurableOptions, Morphase, MorphaseError, PipelineOptions};
+use wol_repro::storage::persist::snapshot::{
+    decode_snapshot, encode_snapshot, load_snapshot_file, save_snapshot_file,
+};
+use wol_repro::storage::persist::{replay_wal, FaultPolicy};
+use wol_repro::storage::DurableInstance;
+use wol_repro::wol_model::{ClassName, Instance, Oid, SkolemFactory, SkolemState, Value};
+use wol_repro::workloads::cities::{generate_euro, CitiesWorkload};
+
+/// A fresh scratch directory, unique across parallel tests and proptest
+/// cases within this process.
+fn temp_dir(label: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("wol-durability-{label}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// State captured after each committed batch: the instance, the Skolem
+/// factory state, and the WAL end offset of the batch.
+struct Checkpoint {
+    instance: Instance,
+    skolem: SkolemState,
+    wal_end: u64,
+}
+
+/// Run a scripted session of `batches` commits against a [`DurableInstance`]
+/// in `dir`, returning the final WAL image and the checkpoint after every
+/// commit (index 0 is the empty store). The script is deterministic in
+/// `seed` and mixes every record kind the WAL knows: Skolem-minted inserts
+/// (`SkolemAssign` + `Insert`), updates, fresh-identity inserts
+/// (`OidCounter`), and removes — including removing a class down to empty.
+fn scripted_session(dir: &Path, batches: usize, seed: u64) -> (Vec<u8>, Vec<Checkpoint>) {
+    let country = ClassName::new("CountryT");
+    let marker = ClassName::new("MarkerT");
+    let (mut store, report) = DurableInstance::open(dir, "euro").expect("fresh open");
+    assert!(!report.snapshot_loaded);
+    assert_eq!(report.batches_replayed, 0);
+
+    let mut state = seed.wrapping_mul(2).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut checkpoints = vec![Checkpoint {
+        instance: store.instance().clone(),
+        skolem: store.skolem().export_state(),
+        wal_end: 0,
+    }];
+    let mut markers: Vec<Oid> = Vec::new();
+    for round in 0..batches {
+        // A couple of keyed objects; repeated keys exercise the memo (no new
+        // record), fresh keys mint an assignment and insert a value.
+        for _ in 0..2 {
+            let key = Value::str(format!("C{}", next() % 7));
+            let before = store.skolem().counter(&country);
+            let oid = store.mk(&country, &key);
+            let value = Value::record([("name", key.clone()), ("round", Value::int(round as i64))]);
+            if store.skolem().counter(&country) > before {
+                store.instance_mut().insert(oid, value).expect("insert");
+            } else {
+                store.instance_mut().update(&oid, value).expect("update");
+            }
+        }
+        // A fresh-identity object in a class the factory never touches (the
+        // two counters are independent and must not share a class).
+        let fresh = store
+            .instance_mut()
+            .insert_fresh(&marker, Value::int(next() as i64));
+        markers.push(fresh);
+        // Occasionally remove a marker — on the last round remove them all,
+        // so the matrix covers recovery of an emptied-but-present class.
+        if round + 1 == batches {
+            for oid in markers.drain(..) {
+                store.instance_mut().remove(&oid);
+            }
+        } else if next() % 2 == 0 && markers.len() > 1 {
+            let victim = markers.remove((next() as usize) % markers.len());
+            store.instance_mut().remove(&victim);
+        }
+        let wal_end = store.commit().expect("commit");
+        checkpoints.push(Checkpoint {
+            instance: store.instance().clone(),
+            skolem: store.skolem().export_state(),
+            wal_end,
+        });
+    }
+    let bytes = std::fs::read(store.wal_path()).expect("read wal");
+    assert_eq!(
+        bytes.len() as u64,
+        checkpoints.last().expect("checkpoint").wal_end,
+        "the WAL must end exactly at the last committed batch"
+    );
+    (bytes, checkpoints)
+}
+
+/// Kill the log at byte `cut` and recover: assert the recovered store holds
+/// exactly the longest committed prefix — batch count, extents, values, oid
+/// counters and Skolem state all bit-identical to the checkpoint taken at
+/// that commit — and that the next `mk` matches an uncrashed factory's.
+fn assert_prefix_recovery(scratch: &Path, bytes: &[u8], checkpoints: &[Checkpoint], cut: usize) {
+    let expected = checkpoints
+        .iter()
+        .filter(|c| c.wal_end as usize <= cut)
+        .count()
+        - 1; // checkpoint 0 is the empty store at offset 0
+    let reference = &checkpoints[expected];
+
+    // Byte level: replay finds exactly the committed prefix.
+    let replay = replay_wal(&bytes[..cut], "matrix", 0);
+    assert_eq!(replay.batches.len(), expected, "cut {cut}");
+    assert_eq!(replay.committed_len, reference.wal_end, "cut {cut}");
+    assert_eq!(
+        replay.tail.is_some(),
+        cut as u64 != reference.wal_end,
+        "cut {cut}: a tail is discarded iff the cut is not a batch boundary"
+    );
+
+    // End to end: a store opened over the truncated image recovers the
+    // checkpoint state bit-identically.
+    std::fs::create_dir_all(scratch).expect("scratch dir");
+    std::fs::write(scratch.join(DurableInstance::WAL_FILE), &bytes[..cut]).expect("write cut");
+    let (mut store, report) = DurableInstance::open(scratch, "euro").expect("recovery");
+    assert_eq!(report.batches_replayed, expected, "cut {cut}");
+    assert_eq!(report.committed_len, reference.wal_end, "cut {cut}");
+    assert_eq!(
+        store.instance().deep_eq_report(&reference.instance),
+        None,
+        "cut {cut}: recovered instance diverged"
+    );
+    assert_eq!(
+        store.skolem().export_state(),
+        reference.skolem,
+        "cut {cut}: recovered Skolem state diverged"
+    );
+
+    // Post-recovery minting is bit-identical to an uncrashed run that
+    // reached the same commit: same fresh identity for a never-seen key.
+    let country = ClassName::new("CountryT");
+    let probe = Value::str("post-recovery-probe");
+    let mut uncrashed = SkolemFactory::from_state(reference.skolem.clone());
+    assert_eq!(
+        store.mk(&country, &probe),
+        uncrashed.mk(&country, &probe),
+        "cut {cut}: post-recovery mk diverged"
+    );
+}
+
+/// The exhaustive crash matrix: one scripted multi-batch session, then kill
+/// the log at *every* byte offset — every record boundary and every
+/// mid-record offset — and demand prefix-consistent, bit-identical recovery
+/// at each one.
+#[test]
+fn crash_matrix_every_cut_recovers_the_committed_prefix() {
+    let base = temp_dir("matrix-base");
+    let (bytes, checkpoints) = scripted_session(&base, 4, 7);
+    assert!(checkpoints.len() == 5 && bytes.len() > 100);
+    let scratch = temp_dir("matrix-cut");
+    for cut in 0..=bytes.len() {
+        assert_prefix_recovery(&scratch, &bytes, &checkpoints, cut);
+    }
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// Bit flips anywhere in the log are caught by the record checksum (or the
+/// framing it protects): recovery returns exactly the batches before the
+/// flipped record — byte-identical to an intact replay of that prefix — and
+/// never applies corrupted data.
+#[test]
+fn bit_flips_are_detected_and_never_silently_applied() {
+    let base = temp_dir("flip-base");
+    let (bytes, checkpoints) = scripted_session(&base, 3, 21);
+    let scratch = temp_dir("flip-cut");
+    for i in 0..bytes.len() {
+        for mask in [0x01u8, 0x80] {
+            let mut image = bytes.clone();
+            image[i] ^= mask;
+            // The flip lands inside batch b+1 (checkpoints are 1-indexed by
+            // batch); every batch up to b replays, b+1 onward is discarded.
+            let intact = checkpoints
+                .iter()
+                .filter(|c| c.wal_end as usize <= i)
+                .count()
+                - 1;
+            let replay = replay_wal(&image, "flip", 0);
+            assert_eq!(replay.batches.len(), intact, "flip at {i} mask {mask:#x}");
+            assert!(
+                replay.tail.is_some(),
+                "flip at {i} mask {mask:#x}: the corrupted tail must be reported"
+            );
+            let reference = replay_wal(
+                &bytes[..checkpoints[intact].wal_end as usize],
+                "reference",
+                0,
+            );
+            assert_eq!(
+                replay.batches, reference.batches,
+                "flip at {i} mask {mask:#x}: surviving batches must be the intact prefix"
+            );
+        }
+        // End to end (sampled — the byte-level check above runs at every
+        // offset): the recovered store equals the checkpoint before the flip.
+        if i % 5 == 0 {
+            let mut image = bytes.clone();
+            image[i] ^= 0x10;
+            let intact = checkpoints
+                .iter()
+                .filter(|c| c.wal_end as usize <= i)
+                .count()
+                - 1;
+            std::fs::create_dir_all(&scratch).expect("scratch dir");
+            std::fs::write(scratch.join(DurableInstance::WAL_FILE), &image).expect("write");
+            let (store, report) = DurableInstance::open(&scratch, "euro").expect("recovery");
+            assert_eq!(report.batches_replayed, intact, "flip at {i}");
+            assert!(report.torn_tail.is_some(), "flip at {i}");
+            assert_eq!(
+                store
+                    .instance()
+                    .deep_eq_report(&checkpoints[intact].instance),
+                None,
+                "flip at {i}: recovered instance diverged"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized crash matrix: arbitrary session shapes (batch count and
+    /// content seed) and arbitrary cut offsets all recover the committed
+    /// prefix bit-identically. The exhaustive test pins one session at every
+    /// offset; this one varies the session itself.
+    #[test]
+    fn randomized_sessions_recover_prefix_consistently(
+        batches in 1usize..5,
+        seed in 0u64..1000,
+        cut_salt in 0u64..100_000,
+    ) {
+        let base = temp_dir("prop-base");
+        let (bytes, checkpoints) = scripted_session(&base, batches, seed);
+        let scratch = temp_dir("prop-cut");
+        // One salted mid-log cut plus the exact end (the no-tail case).
+        let cuts = [(cut_salt as usize) % (bytes.len() + 1), bytes.len()];
+        for cut in cuts {
+            assert_prefix_recovery(&scratch, &bytes, &checkpoints, cut);
+        }
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+}
+
+/// Snapshot → restore is bit-identical for pipeline targets at every thread
+/// count: run the cities program at 1/2/4/8 threads, snapshot the target
+/// (in memory and through the file round trip), and demand the decoded
+/// instance equals the target with no first divergence — and that
+/// re-encoding the decoded state reproduces the snapshot byte for byte.
+#[test]
+fn snapshot_restore_is_bit_identical_at_every_thread_count() {
+    let w = CitiesWorkload::new();
+    let program = w.euro_program();
+    let source = generate_euro(6, 4, 11);
+    let sequential = Morphase::with_options(PipelineOptions {
+        parallelism: cpl::Parallelism::sequential(),
+        ..PipelineOptions::default()
+    })
+    .transform(&program, &[&source][..])
+    .expect("sequential run");
+    let dir = temp_dir("snap-matrix");
+    std::fs::create_dir_all(&dir).expect("snap dir");
+    for threads in [1usize, 2, 4, 8] {
+        let run = Morphase::with_options(PipelineOptions {
+            parallelism: cpl::Parallelism::new(threads),
+            ..PipelineOptions::default()
+        })
+        .transform(&program, &[&source][..])
+        .expect("parallel run");
+        assert_eq!(
+            run.target.deep_eq_report(&sequential.target),
+            None,
+            "target diverged at {threads} threads before any snapshot"
+        );
+        let skolem = SkolemState::default();
+        let bytes = encode_snapshot(&run.target, &skolem, 0, None);
+        let decoded = decode_snapshot(&bytes, "mem").expect("decode");
+        assert_eq!(
+            decoded.instance.deep_eq_report(&run.target),
+            None,
+            "snapshot round trip diverged at {threads} threads"
+        );
+        assert_eq!(decoded.instance, run.target);
+        assert_eq!(
+            encode_snapshot(&decoded.instance, &decoded.skolem, 0, None),
+            bytes,
+            "re-encode not byte-identical at {threads} threads"
+        );
+        // And through the file layer (atomic write + checksum verify).
+        let path = dir.join(format!("target-{threads}.snap"));
+        save_snapshot_file(&path, &bytes, None).expect("save");
+        let loaded = load_snapshot_file(&path)
+            .expect("load")
+            .expect("snapshot present");
+        assert_eq!(
+            loaded.instance.deep_eq_report(&sequential.target),
+            None,
+            "file round trip diverged at {threads} threads"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Durable pipeline crash/resume through the public API at every thread
+/// count: inject a torn write into the journal's WAL, watch the run die,
+/// resume without the fault, and demand the resumed target is bit-identical
+/// to a plain (never-crashed) run — with every query either recovered from
+/// the journal or re-run, never both, never neither.
+#[test]
+fn durable_pipeline_crash_resume_is_bit_identical_across_thread_counts() {
+    let w = CitiesWorkload::new();
+    let program = w.euro_program();
+    let source = generate_euro(5, 3, 17);
+    let plain = Morphase::new()
+        .transform(&program, &[&source][..])
+        .expect("plain run");
+    for threads in [1usize, 2, 4, 8] {
+        let options = PipelineOptions {
+            parallelism: cpl::Parallelism::new(threads),
+            ..PipelineOptions::default()
+        };
+        let dir = temp_dir(&format!("pipe-{threads}"));
+        let crashing = DurableOptions::new(&dir).with_fault(FaultPolicy::torn_at(64));
+        let err = Morphase::with_options(options)
+            .transform_durable(&program, &[&source][..], &crashing)
+            .expect_err("the injected fault must kill the run");
+        assert!(
+            matches!(err, MorphaseError::Durability(_)),
+            "unexpected error at {threads} threads: {err}"
+        );
+        let resumed = Morphase::with_options(options)
+            .transform_durable(&program, &[&source][..], &DurableOptions::new(&dir))
+            .expect("resumed run");
+        assert_eq!(
+            resumed.target.deep_eq_report(&plain.target),
+            None,
+            "resumed target diverged at {threads} threads"
+        );
+        let d = resumed.durability.expect("durable run reports stats");
+        assert!(
+            d.recovered_torn_tail,
+            "the torn batch must be discarded at {threads} threads"
+        );
+        assert_eq!(
+            d.skipped + d.journaled,
+            plain.query_stats.len() as u64,
+            "every query is either recovered or re-run at {threads} threads"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
