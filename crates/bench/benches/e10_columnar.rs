@@ -1,0 +1,166 @@
+//! Experiment E10 — columnar (batch-at-a-time) scan→filter→project.
+//!
+//! PR 7 stores derived per-(class, attribute) column chunks — typed vectors
+//! with missing-value bitmaps and a dictionary-encoded string column — and
+//! teaches the executor to answer qualifying scan→filter→project towers over
+//! them with vectorized predicate kernels, selection vectors and late
+//! materialization. This bench measures that path against the row-at-a-time
+//! executor on a 100× scaled E6 genome extent (30k markers), across the
+//! {1, 2, 4, 8} thread matrix, and — via the [`bench::CountingAlloc`]
+//! installed as the global allocator — compares the peak memory each mode
+//! touches while scanning. Both modes must produce the identical row stream
+//! and bit-identical target instance at every point; the wall-clock and
+//! peak-byte sides land in `BENCH_e10.json`. The ≥3× release throughput
+//! guard lives in `tests/perf_regression.rs`.
+
+use std::time::{Duration, Instant};
+
+use cpl::{Expr, Plan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wol_model::{ClassName, Instance, Value};
+use workloads::genome::{self, GenomeParams};
+
+#[global_allocator]
+static ALLOC: bench::CountingAlloc = bench::CountingAlloc;
+
+/// The measured plan: a selective integer-range filter over the (optional,
+/// hence bitmap-carrying) `position` column, then a projection that keeps
+/// the marker identity and two attributes. Exactly the tower shape the
+/// columnar executor extracts.
+fn tower_plan() -> Plan {
+    Plan::scan("MarkerS", "M")
+        .filter(Expr::Leq(
+            Box::new(Expr::var("M").proj("position")),
+            Box::new(Expr::Const(Value::int(25_000_000))),
+        ))
+        .map(vec![
+            ("NAME".to_string(), Expr::var("M").proj("name")),
+            ("POS".to_string(), Expr::var("M").proj("position")),
+        ])
+}
+
+/// The same tower wrapped in an insert action, so target construction (and
+/// with it output row *order*) is part of what determinism is judged on.
+fn tower_query() -> cpl::Query {
+    cpl::Query {
+        name: "e10_tower".to_string(),
+        plan: tower_plan(),
+        inserts: vec![cpl::InsertAction {
+            class: ClassName::new("MarkerOut"),
+            key: Expr::var("M"),
+            attrs: vec![
+                ("name".to_string(), Expr::var("NAME")),
+                ("position".to_string(), Expr::var("POS")),
+            ],
+        }],
+    }
+}
+
+fn run_tower(
+    source: &Instance,
+    threads: usize,
+    columnar: bool,
+) -> (Vec<cpl::Row>, Duration, cpl::ExecStats) {
+    let refs = [source];
+    let mut ctx =
+        cpl::expr::EvalCtx::new(&refs[..]).with_parallelism(cpl::Parallelism::new(threads));
+    ctx.set_columnar(columnar);
+    let mut stats = cpl::ExecStats::default();
+    let start = Instant::now();
+    let rows = cpl::run_plan(&tower_plan(), &mut ctx, &mut stats).expect("plan runs");
+    (rows, start.elapsed(), stats)
+}
+
+fn build_target(source: &Instance, threads: usize, columnar: bool) -> Instance {
+    let refs = [source];
+    let mut ctx =
+        cpl::expr::EvalCtx::new(&refs[..]).with_parallelism(cpl::Parallelism::new(threads));
+    ctx.set_columnar(columnar);
+    let mut stats = cpl::ExecStats::default();
+    let mut target = Instance::new("e10_target");
+    cpl::execute_query(&tower_query(), &mut ctx, &mut target, &mut stats).expect("query executes");
+    target
+}
+
+fn bench_columnar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_columnar");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    // 100× the E6 genome shape: 10k clones, 30k markers.
+    let source = genome::generate_source(&GenomeParams::scaled(100));
+    // Warm the derived column cache once, so every measured run sees the
+    // steady state (the build cost is itself reported below).
+    let column_build_start = Instant::now();
+    let (warm_rows, _, _) = run_tower(&source, 1, true);
+    let column_build = column_build_start.elapsed();
+    assert!(!warm_rows.is_empty(), "the tower must select something");
+
+    for (mode, columnar) in [("row", false), ("columnar", true)] {
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(BenchmarkId::new(mode, threads), |b| {
+                b.iter(|| run_tower(&source, threads, columnar))
+            });
+        }
+    }
+    group.finish();
+
+    // Machine-readable summary: per mode and thread count the best-of-two
+    // wall-clock and the peak bytes allocated during the scan, plus the
+    // cross-mode throughput ratio at one thread (the vectorization win,
+    // isolated from parallelism). Determinism is asserted along the way:
+    // identical rows and bit-identical targets at every point.
+    let (base_rows, _, base_stats) = run_tower(&source, 1, false);
+    let base_target = build_target(&source, 1, false);
+    let mut json = bench::BenchJson::new()
+        .str("bench", "e10_columnar")
+        .str("workload", "e6_genome_x100")
+        .int("scan_rows", base_stats.rows_scanned as u64)
+        .int("rows_selected", base_rows.len() as u64)
+        .num("column_build_secs", column_build.as_secs_f64());
+    let mut secs_at: [[f64; 2]; 4] = [[0.0; 2]; 4];
+    for (mode_idx, (mode, columnar)) in [("row", false), ("columnar", true)].iter().enumerate() {
+        let mut curve = bench::BenchJson::new();
+        for (t_idx, threads) in [1usize, 2, 4, 8].iter().enumerate() {
+            bench::CountingAlloc::reset_peak();
+            let live_before = bench::CountingAlloc::current_bytes();
+            let (rows, first, stats) = run_tower(&source, *threads, *columnar);
+            let peak = bench::CountingAlloc::peak_bytes().saturating_sub(live_before);
+            assert_eq!(rows, base_rows, "{mode} rows diverged at {threads} threads");
+            assert_eq!(
+                stats, base_stats,
+                "{mode} ExecStats diverged at {threads} threads"
+            );
+            let target = build_target(&source, *threads, *columnar);
+            assert_eq!(
+                target, base_target,
+                "{mode} target diverged at {threads} threads"
+            );
+            let (_, second, _) = run_tower(&source, *threads, *columnar);
+            let best = first.min(second);
+            secs_at[t_idx][mode_idx] = best.as_secs_f64();
+            curve = curve.obj(
+                &format!("threads_{threads}"),
+                bench::BenchJson::new()
+                    .num("scan_secs", best.as_secs_f64())
+                    .int("peak_bytes", peak as u64),
+            );
+        }
+        json = json.obj(mode, curve);
+    }
+    json.num(
+        "columnar_speedup_1_thread",
+        secs_at[0][0] / secs_at[0][1].max(1e-9),
+    )
+    .num(
+        "columnar_speedup_8_threads",
+        secs_at[3][0] / secs_at[3][1].max(1e-9),
+    )
+    .stamped()
+    .write("BENCH_e10.json");
+}
+
+criterion_group!(benches, bench_columnar);
+criterion_main!(benches);

@@ -77,7 +77,7 @@ impl ExecStats {
         self.max_intermediate_rows = self.max_intermediate_rows.max(other.max_intermediate_rows);
     }
 
-    fn record_operator_output(&mut self, rows: usize) {
+    pub(crate) fn record_operator_output(&mut self, rows: usize) {
         self.rows_produced += rows;
         self.max_intermediate_rows = self.max_intermediate_rows.max(rows);
     }
@@ -89,6 +89,34 @@ impl ExecStats {
     fn absorb_probe_counters(&mut self, other: &ExecStats) {
         self.index_probes += other.index_probes;
         self.probe_cache_hits += other.probe_cache_hits;
+    }
+}
+
+/// Telemetry of the columnar executor ([`crate::columnar`]). Kept separate
+/// from [`ExecStats`] on purpose: the columnar/row differential contract is
+/// *equal* `ExecStats` for both paths, so which path ran must not leak into
+/// them. Reported by the Morphase pipeline alongside the exec stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ColumnarStats {
+    /// Scan→filter→project towers answered by the columnar executor.
+    pub pipelines: usize,
+    /// Rows those pipelines scanned batch-at-a-time.
+    pub batch_rows: usize,
+    /// Column chunks the pipelines read.
+    pub chunks: usize,
+}
+
+impl ColumnarStats {
+    /// Accumulate another telemetry value into this one.
+    pub fn absorb(&mut self, other: &ColumnarStats) {
+        self.pipelines += other.pipelines;
+        self.batch_rows += other.batch_rows;
+        self.chunks += other.chunks;
+    }
+
+    /// True if no columnar pipeline ran.
+    pub fn is_empty(&self) -> bool {
+        self.pipelines == 0
     }
 }
 
@@ -106,7 +134,7 @@ impl ExecStats {
 /// (`claims_ok` — [`Plan::Map`] and the insert actions) *and* every Skolem
 /// sits in value position ([`Expr::skolem_parallel_safe`]); otherwise the
 /// operator pins itself to the sequential path.
-fn parallel_workers<'e>(
+pub(crate) fn parallel_workers<'e>(
     ctx: &EvalCtx<'_>,
     rows: usize,
     claims_ok: bool,
@@ -139,7 +167,7 @@ fn parallel_workers<'e>(
 /// partition propagates — the same error a sequential left-to-right run
 /// would have hit first.
 #[allow(clippy::type_complexity)]
-fn run_partitioned<T, A, F>(
+pub(crate) fn run_partitioned<T, A, F>(
     ctx: &mut EvalCtx<'_>,
     stats: &mut ExecStats,
     partitions: Vec<A>,
@@ -497,34 +525,132 @@ fn par_probe_join(
     let cacheable = scan_keys
         .iter()
         .all(|k| k.var_set().iter().all(|v| v == &side.var));
-    let mut shards: Vec<Vec<usize>> = if cacheable {
-        let mut shards = vec![Vec::new(); workers];
+    /// One unit of probe work: a hash-owned set of driving rows (the worker
+    /// probes and caches the keys it owns), or a stolen contiguous sub-range
+    /// of one *hot* key's rows sharing a pre-probed match list.
+    enum ProbeShard {
+        Owned(Vec<usize>),
+        Hot {
+            indices: Vec<usize>,
+            matched: std::sync::Arc<Vec<Oid>>,
+            lead: bool,
+        },
+    }
+    let mut shards: Vec<ProbeShard> = Vec::new();
+    if cacheable {
+        // Group keyed rows per key tuple, in first-occurrence order.
+        let mut groups: Vec<(&[Value], Vec<usize>)> = Vec::new();
+        let mut group_of: HashMap<&[Value], usize> = HashMap::new();
+        let mut keyed = 0usize;
         for (idx, key) in key_tuples.iter().enumerate() {
             if let Some(values) = key {
-                shards[(key_tuple_hash(values) % workers as u64) as usize].push(idx);
+                keyed += 1;
+                match group_of.get(values.as_slice()) {
+                    Some(&g) => groups[g].1.push(idx),
+                    None => {
+                        group_of.insert(values.as_slice(), groups.len());
+                        groups.push((values.as_slice(), vec![idx]));
+                    }
+                }
             }
         }
-        shards
+        // A zipfian heavy hitter hashes all of its rows into one shard and
+        // serializes the join behind one worker. Keys holding at least twice
+        // a fair share of the rows are split into contiguous sub-ranges that
+        // idle workers steal; everyone shares the key's single pre-probed
+        // match list, and the lead sub-job accounts for the one probe the
+        // sequential run would have paid (the rest are cache hits), so the
+        // merged totals are unchanged. Submission-order reassembly is
+        // untouched — sub-jobs still emit per-driving-row slots.
+        let hot_threshold = (2 * keyed.div_ceil(workers)).max(8);
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (values, indices) in groups {
+            if indices.len() >= hot_threshold {
+                let mut scratch = ExecStats::default();
+                let wsources = ctx.sources().to_vec();
+                let matched = std::sync::Arc::new(verified_candidates(
+                    &Row::new(),
+                    values,
+                    scan_keys,
+                    side,
+                    &wsources,
+                    ctx,
+                    &mut scratch,
+                )?);
+                for (part, range) in chunk_ranges(indices.len(), workers).into_iter().enumerate() {
+                    shards.push(ProbeShard::Hot {
+                        indices: indices[range].to_vec(),
+                        matched: matched.clone(),
+                        lead: part == 0,
+                    });
+                }
+            } else {
+                owned[(key_tuple_hash(values) % workers as u64) as usize].extend(indices);
+            }
+        }
+        shards.extend(
+            owned
+                .into_iter()
+                .filter(|indices| !indices.is_empty())
+                .map(ProbeShard::Owned),
+        );
     } else {
-        chunk_ranges(key_tuples.len(), workers)
-            .into_iter()
-            .map(|range| range.filter(|idx| key_tuples[*idx].is_some()).collect())
-            .collect()
-    };
-    // A heavy hitter can leave shards empty (every row hashing to one key);
-    // don't pay a thread spawn for them. Reassembly is by driving-row slot,
-    // so dropping empty shards cannot affect output order.
-    shards.retain(|indices| !indices.is_empty());
+        // Every row probes regardless, so ownership is irrelevant: plain
+        // contiguous chunks, dropping unkeyed rows and empty chunks.
+        shards.extend(
+            chunk_ranges(key_tuples.len(), workers)
+                .into_iter()
+                .map(|range| {
+                    range
+                        .filter(|idx| key_tuples[*idx].is_some())
+                        .collect::<Vec<_>>()
+                })
+                .filter(|indices| !indices.is_empty())
+                .map(ProbeShard::Owned),
+        );
+    }
     let key_tuples = &key_tuples;
     /// Rows produced for one driving-row slot, keyed for order-preserving
     /// reassembly.
     type SlotRows = Vec<(usize, Vec<Row>)>;
     let (per_shard, _): (Vec<SlotRows>, _) =
-        run_partitioned(ctx, stats, shards, false, |indices, wctx, ws| {
+        run_partitioned(ctx, stats, shards, false, |shard, wctx, ws| {
+            let indices = match &shard {
+                ProbeShard::Owned(indices) => indices,
+                ProbeShard::Hot { indices, .. } => indices,
+            };
+            let mut out = Vec::with_capacity(indices.len());
+            if let ProbeShard::Hot {
+                indices,
+                matched,
+                lead,
+            } = &shard
+            {
+                // The lead sub-job carries the key's one probe; every other
+                // row of the key — here and in sibling sub-jobs — is a cache
+                // hit, exactly matching the sequential accounting.
+                if *lead {
+                    ws.index_probes += 1;
+                    ws.probe_cache_hits += indices.len() - 1;
+                } else {
+                    ws.probe_cache_hits += indices.len();
+                }
+                for &idx in indices {
+                    let row = &driving_rows[idx];
+                    let mut produced = Vec::with_capacity(matched.len());
+                    for oid in matched.iter() {
+                        let mut combined = row.clone();
+                        combined.insert(side.var.clone(), Value::Oid(oid.clone()));
+                        produced.push(combined);
+                    }
+                    ws.rows_produced += produced.len();
+                    out.push((idx, produced));
+                }
+                return Ok(out);
+            }
             let wsources = wctx.sources().to_vec();
             let mut cache: HashMap<&[Value], Vec<Oid>> = HashMap::new();
-            let mut out = Vec::with_capacity(indices.len());
-            for idx in indices {
+            for &idx in indices {
                 let key_values = key_tuples[idx]
                     .as_ref()
                     .expect("only keyed rows are partitioned");
@@ -690,6 +816,12 @@ fn eval_keys(keys: &[&Expr], row: &Row, ctx: &mut EvalCtx<'_>) -> Result<Option<
 
 /// Run a plan against the context, returning its rows.
 pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Result<Vec<Row>> {
+    // Scan→filter→project towers over a single source run batch-at-a-time on
+    // the columnar executor (identical rows and stats, proven differentially);
+    // everything else — and every bail-out — takes the row path below.
+    if let Some(rows) = crate::columnar::try_run(plan, ctx, stats)? {
+        return Ok(rows);
+    }
     let rows = match plan {
         Plan::Scan { class, var } => {
             let mut rows = Vec::new();
@@ -1803,6 +1935,70 @@ mod tests {
         assert_eq!(rows.len(), 12);
         assert_eq!(stats.index_probes, 1); // the hot key probes once, ever
         assert_eq!(stats.probe_cache_hits, 11);
+    }
+
+    /// A zipfian hot key is split into stolen contiguous sub-ranges instead
+    /// of serializing behind one hash-owned shard: the merged totals still
+    /// equal the sequential run's (one probe per distinct key), and several
+    /// shard slots report cache hits for the same key.
+    #[test]
+    fn hot_key_probe_work_is_stolen_across_shards() {
+        let mut inst = Instance::new("zipf");
+        inst.insert_fresh(
+            &ClassName::new("CloneS"),
+            Value::record([("name", Value::str("hot"))]),
+        );
+        for i in 0..4 {
+            inst.insert_fresh(
+                &ClassName::new("CloneS"),
+                Value::record([("name", Value::str(format!("cold{i}")))]),
+            );
+        }
+        for i in 0..64 {
+            inst.insert_fresh(
+                &ClassName::new("MarkerS"),
+                Value::record([
+                    ("name", Value::str(format!("m{i}"))),
+                    ("clone_name", Value::str("hot")),
+                ]),
+            );
+        }
+        for i in 0..8 {
+            inst.insert_fresh(
+                &ClassName::new("MarkerS"),
+                Value::record([
+                    ("name", Value::str(format!("n{i}"))),
+                    ("clone_name", Value::str(format!("cold{}", i % 4))),
+                ]),
+            );
+        }
+        let probed = Plan::scan("MarkerS", "M").map(vec![]).hash_join(
+            Plan::scan("CloneS", "C"),
+            Expr::var("M").proj("clone_name"),
+            Expr::var("C").proj("name"),
+        );
+        let (rows, stats) = assert_parallel_matches_sequential(&probed, &inst, &[2, 4, 8]);
+        assert_eq!(rows.len(), 72);
+        assert_eq!(stats.index_probes, 5); // one per distinct key, hot included
+        assert_eq!(stats.probe_cache_hits, 67);
+        // At 4 workers the hot key's 64 rows outweigh twice a fair share
+        // (36), so its rows are split into sub-ranges stolen by idle
+        // workers: more than one shard slot reports cache hits, instead of
+        // one shard absorbing all 64 rows.
+        let refs = [&inst];
+        let mut ctx = EvalCtx::new(&refs).with_parallelism(Parallelism::new(4));
+        ctx.set_parallel_min_rows(1);
+        let mut stats = ExecStats::default();
+        let _ = run_plan(&probed, &mut ctx, &mut stats).unwrap();
+        let stealing = ctx
+            .take_shard_stats()
+            .iter()
+            .filter(|s| s.probe_cache_hits > 0)
+            .count();
+        assert!(
+            stealing >= 4,
+            "expected stolen hot sub-ranges, got {stealing} shards with hits"
+        );
     }
 
     /// Partition edge case: more threads than rows. `chunk_ranges` never

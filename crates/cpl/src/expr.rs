@@ -265,6 +265,27 @@ pub struct EvalCtx<'a> {
     /// Per-worker-slot statistics accumulated across every parallel operator
     /// this context executed (slot `i` collects what worker `i` did).
     shard_stats: Vec<crate::exec::ExecStats>,
+    /// Whether scan→filter→project towers may run on the columnar executor
+    /// ([`crate::columnar`]). Defaults to the `WOL_COLUMNAR` environment
+    /// toggle (on unless set to `0`/`off`/`false`); the row path stays
+    /// available as the differential baseline.
+    columnar: bool,
+    /// Telemetry of the columnar executor (kept out of [`ExecStats`] so the
+    /// columnar/row differential contract — equal `ExecStats` — is not
+    /// trivially violated by the path that ran).
+    columnar_stats: crate::exec::ColumnarStats,
+}
+
+/// Process-wide default for the columnar executor: on, unless `WOL_COLUMNAR`
+/// is set to `0`, `off`, or `false`.
+fn columnar_default() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| {
+        !matches!(
+            std::env::var("WOL_COLUMNAR").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
 }
 
 /// Default minimum input rows before an operator is worth partitioning.
@@ -286,6 +307,8 @@ impl<'a> EvalCtx<'a> {
             parallelism: wol_model::Parallelism::from_env(),
             parallel_min_rows: PARALLEL_MIN_ROWS,
             shard_stats: Vec::new(),
+            columnar: columnar_default(),
+            columnar_stats: crate::exec::ColumnarStats::default(),
         }
     }
 
@@ -303,6 +326,8 @@ impl<'a> EvalCtx<'a> {
             parallelism: wol_model::Parallelism::sequential(),
             parallel_min_rows: PARALLEL_MIN_ROWS,
             shard_stats: Vec::new(),
+            columnar: columnar_default(),
+            columnar_stats: crate::exec::ColumnarStats::default(),
         }
     }
 
@@ -418,6 +443,41 @@ impl<'a> EvalCtx<'a> {
     /// Drain the accumulated per-shard statistics.
     pub fn take_shard_stats(&mut self) -> Vec<crate::exec::ExecStats> {
         std::mem::take(&mut self.shard_stats)
+    }
+
+    /// Whether scan→filter→project towers may run on the columnar executor.
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar
+    }
+
+    /// Enable or disable the columnar executor for this context. Disabling
+    /// pins every plan to the row-at-a-time baseline (results are identical
+    /// either way — the differential tests prove it).
+    pub fn set_columnar(&mut self, enabled: bool) {
+        self.columnar = enabled;
+    }
+
+    /// Record one columnar pipeline execution (telemetry only).
+    pub(crate) fn record_columnar(&mut self, batch_rows: usize, chunks: usize) {
+        self.columnar_stats.pipelines += 1;
+        self.columnar_stats.batch_rows += batch_rows;
+        self.columnar_stats.chunks += chunks;
+    }
+
+    /// Telemetry of the columnar executor for this context.
+    pub fn columnar_stats(&self) -> crate::exec::ColumnarStats {
+        self.columnar_stats
+    }
+
+    /// Drain the columnar telemetry (used when rolling a finished worker
+    /// context's counters into the pipeline-wide report).
+    pub fn take_columnar_stats(&mut self) -> crate::exec::ColumnarStats {
+        std::mem::take(&mut self.columnar_stats)
+    }
+
+    /// Merge another context's columnar telemetry into this one.
+    pub fn absorb_columnar_stats(&mut self, other: crate::exec::ColumnarStats) {
+        self.columnar_stats.absorb(&other);
     }
 
     /// Look up the value of an object identity in the sources.

@@ -65,6 +65,7 @@
 //!   the Skolem-insertion soak proptest) and the partition edge-case tests
 //!   in [`exec`].
 
+pub mod columnar;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -73,7 +74,8 @@ pub mod plan;
 
 pub use error::CplError;
 pub use exec::{
-    apply_evaluated_query, evaluate_query, execute_query, run_plan, EvaluatedQuery, ExecStats, Row,
+    apply_evaluated_query, evaluate_query, execute_query, run_plan, ColumnarStats, EvaluatedQuery,
+    ExecStats, Row,
 };
 pub use expr::Expr;
 pub use optimizer::{

@@ -218,6 +218,11 @@ pub struct MorphaseRun {
     pub generated_clauses: usize,
     /// CPL execution statistics.
     pub exec: ExecStats,
+    /// Columnar-executor statistics merged across every query context:
+    /// pipelines taken off the row-at-a-time path, batch rows they covered,
+    /// and column chunks visited. All zero when the columnar path is
+    /// disabled (`WOL_COLUMNAR=0`) or no plan shape qualified.
+    pub columnar: cpl::ColumnarStats,
     /// Rendered CPL plans, one per normal clause.
     pub plans: Vec<String>,
     /// The planner's estimated output rows, one per compiled query (from the
@@ -393,6 +398,7 @@ impl Morphase {
         // program order on the main context, so the target — Skolem
         // numbering included — is bit-identical to a sequential run.
         let mut exec = ExecStats::default();
+        let mut columnar = cpl::ColumnarStats::default();
         let mut join_stats = Vec::new();
         let mut shard_stats = Vec::new();
         let mut query_stats = Vec::new();
@@ -484,6 +490,7 @@ impl Morphase {
                         cpl::Result<cpl::EvaluatedQuery>,
                         ExecStats,
                         Vec<ExecStats>,
+                        cpl::ColumnarStats,
                         Vec<cpl::exec::JoinActual>,
                         Duration,
                     );
@@ -502,6 +509,7 @@ impl Morphase {
                                     result,
                                     wstats,
                                     wctx.take_shard_stats(),
+                                    wctx.take_columnar_stats(),
                                     wctx.take_join_trace(),
                                     eval_start.elapsed(),
                                 )
@@ -512,11 +520,12 @@ impl Morphase {
                     // Resolution phase: absorb stats and apply in program
                     // order; the earliest query's error propagates, exactly
                     // like the sequential loop.
-                    for (&(qi, k), (result, wstats, shards, actuals, eval)) in
+                    for (&(qi, k), (result, wstats, shards, wcolumnar, actuals, eval)) in
                         live.iter().zip(outcomes)
                     {
                         exec.absorb(wstats);
                         ctx.absorb_shard_stats(&shards);
+                        columnar.absorb(&wcolumnar);
                         let query = &queries[qi];
                         let evaluated = result?;
                         let rows_output = evaluated.rows_output() as u64;
@@ -578,6 +587,7 @@ impl Morphase {
                 j.finish(&target, &ctx.factory.export_state())?;
             }
             shard_stats = ctx.take_shard_stats();
+            columnar.absorb(&ctx.take_columnar_stats());
             timings.execute = start.elapsed();
 
             // Stage 6: verification.
@@ -619,6 +629,7 @@ impl Morphase {
             input_clauses: augmented.clauses.len(),
             generated_clauses: generated,
             exec,
+            columnar,
             plans,
             estimated_rows,
             join_stats,

@@ -53,6 +53,13 @@ pub fn render_report(run: &MorphaseRun) -> String {
         "peak operator output: {} rows (max_intermediate_rows)",
         run.exec.max_intermediate_rows
     );
+    if !run.columnar.is_empty() {
+        let _ = writeln!(
+            out,
+            "columnar: {} pipelines, {} batch rows, {} chunks",
+            run.columnar.pipelines, run.columnar.batch_rows, run.columnar.chunks
+        );
+    }
     if !run.shard_stats.is_empty() {
         let _ = writeln!(
             out,
@@ -211,6 +218,27 @@ mod tests {
         ));
         assert!(report.contains("  shard 0: 10 rows, 3 probes, 2 cache hits"));
         assert!(report.contains("  shard 1: 7 rows, 1 probes, 0 cache hits"));
+    }
+
+    /// Pins the columnar-executor report line: a run whose plans took the
+    /// batch-at-a-time path surfaces how much work it covered; a run with
+    /// the columnar path disabled (or no qualifying plan) prints no line.
+    #[test]
+    fn report_pins_the_columnar_format() {
+        use cpl::ColumnarStats;
+        let w = CitiesWorkload::new();
+        let source = generate_euro(2, 2, 1);
+        let mut run = Morphase::new()
+            .transform(&w.euro_program(), &[&source][..])
+            .unwrap();
+        run.columnar = ColumnarStats::default();
+        assert!(!render_report(&run).contains("columnar:"));
+        run.columnar = ColumnarStats {
+            pipelines: 3,
+            batch_rows: 4096,
+            chunks: 8,
+        };
+        assert!(render_report(&run).contains("columnar: 3 pipelines, 4096 batch rows, 8 chunks"));
     }
 
     /// Pins the per-query schedule/timing breakdown format: stage index,

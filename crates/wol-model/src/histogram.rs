@@ -41,6 +41,26 @@ use crate::values::Value;
 /// a handful of comparisons.
 pub const DEFAULT_BUCKETS: usize = 32;
 
+/// Extent size above which [`Instance::attr_histogram`](crate::Instance::attr_histogram)
+/// switches from an exact build to [`AttrHistogram::build_sampled`].
+pub const SAMPLE_THRESHOLD: usize = 32_768;
+
+/// Reservoir size used by [`AttrHistogram::build_sampled`]. Large enough
+/// that a bucket's expected sample depth (`SAMPLE_SIZE / DEFAULT_BUCKETS` =
+/// 256) keeps relative error on heavy-hitter *detection* small.
+pub const SAMPLE_SIZE: usize = 8_192;
+
+/// SplitMix64 step: a tiny, deterministic, high-quality PRNG. Seeded with a
+/// fixed constant so sampled histograms are reproducible across runs,
+/// threads, and platforms.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// One bucket of an equi-depth histogram: the closed value range `[lo, hi]`,
 /// the number of entries falling in it, and how many distinct values they
 /// spread over. A bucket with `distinct == 1` (`lo == hi`) is a *singleton*:
@@ -156,6 +176,69 @@ impl AttrHistogram {
             entries,
             distinct,
         }
+    }
+
+    /// Build a histogram from a *sample* of the values, for extents too
+    /// large to aggregate exactly. `make_values` must produce the same value
+    /// sequence on each call (the build takes two passes):
+    ///
+    /// 1. One pass counts the population and fills a deterministic
+    ///    reservoir (algorithm R driven by a fixed-seed SplitMix64).
+    /// 2. Values that look heavy in the sample (at least one expected bucket
+    ///    depth of sample entries) get their **exact** population counts
+    ///    from a second pass — the skew head, where estimates matter most,
+    ///    stays precise.
+    ///
+    /// The light tail is scaled from the sample (`count · n / SAMPLE_SIZE`).
+    /// Populations of at most [`SAMPLE_SIZE`] fall back to the exact build.
+    /// The construction is fully deterministic for a given value sequence.
+    pub fn build_sampled<I, F>(make_values: F) -> Self
+    where
+        I: Iterator<Item = Value>,
+        F: Fn() -> I,
+    {
+        let mut n = 0usize;
+        let mut reservoir: Vec<Value> = Vec::with_capacity(SAMPLE_SIZE);
+        let mut rng: u64 = 0;
+        for value in make_values() {
+            if reservoir.len() < SAMPLE_SIZE {
+                reservoir.push(value);
+            } else {
+                let j = (splitmix64(&mut rng) % (n as u64 + 1)) as usize;
+                if j < SAMPLE_SIZE {
+                    reservoir[j] = value;
+                }
+            }
+            n += 1;
+        }
+        if n <= SAMPLE_SIZE {
+            return Self::build(reservoir);
+        }
+        let mut sample_counts: BTreeMap<Value, usize> = BTreeMap::new();
+        for value in reservoir {
+            *sample_counts.entry(value).or_insert(0) += 1;
+        }
+        let sample_depth = SAMPLE_SIZE.div_ceil(DEFAULT_BUCKETS).max(1);
+        let mut exact: BTreeMap<Value, usize> = sample_counts
+            .iter()
+            .filter(|(_, count)| **count >= sample_depth)
+            .map(|(value, _)| (value.clone(), 0))
+            .collect();
+        if !exact.is_empty() {
+            for value in make_values() {
+                if let Some(slot) = exact.get_mut(&value) {
+                    *slot += 1;
+                }
+            }
+        }
+        let scale = n as f64 / SAMPLE_SIZE as f64;
+        let mut counts = exact;
+        for (value, count) in sample_counts {
+            counts
+                .entry(value)
+                .or_insert_with(|| ((count as f64 * scale).round() as usize).max(1));
+        }
+        Self::from_counts(counts, DEFAULT_BUCKETS)
     }
 
     /// Total entries (attribute occurrences) summarised.
@@ -362,6 +445,40 @@ mod tests {
         assert_eq!(h.distinct(), 3);
         assert!(h.eq_count(&Value::str("c")) >= 1.0);
         assert_eq!(h.eq_count(&Value::str("z")), 0.0);
+    }
+
+    #[test]
+    fn sampled_build_is_deterministic_and_keeps_heavy_hitters_exact() {
+        // 100k entries: value 0 carries 40%, value 1 carries 20%, tail uniform
+        // over 40k distinct values — well above the sampling threshold.
+        let make = || {
+            std::iter::repeat_n(0i64, 40_000)
+                .chain(std::iter::repeat_n(1, 20_000))
+                .chain(1_000..41_000)
+                .map(Value::int)
+        };
+        assert!(make().count() > SAMPLE_THRESHOLD);
+        let a = AttrHistogram::build_sampled(make);
+        let b = AttrHistogram::build_sampled(make);
+        assert_eq!(a, b, "sampled construction must be deterministic");
+        // Heavy hitters get exact population counts despite sampling.
+        assert_eq!(a.eq_count(&Value::int(0)), 40_000.0);
+        assert_eq!(a.eq_count(&Value::int(1)), 20_000.0);
+        // The scaled tail keeps the self-join estimate near the truth.
+        let truth = 40_000.0f64 * 40_000.0 + 20_000.0 * 20_000.0 + 40_000.0;
+        let est = a.eq_join_rows(&a);
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "sampled estimate {est} strays from true {truth}"
+        );
+    }
+
+    #[test]
+    fn sampled_build_below_the_reservoir_is_exact() {
+        let make = || (0..100i64).map(Value::int);
+        let sampled = AttrHistogram::build_sampled(make);
+        let exact = AttrHistogram::build(make());
+        assert_eq!(sampled, exact);
     }
 
     #[test]

@@ -31,7 +31,9 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
+use crate::column::{AttrColumn, StringInterner};
 use crate::histogram::AttrHistogram;
 use crate::oid::Oid;
 use crate::types::{ClassName, Label};
@@ -84,16 +86,22 @@ impl AttrIndex {
     }
 }
 
-/// The per-instance cache of attribute indexes **and histograms**, keyed by
-/// class and attribute label. The nesting (class, then label) lets probes —
-/// the hot path — look up with borrowed keys, allocation-free. Histograms
-/// ride in the same cache so one `invalidate_class` drops both: a mutation
-/// can never leave a stale histogram behind an up-to-date index or vice
-/// versa.
+/// The per-instance cache of attribute indexes, histograms, **and columnar
+/// projections** (row indexes + attribute columns, see [`crate::column`]),
+/// keyed by class and attribute label. The nesting (class, then label) lets
+/// probes — the hot path — look up with borrowed keys, allocation-free. All
+/// derived structures ride in the same cache so one `invalidate_class` drops
+/// them together: a mutation can never leave a stale histogram or column
+/// behind an up-to-date index or vice versa. The string interner is the one
+/// exception — it is append-only (codes never change meaning), so
+/// invalidation keeps it and rebuilt columns re-derive the same codes.
 #[derive(Debug, Default)]
 pub struct IndexCache {
     indexes: BTreeMap<ClassName, BTreeMap<Label, AttrIndex>>,
     histograms: BTreeMap<ClassName, BTreeMap<Label, AttrHistogram>>,
+    columns: BTreeMap<ClassName, BTreeMap<Label, Arc<AttrColumn>>>,
+    row_indexes: BTreeMap<ClassName, Arc<Vec<Oid>>>,
+    interner: StringInterner,
 }
 
 impl IndexCache {
@@ -130,17 +138,58 @@ impl IndexCache {
             .insert(attr, histogram);
     }
 
-    /// Drop every index *and histogram* of `class` (called on any mutation
-    /// touching the class).
+    /// The columnar projection of `(class, attr)`, if it has been built.
+    pub fn get_column(&self, class: &ClassName, attr: &str) -> Option<&Arc<AttrColumn>> {
+        self.columns.get(class)?.get(attr)
+    }
+
+    /// Whether a column for `(class, attr)` exists.
+    pub fn contains_column(&self, class: &ClassName, attr: &str) -> bool {
+        self.get_column(class, attr).is_some()
+    }
+
+    /// Install a freshly built column.
+    pub fn insert_column(&mut self, class: ClassName, attr: Label, column: Arc<AttrColumn>) {
+        self.columns.entry(class).or_default().insert(attr, column);
+    }
+
+    /// The row index (extent identities in extent order) of `class`, if built.
+    pub fn get_row_index(&self, class: &ClassName) -> Option<&Arc<Vec<Oid>>> {
+        self.row_indexes.get(class)
+    }
+
+    /// Install a freshly built row index.
+    pub fn insert_row_index(&mut self, class: ClassName, rows: Arc<Vec<Oid>>) {
+        self.row_indexes.insert(class, rows);
+    }
+
+    /// The shared string dictionary of the columnar cache.
+    pub fn interner(&self) -> &StringInterner {
+        &self.interner
+    }
+
+    /// Mutable access to the dictionary (column builds intern through this).
+    pub fn interner_mut(&mut self) -> &mut StringInterner {
+        &mut self.interner
+    }
+
+    /// Drop every index, histogram, column, and row index of `class` (called
+    /// on any mutation touching the class). The string dictionary survives:
+    /// it is append-only, so stale codes cannot be re-read wrongly.
     pub fn invalidate_class(&mut self, class: &ClassName) {
         self.indexes.remove(class);
         self.histograms.remove(class);
+        self.columns.remove(class);
+        self.row_indexes.remove(class);
     }
 
-    /// Drop everything.
+    /// Drop everything, dictionary included.
     pub fn clear(&mut self) {
         self.indexes.clear();
         self.histograms.clear();
+        self.columns.clear();
+        self.row_indexes.clear();
+        self.interner = StringInterner::new();
     }
 
     /// Number of built `(class, attribute)` indexes.
@@ -199,6 +248,27 @@ mod tests {
         assert!(cache.contains_histogram(&b, "x"));
         cache.clear();
         assert!(!cache.contains_histogram(&b, "x"));
+    }
+
+    #[test]
+    fn columns_share_invalidation_but_the_dictionary_survives() {
+        let mut cache = IndexCache::default();
+        let a = ClassName::new("A");
+        let code = cache.interner_mut().intern("hot").unwrap();
+        let values = [Some(Value::str("hot"))];
+        let refs: Vec<Option<&Value>> = values.iter().map(Option::as_ref).collect();
+        let col = Arc::new(AttrColumn::build(&refs, cache.interner_mut()));
+        cache.insert_column(a.clone(), "t".to_string(), col);
+        cache.insert_row_index(a.clone(), Arc::new(vec![Oid::new(a.clone(), 0)]));
+        assert!(cache.contains_column(&a, "t"));
+        assert!(cache.get_row_index(&a).is_some());
+        cache.invalidate_class(&a);
+        assert!(!cache.contains_column(&a, "t"));
+        assert!(cache.get_row_index(&a).is_none());
+        // Append-only dictionary survives invalidation: same string, same code.
+        assert_eq!(cache.interner().code_of("hot"), Some(code));
+        cache.clear();
+        assert!(cache.interner().is_empty());
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! instance's extents (Section 2.1).
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
+use crate::column::AttrColumn;
 use crate::error::ModelError;
-use crate::histogram::AttrHistogram;
+use crate::histogram::{AttrHistogram, SAMPLE_THRESHOLD};
 use crate::index::{value_hash, AttrIndex, IndexCache};
 use crate::oid::{Oid, OidGen};
 use crate::types::ClassName;
@@ -128,6 +129,34 @@ impl Instance {
             log.push(Mutation::Insert(oid.clone(), value.clone()));
         }
         self.values.insert(oid, value);
+        Ok(())
+    }
+
+    /// Insert many objects of one class at once, paying the cache
+    /// invalidation and per-class extent lookup once for the whole batch
+    /// instead of once per object. Identities must belong to `class`. On a
+    /// duplicate identity (against the instance or within the batch) nothing
+    /// is inserted. Snapshot restore decodes through this path.
+    pub fn bulk_insert(&mut self, class: &ClassName, objects: Vec<(Oid, Value)>) -> Result<()> {
+        if objects.is_empty() {
+            return Ok(());
+        }
+        let mut batch_seen = BTreeSet::new();
+        for (oid, _) in &objects {
+            debug_assert_eq!(oid.class(), class, "bulk_insert identity of foreign class");
+            if self.values.contains_key(oid) || !batch_seen.insert(oid.clone()) {
+                return Err(ModelError::DuplicateOid(oid.to_string()));
+            }
+        }
+        self.cache_write().invalidate_class(class);
+        let extent = self.extents.entry(class.clone()).or_default();
+        for (oid, value) in objects {
+            extent.insert(oid.clone());
+            if let Some(log) = &mut self.mutation_log {
+                log.push(Mutation::Insert(oid.clone(), value.clone()));
+            }
+            self.values.insert(oid, value);
+        }
         Ok(())
     }
 
@@ -307,14 +336,25 @@ impl Instance {
     /// (at most ~2× [`histogram::DEFAULT_BUCKETS`](crate::histogram::DEFAULT_BUCKETS)
     /// buckets, so the copy is cheap); callers that estimate repeatedly
     /// should memoise on their side, as `cpl`'s planner statistics do.
+    /// Above [`SAMPLE_THRESHOLD`] rows the build switches to deterministic
+    /// reservoir sampling with exact heavy-hitter counts (see
+    /// [`AttrHistogram::build_sampled`]), capping build cost on very large
+    /// extents.
     pub fn attr_histogram(&self, class: &ClassName, attr: &str) -> AttrHistogram {
         if let Some(h) = self.cache_read().get_histogram(class, attr) {
             return h.clone();
         }
-        let built = AttrHistogram::build(
-            self.objects(class)
-                .filter_map(|(_, value)| value.project(attr).cloned()),
-        );
+        let built = if self.extent_size(class) > SAMPLE_THRESHOLD {
+            AttrHistogram::build_sampled(|| {
+                self.objects(class)
+                    .filter_map(|(_, value)| value.project(attr).cloned())
+            })
+        } else {
+            AttrHistogram::build(
+                self.objects(class)
+                    .filter_map(|(_, value)| value.project(attr).cloned()),
+            )
+        };
         self.cache_write()
             .insert_histogram(class.clone(), attr.to_string(), built.clone());
         built
@@ -324,6 +364,67 @@ impl Instance {
     /// for the stale-histogram invalidation tests.
     pub fn has_attr_histogram(&self, class: &ClassName, attr: &str) -> bool {
         self.cache_read().contains_histogram(class, attr)
+    }
+
+    /// The columnar projection of attribute `attr` over the extent of
+    /// `class` (see [`crate::column`] for the storage layout), built lazily
+    /// on first request and cached alongside the attribute indexes — any
+    /// mutation of the class invalidates all of them together. Row `i` of
+    /// the column corresponds to row `i` of
+    /// [`class_row_index`](Instance::class_row_index).
+    pub fn attr_column(&self, class: &ClassName, attr: &str) -> Arc<AttrColumn> {
+        if let Some(col) = self.cache_read().get_column(class, attr) {
+            return col.clone();
+        }
+        let rows = self.class_row_index(class);
+        let mut cache = self.cache_write();
+        // Another reader may have built the column while we waited for the
+        // write lock; keep the first build so Arc identity stays stable.
+        if let Some(col) = cache.get_column(class, attr) {
+            return col.clone();
+        }
+        let values: Vec<Option<&Value>> = rows
+            .iter()
+            .map(|oid| {
+                self.values
+                    .get(oid)
+                    .expect("extent oid always has a value")
+                    .project(attr)
+            })
+            .collect();
+        let built = Arc::new(AttrColumn::build(&values, cache.interner_mut()));
+        cache.insert_column(class.clone(), attr.to_string(), built.clone());
+        built
+    }
+
+    /// The extent of `class` as a shared, positionally indexable vector in
+    /// extent (ascending identity) order — the row ids of the class's
+    /// columns. Cached with the columns and invalidated with them.
+    pub fn class_row_index(&self, class: &ClassName) -> Arc<Vec<Oid>> {
+        if let Some(rows) = self.cache_read().get_row_index(class) {
+            return rows.clone();
+        }
+        let rows = Arc::new(self.extent(class).cloned().collect::<Vec<_>>());
+        self.cache_write()
+            .insert_row_index(class.clone(), rows.clone());
+        rows
+    }
+
+    /// Whether a column for `(class, attr)` is currently cached. Exposed for
+    /// the invalidation tests.
+    pub fn has_attr_column(&self, class: &ClassName, attr: &str) -> bool {
+        self.cache_read().contains_column(class, attr)
+    }
+
+    /// A snapshot of the columnar string dictionary (code → string). O(1)
+    /// after the first call following an append.
+    pub fn dict_strings(&self) -> Arc<Vec<Arc<str>>> {
+        self.cache_write().interner_mut().snapshot()
+    }
+
+    /// The dictionary code of `s`, if some built column interned it.
+    pub fn dict_code(&self, s: &str) -> Option<u32> {
+        self.cache_read().interner().code_of(s)
     }
 
     /// Whether a probe for `(class, attr)` would hit an already-built index.
@@ -785,6 +886,73 @@ mod tests {
         // Oid-valued attributes are indexable too (join targets).
         let fr_cities = inst.lookup_by_attr(&city, "country", &Value::oid(fr));
         assert_eq!(fr_cities.len(), 1);
+    }
+
+    #[test]
+    fn attr_columns_materialize_and_are_invalidated_by_mutation() {
+        let (mut inst, uk, fr) = euro_instance();
+        let country = ClassName::new("CountryE");
+        let rows = inst.class_row_index(&country);
+        let col = inst.attr_column(&country, "name");
+        assert_eq!(col.rows(), rows.len());
+        assert!(inst.has_attr_column(&country, "name"));
+        // Columns are shared, not rebuilt, until a mutation.
+        assert!(Arc::ptr_eq(&col, &inst.attr_column(&country, "name")));
+        // Every cell round-trips to the row-major projection bit-for-bit.
+        let dict = inst.dict_strings();
+        for (i, oid) in rows.iter().enumerate() {
+            let expected = inst.value(oid).unwrap().project("name").cloned();
+            assert_eq!(col.value_at(i, &dict), expected, "row {i}");
+        }
+        // String cells are dictionary codes into the instance-wide interner.
+        let uk_name = inst.value(&uk).unwrap().project("name").unwrap().clone();
+        let Value::Str(uk_name) = uk_name else {
+            panic!("name is a string");
+        };
+        assert!(inst.dict_code(&uk_name).is_some());
+        // Mutating the class drops its columns and row index, not the dict.
+        let fr_value = inst.value(&fr).unwrap().clone();
+        inst.update(&fr, fr_value).unwrap();
+        assert!(!inst.has_attr_column(&country, "name"));
+        assert_eq!(inst.dict_code(&uk_name), Some(0));
+        // The rebuilt column re-derives the same codes and values.
+        let rebuilt = inst.attr_column(&country, "name");
+        let dict = inst.dict_strings();
+        assert_eq!(rebuilt.value_at(0, &dict), col.value_at(0, &dict));
+    }
+
+    #[test]
+    fn bulk_insert_matches_per_object_inserts() {
+        let class = ClassName::new("C");
+        let objects: Vec<(Oid, Value)> = (0..5)
+            .map(|i| {
+                (
+                    Oid::new(class.clone(), i),
+                    Value::record([("n", Value::int(i as i64))]),
+                )
+            })
+            .collect();
+        let mut bulk = Instance::new("S");
+        bulk.begin_mutation_log();
+        bulk.bulk_insert(&class, objects.clone()).unwrap();
+        let mut single = Instance::new("S");
+        single.begin_mutation_log();
+        for (oid, value) in objects.clone() {
+            single.insert(oid, value).unwrap();
+        }
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.take_mutation_log(), single.take_mutation_log());
+        // A duplicate anywhere in the batch inserts nothing.
+        let before = bulk.clone();
+        let mut batch = vec![(
+            Oid::new(class.clone(), 100),
+            Value::record([("n", Value::int(100))]),
+        )];
+        batch.push(objects[0].clone());
+        assert!(bulk.bulk_insert(&class, batch).is_err());
+        assert_eq!(bulk, before);
+        // Bulk inserts invalidate the derived caches like any mutation.
+        assert!(!bulk.is_empty());
     }
 
     #[test]

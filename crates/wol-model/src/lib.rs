@@ -18,9 +18,23 @@
 //!   identities, and a deterministic Skolem factory ([`SkolemFactory`]) used to
 //!   create identities from key values (the `Mk_C` functions of the paper).
 //!
+//! ## Storage layout
+//!
+//! An [`Instance`] stores its objects row-major — `Oid → Value` — because
+//! mutation, validation and the API boundary all speak whole complex values.
+//! Underneath, the lazy cache on each instance *derives* column-major views
+//! for the hot read paths: per-(class, attribute) typed column chunks with
+//! missing-value bitmaps and a shared string dictionary ([`column`],
+//! [`Instance::attr_column`]), per-attribute hash indexes, and equi-depth
+//! histograms (sampled above [`histogram::SAMPLE_THRESHOLD`] rows). All of
+//! them hang off the same [`index::IndexCache`] and are invalidated together
+//! on mutation, so a derived view can never outlive the rows it was built
+//! from. Row-major remains the source of truth; the columns are a cache.
+//!
 //! The crate is self-contained and has no dependency on the WOL language itself;
 //! it is the substrate every other crate in the workspace builds on.
 
+pub mod column;
 pub mod display;
 pub mod error;
 pub mod histogram;
@@ -35,6 +49,7 @@ pub mod types;
 pub mod validate;
 pub mod values;
 
+pub use column::{AttrColumn, ColumnChunk, ColumnData, ColumnKind, StringInterner, CHUNK_ROWS};
 pub use error::ModelError;
 pub use histogram::{AttrHistogram, HistogramBucket};
 pub use instance::{AttrStats, Instance, Mutation};

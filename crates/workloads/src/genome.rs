@@ -111,6 +111,20 @@ impl Default for GenomeParams {
     }
 }
 
+impl GenomeParams {
+    /// The E6 bench shape (100 clones × 300 markers) scaled `factor`×, for
+    /// the throughput experiments that need extents large enough to measure
+    /// per-row costs (E10 runs 10–100×).
+    pub fn scaled(factor: usize) -> Self {
+        GenomeParams {
+            clones: 100 * factor,
+            markers: 300 * factor,
+            density: 0.6,
+            seed: 22,
+        }
+    }
+}
+
 /// Generate an ACeDB-style store with sparsely populated clone and marker
 /// objects.
 pub fn generate_ace_store(params: &GenomeParams) -> AceStore {

@@ -312,6 +312,64 @@ fn e8_four_thread_execute_is_at_least_2x_single_thread_on_e6_and_e7() {
     }
 }
 
+/// The E10 columnar guard (release mode, run by CI): on a 100× scaled E6
+/// genome extent, the batch-at-a-time columnar executor must answer a
+/// scan→filter→project tower at least 3× faster than the row-at-a-time
+/// executor — measured single-threaded, so the ratio is the vectorization
+/// win, not parallelism — while producing the identical row stream. Debug
+/// builds only assert the differential (the ratio there measures the
+/// allocator, not the kernels).
+#[test]
+fn e10_columnar_scan_filter_is_at_least_3x_row_at_a_time() {
+    use wol_repro::cpl::{self, Expr, Plan};
+    use wol_repro::wol_model::Value;
+
+    let source = genome::generate_source(&GenomeParams::scaled(100));
+    let refs = [&source];
+    let plan = Plan::scan("MarkerS", "M")
+        .filter(Expr::Leq(
+            Box::new(Expr::var("M").proj("position")),
+            Box::new(Expr::Const(Value::int(25_000_000))),
+        ))
+        .map(vec![
+            ("NAME".to_string(), Expr::var("M").proj("name")),
+            ("POS".to_string(), Expr::var("M").proj("position")),
+        ]);
+    let run = |columnar: bool| -> (Vec<cpl::Row>, Duration) {
+        let mut ctx =
+            cpl::expr::EvalCtx::new(&refs[..]).with_parallelism(Parallelism::sequential());
+        ctx.set_columnar(columnar);
+        let mut stats = cpl::ExecStats::default();
+        let start = std::time::Instant::now();
+        let rows = cpl::run_plan(&plan, &mut ctx, &mut stats).expect("plan runs");
+        (rows, start.elapsed())
+    };
+    // Warm the derived column cache so the ratio measures steady-state scan
+    // throughput, not the one-time column build.
+    let (warm_rows, _) = run(true);
+    assert!(!warm_rows.is_empty(), "the tower must select something");
+    // Best-of-two per mode to damp scheduler noise.
+    let measure = |columnar: bool| -> (Vec<cpl::Row>, Duration) {
+        let (rows, first) = run(columnar);
+        let (_, second) = run(columnar);
+        (rows, first.min(second))
+    };
+    let (row_rows, row_secs) = measure(false);
+    let (col_rows, col_secs) = measure(true);
+    assert_eq!(col_rows, row_rows, "columnar and row executors diverged");
+    if cfg!(debug_assertions) {
+        eprintln!("[e10] debug build: the 3x ratio is measured by the release CI run only");
+        return;
+    }
+    let speedup = row_secs.as_secs_f64() / col_secs.as_secs_f64().max(1e-9);
+    eprintln!("[e10] row {row_secs:?}, columnar {col_secs:?} ({speedup:.2}x)");
+    assert!(
+        speedup >= 3.0,
+        "expected a >=3x columnar scan+filter speed-up, got {speedup:.2}x \
+         (row {row_secs:?}, columnar {col_secs:?})"
+    );
+}
+
 /// The full-size E6 acceptance check (100 clones x 300 markers): the genome
 /// join runs on index probes, the ~23M-row cross product is gone (peak
 /// operator output far below 1M rows), and the execute phase — ~20-60s
