@@ -1,0 +1,186 @@
+//! Experiment E11 — sustained traffic over a standing materialized pipeline.
+//!
+//! PR 8 adds incremental view maintenance: a [`morphase::MaterializedPipeline`]
+//! absorbs mutation batches against the genome source and repairs the
+//! warehouse in place, bit-identical to a from-scratch re-run, behind a
+//! many-readers/one-maintainer [`morphase::PipelineService`]. This bench
+//! drives a mixed read/update stream over a scaled genome warehouse and
+//! reports:
+//!
+//! * per-batch incremental repair latency (p50/p99) for in-place traffic,
+//!   and the incremental-vs-full-rerun speedup ratio (the ≥10× release
+//!   guard lives in `tests/perf_regression.rs`);
+//! * concurrent reader snapshot latencies (p50/p99) while the maintainer
+//!   absorbs the stream;
+//! * the outcome mix (in-place / rebuild / re-run) a mixed stream produces.
+//!
+//! Results land in `BENCH_e11.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphase::{MaterializedPipeline, PipelineOptions, PipelineService};
+use wol_model::ClassName;
+use workloads::genome::{self, GenomeParams};
+use workloads::traffic::{TrafficGen, TrafficWeights};
+
+const BATCH_OPS: usize = 4;
+const STEADY_BATCHES: usize = 200;
+const MIXED_BATCHES: usize = 100;
+
+fn pipeline(params: &GenomeParams) -> MaterializedPipeline {
+    MaterializedPipeline::new(
+        &genome::program(),
+        vec![genome::generate_source(params)],
+        PipelineOptions::default(),
+    )
+    .expect("genome pipeline builds")
+}
+
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let params = GenomeParams::scaled(4); // 400 clones, 1200 markers
+    let mut group = c.benchmark_group("e11_maintenance");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+
+    // Full re-run cost: the baseline every incremental batch avoids. The
+    // incremental side is measured by hand below — a criterion `b.iter`
+    // over `apply_batch` would advance the source without bound (criterion
+    // picks the iteration count from the fast early batches).
+    let rerun_pipeline = pipeline(&params);
+    group.bench_function("full_rerun", |b| {
+        b.iter(|| rerun_pipeline.rerun_oracle().expect("oracle runs"))
+    });
+    group.finish();
+
+    // Steady-state phase for the JSON summary: in-place traffic, one
+    // pipeline, per-batch latencies measured by hand.
+    let mut p = pipeline(&params);
+    let mut gen = TrafficGen::new(p.source(0).unwrap(), 22, TrafficWeights::in_place());
+    let rerun_start = Instant::now();
+    p.rerun_oracle().expect("oracle runs");
+    let rerun_once = rerun_start.elapsed();
+    let mut batch_lat: Vec<Duration> = Vec::with_capacity(STEADY_BATCHES);
+    for _ in 0..STEADY_BATCHES {
+        let batch = gen.next_batch(BATCH_OPS);
+        let start = Instant::now();
+        p.apply_batch(&batch).expect("batch applies");
+        batch_lat.push(start.elapsed());
+    }
+    let steady_stats = p.stats().clone();
+    assert_eq!(
+        steady_stats.inplace_batches, STEADY_BATCHES as u64,
+        "the in-place preset must never rebuild"
+    );
+    // Bit-identity against the oracle at the end of the stream.
+    let oracle = p.rerun_oracle().expect("oracle runs");
+    assert!(
+        p.target().deep_eq_report(&oracle.target).is_none(),
+        "maintained target must equal the from-scratch oracle"
+    );
+    batch_lat.sort();
+    let batch_p50 = percentile(&batch_lat, 50);
+    let batch_p99 = percentile(&batch_lat, 99);
+
+    // Concurrent phase: readers hammer snapshots while the maintainer
+    // absorbs a mixed stream (rebuild escalations included).
+    let service = PipelineService::start(pipeline(&params));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut read_lat: Vec<Duration> = Vec::new();
+    let marker_d = ClassName::new("MarkerD");
+    let clone_d = ClassName::new("CloneD");
+    std::thread::scope(|scope| {
+        let service = &service;
+        let stop_flag = &stop;
+        let marker_d = &marker_d;
+        let clone_d = &clone_d;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    while !stop_flag.load(Ordering::Relaxed) {
+                        let start = Instant::now();
+                        let snap = service.snapshot();
+                        // A consistency probe: every marker's clone ref
+                        // resolves within the same snapshot.
+                        for oid in snap.extent(marker_d).take(32) {
+                            if let Some(v) = snap.value(oid) {
+                                if let Some(wol_model::Value::Oid(c)) = v.project("clone") {
+                                    assert!(snap.contains(c), "dangling clone ref in a snapshot");
+                                    assert_eq!(c.class(), clone_d);
+                                }
+                            }
+                        }
+                        lat.push(start.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut mixed_gen = TrafficGen::new(
+            &genome::generate_source(&params),
+            33,
+            TrafficWeights::mixed(),
+        );
+        for _ in 0..MIXED_BATCHES {
+            let batch = mixed_gen.next_batch(BATCH_OPS);
+            service.apply(batch).expect("mixed batch applies");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            read_lat.extend(handle.join().expect("reader thread"));
+        }
+    });
+    let mixed_pipeline = service.shutdown().expect("clean shutdown");
+    let mixed_stats = mixed_pipeline.stats().clone();
+    let mixed_oracle = mixed_pipeline.rerun_oracle().expect("oracle runs");
+    assert!(
+        mixed_pipeline
+            .target()
+            .deep_eq_report(&mixed_oracle.target)
+            .is_none(),
+        "mixed-stream target must equal the from-scratch oracle"
+    );
+    read_lat.sort();
+    let read_p50 = percentile(&read_lat, 50);
+    let read_p99 = percentile(&read_lat, 99);
+
+    println!("{}", morphase::render_maintenance_report(&mixed_stats));
+
+    bench::BenchJson::new()
+        .str("bench", "e11_maintenance")
+        .str("workload", "e6_genome_x4")
+        .int("batch_ops", BATCH_OPS as u64)
+        .int("steady_batches", STEADY_BATCHES as u64)
+        .num("full_rerun_secs", rerun_once.as_secs_f64())
+        .num("incremental_p50_secs", batch_p50.as_secs_f64())
+        .num("incremental_p99_secs", batch_p99.as_secs_f64())
+        .num(
+            "incremental_vs_rerun_p50",
+            rerun_once.as_secs_f64() / batch_p50.as_secs_f64().max(1e-9),
+        )
+        .int("steady_rows_added", steady_stats.rows_added)
+        .int("steady_objects_repaired", steady_stats.objects_repaired)
+        .int("mixed_batches", mixed_stats.batches)
+        .int("mixed_inplace", mixed_stats.inplace_batches)
+        .int("mixed_rebuilds", mixed_stats.rebuild_batches)
+        .int("read_samples", read_lat.len() as u64)
+        .num("read_p50_secs", read_p50.as_secs_f64())
+        .num("read_p99_secs", read_p99.as_secs_f64())
+        .stamped()
+        .write("BENCH_e11.json");
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

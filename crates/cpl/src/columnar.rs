@@ -541,6 +541,12 @@ pub(crate) fn try_run(
     if !ctx.columnar_enabled() || ctx.sources().len() != 1 {
         return Ok(None);
     }
+    // Delta evaluation narrows scans to restricted identity sets; the
+    // vectorized pipeline reads whole column chunks, so defer to `run_plan`
+    // where the restriction applies per scan.
+    if ctx.has_scan_restrictions() {
+        return Ok(None);
+    }
     let Some(pipe) = extract(plan) else {
         return Ok(None);
     };

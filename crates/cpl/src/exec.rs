@@ -63,6 +63,10 @@ pub struct ExecStats {
     /// Peak number of rows materialised by any single operator — the memory
     /// high-water mark that exposes accidental cross products.
     pub max_intermediate_rows: usize,
+    /// Scans executed under a delta restriction
+    /// ([`EvalCtx::restrict_scan`]): how much of the work was answered from
+    /// changed-identity sets instead of full extents.
+    pub restricted_scans: usize,
 }
 
 impl ExecStats {
@@ -75,6 +79,7 @@ impl ExecStats {
         self.index_probes += other.index_probes;
         self.probe_cache_hits += other.probe_cache_hits;
         self.max_intermediate_rows = self.max_intermediate_rows.max(other.max_intermediate_rows);
+        self.restricted_scans += other.restricted_scans;
     }
 
     pub(crate) fn record_operator_output(&mut self, rows: usize) {
@@ -182,6 +187,8 @@ where
     let pool = ctx.pool();
     let sources = ctx.sources().to_vec();
     let sources = &sources;
+    let restrictions = ctx.scan_restrictions_map().clone();
+    let restrictions = &restrictions;
     let work = &work;
     let jobs: Vec<wol_model::Job<'_, (ExecStats, Option<SkolemClaims>, Result<T>)>> = partitions
         .into_iter()
@@ -189,6 +196,7 @@ where
             Box::new(move || {
                 let claims = with_claims.then(SkolemClaims::new);
                 let mut worker_ctx = EvalCtx::worker(sources, claims);
+                worker_ctx.set_scan_restrictions(restrictions.clone());
                 let mut worker_stats = ExecStats::default();
                 let result = work(partition, &mut worker_ctx, &mut worker_stats);
                 (worker_stats, worker_ctx.take_claims(), result)
@@ -413,6 +421,86 @@ fn best_indexable_side(
         }
     }
     best.map(|(_, side)| side)
+}
+
+/// The number of identities a plan side's underlying scan can emit under
+/// the active restrictions: the restriction set's size if the scan is
+/// pinned, the class's full extent size otherwise. Filters and maps only
+/// shrink the row count, so this is an upper bound on the side's driving
+/// cost — enough to orient a delta join so the Δ-pinned slot drives.
+/// `None` when the side bottoms out in anything but a scan.
+fn scan_cardinality(plan: &Plan, ctx: &EvalCtx<'_>) -> Option<usize> {
+    match plan {
+        Plan::Scan { class, var } => Some(match ctx.scan_restriction(var) {
+            Some(keep) => keep.len(),
+            None => ctx
+                .sources()
+                .iter()
+                .map(|source| source.extent_size(class))
+                .sum(),
+        }),
+        Plan::Filter { input, .. } | Plan::Map { input, .. } => scan_cardinality(input, ctx),
+        _ => None,
+    }
+}
+
+/// Describe the output order of a plan as a sequence of scan variables, or
+/// `None` if no such description exists.
+///
+/// When this returns `Some(vars)`, a fresh (unrestricted) [`run_plan`] emits
+/// rows in the lexicographic order of the tuple `(row[vars[0]], row[vars[1]],
+/// …)` of object identities, and that tuple is unique per output row. The
+/// incremental maintainer leans on both facts: the tuple is a stable row key
+/// (source identities are never reused), and a `BTreeMap` over those keys
+/// replays rows in exactly the order a from-scratch run would produce them.
+///
+/// The rules mirror the operator implementations in this module:
+///
+/// * `Scan` emits its extent in ascending identity order → `[var]`.
+/// * `Filter` and `Map` preserve input order (dropping rows keeps relative
+///   order, so lexicographic order over the surviving keys still holds).
+/// * `NestedLoopJoin` and `CrossJoin` emit `lex(left, right)`.
+/// * `HashJoin` emits `lex(probe side, build side)`: the generic path probes
+///   with `right` against a build over `left`, while the index fast path
+///   drives from the non-indexed side with matches in ascending extent order.
+///   For unrestricted runs — the only ones this contract covers — the branch
+///   is statically determined by [`indexable_side`] (statistics only pick
+///   *which attribute* to probe, never whether; delta restrictions may flip
+///   the driving side, but restricted emission order is not part of the
+///   contract), so the order is knowable without row counts.
+/// * `Distinct` keeps first occurrences, which depends on value equality
+///   rather than identity tuples → untraceable.
+pub fn scan_order_trace(plan: &Plan) -> Option<Vec<String>> {
+    fn trace(plan: &Plan, out: &mut Vec<String>) -> bool {
+        match plan {
+            Plan::Scan { var, .. } => {
+                out.push(var.clone());
+                true
+            }
+            Plan::Filter { input, .. } | Plan::Map { input, .. } => trace(input, out),
+            Plan::Distinct { .. } => false,
+            Plan::NestedLoopJoin { left, right, .. } | Plan::CrossJoin { left, right } => {
+                trace(left, out) && trace(right, out)
+            }
+            Plan::HashJoin { left, right, keys } => {
+                let left_keys: Vec<&Expr> = keys.iter().map(|(l, _)| l).collect();
+                let right_keys: Vec<&Expr> = keys.iter().map(|(_, r)| r).collect();
+                if indexable_side(left, left_keys.iter().copied()).is_none()
+                    && indexable_side(right, right_keys.iter().copied()).is_some()
+                {
+                    // Fast path probes the right index driving from `left`:
+                    // left varies slowest.
+                    trace(left, out) && trace(right, out)
+                } else {
+                    // Fast path over a left index and the generic path both
+                    // probe with `right`: right varies slowest.
+                    trace(right, out) && trace(left, out)
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    trace(plan, &mut out).then_some(out)
 }
 
 /// The hash-join index fast path: drive the join from `driving`'s rows,
@@ -714,11 +802,21 @@ fn verified_candidates(
     stats: &mut ExecStats,
 ) -> Result<Vec<Oid>> {
     stats.index_probes += 1;
+    // The probed scan's delta restriction applies here, as a candidate
+    // filter: the index answers from the full extent, so membership in the
+    // restriction set is re-checked per candidate identity.
+    let restriction = ctx.scan_restriction(&side.var).cloned();
     let mut matched = Vec::new();
     for instance in sources {
         'candidates: for oid in
             instance.lookup_by_attr(&side.class, &side.attr, &key_values[side.key_index])
         {
+            if restriction
+                .as_ref()
+                .is_some_and(|keep| !keep.contains(&oid))
+            {
+                continue 'candidates;
+            }
             let mut probe_row = base.clone();
             probe_row.insert(side.var.clone(), Value::Oid(oid.clone()));
             for (i, scan_key) in scan_keys.iter().enumerate() {
@@ -824,9 +922,18 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
     }
     let rows = match plan {
         Plan::Scan { class, var } => {
+            let restriction = ctx.scan_restriction(var).cloned();
+            if restriction.is_some() {
+                stats.restricted_scans += 1;
+            }
             let mut rows = Vec::new();
             for instance in ctx.sources().to_vec() {
                 for oid in instance.extent(class) {
+                    if let Some(keep) = &restriction {
+                        if !keep.contains(oid) {
+                            continue;
+                        }
+                    }
                     let mut row = Row::new();
                     row.insert(var.clone(), Value::Oid(oid.clone()));
                     rows.push(row);
@@ -842,10 +949,15 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             if let Plan::Scan { class, var } = input.as_ref() {
                 let extent_total: usize = ctx.sources().iter().map(|i| i.extent_size(class)).sum();
                 if let Some(workers) = parallel_workers(ctx, extent_total, false, [predicate]) {
+                    let restriction = ctx.scan_restriction(var).cloned();
+                    if restriction.is_some() {
+                        stats.restricted_scans += 1;
+                    }
                     let oids: Vec<Oid> = ctx
                         .sources()
                         .iter()
                         .flat_map(|instance| instance.extent(class))
+                        .filter(|oid| restriction.as_ref().is_none_or(|keep| keep.contains(*oid)))
                         .cloned()
                         .collect();
                     // Account for the scan exactly like the sequential path
@@ -1060,10 +1172,40 @@ pub fn run_plan(plan: &Plan, ctx: &mut EvalCtx<'_>, stats: &mut ExecStats) -> Re
             // from the other side's rows and answer each key with an
             // attribute-index probe into the source instances, probing on
             // the attribute with the smallest expected candidate lists.
-            if let Some(side) = best_indexable_side(left, &left_keys, ctx.sources()) {
+            // Delta restrictions keep the fast path: the driving side
+            // evaluates through `run_plan`, where its own restriction
+            // applies, and `verified_candidates` post-filters probe results
+            // by the indexed variable's set (the attribute indexes answer
+            // from the full extent and would otherwise resurrect filtered
+            // identities). This is exactly what keeps semi-naive delta
+            // joins O(delta): a handful of delta rows drive index probes
+            // instead of a full build/probe pass — even in the rotations
+            // that pin the indexed side to the "old" (near-full) extent.
+            let left_side = best_indexable_side(left, &left_keys, ctx.sources());
+            let right_side = best_indexable_side(right, &right_keys, ctx.sources());
+            // When both orientations are available and a rotation is active,
+            // drive from whichever side is pinned to the smaller identity
+            // set — the pivot slot's Δ — so the delta rows do the probing,
+            // whichever side of the join they happen to land on.
+            if ctx.has_scan_restrictions() {
+                if let (Some(ls), Some(rs)) = (&left_side, &right_side) {
+                    if let (Some(dl), Some(dr)) =
+                        (scan_cardinality(left, ctx), scan_cardinality(right, ctx))
+                    {
+                        let side = if dl < dr { rs } else { ls };
+                        let (driving, driving_keys, scan_keys) = if dl < dr {
+                            (left, &left_keys, &right_keys)
+                        } else {
+                            (right, &right_keys, &left_keys)
+                        };
+                        return probe_join(driving, driving_keys, scan_keys, side, ctx, stats);
+                    }
+                }
+            }
+            if let Some(side) = left_side {
                 return probe_join(right, &right_keys, &left_keys, &side, ctx, stats);
             }
-            if let Some(side) = best_indexable_side(right, &right_keys, ctx.sources()) {
+            if let Some(side) = right_side {
                 return probe_join(left, &left_keys, &right_keys, &side, ctx, stats);
             }
             let left_rows = run_plan(left, ctx, stats)?;
@@ -1676,10 +1818,12 @@ mod tests {
             index_probes: 5,
             probe_cache_hits: 7,
             max_intermediate_rows: 6,
+            restricted_scans: 8,
         };
         let b = a;
         a.absorb(b);
         assert_eq!(a.rows_scanned, 2);
+        assert_eq!(a.restricted_scans, 16);
         assert_eq!(a.objects_written, 8);
         assert_eq!(a.index_probes, 10);
         assert_eq!(a.probe_cache_hits, 14);
@@ -2389,5 +2533,140 @@ mod tests {
         let mut stats = ExecStats::default();
         let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
         assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn scan_restrictions_narrow_extents_and_bypass_index_probes() {
+        let inst = euro_instance();
+        let refs = [&inst];
+        let cities: Vec<Oid> = inst.extent(&ClassName::new("CityE")).cloned().collect();
+        // Restricting CityE — the *driving* side — keeps the index fast
+        // path: the one surviving delta row probes the CountryE index, and
+        // the restriction applies where the driving rows are produced.
+        let plan = Plan::scan("CityE", "E").hash_join(
+            Plan::scan("CountryE", "C"),
+            Expr::var("E").path("country.name"),
+            Expr::var("C").proj("name"),
+        );
+        let mut ctx = EvalCtx::new(&refs);
+        ctx.restrict_scan(
+            "E",
+            std::sync::Arc::new(std::iter::once(cities[2].clone()).collect()),
+        );
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["E"], Value::Oid(cities[2].clone()));
+        assert_eq!(stats.index_probes, 1);
+        assert_eq!(stats.restricted_scans, 1);
+        // Restricting CountryE — the *indexed* side — also keeps the fast
+        // path: the index answers from the full extent, and the probe
+        // filters each candidate against the restriction set, so the
+        // filtered-out identities never resurface. No scan of C actually
+        // runs, so no restricted scan is recorded.
+        let countries: Vec<Oid> = inst.extent(&ClassName::new("CountryE")).cloned().collect();
+        let mut ctx = EvalCtx::new(&refs);
+        ctx.restrict_scan(
+            "C",
+            std::sync::Arc::new(std::iter::once(countries[0].clone()).collect()),
+        );
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert!(stats.index_probes > 0);
+        assert_eq!(stats.restricted_scans, 0);
+        assert!(!rows.is_empty());
+        assert!(rows
+            .iter()
+            .all(|row| row["C"] == Value::Oid(countries[0].clone())));
+        // An empty restriction yields no rows at all.
+        let mut ctx = EvalCtx::new(&refs);
+        ctx.restrict_scan("E", std::sync::Arc::new(Default::default()));
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert!(rows.is_empty());
+        // Clearing restrictions restores the full result and the fast path.
+        let mut ctx = EvalCtx::new(&refs);
+        ctx.restrict_scan("E", std::sync::Arc::new(Default::default()));
+        ctx.clear_scan_restrictions();
+        let mut stats = ExecStats::default();
+        let rows = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(stats.restricted_scans, 0);
+        assert!(stats.index_probes > 0);
+    }
+
+    #[test]
+    fn scan_order_trace_mirrors_operator_order() {
+        // Scan → its own var; Filter/Map pass through.
+        let plan = Plan::scan("CityE", "E")
+            .filter(Expr::var("E").proj("is_capital"))
+            .map(vec![("N".to_string(), Expr::var("E").proj("name"))]);
+        assert_eq!(scan_order_trace(&plan), Some(vec!["E".to_string()]));
+        // Nested loop: left varies slowest.
+        let plan = Plan::scan("CityE", "E").join(Plan::scan("CountryE", "C"), None);
+        assert_eq!(
+            scan_order_trace(&plan),
+            Some(vec!["E".to_string(), "C".to_string()])
+        );
+        // Hash join with an indexable right side probes with the left, so
+        // the left side varies slowest.
+        let plan = Plan::scan("CityE", "E").hash_join(
+            Plan::scan("CountryE", "C"),
+            Expr::var("E").path("country.name"),
+            Expr::var("C").proj("name"),
+        );
+        assert_eq!(
+            scan_order_trace(&plan),
+            Some(vec!["E".to_string(), "C".to_string()])
+        );
+        // Generic hash join (computed keys both sides) probes with the
+        // right side, so the right varies slowest.
+        let plan = Plan::scan("CityE", "E").hash_join(
+            Plan::scan("CountryE", "C"),
+            Expr::var("E").path("country.name"),
+            Expr::var("C").path("capital.name"),
+        );
+        assert_eq!(
+            scan_order_trace(&plan),
+            Some(vec!["C".to_string(), "E".to_string()])
+        );
+        // Distinct is untraceable: first-occurrence order depends on values.
+        let plan = Plan::scan("CityE", "E").distinct();
+        assert_eq!(scan_order_trace(&plan), None);
+    }
+
+    #[test]
+    fn restricted_runs_match_filtered_full_runs() {
+        // A restricted evaluation must produce exactly the rows of the full
+        // evaluation whose restricted scan var falls in the kept set — the
+        // correctness contract the delta evaluator depends on.
+        let inst = euro_instance();
+        let refs = [&inst];
+        let cities: Vec<Oid> = inst.extent(&ClassName::new("CityE")).cloned().collect();
+        let keep: std::collections::BTreeSet<Oid> =
+            [cities[0].clone(), cities[2].clone()].into_iter().collect();
+        let plan = Plan::scan("CityE", "E")
+            .join(
+                Plan::scan("CountryE", "C"),
+                Some(
+                    Expr::var("E")
+                        .path("country.name")
+                        .eq(Expr::var("C").proj("name")),
+                ),
+            )
+            .filter(Expr::var("E").proj("is_capital"));
+        let mut ctx = EvalCtx::new(&refs);
+        let mut stats = ExecStats::default();
+        let full = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        let expected: Vec<Row> = full
+            .iter()
+            .filter(|row| matches!(&row["E"], Value::Oid(o) if keep.contains(o)))
+            .cloned()
+            .collect();
+        let mut ctx = EvalCtx::new(&refs);
+        ctx.restrict_scan("E", std::sync::Arc::new(keep));
+        let mut stats = ExecStats::default();
+        let restricted = run_plan(&plan, &mut ctx, &mut stats).unwrap();
+        assert_eq!(restricted, expected);
     }
 }

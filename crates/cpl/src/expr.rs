@@ -274,6 +274,15 @@ pub struct EvalCtx<'a> {
     /// columnar/row differential contract — equal `ExecStats` — is not
     /// trivially violated by the path that ran).
     columnar_stats: crate::exec::ColumnarStats,
+    /// Delta-aware execution: per scan *variable*, the only identities the
+    /// scan may emit. Installed by the incremental maintainer
+    /// (`morphase::maintain`) to run a plan restricted to a mutation delta —
+    /// the semi-naive rotation. Scans apply their restriction directly; the
+    /// index-probe fast path keeps firing and post-filters probe candidates
+    /// by the probed variable's set (the attribute indexes answer from the
+    /// full extent and do not see the restriction themselves). Only the
+    /// columnar tower steps aside while any restriction is active.
+    scan_restrictions: BTreeMap<String, std::sync::Arc<std::collections::BTreeSet<wol_model::Oid>>>,
 }
 
 /// Process-wide default for the columnar executor: on, unless `WOL_COLUMNAR`
@@ -309,6 +318,7 @@ impl<'a> EvalCtx<'a> {
             shard_stats: Vec::new(),
             columnar: columnar_default(),
             columnar_stats: crate::exec::ColumnarStats::default(),
+            scan_restrictions: BTreeMap::new(),
         }
     }
 
@@ -328,6 +338,7 @@ impl<'a> EvalCtx<'a> {
             shard_stats: Vec::new(),
             columnar: columnar_default(),
             columnar_stats: crate::exec::ColumnarStats::default(),
+            scan_restrictions: BTreeMap::new(),
         }
     }
 
@@ -488,6 +499,55 @@ impl<'a> EvalCtx<'a> {
     /// The instances visible to this context.
     pub fn sources(&self) -> &[&'a Instance] {
         &self.sources
+    }
+
+    /// Restrict the scan bound to `var` to the given identity set (the
+    /// delta-evaluation hook: a semi-naive rotation pins one scan slot to the
+    /// changed identities and later slots to the pre-batch extent). The
+    /// restriction is keyed by scan *variable*, so two scans of the same
+    /// class restrict independently.
+    pub fn restrict_scan(
+        &mut self,
+        var: impl Into<String>,
+        oids: std::sync::Arc<std::collections::BTreeSet<wol_model::Oid>>,
+    ) {
+        self.scan_restrictions.insert(var.into(), oids);
+    }
+
+    /// Drop every scan restriction (back to full-extent evaluation).
+    pub fn clear_scan_restrictions(&mut self) {
+        self.scan_restrictions.clear();
+    }
+
+    /// The active restriction for a scan variable, if any.
+    pub(crate) fn scan_restriction(
+        &self,
+        var: &str,
+    ) -> Option<&std::sync::Arc<std::collections::BTreeSet<wol_model::Oid>>> {
+        self.scan_restrictions.get(var)
+    }
+
+    /// Whether any scan restriction is active (gates the columnar tower,
+    /// which answers scans from unrestricted structures).
+    pub fn has_scan_restrictions(&self) -> bool {
+        !self.scan_restrictions.is_empty()
+    }
+
+    /// The full restriction map, for handing to worker contexts (the
+    /// parallel operators evaluate probe candidates off the main context and
+    /// must observe the same deltas).
+    pub(crate) fn scan_restrictions_map(
+        &self,
+    ) -> &BTreeMap<String, std::sync::Arc<std::collections::BTreeSet<wol_model::Oid>>> {
+        &self.scan_restrictions
+    }
+
+    /// Install a restriction map wholesale (worker-context setup).
+    pub(crate) fn set_scan_restrictions(
+        &mut self,
+        map: BTreeMap<String, std::sync::Arc<std::collections::BTreeSet<wol_model::Oid>>>,
+    ) {
+        self.scan_restrictions = map;
     }
 
     /// Start recording per-join actual output rows (no-op if already on).

@@ -74,8 +74,8 @@ pub mod plan;
 
 pub use error::CplError;
 pub use exec::{
-    apply_evaluated_query, evaluate_query, execute_query, run_plan, ColumnarStats, EvaluatedQuery,
-    ExecStats, Row,
+    apply_evaluated_query, evaluate_query, execute_query, run_plan, scan_order_trace,
+    ColumnarStats, EvaluatedQuery, ExecStats, Row,
 };
 pub use expr::Expr;
 pub use optimizer::{

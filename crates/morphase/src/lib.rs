@@ -23,23 +23,51 @@
 //! reporting program-size metrics — the quantities the paper's evaluation
 //! discusses (compile time of normalised vs non-normalised programs, size of
 //! the resulting normal-form program, effect of omitting constraints).
+//!
+//! ## Maintenance semantics
+//!
+//! A one-shot run can also be kept *standing*: [`MaterializedPipeline`]
+//! accepts [`wol_model::MutationBatch`]es against its sources and repairs
+//! the target in place, guaranteeing the maintained target is bit-identical
+//! (object identities included) to a from-scratch re-run over the mutated
+//! sources. The contract rests on three pillars, detailed in the
+//! [`maintain`] module docs:
+//!
+//! * **Delta propagation** — per-query read/write analysis (scan-order
+//!   traces, foreign-dereference classification) picks the affected queries;
+//!   [`wol_engine::delta_rotations`] derives exactly the new rows
+//!   semi-naively, and stale rows are swept by identity.
+//! * **Repair identity** — a mint-position ledger and per-object support
+//!   counts tie the standing state to the fresh run's Skolem numbering; any
+//!   batch that cannot be absorbed while preserving that tie escalates to a
+//!   rebuild (recompile + full replay), which is bit-identical by
+//!   construction. Incremental in-place repairs skip per-batch target
+//!   verification; verification re-runs at every full-build boundary.
+//! * **Reader consistency** — [`PipelineService`] runs the pipeline on a
+//!   maintainer thread and publishes immutable `Arc<Instance>` snapshots at
+//!   batch boundaries, so concurrent readers never observe a half-repaired
+//!   target and a panicked maintainer surfaces at shutdown.
 
 pub mod compile;
 pub mod error;
+pub mod maintain;
 pub mod metadata;
 pub mod pipeline;
 pub mod report;
 pub mod schedule;
+pub mod service;
 
 pub use compile::{compile_program, compile_program_with, PlanMode};
 pub use error::MorphaseError;
+pub use maintain::{BatchOutcome, BatchReport, MaintainMode, MaintainStats, MaterializedPipeline};
 pub use metadata::generate_key_clauses;
 pub use pipeline::{
     DurabilityStats, DurableOptions, JoinStat, Morphase, MorphaseRun, PipelineOptions, QueryStat,
     StageTimings,
 };
-pub use report::render_report;
+pub use report::{render_maintenance_report, render_report};
 pub use schedule::{plan_schedule, QueryNode, QuerySchedule};
+pub use service::PipelineService;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MorphaseError>;

@@ -302,93 +302,19 @@ impl Morphase {
         execute: bool,
         durable: Option<&DurableOptions>,
     ) -> Result<MorphaseRun> {
-        let mut timings = StageTimings::default();
         let options = self.options;
-
-        // Stage 0: meta-data constraint generation.
-        let start = Instant::now();
-        let mut augmented = program.clone();
-        let mut generated = 0usize;
-        if options.generate_metadata_constraints {
-            let key_clauses =
-                generate_key_clauses(&augmented.target.schema, &augmented.target.keys);
-            generated += key_clauses.len();
-            for clause in key_clauses {
-                augmented.add_clause(clause);
-            }
-            let source_bindings: Vec<(wol_model::Schema, wol_model::KeySpec)> = augmented
-                .sources
-                .iter()
-                .map(|b| (b.schema.clone(), b.keys.clone()))
-                .collect();
-            for (schema, keys) in source_bindings {
-                let merge_clauses = generate_merge_key_clauses(&schema, &keys);
-                generated += merge_clauses.len();
-                for clause in merge_clauses {
-                    augmented.add_clause(clause);
-                }
-            }
-        }
-        timings.metadata = start.elapsed();
-
-        // Stage 1: validation.
-        let start = Instant::now();
-        augmented.validate()?;
-        timings.validate = start.elapsed();
-
-        // Stage 1b: source constraint checking (optional).
-        if options.check_source_constraints && !sources.is_empty() {
-            let constraints: Vec<&wol_lang::Clause> = augmented
-                .source_constraints()
-                .into_iter()
-                .map(|(_, c)| c)
-                .collect();
-            let dbs = wol_engine::Databases::new(sources);
-            wol_engine::enforce_constraints(&constraints, &dbs)
-                .map_err(|e| crate::MorphaseError::Verification(e.to_string()))?;
-        }
-
-        // Stage 2: semi-normal form.
-        let start = Instant::now();
-        let snf_clauses = program_to_snf(&augmented.clauses);
-        let snf = snf_stats(&augmented.clauses, &snf_clauses);
-        timings.snf = start.elapsed();
-
-        // Stage 3: normalisation.
-        let start = Instant::now();
-        let normalize_options = NormalizeOptions {
-            use_target_keys: options.use_target_keys,
-            use_source_constraints: options.use_source_constraints,
-            ..NormalizeOptions::default()
-        };
-        let normal = wol_engine::normalize(&augmented, &normalize_options)?;
-        timings.normalize = start.elapsed();
-
-        // Stage 4: translation to CPL. The planner is fed extent,
-        // distinct-value and histogram statistics read from the live source
-        // instances, so join orders reflect the data actually being
-        // transformed — including its skew, under the default histogram
-        // cost model.
-        let start = Instant::now();
-        let stats = cpl::Statistics::from_instances(sources).with_cost_model(options.cost_model);
-        let mode = if options.optimize_plans {
-            PlanMode::PlannerWithStats(&stats)
-        } else {
-            PlanMode::Raw
-        };
-        let queries = compile_program_with(&normal, mode)?;
-        let plans: Vec<String> = queries.iter().map(|q| q.plan.render()).collect();
-        let estimated_rows = queries
-            .iter()
-            .map(|q| cpl::estimate_rows(&q.plan, &stats).round() as u64)
-            .collect();
-        // Per-join estimates are pure planner work over the compiled plans;
-        // computing them here keeps the execute timing below honest.
-        let join_estimates: Vec<Vec<cpl::JoinEstimate>> = queries
-            .iter()
-            .map(|q| cpl::estimate_join_outputs(&q.plan, &stats))
-            .collect();
-        timings.compile = start.elapsed();
+        let compiled = compile_stages(options, program, sources)?;
+        let CompiledPipeline {
+            augmented,
+            generated,
+            snf,
+            normal,
+            queries,
+            plans,
+            estimated_rows,
+            join_estimates,
+            mut timings,
+        } = compiled;
 
         // Stage 5: execution, with per-join actual row counts traced so the
         // run can report estimate-vs-actual error per join. Queries execute
@@ -593,30 +519,7 @@ impl Morphase {
             // Stage 6: verification.
             if options.verify_target {
                 let start = Instant::now();
-                wol_model::validate::check_keyed_instance(
-                    &target,
-                    &augmented.target.schema,
-                    &augmented.target.keys,
-                )
-                .map_err(|e| crate::MorphaseError::Verification(e.to_string()))?;
-                let target_constraints: Vec<&wol_lang::Clause> = augmented
-                    .target_constraints()
-                    .into_iter()
-                    .map(|(_, c)| c)
-                    .filter(|c| {
-                        // Skolem-style key constraints are enforced by construction;
-                        // checking them against the Skolem-created identities would
-                        // re-create them, so only the remaining constraints are checked.
-                        !matches!(
-                            wol_engine::classify_constraint(c),
-                            wol_engine::ConstraintClass::SkolemKey(_)
-                        )
-                    })
-                    .collect();
-                let refs: Vec<&Instance> = vec![&target];
-                let dbs = wol_engine::Databases::new(&refs);
-                wol_engine::enforce_constraints(&target_constraints, &dbs)
-                    .map_err(|e| crate::MorphaseError::Verification(e.to_string()))?;
+                verify_target_instance(&augmented, &target)?;
                 timings.verify = start.elapsed();
             }
         }
@@ -639,6 +542,172 @@ impl Morphase {
             durability,
         })
     }
+}
+
+/// Stage 6 of the pipeline: validate a produced target against the augmented
+/// program's target schema, keys, and (non-Skolem-key) constraints. Shared by
+/// [`Morphase::run_inner`] and the standing [`crate::MaterializedPipeline`],
+/// which re-verifies at full-build boundaries.
+pub(crate) fn verify_target_instance(augmented: &Program, target: &Instance) -> Result<()> {
+    wol_model::validate::check_keyed_instance(
+        target,
+        &augmented.target.schema,
+        &augmented.target.keys,
+    )
+    .map_err(|e| crate::MorphaseError::Verification(e.to_string()))?;
+    let target_constraints: Vec<&wol_lang::Clause> = augmented
+        .target_constraints()
+        .into_iter()
+        .map(|(_, c)| c)
+        .filter(|c| {
+            // Skolem-style key constraints are enforced by construction;
+            // checking them against the Skolem-created identities would
+            // re-create them, so only the remaining constraints are checked.
+            !matches!(
+                wol_engine::classify_constraint(c),
+                wol_engine::ConstraintClass::SkolemKey(_)
+            )
+        })
+        .collect();
+    let refs: Vec<&Instance> = vec![target];
+    let dbs = wol_engine::Databases::new(&refs);
+    wol_engine::enforce_constraints(&target_constraints, &dbs)
+        .map_err(|e| crate::MorphaseError::Verification(e.to_string()))?;
+    Ok(())
+}
+
+/// The output of the pipeline's compile side (stages 0–4): the augmented
+/// program, its normal form, and the compiled CPL queries with their planner
+/// estimates. Factored out of [`Morphase::run_inner`] so the standing
+/// [`crate::MaterializedPipeline`] compiles against (re-)mutated sources
+/// exactly the way a full run does — same metadata generation, same
+/// normalisation options, same statistics-fed planner.
+pub(crate) struct CompiledPipeline {
+    /// The program with auto-generated key/merge constraint clauses added.
+    pub augmented: Program,
+    /// Number of auto-generated constraint clauses.
+    pub generated: usize,
+    /// Statistics of the snf rewriting stage.
+    pub snf: SnfStats,
+    /// The normal-form program.
+    pub normal: NormalProgram,
+    /// The compiled CPL queries, one per normal clause.
+    pub queries: Vec<cpl::Query>,
+    /// Rendered plans, parallel to `queries`.
+    pub plans: Vec<String>,
+    /// The planner's estimated output rows per query.
+    pub estimated_rows: Vec<u64>,
+    /// Per-join output estimates per query (post-order).
+    pub join_estimates: Vec<Vec<cpl::JoinEstimate>>,
+    /// Compile-side stage timings (`execute`/`verify` still zero).
+    pub timings: StageTimings,
+}
+
+/// Stages 0–4 of the pipeline: meta-data constraint generation, validation,
+/// optional source-constraint checking, snf rewriting, normalisation, and
+/// translation to CPL with statistics-fed planning.
+pub(crate) fn compile_stages(
+    options: PipelineOptions,
+    program: &Program,
+    sources: &[&Instance],
+) -> Result<CompiledPipeline> {
+    let mut timings = StageTimings::default();
+
+    // Stage 0: meta-data constraint generation.
+    let start = Instant::now();
+    let mut augmented = program.clone();
+    let mut generated = 0usize;
+    if options.generate_metadata_constraints {
+        let key_clauses = generate_key_clauses(&augmented.target.schema, &augmented.target.keys);
+        generated += key_clauses.len();
+        for clause in key_clauses {
+            augmented.add_clause(clause);
+        }
+        let source_bindings: Vec<(wol_model::Schema, wol_model::KeySpec)> = augmented
+            .sources
+            .iter()
+            .map(|b| (b.schema.clone(), b.keys.clone()))
+            .collect();
+        for (schema, keys) in source_bindings {
+            let merge_clauses = generate_merge_key_clauses(&schema, &keys);
+            generated += merge_clauses.len();
+            for clause in merge_clauses {
+                augmented.add_clause(clause);
+            }
+        }
+    }
+    timings.metadata = start.elapsed();
+
+    // Stage 1: validation.
+    let start = Instant::now();
+    augmented.validate()?;
+    timings.validate = start.elapsed();
+
+    // Stage 1b: source constraint checking (optional).
+    if options.check_source_constraints && !sources.is_empty() {
+        let constraints: Vec<&wol_lang::Clause> = augmented
+            .source_constraints()
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
+        let dbs = wol_engine::Databases::new(sources);
+        wol_engine::enforce_constraints(&constraints, &dbs)
+            .map_err(|e| crate::MorphaseError::Verification(e.to_string()))?;
+    }
+
+    // Stage 2: semi-normal form.
+    let start = Instant::now();
+    let snf_clauses = program_to_snf(&augmented.clauses);
+    let snf = snf_stats(&augmented.clauses, &snf_clauses);
+    timings.snf = start.elapsed();
+
+    // Stage 3: normalisation.
+    let start = Instant::now();
+    let normalize_options = NormalizeOptions {
+        use_target_keys: options.use_target_keys,
+        use_source_constraints: options.use_source_constraints,
+        ..NormalizeOptions::default()
+    };
+    let normal = wol_engine::normalize(&augmented, &normalize_options)?;
+    timings.normalize = start.elapsed();
+
+    // Stage 4: translation to CPL. The planner is fed extent,
+    // distinct-value and histogram statistics read from the live source
+    // instances, so join orders reflect the data actually being
+    // transformed — including its skew, under the default histogram
+    // cost model.
+    let start = Instant::now();
+    let stats = cpl::Statistics::from_instances(sources).with_cost_model(options.cost_model);
+    let mode = if options.optimize_plans {
+        PlanMode::PlannerWithStats(&stats)
+    } else {
+        PlanMode::Raw
+    };
+    let queries = compile_program_with(&normal, mode)?;
+    let plans: Vec<String> = queries.iter().map(|q| q.plan.render()).collect();
+    let estimated_rows = queries
+        .iter()
+        .map(|q| cpl::estimate_rows(&q.plan, &stats).round() as u64)
+        .collect();
+    // Per-join estimates are pure planner work over the compiled plans;
+    // computing them here keeps the execute timing honest.
+    let join_estimates: Vec<Vec<cpl::JoinEstimate>> = queries
+        .iter()
+        .map(|q| cpl::estimate_join_outputs(&q.plan, &stats))
+        .collect();
+    timings.compile = start.elapsed();
+
+    Ok(CompiledPipeline {
+        augmented,
+        generated,
+        snf,
+        normal,
+        queries,
+        plans,
+        estimated_rows,
+        join_estimates,
+        timings,
+    })
 }
 
 /// FNV-1a (64-bit) fingerprint of the *compiled* program a durable journal

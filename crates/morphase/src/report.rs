@@ -2,6 +2,7 @@
 
 use std::fmt::Write as _;
 
+use crate::maintain::MaintainStats;
 use crate::pipeline::MorphaseRun;
 
 /// Render a run as a small text report: stage timings, program sizes and
@@ -123,6 +124,31 @@ pub fn render_report(run: &MorphaseRun) -> String {
         );
     }
     let _ = writeln!(out, "target: {} objects", run.target.len());
+    out
+}
+
+/// Render cumulative maintenance statistics as a small text report. Used by
+/// the E11 benchmark harness and the soak suites.
+pub fn render_maintenance_report(stats: &MaintainStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Materialized pipeline ==");
+    let _ = writeln!(
+        out,
+        "batches: {} ({} in-place, {} rebuilds, {} full re-runs)",
+        stats.batches, stats.inplace_batches, stats.rebuild_batches, stats.full_reruns
+    );
+    let _ = writeln!(
+        out,
+        "rows: {} swept, {} replayed; {} objects repaired",
+        stats.rows_removed, stats.rows_added, stats.objects_repaired
+    );
+    let _ = writeln!(
+        out,
+        "delta execution: {} rows scanned, {} rows produced, {} restricted scans",
+        stats.delta_exec.rows_scanned,
+        stats.delta_exec.rows_produced,
+        stats.delta_exec.restricted_scans
+    );
     out
 }
 
@@ -314,6 +340,34 @@ mod tests {
         });
         assert!(render_report(&run)
             .contains("durability: resumed at query 0 (0 skipped, 0 journaled, journal reset)"));
+    }
+
+    /// Pins the maintenance-report format, like the other report sections.
+    #[test]
+    fn report_pins_the_maintenance_format() {
+        use crate::maintain::MaintainStats;
+        use cpl::exec::ExecStats;
+        let stats = MaintainStats {
+            batches: 12,
+            inplace_batches: 9,
+            rebuild_batches: 2,
+            full_reruns: 1,
+            rows_removed: 4,
+            rows_added: 31,
+            objects_repaired: 27,
+            delta_exec: ExecStats {
+                rows_scanned: 500,
+                rows_produced: 120,
+                restricted_scans: 18,
+                ..ExecStats::default()
+            },
+        };
+        let report = render_maintenance_report(&stats);
+        assert!(report.contains("== Materialized pipeline =="));
+        assert!(report.contains("batches: 12 (9 in-place, 2 rebuilds, 1 full re-runs)"));
+        assert!(report.contains("rows: 4 swept, 31 replayed; 27 objects repaired"));
+        assert!(report
+            .contains("delta execution: 500 rows scanned, 120 rows produced, 18 restricted scans"));
     }
 
     #[test]

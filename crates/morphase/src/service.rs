@@ -1,0 +1,212 @@
+//! Concurrent front end for the standing pipeline: many readers, one
+//! maintainer.
+//!
+//! [`PipelineService`] moves a [`MaterializedPipeline`] onto a dedicated
+//! maintainer thread. Writers submit [`wol_model::MutationBatch`]es through a
+//! request queue and block for the per-batch [`BatchReport`]; readers grab an
+//! immutable snapshot (`Arc<Instance>`) that is swapped atomically after each
+//! successful batch. Readers therefore always observe a target at a batch
+//! boundary — never a half-repaired instance — and two reads from the same
+//! snapshot are trivially consistent with each other.
+//!
+//! Failure handling is deliberately loud: if the maintainer thread panics,
+//! pending and future requests error immediately (the channel closes), and
+//! [`PipelineService::shutdown`] re-raises the panic on the caller instead of
+//! swallowing it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use wol_model::{Instance, MutationBatch};
+
+use crate::maintain::{BatchReport, MaterializedPipeline};
+use crate::{MorphaseError, Result};
+
+enum Request {
+    Apply(MutationBatch, Sender<Result<BatchReport>>),
+    /// Test hook: make the maintainer panic to exercise propagation.
+    Panic,
+    Shutdown(Sender<Box<MaterializedPipeline>>),
+}
+
+/// A [`MaterializedPipeline`] behind a maintainer thread and a snapshot cell.
+pub struct PipelineService {
+    tx: Option<Sender<Request>>,
+    snapshot: Arc<RwLock<Arc<Instance>>>,
+    poisoned: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn maintainer(
+    mut pipeline: Box<MaterializedPipeline>,
+    rx: Receiver<Request>,
+    snapshot: Arc<RwLock<Arc<Instance>>>,
+    poisoned: Arc<AtomicBool>,
+) {
+    while let Ok(request) = rx.recv() {
+        match request {
+            Request::Apply(batch, reply) => {
+                let result = pipeline.apply_batch(&batch);
+                if result.is_ok() {
+                    let fresh = Arc::new(pipeline.target().clone());
+                    *snapshot.write().expect("snapshot lock poisoned") = fresh;
+                } else {
+                    poisoned.store(pipeline.is_poisoned(), Ordering::SeqCst);
+                }
+                // A dropped requester is fine; the batch already applied.
+                let _ = reply.send(result);
+            }
+            Request::Panic => panic!("injected maintainer panic"),
+            Request::Shutdown(reply) => {
+                let _ = reply.send(pipeline);
+                return;
+            }
+        }
+    }
+}
+
+impl PipelineService {
+    /// Stand the pipeline up behind a maintainer thread. The initial
+    /// snapshot is the pipeline's current target.
+    pub fn start(pipeline: MaterializedPipeline) -> PipelineService {
+        let snapshot = Arc::new(RwLock::new(Arc::new(pipeline.target().clone())));
+        let poisoned = Arc::new(AtomicBool::new(pipeline.is_poisoned()));
+        let (tx, rx) = mpsc::channel();
+        let handle = {
+            let snapshot = Arc::clone(&snapshot);
+            let poisoned = Arc::clone(&poisoned);
+            std::thread::Builder::new()
+                .name("morphase-maintainer".into())
+                .spawn(move || maintainer(Box::new(pipeline), rx, snapshot, poisoned))
+                .expect("spawn maintainer thread")
+        };
+        PipelineService {
+            tx: Some(tx),
+            snapshot,
+            poisoned,
+            handle: Some(handle),
+        }
+    }
+
+    /// The latest published target snapshot. Cheap: clones an `Arc` under a
+    /// read lock. The snapshot is immutable and consistent at a batch
+    /// boundary.
+    pub fn snapshot(&self) -> Arc<Instance> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Apply a batch on the maintainer thread and wait for its report.
+    pub fn apply(&self, batch: MutationBatch) -> Result<BatchReport> {
+        let gone = || MorphaseError::Execution("maintainer thread is gone".into());
+        let tx = self.tx.as_ref().ok_or_else(gone)?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        tx.send(Request::Apply(batch, reply_tx))
+            .map_err(|_| gone())?;
+        reply_rx.recv().map_err(|_| gone())?
+    }
+
+    /// True once a maintainer-side failure poisoned the pipeline.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Test hook: make the maintainer thread panic. The next [`Self::apply`]
+    /// errors and [`Self::shutdown`] re-raises the panic.
+    #[doc(hidden)]
+    pub fn inject_panic(&self) {
+        if let Some(tx) = self.tx.as_ref() {
+            let _ = tx.send(Request::Panic);
+        }
+    }
+
+    /// Stop the maintainer and take the pipeline back. Re-raises the
+    /// maintainer's panic if it died instead of shutting down cleanly.
+    pub fn shutdown(mut self) -> Result<MaterializedPipeline> {
+        let gone = || MorphaseError::Execution("maintainer thread is gone".into());
+        let reply = self.tx.as_ref().and_then(|tx| {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            tx.send(Request::Shutdown(reply_tx)).ok()?;
+            Some(reply_rx)
+        });
+        // Drop the sender so a panicked maintainer's channel drains.
+        self.tx = None;
+        if let Some(handle) = self.handle.take() {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        let pipeline = reply.and_then(|rx| rx.recv().ok()).ok_or_else(gone)?;
+        Ok(*pipeline)
+    }
+}
+
+impl Drop for PipelineService {
+    fn drop(&mut self) {
+        self.tx = None;
+        if let Some(handle) = self.handle.take() {
+            // Closing the channel stops the maintainer; a panic payload is
+            // intentionally swallowed here — `shutdown` is the loud path.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineOptions;
+    use wol_model::{ClassName, Value};
+    use workloads::genome::{self, GenomeParams};
+
+    fn service() -> PipelineService {
+        let program = genome::program();
+        let source = genome::generate_source(&GenomeParams::default());
+        let pipeline =
+            MaterializedPipeline::new(&program, vec![source], PipelineOptions::default()).unwrap();
+        PipelineService::start(pipeline)
+    }
+
+    #[test]
+    fn snapshots_advance_only_at_batch_boundaries() {
+        let service = service();
+        let before = service.snapshot();
+        let report = service
+            .apply(MutationBatch::new().insert(
+                ClassName::new("CloneS"),
+                Value::record([("name", Value::from("svc-clone"))]),
+            ))
+            .unwrap();
+        assert!(report.rows_added > 0);
+        let after = service.snapshot();
+        assert!(!Arc::ptr_eq(&before, &after));
+        // The old snapshot is still intact and readable.
+        assert!(before.populated_classes().len() <= after.populated_classes().len());
+        let pipeline = service.shutdown().unwrap();
+        assert_eq!(pipeline.stats().batches, 1);
+    }
+
+    #[test]
+    fn maintainer_panic_propagates_at_shutdown() {
+        let service = service();
+        service.inject_panic();
+        // The apply after a panic errors rather than hanging.
+        let err = service.apply(MutationBatch::new());
+        assert!(err.is_err());
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = service.shutdown();
+        }));
+        assert!(panicked.is_err(), "shutdown must re-raise the panic");
+    }
+
+    #[test]
+    fn failed_batches_report_errors_to_the_submitter() {
+        let service = service();
+        let err = service
+            .apply(MutationBatch::new().insert(ClassName::new("NoSuchClass"), Value::int(1)));
+        assert!(err.is_err());
+        assert!(!service.is_poisoned(), "validation failures do not poison");
+        service.shutdown().unwrap();
+    }
+}

@@ -12,11 +12,14 @@
 //! * **Lazy** — an index is built the first time `(class, attribute)` is
 //!   probed, by one pass over the class's extent. Workloads that never join on
 //!   an attribute never pay for indexing it.
-//! * **Invalidation, not maintenance** — any mutation of a class's extent or
-//!   values (insert / update / remove) drops that class's indexes wholesale;
-//!   the next probe rebuilds. The engine's access pattern is
-//!   "load, then match many bodies", so rebuilds are rare, and wholesale
-//!   invalidation keeps the write path allocation-free.
+//! * **Maintained across single-object mutations** — insert / update /
+//!   remove adjust the affected entries of every built index of the class
+//!   in place, keeping buckets in ascending identity order so a maintained
+//!   index is bit-identical to a fresh rebuild. This keeps the standing
+//!   pipeline's per-batch delta joins O(batch) instead of O(extent). Bulk
+//!   loads still invalidate wholesale, and histograms / columns / row
+//!   indexes are always invalidated on any mutation (they are planner
+//!   statistics and batch projections, rebuilt lazily).
 //! * **Hash buckets, exact verification** — buckets are keyed by a 64-bit
 //!   hash of the attribute value; probes re-check candidates against the live
 //!   value, so hash collisions cost time but never correctness.
@@ -65,6 +68,32 @@ impl AttrIndex {
     /// against the live attribute value by the caller.
     pub fn candidates(&self, hash: u64) -> &[Oid] {
         self.buckets.get(&hash).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Insert `oid` into `hash`'s bucket, keeping the bucket in ascending
+    /// identity order — the order a fresh extent-order build produces, so a
+    /// maintained index stays bit-identical to a rebuilt one. A no-op if the
+    /// identity is already present.
+    pub fn insert_sorted(&mut self, hash: u64, oid: Oid) {
+        let bucket = self.buckets.entry(hash).or_default();
+        if let Err(pos) = bucket.binary_search(&oid) {
+            bucket.insert(pos, oid);
+            self.entries += 1;
+        }
+    }
+
+    /// Remove `oid` from `hash`'s bucket. Emptied buckets are dropped so
+    /// [`distinct`](AttrIndex::distinct) matches a fresh rebuild.
+    pub fn remove_entry(&mut self, hash: u64, oid: &Oid) {
+        if let Some(bucket) = self.buckets.get_mut(&hash) {
+            if let Ok(pos) = bucket.binary_search(oid) {
+                bucket.remove(pos);
+                self.entries -= 1;
+                if bucket.is_empty() {
+                    self.buckets.remove(&hash);
+                }
+            }
+        }
     }
 
     /// Number of indexed `(value, oid)` entries.
@@ -174,13 +203,29 @@ impl IndexCache {
     }
 
     /// Drop every index, histogram, column, and row index of `class` (called
-    /// on any mutation touching the class). The string dictionary survives:
-    /// it is append-only, so stale codes cannot be re-read wrongly.
+    /// on bulk mutations of the class). The string dictionary survives: it is
+    /// append-only, so stale codes cannot be re-read wrongly.
     pub fn invalidate_class(&mut self, class: &ClassName) {
         self.indexes.remove(class);
         self.histograms.remove(class);
         self.columns.remove(class);
         self.row_indexes.remove(class);
+    }
+
+    /// Drop the *derived statistics* of `class` — histograms, columns, and
+    /// the row index — but keep its attribute indexes. Single-object
+    /// mutations maintain the indexes in place (see
+    /// [`Instance`](crate::Instance)); the statistics are rebuilt lazily.
+    pub fn invalidate_stats(&mut self, class: &ClassName) {
+        self.histograms.remove(class);
+        self.columns.remove(class);
+        self.row_indexes.remove(class);
+    }
+
+    /// Mutable access to the built attribute indexes of `class`, if any have
+    /// been built — the hook single-object mutations maintain them through.
+    pub fn indexes_mut(&mut self, class: &ClassName) -> Option<&mut BTreeMap<Label, AttrIndex>> {
+        self.indexes.get_mut(class)
     }
 
     /// Drop everything, dictionary included.

@@ -41,6 +41,7 @@ pub mod histogram;
 pub mod index;
 pub mod instance;
 pub mod keys;
+pub mod mutate;
 pub mod oid;
 pub mod parallel;
 pub mod path;
@@ -54,6 +55,7 @@ pub use error::ModelError;
 pub use histogram::{AttrHistogram, HistogramBucket};
 pub use instance::{AttrStats, Instance, Mutation};
 pub use keys::{rewrite_resolved, KeyExpr, KeySpec, SkolemClaims, SkolemFactory, SkolemState};
+pub use mutate::{BatchDelta, ClassDelta, MutationBatch, SourceOp};
 pub use oid::Oid;
 pub use parallel::{chunk_ranges, Job, Parallelism, WorkerPool};
 pub use path::Path;

@@ -1,0 +1,360 @@
+//! Source mutation batches for incremental view maintenance.
+//!
+//! A standing transformation (the `morphase` maintainer) absorbs changes to
+//! its source instance as [`MutationBatch`]es — ordered lists of
+//! insert/update/remove operations — and needs to know, per class, exactly
+//! which identities the batch touched so it can invalidate and re-derive the
+//! affected query rows. [`Instance::apply_batch`] applies a batch through the
+//! ordinary mutation API (so attribute indexes, histograms and columnar
+//! chunks are invalidated object-by-object, and the mutation log sees every
+//! step) and folds the per-identity outcomes into a [`BatchDelta`].
+//!
+//! The delta classifies each touched identity by its *net* effect across the
+//! batch: an object inserted and then updated is still `inserted`; an object
+//! inserted and then removed cancels out entirely; an existing object updated
+//! and then removed is just `removed`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::instance::Instance;
+use crate::oid::Oid;
+use crate::types::ClassName;
+use crate::values::Value;
+use crate::Result;
+
+/// One source mutation: the unit of a [`MutationBatch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SourceOp {
+    /// Insert a fresh object into `class` (the identity is minted by the
+    /// instance's own generator, exactly like [`Instance::insert_fresh`]).
+    Insert { class: ClassName, value: Value },
+    /// Replace the value of an existing object.
+    Update { oid: Oid, value: Value },
+    /// Remove an existing object.
+    Remove { oid: Oid },
+}
+
+/// An ordered batch of source mutations, applied atomically by
+/// [`Instance::apply_batch`]: either every operation applies, or the batch
+/// fails on the first dangling identity with the earlier operations already
+/// applied and reported in the error path's mutation log (callers that need
+/// rollback journal the batch first — see `storage::persist`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MutationBatch {
+    /// The operations, in application order.
+    pub ops: Vec<SourceOp>,
+}
+
+impl MutationBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an insert.
+    pub fn insert(mut self, class: impl Into<ClassName>, value: Value) -> Self {
+        self.ops.push(SourceOp::Insert {
+            class: class.into(),
+            value,
+        });
+        self
+    }
+
+    /// Append an update.
+    pub fn update(mut self, oid: Oid, value: Value) -> Self {
+        self.ops.push(SourceOp::Update { oid, value });
+        self
+    }
+
+    /// Append a remove.
+    pub fn remove(mut self, oid: Oid) -> Self {
+        self.ops.push(SourceOp::Remove { oid });
+        self
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The net per-identity effect of a batch on one class.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassDelta {
+    /// Identities that exist after the batch but did not before.
+    pub inserted: BTreeSet<Oid>,
+    /// Identities that existed before and after, with a (possibly) new value.
+    pub updated: BTreeSet<Oid>,
+    /// Identities that existed before the batch and no longer do.
+    pub removed: BTreeSet<Oid>,
+}
+
+impl ClassDelta {
+    /// Identities whose post-batch value is new or changed: the `Δ⁺` set a
+    /// semi-naive re-derivation scans.
+    pub fn changed(&self) -> BTreeSet<Oid> {
+        self.inserted.union(&self.updated).cloned().collect()
+    }
+
+    /// Identities whose pre-batch rows are stale: anything updated or
+    /// removed.
+    pub fn stale(&self) -> BTreeSet<Oid> {
+        self.updated.union(&self.removed).cloned().collect()
+    }
+
+    /// Whether the delta records no change.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.updated.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// The net effect of one applied [`MutationBatch`], per class.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchDelta {
+    /// Per-class net deltas; classes without changes carry no entry.
+    pub classes: BTreeMap<ClassName, ClassDelta>,
+}
+
+impl BatchDelta {
+    /// The classes the batch touched.
+    pub fn mutated_classes(&self) -> BTreeSet<ClassName> {
+        self.classes.keys().cloned().collect()
+    }
+
+    /// The delta of one class, if it changed.
+    pub fn class(&self, class: &ClassName) -> Option<&ClassDelta> {
+        self.classes.get(class)
+    }
+
+    /// Whether any class has updates or removals (the operations that can
+    /// invalidate previously derived rows, as opposed to pure growth).
+    pub fn has_stale(&self) -> bool {
+        self.classes.values().any(|d| !d.stale().is_empty())
+    }
+
+    /// Whether the batch had no net effect.
+    pub fn is_empty(&self) -> bool {
+        self.classes.values().all(ClassDelta::is_empty)
+    }
+}
+
+/// Per-identity life-cycle across one batch, folded left to right.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Inserted,
+    Updated,
+    Removed,
+}
+
+impl Instance {
+    /// Apply a mutation batch through the ordinary mutation API (so the
+    /// attribute indexes stay maintained, the histogram/columnar caches
+    /// invalidate per touched class, and the mutation log, if active,
+    /// records every step), returning the net per-class [`BatchDelta`].
+    pub fn apply_batch(&mut self, batch: &MutationBatch) -> Result<BatchDelta> {
+        let mut fates: BTreeMap<Oid, Fate> = BTreeMap::new();
+        for op in &batch.ops {
+            match op {
+                SourceOp::Insert { class, value } => {
+                    let oid = self.insert_fresh(class, value.clone());
+                    fates.insert(oid, Fate::Inserted);
+                }
+                SourceOp::Update { oid, value } => {
+                    self.update(oid, value.clone())?;
+                    match fates.get(oid) {
+                        // An object this very batch inserted is still a net
+                        // insert after an update.
+                        Some(Fate::Inserted) => {}
+                        _ => {
+                            fates.insert(oid.clone(), Fate::Updated);
+                        }
+                    }
+                }
+                SourceOp::Remove { oid } => {
+                    self.remove(oid)
+                        .ok_or_else(|| crate::ModelError::DanglingOid(oid.to_string()))?;
+                    match fates.get(oid) {
+                        // Inserted then removed in the same batch: no net
+                        // effect at all.
+                        Some(Fate::Inserted) => {
+                            fates.remove(oid);
+                        }
+                        _ => {
+                            fates.insert(oid.clone(), Fate::Removed);
+                        }
+                    }
+                }
+            }
+        }
+        let mut delta = BatchDelta::default();
+        for (oid, fate) in fates {
+            let class = delta.classes.entry(oid.class().clone()).or_default();
+            match fate {
+                Fate::Inserted => class.inserted.insert(oid),
+                Fate::Updated => class.updated.insert(oid),
+                Fate::Removed => class.removed.insert(oid),
+            };
+        }
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker(name: &str, position: i64) -> Value {
+        Value::record([
+            ("name", Value::str(name)),
+            ("position", Value::int(position)),
+        ])
+    }
+
+    #[test]
+    fn batch_classifies_net_effects() {
+        let mut inst = Instance::new("s");
+        let class = ClassName::new("M");
+        let kept = inst.insert_fresh(&class, marker("kept", 1));
+        let gone = inst.insert_fresh(&class, marker("gone", 2));
+        let batch = MutationBatch::new()
+            .insert(class.clone(), marker("new", 3))
+            .update(kept.clone(), marker("kept", 10))
+            .remove(gone.clone());
+        let delta = inst.apply_batch(&batch).unwrap();
+        let d = delta.class(&class).unwrap();
+        assert_eq!(d.inserted.len(), 1);
+        assert_eq!(d.updated, BTreeSet::from([kept]));
+        assert_eq!(d.removed, BTreeSet::from([gone]));
+        assert_eq!(inst.extent_size(&class), 2);
+        assert!(delta.has_stale());
+    }
+
+    #[test]
+    fn insert_then_update_is_a_net_insert_and_insert_then_remove_cancels() {
+        let mut inst = Instance::new("s");
+        let class = ClassName::new("M");
+        // Predict the minted identities: the generator is sequential.
+        let probe = inst.insert_fresh(&class, marker("probe", 0));
+        let a = Oid::new(class.clone(), probe.id() + 1);
+        let b = Oid::new(class.clone(), probe.id() + 2);
+        let batch = MutationBatch::new()
+            .insert(class.clone(), marker("a", 1))
+            .insert(class.clone(), marker("b", 2))
+            .update(a.clone(), marker("a", 9))
+            .remove(b.clone());
+        let delta = inst.apply_batch(&batch).unwrap();
+        let d = delta.class(&class).unwrap();
+        assert_eq!(d.inserted, BTreeSet::from([a.clone()]));
+        assert!(d.updated.is_empty());
+        assert!(d.removed.is_empty());
+        assert_eq!(inst.value(&a), Some(&marker("a", 9)));
+        assert!(!inst.contains(&b));
+    }
+
+    #[test]
+    fn update_then_remove_is_a_net_remove() {
+        let mut inst = Instance::new("s");
+        let class = ClassName::new("M");
+        let oid = inst.insert_fresh(&class, marker("x", 1));
+        let batch = MutationBatch::new()
+            .update(oid.clone(), marker("x", 2))
+            .remove(oid.clone());
+        let delta = inst.apply_batch(&batch).unwrap();
+        let d = delta.class(&class).unwrap();
+        assert_eq!(d.removed, BTreeSet::from([oid]));
+        assert!(d.updated.is_empty());
+    }
+
+    /// The remove/update path must never leave the derived caches serving
+    /// stale data: attribute indexes, histograms, columnar projections and
+    /// the row index all have to reflect a batch as soon as it applies.
+    #[test]
+    fn derived_caches_are_fresh_after_update_and_remove() {
+        let mut inst = Instance::new("s");
+        let class = ClassName::new("M");
+        let a = inst.insert_fresh(&class, marker("a", 10));
+        let b = inst.insert_fresh(&class, marker("b", 20));
+        let c = inst.insert_fresh(&class, marker("c", 20));
+
+        // Build every derived structure.
+        assert_eq!(
+            inst.lookup_by_attr(&class, "position", &Value::int(20))
+                .len(),
+            2
+        );
+        assert_eq!(inst.attr_histogram(&class, "position").entries(), 3);
+        assert!(inst.has_attr_index(&class, "position"));
+        assert!(inst.has_attr_histogram(&class, "position"));
+        let col = inst.attr_column(&class, "position");
+        assert_eq!(col.present(), 3);
+        assert_eq!(inst.class_row_index(&class).len(), 3);
+        assert!(inst.has_attr_column(&class, "position"));
+
+        // Update one value, remove another.
+        let batch = MutationBatch::new()
+            .update(b.clone(), marker("b", 99))
+            .remove(c.clone());
+        inst.apply_batch(&batch).unwrap();
+
+        // The attribute index is maintained in place; the stats caches
+        // (histogram/column/row-index) are invalidated wholesale...
+        assert!(inst.has_attr_index(&class, "position"));
+        assert!(!inst.has_attr_histogram(&class, "position"));
+        assert!(!inst.has_attr_column(&class, "position"));
+        // ...and every read sees the post-batch state only.
+        assert_eq!(
+            inst.lookup_by_attr(&class, "position", &Value::int(20)),
+            vec![]
+        );
+        assert_eq!(
+            inst.lookup_by_attr(&class, "position", &Value::int(99)),
+            vec![b.clone()]
+        );
+        let histogram = inst.attr_histogram(&class, "position");
+        assert_eq!(histogram.entries(), 2);
+        let col = inst.attr_column(&class, "position");
+        assert_eq!(col.present(), 2);
+        let rows = inst.class_row_index(&class);
+        assert_eq!(rows.as_slice(), &[a, b]);
+    }
+
+    /// Removing a class's final object must empty the derived views too (the
+    /// degenerate case a maintainer hits when a delta retracts a whole
+    /// extent).
+    #[test]
+    fn removing_the_last_object_empties_derived_views() {
+        let mut inst = Instance::new("s");
+        let class = ClassName::new("M");
+        let only = inst.insert_fresh(&class, marker("solo", 5));
+        assert_eq!(
+            inst.lookup_by_attr(&class, "position", &Value::int(5))
+                .len(),
+            1
+        );
+        inst.apply_batch(&MutationBatch::new().remove(only))
+            .unwrap();
+        assert_eq!(inst.extent_size(&class), 0);
+        assert!(inst
+            .lookup_by_attr(&class, "position", &Value::int(5))
+            .is_empty());
+        assert_eq!(inst.attr_histogram(&class, "position").entries(), 0);
+        assert_eq!(inst.attr_column(&class, "position").present(), 0);
+        assert!(inst.class_row_index(&class).is_empty());
+    }
+
+    #[test]
+    fn dangling_identities_error() {
+        let mut inst = Instance::new("s");
+        let class = ClassName::new("M");
+        let ghost = Oid::new(class.clone(), 99);
+        let batch = MutationBatch::new().update(ghost.clone(), marker("g", 1));
+        assert!(inst.apply_batch(&batch).is_err());
+        let batch = MutationBatch::new().remove(ghost);
+        assert!(inst.apply_batch(&batch).is_err());
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`genome`] — synthetic Chr22DB/ACe22DB-style data: a relational-style
 //!   schema with wide records and an ACeDB-style sparse tree source, standing
 //!   in for the proprietary genome databases of the paper's trials.
+//! * [`traffic`] — E11: deterministic mutation-batch streams over the genome
+//!   warehouse (inserts, updates, duplicate Skolem keys, removals, renames),
+//!   feeding the incremental-maintenance bench and test suites.
 //! * [`skewed`] — E7: the genome theme with a *zipfian* marker-per-clone
 //!   distribution and a triangle join whose ordering the flat `1/ndv` cost
 //!   model provably gets wrong; the workload behind the histogram-estimation
@@ -28,6 +31,7 @@ pub mod cities;
 pub mod genome;
 pub mod people;
 pub mod skewed;
+pub mod traffic;
 pub mod variants;
 pub mod wide;
 

@@ -1,0 +1,335 @@
+//! Soak and durability suites for the standing [`MaterializedPipeline`]:
+//! many concurrent readers against one maintainer over thousands of batches,
+//! panic propagation, and crash/resume of the journalled source mid-stream.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use wol_repro::morphase::{
+    DurableOptions, MaterializedPipeline, MorphaseError, PipelineOptions, PipelineService,
+};
+use wol_repro::storage::persist::{FaultPolicy, PipelineJournal};
+use wol_repro::wol_model::{ClassName, Instance, MutationBatch, Value};
+use wol_repro::workloads::genome::{self, GenomeParams};
+use wol_repro::workloads::traffic::{TrafficGen, TrafficWeights};
+
+/// A fresh scratch directory, unique across parallel tests in this process.
+fn temp_dir(label: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "wol-maintenance-{label}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn genome_pipeline(params: &GenomeParams) -> MaterializedPipeline {
+    MaterializedPipeline::new(
+        &genome::program(),
+        vec![genome::generate_source(params)],
+        PipelineOptions::default(),
+    )
+    .expect("genome pipeline builds")
+}
+
+/// A deterministic stream: `in_place` batches of steady traffic followed by
+/// `mixed` batches exercising every maintenance path (the mixed generator
+/// continues from the in-place generator's shadow).
+fn stream(
+    source: &Instance,
+    seed: u64,
+    in_place: usize,
+    mixed: usize,
+    ops: usize,
+) -> Vec<MutationBatch> {
+    let mut batches = Vec::with_capacity(in_place + mixed);
+    let mut steady = TrafficGen::new(source, seed, TrafficWeights::in_place());
+    for _ in 0..in_place {
+        batches.push(steady.next_batch(ops));
+    }
+    let mut spicy = TrafficGen::new(steady.shadow(), seed ^ 0x5eed, TrafficWeights::mixed());
+    for _ in 0..mixed {
+        batches.push(spicy.next_batch(ops));
+    }
+    batches
+}
+
+fn assert_matches_oracle(pipeline: &MaterializedPipeline, context: &str) {
+    let oracle = pipeline.rerun_oracle().expect("oracle runs");
+    if let Some(report) = pipeline.target().deep_eq_report(&oracle.target) {
+        panic!("{context}: maintained target diverged from the oracle: {report}");
+    }
+}
+
+/// The soak: four readers hammer snapshots (checking intra-snapshot
+/// referential consistency on every read) while the maintainer absorbs
+/// thousands of steady batches and a mixed tail with rebuild escalations.
+/// The final target must be bit-identical to the same stream applied to a
+/// plain single-threaded pipeline, and to a from-scratch re-run.
+#[test]
+fn soak_concurrent_readers_never_observe_torn_targets() {
+    let params = GenomeParams::default();
+    let source = genome::generate_source(&params);
+    let (in_place, mixed) = if cfg!(debug_assertions) {
+        (300, 30)
+    } else {
+        (2000, 120)
+    };
+    let batches = stream(&source, 99, in_place, mixed, 2);
+
+    // Reference: the same stream through a plain pipeline.
+    let mut reference = genome_pipeline(&params);
+    for batch in &batches {
+        reference.apply_batch(batch).expect("reference applies");
+    }
+
+    let service = PipelineService::start(genome_pipeline(&params));
+    let stop = AtomicBool::new(false);
+    let reads = AtomicUsize::new(0);
+    let marker_d = ClassName::new("MarkerD");
+    let clone_d = ClassName::new("CloneD");
+    std::thread::scope(|scope| {
+        let service = &service;
+        let stop = &stop;
+        let reads = &reads;
+        let marker_d = &marker_d;
+        let clone_d = &clone_d;
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = service.snapshot();
+                        // Intra-snapshot consistency: a marker's clone
+                        // reference resolves inside the same snapshot. A
+                        // torn read (marker published before its clone, or
+                        // a half-swept removal) would dangle. Capped so the
+                        // readers contend without starving the maintainer.
+                        for oid in snap.extent(marker_d).take(128) {
+                            if let Some(value) = snap.value(oid) {
+                                if let Some(Value::Oid(clone)) = value.project("clone") {
+                                    assert_eq!(clone.class(), clone_d);
+                                    assert!(
+                                        snap.contains(clone),
+                                        "snapshot dangles: {oid} -> {clone}"
+                                    );
+                                }
+                            }
+                        }
+                        reads.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for batch in &batches {
+            service.apply(batch.clone()).expect("service applies");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            reader.join().expect("reader never panics");
+        }
+    });
+    assert!(
+        reads.load(Ordering::Relaxed) > 0,
+        "the readers never got a snapshot in"
+    );
+    let pipeline = service.shutdown().expect("clean shutdown");
+    assert_eq!(pipeline.stats().batches, batches.len() as u64);
+    assert!(
+        pipeline.stats().rebuild_batches > 0,
+        "the mixed tail must exercise the rebuild path"
+    );
+    assert_eq!(
+        pipeline.stats(),
+        reference.stats(),
+        "the service must be a pure wrapper: identical maintenance stats"
+    );
+    if let Some(report) = pipeline.target().deep_eq_report(reference.target()) {
+        panic!("service target diverged from the plain pipeline: {report}");
+    }
+    assert_matches_oracle(&pipeline, "soak final state");
+}
+
+/// A maintainer panic mid-stream surfaces loudly: queued and later requests
+/// error instead of hanging, and shutdown re-raises the panic.
+#[test]
+fn soak_maintainer_panics_propagate_instead_of_hanging() {
+    let params = GenomeParams::default();
+    let source = genome::generate_source(&params);
+    let service = PipelineService::start(genome_pipeline(&params));
+    let mut gen = TrafficGen::new(&source, 5, TrafficWeights::in_place());
+    for _ in 0..10 {
+        service.apply(gen.next_batch(2)).expect("healthy applies");
+    }
+    service.inject_panic();
+    assert!(
+        service.apply(gen.next_batch(2)).is_err(),
+        "applies after a maintainer panic must error, not hang"
+    );
+    let snapshot = service.snapshot();
+    assert!(
+        !snapshot.populated_classes().is_empty(),
+        "the last published snapshot stays readable"
+    );
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = service.shutdown();
+    }));
+    assert!(panicked.is_err(), "shutdown must re-raise the panic");
+}
+
+/// The durable maintainer commits one journal batch per applied mutation
+/// batch: a WAL torn mid-record kills the stream, and reopening the
+/// directory recovers exactly the committed prefix — the torn tail is
+/// discarded — after which replaying the remaining batches lands on a
+/// target bit-identical to an uncrashed run.
+#[test]
+fn durable_maintenance_recovers_the_committed_prefix_after_a_torn_write() {
+    let params = GenomeParams::default();
+    let program = genome::program();
+    let source = genome::generate_source(&params);
+    let batches = stream(&source, 41, 6, 4, 3);
+
+    // Uncrashed reference over the full stream.
+    let mut reference = genome_pipeline(&params);
+    for batch in &batches {
+        reference.apply_batch(batch).expect("reference applies");
+    }
+
+    // Calibrate a fault offset that lands inside a mid-stream record: the
+    // WAL size after two committed batches, plus a few bytes.
+    let probe_dir = temp_dir("probe");
+    let mut probe = MaterializedPipeline::new_durable(
+        &program,
+        vec![genome::generate_source(&params)],
+        PipelineOptions::default(),
+        &DurableOptions::new(&probe_dir),
+    )
+    .expect("probe pipeline builds");
+    for batch in &batches[..2] {
+        probe.apply_batch(batch).expect("probe applies");
+    }
+    let offset = std::fs::metadata(probe_dir.join(PipelineJournal::WAL_FILE))
+        .expect("probe WAL exists")
+        .len()
+        + 16;
+    drop(probe);
+    std::fs::remove_dir_all(&probe_dir).ok();
+
+    // Crashing run: the third batch's journal record tears.
+    let dir = temp_dir("crash");
+    let mut crashing = MaterializedPipeline::new_durable(
+        &program,
+        vec![genome::generate_source(&params)],
+        PipelineOptions::default(),
+        &DurableOptions::new(&dir).with_fault(FaultPolicy::torn_at(offset)),
+    )
+    .expect("the fault lies beyond the initial dump");
+    let mut applied = 0usize;
+    let err = loop {
+        match crashing.apply_batch(&batches[applied]) {
+            Ok(_) => applied += 1,
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(err, MorphaseError::Durability(_)),
+        "unexpected failure mode: {err}"
+    );
+    assert!(
+        (1..batches.len()).contains(&applied),
+        "the fault must strike mid-stream (applied {applied})"
+    );
+    assert!(
+        crashing.is_poisoned(),
+        "a torn journal poisons the pipeline"
+    );
+    assert!(
+        crashing.apply_batch(&batches[applied]).is_err(),
+        "a poisoned pipeline refuses further batches"
+    );
+    drop(crashing);
+
+    // Resume: the committed prefix is recovered, the torn batch is not.
+    let mut resumed = MaterializedPipeline::new_durable(
+        &program,
+        vec![genome::generate_source(&params)],
+        PipelineOptions::default(),
+        &DurableOptions::new(&dir),
+    )
+    .expect("recovery succeeds");
+    assert_eq!(
+        resumed.recovered_batches(),
+        applied as u64,
+        "exactly the committed batches are recovered"
+    );
+    for batch in &batches[applied..] {
+        resumed.apply_batch(batch).expect("resumed applies");
+    }
+    if let Some(report) = resumed.target().deep_eq_report(reference.target()) {
+        panic!("resumed target diverged from the uncrashed reference: {report}");
+    }
+    assert_matches_oracle(&resumed, "resumed stream");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Checkpointing folds the WAL into a compact snapshot without losing
+/// progress: resuming after a checkpoint (plus further batches) recovers
+/// everything, and the stream completes bit-identically.
+#[test]
+fn durable_checkpoint_preserves_progress_and_truncates_the_wal() {
+    let params = GenomeParams::default();
+    let program = genome::program();
+    let source = genome::generate_source(&params);
+    let batches = stream(&source, 77, 5, 3, 2);
+
+    let mut reference = genome_pipeline(&params);
+    for batch in &batches {
+        reference.apply_batch(batch).expect("reference applies");
+    }
+
+    let dir = temp_dir("checkpoint");
+    let mut durable = MaterializedPipeline::new_durable(
+        &program,
+        vec![genome::generate_source(&params)],
+        PipelineOptions::default(),
+        &DurableOptions::new(&dir),
+    )
+    .expect("durable pipeline builds");
+    for batch in &batches[..4] {
+        durable.apply_batch(batch).expect("pre-checkpoint applies");
+    }
+    let wal_before = std::fs::metadata(dir.join(PipelineJournal::WAL_FILE))
+        .expect("WAL exists")
+        .len();
+    durable.checkpoint().expect("checkpoint succeeds");
+    let wal_after = std::fs::metadata(dir.join(PipelineJournal::WAL_FILE))
+        .expect("WAL exists")
+        .len();
+    assert!(
+        wal_after < wal_before,
+        "the checkpoint must truncate the WAL ({wal_before} -> {wal_after})"
+    );
+    for batch in &batches[4..6] {
+        durable.apply_batch(batch).expect("post-checkpoint applies");
+    }
+    drop(durable);
+
+    let mut resumed = MaterializedPipeline::new_durable(
+        &program,
+        vec![genome::generate_source(&params)],
+        PipelineOptions::default(),
+        &DurableOptions::new(&dir),
+    )
+    .expect("recovery succeeds");
+    assert_eq!(resumed.recovered_batches(), 6);
+    for batch in &batches[6..] {
+        resumed.apply_batch(batch).expect("resumed applies");
+    }
+    if let Some(report) = resumed.target().deep_eq_report(reference.target()) {
+        panic!("checkpointed stream diverged from the reference: {report}");
+    }
+    assert_matches_oracle(&resumed, "checkpointed stream");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -370,6 +370,72 @@ fn e10_columnar_scan_filter_is_at_least_3x_row_at_a_time() {
     );
 }
 
+/// The E11 maintenance guard (release mode, run by CI): on the scaled E6
+/// genome warehouse, absorbing an in-place mutation batch through the
+/// standing [`MaterializedPipeline`] must be at least 10× faster than a
+/// from-scratch re-run of the whole transformation, while the maintained
+/// target stays bit-identical to the re-run oracle. Debug builds only
+/// assert the differential (the ratio there measures the allocator, not
+/// the delta pipeline).
+#[test]
+fn e11_incremental_repair_is_at_least_10x_full_rerun() {
+    use wol_repro::morphase::MaterializedPipeline;
+    use wol_repro::workloads::traffic::{TrafficGen, TrafficWeights};
+
+    let params = GenomeParams::scaled(4); // 400 clones, 1200 markers
+    let mut pipeline = MaterializedPipeline::new(
+        &genome::program(),
+        vec![genome::generate_source(&params)],
+        PipelineOptions::default(),
+    )
+    .expect("genome pipeline builds");
+    let mut gen = TrafficGen::new(pipeline.source(0).unwrap(), 47, TrafficWeights::in_place());
+
+    // Full re-run cost, best-of-two to damp scheduler noise.
+    let rerun = |p: &MaterializedPipeline| {
+        let start = std::time::Instant::now();
+        p.rerun_oracle().expect("oracle runs");
+        start.elapsed()
+    };
+    let rerun_cost = rerun(&pipeline).min(rerun(&pipeline));
+
+    // Incremental cost: the median over a short in-place stream (per-batch
+    // best-of is meaningless — every batch advances state — so the median
+    // damps the noise instead).
+    const BATCHES: usize = 20;
+    let mut costs = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let batch = gen.next_batch(4);
+        let start = std::time::Instant::now();
+        let report = pipeline.apply_batch(&batch).expect("batch applies");
+        costs.push(start.elapsed());
+        assert_eq!(
+            report.outcome,
+            wol_repro::morphase::BatchOutcome::InPlace,
+            "the in-place preset must never rebuild"
+        );
+    }
+    costs.sort();
+    let incremental_cost = costs[BATCHES / 2];
+
+    // Bit-identity against the from-scratch oracle at the end of the stream.
+    let oracle = pipeline.rerun_oracle().expect("oracle runs");
+    if let Some(diff) = pipeline.target().deep_eq_report(&oracle.target) {
+        panic!("maintained target diverged from the oracle: {diff}");
+    }
+    if cfg!(debug_assertions) {
+        eprintln!("[e11] debug build: the 10x ratio is measured by the release CI run only");
+        return;
+    }
+    let speedup = rerun_cost.as_secs_f64() / incremental_cost.as_secs_f64().max(1e-9);
+    eprintln!("[e11] rerun {rerun_cost:?}, incremental {incremental_cost:?} ({speedup:.1}x)");
+    assert!(
+        speedup >= 10.0,
+        "expected a >=10x incremental-repair speed-up over a full re-run, got {speedup:.1}x \
+         (rerun {rerun_cost:?}, incremental {incremental_cost:?})"
+    );
+}
+
 /// The full-size E6 acceptance check (100 clones x 300 markers): the genome
 /// join runs on index probes, the ~23M-row cross product is gone (peak
 /// operator output far below 1M rows), and the execute phase — ~20-60s

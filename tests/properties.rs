@@ -703,3 +703,99 @@ proptest! {
         prop_assert!(instances_equivalent(&run.target, &reference, 2));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The maintenance differential: over generated genome sources and
+    /// random mutation streams (inserts, position updates, duplicate Skolem
+    /// keys, attribute updates on referenced clones, removals, renames), an
+    /// incrementally maintained pipeline's target is bit-identical to a
+    /// from-scratch re-run after every batch — and the final target and the
+    /// cumulative `MaintainStats` are identical at every thread count in
+    /// {1, 2, 4, 8} and the outcome counters under both planner cost models.
+    #[test]
+    fn incremental_maintenance_matches_from_scratch_reruns(
+        clones in 2usize..8,
+        markers in 4usize..16,
+        density_tenths in 0usize..11,
+        seed in 0u64..500,
+        stream_seed in 0u64..500,
+        batches in 1usize..7,
+        ops in 1usize..5,
+        mixed in 0usize..2,
+    ) {
+        use wol_repro::morphase::{MaterializedPipeline, PipelineOptions};
+        use wol_repro::workloads::genome::{self, GenomeParams};
+        use wol_repro::workloads::traffic::{TrafficGen, TrafficWeights};
+
+        let params = GenomeParams {
+            clones,
+            markers,
+            density: density_tenths as f64 / 10.0,
+            seed,
+        };
+        let program = genome::program();
+        let source = genome::generate_source(&params);
+        let weights = if mixed == 1 {
+            TrafficWeights::mixed()
+        } else {
+            TrafficWeights::in_place()
+        };
+        let mut gen = TrafficGen::new(&source, stream_seed, weights);
+        let stream: Vec<_> = (0..batches).map(|_| gen.next_batch(ops)).collect();
+
+        // Canonical run: one thread, default cost model, oracle-checked
+        // after every single batch.
+        let mut canonical = MaterializedPipeline::new(
+            &program,
+            vec![source.clone()],
+            PipelineOptions::default(),
+        )
+        .unwrap();
+        for batch in &stream {
+            canonical.apply_batch(batch).unwrap();
+            let oracle = canonical.rerun_oracle().unwrap();
+            if let Some(report) = canonical.target().deep_eq_report(&oracle.target) {
+                prop_assert!(false, "maintained target diverged from the oracle: {}", report);
+            }
+        }
+        let canonical_stats = canonical.stats().clone();
+
+        for cost_model in [cpl::CostModel::Histogram, cpl::CostModel::FlatNdv] {
+            for threads in [1usize, 2, 4, 8] {
+                let options = PipelineOptions {
+                    parallelism: cpl::Parallelism::new(threads),
+                    cost_model,
+                    ..PipelineOptions::default()
+                };
+                let mut pipeline =
+                    MaterializedPipeline::new(&program, vec![source.clone()], options).unwrap();
+                for batch in &stream {
+                    pipeline.apply_batch(batch).unwrap();
+                }
+                if let Some(report) = pipeline.target().deep_eq_report(canonical.target()) {
+                    prop_assert!(
+                        false,
+                        "target diverged at {} threads / {:?}: {}",
+                        threads, cost_model, report
+                    );
+                }
+                let stats = pipeline.stats();
+                // Outcome counters are plan-shape independent.
+                prop_assert_eq!(stats.batches, canonical_stats.batches);
+                prop_assert_eq!(stats.inplace_batches, canonical_stats.inplace_batches);
+                prop_assert_eq!(stats.rebuild_batches, canonical_stats.rebuild_batches);
+                prop_assert_eq!(stats.full_reruns, canonical_stats.full_reruns);
+                prop_assert_eq!(stats.rows_removed, canonical_stats.rows_removed);
+                prop_assert_eq!(stats.rows_added, canonical_stats.rows_added);
+                prop_assert_eq!(stats.objects_repaired, canonical_stats.objects_repaired);
+                if cost_model == cpl::CostModel::default() {
+                    // Within one cost model the full stats block — execution
+                    // counters included — is thread-invariant.
+                    prop_assert_eq!(stats, &canonical_stats);
+                }
+            }
+        }
+    }
+}
