@@ -1,0 +1,169 @@
+//! Experiment E12 — constraint-dominated traffic over the constrained
+//! workload.
+//!
+//! PR 9 adds incremental, certificate-carrying constraint checking: a
+//! mutation batch is validated against the source constraints by read-set
+//! analysis (skip untouched constraints, probe maintained attribute indexes
+//! for key constraints, seed-match the rest from the delta), escalating to a
+//! canonical full re-check only when the delta looks dirty. Every check
+//! emits a [`wol_engine::ConstraintCertificate`] that an independent
+//! `recheck` replays against a snapshot. This bench reports:
+//!
+//! * the full `check_constraints` rescan cost (criterion-measured) — the
+//!   baseline every incremental batch avoids;
+//! * per-batch incremental `check_batch` latency (p50/p99) over a clean
+//!   stream, and the summed incremental-vs-full ratio (the ≥5× release
+//!   guard lives in `tests/perf_regression.rs`);
+//! * an enforcing-pipeline phase: clean batches commit with certificates
+//!   that round-trip the codec and replay via `recheck`, while an injected
+//!   merge-key violation is rejected wholesale.
+//!
+//! Results land in `BENCH_e12.json`.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morphase::{BatchConstraintMode, MaterializedPipeline, PipelineOptions};
+use wol_engine::{check_batch, check_constraints, recheck, ConstraintCertificate, Databases};
+use wol_lang::Clause;
+use wol_model::Parallelism;
+use workloads::constrained::{self, ConstrainedParams};
+
+const BATCH_OPS: usize = 6;
+const STREAM_BATCHES: usize = 120;
+const PIPELINE_BATCHES: usize = 40;
+
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+fn bench_constraints(c: &mut Criterion) {
+    let params = ConstrainedParams::scaled(4); // 1600 users, 2400 profiles, 1600 accounts
+    let source = constrained::generate_source(&params);
+    let program = constrained::program();
+
+    // The clause list under test is exactly what the standing pipeline
+    // enforces: the augmented program's source constraints, in order.
+    let seed_pipeline =
+        MaterializedPipeline::new(&program, vec![source.clone()], PipelineOptions::default())
+            .expect("constrained pipeline builds");
+    let clauses: Vec<Clause> = seed_pipeline.constraints().to_vec();
+    let clause_refs: Vec<&Clause> = clauses.iter().collect();
+    drop(seed_pipeline);
+
+    // Criterion baseline: the full rescan every incremental batch avoids.
+    let mut group = c.benchmark_group("e12_constraints");
+    group
+        .sample_size(bench::SAMPLES)
+        .measurement_time(Duration::from_secs(bench::MEASURE_SECS))
+        .warm_up_time(Duration::from_millis(bench::WARMUP_MS));
+    {
+        let insts = [&source];
+        let dbs = Databases::new(&insts);
+        group.bench_function("full_rescan", |b| {
+            b.iter(|| check_constraints(&clause_refs, &dbs).expect("rescan runs"))
+        });
+    }
+    group.finish();
+
+    // Engine-level stream: per-batch incremental latencies measured by hand
+    // (a criterion `b.iter` over `check_batch` would need a fixed delta and
+    // miss the op mix), each compared against the rescan on the same state.
+    let mut inst = source.clone();
+    let mut gen = constrained::ConstrainedGen::new(&source, 42);
+    let no_suspects = BTreeSet::new();
+    let mut incr_lat: Vec<Duration> = Vec::with_capacity(STREAM_BATCHES);
+    let mut full_total = Duration::ZERO;
+    let mut probes = 0u64;
+    let mut objects = 0u64;
+    for _ in 0..STREAM_BATCHES {
+        let batch = gen.next_batch(BATCH_OPS);
+        let delta = inst.apply_batch(&batch).expect("batch applies");
+        let insts = [&inst];
+        let dbs = Databases::new(&insts);
+        let start = Instant::now();
+        let check = check_batch(
+            &clause_refs,
+            &dbs,
+            &delta,
+            Parallelism::new(1),
+            &no_suspects,
+        )
+        .expect("incremental check runs");
+        incr_lat.push(start.elapsed());
+        assert!(check.violations.is_empty(), "clean traffic must stay clean");
+        probes += check.certificate.probes();
+        objects += check.certificate.checked();
+        let start = Instant::now();
+        let oracle = check_constraints(&clause_refs, &dbs).expect("rescan runs");
+        full_total += start.elapsed();
+        assert!(oracle.is_empty(), "the rescan oracle must agree");
+    }
+    let incr_total: Duration = incr_lat.iter().sum();
+    incr_lat.sort();
+    let incr_p50 = percentile(&incr_lat, 50);
+    let incr_p99 = percentile(&incr_lat, 99);
+
+    // Pipeline phase: an enforcing pipeline absorbs clean traffic — every
+    // committed certificate round-trips the codec and replays against the
+    // post-batch snapshot — and rejects an injected merge-key violation.
+    let options = PipelineOptions {
+        batch_constraints: BatchConstraintMode::Enforce,
+        ..PipelineOptions::default()
+    };
+    let mut pipeline = MaterializedPipeline::new(&program, vec![source.clone()], options)
+        .expect("enforcing pipeline builds");
+    let mut pgen = constrained::ConstrainedGen::new(&source, 43);
+    let mut rechecked = 0u64;
+    for i in 0..PIPELINE_BATCHES {
+        if i == PIPELINE_BATCHES / 2 {
+            let err = pipeline.apply_batch(&pgen.violating_batch());
+            assert!(err.is_err(), "the merge-key violation must be rejected");
+            assert!(!pipeline.is_poisoned(), "rejections must not poison");
+            continue;
+        }
+        let report = pipeline
+            .apply_batch(&pgen.next_batch(BATCH_OPS))
+            .expect("clean batch commits");
+        let check = report.constraints.expect("enforce mode attaches a check");
+        let bytes = check.certificate.encode();
+        let decoded = ConstraintCertificate::decode(&bytes).expect("committed certificate decodes");
+        assert_eq!(decoded, check.certificate);
+        let refs: Vec<&Clause> = pipeline.constraints().iter().collect();
+        let insts = [pipeline.source(0).expect("source 0 exists")];
+        let dbs = Databases::new(&insts);
+        recheck(&decoded, &refs, &dbs).expect("committed certificate replays");
+        rechecked += 1;
+    }
+    let stats = pipeline.stats().clone();
+    assert_eq!(stats.rejected_batches, 1);
+    println!("{}", morphase::render_maintenance_report(&stats));
+
+    bench::BenchJson::new()
+        .str("bench", "e12_constraints")
+        .str("workload", "e12_constrained_x4")
+        .int("batch_ops", BATCH_OPS as u64)
+        .int("stream_batches", STREAM_BATCHES as u64)
+        .num("incremental_p50_secs", incr_p50.as_secs_f64())
+        .num("incremental_p99_secs", incr_p99.as_secs_f64())
+        .num("incremental_total_secs", incr_total.as_secs_f64())
+        .num("full_rescan_total_secs", full_total.as_secs_f64())
+        .num(
+            "incremental_vs_full_ratio",
+            full_total.as_secs_f64() / incr_total.as_secs_f64().max(1e-9),
+        )
+        .int("index_probes", probes)
+        .int("objects_checked", objects)
+        .int("pipeline_certificates_rechecked", rechecked)
+        .int("pipeline_rejected_batches", stats.rejected_batches)
+        .int("pipeline_constraint_probes", stats.constraint_probes)
+        .stamped()
+        .write("BENCH_e12.json");
+}
+
+criterion_group!(benches, bench_constraints);
+criterion_main!(benches);

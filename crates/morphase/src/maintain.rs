@@ -81,14 +81,17 @@ use cpl::expr::{eval, EvalCtx};
 use cpl::{CplError, Expr, Plan, Query, Row};
 use storage::persist::PipelineJournal;
 use wol_engine::rotation::{delta_rotations, Slot};
+use wol_engine::{check_batch, BatchCheck, Databases, EngineError};
 use wol_lang::program::Program;
+use wol_lang::Clause;
 use wol_model::{
     BatchDelta, ClassName, Instance, Label, Mutation, MutationBatch, Oid, Schema, SkolemFactory,
     SkolemState, SourceOp, Type, Value,
 };
 
 use crate::pipeline::{
-    compile_stages, verify_target_instance, DurableOptions, Morphase, MorphaseRun, PipelineOptions,
+    compile_stages, verify_target_instance, BatchConstraintMode, DurableOptions, Morphase,
+    MorphaseRun, PipelineOptions,
 };
 use crate::schedule::plan_schedule;
 use crate::{MorphaseError, Result};
@@ -128,6 +131,11 @@ pub struct BatchReport {
     pub objects_repaired: u64,
     /// Why the batch escalated to a rebuild, when it did.
     pub rebuild_reason: Option<String>,
+    /// The batch's constraint check and certificate, when
+    /// [`BatchConstraintMode`] is not `Off`. In `Report` mode a committed
+    /// batch may carry violations here; in `Enforce` mode a violating batch
+    /// is rejected instead of reported.
+    pub constraints: Option<BatchCheck>,
 }
 
 /// Cumulative maintenance statistics. Deterministic for a given program,
@@ -148,6 +156,21 @@ pub struct MaintainStats {
     pub rows_added: u64,
     /// Target objects written across all in-place batches.
     pub objects_repaired: u64,
+    /// Batches rejected by [`BatchConstraintMode::Enforce`] (not counted in
+    /// `batches`; sources and target were reverted to the pre-batch state).
+    pub rejected_batches: u64,
+    /// Constraints validated (delta or full mode) across all checked batches,
+    /// including rejected ones.
+    pub constraints_checked: u64,
+    /// Constraints skipped by read-set analysis across all checked batches.
+    pub constraints_skipped: u64,
+    /// Objects/bindings examined by constraint checks across all batches.
+    pub constraint_objects: u64,
+    /// Attribute-index probes issued by constraint checks across all batches.
+    pub constraint_probes: u64,
+    /// Constraint violations found across all checked batches (reported or
+    /// rejected).
+    pub constraint_violations: u64,
     /// Execution statistics of all maintenance plan evaluations (initial
     /// fills, rotations, churn refills, rebuilds, and full re-runs).
     pub delta_exec: ExecStats,
@@ -896,16 +919,23 @@ enum CoreState {
 
 /// Compile against the current sources and build the standing state from
 /// scratch: the one entry point for initial builds *and* rebuilds, so a
-/// rebuilt pipeline is a fresh run by construction.
+/// rebuilt pipeline is a fresh run by construction. Also returns the
+/// augmented program's source constraints — the clauses per-batch
+/// validation checks.
 fn build_state(
     program: &Program,
     options: PipelineOptions,
     sources: &[Instance],
     exec: &mut ExecStats,
-) -> Result<CoreState> {
+) -> Result<(CoreState, Vec<Clause>)> {
     let refs: Vec<&Instance> = sources.iter().collect();
     let compiled = compile_stages(options, program, &refs)?;
     let augmented = compiled.augmented;
+    let constraints: Vec<Clause> = augmented
+        .source_constraints()
+        .into_iter()
+        .map(|(_, c)| c.clone())
+        .collect();
     let queries = compiled.queries;
     let target_classes: BTreeSet<ClassName> =
         augmented.target.schema.class_names().into_iter().collect();
@@ -933,9 +963,12 @@ fn build_state(
     if !capable {
         let run = Morphase::with_options(options).transform(program, &refs)?;
         exec.absorb(run.exec);
-        return Ok(CoreState::Rerun {
-            target: Box::new(run.target),
-        });
+        return Ok((
+            CoreState::Rerun {
+                target: Box::new(run.target),
+            },
+            constraints,
+        ));
     }
     let schedule = plan_schedule(&queries);
     let order: Vec<usize> = schedule.stages.iter().flatten().copied().collect();
@@ -990,16 +1023,19 @@ fn build_state(
     if options.verify_target {
         verify_target_instance(&augmented, &target)?;
     }
-    Ok(CoreState::Incremental(Box::new(Core {
-        queries,
-        analyses,
-        order,
-        caches,
-        ledger,
-        factory,
-        target,
-        target_classes,
-    })))
+    Ok((
+        CoreState::Incremental(Box::new(Core {
+            queries,
+            analyses,
+            order,
+            caches,
+            ledger,
+            factory,
+            target,
+            target_classes,
+        })),
+        constraints,
+    ))
 }
 
 enum RepairOutcome {
@@ -1223,6 +1259,13 @@ pub struct MaterializedPipeline {
     state: CoreState,
     stats: MaintainStats,
     source_classes: BTreeSet<ClassName>,
+    /// The augmented program's source constraints, validated per batch when
+    /// [`BatchConstraintMode`] is not `Off`.
+    constraints: Vec<Clause>,
+    /// Indices into `constraints` whose pre-batch cleanliness is unknown:
+    /// a committed (`Report`-mode) batch left them violated, so the next
+    /// check runs them in full until they come back clean.
+    suspects: BTreeSet<usize>,
     journal: Option<PipelineJournal>,
     next_batch: u64,
     recovered: u64,
@@ -1238,7 +1281,7 @@ impl MaterializedPipeline {
         options: PipelineOptions,
     ) -> Result<MaterializedPipeline> {
         let mut stats = MaintainStats::default();
-        let state = build_state(program, options, &sources, &mut stats.delta_exec)?;
+        let (state, constraints) = build_state(program, options, &sources, &mut stats.delta_exec)?;
         Ok(MaterializedPipeline {
             source_classes: Self::source_classes(program),
             program: program.clone(),
@@ -1246,6 +1289,8 @@ impl MaterializedPipeline {
             sources,
             state,
             stats,
+            constraints,
+            suspects: BTreeSet::new(),
             journal: None,
             next_batch: 0,
             recovered: 0,
@@ -1297,7 +1342,7 @@ impl MaterializedPipeline {
         source.begin_mutation_log();
         let sources = vec![source];
         let mut stats = MaintainStats::default();
-        let state = build_state(program, options, &sources, &mut stats.delta_exec)?;
+        let (state, constraints) = build_state(program, options, &sources, &mut stats.delta_exec)?;
         Ok(MaterializedPipeline {
             source_classes: Self::source_classes(program),
             program: program.clone(),
@@ -1305,6 +1350,8 @@ impl MaterializedPipeline {
             sources,
             state,
             stats,
+            constraints,
+            suspects: BTreeSet::new(),
             journal: Some(journal),
             next_batch,
             recovered,
@@ -1326,9 +1373,10 @@ impl MaterializedPipeline {
     }
 
     /// Apply a mutation batch to the given source and repair the target.
-    /// Validation failures leave the pipeline untouched; any failure after
-    /// the source mutated poisons the pipeline (its state may no longer be
-    /// consistent), and every later call errors.
+    /// Validation failures and constraint rejections
+    /// ([`BatchConstraintMode::Enforce`]) leave the pipeline untouched; any
+    /// failure after the source mutated poisons the pipeline (its state may
+    /// no longer be consistent), and every later call errors.
     pub fn apply_batch_to(&mut self, source: usize, batch: &MutationBatch) -> Result<BatchReport> {
         if self.poisoned {
             return Err(MorphaseError::Execution(
@@ -1336,12 +1384,23 @@ impl MaterializedPipeline {
             ));
         }
         self.validate_batch(source, batch)?;
+        let mode = self.options.batch_constraints;
+        let preimages = if mode == BatchConstraintMode::Enforce {
+            self.sources[source].batch_preimages(batch)
+        } else {
+            Vec::new()
+        };
         let delta = match self.sources[source].apply_batch(batch) {
             Ok(delta) => delta,
             Err(e) => {
                 self.poisoned = true;
                 return Err(e.into());
             }
+        };
+        let constraints = if mode == BatchConstraintMode::Off {
+            None
+        } else {
+            self.check_batch_constraints(source, &delta, mode, &preimages)?
         };
         self.stats.batches += 1;
         let report = match self.maintain(source, &delta) {
@@ -1364,7 +1423,77 @@ impl MaterializedPipeline {
             }
             self.next_batch += 1;
         }
-        Ok(report)
+        Ok(BatchReport {
+            constraints,
+            ..report
+        })
+    }
+
+    /// Run the incremental constraint check for an applied batch. In
+    /// `Enforce` mode a violating batch is reverted (sources back to the
+    /// pre-batch state, bit-exact) and rejected with the full deterministic
+    /// violation list — the pipeline stays healthy. Internal failures
+    /// (check or revert errors) poison the pipeline.
+    fn check_batch_constraints(
+        &mut self,
+        source: usize,
+        delta: &BatchDelta,
+        mode: BatchConstraintMode,
+        preimages: &[(Oid, Value)],
+    ) -> Result<Option<BatchCheck>> {
+        let check = {
+            let clause_refs: Vec<&Clause> = self.constraints.iter().collect();
+            let refs: Vec<&Instance> = self.sources.iter().collect();
+            let dbs = Databases::new(&refs);
+            match check_batch(
+                &clause_refs,
+                &dbs,
+                delta,
+                self.options.parallelism,
+                &self.suspects,
+            ) {
+                Ok(check) => check,
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(MorphaseError::Verification(e.to_string()));
+                }
+            }
+        };
+        self.stats.constraints_checked += check.certificate.validated();
+        self.stats.constraints_skipped += check.certificate.skipped();
+        self.stats.constraint_objects += check.certificate.checked();
+        self.stats.constraint_probes += check.certificate.probes();
+        self.stats.constraint_violations += check.certificate.violation_count();
+        if !check.violations.is_empty() && mode == BatchConstraintMode::Enforce {
+            if let Err(e) = self.sources[source].revert_batch(delta, preimages) {
+                self.poisoned = true;
+                return Err(e.into());
+            }
+            if self.journal.is_some() {
+                // The journal must never see the rejected ops or their
+                // reverts — drop them from the mutation log.
+                let _ = self.sources[source].take_mutation_log();
+            }
+            self.stats.rejected_batches += 1;
+            return Err(MorphaseError::Verification(
+                EngineError::ConstraintsViolated {
+                    violations: check.violations,
+                }
+                .to_string(),
+            ));
+        }
+        // The committed state satisfies every constraint that checked clean;
+        // ones still violated (Report mode commits them anyway) lose the
+        // pre-clean contract and stay on full re-check until they recover.
+        self.suspects = check
+            .certificate
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, entry)| !entry.violations.is_empty())
+            .map(|(idx, _)| idx)
+            .collect();
+        Ok(Some(check))
     }
 
     /// Reject malformed batches before mutating anything: unknown classes,
@@ -1419,6 +1548,7 @@ impl MaterializedPipeline {
                 rows_added: 0,
                 objects_repaired: 0,
                 rebuild_reason: None,
+                constraints: None,
             });
         }
         let CoreState::Incremental(core) = &mut self.state else {
@@ -1448,15 +1578,18 @@ impl MaterializedPipeline {
                     rows_added,
                     objects_repaired,
                     rebuild_reason: None,
+                    constraints: None,
                 })
             }
             RepairOutcome::Rebuild(reason) => {
-                self.state = build_state(
+                let (state, constraints) = build_state(
                     &self.program,
                     self.options,
                     &self.sources,
                     &mut self.stats.delta_exec,
                 )?;
+                self.state = state;
+                self.constraints = constraints;
                 self.stats.rebuild_batches += 1;
                 Ok(BatchReport {
                     outcome: BatchOutcome::Rebuild,
@@ -1464,6 +1597,7 @@ impl MaterializedPipeline {
                     rows_added: 0,
                     objects_repaired: 0,
                     rebuild_reason: Some(reason),
+                    constraints: None,
                 })
             }
         }
@@ -1485,6 +1619,15 @@ impl MaterializedPipeline {
     /// Cumulative maintenance statistics.
     pub fn stats(&self) -> &MaintainStats {
         &self.stats
+    }
+
+    /// The augmented program's source constraints, in check order — the
+    /// clause list a batch's [`ConstraintCertificate`] entries parallel
+    /// (pass these to [`wol_engine::recheck`] to audit a certificate).
+    ///
+    /// [`ConstraintCertificate`]: wol_engine::ConstraintCertificate
+    pub fn constraints(&self) -> &[Clause] {
+        &self.constraints
     }
 
     /// The maintenance mode the current compile landed in.
@@ -1772,5 +1915,99 @@ mod tests {
         assert!(pipeline.stats().batches == 6);
         assert!(pipeline.stats().inplace_batches >= 3);
         assert!(pipeline.stats().rebuild_batches >= 1);
+    }
+
+    fn constrained_pipeline(mode: BatchConstraintMode) -> MaterializedPipeline {
+        use workloads::constrained::{self, ConstrainedParams};
+        let program = constrained::program();
+        let source = constrained::generate_source(&ConstrainedParams::default());
+        let options = PipelineOptions {
+            batch_constraints: mode,
+            ..PipelineOptions::default()
+        };
+        MaterializedPipeline::new(&program, vec![source], options).unwrap()
+    }
+
+    #[test]
+    fn enforcing_pipeline_rejects_violations_without_poisoning() {
+        use workloads::constrained;
+        let mut pipeline = constrained_pipeline(BatchConstraintMode::Enforce);
+        let mut gen = constrained::ConstrainedGen::new(pipeline.source(0).unwrap(), 3);
+        // Clean traffic commits with a certificate and no violations.
+        let report = pipeline.apply_batch(&gen.next_batch(5)).unwrap();
+        let check = report.constraints.expect("enforce mode attaches a check");
+        assert!(check.violations.is_empty());
+        assert_eq!(check.certificate.entries.len(), 3);
+        // A duplicate email is rejected: the error carries the violation,
+        // sources and target revert bit-exactly, nothing is poisoned.
+        let before_source = pipeline.source(0).unwrap().clone();
+        let before_target = pipeline.target().clone();
+        let before_batches = pipeline.stats().batches;
+        let err = pipeline.apply_batch(&gen.violating_batch()).unwrap_err();
+        assert!(
+            matches!(&err, MorphaseError::Verification(m) if m.contains("S1")),
+            "unexpected rejection error: {err}"
+        );
+        assert!(!pipeline.is_poisoned());
+        assert!(pipeline
+            .source(0)
+            .unwrap()
+            .deep_eq_report(&before_source)
+            .is_none());
+        assert!(pipeline.target().deep_eq_report(&before_target).is_none());
+        assert_eq!(pipeline.stats().batches, before_batches);
+        assert_eq!(pipeline.stats().rejected_batches, 1);
+        assert!(pipeline.stats().constraint_violations > 0);
+        // The pipeline keeps absorbing clean traffic and matches the oracle.
+        pipeline.apply_batch(&gen.next_batch(5)).unwrap();
+        assert_matches_oracle(&pipeline);
+    }
+
+    #[test]
+    fn reporting_pipeline_commits_violations_and_recovers() {
+        use workloads::constrained;
+        let mut pipeline = constrained_pipeline(BatchConstraintMode::Report);
+        let mut gen = constrained::ConstrainedGen::new(pipeline.source(0).unwrap(), 4);
+        // The violating batch commits; the report carries the violations.
+        let report = pipeline.apply_batch(&gen.violating_batch()).unwrap();
+        let check = report.constraints.expect("report mode attaches a check");
+        assert!(check.violations.iter().any(|v| v.clause == "S1"));
+        assert!(!pipeline.is_poisoned());
+        assert_matches_oracle(&pipeline);
+        // While the violation stands, S1's pre-clean contract is void: the
+        // next batch re-checks it in full and still reports it.
+        let user_s = ClassName::new("UserS");
+        let next = pipeline.apply_batch(&MutationBatch::new()).unwrap();
+        let next_check = next.constraints.expect("still checking");
+        let s1 = &next_check.certificate.entries[0];
+        assert_eq!(s1.constraint, "S1");
+        assert!(!s1.violations.is_empty());
+        // Removing the imposter clears the violation; the constraint
+        // returns to delta checking afterwards.
+        let imposter = pipeline
+            .source(0)
+            .unwrap()
+            .objects(&user_s)
+            .find(|(_, v)| v.project("tier") == Some(&Value::int(constrained::IMPOSTER_TIER)))
+            .map(|(oid, _)| oid.clone())
+            .expect("the committed imposter is live");
+        let cleared = pipeline
+            .apply_batch(&MutationBatch::new().remove(imposter))
+            .unwrap();
+        assert!(cleared.constraints.unwrap().violations.is_empty());
+        assert_matches_oracle(&pipeline);
+        assert_eq!(pipeline.stats().rejected_batches, 0);
+        assert!(pipeline.stats().constraint_violations >= 2);
+    }
+
+    #[test]
+    fn off_mode_attaches_no_check_and_counts_no_constraints() {
+        use workloads::constrained;
+        let mut pipeline = constrained_pipeline(BatchConstraintMode::Off);
+        let mut gen = constrained::ConstrainedGen::new(pipeline.source(0).unwrap(), 6);
+        let report = pipeline.apply_batch(&gen.next_batch(4)).unwrap();
+        assert!(report.constraints.is_none());
+        assert_eq!(pipeline.stats().constraints_checked, 0);
+        assert_eq!(pipeline.stats().constraints_skipped, 0);
     }
 }

@@ -16,6 +16,23 @@ use crate::metadata::{generate_key_clauses, generate_merge_key_clauses};
 use crate::schedule::plan_schedule;
 use crate::Result;
 
+/// How a [`crate::MaterializedPipeline`] validates source constraints per
+/// mutation batch (see `wol_engine::constraints::incremental`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchConstraintMode {
+    /// No per-batch constraint checking (the default).
+    #[default]
+    Off,
+    /// Check every batch incrementally and record violations in the batch
+    /// report and stats, but commit the batch regardless. Constraints seen
+    /// violated stay on full re-check until they come back clean.
+    Report,
+    /// Check every batch incrementally; a violating batch is reverted and
+    /// rejected with the full violation list, leaving sources and target
+    /// exactly as before the batch.
+    Enforce,
+}
+
 /// Options controlling a Morphase run.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineOptions {
@@ -49,6 +66,10 @@ pub struct PipelineOptions {
     /// for operator-level morsels alone. Parallel execution is deterministic
     /// — the produced target is bit-identical at every thread count.
     pub parallelism: cpl::Parallelism,
+    /// Per-batch source-constraint validation mode for standing pipelines
+    /// ([`crate::MaterializedPipeline`] / [`crate::PipelineService`]); the
+    /// one-shot transform ignores it (use `check_source_constraints`).
+    pub batch_constraints: BatchConstraintMode,
 }
 
 impl Default for PipelineOptions {
@@ -62,6 +83,7 @@ impl Default for PipelineOptions {
             verify_target: true,
             check_source_constraints: false,
             parallelism: cpl::Parallelism::from_env(),
+            batch_constraints: BatchConstraintMode::default(),
         }
     }
 }

@@ -142,6 +142,18 @@ pub fn render_maintenance_report(stats: &MaintainStats) -> String {
         "rows: {} swept, {} replayed; {} objects repaired",
         stats.rows_removed, stats.rows_added, stats.objects_repaired
     );
+    if stats.constraints_checked + stats.constraints_skipped + stats.rejected_batches > 0 {
+        let _ = writeln!(
+            out,
+            "constraints: {} checked, {} skipped, {} probes over {} objects; {} violations, {} batches rejected",
+            stats.constraints_checked,
+            stats.constraints_skipped,
+            stats.constraint_probes,
+            stats.constraint_objects,
+            stats.constraint_violations,
+            stats.rejected_batches
+        );
+    }
     let _ = writeln!(
         out,
         "delta execution: {} rows scanned, {} rows produced, {} restricted scans",
@@ -361,13 +373,37 @@ mod tests {
                 restricted_scans: 18,
                 ..ExecStats::default()
             },
+            ..MaintainStats::default()
         };
         let report = render_maintenance_report(&stats);
         assert!(report.contains("== Materialized pipeline =="));
         assert!(report.contains("batches: 12 (9 in-place, 2 rebuilds, 1 full re-runs)"));
         assert!(report.contains("rows: 4 swept, 31 replayed; 27 objects repaired"));
+        // No constraint checking ran: the constraint line is absent.
+        assert!(!report.contains("constraints:"));
         assert!(report
             .contains("delta execution: 500 rows scanned, 120 rows produced, 18 restricted scans"));
+    }
+
+    /// Pins the constraint line of the maintenance report: present exactly
+    /// when per-batch constraint checking did any work.
+    #[test]
+    fn report_pins_the_constraint_line() {
+        use crate::maintain::MaintainStats;
+        let stats = MaintainStats {
+            batches: 5,
+            constraints_checked: 7,
+            constraints_skipped: 8,
+            constraint_objects: 90,
+            constraint_probes: 40,
+            constraint_violations: 2,
+            rejected_batches: 1,
+            ..MaintainStats::default()
+        };
+        let report = render_maintenance_report(&stats);
+        assert!(report.contains(
+            "constraints: 7 checked, 8 skipped, 40 probes over 90 objects; 2 violations, 1 batches rejected"
+        ));
     }
 
     #[test]

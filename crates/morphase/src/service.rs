@@ -209,4 +209,33 @@ mod tests {
         assert!(!service.is_poisoned(), "validation failures do not poison");
         service.shutdown().unwrap();
     }
+
+    #[test]
+    fn constraint_rejections_leave_the_service_healthy_and_the_snapshot_unmoved() {
+        use crate::pipeline::BatchConstraintMode;
+        use workloads::constrained::{self, ConstrainedParams};
+        let program = constrained::program();
+        let source = constrained::generate_source(&ConstrainedParams::default());
+        let options = PipelineOptions {
+            batch_constraints: BatchConstraintMode::Enforce,
+            ..PipelineOptions::default()
+        };
+        let pipeline = MaterializedPipeline::new(&program, vec![source.clone()], options).unwrap();
+        let mut gen = constrained::ConstrainedGen::new(&source, 2);
+        let service = PipelineService::start(pipeline);
+        let before = service.snapshot();
+        let err = service.apply(gen.violating_batch()).unwrap_err();
+        assert!(matches!(err, MorphaseError::Verification(_)));
+        assert!(!service.is_poisoned(), "rejections do not poison");
+        // No snapshot was published for the rejected batch.
+        let after = service.snapshot();
+        assert!(Arc::ptr_eq(&before, &after));
+        // Clean traffic still flows and publishes fresh snapshots.
+        let report = service.apply(gen.next_batch(4)).unwrap();
+        assert!(report.constraints.is_some());
+        assert!(!Arc::ptr_eq(&before, &service.snapshot()));
+        let pipeline = service.shutdown().unwrap();
+        assert_eq!(pipeline.stats().rejected_batches, 1);
+        assert_eq!(pipeline.stats().batches, 1);
+    }
 }

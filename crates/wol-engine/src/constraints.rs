@@ -14,12 +14,17 @@
 //!   constraints);
 //! * [`extract_object_keys`] and [`extract_merge_keys`]: pull key information
 //!   out of a program's constraints for use by normalisation (Section 4.1) and
-//!   by the source-constraint optimiser (Section 4.2).
+//!   by the source-constraint optimiser (Section 4.2);
+//! * [`incremental`]: delta-restricted, worker-pool-parallel constraint
+//!   checking for mutation batches, with auditable
+//!   [`ConstraintCertificate`](incremental::ConstraintCertificate)s.
+
+pub mod incremental;
 
 use std::collections::BTreeMap;
 
 use wol_lang::ast::{Atom, Clause, SkolemArgs, Term, Var};
-use wol_model::{ClassName, Label, Path, SkolemFactory, Value};
+use wol_model::{ClassName, Label, Oid, Path, SkolemFactory, Value};
 
 use crate::env::{match_body, try_eval_term, Bindings, Databases};
 use crate::error::EngineError;
@@ -323,10 +328,36 @@ pub struct Violation {
     pub clause: String,
     /// Description of the binding that has no head witness.
     pub detail: String,
+    /// Object identities participating in the violating binding, in binding
+    /// order, deduplicated. Empty when the violation involves no objects.
+    pub oids: Vec<Oid>,
+}
+
+/// Object identities occurring directly in the given values, deduplicated,
+/// preserving first-occurrence order.
+fn oid_witnesses<'a>(values: impl IntoIterator<Item = &'a Value>) -> Vec<Oid> {
+    let mut out: Vec<Oid> = Vec::new();
+    for value in values {
+        if let Value::Oid(oid) = value {
+            if !out.contains(oid) {
+                out.push(oid.clone());
+            }
+        }
+    }
+    out
 }
 
 /// Check a single constraint clause against the given databases.
 pub fn check_constraint(clause: &Clause, dbs: &Databases<'_>) -> Result<Vec<Violation>> {
+    Ok(check_constraint_counted(clause, dbs)?.0)
+}
+
+/// [`check_constraint`], also reporting how many body bindings were examined
+/// (the work metric recorded in constraint certificates).
+pub(crate) fn check_constraint_counted(
+    clause: &Clause,
+    dbs: &Databases<'_>,
+) -> Result<(Vec<Violation>, u64)> {
     let mut skolem = SkolemFactory::new();
     let clause_name = clause
         .label
@@ -354,7 +385,9 @@ pub fn check_constraint(clause: &Clause, dbs: &Databases<'_>) -> Result<Vec<Viol
     let mut obj_to_key: BTreeMap<(ClassName, Value), Value> = BTreeMap::new();
 
     let body_bindings = match_body(&clause.body, dbs, &mut skolem, Bindings::new())?;
+    let mut checked: u64 = 0;
     for binding in body_bindings {
+        checked += 1;
         // 1. Skolem key atoms.
         for atom in &key_atoms {
             let Atom::Eq(s, t) = atom else { unreachable!() };
@@ -380,6 +413,7 @@ pub fn check_constraint(clause: &Clause, dbs: &Databases<'_>) -> Result<Vec<Viol
                         detail: format!(
                             "key {key_value:?} of class `{class}` is associated with two distinct objects"
                         ),
+                        oids: oid_witnesses([previous, &object_value]),
                     });
                     continue;
                 }
@@ -393,6 +427,7 @@ pub fn check_constraint(clause: &Clause, dbs: &Databases<'_>) -> Result<Vec<Viol
                         detail: format!(
                             "an object of class `{class}` has two distinct key values ({previous:?} and {key_value:?})"
                         ),
+                        oids: oid_witnesses([&obj_key.1]),
                     });
                     continue;
                 }
@@ -413,10 +448,11 @@ pub fn check_constraint(clause: &Clause, dbs: &Databases<'_>) -> Result<Vec<Viol
             violations.push(Violation {
                 clause: clause_name.clone(),
                 detail: format!("no head witness for binding {}", describe_binding(&binding)),
+                oids: oid_witnesses(binding.iter().map(|(_, v)| v)),
             });
         }
     }
-    Ok(violations)
+    Ok((violations, checked))
 }
 
 /// Check several constraints; returns all violations found.
@@ -428,15 +464,16 @@ pub fn check_constraints(clauses: &[&Clause], dbs: &Databases<'_>) -> Result<Vec
     Ok(out)
 }
 
-/// Check constraints and fail with the first violation, if any.
+/// Check constraints and fail if any are violated. The error carries the
+/// *full* violation list in the deterministic order of
+/// [`check_constraints`] (clause order, then binding order), so callers and
+/// reports can show every violation instead of just the first.
 pub fn enforce_constraints(clauses: &[&Clause], dbs: &Databases<'_>) -> Result<()> {
     let violations = check_constraints(clauses, dbs)?;
-    match violations.into_iter().next() {
-        None => Ok(()),
-        Some(v) => Err(EngineError::ConstraintViolated {
-            clause: v.clause,
-            detail: v.detail,
-        }),
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(EngineError::ConstraintsViolated { violations })
     }
 }
 

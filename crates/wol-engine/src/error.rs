@@ -14,6 +14,16 @@ pub enum EngineError {
         /// Description of the violating binding.
         detail: String,
     },
+    /// One or more constraints are violated; carries the full violation list
+    /// in the deterministic order produced by
+    /// [`check_constraints`](crate::constraints::check_constraints).
+    ConstraintsViolated {
+        /// Every violation found, in clause order then binding order.
+        violations: Vec<crate::constraints::Violation>,
+    },
+    /// A constraint certificate failed to decode or to re-check against a
+    /// snapshot.
+    Certificate(String),
     /// The transformation program is recursive and cannot be normalised under
     /// Morphase's syntactic restrictions (Section 5).
     RecursiveProgram(String),
@@ -42,6 +52,14 @@ impl fmt::Display for EngineError {
             EngineError::ConstraintViolated { clause, detail } => {
                 write!(f, "constraint {clause} violated: {detail}")
             }
+            EngineError::ConstraintsViolated { violations } => {
+                write!(f, "{} constraint violation(s):", violations.len())?;
+                for v in violations {
+                    write!(f, " [{}] {};", v.clause, v.detail)?;
+                }
+                Ok(())
+            }
+            EngineError::Certificate(m) => write!(f, "constraint certificate error: {m}"),
             EngineError::RecursiveProgram(m) => write!(f, "recursive transformation program: {m}"),
             EngineError::Incomplete { class, detail } => {
                 write!(f, "incomplete description of class `{class}`: {detail}")
@@ -83,6 +101,27 @@ mod tests {
         }
         .to_string()
         .contains("C4"));
+        let many = EngineError::ConstraintsViolated {
+            violations: vec![
+                crate::constraints::Violation {
+                    clause: "C4".into(),
+                    detail: "first".into(),
+                    oids: Vec::new(),
+                },
+                crate::constraints::Violation {
+                    clause: "C8".into(),
+                    detail: "second".into(),
+                    oids: Vec::new(),
+                },
+            ],
+        }
+        .to_string();
+        assert!(many.contains("2 constraint violation(s)"));
+        assert!(many.contains("[C4] first"));
+        assert!(many.contains("[C8] second"));
+        assert!(EngineError::Certificate("bad crc".into())
+            .to_string()
+            .contains("certificate"));
         assert!(EngineError::RecursiveProgram("loop".into())
             .to_string()
             .contains("recursive"));

@@ -20,6 +20,52 @@
 //! * [`completeness`] — static completeness analysis (Section 3.2).
 //! * [`info_preserve`] — empirical information-preservation (injectivity)
 //!   checking (Section 4.3).
+//!
+//! # Constraint checking
+//!
+//! [`check_constraints`] validates constraint clauses by full extent scans;
+//! [`enforce_constraints`] fails with the **full** violation list (clause
+//! order, then binding order) when any constraint is violated.
+//! [`constraints::incremental`] validates a mutation batch by examining only
+//! the delta — read-set analysis decides per constraint whether to skip,
+//! probe the maintained attribute indexes / re-match seeded bindings, or
+//! re-check from scratch — partitioned over the shared worker pool with an
+//! output that is bit-identical to the full scan at every thread count (see
+//! the module docs for the exactness argument).
+//!
+//! Every batch validation emits a [`ConstraintCertificate`]: an auditable,
+//! independently re-checkable record in the spirit of "Rust emits, Lean
+//! re-checks". [`constraints::incremental::recheck`] replays a certificate
+//! against a snapshot and fails on any disagreement.
+//!
+//! ## Certificate wire format (version 1)
+//!
+//! All integers use the `storage::persist` codec primitives (little-endian
+//! fixed-width ints, LEB128 varints, varint-length-prefixed UTF-8 strings,
+//! oids as class string + varint id):
+//!
+//! | Field | Encoding | Meaning |
+//! |---|---|---|
+//! | magic | 8 raw bytes `b"WOLCERT\0"` | format marker |
+//! | version | `u32` | certificate format version (currently 1) |
+//! | entry count | varint | number of per-constraint entries |
+//! | — entry.constraint | string | clause label (or `<unlabelled>`) |
+//! | — entry.mode | `u8` | 0 = skipped, 1 = delta, 2 = full |
+//! | — entry.checked | varint | objects/bindings examined |
+//! | — entry.probes | varint | attribute-index probes issued |
+//! | — entry.violation count | varint | violations recorded for this entry |
+//! | — — violation.clause | string | violated clause label |
+//! | — — violation.detail | string | human-readable witness description |
+//! | — — violation.oid count | varint | participating object identities |
+//! | — — — violation.oid | oid | one participating identity |
+//! | crc | `u32` | CRC-32 over every preceding byte |
+//!
+//! Version-bump rules match the persistence layer's: existing field
+//! positions, mode tags and the magic are frozen; any change to them — or
+//! any new field — requires bumping `CERTIFICATE_VERSION`, and decoders
+//! reject versions they do not know. A certificate that fails the CRC, has
+//! trailing bytes, or uses an unknown tag is rejected with
+//! [`EngineError::Certificate`] — corruption is never silently accepted.
 
 pub mod completeness;
 pub mod constraints;
@@ -34,6 +80,10 @@ pub mod semantics;
 pub mod snf;
 
 pub use completeness::{check_completeness, CompletenessReport};
+pub use constraints::incremental::{
+    analyze_constraint, check_batch, recheck, BatchCheck, CertEntry, CheckMode,
+    ConstraintCertificate, RecheckReport, CERTIFICATE_MAGIC, CERTIFICATE_VERSION,
+};
 pub use constraints::{
     check_constraint, check_constraints, classify_constraint, enforce_constraints,
     extract_merge_keys, extract_object_keys, ConstraintClass, ObjectKey, Violation,

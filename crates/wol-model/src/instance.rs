@@ -648,6 +648,15 @@ impl Instance {
         self.oid_gen.restore_count(class, count);
     }
 
+    /// Lower the fresh-identity counter of `class` back to `count`, undoing
+    /// mints whose objects have been removed again (see
+    /// [`OidGen::rewind_count`] for the safety contract). Batch reverts use
+    /// this so a rejected batch leaves the instance — generator state
+    /// included — bit-identical to the pre-batch state.
+    pub fn rewind_oid_counter(&mut self, class: &ClassName, count: u64) {
+        self.oid_gen.rewind_count(class, count);
+    }
+
     /// Compare two instances and describe the *first divergence* in
     /// human-readable terms (schema name, class, oid, attribute), or `None`
     /// when the instances are equal. Recovery and determinism tests use this

@@ -202,6 +202,62 @@ impl Instance {
         }
         Ok(delta)
     }
+
+    /// Capture, *before* applying `batch`, the pre-images that
+    /// [`Instance::revert_batch`] needs: the current value of every identity
+    /// the batch updates or removes (first occurrence wins — that is the
+    /// pre-batch value even if the batch touches the identity repeatedly).
+    pub fn batch_preimages(&self, batch: &MutationBatch) -> Vec<(Oid, Value)> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for op in &batch.ops {
+            let oid = match op {
+                SourceOp::Insert { .. } => continue,
+                SourceOp::Update { oid, .. } | SourceOp::Remove { oid } => oid,
+            };
+            if seen.insert(oid.clone()) {
+                if let Some(value) = self.value(oid) {
+                    out.push((oid.clone(), value.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Undo an applied batch: remove net inserts, restore updated values and
+    /// re-insert removed objects under their original identities. Extents
+    /// are ordered sets and the fresh-identity counters are rewound past the
+    /// removed mints, so the reverted instance — generator state included —
+    /// is bit-identical to the pre-batch state. `preimages` must come from
+    /// [`Instance::batch_preimages`] on the pre-batch state.
+    pub fn revert_batch(&mut self, delta: &BatchDelta, preimages: &[(Oid, Value)]) -> Result<()> {
+        let pre: BTreeMap<&Oid, &Value> = preimages.iter().map(|(o, v)| (o, v)).collect();
+        let lookup = |oid: &Oid| {
+            pre.get(oid).map(|v| (*v).clone()).ok_or_else(|| {
+                crate::ModelError::Invalid(format!(
+                    "no pre-image for {oid} while reverting a batch"
+                ))
+            })
+        };
+        for (class, class_delta) in &delta.classes {
+            for oid in &class_delta.inserted {
+                self.remove(oid)
+                    .ok_or_else(|| crate::ModelError::DanglingOid(oid.to_string()))?;
+            }
+            // The batch minted its net inserts as a contiguous tail run, so
+            // the lowest inserted discriminator *is* the pre-batch counter.
+            if let Some(low) = class_delta.inserted.iter().map(Oid::id).min() {
+                self.rewind_oid_counter(class, low);
+            }
+            for oid in &class_delta.updated {
+                self.update(oid, lookup(oid)?)?;
+            }
+            for oid in &class_delta.removed {
+                self.insert(oid.clone(), lookup(oid)?)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +401,54 @@ mod tests {
         assert_eq!(inst.attr_histogram(&class, "position").entries(), 0);
         assert_eq!(inst.attr_column(&class, "position").present(), 0);
         assert!(inst.class_row_index(&class).is_empty());
+    }
+
+    #[test]
+    fn revert_batch_restores_the_pre_batch_state() {
+        let mut inst = Instance::new("s");
+        let class = ClassName::new("M");
+        let kept = inst.insert_fresh(&class, marker("kept", 1));
+        let gone = inst.insert_fresh(&class, marker("gone", 2));
+        let reference = inst.clone();
+        let batch = MutationBatch::new()
+            .insert(class.clone(), marker("new", 3))
+            .update(kept.clone(), marker("kept", 10))
+            .remove(gone.clone());
+        let pre = inst.batch_preimages(&batch);
+        let delta = inst.apply_batch(&batch).unwrap();
+        inst.revert_batch(&delta, &pre).unwrap();
+        // Bit-identical: extents, values, *and* the identity generator (the
+        // batch's mint is rewound), so `PartialEq` — not just deep-eq — holds
+        // and a later insert mints the same identity it would have without
+        // the reverted batch.
+        assert_eq!(inst, reference);
+        assert_eq!(inst.deep_eq_report(&reference), None);
+        assert_eq!(
+            inst.insert_fresh(&class, marker("later", 4)),
+            Oid::new(class.clone(), 2)
+        );
+        // The maintained attribute index reflects the revert too.
+        assert_eq!(
+            inst.lookup_by_attr(&class, "position", &Value::int(1)),
+            vec![kept]
+        );
+        assert!(inst
+            .lookup_by_attr(&class, "position", &Value::int(3))
+            .is_empty());
+        assert_eq!(
+            inst.lookup_by_attr(&class, "position", &Value::int(2)),
+            vec![gone]
+        );
+    }
+
+    #[test]
+    fn revert_batch_requires_preimages() {
+        let mut inst = Instance::new("s");
+        let class = ClassName::new("M");
+        let oid = inst.insert_fresh(&class, marker("x", 1));
+        let batch = MutationBatch::new().remove(oid);
+        let delta = inst.apply_batch(&batch).unwrap();
+        assert!(inst.revert_batch(&delta, &[]).is_err());
     }
 
     #[test]

@@ -94,6 +94,23 @@ impl OidGen {
             self.counters.insert(class.clone(), count);
         }
     }
+
+    /// Lower the counter of `class` back to `count` — the inverse of a run
+    /// of [`fresh`](Self::fresh) calls whose identities were all removed
+    /// again (a batch revert). The caller must guarantee no live identity of
+    /// `class` has a discriminator at or above `count`; lowering below that
+    /// would let `fresh` re-mint a live identity. Raising is a no-op (that
+    /// is [`restore_count`](Self::restore_count)'s job). Rewinding to zero
+    /// drops the entry, matching a generator that never minted the class.
+    pub fn rewind_count(&mut self, class: &ClassName, count: u64) {
+        if count < self.count(class) {
+            if count == 0 {
+                self.counters.remove(class);
+            } else {
+                self.counters.insert(class.clone(), count);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@
 //! * [`traffic`] — E11: deterministic mutation-batch streams over the genome
 //!   warehouse (inserts, updates, duplicate Skolem keys, removals, renames),
 //!   feeding the incremental-maintenance bench and test suites.
+//! * [`constrained`] — E12: a registry source carrying one constraint of
+//!   each family the incremental checker plans differently (merge key,
+//!   existence, Skolem key) with clean and violating mutation streams,
+//!   feeding the per-batch constraint-validation bench and test suites.
 //! * [`skewed`] — E7: the genome theme with a *zipfian* marker-per-clone
 //!   distribution and a triangle join whose ordering the flat `1/ndv` cost
 //!   model provably gets wrong; the workload behind the histogram-estimation
@@ -28,6 +32,7 @@
 //!   constraints; the knob behind the compile-time experiments E1 and E2.
 
 pub mod cities;
+pub mod constrained;
 pub mod genome;
 pub mod people;
 pub mod skewed;

@@ -479,3 +479,79 @@ fn e6_full_size_genome_pipeline_has_no_cross_products() {
         run.timings.execute
     );
 }
+
+/// The E12 constraint guard (release mode, run by CI): on the scaled
+/// constrained workload, validating a mutation batch with the incremental
+/// `check_batch` (read-set analysis + index probes over the delta) must be
+/// at least 5× faster than a full `check_constraints` rescan of the same
+/// post-batch state, summed over a constraint-dominated stream — while
+/// reporting exactly what the rescan reports (clean, here). Debug builds
+/// assert only the differential.
+#[test]
+fn e12_incremental_constraint_checks_are_at_least_5x_faster_than_full_rescans() {
+    use std::collections::BTreeSet;
+    use std::time::Instant;
+    use wol_repro::morphase::MaterializedPipeline;
+    use wol_repro::wol_engine::{check_batch, check_constraints, Databases};
+    use wol_repro::wol_lang::Clause;
+    use wol_repro::workloads::constrained::{self, ConstrainedParams};
+
+    let params = ConstrainedParams::scaled(4); // 1600 users, 2400 profiles, 1600 accounts
+    let source = constrained::generate_source(&params);
+    // The clause list under test is exactly what the standing pipeline
+    // enforces: the augmented program's source constraints, in order.
+    let pipeline = MaterializedPipeline::new(
+        &constrained::program(),
+        vec![source.clone()],
+        PipelineOptions::default(),
+    )
+    .expect("constrained pipeline builds");
+    let clauses: Vec<Clause> = pipeline.constraints().to_vec();
+    let clause_refs: Vec<&Clause> = clauses.iter().collect();
+    drop(pipeline);
+
+    let mut inst = source.clone();
+    let mut gen = constrained::ConstrainedGen::new(&source, 51);
+    let no_suspects = BTreeSet::new();
+    const BATCHES: usize = 30;
+    let mut incremental = Duration::ZERO;
+    let mut full = Duration::ZERO;
+    let mut probes = 0u64;
+    for _ in 0..BATCHES {
+        let batch = gen.next_batch(6);
+        let delta = inst.apply_batch(&batch).expect("batch applies");
+        let insts = [&inst];
+        let dbs = Databases::new(&insts);
+        let start = Instant::now();
+        let check = check_batch(
+            &clause_refs,
+            &dbs,
+            &delta,
+            cpl::Parallelism::new(1),
+            &no_suspects,
+        )
+        .expect("incremental check runs");
+        incremental += start.elapsed();
+        let start = Instant::now();
+        let oracle = check_constraints(&clause_refs, &dbs).expect("full rescan runs");
+        full += start.elapsed();
+        assert_eq!(
+            check.violations, oracle,
+            "incremental and full checks must agree"
+        );
+        assert!(oracle.is_empty(), "clean traffic must stay clean");
+        probes += check.certificate.probes();
+    }
+    assert!(probes > 0, "the key probes never fired");
+    if cfg!(debug_assertions) {
+        eprintln!("[e12] debug build: the 5x ratio is measured by the release CI run only");
+        return;
+    }
+    let speedup = full.as_secs_f64() / incremental.as_secs_f64().max(1e-9);
+    eprintln!("[e12] full {full:?}, incremental {incremental:?} ({speedup:.1}x)");
+    assert!(
+        speedup >= 5.0,
+        "expected a >=5x incremental constraint-check speed-up over full rescans, \
+         got {speedup:.1}x (full {full:?}, incremental {incremental:?})"
+    );
+}

@@ -799,3 +799,117 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The constraint-checking differential (E12): over generated constrained
+    /// sources and random mutation streams — optionally poisoned by a
+    /// committed merge-key violation — the incremental batch checker's
+    /// violation list is identical (set *and* order) to a full
+    /// `check_constraints` rescan after every batch, its certificate replays
+    /// cleanly through `recheck`, and both the violations and the *encoded
+    /// certificate bytes* are identical at every thread count in {1, 2, 4, 8}
+    /// under both planner cost models.
+    #[test]
+    fn incremental_constraint_checks_match_full_rescans(
+        users in 3usize..12,
+        profiles in 3usize..16,
+        accounts in 2usize..10,
+        seed in 0u64..500,
+        stream_seed in 0u64..500,
+        batches in 1usize..6,
+        ops in 1usize..6,
+        violate_at in 0usize..8,
+    ) {
+        use wol_repro::morphase::{
+            BatchConstraintMode, MaterializedPipeline, PipelineOptions,
+        };
+        use wol_repro::wol_engine::{check_constraints, recheck};
+        use wol_repro::wol_lang::Clause;
+        use wol_repro::workloads::constrained::{self, ConstrainedParams};
+
+        let params = ConstrainedParams { users, profiles, accounts, seed };
+        let program = constrained::program();
+        let source = constrained::generate_source(&params);
+        let mut gen = constrained::ConstrainedGen::new(&source, stream_seed);
+        let mut stream = Vec::new();
+        for i in 0..batches {
+            if i == violate_at {
+                // Committed in Report mode: later batches run with S1 as a
+                // suspect until the state is repaired (it never is here).
+                stream.push(gen.violating_batch());
+            }
+            stream.push(gen.next_batch(ops));
+        }
+
+        // Canonical run: one thread, default cost model, Report mode. After
+        // every batch the attached check must agree with a from-scratch
+        // rescan of the post-batch source, and its certificate must replay.
+        let canonical_options = PipelineOptions {
+            batch_constraints: BatchConstraintMode::Report,
+            parallelism: cpl::Parallelism::new(1),
+            ..PipelineOptions::default()
+        };
+        let mut canonical =
+            MaterializedPipeline::new(&program, vec![source.clone()], canonical_options).unwrap();
+        let mut checks = Vec::new();
+        for batch in &stream {
+            let report = canonical.apply_batch(batch).unwrap();
+            let check = report.constraints.expect("report mode attaches a check");
+            let clauses: Vec<&Clause> = canonical.constraints().iter().collect();
+            let insts = [canonical.source(0).unwrap()];
+            let dbs = Databases::new(&insts);
+            let oracle = check_constraints(&clauses, &dbs).unwrap();
+            prop_assert!(
+                check.violations == oracle,
+                "incremental violations diverge from the full rescan: {:?} vs {:?}",
+                check.violations,
+                oracle
+            );
+            let replay = recheck(&check.certificate, &clauses, &dbs).unwrap();
+            prop_assert_eq!(replay.violations as u64, check.certificate.violation_count());
+            checks.push(check);
+        }
+        let canonical_stats = canonical.stats().clone();
+
+        for cost_model in [cpl::CostModel::Histogram, cpl::CostModel::FlatNdv] {
+            for threads in [1usize, 2, 4, 8] {
+                let options = PipelineOptions {
+                    batch_constraints: BatchConstraintMode::Report,
+                    parallelism: cpl::Parallelism::new(threads),
+                    cost_model,
+                    ..PipelineOptions::default()
+                };
+                let mut pipeline =
+                    MaterializedPipeline::new(&program, vec![source.clone()], options).unwrap();
+                for (i, batch) in stream.iter().enumerate() {
+                    let report = pipeline.apply_batch(batch).unwrap();
+                    let check = report.constraints.expect("report mode attaches a check");
+                    prop_assert!(
+                        check.violations == checks[i].violations,
+                        "violations diverged at {} threads / {:?}",
+                        threads,
+                        cost_model
+                    );
+                    prop_assert!(
+                        check.certificate.encode() == checks[i].certificate.encode(),
+                        "certificate bytes diverged at {} threads / {:?}",
+                        threads,
+                        cost_model
+                    );
+                }
+                let stats = pipeline.stats();
+                prop_assert_eq!(stats.constraints_checked, canonical_stats.constraints_checked);
+                prop_assert_eq!(stats.constraints_skipped, canonical_stats.constraints_skipped);
+                prop_assert_eq!(stats.constraint_objects, canonical_stats.constraint_objects);
+                prop_assert_eq!(stats.constraint_probes, canonical_stats.constraint_probes);
+                prop_assert_eq!(
+                    stats.constraint_violations,
+                    canonical_stats.constraint_violations
+                );
+                prop_assert_eq!(stats.rejected_batches, 0u64);
+            }
+        }
+    }
+}
