@@ -67,6 +67,16 @@ pub struct ExecStats {
     /// ([`EvalCtx::restrict_scan`]): how much of the work was answered from
     /// changed-identity sets instead of full extents.
     pub restricted_scans: usize,
+    /// Filter conjuncts the planner pushed into backend scan providers
+    /// instead of evaluating in the executor (federated pipelines only).
+    pub pushed_filters: usize,
+    /// Rows the scan providers read from their backends before applying
+    /// pushed filters.
+    pub provider_rows_in: usize,
+    /// Rows the scan providers actually streamed into the source instances
+    /// after pushed filters; `provider_rows_in - provider_rows_out` is the
+    /// work the executor never saw.
+    pub provider_rows_out: usize,
 }
 
 impl ExecStats {
@@ -80,6 +90,9 @@ impl ExecStats {
         self.probe_cache_hits += other.probe_cache_hits;
         self.max_intermediate_rows = self.max_intermediate_rows.max(other.max_intermediate_rows);
         self.restricted_scans += other.restricted_scans;
+        self.pushed_filters += other.pushed_filters;
+        self.provider_rows_in += other.provider_rows_in;
+        self.provider_rows_out += other.provider_rows_out;
     }
 
     pub(crate) fn record_operator_output(&mut self, rows: usize) {
@@ -1819,11 +1832,17 @@ mod tests {
             probe_cache_hits: 7,
             max_intermediate_rows: 6,
             restricted_scans: 8,
+            pushed_filters: 9,
+            provider_rows_in: 10,
+            provider_rows_out: 11,
         };
         let b = a;
         a.absorb(b);
         assert_eq!(a.rows_scanned, 2);
         assert_eq!(a.restricted_scans, 16);
+        assert_eq!(a.pushed_filters, 18);
+        assert_eq!(a.provider_rows_in, 20);
+        assert_eq!(a.provider_rows_out, 22);
         assert_eq!(a.objects_written, 8);
         assert_eq!(a.index_probes, 10);
         assert_eq!(a.probe_cache_hits, 14);

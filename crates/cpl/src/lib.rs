@@ -79,8 +79,9 @@ pub use exec::{
 };
 pub use expr::Expr;
 pub use optimizer::{
-    estimate_join_outputs, estimate_rows, optimize, optimize_reference, optimize_with_stats,
-    CostModel, JoinEstimate, Statistics,
+    estimate_join_outputs, estimate_rows, optimize, optimize_reference, optimize_with_pushdown,
+    optimize_with_stats, CostModel, ExternalClassStats, JoinEstimate, PushCmp, PushdownCatalog,
+    PushedPredicate, Statistics,
 };
 pub use plan::{InsertAction, Plan, Query};
 pub use wol_model::{Parallelism, WorkerPool};

@@ -45,7 +45,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
-use wol_model::{AttrHistogram, ClassName, Instance};
+use wol_model::{AttrHistogram, ClassName, Instance, Value};
 
 use crate::expr::Expr;
 use crate::plan::Plan;
@@ -99,6 +99,25 @@ pub struct Statistics<'a> {
     /// Per-`(class, attr)` memo of the sources' histograms (one entry per
     /// source that carries the attribute at all).
     histograms: RefCell<HistogramMemo>,
+    /// Backend-reported statistics for classes that are *not* resident in any
+    /// attached instance yet (federated sources, consulted before ingest).
+    /// An external entry takes precedence over the instances for its class.
+    external: BTreeMap<ClassName, ExternalClassStats>,
+}
+
+/// Cardinality and distinct-value statistics a scan backend reports for one
+/// of its classes, letting the planner cost scans (and decide join order and
+/// pushdown splits) *before* the class is ingested into an [`Instance`].
+/// Backends carry no histograms, so estimation over external classes uses
+/// the ndv fallback paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExternalClassStats {
+    /// The class the backend serves.
+    pub class: ClassName,
+    /// Total rows the backend would stream without any pushed filter.
+    pub rows: usize,
+    /// Approximate distinct values per attribute.
+    pub ndvs: BTreeMap<String, usize>,
 }
 
 /// The per-`(class, attribute)` histogram memo inside [`Statistics`].
@@ -139,9 +158,22 @@ impl<'a> Statistics<'a> {
         self.cost_model
     }
 
+    /// Attach backend-reported per-class statistics (builder style). These
+    /// take precedence over the attached instances for their classes, so a
+    /// federated pipeline can plan against sources it has not ingested yet.
+    pub fn with_external(mut self, external: Vec<ExternalClassStats>) -> Self {
+        for stats in external {
+            self.external.insert(stats.class.clone(), stats);
+        }
+        self
+    }
+
     /// Total extent size of `class` across the sources; `None` when no
-    /// instances are attached.
+    /// instances (or external statistics for the class) are attached.
     pub fn extent_size(&self, class: &ClassName) -> Option<usize> {
+        if let Some(external) = self.external.get(class) {
+            return Some(external.rows);
+        }
         if self.sources.is_empty() {
             return None;
         }
@@ -149,8 +181,12 @@ impl<'a> Statistics<'a> {
     }
 
     /// Approximate number of distinct values of `class.attr` across the
-    /// sources; `None` when no instances are attached.
+    /// sources; `None` when no instances are attached (or the external
+    /// statistics for the class do not cover the attribute).
     pub fn ndv(&self, class: &ClassName, attr: &str) -> Option<usize> {
+        if let Some(external) = self.external.get(class) {
+            return external.ndvs.get(attr).copied();
+        }
         if self.sources.is_empty() {
             return None;
         }
@@ -734,6 +770,117 @@ impl Component {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Predicate pushdown into scan backends.
+// ---------------------------------------------------------------------------
+
+/// A comparison a scan backend can evaluate natively on one attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushCmp {
+    /// `attr = const`.
+    Eq,
+    /// `attr != const`.
+    Neq,
+    /// `attr < const`.
+    Lt,
+    /// `attr =< const`.
+    Leq,
+    /// `attr > const` (normalised from `const < attr`).
+    Gt,
+    /// `attr >= const` (normalised from `const =< attr`).
+    Geq,
+}
+
+/// One conjunct the planner diverted from a scan's filter into the scan's
+/// backend: `var.attr cmp value`. The conjunct is still *costed* exactly
+/// like the filter it replaces (via the same selectivity estimate over the
+/// backend statistics), so join ordering is unchanged between pushdown-on
+/// and pushdown-off plans — only where the predicate runs differs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PushedPredicate {
+    /// The scan variable the conjunct ranged over.
+    pub var: String,
+    /// The scanned class the backend serves.
+    pub class: ClassName,
+    /// The attribute compared.
+    pub attr: String,
+    /// The comparison, normalised so the attribute is on the left.
+    pub cmp: PushCmp,
+    /// The constant compared against.
+    pub value: Value,
+}
+
+/// Which `(class, attribute)` pairs scan backends can filter natively. The
+/// planner diverts only single-scan `attr cmp const` conjuncts listed here;
+/// everything else stays an executor [`Plan::Filter`].
+#[derive(Clone, Debug, Default)]
+pub struct PushdownCatalog {
+    classes: BTreeMap<ClassName, BTreeSet<String>>,
+}
+
+impl PushdownCatalog {
+    /// Allow pushing comparisons on `class.attr`.
+    pub fn allow(&mut self, class: &ClassName, attr: &str) {
+        self.classes
+            .entry(class.clone())
+            .or_default()
+            .insert(attr.to_string());
+    }
+
+    /// True if comparisons on `class.attr` may be pushed.
+    pub fn pushable(&self, class: &ClassName, attr: &str) -> bool {
+        self.classes
+            .get(class)
+            .is_some_and(|attrs| attrs.contains(attr))
+    }
+
+    /// True if the catalog allows nothing.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+/// Recognise `var.attr cmp const` (either orientation) as a predicate the
+/// backend serving `class` can evaluate, per the catalog.
+fn as_pushable(
+    conjunct: &Expr,
+    var: &str,
+    class: &ClassName,
+    catalog: &PushdownCatalog,
+) -> Option<PushedPredicate> {
+    fn attr_of<'e>(e: &'e Expr, var: &str) -> Option<&'e str> {
+        match e {
+            Expr::Proj(base, attr) => match base.as_ref() {
+                Expr::Var(v) if v == var => Some(attr.as_str()),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+    let (a, b, fwd, rev) = match conjunct {
+        Expr::Eq(a, b) => (a, b, PushCmp::Eq, PushCmp::Eq),
+        Expr::Neq(a, b) => (a, b, PushCmp::Neq, PushCmp::Neq),
+        Expr::Lt(a, b) => (a, b, PushCmp::Lt, PushCmp::Gt),
+        Expr::Leq(a, b) => (a, b, PushCmp::Leq, PushCmp::Geq),
+        _ => return None,
+    };
+    let (attr, cmp, value) = match (a.as_ref(), b.as_ref()) {
+        (e, Expr::Const(value)) => (attr_of(e, var)?, fwd, value.clone()),
+        (Expr::Const(value), e) => (attr_of(e, var)?, rev, value.clone()),
+        _ => return None,
+    };
+    if !catalog.pushable(class, attr) {
+        return None;
+    }
+    Some(PushedPredicate {
+        var: var.to_string(),
+        class: class.clone(),
+        attr: attr.to_string(),
+        cmp,
+        value,
+    })
+}
+
 /// Optimise a plan with the join-graph planner, falling back to
 /// [`optimize_reference`] for shapes the decomposer does not understand.
 /// Without instance statistics every estimate uses fixed defaults; prefer
@@ -745,10 +892,40 @@ pub fn optimize(plan: Plan) -> Plan {
 /// Optimise a plan with the join-graph planner, fed by extent and
 /// distinct-value statistics over the live source instances.
 pub fn optimize_with_stats(plan: Plan, stats: &Statistics<'_>) -> Plan {
+    let mut pushed = Vec::new();
+    optimize_inner(plan, stats, None, &mut pushed)
+}
+
+/// Like [`optimize_with_stats`], but additionally *splits* each scan's
+/// single-variable conjunct pool into backend-pushable predicates (returned,
+/// for the caller to hand its scan providers) and residual predicates (the
+/// rest). The produced plan is **identical** to the [`optimize_with_stats`]
+/// plan: a pushed conjunct stays in the plan as a residual re-check that
+/// admits every row the provider already filtered. Keeping the shape
+/// identical is what makes a pushdown-on run bit-identical to a
+/// pushdown-off run — the executor takes the same join paths, so row order
+/// and Skolem numbering cannot drift — while the actual saving happens
+/// upstream, in the rows never streamed, ingested, or indexed.
+pub fn optimize_with_pushdown(
+    plan: Plan,
+    stats: &Statistics<'_>,
+    catalog: &PushdownCatalog,
+) -> (Plan, Vec<PushedPredicate>) {
+    let mut pushed = Vec::new();
+    let plan = optimize_inner(plan, stats, Some(catalog), &mut pushed);
+    (plan, pushed)
+}
+
+fn optimize_inner(
+    plan: Plan,
+    stats: &Statistics<'_>,
+    catalog: Option<&PushdownCatalog>,
+    pushed: &mut Vec<PushedPredicate>,
+) -> Plan {
     // Distinct is a planning barrier: plan what is underneath it.
     if let Plan::Distinct { input } = plan {
         return Plan::Distinct {
-            input: Box::new(optimize_with_stats(*input, stats)),
+            input: Box::new(optimize_inner(*input, stats, catalog, pushed)),
         };
     }
     let mut pool = Pool::default();
@@ -764,11 +941,16 @@ pub fn optimize_with_stats(plan: Plan, stats: &Statistics<'_>) -> Plan {
     if !pool.maps.iter().all(|(var, _)| seen.insert(var)) {
         return optimize_reference(plan);
     }
-    plan_pool(pool, stats)
+    plan_pool(pool, stats, catalog, pushed)
 }
 
 /// Build the cheapest plan the greedy strategy finds for a decomposed pool.
-fn plan_pool(pool: Pool, stats: &Statistics<'_>) -> Plan {
+fn plan_pool(
+    pool: Pool,
+    stats: &Statistics<'_>,
+    catalog: Option<&PushdownCatalog>,
+    pushed: &mut Vec<PushedPredicate>,
+) -> Plan {
     // Resolve map definitions transitively, so each ranges over scan
     // variables only, then inline them into the conjunct pool.
     let mut defs: BTreeMap<String, Expr> = BTreeMap::new();
@@ -803,8 +985,20 @@ fn plan_pool(pool: Pool, stats: &Statistics<'_>) -> Plan {
                 let mut updates = Vec::new();
                 card.rows *= estimator.conjunct_selectivity(conjunct, &[&card], &mut updates);
                 card.apply_updates(updates);
-                plan = plan.filter(conjunct.clone());
                 used[i] = true;
+                // Report backend-evaluable conjuncts for the scan provider,
+                // but KEEP each one in the plan as a residual re-check: it
+                // admits every row the provider already filtered (costing
+                // next to nothing over the trimmed extent), and an identical
+                // plan shape means the executor takes identical join paths —
+                // so row order, and with it Skolem numbering, cannot drift
+                // between pushdown modes.
+                if let Some(catalog) = catalog {
+                    if let Some(predicate) = as_pushable(conjunct, var, class, catalog) {
+                        pushed.push(predicate);
+                    }
+                }
+                plan = plan.filter(conjunct.clone());
             }
         }
         components.push(Component { plan, card });

@@ -100,6 +100,35 @@ fn translate_atom_predicate(atom: &Atom) -> Result<Expr> {
 
 /// Compile one normal clause into a CPL query.
 pub fn compile_clause(clause: &NormalClause, mode: PlanMode<'_>) -> Result<Query> {
+    let mut query = translate_clause(clause)?;
+    query.plan = match mode {
+        PlanMode::Raw => query.plan,
+        PlanMode::Reference => cpl::optimize_reference(query.plan),
+        PlanMode::Planner => cpl::optimize(query.plan),
+        PlanMode::PlannerWithStats(stats) => cpl::optimize_with_stats(query.plan, stats),
+    };
+    Ok(query)
+}
+
+/// Compile one normal clause with the statistics-fed planner *and* a
+/// pushdown catalog: single-variable `var.attr cmp const` conjuncts the
+/// catalog allows are diverted to the returned predicate list (for the
+/// backend scan provider serving the class) instead of becoming `Filter`
+/// operators. Join ordering is unaffected — a diverted conjunct is costed
+/// with exactly the selectivity its `Filter` would have had.
+pub fn compile_clause_pushdown(
+    clause: &NormalClause,
+    stats: &Statistics<'_>,
+    catalog: &cpl::PushdownCatalog,
+) -> Result<(Query, Vec<cpl::PushedPredicate>)> {
+    let mut query = translate_clause(clause)?;
+    let (plan, pushed) = cpl::optimize_with_pushdown(query.plan, stats, catalog);
+    query.plan = plan;
+    Ok((query, pushed))
+}
+
+/// Translate one normal clause into its raw (unoptimised) CPL query.
+fn translate_clause(clause: &NormalClause) -> Result<Query> {
     // 1. Scans for every membership atom.
     let mut plan: Option<Plan> = None;
     let mut produced: BTreeSet<String> = BTreeSet::new();
@@ -170,13 +199,6 @@ pub fn compile_clause(clause: &NormalClause, mode: PlanMode<'_>) -> Result<Query
         remaining = deferred;
     }
 
-    plan = match mode {
-        PlanMode::Raw => plan,
-        PlanMode::Reference => cpl::optimize_reference(plan),
-        PlanMode::Planner => cpl::optimize(plan),
-        PlanMode::PlannerWithStats(stats) => cpl::optimize_with_stats(plan, stats),
-    };
-
     // 3. The insert action.
     let insert = InsertAction {
         class: clause.class.clone(),
@@ -219,6 +241,24 @@ pub fn compile_program_with(normal: &NormalProgram, mode: PlanMode<'_>) -> Resul
         .iter()
         .map(|c| compile_clause(c, mode))
         .collect()
+}
+
+/// Compile a whole normal-form program with the statistics-fed planner and a
+/// pushdown catalog. Returns the queries plus, parallel to them, the
+/// predicates each query's planning diverted to backend scan providers.
+pub fn compile_program_pushdown(
+    normal: &NormalProgram,
+    stats: &Statistics<'_>,
+    catalog: &cpl::PushdownCatalog,
+) -> Result<(Vec<Query>, Vec<Vec<cpl::PushedPredicate>>)> {
+    let mut queries = Vec::with_capacity(normal.clauses.len());
+    let mut pushed = Vec::with_capacity(normal.clauses.len());
+    for clause in &normal.clauses {
+        let (query, predicates) = compile_clause_pushdown(clause, stats, catalog)?;
+        queries.push(query);
+        pushed.push(predicates);
+    }
+    Ok((queries, pushed))
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@
 
 pub mod compile;
 pub mod error;
+pub mod federate;
 pub mod maintain;
 pub mod metadata;
 pub mod pipeline;
@@ -57,13 +58,13 @@ pub mod report;
 pub mod schedule;
 pub mod service;
 
-pub use compile::{compile_program, compile_program_with, PlanMode};
+pub use compile::{compile_program, compile_program_pushdown, compile_program_with, PlanMode};
 pub use error::MorphaseError;
 pub use maintain::{BatchOutcome, BatchReport, MaintainMode, MaintainStats, MaterializedPipeline};
 pub use metadata::generate_key_clauses;
 pub use pipeline::{
-    BatchConstraintMode, DurabilityStats, DurableOptions, JoinStat, Morphase, MorphaseRun,
-    PipelineOptions, QueryStat, StageTimings,
+    pushdown_default, BatchConstraintMode, DurabilityStats, DurableOptions, JoinStat, Morphase,
+    MorphaseRun, PipelineOptions, QueryStat, StageTimings,
 };
 pub use report::{render_maintenance_report, render_report};
 pub use schedule::{plan_schedule, QueryNode, QuerySchedule};

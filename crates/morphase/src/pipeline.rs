@@ -70,6 +70,26 @@ pub struct PipelineOptions {
     /// ([`crate::MaterializedPipeline`] / [`crate::PipelineService`]); the
     /// one-shot transform ignores it (use `check_source_constraints`).
     pub batch_constraints: BatchConstraintMode,
+    /// Push eligible filters (and projections) into backend scan providers on
+    /// federated runs ([`Morphase::transform_federated`]); non-federated runs
+    /// ignore it. Defaults to the environment: on, unless `WOL_PUSHDOWN` is
+    /// set to `0`, `off`, or `false`. The produced target is bit-identical
+    /// either way — pushdown only moves the same predicate evaluation from
+    /// the executor into the ingest scan.
+    pub pushdown: bool,
+}
+
+/// Process-wide default for federated pushdown: on, unless `WOL_PUSHDOWN` is
+/// set to `0`, `off`, or `false` (the differential-testing knob, mirroring
+/// `WOL_COLUMNAR`).
+pub fn pushdown_default() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| {
+        !matches!(
+            std::env::var("WOL_PUSHDOWN").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
 }
 
 impl Default for PipelineOptions {
@@ -84,6 +104,7 @@ impl Default for PipelineOptions {
             check_source_constraints: false,
             parallelism: cpl::Parallelism::from_env(),
             batch_constraints: BatchConstraintMode::default(),
+            pushdown: pushdown_default(),
         }
     }
 }
@@ -155,6 +176,10 @@ pub struct StageTimings {
     pub normalize: Duration,
     /// Translation to CPL.
     pub compile: Duration,
+    /// Streaming ingest from backend scan providers (federated runs only;
+    /// zero otherwise). Not part of [`StageTimings::compile_time`] — it is
+    /// data movement, not compilation.
+    pub ingest: Duration,
     /// CPL execution.
     pub execute: Duration,
     /// Target verification.
@@ -170,7 +195,7 @@ impl StageTimings {
 
     /// Total pipeline time.
     pub fn total(&self) -> Duration {
-        self.compile_time() + self.execute + self.verify
+        self.compile_time() + self.ingest + self.execute + self.verify
     }
 }
 
@@ -317,6 +342,19 @@ impl Morphase {
         self.run_inner(program, sources, true, Some(durable))
     }
 
+    /// Run the full pipeline against *federated* backend sources: compile
+    /// with provider-reported statistics, push eligible filters and
+    /// projections into the providers (when [`PipelineOptions::pushdown`] is
+    /// on), stream-ingest the surviving rows, then execute. See
+    /// [`crate::federate`] for the eligibility and bit-identity contract.
+    pub fn transform_federated(
+        &self,
+        program: &Program,
+        providers: &[&dyn storage::ScanProvider],
+    ) -> Result<MorphaseRun> {
+        crate::federate::transform_federated(self.options, program, providers)
+    }
+
     fn run_inner(
         &self,
         program: &Program,
@@ -324,246 +362,257 @@ impl Morphase {
         execute: bool,
         durable: Option<&DurableOptions>,
     ) -> Result<MorphaseRun> {
-        let options = self.options;
-        let compiled = compile_stages(options, program, sources)?;
-        let CompiledPipeline {
-            augmented,
-            generated,
-            snf,
-            normal,
-            queries,
-            plans,
-            estimated_rows,
-            join_estimates,
-            mut timings,
-        } = compiled;
+        let compiled = compile_stages(self.options, program, sources)?;
+        execute_pipeline(self.options, compiled, sources, execute, durable)
+    }
+}
 
-        // Stage 5: execution, with per-join actual row counts traced so the
-        // run can report estimate-vs-actual error per join. Queries execute
-        // stage by stage under the dependency schedule: singleton stages run
-        // directly on the main context; multi-query stages *evaluate*
-        // concurrently on the worker pool (claim contexts) and *apply* in
-        // program order on the main context, so the target — Skolem
-        // numbering included — is bit-identical to a sequential run.
-        let mut exec = ExecStats::default();
-        let mut columnar = cpl::ColumnarStats::default();
-        let mut join_stats = Vec::new();
-        let mut shard_stats = Vec::new();
-        let mut query_stats = Vec::new();
-        let mut durability: Option<DurabilityStats> = None;
-        let mut target = Instance::new(augmented.target.schema.name());
-        if execute {
-            let start = Instant::now();
-            let mut ctx = EvalCtx::new(sources).with_parallelism(options.parallelism);
-            ctx.enable_join_trace();
-            let schedule = plan_schedule(&queries);
-            // Durable mode: open (or resume) the journal keyed by the
-            // compiled program's fingerprint, restore the recovered target
-            // and Skolem factory, and stage further target mutations for
-            // per-query journalling. All factory growth and target mutation
-            // happen on this main context during program-ordered apply
-            // (overlapped stages evaluate on claim contexts), so the journal
-            // is sound at every thread count.
-            let mut journal: Option<PipelineJournal> = None;
-            if let Some(opts) = durable {
-                let fingerprint =
-                    program_fingerprint(augmented.target.schema.name(), sources, &queries, &plans);
-                let (j, recovery) = PipelineJournal::open(
-                    &opts.dir,
-                    fingerprint,
-                    augmented.target.schema.name(),
-                    opts.fault,
-                )?;
-                target = recovery.instance;
-                ctx.factory = SkolemFactory::from_state(recovery.skolem);
-                target.begin_mutation_log();
-                durability = Some(DurabilityStats {
-                    resumed: recovery.completed > 0,
-                    completed_before: recovery.completed,
-                    reset: recovery.reset,
-                    recovered_torn_tail: recovery.report.torn_tail.is_some(),
-                    skipped: 0,
-                    journaled: 0,
-                });
-                journal = Some(j);
-            }
-            let completed = journal.as_ref().map(|j| j.completed()).unwrap_or(0);
-            let mut next_index: u64 = 0;
-            let pool = WorkerPool::shared(options.parallelism);
-            let overlap = options.parallelism.threads() > 1;
-            let record_joins =
-                |join_stats: &mut Vec<JoinStat>, qi: usize, actuals: &[cpl::exec::JoinActual]| {
-                    join_stats.extend(join_estimates[qi].iter().zip(actuals.iter()).map(
-                        |(est, act)| JoinStat {
-                            query: queries[qi].name.clone(),
-                            kind: act.kind.to_string(),
-                            estimated: est.rows.round() as u64,
-                            actual: act.rows as u64,
-                        },
-                    ));
-                };
-            for (stage_index, stage) in schedule.stages.iter().enumerate() {
-                // Durable resume: queries whose applied-order index falls
-                // below the journal's completed count are already in the
-                // recovered target — skip them. Completed queries are always
-                // a prefix of the applied order, hence a prefix of the stage.
-                let mut live: Vec<(usize, u64)> = Vec::new();
-                for (pos, &qi) in stage.iter().enumerate() {
-                    let k = next_index + pos as u64;
-                    if k < completed {
-                        let stats = durability.as_mut().expect("skips only in durable mode");
-                        stats.skipped += 1;
-                        query_stats.push(QueryStat {
-                            query: queries[qi].name.clone(),
-                            stage: stage_index,
-                            overlapped: false,
-                            rows_output: 0,
-                            eval: Duration::ZERO,
-                            apply: Duration::ZERO,
-                        });
-                    } else {
-                        live.push((qi, k));
-                    }
-                }
-                next_index += stage.len() as u64;
-                if overlap && live.len() > 1 {
-                    // Claim phase: evaluate every query of the stage
-                    // concurrently, each on its own claim context. The claim
-                    // contexts keep the full worker budget, so a big query
-                    // still runs operator-level morsels *inside* its slot —
-                    // the shared pool bounds total concurrency either way —
-                    // and its per-shard breakdown rolls back into the main
-                    // context's view.
-                    type Evaluated = (
-                        cpl::Result<cpl::EvaluatedQuery>,
-                        ExecStats,
-                        Vec<ExecStats>,
-                        cpl::ColumnarStats,
-                        Vec<cpl::exec::JoinActual>,
-                        Duration,
-                    );
-                    let jobs: Vec<Job<'_, Evaluated>> = live
-                        .iter()
-                        .map(|&(qi, _)| {
-                            let query = &queries[qi];
-                            Box::new(move || {
-                                let eval_start = Instant::now();
-                                let mut wctx = EvalCtx::claim_worker(sources)
-                                    .with_parallelism(options.parallelism);
-                                wctx.enable_join_trace();
-                                let mut wstats = ExecStats::default();
-                                let result = evaluate_query(query, &mut wctx, &mut wstats);
-                                (
-                                    result,
-                                    wstats,
-                                    wctx.take_shard_stats(),
-                                    wctx.take_columnar_stats(),
-                                    wctx.take_join_trace(),
-                                    eval_start.elapsed(),
-                                )
-                            }) as Job<'_, Evaluated>
-                        })
-                        .collect();
-                    let outcomes = pool.scope(jobs);
-                    // Resolution phase: absorb stats and apply in program
-                    // order; the earliest query's error propagates, exactly
-                    // like the sequential loop.
-                    for (&(qi, k), (result, wstats, shards, wcolumnar, actuals, eval)) in
-                        live.iter().zip(outcomes)
-                    {
-                        exec.absorb(wstats);
-                        ctx.absorb_shard_stats(&shards);
-                        columnar.absorb(&wcolumnar);
-                        let query = &queries[qi];
-                        let evaluated = result?;
-                        let rows_output = evaluated.rows_output() as u64;
-                        let apply_start = Instant::now();
-                        let factory_before =
-                            journal.as_ref().map(|_| ctx.factory.counter_snapshot());
-                        apply_evaluated_query(query, evaluated, &mut ctx, &mut target, &mut exec)?;
-                        if let Some(j) = journal.as_mut() {
-                            let mutations = target.take_mutation_log();
-                            let assignments = ctx
-                                .factory
-                                .assignments_since(&factory_before.expect("taken before apply"));
-                            j.record_query(k, mutations, assignments, &target)?;
-                            durability.as_mut().expect("durable mode").journaled += 1;
-                        }
-                        record_joins(&mut join_stats, qi, &actuals);
-                        query_stats.push(QueryStat {
-                            query: query.name.clone(),
-                            stage: stage_index,
-                            overlapped: true,
-                            rows_output,
-                            eval,
-                            apply: apply_start.elapsed(),
-                        });
-                    }
+/// Stages 5–6 of the pipeline (execution and verification), shared by
+/// [`Morphase::run_inner`] and the federated path
+/// ([`crate::federate::transform_federated`]), which compiles and ingests
+/// differently but executes identically.
+pub(crate) fn execute_pipeline(
+    options: PipelineOptions,
+    compiled: CompiledPipeline,
+    sources: &[&Instance],
+    execute: bool,
+    durable: Option<&DurableOptions>,
+) -> Result<MorphaseRun> {
+    let CompiledPipeline {
+        augmented,
+        generated,
+        snf,
+        normal,
+        queries,
+        plans,
+        estimated_rows,
+        join_estimates,
+        mut timings,
+    } = compiled;
+
+    // Stage 5: execution, with per-join actual row counts traced so the
+    // run can report estimate-vs-actual error per join. Queries execute
+    // stage by stage under the dependency schedule: singleton stages run
+    // directly on the main context; multi-query stages *evaluate*
+    // concurrently on the worker pool (claim contexts) and *apply* in
+    // program order on the main context, so the target — Skolem
+    // numbering included — is bit-identical to a sequential run.
+    let mut exec = ExecStats::default();
+    let mut columnar = cpl::ColumnarStats::default();
+    let mut join_stats = Vec::new();
+    let mut shard_stats = Vec::new();
+    let mut query_stats = Vec::new();
+    let mut durability: Option<DurabilityStats> = None;
+    let mut target = Instance::new(augmented.target.schema.name());
+    if execute {
+        let start = Instant::now();
+        let mut ctx = EvalCtx::new(sources).with_parallelism(options.parallelism);
+        ctx.enable_join_trace();
+        let schedule = plan_schedule(&queries);
+        // Durable mode: open (or resume) the journal keyed by the
+        // compiled program's fingerprint, restore the recovered target
+        // and Skolem factory, and stage further target mutations for
+        // per-query journalling. All factory growth and target mutation
+        // happen on this main context during program-ordered apply
+        // (overlapped stages evaluate on claim contexts), so the journal
+        // is sound at every thread count.
+        let mut journal: Option<PipelineJournal> = None;
+        if let Some(opts) = durable {
+            let fingerprint =
+                program_fingerprint(augmented.target.schema.name(), sources, &queries, &plans);
+            let (j, recovery) = PipelineJournal::open(
+                &opts.dir,
+                fingerprint,
+                augmented.target.schema.name(),
+                opts.fault,
+            )?;
+            target = recovery.instance;
+            ctx.factory = SkolemFactory::from_state(recovery.skolem);
+            target.begin_mutation_log();
+            durability = Some(DurabilityStats {
+                resumed: recovery.completed > 0,
+                completed_before: recovery.completed,
+                reset: recovery.reset,
+                recovered_torn_tail: recovery.report.torn_tail.is_some(),
+                skipped: 0,
+                journaled: 0,
+            });
+            journal = Some(j);
+        }
+        let completed = journal.as_ref().map(|j| j.completed()).unwrap_or(0);
+        let mut next_index: u64 = 0;
+        let pool = WorkerPool::shared(options.parallelism);
+        let overlap = options.parallelism.threads() > 1;
+        let record_joins =
+            |join_stats: &mut Vec<JoinStat>, qi: usize, actuals: &[cpl::exec::JoinActual]| {
+                join_stats.extend(join_estimates[qi].iter().zip(actuals.iter()).map(
+                    |(est, act)| JoinStat {
+                        query: queries[qi].name.clone(),
+                        kind: act.kind.to_string(),
+                        estimated: est.rows.round() as u64,
+                        actual: act.rows as u64,
+                    },
+                ));
+            };
+        for (stage_index, stage) in schedule.stages.iter().enumerate() {
+            // Durable resume: queries whose applied-order index falls
+            // below the journal's completed count are already in the
+            // recovered target — skip them. Completed queries are always
+            // a prefix of the applied order, hence a prefix of the stage.
+            let mut live: Vec<(usize, u64)> = Vec::new();
+            for (pos, &qi) in stage.iter().enumerate() {
+                let k = next_index + pos as u64;
+                if k < completed {
+                    let stats = durability.as_mut().expect("skips only in durable mode");
+                    stats.skipped += 1;
+                    query_stats.push(QueryStat {
+                        query: queries[qi].name.clone(),
+                        stage: stage_index,
+                        overlapped: false,
+                        rows_output: 0,
+                        eval: Duration::ZERO,
+                        apply: Duration::ZERO,
+                    });
                 } else {
-                    for (qi, k) in live {
-                        let query = &queries[qi];
-                        let rows_before = exec.rows_output;
-                        let eval_start = Instant::now();
-                        let factory_before =
-                            journal.as_ref().map(|_| ctx.factory.counter_snapshot());
-                        execute_query(query, &mut ctx, &mut target, &mut exec)?;
-                        if let Some(j) = journal.as_mut() {
-                            let mutations = target.take_mutation_log();
-                            let assignments = ctx
-                                .factory
-                                .assignments_since(&factory_before.expect("taken before execute"));
-                            j.record_query(k, mutations, assignments, &target)?;
-                            durability.as_mut().expect("durable mode").journaled += 1;
-                        }
-                        let actuals = ctx.take_join_trace();
-                        record_joins(&mut join_stats, qi, &actuals);
-                        query_stats.push(QueryStat {
-                            query: query.name.clone(),
-                            stage: stage_index,
-                            overlapped: false,
-                            rows_output: (exec.rows_output - rows_before) as u64,
-                            eval: eval_start.elapsed(),
-                            apply: Duration::ZERO,
-                        });
-                    }
+                    live.push((qi, k));
                 }
             }
-            // Durable epilogue: fold the WAL into a final snapshot so the
-            // journal directory holds the full target compactly.
-            if let Some(j) = journal.as_mut() {
-                target.end_mutation_log();
-                j.finish(&target, &ctx.factory.export_state())?;
-            }
-            shard_stats = ctx.take_shard_stats();
-            columnar.absorb(&ctx.take_columnar_stats());
-            timings.execute = start.elapsed();
-
-            // Stage 6: verification.
-            if options.verify_target {
-                let start = Instant::now();
-                verify_target_instance(&augmented, &target)?;
-                timings.verify = start.elapsed();
+            next_index += stage.len() as u64;
+            if overlap && live.len() > 1 {
+                // Claim phase: evaluate every query of the stage
+                // concurrently, each on its own claim context. The claim
+                // contexts keep the full worker budget, so a big query
+                // still runs operator-level morsels *inside* its slot —
+                // the shared pool bounds total concurrency either way —
+                // and its per-shard breakdown rolls back into the main
+                // context's view.
+                type Evaluated = (
+                    cpl::Result<cpl::EvaluatedQuery>,
+                    ExecStats,
+                    Vec<ExecStats>,
+                    cpl::ColumnarStats,
+                    Vec<cpl::exec::JoinActual>,
+                    Duration,
+                );
+                let jobs: Vec<Job<'_, Evaluated>> = live
+                    .iter()
+                    .map(|&(qi, _)| {
+                        let query = &queries[qi];
+                        Box::new(move || {
+                            let eval_start = Instant::now();
+                            let mut wctx = EvalCtx::claim_worker(sources)
+                                .with_parallelism(options.parallelism);
+                            wctx.enable_join_trace();
+                            let mut wstats = ExecStats::default();
+                            let result = evaluate_query(query, &mut wctx, &mut wstats);
+                            (
+                                result,
+                                wstats,
+                                wctx.take_shard_stats(),
+                                wctx.take_columnar_stats(),
+                                wctx.take_join_trace(),
+                                eval_start.elapsed(),
+                            )
+                        }) as Job<'_, Evaluated>
+                    })
+                    .collect();
+                let outcomes = pool.scope(jobs);
+                // Resolution phase: absorb stats and apply in program
+                // order; the earliest query's error propagates, exactly
+                // like the sequential loop.
+                for (&(qi, k), (result, wstats, shards, wcolumnar, actuals, eval)) in
+                    live.iter().zip(outcomes)
+                {
+                    exec.absorb(wstats);
+                    ctx.absorb_shard_stats(&shards);
+                    columnar.absorb(&wcolumnar);
+                    let query = &queries[qi];
+                    let evaluated = result?;
+                    let rows_output = evaluated.rows_output() as u64;
+                    let apply_start = Instant::now();
+                    let factory_before = journal.as_ref().map(|_| ctx.factory.counter_snapshot());
+                    apply_evaluated_query(query, evaluated, &mut ctx, &mut target, &mut exec)?;
+                    if let Some(j) = journal.as_mut() {
+                        let mutations = target.take_mutation_log();
+                        let assignments = ctx
+                            .factory
+                            .assignments_since(&factory_before.expect("taken before apply"));
+                        j.record_query(k, mutations, assignments, &target)?;
+                        durability.as_mut().expect("durable mode").journaled += 1;
+                    }
+                    record_joins(&mut join_stats, qi, &actuals);
+                    query_stats.push(QueryStat {
+                        query: query.name.clone(),
+                        stage: stage_index,
+                        overlapped: true,
+                        rows_output,
+                        eval,
+                        apply: apply_start.elapsed(),
+                    });
+                }
+            } else {
+                for (qi, k) in live {
+                    let query = &queries[qi];
+                    let rows_before = exec.rows_output;
+                    let eval_start = Instant::now();
+                    let factory_before = journal.as_ref().map(|_| ctx.factory.counter_snapshot());
+                    execute_query(query, &mut ctx, &mut target, &mut exec)?;
+                    if let Some(j) = journal.as_mut() {
+                        let mutations = target.take_mutation_log();
+                        let assignments = ctx
+                            .factory
+                            .assignments_since(&factory_before.expect("taken before execute"));
+                        j.record_query(k, mutations, assignments, &target)?;
+                        durability.as_mut().expect("durable mode").journaled += 1;
+                    }
+                    let actuals = ctx.take_join_trace();
+                    record_joins(&mut join_stats, qi, &actuals);
+                    query_stats.push(QueryStat {
+                        query: query.name.clone(),
+                        stage: stage_index,
+                        overlapped: false,
+                        rows_output: (exec.rows_output - rows_before) as u64,
+                        eval: eval_start.elapsed(),
+                        apply: Duration::ZERO,
+                    });
+                }
             }
         }
+        // Durable epilogue: fold the WAL into a final snapshot so the
+        // journal directory holds the full target compactly.
+        if let Some(j) = journal.as_mut() {
+            target.end_mutation_log();
+            j.finish(&target, &ctx.factory.export_state())?;
+        }
+        shard_stats = ctx.take_shard_stats();
+        columnar.absorb(&ctx.take_columnar_stats());
+        timings.execute = start.elapsed();
 
-        Ok(MorphaseRun {
-            target,
-            timings,
-            snf,
-            normal,
-            input_clauses: augmented.clauses.len(),
-            generated_clauses: generated,
-            exec,
-            columnar,
-            plans,
-            estimated_rows,
-            join_stats,
-            threads: options.parallelism.threads(),
-            shard_stats,
-            query_stats,
-            durability,
-        })
+        // Stage 6: verification.
+        if options.verify_target {
+            let start = Instant::now();
+            verify_target_instance(&augmented, &target)?;
+            timings.verify = start.elapsed();
+        }
     }
+
+    Ok(MorphaseRun {
+        target,
+        timings,
+        snf,
+        normal,
+        input_clauses: augmented.clauses.len(),
+        generated_clauses: generated,
+        exec,
+        columnar,
+        plans,
+        estimated_rows,
+        join_stats,
+        threads: options.parallelism.threads(),
+        shard_stats,
+        query_stats,
+        durability,
+    })
 }
 
 /// Stage 6 of the pipeline: validate a produced target against the augmented
@@ -633,6 +682,21 @@ pub(crate) fn compile_stages(
     program: &Program,
     sources: &[&Instance],
 ) -> Result<CompiledPipeline> {
+    Ok(compile_stages_ext(options, program, sources, &[], None)?.0)
+}
+
+/// [`compile_stages`] with the federated extensions: `external` adds
+/// backend-provider statistics the planner consults before the live
+/// instances, and `catalog` (when given, and plan optimisation is on)
+/// switches stage 4 to the pushdown-aware planner, returning the predicates
+/// diverted per query.
+pub(crate) fn compile_stages_ext(
+    options: PipelineOptions,
+    program: &Program,
+    sources: &[&Instance],
+    external: &[cpl::ExternalClassStats],
+    catalog: Option<&cpl::PushdownCatalog>,
+) -> Result<(CompiledPipeline, Vec<Vec<cpl::PushedPredicate>>)> {
     let mut timings = StageTimings::default();
 
     // Stage 0: meta-data constraint generation.
@@ -699,13 +763,22 @@ pub(crate) fn compile_stages(
     // transformed — including its skew, under the default histogram
     // cost model.
     let start = Instant::now();
-    let stats = cpl::Statistics::from_instances(sources).with_cost_model(options.cost_model);
-    let mode = if options.optimize_plans {
-        PlanMode::PlannerWithStats(&stats)
-    } else {
-        PlanMode::Raw
+    let stats = cpl::Statistics::from_instances(sources)
+        .with_external(external.to_vec())
+        .with_cost_model(options.cost_model);
+    let (queries, pushed) = match catalog {
+        Some(catalog) if options.optimize_plans => {
+            crate::compile::compile_program_pushdown(&normal, &stats, catalog)?
+        }
+        _ => {
+            let mode = if options.optimize_plans {
+                PlanMode::PlannerWithStats(&stats)
+            } else {
+                PlanMode::Raw
+            };
+            (compile_program_with(&normal, mode)?, Vec::new())
+        }
     };
-    let queries = compile_program_with(&normal, mode)?;
     let plans: Vec<String> = queries.iter().map(|q| q.plan.render()).collect();
     let estimated_rows = queries
         .iter()
@@ -719,17 +792,20 @@ pub(crate) fn compile_stages(
         .collect();
     timings.compile = start.elapsed();
 
-    Ok(CompiledPipeline {
-        augmented,
-        generated,
-        snf,
-        normal,
-        queries,
-        plans,
-        estimated_rows,
-        join_estimates,
-        timings,
-    })
+    Ok((
+        CompiledPipeline {
+            augmented,
+            generated,
+            snf,
+            normal,
+            queries,
+            plans,
+            estimated_rows,
+            join_estimates,
+            timings,
+        },
+        pushed,
+    ))
 }
 
 /// FNV-1a (64-bit) fingerprint of the *compiled* program a durable journal

@@ -34,6 +34,7 @@ pub fn render_report(run: &MorphaseRun) -> String {
         ("snf", t.snf),
         ("normalize", t.normalize),
         ("compile->CPL", t.compile),
+        ("ingest", t.ingest),
         ("execute", t.execute),
         ("verify", t.verify),
     ] {
@@ -54,6 +55,13 @@ pub fn render_report(run: &MorphaseRun) -> String {
         "peak operator output: {} rows (max_intermediate_rows)",
         run.exec.max_intermediate_rows
     );
+    if run.exec.pushed_filters > 0 || run.exec.provider_rows_in > 0 {
+        let _ = writeln!(
+            out,
+            "pushdown: {} filters pushed, provider rows {} -> {}",
+            run.exec.pushed_filters, run.exec.provider_rows_in, run.exec.provider_rows_out
+        );
+    }
     if !run.columnar.is_empty() {
         let _ = writeln!(
             out,
@@ -277,6 +285,34 @@ mod tests {
             chunks: 8,
         };
         assert!(render_report(&run).contains("columnar: 3 pipelines, 4096 batch rows, 8 chunks"));
+    }
+
+    /// Pins the pushdown report line: a federated run whose planning pushed
+    /// filters into backend providers surfaces the predicate count and the
+    /// provider row accounting; a plain (or pushdown-off, provider-free) run
+    /// prints no line.
+    #[test]
+    fn report_pins_the_pushdown_format() {
+        let w = CitiesWorkload::new();
+        let source = generate_euro(2, 2, 1);
+        let mut run = Morphase::new()
+            .transform(&w.euro_program(), &[&source][..])
+            .unwrap();
+        assert_eq!(run.exec.pushed_filters, 0);
+        assert!(!render_report(&run).contains("pushdown:"));
+        // Pin the exact rendering on fixed values.
+        run.exec.pushed_filters = 3;
+        run.exec.provider_rows_in = 50_000;
+        run.exec.provider_rows_out = 1_200;
+        assert!(
+            render_report(&run).contains("pushdown: 3 filters pushed, provider rows 50000 -> 1200")
+        );
+        // A pushdown-off federated run still accounts provider rows.
+        run.exec.pushed_filters = 0;
+        run.exec.provider_rows_in = 50_000;
+        run.exec.provider_rows_out = 50_000;
+        assert!(render_report(&run)
+            .contains("pushdown: 0 filters pushed, provider rows 50000 -> 50000"));
     }
 
     /// Pins the per-query schedule/timing breakdown format: stage index,

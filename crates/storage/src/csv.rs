@@ -1,19 +1,285 @@
-//! A minimal CSV-like import/export for flat classes.
+//! CSV import/export for flat classes, RFC-4180 style.
 //!
 //! The paper's introduction motivates transformations partly by "uploading
-//! certain file formats into a relational database". This module provides the
-//! simplest such format: a header line of column names followed by
-//! comma-separated rows, with values inferred as integers, booleans or
-//! strings. It feeds the relational adapter rather than the model directly.
+//! certain file formats into a relational database". This module provides
+//! that format: a header line of column names followed by comma-separated
+//! rows. Fields containing commas, double quotes or newlines are quoted with
+//! `"` and embedded quotes are doubled (`""`), so any string round-trips.
+//!
+//! Typing rules:
+//!
+//! * **Quoted fields are always strings**, verbatim — `"123"` stays a string.
+//! * **Unquoted fields** are trimmed and inferred as integers (`i64`),
+//!   booleans (`true`/`false`, capitalized accepted) or strings.
+//! * [`to_csv`] quotes every string field, so column types survive a
+//!   `to_csv` → [`parse_csv`] round trip.
+//! * Column types are unified over **all** rows: the first row fixes each
+//!   column's type and any later mismatch is rejected with a line-accurate
+//!   [`StorageError::Corrupt`] rather than silently coerced.
+//!
+//! [`CsvReader`] exposes the decoder as a streaming record iterator (quoted
+//! fields may span lines), used by the federated scan provider to ingest
+//! large files chunk-at-a-time without materializing a [`Table`].
 
 use wol_model::Value;
 
 use crate::error::StorageError;
-use crate::relational::{Column, Table, TableSchema};
+use crate::relational::{Column, ColumnType, Table, TableSchema};
 use crate::Result;
 
+/// One field of a CSV record: the decoded text plus whether it was quoted in
+/// the source. Quoted fields are strings verbatim; unquoted fields are
+/// trimmed and subject to integer/boolean inference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvField {
+    /// Decoded field text (escape sequences resolved; trimmed if unquoted).
+    pub text: String,
+    /// True if the source wrapped the field in double quotes.
+    pub quoted: bool,
+}
+
+impl CsvField {
+    /// The model value this field denotes.
+    pub fn value(&self) -> Value {
+        if self.quoted {
+            Value::str(&self.text)
+        } else {
+            infer_unquoted(&self.text)
+        }
+    }
+}
+
+/// A decoded record: the 1-based line number its first character occupies
+/// (blank lines counted) and its fields.
+#[derive(Clone, Debug)]
+pub struct CsvRecord {
+    /// 1-based line of the record's first character in the source text.
+    pub line: usize,
+    /// The record's fields, in column order.
+    pub fields: Vec<CsvField>,
+}
+
+/// A streaming RFC-4180 decoder: parses the header eagerly, then yields data
+/// records one at a time. Blank lines between records are skipped (but still
+/// counted for error line numbers); quoted fields may span lines.
+pub struct CsvReader<'a> {
+    source: String,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    columns: Vec<String>,
+}
+
+#[derive(PartialEq)]
+enum State {
+    FieldStart,
+    Unquoted,
+    InQuotes,
+    AfterQuotes,
+}
+
+fn finish_field(cur: &mut String, quoted: &mut bool) -> CsvField {
+    let raw = std::mem::take(cur);
+    let q = std::mem::replace(quoted, false);
+    CsvField {
+        text: if q { raw } else { raw.trim().to_string() },
+        quoted: q,
+    }
+}
+
+impl<'a> CsvReader<'a> {
+    /// Open a reader over `text`, attributing errors to `source` (a file
+    /// path or pseudo-path). Parses the header line immediately.
+    pub fn new(source: &str, text: &'a str) -> Result<CsvReader<'a>> {
+        let mut reader = CsvReader {
+            source: source.to_string(),
+            chars: text.chars().peekable(),
+            line: 1,
+            columns: Vec::new(),
+        };
+        let header = reader.next_record()?.ok_or_else(|| {
+            StorageError::corrupt_at_line(
+                source,
+                1,
+                "a header line of column names",
+                "end of input",
+            )
+        })?;
+        let names: Vec<String> = header
+            .fields
+            .iter()
+            .map(|f| f.text.trim().to_string())
+            .collect();
+        if names.iter().any(|n| n.is_empty()) {
+            return Err(StorageError::corrupt_at_line(
+                source,
+                header.line,
+                "comma-separated non-empty column names",
+                format!("`{}`", names.join(",")),
+            ));
+        }
+        reader.columns = names;
+        Ok(reader)
+    }
+
+    /// The header's column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Decode the next non-blank record, or `None` at end of input.
+    pub fn next_record(&mut self) -> Result<Option<CsvRecord>> {
+        loop {
+            match self.raw_record()? {
+                None => return Ok(None),
+                Some(record) => {
+                    let blank = record.fields.len() == 1
+                        && !record.fields[0].quoted
+                        && record.fields[0].text.is_empty();
+                    if !blank {
+                        return Ok(Some(record));
+                    }
+                }
+            }
+        }
+    }
+
+    fn raw_record(&mut self) -> Result<Option<CsvRecord>> {
+        if self.chars.peek().is_none() {
+            return Ok(None);
+        }
+        let start_line = self.line;
+        let mut fields: Vec<CsvField> = Vec::new();
+        let mut cur = String::new();
+        let mut cur_quoted = false;
+        let mut state = State::FieldStart;
+        while let Some(c) = self.chars.next() {
+            match state {
+                State::FieldStart => match c {
+                    '"' => {
+                        cur_quoted = true;
+                        state = State::InQuotes;
+                    }
+                    ',' => fields.push(finish_field(&mut cur, &mut cur_quoted)),
+                    '\n' => {
+                        self.line += 1;
+                        fields.push(finish_field(&mut cur, &mut cur_quoted));
+                        return Ok(Some(CsvRecord {
+                            line: start_line,
+                            fields,
+                        }));
+                    }
+                    '\r' if self.chars.peek() == Some(&'\n') => {
+                        self.chars.next();
+                        self.line += 1;
+                        fields.push(finish_field(&mut cur, &mut cur_quoted));
+                        return Ok(Some(CsvRecord {
+                            line: start_line,
+                            fields,
+                        }));
+                    }
+                    other => {
+                        cur.push(other);
+                        state = State::Unquoted;
+                    }
+                },
+                State::Unquoted => match c {
+                    ',' => {
+                        fields.push(finish_field(&mut cur, &mut cur_quoted));
+                        state = State::FieldStart;
+                    }
+                    '\n' => {
+                        self.line += 1;
+                        fields.push(finish_field(&mut cur, &mut cur_quoted));
+                        return Ok(Some(CsvRecord {
+                            line: start_line,
+                            fields,
+                        }));
+                    }
+                    '\r' if self.chars.peek() == Some(&'\n') => {
+                        self.chars.next();
+                        self.line += 1;
+                        fields.push(finish_field(&mut cur, &mut cur_quoted));
+                        return Ok(Some(CsvRecord {
+                            line: start_line,
+                            fields,
+                        }));
+                    }
+                    '"' => {
+                        return Err(StorageError::corrupt_at_line(
+                            &self.source,
+                            start_line,
+                            "no double quote inside an unquoted field",
+                            format!("`\"` after `{cur}`"),
+                        ));
+                    }
+                    other => cur.push(other),
+                },
+                State::InQuotes => match c {
+                    '"' => {
+                        if self.chars.peek() == Some(&'"') {
+                            self.chars.next();
+                            cur.push('"');
+                        } else {
+                            state = State::AfterQuotes;
+                        }
+                    }
+                    '\n' => {
+                        self.line += 1;
+                        cur.push('\n');
+                    }
+                    other => cur.push(other),
+                },
+                State::AfterQuotes => match c {
+                    ',' => {
+                        fields.push(finish_field(&mut cur, &mut cur_quoted));
+                        state = State::FieldStart;
+                    }
+                    '\n' => {
+                        self.line += 1;
+                        fields.push(finish_field(&mut cur, &mut cur_quoted));
+                        return Ok(Some(CsvRecord {
+                            line: start_line,
+                            fields,
+                        }));
+                    }
+                    '\r' if self.chars.peek() == Some(&'\n') => {
+                        self.chars.next();
+                        self.line += 1;
+                        fields.push(finish_field(&mut cur, &mut cur_quoted));
+                        return Ok(Some(CsvRecord {
+                            line: start_line,
+                            fields,
+                        }));
+                    }
+                    other => {
+                        return Err(StorageError::corrupt_at_line(
+                            &self.source,
+                            start_line,
+                            "`,` or end of record after closing quote",
+                            format!("`{other}`"),
+                        ));
+                    }
+                },
+            }
+        }
+        if state == State::InQuotes {
+            return Err(StorageError::corrupt_at_line(
+                &self.source,
+                start_line,
+                "closing `\"` before end of input",
+                "unterminated quoted field",
+            ));
+        }
+        fields.push(finish_field(&mut cur, &mut cur_quoted));
+        Ok(Some(CsvRecord {
+            line: start_line,
+            fields,
+        }))
+    }
+}
+
 /// Parse CSV text into a [`Table`]. The first column is used as the key
-/// column. Column types are inferred from the first data row.
+/// column; column types are unified over all data rows.
 ///
 /// Parse failures come back as [`StorageError::Corrupt`] with the source
 /// labelled `"<memory>"`; use [`parse_csv_from`] to attach a real file path.
@@ -35,50 +301,55 @@ pub fn load_csv_file(path: &std::path::Path) -> Result<Table> {
 
 /// Parse CSV text into a [`Table`], attributing errors to `source` (a file
 /// path or pseudo-path). Line numbers in errors are 1-based positions in
-/// `text`, counting blank lines.
+/// `text`, counting blank lines. Every data row is validated against the
+/// column type fixed by the first row; the first mismatching row is rejected
+/// with its line number.
 pub fn parse_csv_from(name: &str, source: &str, text: &str) -> Result<Table> {
-    // Keep original line numbers: enumerate before dropping blank lines.
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    let (header_no, header) = lines.next().ok_or_else(|| {
-        StorageError::corrupt_at_line(source, 1, "a header line of column names", "end of input")
-    })?;
-    let names: Vec<&str> = header.split(',').map(str::trim).collect();
-    if names.is_empty() || names.iter().any(|n| n.is_empty()) {
-        return Err(StorageError::corrupt_at_line(
-            source,
-            header_no + 1,
-            "comma-separated non-empty column names",
-            format!("`{header}`"),
-        ));
-    }
+    let mut reader = CsvReader::new(source, text)?;
+    let names = reader.columns().to_vec();
+    let mut types: Vec<Option<ColumnType>> = vec![None; names.len()];
     let mut rows: Vec<Vec<Value>> = Vec::new();
-    for (line_no, line) in lines {
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() != names.len() {
+    while let Some(record) = reader.next_record()? {
+        if record.fields.len() != names.len() {
             return Err(StorageError::corrupt_at_line(
                 source,
-                line_no + 1,
+                record.line,
                 format!("{} fields", names.len()),
-                format!("{} fields", fields.len()),
+                format!("{} fields", record.fields.len()),
             ));
         }
-        rows.push(fields.iter().map(|f| infer_value(f)).collect());
+        let mut row = Vec::with_capacity(record.fields.len());
+        for (i, field) in record.fields.iter().enumerate() {
+            let value = field.value();
+            let ty = value_column_type(&value);
+            match types[i] {
+                None => types[i] = Some(ty),
+                Some(expected) if expected != ty => {
+                    return Err(StorageError::corrupt_at_line(
+                        source,
+                        record.line,
+                        format!("a {} value in column `{}`", type_name(expected), names[i]),
+                        format!("{} `{}`", type_name(ty), field.text),
+                    ));
+                }
+                Some(_) => {}
+            }
+            row.push(value);
+        }
+        rows.push(row);
     }
     let columns = names
         .iter()
         .enumerate()
-        .map(|(i, n)| match rows.first().map(|r| &r[i]) {
-            Some(Value::Int(_)) => Column::int(*n),
-            Some(Value::Bool(_)) => Column::bool(*n),
-            _ => Column::str(*n),
+        .map(|(i, n)| match types[i] {
+            Some(ColumnType::Int) => Column::int(n.clone()),
+            Some(ColumnType::Bool) => Column::bool(n.clone()),
+            _ => Column::str(n.clone()),
         })
         .collect();
     let mut table = Table::new(TableSchema {
         name: name.to_string(),
-        key_column: names[0].to_string(),
+        key_column: names[0].clone(),
         columns,
     });
     for row in rows {
@@ -87,26 +358,28 @@ pub fn parse_csv_from(name: &str, source: &str, text: &str) -> Result<Table> {
     Ok(table)
 }
 
-/// Render a table as CSV text (header plus one line per row).
+/// Render a table as CSV text (header plus one line per row). Every string
+/// field is quoted (embedded `"` doubled), so commas, quotes and newlines in
+/// data survive a re-parse and string-typed numerics stay strings.
 pub fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let header: Vec<&str> = table
+    let header: Vec<String> = table
         .schema
         .columns
         .iter()
-        .map(|c| c.name.as_str())
+        .map(|c| render_header(&c.name))
         .collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in &table.rows {
-        let fields: Vec<String> = row.iter().map(render_value).collect();
+        let fields: Vec<String> = row.iter().map(render_field).collect();
         out.push_str(&fields.join(","));
         out.push('\n');
     }
     out
 }
 
-fn infer_value(field: &str) -> Value {
+fn infer_unquoted(field: &str) -> Value {
     if let Ok(i) = field.parse::<i64>() {
         return Value::Int(i);
     }
@@ -117,12 +390,41 @@ fn infer_value(field: &str) -> Value {
     }
 }
 
-fn render_value(value: &Value) -> String {
+fn value_column_type(value: &Value) -> ColumnType {
     match value {
-        Value::Str(s) => s.clone(),
+        Value::Int(_) => ColumnType::Int,
+        Value::Bool(_) => ColumnType::Bool,
+        _ => ColumnType::Str,
+    }
+}
+
+fn type_name(ty: ColumnType) -> &'static str {
+    match ty {
+        ColumnType::Str => "string",
+        ColumnType::Int => "integer",
+        ColumnType::Bool => "boolean",
+        ColumnType::Ref => "reference",
+    }
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\"\""))
+}
+
+fn render_header(name: &str) -> String {
+    if name.contains([',', '"', '\n', '\r']) || name != name.trim() {
+        quote(name)
+    } else {
+        name.to_string()
+    }
+}
+
+fn render_field(value: &Value) -> String {
+    match value {
+        Value::Str(s) => quote(s),
         Value::Int(i) => i.to_string(),
         Value::Bool(b) => b.to_string(),
-        other => wol_model::display::render_value(other),
+        other => quote(&wol_model::display::render_value(other)),
     }
 }
 
@@ -150,6 +452,87 @@ mod tests {
         let text = to_csv(&table);
         let reparsed = parse_csv("CityCsv", &text).unwrap();
         assert_eq!(table.rows, reparsed.rows);
+        assert_eq!(table.schema.columns, reparsed.schema.columns);
+    }
+
+    /// Fields containing commas, quotes and newlines are quoted/escaped on
+    /// output and decoded back verbatim; a string `"123"` stays a string.
+    #[test]
+    fn quoting_round_trips_awkward_fields() {
+        let mut table = Table::new(TableSchema {
+            name: "T".to_string(),
+            key_column: "k".to_string(),
+            columns: vec![Column::str("k"), Column::str("v"), Column::int("n")],
+        });
+        table
+            .push_row(vec![
+                Value::str("a,b"),
+                Value::str("he said \"hi\""),
+                Value::int(1),
+            ])
+            .unwrap();
+        table
+            .push_row(vec![
+                Value::str("line\nbreak"),
+                Value::str("123"),
+                Value::int(2),
+            ])
+            .unwrap();
+        table
+            .push_row(vec![
+                Value::str(""),
+                Value::str("crlf\r\nok"),
+                Value::int(-3),
+            ])
+            .unwrap();
+        let text = to_csv(&table);
+        let reparsed = parse_csv("T", &text).unwrap();
+        assert_eq!(table.rows, reparsed.rows);
+        assert_eq!(table.schema.columns, reparsed.schema.columns);
+        // The string "123" did not silently become an integer.
+        assert_eq!(reparsed.rows[1][1], Value::str("123"));
+    }
+
+    /// A quoted field spanning a newline keeps later error line numbers
+    /// anchored to true source lines.
+    #[test]
+    fn multiline_quoted_field_keeps_line_numbers() {
+        let text = "a,b\n\"x\ny\",1\nshort\n";
+        let err = parse_csv_from("T", "t.csv", text).unwrap_err();
+        // The bad record starts on line 4: header(1), record spanning 2-3.
+        assert_eq!(
+            err,
+            StorageError::corrupt_at_line("t.csv", 4, "2 fields", "1 fields")
+        );
+    }
+
+    /// Column types are unified over every row, not just the first: the
+    /// first mismatching row is rejected with its line number.
+    #[test]
+    fn mixed_type_columns_rejected_with_line() {
+        let text = "name,n\nParis,1\nLyon,2\nNice,oops\n";
+        let err = parse_csv_from("T", "t.csv", text).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::corrupt_at_line(
+                "t.csv",
+                4,
+                "a integer value in column `n`",
+                "string `oops`"
+            )
+        );
+        // Widening the other way (string column, later integer) is also rejected.
+        let text = "name,v\nParis,hello\nLyon,7\n";
+        let err = parse_csv_from("T", "t.csv", text).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let err = parse_csv("T", "a,b\n\"open,1\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"), "{err}");
+        let err = parse_csv("T", "a,b\nx\"y,1\n").unwrap_err();
+        assert!(err.to_string().contains("unquoted"), "{err}");
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //!   standing in for the "uploading certain file formats" use case of the
 //!   introduction;
 //! * [`persist`] — crash-consistent durability for instances: a write-ahead
-//!   log, checksummed snapshots, recovery, and fault injection.
+//!   log, checksummed snapshots, recovery, and fault injection;
+//! * [`provider`] — the [`provider::ScanProvider`] trait turning each of the
+//!   above into a planner-visible *source* with pushdown (see below).
 //!
 //! Every loader reports malformed input as a structured
 //! [`StorageError::Corrupt`] carrying the source path, the line or byte
@@ -93,17 +95,50 @@
 //!   ever paired with a WAL written by the same code).
 //! * Loaders must reject versions they do not know rather than guess.
 //!
+//! # Backends as sources
+//!
+//! The [`provider`] module exposes each substrate as a [`provider::ScanProvider`]
+//! the CPL planner can push filters and projections into, instead of a blob the
+//! pipeline must fully materialize before planning. The contract every
+//! implementation (and every future backend) must honour:
+//!
+//! * **Determinism** — for a fixed backend state and pushdown, a scan yields
+//!   the same rows in the same backend-native order on every call (file order,
+//!   store order, row order — never hash order), and chunk boundaries fall
+//!   every `chunk_rows` surviving rows without reordering. Streaming ingest
+//!   therefore produces extents, attribute indexes and histograms
+//!   bit-identical to a bulk load of the same filtered row set.
+//! * **Chunk ordering** — the sink sees chunks in stream order; concatenating
+//!   them reproduces the unchunked stream exactly. Chunking is a memory
+//!   knob, never a semantic one.
+//! * **Stats freshness** — [`provider::ScanProvider::stats`] describes the
+//!   *unfiltered* stream the next scan call would produce. A provider over a
+//!   mutable backend must recompute or invalidate its statistics on mutation;
+//!   stale statistics may only mis-cost a plan, never change its result.
+//! * **Residual predicates** — a backend evaluates exactly the conjuncts it
+//!   was handed, with the executor's comparison semantics
+//!   ([`provider::PushedFilter::matches`]); every conjunct the planner did
+//!   *not* push (multi-variable joins, computed expressions) remains a
+//!   residual obligation of the executor. Projection, when requested, must be
+//!   applied identically whether or not filters are pushed — the
+//!   `WOL_PUSHDOWN` differential relies on it.
+//!
 //! [`Instance`]: wol_model::Instance
 
 pub mod acedb;
 pub mod csv;
 pub mod error;
 pub mod persist;
+pub mod provider;
 pub mod relational;
 
 pub use acedb::{AceObject, AceStore, AceValue};
 pub use error::StorageError;
 pub use persist::{DurableInstance, FaultKind, FaultPolicy, PipelineJournal, RecoveryReport};
+pub use provider::{
+    ingest_class, AceProvider, ClassStats, CsvDirProvider, IngestStats, PushOp, Pushdown,
+    PushedFilter, RelationalProvider, ScanProvider, ScanSummary, DEFAULT_CHUNK_ROWS,
+};
 pub use relational::{Column, ColumnType, Table, TableSchema};
 
 /// Crate-wide result alias.

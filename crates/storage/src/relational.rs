@@ -103,9 +103,13 @@ impl Table {
         }
     }
 
-    /// Append a row; its arity must match the schema. A truncated (or
-    /// over-long) row is reported with the table name, the 1-based row number
-    /// it would have occupied, and expected-vs-found arity.
+    /// Append a row; its arity and value types must match the schema. A
+    /// truncated (or over-long) row is reported with the table name, the
+    /// 1-based row number it would have occupied, and expected-vs-found
+    /// arity; a type-mismatched value is reported the same way with the
+    /// offending column. Reference columns hold the referenced table's
+    /// string key (resolution happens at [`load_tables`] time);
+    /// [`Value::Absent`] is accepted in any column as a missing value.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.schema.columns.len() {
             return Err(StorageError::corrupt_at_line(
@@ -114,6 +118,30 @@ impl Table {
                 format!("{} values per row", self.schema.columns.len()),
                 format!("{} values", row.len()),
             ));
+        }
+        for (column, value) in self.schema.columns.iter().zip(row.iter()) {
+            let ok = matches!(
+                (column.ty, value),
+                (_, Value::Absent)
+                    | (ColumnType::Str, Value::Str(_))
+                    | (ColumnType::Int, Value::Int(_))
+                    | (ColumnType::Bool, Value::Bool(_))
+                    | (ColumnType::Ref, Value::Str(_))
+            );
+            if !ok {
+                let expected = match column.ty {
+                    ColumnType::Str => "string",
+                    ColumnType::Int => "integer",
+                    ColumnType::Bool => "boolean",
+                    ColumnType::Ref => "string key",
+                };
+                return Err(StorageError::corrupt_at_line(
+                    format!("table `{}`", self.schema.name),
+                    self.rows.len() + 1,
+                    format!("a {expected} value in column `{}`", column.name),
+                    wol_model::display::render_value(value),
+                ));
+            }
         }
         self.rows.push(row);
         Ok(())
@@ -345,6 +373,40 @@ mod tests {
         .unwrap();
         let err = load_tables(&[country_table(), city], "euro").unwrap_err();
         assert!(matches!(err, StorageError::UnresolvedReference(_)));
+    }
+
+    /// Type-mismatched values are rejected with the table, row number and
+    /// offending column — never stored.
+    #[test]
+    fn mismatched_types_rejected() {
+        let mut t = country_table();
+        let err = t
+            .push_row(vec![
+                Value::str("Spain"),
+                Value::int(34),
+                Value::str("euro"),
+            ])
+            .unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains("column `language`"), "{rendered}");
+        assert!(rendered.contains("line 3"), "{rendered}");
+        assert_eq!(t.len(), 2);
+        // Absent is a legal missing value in any column.
+        let mut city = city_table();
+        city.push_row(vec![
+            Value::str("Nice"),
+            Value::Absent,
+            Value::str("France"),
+        ])
+        .unwrap();
+        // Reference columns carry string keys until load resolves them.
+        assert!(city
+            .push_row(vec![
+                Value::str("Cannes"),
+                Value::bool(false),
+                Value::int(7),
+            ])
+            .is_err());
     }
 
     #[test]

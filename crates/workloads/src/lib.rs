@@ -20,6 +20,11 @@
 //!   each family the incremental checker plans differently (merge key,
 //!   existence, Skolem key) with clean and violating mutation streams,
 //!   feeding the per-batch constraint-validation bench and test suites.
+//! * [`federated`] — E13: the genome warehouse split across three backend
+//!   fragments (relational clones, ACeDB-style markers, a large assay CSV)
+//!   with one WOL program integrating all three; every fragment carries a
+//!   selective comparison the planner can push into its provider, feeding
+//!   the federated-pushdown bench and test suites.
 //! * [`skewed`] — E7: the genome theme with a *zipfian* marker-per-clone
 //!   distribution and a triangle join whose ordering the flat `1/ndv` cost
 //!   model provably gets wrong; the workload behind the histogram-estimation
@@ -33,6 +38,7 @@
 
 pub mod cities;
 pub mod constrained;
+pub mod federated;
 pub mod genome;
 pub mod people;
 pub mod skewed;

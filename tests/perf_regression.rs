@@ -436,6 +436,72 @@ fn e11_incremental_repair_is_at_least_10x_full_rerun() {
     );
 }
 
+/// The E13 pushdown guard (release mode, run by CI): on the federated genome
+/// workload — clones in a relational table, markers in an ACeDB-style store,
+/// assays in a 20 000-row CSV — running the pipeline with planner pushdown
+/// must be at least 3× faster end-to-end than the same pipeline with
+/// pushdown off, while the produced target stays bit-identical. The saving
+/// is upstream of the executor: the pushed `length`/`position`/`level`
+/// guards trim the provider streams before ingest and indexing. Debug
+/// builds assert only the differential (the ratio there measures the
+/// allocator, not the ingest path).
+#[test]
+fn e13_federated_pushdown_is_at_least_3x_full_ingest() {
+    use wol_repro::storage::ScanProvider;
+    use wol_repro::workloads::federated::{self, FederatedParams};
+
+    let params = FederatedParams::scaled(1); // 100 clones, 300 markers, 20 000 assays
+    let (csv, ace, rel) = federated::providers(&params);
+    let providers: [&dyn ScanProvider; 3] = [&csv, &ace, &rel];
+    let program = federated::program();
+    let run = |pushdown: bool| -> MorphaseRun {
+        Morphase::with_options(PipelineOptions {
+            pushdown,
+            ..PipelineOptions::default()
+        })
+        .transform_federated(&program, &providers)
+        .expect("federated pipeline runs")
+    };
+
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.exec.pushed_filters, 3, "all three guards must push");
+    assert!(
+        on.exec.provider_rows_out < on.exec.provider_rows_in,
+        "pushed filters must trim the provider streams: {} -> {}",
+        on.exec.provider_rows_in,
+        on.exec.provider_rows_out
+    );
+    assert_eq!(off.exec.pushed_filters, 0);
+    assert_eq!(
+        off.exec.provider_rows_in, off.exec.provider_rows_out,
+        "pushdown-off must ingest the full streams"
+    );
+    if let Some(diff) = on.target.deep_eq_report(&off.target) {
+        panic!("pushdown changed the produced target: {diff}");
+    }
+    if cfg!(debug_assertions) {
+        eprintln!("[e13] debug build: the 3x ratio is measured by the release CI run only");
+        return;
+    }
+    // Best-of-two per mode to damp scheduler noise; total() covers ingest,
+    // which is exactly where the pushdown saving lives.
+    let measure = |pushdown: bool| -> Duration {
+        let first = run(pushdown).timings.total();
+        let second = run(pushdown).timings.total();
+        first.min(second)
+    };
+    let on_cost = measure(true);
+    let off_cost = measure(false);
+    let speedup = off_cost.as_secs_f64() / on_cost.as_secs_f64().max(1e-9);
+    eprintln!("[e13] pushdown-on {on_cost:?}, pushdown-off {off_cost:?} ({speedup:.1}x)");
+    assert!(
+        speedup >= 3.0,
+        "expected a >=3x federated pushdown speed-up, got {speedup:.1}x \
+         (pushdown-on {on_cost:?}, pushdown-off {off_cost:?})"
+    );
+}
+
 /// The full-size E6 acceptance check (100 clones x 300 markers): the genome
 /// join runs on index probes, the ~23M-row cross product is gone (peak
 /// operator output far below 1M rows), and the execute phase — ~20-60s

@@ -801,6 +801,144 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The CSV adapter round-trip (E13 satellite): an arbitrary relational
+    /// table — string cells with embedded commas, quotes, CR/LF and
+    /// surrounding whitespace, numeric-looking strings, arbitrary integers
+    /// and booleans — survives `to_csv` → `parse_csv` bit-identically,
+    /// schema included. Because the writer quotes every string field, a
+    /// string `"123"` must come back as a *string*, not an integer, and the
+    /// all-rows type inference must re-derive exactly the original column
+    /// types.
+    #[test]
+    fn csv_round_trip_preserves_arbitrary_tables(
+        col_names in proptest::collection::vec("[a-z]{1,6}", 1..5),
+        col_types in proptest::collection::vec(0usize..3, 4..5),
+        nrows in 1usize..8,
+        // Fixed-size 7x4 cell grids (the shim has no tuple strategies);
+        // the first `nrows` x `col_names.len()` cells are used. Strings
+        // draw from printable ASCII — commas, quotes and spaces included —
+        // plus tab, newline and carriage return.
+        strs in proptest::collection::vec("[ -~\t\n\r]{0,12}", 28..29),
+        ints in proptest::collection::vec(i64::MIN..i64::MAX, 28..29),
+        bools in proptest::collection::vec(0usize..2, 28..29),
+    ) {
+        use wol_repro::storage::csv::{parse_csv, to_csv};
+        use wol_repro::storage::relational::{Column, Table, TableSchema};
+
+        let columns: Vec<Column> = col_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                // Suffix with the index so names stay distinct.
+                let name = format!("{name}_{i}");
+                match col_types[i] {
+                    0 => Column::str(name),
+                    1 => Column::int(name),
+                    _ => Column::bool(name),
+                }
+            })
+            .collect();
+        let mut table = Table::new(TableSchema {
+            name: "RoundTrip".to_string(),
+            key_column: columns[0].name.clone(),
+            columns,
+        });
+        for r in 0..nrows {
+            let row: Vec<Value> = (0..col_names.len())
+                .map(|c| {
+                    let cell = r * 4 + c;
+                    match col_types[c] {
+                        0 => Value::str(strs[cell].clone()),
+                        1 => Value::Int(ints[cell]),
+                        _ => Value::Bool(bools[cell] == 1),
+                    }
+                })
+                .collect();
+            table.push_row(row).expect("generated row matches the schema");
+        }
+
+        let text = to_csv(&table);
+        let reparsed = parse_csv("RoundTrip", &text).expect("rendered CSV re-parses");
+        prop_assert_eq!(&reparsed, &table);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The federated pushdown differential (E13): over generated federated
+    /// sources — relational clones, ACeDB-style markers, an assay CSV — the
+    /// pipeline with planner pushdown produces the bit-identical target
+    /// instance (identity numbering included) and the same row/object
+    /// counters as the pushdown-off full-ingest run, and within each mode
+    /// the target and the merged `ExecStats` are invariant across every
+    /// thread count in {1, 2, 4, 8}. The pushdown must actually engage —
+    /// all three backend guards push — or the differential is vacuous.
+    #[test]
+    fn federated_pushdown_is_bit_identical_across_modes_and_threads(
+        clones in 2usize..10,
+        markers in 4usize..20,
+        assays in 20usize..120,
+        seed in 0u64..500,
+    ) {
+        use wol_repro::morphase::{MorphaseRun, PipelineOptions};
+        use wol_repro::storage::ScanProvider;
+        use wol_repro::workloads::federated::{self, FederatedParams};
+
+        let params = FederatedParams { clones, markers, assays, seed };
+        let (csv, ace, rel) = federated::providers(&params);
+        let providers: [&dyn ScanProvider; 3] = [&csv, &ace, &rel];
+        let program = federated::program();
+        let run = |pushdown: bool, threads: usize| -> MorphaseRun {
+            Morphase::with_options(PipelineOptions {
+                pushdown,
+                parallelism: cpl::Parallelism::new(threads),
+                ..PipelineOptions::default()
+            })
+            .transform_federated(&program, &providers)
+            .expect("federated pipeline runs")
+        };
+
+        let base_on = run(true, 1);
+        let base_off = run(false, 1);
+        prop_assert!(
+            base_on.exec.pushed_filters == 3,
+            "all three guards must push, got {}",
+            base_on.exec.pushed_filters
+        );
+        prop_assert!(base_on.exec.provider_rows_out <= base_on.exec.provider_rows_in);
+        prop_assert_eq!(base_off.exec.pushed_filters, 0);
+        prop_assert_eq!(
+            base_off.exec.provider_rows_in,
+            base_off.exec.provider_rows_out
+        );
+        // The cross-mode differential: bit-identical targets, identical
+        // execution row/object counters.
+        if let Some(diff) = base_on.target.deep_eq_report(&base_off.target) {
+            prop_assert!(false, "pushdown changed the produced target: {}", diff);
+        }
+        prop_assert_eq!(base_on.exec.rows_output, base_off.exec.rows_output);
+        prop_assert_eq!(base_on.exec.objects_written, base_off.exec.objects_written);
+
+        // Within each mode, the thread matrix changes nothing.
+        for threads in [2usize, 4, 8] {
+            let on = run(true, threads);
+            prop_assert!(on.target == base_on.target,
+                "pushdown-on target diverged at {} threads", threads);
+            prop_assert!(on.exec == base_on.exec,
+                "pushdown-on ExecStats diverged at {} threads", threads);
+            let off = run(false, threads);
+            prop_assert!(off.target == base_off.target,
+                "pushdown-off target diverged at {} threads", threads);
+            prop_assert!(off.exec == base_off.exec,
+                "pushdown-off ExecStats diverged at {} threads", threads);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// The constraint-checking differential (E12): over generated constrained
